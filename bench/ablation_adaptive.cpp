@@ -1,0 +1,35 @@
+// Ablation (paper §X future work, implemented here): the adaptive DLB —
+// workers sample their own task sizes and self-select the Table IV
+// guideline row — compared against static balancing and the two fixed
+// strategies with mid-range settings, across the BOTS suite.
+//
+// Expected shape: adaptive ≈ the better of the fixed strategies on each
+// app without per-app tuning, and never far below SLB.
+#include "bench_util.hpp"
+
+using namespace xbench;
+
+int main() {
+  print_header("Ablation — adaptive DLB vs fixed strategies",
+               "192 simulated cores; fixed strategies use mid-range "
+               "settings {8,16,1e4,1.0}; adaptive self-tunes per worker.");
+  std::printf("%-10s %10s %10s %10s %10s | %9s\n", "app", "SLB(s)",
+              "NA-RP(s)", "NA-WS(s)", "adapt(s)", "adapt/SLB");
+  const SimDlbConfig fixed{8, 16, 10'000, 1.0};
+  for (const auto& wl : xtask::sim::bots_suite(Scale::kSweep)) {
+    const auto slb = simulate(paper_machine(SimPolicy::kXGompTB), wl);
+    auto run_with = [&](SimDlb d) {
+      SimConfig cfg = paper_machine(SimPolicy::kXGompTB);
+      cfg.dlb = d;
+      cfg.dlb_cfg = fixed;
+      return simulate(cfg, wl);
+    };
+    const auto rp = run_with(SimDlb::kRedirectPush);
+    const auto ws = run_with(SimDlb::kWorkSteal);
+    const auto ad = run_with(SimDlb::kAdaptive);
+    std::printf("%-10s %10.4f %10.4f %10.4f %10.4f | %8.2fx\n",
+                wl.name.c_str(), slb.seconds(), rp.seconds(), ws.seconds(),
+                ad.seconds(), slb.seconds() / ad.seconds());
+  }
+  return 0;
+}

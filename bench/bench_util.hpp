@@ -1,0 +1,58 @@
+// Shared helpers for the paper-reproduction benchmark binaries: fixed-width
+// table printing and the standard policy/config sets used across figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/workloads.hpp"
+
+namespace xbench {
+
+using xtask::sim::MachineConfig;
+using xtask::sim::Scale;
+using xtask::sim::SimConfig;
+using xtask::sim::SimDlb;
+using xtask::sim::SimDlbConfig;
+using xtask::sim::simulate;
+using xtask::sim::SimPolicy;
+using xtask::sim::sim_policy_name;
+using xtask::sim::SimResult;
+using xtask::sim::SimWorkload;
+
+/// Default paper machine: Skylake-192, 8 zones.
+inline SimConfig paper_machine(SimPolicy policy) {
+  SimConfig cfg;
+  cfg.policy = policy;
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* note) {
+  std::printf("\n==== %s ====\n", title);
+  if (note != nullptr && note[0] != '\0') std::printf("%s\n", note);
+}
+
+inline void print_row(const std::string& label,
+                      const std::vector<double>& values, const char* fmt) {
+  std::printf("%-10s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+/// Human-friendly count (paper tables use K/M/B suffixes).
+inline std::string human(double v) {
+  char buf[32];
+  if (v >= 1e9)
+    std::snprintf(buf, sizeof(buf), "%.1fB", v / 1e9);
+  else if (v >= 1e6)
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  else if (v >= 1e3)
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace xbench

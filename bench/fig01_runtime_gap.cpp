@@ -1,0 +1,32 @@
+// Reproduces Fig. 1: execution times of the BOTS benchmarks under GOMP,
+// LOMP, and XLOMP with 192 threads, showing the orders-of-magnitude gap
+// between GNU's global-lock runtime and the LLVM-style runtimes.
+//
+// Paper shape to reproduce: GOMP is up to >1000x slower than LOMP and
+// >4400x slower than XLOMP on the fine-grained benchmarks (Fib, NQueens,
+// FP, UTS); the gap narrows to ~1x for the coarsest (Align).
+#include "bench_util.hpp"
+
+using namespace xbench;
+
+int main() {
+  print_header("Fig. 1 — BOTS execution time: GOMP vs LOMP vs XLOMP",
+               "192 simulated cores, 8 NUMA zones; sweep-scale inputs "
+               "(EXPERIMENTS.md maps scales). Times in simulated seconds "
+               "@2.1 GHz.");
+  std::printf("%-10s %12s %12s %12s %12s %12s\n", "app", "GOMP(s)",
+              "LOMP(s)", "XLOMP(s)", "GOMP/LOMP", "GOMP/XLOMP");
+  for (const auto& wl : xtask::sim::bots_suite(Scale::kSweep)) {
+    const auto gomp = simulate(paper_machine(SimPolicy::kGomp), wl);
+    const auto lomp = simulate(paper_machine(SimPolicy::kLomp), wl);
+    const auto xlomp = simulate(paper_machine(SimPolicy::kXlomp), wl);
+    std::printf("%-10s %12.4f %12.4f %12.4f %11.1fx %11.1fx\n",
+                wl.name.c_str(), gomp.seconds(), lomp.seconds(),
+                xlomp.seconds(),
+                static_cast<double>(gomp.makespan) /
+                    static_cast<double>(lomp.makespan),
+                static_cast<double>(gomp.makespan) /
+                    static_cast<double>(xlomp.makespan));
+  }
+  return 0;
+}

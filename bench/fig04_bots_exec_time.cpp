@@ -1,0 +1,32 @@
+// Reproduces Fig. 4: absolute execution time of the nine BOTS benchmarks
+// (ordered by task size, small to large) under all five runtimes.
+//
+// Paper shape: every XQueue-based runtime and LOMP is orders of magnitude
+// faster than GOMP. LOMP/XLOMP win the task-creation-bound apps (Fib,
+// NQueens, FP, Health, UTS — multi-level allocator); XGOMP/XGOMPTB win the
+// execution-bound apps (FFT, STRAS, Sort, Align — allocator benefit fades
+// and LOMP's buffer stealing costs locality).
+#include "bench_util.hpp"
+
+using namespace xbench;
+
+int main() {
+  print_header("Fig. 4 — BOTS execution time, all runtimes",
+               "192 simulated cores; simulated seconds @2.1 GHz; apps in "
+               "task-size order.");
+  constexpr SimPolicy kPolicies[] = {SimPolicy::kGomp, SimPolicy::kXGomp,
+                                     SimPolicy::kXGompTB, SimPolicy::kLomp,
+                                     SimPolicy::kXlomp};
+  std::printf("%-10s", "app");
+  for (SimPolicy p : kPolicies) std::printf(" %11s", sim_policy_name(p));
+  std::printf("\n");
+  for (const auto& wl : xtask::sim::bots_suite(Scale::kSweep)) {
+    std::printf("%-10s", wl.name.c_str());
+    for (SimPolicy p : kPolicies) {
+      const auto res = simulate(paper_machine(p), wl);
+      std::printf(" %11.4f", res.seconds());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Fig. 5: performance improvement of XGOMP and XGOMPTB over
+// GOMP per BOTS application (192 threads).
+//
+// Paper shape: improvements up to 96.5x (XGOMP) and 1522.8x (XGOMPTB);
+// small-task apps (Fib, NQueens, FP) benefit most from the tree barrier,
+// large-task apps (Align) least.
+#include "bench_util.hpp"
+
+using namespace xbench;
+
+int main() {
+  print_header("Fig. 5 — XGOMP / XGOMPTB improvement over GOMP",
+               "192 simulated cores; ratio of simulated makespans "
+               "(higher is better).");
+  std::printf("%-10s %14s %14s %18s\n", "app", "XGOMP/GOMP(x)",
+              "XGOMPTB/GOMP(x)", "TB extra over XGOMP");
+  double max_xgomp = 0;
+  double max_tb = 0;
+  for (const auto& wl : xtask::sim::bots_suite(Scale::kSweep)) {
+    const auto gomp = simulate(paper_machine(SimPolicy::kGomp), wl);
+    const auto xgomp = simulate(paper_machine(SimPolicy::kXGomp), wl);
+    const auto tb = simulate(paper_machine(SimPolicy::kXGompTB), wl);
+    const double r1 = static_cast<double>(gomp.makespan) /
+                      static_cast<double>(xgomp.makespan);
+    const double r2 = static_cast<double>(gomp.makespan) /
+                      static_cast<double>(tb.makespan);
+    std::printf("%-10s %13.1fx %14.1fx %17.1fx\n", wl.name.c_str(), r1, r2,
+                r2 / r1);
+    max_xgomp = std::max(max_xgomp, r1);
+    max_tb = std::max(max_tb, r2);
+  }
+  std::printf("\nmax improvement: XGOMP %.1fx, XGOMPTB %.1fx "
+              "(paper: 96.5x / 1522.8x at full input scale)\n",
+              max_xgomp, max_tb);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Fig. 6: scaling of GOMP, XGOMP, and XGOMPTB as the thread
+// count grows from one socket (24) to eight (192), per BOTS application.
+//
+// Paper shape: XGOMP/XGOMPTB improve with threads but sub-linearly (work
+// time inflation: remote-socket memory access grows with the team); GOMP
+// *degrades* with threads on fine-grained apps (more lock contention);
+// Align is comparable across runtimes at low thread counts.
+#include "bench_util.hpp"
+
+using namespace xbench;
+
+int main() {
+  print_header("Fig. 6 — thread scaling per application",
+               "simulated seconds @2.1 GHz; 24 threads = 1 NUMA zone.");
+  constexpr int kThreads[] = {24, 48, 96, 192};
+  constexpr SimPolicy kPolicies[] = {SimPolicy::kGomp, SimPolicy::kXGomp,
+                                     SimPolicy::kXGompTB};
+  for (const auto& wl : xtask::sim::bots_suite(Scale::kSweep)) {
+    std::printf("\n%s\n%-9s", wl.name.c_str(), "threads");
+    for (int t : kThreads) std::printf(" %11d", t);
+    std::printf("\n");
+    for (SimPolicy p : kPolicies) {
+      std::printf("%-9s", sim_policy_name(p));
+      for (int t : kThreads) {
+        SimConfig cfg = paper_machine(p);
+        cfg.machine.cores = t;
+        cfg.machine.zones = (t + 23) / 24;  // 24 cores per zone
+        const auto res = simulate(cfg, wl);
+        std::printf(" %11.4f", res.seconds());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

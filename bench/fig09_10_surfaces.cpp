@@ -1,0 +1,67 @@
+// Reproduces Figs. 9 & 10: DLB improvement over XGOMPTB as a function of
+// task size and steal size S_steal = N_steal * N_victim / log10(T_interval)
+// (Eq. 1), for NA-RP and NA-WS, on synthetic irregular workloads.
+//
+// Paper shape:
+//   NA-RP (Fig. 9): degradation for tasks < 1e2 cycles; flat for 1e2-1e4;
+//     large tasks benefit from large steal sizes, up to ~4x.
+//   NA-WS (Fig. 10): degradation only for small tasks + large steal size;
+//     improvement grows with task size; less configuration-sensitive.
+#include <cmath>
+
+#include "bench_util.hpp"
+
+using namespace xbench;
+
+namespace {
+
+void surface(SimDlb strategy, const char* title) {
+  std::printf("\n-- %s: improvement (x) over XGOMPTB SLB --\n", title);
+  std::printf("rows: task size (cycles); cols: S_steal = "
+              "Nsteal*Nvictim/log10(Tint)\n");
+  struct Knob {
+    int n_victim;
+    int n_steal;
+    std::uint64_t t_int;
+  };
+  // Chosen so S_steal spans ~1e0 .. ~2.6e2 (log-spaced columns).
+  const Knob knobs[] = {
+      {1, 4, 10'000}, {2, 8, 10'000}, {8, 16, 10'000}, {24, 32, 10'000}};
+  std::printf("%10s", "task_size");
+  for (const Knob& k : knobs)
+    std::printf(" %9.0f",
+                k.n_steal * k.n_victim /
+                    std::log10(static_cast<double>(k.t_int)));
+  std::printf("\n");
+  for (std::uint64_t task_cycles :
+       {50ull, 500ull, 5'000ull, 50'000ull, 500'000ull}) {
+    // Keep total work roughly constant, but never fewer than ~8 tasks per
+    // worker — with one task per core there is nothing to balance and any
+    // DLB can only lose.
+    const std::uint64_t ntasks =
+        std::max<std::uint64_t>(192 * 8, 40'000'000 / task_cycles);
+    const auto wl = xtask::sim::wl_irregular(ntasks, task_cycles, 0.5);
+    const auto slb = simulate(paper_machine(SimPolicy::kXGompTB), wl);
+    std::printf("%10llu", static_cast<unsigned long long>(task_cycles));
+    for (const Knob& k : knobs) {
+      SimConfig cfg = paper_machine(SimPolicy::kXGompTB);
+      cfg.dlb = strategy;
+      cfg.dlb_cfg = {k.n_victim, k.n_steal, k.t_int, 1.0};
+      const auto res = simulate(cfg, wl);
+      std::printf(" %8.2fx", static_cast<double>(slb.makespan) /
+                                 static_cast<double>(res.makespan));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figs. 9 & 10 — DLB improvement surfaces",
+               "synthetic heavy-tailed workloads, 192 simulated cores, "
+               "mem_intensity 0.5.");
+  surface(SimDlb::kRedirectPush, "Fig. 9  NA-RP");
+  surface(SimDlb::kWorkSteal, "Fig. 10 NA-WS");
+  return 0;
+}

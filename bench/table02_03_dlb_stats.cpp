@@ -1,0 +1,62 @@
+// Reproduces Tables II & III: runtime statistics (task locality, static
+// pushes, immediate executions, steal-request funnel, stolen-task
+// locality) per BOTS application under NA-RP, NA-WS, and static balancing.
+//
+// Paper shape: Fib/NQueens execute almost everything on the creating core
+// (huge imm-exec counts); Health/STRAS/Sort run mostly remote under SLB
+// and the DLBs pull work back to self/local; most handled requests carry
+// steals; fully-local settings steal locally only.
+#include "bench_util.hpp"
+
+using namespace xbench;
+
+namespace {
+
+void print_stats(const char* strategy, const SimWorkload& wl,
+                 const SimResult& r) {
+  const xtask::Counters& c = r.totals;
+  std::printf(
+      "%-10s %-5s %9.4f %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+      wl.name.c_str(), strategy, r.seconds(),
+      human(static_cast<double>(c.ntasks_self)).c_str(),
+      human(static_cast<double>(c.ntasks_local)).c_str(),
+      human(static_cast<double>(c.ntasks_remote)).c_str(),
+      human(static_cast<double>(c.ntasks_static_push)).c_str(),
+      human(static_cast<double>(c.ntasks_imm_exec)).c_str(),
+      human(static_cast<double>(c.nreq_sent)).c_str(),
+      human(static_cast<double>(c.nreq_handled)).c_str(),
+      human(static_cast<double>(c.nreq_has_steal)).c_str(),
+      human(static_cast<double>(c.nsteal_local + c.nsteal_remote)).c_str(),
+      human(static_cast<double>(c.nsteal_local)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Tables II & III — runtime statistics: NA-RP / NA-WS / SLB",
+               "192 simulated cores; counters aggregated over workers.");
+  std::printf("%-10s %-5s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+              "app", "strat", "time(s)", "self", "local", "remote", "push",
+              "immexec", "reqsent", "reqhndl", "reqsteal", "totsteal",
+              "locsteal");
+  // Representative good settings (Table I's pattern: large batches and
+  // full locality for the memory-bound apps, small/local for fine tasks).
+  const SimDlbConfig rp_cfg{24, 32, 1'000, 1.0};
+  const SimDlbConfig ws_cfg{8, 32, 1'000, 1.0};
+  for (const auto& wl : xtask::sim::bots_suite(Scale::kSweep)) {
+    {
+      SimConfig cfg = paper_machine(SimPolicy::kXGompTB);
+      cfg.dlb = SimDlb::kRedirectPush;
+      cfg.dlb_cfg = rp_cfg;
+      print_stats("RP", wl, simulate(cfg, wl));
+    }
+    {
+      SimConfig cfg = paper_machine(SimPolicy::kXGompTB);
+      cfg.dlb = SimDlb::kWorkSteal;
+      cfg.dlb_cfg = ws_cfg;
+      print_stats("WS", wl, simulate(cfg, wl));
+    }
+    print_stats("SLB", wl, simulate(paper_machine(SimPolicy::kXGompTB), wl));
+  }
+  return 0;
+}

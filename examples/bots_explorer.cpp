@@ -1,0 +1,116 @@
+// BOTS explorer: run any of the nine benchmark kernels on any runtime
+// configuration and print timing plus the §V profiling statistics — a
+// command-line playground for the knobs the paper studies.
+//
+//   $ ./examples/bots_explorer                 # defaults: fib, best config
+//   $ ./examples/bots_explorer nqueens naws    # NQueens with NA-WS
+//   $ ./examples/bots_explorer sort central    # Sort, XGOMP-style barrier
+//
+// Arguments: [app] [config] [threads]
+//   app:    fib nqueens fft floorplan health uts strassen sort align
+//   config: slb (XGOMPTB) | central (XGOMP) | narp | naws
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bots/bots.hpp"
+#include "core/xtask.hpp"
+
+using namespace xtask;
+
+namespace {
+
+double run_app(Runtime& rt, const std::string& app) {
+  const auto t0 = std::chrono::steady_clock::now();
+  bool ok = true;
+  if (app == "fib") {
+    ok = bots::fib_parallel(rt, 27) == bots::fib_serial(27);
+  } else if (app == "nqueens") {
+    ok = bots::nqueens_parallel(rt, 10) == 724;
+  } else if (app == "fft") {
+    auto in = bots::fft_input(1 << 16);
+    auto out = bots::fft_parallel(rt, in, 1024);
+    ok = out.size() == in.size();
+  } else if (app == "floorplan") {
+    auto cells = bots::floorplan_cells(8);
+    ok = bots::floorplan_parallel(rt, cells) ==
+         bots::floorplan_serial(cells);
+  } else if (app == "health") {
+    auto p = bots::health_medium();
+    ok = bots::health_parallel(rt, p).generated > 0;
+  } else if (app == "uts") {
+    auto p = bots::uts_tiny();
+    ok = bots::uts_parallel(rt, p) == bots::uts_serial(p);
+  } else if (app == "strassen") {
+    const std::size_t n = 256;
+    auto a = bots::strassen_input(n, 1);
+    auto b = bots::strassen_input(n, 2);
+    ok = !bots::strassen_parallel(rt, a, b, n, 64).empty();
+  } else if (app == "sort") {
+    auto data = bots::sort_input(1 << 21);
+    ok = bots::sort_parallel(rt, data, 1 << 12, 1 << 12);
+  } else if (app == "align") {
+    auto seqs = bots::alignment_sequences(16, 80, 160);
+    ok = !bots::alignment_parallel(rt, seqs).empty();
+  } else {
+    std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+    return -1;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!ok) {
+    std::fprintf(stderr, "%s: WRONG RESULT\n", app.c_str());
+    return -1;
+  }
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = argc > 1 ? argv[1] : "fib";
+  const std::string mode = argc > 2 ? argv[2] : "slb";
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  Config cfg;
+  cfg.num_threads = threads;
+  cfg.numa_zones = 2;
+  if (mode == "central") {
+    cfg.barrier = BarrierKind::kCentral;
+    cfg.allocator = AllocatorMode::kMalloc;
+  } else if (mode == "narp") {
+    cfg.dlb = DlbKind::kRedirectPush;
+    cfg.dlb_cfg = {4, 16, 5'000, 1.0};
+  } else if (mode == "naws") {
+    cfg.dlb = DlbKind::kWorkSteal;
+    cfg.dlb_cfg = {4, 16, 5'000, 1.0};
+  }  // "slb": defaults (tree barrier, no DLB)
+
+  Runtime rt(cfg);
+  const double secs = run_app(rt, app);
+  if (secs < 0) return 1;
+
+  std::printf("%s on %d threads (%s): %.3fs\n", app.c_str(), threads,
+              mode.c_str(), secs);
+  const Counters c = rt.profiler().total_counters();
+  std::printf("tasks: created=%llu executed=%llu (self=%llu local=%llu "
+              "remote=%llu)\n",
+              static_cast<unsigned long long>(c.ntasks_created),
+              static_cast<unsigned long long>(c.ntasks_executed),
+              static_cast<unsigned long long>(c.ntasks_self),
+              static_cast<unsigned long long>(c.ntasks_local),
+              static_cast<unsigned long long>(c.ntasks_remote));
+  std::printf("dispatch: static_push=%llu imm_exec=%llu\n",
+              static_cast<unsigned long long>(c.ntasks_static_push),
+              static_cast<unsigned long long>(c.ntasks_imm_exec));
+  if (c.nreq_sent > 0) {
+    std::printf("DLB: requests sent=%llu handled=%llu with-steal=%llu "
+                "stolen(local/remote)=%llu/%llu\n",
+                static_cast<unsigned long long>(c.nreq_sent),
+                static_cast<unsigned long long>(c.nreq_handled),
+                static_cast<unsigned long long>(c.nreq_has_steal),
+                static_cast<unsigned long long>(c.nsteal_local),
+                static_cast<unsigned long long>(c.nsteal_remote));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Machine-simulator example: compare scheduling policies on a virtual
+// multi-socket machine — the what-if tool behind the paper-reproduction
+// benchmarks. Users can point it at their own machine shape.
+//
+//   $ ./examples/machine_sim              # 192 cores / 8 zones, fib
+//   $ ./examples/machine_sim 48 2 sort    # cores, zones, app
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/workloads.hpp"
+
+using namespace xtask::sim;
+
+int main(int argc, char** argv) {
+  const int cores = argc > 1 ? std::atoi(argv[1]) : 192;
+  const int zones = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::string app = argc > 3 ? argv[3] : "fib";
+
+  SimWorkload wl = wl_fib(21);
+  if (app == "sort") wl = wl_sort(1 << 18, 1 << 11);
+  else if (app == "strassen") wl = wl_strassen(1024, 32);
+  else if (app == "uts") wl = wl_uts(100, 0.18, 562);
+  else if (app == "posp") wl = wl_posp(1 << 20, 256);
+  else if (app != "fib") {
+    std::fprintf(stderr,
+                 "unknown app '%s' (fib|sort|strassen|uts|posp)\n",
+                 app.c_str());
+    return 1;
+  }
+
+  std::printf("simulating '%s' on %d cores / %d NUMA zones\n",
+              wl.name.c_str(), cores, zones);
+  std::printf("%-22s %14s %12s %10s\n", "policy", "makespan(cyc)",
+              "time@2.1GHz", "tasks");
+  for (SimPolicy p : {SimPolicy::kGomp, SimPolicy::kLomp, SimPolicy::kXlomp,
+                      SimPolicy::kXGomp, SimPolicy::kXGompTB}) {
+    SimConfig cfg;
+    cfg.machine.cores = cores;
+    cfg.machine.zones = zones;
+    cfg.policy = p;
+    const auto res = simulate(cfg, wl);
+    std::printf("%-22s %14llu %11.4fs %10llu\n", sim_policy_name(p),
+                static_cast<unsigned long long>(res.makespan),
+                res.seconds(),
+                static_cast<unsigned long long>(res.tasks));
+  }
+  // The paper's contribution stack: tree barrier + the two DLBs.
+  for (auto [dlb, name] :
+       {std::pair{SimDlb::kRedirectPush, "XGOMPTB + NA-RP"},
+        std::pair{SimDlb::kWorkSteal, "XGOMPTB + NA-WS"}}) {
+    SimConfig cfg;
+    cfg.machine.cores = cores;
+    cfg.machine.zones = zones;
+    cfg.policy = SimPolicy::kXGompTB;
+    cfg.dlb = dlb;
+    cfg.dlb_cfg = {8, 16, 5'000, 1.0};
+    const auto res = simulate(cfg, wl);
+    std::printf("%-22s %14llu %11.4fs %10llu\n", name,
+                static_cast<unsigned long long>(res.makespan),
+                res.seconds(),
+                static_cast<unsigned long long>(res.tasks));
+  }
+  return 0;
+}

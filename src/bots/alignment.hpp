@@ -1,0 +1,73 @@
+// BOTS Align (protein alignment): all-pairs global alignment scores over a
+// set of protein sequences. One task per sequence pair, all spawned by a
+// single producer (the OpenMP `single` construct in the original — the
+// reason NA-RP cannot help this kernel, §VI-B1). Each task runs an
+// affine-gap Needleman–Wunsch/Gotoh forward pass in O(len²) time and
+// O(len) space; sequences are cache-resident, task sizes ~1e6 cycles.
+//
+// Sequences are generated deterministically (the original ships
+// `prot.100.aa` etc.); scores use a compact hydrophobicity-class matrix.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xtask::bots {
+
+/// Deterministic synthetic protein set: `count` sequences with lengths in
+/// [min_len, max_len] over the 20-letter amino-acid alphabet.
+std::vector<std::string> alignment_sequences(int count, int min_len,
+                                             int max_len,
+                                             std::uint64_t seed = 31);
+
+namespace detail {
+
+/// Substitution score: +3 same residue, +1 same chemical class, -1 else.
+int aa_score(char a, char b) noexcept;
+
+/// Affine-gap global alignment score (Gotoh), linear space.
+int align_pair(const std::string& a, const std::string& b, int gap_open,
+               int gap_extend);
+
+template <typename Ctx>
+void align_all_pairs_task(Ctx& ctx, const std::vector<std::string>* seqs,
+                          int gap_open, int gap_extend, int* scores) {
+  // Single-producer spawn loop (mirrors `#pragma omp single` + task loop).
+  const int n = static_cast<int>(seqs->size());
+  int pair = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j, ++pair) {
+      int* out = scores + pair;
+      ctx.spawn([seqs, i, j, gap_open, gap_extend, out](Ctx&) {
+        *out = align_pair((*seqs)[static_cast<std::size_t>(i)],
+                          (*seqs)[static_cast<std::size_t>(j)], gap_open,
+                          gap_extend);
+      });
+    }
+  }
+  ctx.taskwait();
+}
+
+}  // namespace detail
+
+/// Serial reference: all-pairs scores in pair order (i<j, row-major).
+std::vector<int> alignment_serial(const std::vector<std::string>& seqs,
+                                  int gap_open = 4, int gap_extend = 1);
+
+/// Task-parallel all-pairs alignment.
+template <typename RuntimeT>
+std::vector<int> alignment_parallel(RuntimeT& rt,
+                                    const std::vector<std::string>& seqs,
+                                    int gap_open = 4, int gap_extend = 1) {
+  const int n = static_cast<int>(seqs.size());
+  std::vector<int> scores(static_cast<std::size_t>(n) * (n - 1) / 2, 0);
+  rt.run([&](auto& ctx) {
+    detail::align_all_pairs_task(ctx, &seqs, gap_open, gap_extend,
+                                 scores.data());
+  });
+  return scores;
+}
+
+}  // namespace xtask::bots

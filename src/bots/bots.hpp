@@ -1,0 +1,18 @@
+// Umbrella header: the nine Barcelona OpenMP Task Suite kernels used by
+// the paper's evaluation (§VI), templated over the runtime context so the
+// same kernel source runs on xtask, the GOMP-like baseline, and the
+// LOMP-like baseline — mirroring how BOTS is compiled once per OpenMP
+// implementation.
+#pragma once
+
+#include "bots/alignment.hpp"
+#include "bots/fib.hpp"
+#include "bots/fft.hpp"
+#include "bots/floorplan.hpp"
+#include "bots/health.hpp"
+#include "bots/nqueens.hpp"
+#include "bots/serial_ctx.hpp"
+#include "bots/sort.hpp"
+#include "bots/sparselu.hpp"
+#include "bots/strassen.hpp"
+#include "bots/uts.hpp"

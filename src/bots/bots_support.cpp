@@ -1,0 +1,183 @@
+// Out-of-line support for the BOTS kernels: deterministic input
+// generators, size presets, and the alignment scoring kernel.
+#include <algorithm>
+#include <cstring>
+
+#include "bots/alignment.hpp"
+#include "bots/fft.hpp"
+#include "bots/floorplan.hpp"
+#include "bots/health.hpp"
+#include "bots/serial_ctx.hpp"
+#include "bots/sort.hpp"
+#include "bots/strassen.hpp"
+#include "bots/uts.hpp"
+#include "core/common.hpp"
+
+namespace xtask::bots {
+
+std::vector<std::uint32_t> sort_input(std::size_t n, std::uint64_t seed) {
+  XorShift rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next());
+  return v;
+}
+
+std::vector<double> strassen_input(std::size_t n, std::uint64_t seed) {
+  XorShift rng(seed);
+  std::vector<double> m(n * n);
+  for (auto& x : m) x = rng.uniform() * 2.0 - 1.0;
+  return m;
+}
+
+std::vector<Complex> fft_input(std::size_t n, std::uint64_t seed) {
+  XorShift rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  return v;
+}
+
+UtsParams uts_tiny() {
+  UtsParams p;
+  p.root_children = 100;
+  p.m = 4;
+  p.q = 0.18;
+  p.seed = 562;
+  return p;
+}
+
+UtsParams uts_small() {
+  UtsParams p;
+  p.root_children = 400;
+  p.m = 4;
+  p.q = 0.200;
+  p.seed = 331;
+  return p;
+}
+
+std::vector<FloorplanCell> floorplan_cells(int n, std::uint64_t seed) {
+  XorShift rng(seed);
+  std::vector<FloorplanCell> cells(static_cast<std::size_t>(n));
+  for (auto& cell : cells) {
+    // A base rectangle plus its rotation, and sometimes a squarer variant
+    // of the same area class — mirrors the AKM alternative-shape lists.
+    const int w = 1 + static_cast<int>(rng.below(5));
+    const int h = 1 + static_cast<int>(rng.below(5));
+    cell.shapes.push_back({w, h});
+    if (w != h) cell.shapes.push_back({h, w});
+    if (rng.below(2) == 0) {
+      const int s = std::max(1, (w + h) / 2);
+      if (s != w && s != h) cell.shapes.push_back({s, s});
+    }
+  }
+  return cells;
+}
+
+HealthParams health_small() {
+  HealthParams p;
+  p.levels = 4;
+  p.branching = 4;
+  p.timesteps = 20;
+  return p;
+}
+
+HealthParams health_medium() {
+  HealthParams p;
+  p.levels = 5;
+  p.branching = 4;
+  p.timesteps = 40;
+  return p;
+}
+
+HealthStats health_serial(const HealthParams& p) {
+  SerialRuntime sr;
+  return health_parallel(sr, p);
+}
+
+std::vector<std::string> alignment_sequences(int count, int min_len,
+                                             int max_len,
+                                             std::uint64_t seed) {
+  static constexpr char kAlphabet[] = "ARNDCQEGHILKMFPSTWYV";
+  XorShift rng(seed);
+  std::vector<std::string> seqs(static_cast<std::size_t>(count));
+  for (auto& s : seqs) {
+    const int len =
+        min_len + static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(max_len - min_len + 1)));
+    s.resize(static_cast<std::size_t>(len));
+    for (auto& c : s) c = kAlphabet[rng.below(20)];
+  }
+  return seqs;
+}
+
+namespace detail {
+
+int aa_score(char a, char b) noexcept {
+  if (a == b) return 3;
+  // Chemical classes: hydrophobic / polar / charged / special.
+  auto cls = [](char c) noexcept -> int {
+    switch (c) {
+      case 'A': case 'V': case 'L': case 'I': case 'M': case 'F':
+      case 'W': case 'Y':
+        return 0;  // hydrophobic
+      case 'S': case 'T': case 'N': case 'Q':
+        return 1;  // polar
+      case 'R': case 'K': case 'H': case 'D': case 'E':
+        return 2;  // charged
+      default:
+        return 3;  // G, C, P — special
+    }
+  };
+  return cls(a) == cls(b) ? 1 : -1;
+}
+
+int align_pair(const std::string& a, const std::string& b, int gap_open,
+               int gap_extend) {
+  // Gotoh affine-gap global alignment, two rolling rows.
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  constexpr int kNegInf = -(1 << 28);
+  std::vector<int> M(static_cast<std::size_t>(m) + 1);
+  std::vector<int> X(static_cast<std::size_t>(m) + 1);  // gap in a (horiz)
+  std::vector<int> prevM(static_cast<std::size_t>(m) + 1);
+  std::vector<int> prevX(static_cast<std::size_t>(m) + 1);
+  std::vector<int> prevY(static_cast<std::size_t>(m) + 1);  // gap in b
+  std::vector<int> Y(static_cast<std::size_t>(m) + 1);
+
+  prevM[0] = 0;
+  prevX[0] = kNegInf;
+  prevY[0] = kNegInf;
+  for (int j = 1; j <= m; ++j) {
+    prevX[static_cast<std::size_t>(j)] = -gap_open - (j - 1) * gap_extend;
+    prevM[static_cast<std::size_t>(j)] = kNegInf;
+    prevY[static_cast<std::size_t>(j)] = kNegInf;
+  }
+  for (int i = 1; i <= n; ++i) {
+    M[0] = kNegInf;
+    X[0] = kNegInf;
+    Y[0] = -gap_open - (i - 1) * gap_extend;
+    for (int j = 1; j <= m; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const int diag = std::max({prevM[sj - 1], prevX[sj - 1], prevY[sj - 1]});
+      M[sj] = diag + aa_score(a[static_cast<std::size_t>(i - 1)],
+                              b[static_cast<std::size_t>(j - 1)]);
+      X[sj] = std::max(M[sj - 1] - gap_open, X[sj - 1] - gap_extend);
+      Y[sj] = std::max(prevM[sj] - gap_open, prevY[sj] - gap_extend);
+    }
+    std::swap(prevM, M);
+    std::swap(prevX, X);
+    std::swap(prevY, Y);
+  }
+  return std::max({prevM[static_cast<std::size_t>(m)],
+                   prevX[static_cast<std::size_t>(m)],
+                   prevY[static_cast<std::size_t>(m)]});
+}
+
+}  // namespace detail
+
+std::vector<int> alignment_serial(const std::vector<std::string>& seqs,
+                                  int gap_open, int gap_extend) {
+  SerialRuntime sr;
+  return alignment_parallel(sr, seqs, gap_open, gap_extend);
+}
+
+}  // namespace xtask::bots

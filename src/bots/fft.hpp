@@ -1,0 +1,101 @@
+// BOTS FFT: task-parallel Cooley–Tukey over complex doubles. Recursion
+// spawns the two half-size transforms and splits the butterfly combine;
+// below the cutoff an iterative serial FFT runs inside the task. Task
+// sizes 1e2–1e6 cycles, mode 1e3–1e4 (§VI-A).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace xtask::bots {
+
+using Complex = std::complex<double>;
+
+namespace detail {
+
+/// Serial radix-2 decimation-in-time FFT of length n (power of two),
+/// out-of-place from `in` (stride `stride`) into `out`.
+inline void fft_serial_rec(const Complex* in, Complex* out, std::size_t n,
+                           std::size_t stride) {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const std::size_t h = n / 2;
+  fft_serial_rec(in, out, h, stride * 2);
+  fft_serial_rec(in + stride, out + h, h, stride * 2);
+  for (std::size_t k = 0; k < h; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    const Complex w(std::cos(ang), std::sin(ang));
+    const Complex e = out[k];
+    const Complex o = w * out[k + h];
+    out[k] = e + o;
+    out[k + h] = e - o;
+  }
+}
+
+/// Task-parallel DIT step: spawn the half transforms, then split the
+/// butterfly loop into `chunks` tasks.
+template <typename Ctx>
+void fft_task(Ctx& ctx, const Complex* in, Complex* out, std::size_t n,
+              std::size_t stride, std::size_t cutoff) {
+  if (n <= cutoff) {
+    fft_serial_rec(in, out, n, stride);
+    return;
+  }
+  const std::size_t h = n / 2;
+  ctx.spawn([in, out, h, stride, cutoff](Ctx& c) {
+    fft_task(c, in, out, h, stride * 2, cutoff);
+  });
+  ctx.spawn([in, out, h, stride, cutoff](Ctx& c) {
+    fft_task(c, in + stride, out + h, h, stride * 2, cutoff);
+  });
+  ctx.taskwait();
+  // Parallel butterfly: contiguous k-ranges as tasks.
+  const std::size_t chunk = cutoff > 0 ? cutoff : 1024;
+  for (std::size_t k0 = 0; k0 < h; k0 += chunk) {
+    const std::size_t k1 = k0 + chunk < h ? k0 + chunk : h;
+    ctx.spawn([out, n, h, k0, k1](Ctx&) {
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(n);
+        const Complex w(std::cos(ang), std::sin(ang));
+        const Complex e = out[k];
+        const Complex o = w * out[k + h];
+        out[k] = e + o;
+        out[k + h] = e - o;
+      }
+    });
+  }
+  ctx.taskwait();
+}
+
+}  // namespace detail
+
+/// Serial reference FFT (power-of-two length).
+inline std::vector<Complex> fft_serial(const std::vector<Complex>& in) {
+  std::vector<Complex> out(in.size());
+  detail::fft_serial_rec(in.data(), out.data(), in.size(), 1);
+  return out;
+}
+
+/// Deterministic pseudo-random complex input.
+std::vector<Complex> fft_input(std::size_t n, std::uint64_t seed = 11);
+
+/// Task-parallel FFT. `cutoff` is the sub-transform size below which the
+/// serial kernel runs (also the butterfly chunk length).
+template <typename RuntimeT>
+std::vector<Complex> fft_parallel(RuntimeT& rt, const std::vector<Complex>& in,
+                                  std::size_t cutoff = 512) {
+  std::vector<Complex> out(in.size());
+  rt.run([&](auto& ctx) {
+    detail::fft_task(ctx, in.data(), out.data(), in.size(), 1, cutoff);
+  });
+  return out;
+}
+
+}  // namespace xtask::bots

@@ -1,0 +1,44 @@
+// BOTS Fibonacci: the canonical extreme fine-grained tasking stress test.
+// Tasks are 10–80 cycles (paper §VI-B1) — the runtime overhead *is* the
+// benchmark. Generic over the runtime context (xtask / GOMP-like /
+// LOMP-like), mirroring the BOTS source built for each OpenMP runtime.
+#pragma once
+
+#include <cstdint>
+
+namespace xtask::bots {
+
+/// Serial reference.
+inline long fib_serial(int n) noexcept {
+  return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+/// Task-parallel fib. `cutoff` switches to serial recursion below the
+/// given depth-remaining (BOTS' manual cutoff; 0 spawns all the way down).
+template <typename Ctx>
+void fib_task(Ctx& ctx, int n, int cutoff, long* out) {
+  if (n < 2) {
+    *out = n;
+    return;
+  }
+  if (cutoff > 0 && n <= cutoff) {
+    *out = fib_serial(n);
+    return;
+  }
+  long a = 0;
+  long b = 0;
+  ctx.spawn([n, cutoff, &a](Ctx& c) { fib_task(c, n - 1, cutoff, &a); });
+  ctx.spawn([n, cutoff, &b](Ctx& c) { fib_task(c, n - 2, cutoff, &b); });
+  ctx.taskwait();
+  *out = a + b;
+}
+
+/// Convenience entry point: run fib(n) as the root task of `rt`.
+template <typename RuntimeT>
+long fib_parallel(RuntimeT& rt, int n, int cutoff = 0) {
+  long result = -1;
+  rt.run([&](auto& ctx) { fib_task(ctx, n, cutoff, &result); });
+  return result;
+}
+
+}  // namespace xtask::bots

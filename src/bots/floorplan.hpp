@@ -1,0 +1,150 @@
+// BOTS Floorplan: branch-and-bound placement of cells with alternative
+// shapes, minimizing the bounding-box area. Each feasible (shape ×
+// position) extension of a partial placement is a task carrying a private
+// copy of the board, and a shared atomic best-area bound prunes the
+// search. Task sizes are highly varied (1e2–1e6 cycles, §VI-B1), making
+// this the most imbalanced BOTS kernel after Fib — the paper reports
+// 2.6–2.8× DLB gains here.
+//
+// Note: the original BOTS kernel reads a Cray AKM cell file; we generate
+// an equivalent deterministic cell set (see floorplan_cells) so the
+// benchmark is self-contained. The search structure (per-extension tasks,
+// board copies, shared bound) matches.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace xtask::bots {
+
+struct FloorplanShape {
+  int w;
+  int h;
+};
+
+struct FloorplanCell {
+  std::vector<FloorplanShape> shapes;  // alternative orientations/aspect
+};
+
+/// Deterministic cell set of `n` cells with 2–3 shape alternatives each.
+std::vector<FloorplanCell> floorplan_cells(int n, std::uint64_t seed = 20);
+
+namespace detail {
+
+constexpr int kBoardMax = 64;
+
+struct Board {
+  std::array<std::uint8_t, kBoardMax * kBoardMax> occ{};
+  int bb_w = 0;
+  int bb_h = 0;
+
+  bool place(int x, int y, int w, int h) noexcept {
+    if (x + w > kBoardMax || y + h > kBoardMax) return false;
+    for (int j = y; j < y + h; ++j)
+      for (int i = x; i < x + w; ++i)
+        if (occ[static_cast<std::size_t>(j * kBoardMax + i)]) return false;
+    for (int j = y; j < y + h; ++j)
+      for (int i = x; i < x + w; ++i)
+        occ[static_cast<std::size_t>(j * kBoardMax + i)] = 1;
+    if (x + w > bb_w) bb_w = x + w;
+    if (y + h > bb_h) bb_h = y + h;
+    return true;
+  }
+};
+
+/// Candidate positions for the next cell: the three bounding-box frontier
+/// corners. Keeps the branching factor at |shapes|×3 like the original's
+/// footprint positions while remaining admissible (the optimum over this
+/// frontier is deterministic, which is all the tests need).
+inline std::array<std::pair<int, int>, 3> candidates(const Board& b) noexcept {
+  return {{{b.bb_w, 0}, {0, b.bb_h}, {b.bb_w, b.bb_h}}};
+}
+
+inline void floorplan_serial_rec(const Board& board,
+                                 const std::vector<FloorplanCell>& cells,
+                                 std::size_t level, int* best) noexcept {
+  if (level == cells.size()) {
+    const int area = board.bb_w * board.bb_h;
+    if (area < *best) *best = area;
+    return;
+  }
+  for (const FloorplanShape& s : cells[level].shapes) {
+    for (const auto& [x, y] : candidates(board)) {
+      Board child = board;
+      if (!child.place(x, y, s.w, s.h)) continue;
+      if (child.bb_w * child.bb_h >= *best) continue;  // bound
+      floorplan_serial_rec(child, cells, level + 1, best);
+    }
+  }
+}
+
+template <typename Ctx>
+void floorplan_task(Ctx& ctx, const Board& board,
+                    const std::vector<FloorplanCell>* cells,
+                    std::size_t level, int cutoff, std::atomic<int>* best) {
+  if (level == (*cells).size()) {
+    const int area = board.bb_w * board.bb_h;
+    // Lock-free min update.
+    int cur = best->load(std::memory_order_relaxed);
+    while (area < cur &&
+           !best->compare_exchange_weak(cur, area, std::memory_order_relaxed))
+      ;
+    return;
+  }
+  if (static_cast<int>((*cells).size() - level) <= cutoff) {
+    int local = best->load(std::memory_order_relaxed);
+    const int before = local;
+    floorplan_serial_rec(board, *cells, level, &local);
+    if (local < before) {
+      int cur = best->load(std::memory_order_relaxed);
+      while (local < cur && !best->compare_exchange_weak(
+                                cur, local, std::memory_order_relaxed))
+        ;
+    }
+    return;
+  }
+  // Boards are too large for inline task payloads; children own a heap
+  // copy via shared_ptr (BOTS likewise memcpys the board per task).
+  for (const FloorplanShape& s : (*cells)[level].shapes) {
+    for (const auto& [x, y] : candidates(board)) {
+      auto child = std::make_shared<Board>(board);
+      if (!child->place(x, y, s.w, s.h)) continue;
+      if (child->bb_w * child->bb_h >=
+          best->load(std::memory_order_relaxed))
+        continue;
+      ctx.spawn([child, cells, level, cutoff, best](Ctx& c) {
+        floorplan_task(c, *child, cells, level + 1, cutoff, best);
+      });
+    }
+  }
+  ctx.taskwait();
+}
+
+}  // namespace detail
+
+/// Serial reference: minimal bounding-box area.
+inline int floorplan_serial(const std::vector<FloorplanCell>& cells) {
+  detail::Board board;
+  int best = detail::kBoardMax * detail::kBoardMax;
+  detail::floorplan_serial_rec(board, cells, 0, &best);
+  return best;
+}
+
+/// Task-parallel branch and bound. `cutoff`: remaining levels below which
+/// the search runs serially inside a task.
+template <typename RuntimeT>
+int floorplan_parallel(RuntimeT& rt, const std::vector<FloorplanCell>& cells,
+                       int cutoff = 2) {
+  std::atomic<int> best{detail::kBoardMax * detail::kBoardMax};
+  rt.run([&](auto& ctx) {
+    detail::Board board;
+    detail::floorplan_task(ctx, board, &cells, 0, cutoff, &best);
+  });
+  return best.load();
+}
+
+}  // namespace xtask::bots

@@ -1,0 +1,147 @@
+// BOTS Health: simulation of a hierarchical health-care system. A tree of
+// villages is simulated over discrete timesteps; each step descends the
+// tree with one task per village, generates patients from a per-village
+// deterministic stream, treats some locally (per-patient work loop) and
+// refers the rest to the parent hospital, which processes them after its
+// subtree completes. Many small tasks around 1e3–1e4 cycles (§VI-A) with
+// bursty, level-dependent load.
+//
+// The original kernel reads `small/medium/large` input files; we generate
+// the equivalent village hierarchy from parameters (see health_* presets)
+// and track aggregate statistics, which are deterministic by construction
+// (sums of per-village streams, independent of scheduling order).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace xtask::bots {
+
+struct HealthParams {
+  int levels = 5;        // depth of the village tree
+  int branching = 4;     // children per village
+  int timesteps = 50;    // simulation steps
+  double arrival = 1.3;  // mean patients arriving per village per step
+  double treat_local = 0.8;  // probability a patient is treated locally
+  int treat_work = 64;       // per-patient work-loop iterations
+  std::uint64_t seed = 99;
+};
+
+HealthParams health_small();
+HealthParams health_medium();
+
+struct HealthStats {
+  std::uint64_t generated = 0;
+  std::uint64_t treated_local = 0;
+  std::uint64_t referred = 0;
+  std::uint64_t work_sum = 0;  // checksum of the per-patient work loops
+};
+
+namespace detail {
+
+inline std::uint64_t health_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic per-(village, timestep) patient count and treatment
+/// decisions, independent of execution order.
+inline std::uint64_t village_stream(std::uint64_t seed, std::uint64_t village,
+                                    int step, int draw) noexcept {
+  return health_mix(seed ^ (village * 0x9e3779b97f4a7c15ull) ^
+                    (static_cast<std::uint64_t>(step) << 32) ^
+                    static_cast<std::uint64_t>(draw));
+}
+
+/// The per-patient "treatment": a short dependent work loop whose result
+/// is accumulated so the optimizer cannot drop it.
+inline std::uint64_t treat_patient(std::uint64_t id, int iters) noexcept {
+  std::uint64_t acc = id;
+  for (int i = 0; i < iters; ++i) acc = health_mix(acc + 1);
+  return acc;
+}
+
+struct VillageResult {
+  std::uint64_t generated = 0;
+  std::uint64_t treated = 0;
+  std::uint64_t referred = 0;
+  std::uint64_t work = 0;
+};
+
+/// Simulate one timestep of the subtree rooted at `village` (id encodes
+/// the path). Children run as tasks; referrals bubble up as counts and are
+/// treated at this level after taskwait.
+template <typename Ctx>
+void village_step(Ctx& ctx, const HealthParams* p, std::uint64_t village,
+                  int level, int step, VillageResult* out) {
+  std::vector<VillageResult> child_results;
+  if (level + 1 < p->levels) {
+    child_results.resize(static_cast<std::size_t>(p->branching));
+    for (int b = 0; b < p->branching; ++b) {
+      const std::uint64_t child = village * 37 + static_cast<std::uint64_t>(b) + 1;
+      VillageResult* slot = &child_results[static_cast<std::size_t>(b)];
+      ctx.spawn([p, child, level, step, slot](Ctx& c) {
+        village_step(c, p, child, level + 1, step, slot);
+      });
+    }
+  }
+
+  // Local arrivals while the subtree is in flight.
+  VillageResult local;
+  const std::uint64_t draw0 = village_stream(p->seed, village, step, 0);
+  const int arrivals = static_cast<int>(
+      draw0 % (2 * static_cast<std::uint64_t>(p->arrival * 1024) / 1024 + 2));
+  for (int i = 0; i < arrivals; ++i) {
+    const std::uint64_t d = village_stream(p->seed, village, step, i + 1);
+    local.generated++;
+    const double u = static_cast<double>(d >> 11) * 0x1.0p-53;
+    if (u < p->treat_local) {
+      local.treated++;
+      local.work += treat_patient(d, p->treat_work);
+    } else {
+      local.referred++;
+    }
+  }
+
+  if (!child_results.empty()) {
+    ctx.taskwait();
+    for (const VillageResult& r : child_results) {
+      local.generated += r.generated;
+      local.treated += r.treated;
+      local.work += r.work;
+      // Referrals from children get treated here (heavier casework).
+      for (std::uint64_t i = 0; i < r.referred; ++i) {
+        local.treated++;
+        local.work += treat_patient(r.work + i, 2 * p->treat_work);
+      }
+    }
+  }
+  *out = local;
+}
+
+}  // namespace detail
+
+/// Serial reference (single-threaded recursion, same arithmetic).
+HealthStats health_serial(const HealthParams& p);
+
+/// Task-parallel simulation: one root task per timestep, one task per
+/// village per step underneath.
+template <typename RuntimeT>
+HealthStats health_parallel(RuntimeT& rt, const HealthParams& p) {
+  HealthStats stats;
+  rt.run([&](auto& ctx) {
+    for (int step = 0; step < p.timesteps; ++step) {
+      detail::VillageResult r;
+      detail::village_step(ctx, &p, 1, 0, step, &r);
+      stats.generated += r.generated;
+      stats.treated_local += r.treated;
+      stats.referred += r.referred;
+      stats.work_sum += r.work;
+    }
+  });
+  return stats;
+}
+
+}  // namespace xtask::bots

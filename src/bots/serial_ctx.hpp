@@ -1,0 +1,30 @@
+// SerialContext: a drop-in "runtime context" that executes every spawn
+// inline. Plugging it into the kernel templates yields the serial
+// reference implementation with the exact same arithmetic — used by the
+// *_serial entry points and by tests as the ground truth.
+#pragma once
+
+#include <utility>
+
+namespace xtask::bots {
+
+struct SerialContext {
+  template <typename F>
+  void spawn(F&& f) {
+    std::forward<F>(f)(*this);
+  }
+  void taskwait() noexcept {}
+  int worker_id() const noexcept { return 0; }
+};
+
+/// Mimics the Runtime::run surface so `*_parallel(rt, ...)` helpers can be
+/// reused to produce serial results (SerialRuntime sr; fib_parallel(sr, n)).
+struct SerialRuntime {
+  template <typename F>
+  void run(F&& root) {
+    SerialContext ctx;
+    std::forward<F>(root)(ctx);
+  }
+};
+
+}  // namespace xtask::bots

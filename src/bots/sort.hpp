@@ -1,0 +1,102 @@
+// BOTS Sort (cilksort / multisort): 4-way divide-and-conquer mergesort
+// with task-parallel recursive merges, falling back to serial quicksort
+// and serial merge below cutoffs. Task sizes concentrate around 1e5 cycles
+// (paper §VI-A) and the working set is memory-bound, which is why the
+// paper sees the biggest NUMA-locality effects here and on Strassen.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace xtask::bots {
+
+namespace detail {
+
+using SortT = std::uint32_t;
+
+/// Serial merge [a0,a1) and [b0,b1) into dest.
+inline void merge_serial(const SortT* a0, const SortT* a1, const SortT* b0,
+                         const SortT* b1, SortT* dest) noexcept {
+  std::merge(a0, a1, b0, b1, dest);
+}
+
+/// Parallel divide-and-conquer merge: split the larger run at its median,
+/// binary-search the split point in the smaller run, merge halves as tasks.
+template <typename Ctx>
+void merge_task(Ctx& ctx, const SortT* a0, const SortT* a1, const SortT* b0,
+                const SortT* b1, SortT* dest, std::size_t merge_cutoff) {
+  const std::size_t an = static_cast<std::size_t>(a1 - a0);
+  const std::size_t bn = static_cast<std::size_t>(b1 - b0);
+  if (an + bn <= merge_cutoff) {
+    merge_serial(a0, a1, b0, b1, dest);
+    return;
+  }
+  if (an < bn) {  // keep A the larger run
+    merge_task(ctx, b0, b1, a0, a1, dest, merge_cutoff);
+    return;
+  }
+  const SortT* am = a0 + an / 2;
+  const SortT* bm = std::lower_bound(b0, b1, *am);
+  SortT* dm = dest + (am - a0) + (bm - b0);
+  ctx.spawn([a0, am, b0, bm, dest, merge_cutoff](Ctx& c) {
+    merge_task(c, a0, am, b0, bm, dest, merge_cutoff);
+  });
+  ctx.spawn([am, a1, bm, b1, dm, merge_cutoff](Ctx& c) {
+    merge_task(c, am, a1, bm, b1, dm, merge_cutoff);
+  });
+  ctx.taskwait();
+}
+
+/// 4-way mergesort of [lo, lo+n) using tmp as scratch of the same size.
+template <typename Ctx>
+void sort_task(Ctx& ctx, SortT* lo, SortT* tmp, std::size_t n,
+               std::size_t sort_cutoff, std::size_t merge_cutoff) {
+  if (n <= sort_cutoff) {
+    std::sort(lo, lo + n);
+    return;
+  }
+  const std::size_t q1 = n / 4;
+  const std::size_t q2 = n / 2;
+  const std::size_t q3 = q1 + q2;
+  ctx.spawn([=](Ctx& c) { sort_task(c, lo, tmp, q1, sort_cutoff, merge_cutoff); });
+  ctx.spawn([=](Ctx& c) {
+    sort_task(c, lo + q1, tmp + q1, q2 - q1, sort_cutoff, merge_cutoff);
+  });
+  ctx.spawn([=](Ctx& c) {
+    sort_task(c, lo + q2, tmp + q2, q3 - q2, sort_cutoff, merge_cutoff);
+  });
+  ctx.spawn([=](Ctx& c) {
+    sort_task(c, lo + q3, tmp + q3, n - q3, sort_cutoff, merge_cutoff);
+  });
+  ctx.taskwait();
+  ctx.spawn([=](Ctx& c) {
+    merge_task(c, lo, lo + q1, lo + q1, lo + q2, tmp, merge_cutoff);
+  });
+  ctx.spawn([=](Ctx& c) {
+    merge_task(c, lo + q2, lo + q3, lo + q3, lo + n, tmp + q2, merge_cutoff);
+  });
+  ctx.taskwait();
+  merge_task(ctx, tmp, tmp + q2, tmp + q2, tmp + n, lo, merge_cutoff);
+}
+
+}  // namespace detail
+
+/// Deterministic pseudo-random input for the sort benchmarks.
+std::vector<std::uint32_t> sort_input(std::size_t n, std::uint64_t seed = 7);
+
+/// Task-parallel multisort, in place. Returns false if `data` did not end
+/// up sorted (callers assert on it).
+template <typename RuntimeT>
+bool sort_parallel(RuntimeT& rt, std::vector<std::uint32_t>& data,
+                   std::size_t sort_cutoff = 2048,
+                   std::size_t merge_cutoff = 2048) {
+  std::vector<std::uint32_t> tmp(data.size());
+  rt.run([&](auto& ctx) {
+    detail::sort_task(ctx, data.data(), tmp.data(), data.size(), sort_cutoff,
+                      merge_cutoff);
+  });
+  return std::is_sorted(data.begin(), data.end());
+}
+
+}  // namespace xtask::bots

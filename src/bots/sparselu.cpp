@@ -1,0 +1,108 @@
+#include "bots/sparselu.hpp"
+
+#include "bots/serial_ctx.hpp"
+#include "core/common.hpp"
+
+namespace xtask::bots {
+
+SparseMatrix::SparseMatrix(const SparseLuParams& p, bool fill) : p_(p) {
+  XTASK_CHECK(p.blocks >= 1 && p.block_size >= 1);
+  data_.resize(static_cast<std::size_t>(p.blocks) *
+               static_cast<std::size_t>(p.blocks));
+  if (!fill) return;
+  // Deterministic sparsity pattern (BOTS genmat): diagonal always live,
+  // off-diagonal live with ~35% density, values diagonally dominant so
+  // the factorization stays well-conditioned without pivoting.
+  XorShift rng(p.seed);
+  const int n = p.blocks;
+  const int bs = p.block_size;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const bool live = i == j || rng.below(100) < 35;
+      if (!live) continue;
+      double* blk = materialize(i, j);
+      for (int e = 0; e < bs * bs; ++e)
+        blk[e] = rng.uniform() * 2.0 - 1.0;
+      if (i == j) {
+        for (int d = 0; d < bs; ++d)
+          blk[d * bs + d] += static_cast<double>(2 * bs);  // dominance
+      }
+    }
+  }
+}
+
+double* SparseMatrix::materialize(int i, int j) {
+  auto& cell = data_[static_cast<std::size_t>(i * p_.blocks + j)];
+  if (cell == nullptr) {
+    cell = std::make_unique<double[]>(
+        static_cast<std::size_t>(p_.block_size) *
+        static_cast<std::size_t>(p_.block_size));
+  }
+  return cell.get();
+}
+
+double SparseMatrix::checksum() const {
+  double sum = 0.0;
+  const int bs = p_.block_size;
+  for (int i = 0; i < p_.blocks; ++i) {
+    for (int j = 0; j < p_.blocks; ++j) {
+      const double* blk = block(i, j);
+      if (blk == nullptr) continue;
+      for (int e = 0; e < bs * bs; ++e) sum += std::abs(blk[e]);
+    }
+  }
+  return sum;
+}
+
+namespace detail {
+
+void lu0(double* diag, int bs) {
+  for (int k = 0; k < bs; ++k) {
+    const double pivot = diag[k * bs + k];
+    for (int i = k + 1; i < bs; ++i) {
+      diag[i * bs + k] /= pivot;
+      const double lik = diag[i * bs + k];
+      for (int j = k + 1; j < bs; ++j)
+        diag[i * bs + j] -= lik * diag[k * bs + j];
+    }
+  }
+}
+
+void fwd(const double* diag, double* col, int bs) {
+  // Solve L * X = col (L unit lower triangular from diag).
+  for (int k = 0; k < bs; ++k)
+    for (int i = k + 1; i < bs; ++i) {
+      const double lik = diag[i * bs + k];
+      for (int j = 0; j < bs; ++j) col[i * bs + j] -= lik * col[k * bs + j];
+    }
+}
+
+void bdiv(const double* diag, double* row, int bs) {
+  // Solve X * U = row (U upper triangular from diag).
+  for (int i = 0; i < bs; ++i) {
+    for (int k = 0; k < bs; ++k) {
+      row[i * bs + k] /= diag[k * bs + k];
+      const double xik = row[i * bs + k];
+      for (int j = k + 1; j < bs; ++j)
+        row[i * bs + j] -= xik * diag[k * bs + j];
+    }
+  }
+}
+
+void bmod(const double* row, const double* col, double* inner, int bs) {
+  for (int i = 0; i < bs; ++i)
+    for (int k = 0; k < bs; ++k) {
+      const double rik = row[i * bs + k];
+      for (int j = 0; j < bs; ++j)
+        inner[i * bs + j] -= rik * col[k * bs + j];
+    }
+}
+
+}  // namespace detail
+
+double sparselu_serial(const SparseLuParams& p) {
+  SerialRuntime sr;
+  return sparselu_parallel(sr, p);
+}
+
+}  // namespace xtask::bots

@@ -1,0 +1,109 @@
+// BOTS SparseLU: LU factorization of a sparse blocked matrix. Not part of
+// the paper's nine-app evaluation, but part of the BOTS suite the paper
+// draws from; included so the library ships the full benchmark family.
+// Each elimination step runs lu0 on the diagonal block, then fwd/bdiv on
+// the live row/column blocks, then bmod updates on the trailing submatrix
+// — all as tasks with a taskwait between phases (the classic BOTS
+// structure). Sparsity: only a deterministic subset of blocks is non-null;
+// bmod materializes fill-in blocks, so the task load grows as the
+// factorization proceeds — an irregular, phase-structured workload.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xtask::bots {
+
+struct SparseLuParams {
+  int blocks = 16;      // matrix is blocks×blocks of submatrices
+  int block_size = 16;  // each submatrix is block_size²  doubles
+  std::uint64_t seed = 44;
+};
+
+/// Blocked sparse matrix: null pointer = structurally zero block.
+class SparseMatrix {
+ public:
+  SparseMatrix(const SparseLuParams& p, bool fill);
+
+  int blocks() const noexcept { return p_.blocks; }
+  int bs() const noexcept { return p_.block_size; }
+  double* block(int i, int j) noexcept {
+    return data_[static_cast<std::size_t>(i * p_.blocks + j)].get();
+  }
+  const double* block(int i, int j) const noexcept {
+    return data_[static_cast<std::size_t>(i * p_.blocks + j)].get();
+  }
+  /// Create (zero-initialized) the block if it is structurally zero.
+  double* materialize(int i, int j);
+
+  /// Frobenius-style checksum over all live blocks (order-independent).
+  double checksum() const;
+
+ private:
+  SparseLuParams p_;
+  std::vector<std::unique_ptr<double[]>> data_;
+};
+
+namespace detail {
+
+// The four BOTS kernels, operating on bs×bs row-major blocks.
+void lu0(double* diag, int bs);
+void fwd(const double* diag, double* col, int bs);
+void bdiv(const double* diag, double* row, int bs);
+void bmod(const double* row, const double* col, double* inner, int bs);
+
+template <typename Ctx>
+void sparselu_task(Ctx& ctx, SparseMatrix* m) {
+  const int n = m->blocks();
+  const int bs = m->bs();
+  for (int k = 0; k < n; ++k) {
+    lu0(m->block(k, k), bs);
+    // Phase 1: panel updates.
+    for (int j = k + 1; j < n; ++j) {
+      if (m->block(k, j) != nullptr) {
+        double* blk = m->block(k, j);
+        const double* diag = m->block(k, k);
+        ctx.spawn([diag, blk, bs](Ctx&) { fwd(diag, blk, bs); });
+      }
+    }
+    for (int i = k + 1; i < n; ++i) {
+      if (m->block(i, k) != nullptr) {
+        double* blk = m->block(i, k);
+        const double* diag = m->block(k, k);
+        ctx.spawn([diag, blk, bs](Ctx&) { bdiv(diag, blk, bs); });
+      }
+    }
+    ctx.taskwait();
+    // Phase 2: trailing submatrix updates (materializes fill-in serially
+    // on the spawning task, then updates in parallel, as BOTS does).
+    for (int i = k + 1; i < n; ++i) {
+      if (m->block(i, k) == nullptr) continue;
+      for (int j = k + 1; j < n; ++j) {
+        if (m->block(k, j) == nullptr) continue;
+        double* inner = m->materialize(i, j);
+        const double* row = m->block(i, k);
+        const double* col = m->block(k, j);
+        ctx.spawn([row, col, inner, bs](Ctx&) { bmod(row, col, inner, bs); });
+      }
+    }
+    ctx.taskwait();
+  }
+}
+
+}  // namespace detail
+
+/// Serial reference: checksum of the factorized matrix.
+double sparselu_serial(const SparseLuParams& p);
+
+/// Task-parallel factorization; returns the factorized matrix checksum
+/// (equal to the serial reference for the same params).
+template <typename RuntimeT>
+double sparselu_parallel(RuntimeT& rt, const SparseLuParams& p) {
+  SparseMatrix m(p, /*fill=*/true);
+  rt.run([&](auto& ctx) { detail::sparselu_task(ctx, &m); });
+  return m.checksum();
+}
+
+}  // namespace xtask::bots

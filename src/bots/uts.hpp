@@ -1,0 +1,98 @@
+// BOTS UTS (Unbalanced Tree Search): count the nodes of an implicitly
+// defined, pathologically imbalanced random tree. Child counts derive from
+// a splittable hash of the node id (standing in for the SHA-1 stream of
+// the original UTS), so the tree is identical regardless of traversal
+// order or thread count — the load imbalance is therefore *data-driven*,
+// exactly the property the paper's DLB strategies target.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace xtask::bots {
+
+/// Binomial-tree parameters (UTS "T3"-style): the root has `root_children`
+/// children; every other node has `m` children with probability `q`, else
+/// none. Expected size is finite when m*q < 1.
+struct UtsParams {
+  int root_children = 200;   // b0
+  int m = 4;                 // children per internal node
+  double q = 0.200;          // probability of being internal (m*q = 0.8)
+  std::uint64_t seed = 562;  // tree identity
+  int cutoff_depth = 0;      // spawn depth limit, 0 = spawn everywhere
+};
+
+/// Paper-style size presets (§VI): tiny for sweeps, small for headline.
+UtsParams uts_tiny();
+UtsParams uts_small();
+
+namespace detail {
+
+/// Splittable node hash (SplitMix64 over parent-hash ⊕ child-index).
+inline std::uint64_t uts_child_hash(std::uint64_t parent,
+                                    int child_index) noexcept {
+  std::uint64_t z = parent + 0x9e3779b97f4a7c15ull *
+                                 (static_cast<std::uint64_t>(child_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline int uts_num_children(std::uint64_t hash, const UtsParams& p,
+                            bool is_root) noexcept {
+  if (is_root) return p.root_children;
+  // Map the hash to [0,1): internal node iff below q.
+  const double u =
+      static_cast<double>(hash >> 11) * 0x1.0p-53;  // uniform [0,1)
+  return u < p.q ? p.m : 0;
+}
+
+inline std::uint64_t uts_count_serial(std::uint64_t hash, const UtsParams& p,
+                                      bool is_root) noexcept {
+  std::uint64_t count = 1;
+  const int kids = uts_num_children(hash, p, is_root);
+  for (int i = 0; i < kids; ++i)
+    count += uts_count_serial(uts_child_hash(hash, i), p, false);
+  return count;
+}
+
+template <typename Ctx>
+void uts_task(Ctx& ctx, std::uint64_t hash, const UtsParams* p, bool is_root,
+              int depth, std::atomic<std::uint64_t>* count) {
+  count->fetch_add(1, std::memory_order_relaxed);
+  const int kids = uts_num_children(hash, *p, is_root);
+  if (kids == 0) return;
+  if (p->cutoff_depth > 0 && depth >= p->cutoff_depth) {
+    std::uint64_t sub = 0;
+    for (int i = 0; i < kids; ++i)
+      sub += uts_count_serial(uts_child_hash(hash, i), *p, false);
+    count->fetch_add(sub, std::memory_order_relaxed);
+    return;
+  }
+  for (int i = 0; i < kids; ++i) {
+    const std::uint64_t child = uts_child_hash(hash, i);
+    ctx.spawn([child, p, depth, count](Ctx& c) {
+      uts_task(c, child, p, false, depth + 1, count);
+    });
+  }
+  ctx.taskwait();
+}
+
+}  // namespace detail
+
+/// Serial reference node count.
+inline std::uint64_t uts_serial(const UtsParams& p) noexcept {
+  return detail::uts_count_serial(p.seed, p, true);
+}
+
+/// Task-parallel node count.
+template <typename RuntimeT>
+std::uint64_t uts_parallel(RuntimeT& rt, const UtsParams& p) {
+  std::atomic<std::uint64_t> count{0};
+  rt.run([&](auto& ctx) {
+    detail::uts_task(ctx, p.seed, &p, true, 0, &count);
+  });
+  return count.load();
+}
+
+}  // namespace xtask::bots

@@ -1,0 +1,68 @@
+// Centralized team barrier in the style GOMP uses (paper §III-B baseline):
+// a shared arrival counter plus the global task count. XGOMP keeps this
+// barrier but drives it with an atomic task count instead of the global
+// task lock; the GOMP baseline in src/gomp wraps the same structure in a
+// mutex to reproduce the original's lock traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/common.hpp"
+
+namespace xtask {
+
+/// Termination barrier for one team. A worker "arrives" when it first goes
+/// idle at the end of the parallel region, keeps executing tasks while
+/// waiting, and is released once every worker has arrived and the global
+/// task count has drained to zero.
+///
+/// Reusable across parallel regions via a generation counter.
+class CentralBarrier {
+ public:
+  explicit CentralBarrier(int num_workers) : n_(num_workers) {}
+
+  /// Global in-flight task count (queued + running). Incremented at task
+  /// creation, decremented at completion. This is the single hot atomic
+  /// whose cache-line ping-pong the tree barrier exists to eliminate.
+  void task_created() noexcept {
+    task_count_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void task_finished() noexcept {
+    task_count_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  std::int64_t task_count() const noexcept {
+    return task_count_.load(std::memory_order_acquire);
+  }
+
+  /// Worker `tid` signals it reached the barrier of generation `gen`
+  /// (generations count parallel regions, starting at 1). Idempotent per
+  /// generation per worker — the runtime calls it once.
+  void arrive(std::uint64_t gen) noexcept {
+    (void)gen;
+    arrived_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Poll for release. The *last* poller that observes full arrival and a
+  /// drained task count publishes the release for everyone.
+  bool poll(std::uint64_t gen) noexcept {
+    if (released_.load(std::memory_order_acquire) >= gen) return true;
+    if (arrived_.load(std::memory_order_acquire) == n_ &&
+        task_count_.load(std::memory_order_acquire) == 0) {
+      // Several workers may all observe the condition; the store is
+      // idempotent (same generation value), so no CAS is needed.
+      arrived_.store(0, std::memory_order_relaxed);
+      released_.store(gen, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const int n_;
+  alignas(kCacheLine) std::atomic<std::int64_t> task_count_{0};
+  alignas(kCacheLine) std::atomic<int> arrived_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> released_{0};
+};
+
+}  // namespace xtask

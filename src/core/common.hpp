@@ -1,0 +1,84 @@
+// Common low-level utilities shared across the xtask runtime.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <new>
+
+namespace xtask {
+
+// Size used to pad shared data onto distinct cache lines. 64 bytes matches
+// every x86-64 part the paper evaluates on; std::hardware_destructive_
+// interference_size is not used because libstdc++ makes it ABI-unstable.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Read the processor timestamp counter. Mirrors the paper's use of
+/// `rdtscp` (§V): monotonic per-core cycle counter, ensures prior loads are
+/// globally visible, and is cheap enough to bracket fine-grained events.
+inline std::uint64_t rdtscp() noexcept {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi, aux;
+  asm volatile("rdtscp" : "=a"(lo), "=d"(hi), "=c"(aux));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  // Portable fallback for non-x86 hosts; coarser but monotonic.
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull + ts.tv_nsec;
+#endif
+}
+
+/// xorshift128+ PRNG. Victim selection (Alg. 1) needs a generator that is
+/// fast, per-thread, and seedable for reproducible experiments; the quality
+/// bar is "uniform enough to pick victims", which xorshift128+ clears.
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    // SplitMix64 expansion so that small/sequential seeds give unrelated
+    // streams.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t next() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+[[noreturn]] inline void fatal(const char* msg) noexcept {
+  std::fprintf(stderr, "xtask fatal: %s\n", msg);
+  std::abort();
+}
+
+#define XTASK_CHECK(cond)                                  \
+  do {                                                     \
+    if (!(cond)) ::xtask::fatal("check failed: " #cond);   \
+  } while (0)
+
+}  // namespace xtask

@@ -1,0 +1,91 @@
+#include "core/dependency.hpp"
+
+namespace xtask::detail {
+
+DepScope::~DepScope() {
+  // Map references are handed back through close(), which the runtime
+  // calls before destroying the scope; destruction with live entries
+  // would leak task refcounts.
+  XTASK_CHECK(addrs_.empty());
+}
+
+bool DepScope::add_edge(Task* pred, Task* succ) {
+  TaskDepState* st = pred->dep_state;
+  XTASK_CHECK(st != nullptr);  // preds are always dependence-registered
+  st->acquire();
+  if (st->completed) {
+    st->release();
+    return false;
+  }
+  succ->deps_pending.fetch_add(1, std::memory_order_relaxed);
+  st->successors.push_back(succ);
+  st->release();
+  return true;
+}
+
+std::uint32_t DepScope::register_task(Task* t, const Dep* deps,
+                                      std::size_t count) {
+  // Every dependence-registered task may become a predecessor later, so
+  // its successor state exists before the task becomes visible to other
+  // workers (this is what makes the completion path race-free without a
+  // pointer CAS).
+  t->dep_state = new TaskDepState;
+  // Registration guard: successors cannot release the task while we are
+  // still adding edges.
+  t->deps_pending.store(1, std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const Dep& d = deps[i];
+    AddrState& st = addrs_[d.addr];
+    if (d.write) {
+      // Writer: ordered after the previous writer and every reader since.
+      if (st.last_writer != nullptr && st.last_writer != t)
+        add_edge(st.last_writer, t);
+      for (Task* r : st.readers)
+        if (r != t) add_edge(r, t);
+      // Replace the frontier: drop map refs on the old entries, take one
+      // on the new writer.
+      if (st.last_writer != nullptr) dropped_.push_back(st.last_writer);
+      for (Task* r : st.readers) dropped_.push_back(r);
+      st.readers.clear();
+      st.last_writer = t;
+      t->refs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Reader: ordered after the last writer only; joins the reader set.
+      if (st.last_writer != nullptr && st.last_writer != t)
+        add_edge(st.last_writer, t);
+      st.readers.push_back(t);
+      t->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Drop the registration guard; the return value tells the caller
+  // whether the task is immediately dispatchable.
+  return t->deps_pending.fetch_sub(1, std::memory_order_acq_rel) - 1;
+}
+
+void DepScope::close(std::vector<Task*>* refs_out) {
+  for (auto& [addr, st] : addrs_) {
+    if (st.last_writer != nullptr) refs_out->push_back(st.last_writer);
+    for (Task* r : st.readers) refs_out->push_back(r);
+  }
+  addrs_.clear();
+  refs_out->insert(refs_out->end(), dropped_.begin(), dropped_.end());
+  dropped_.clear();
+}
+
+void collect_ready_successors(Task* t, std::vector<Task*>* ready) {
+  TaskDepState* st = t->dep_state;
+  if (st == nullptr) return;
+  st->acquire();
+  st->completed = true;
+  // Move the list out so the lock is held only for the swap.
+  std::vector<Task*> succs;
+  succs.swap(st->successors);
+  st->release();
+  for (Task* s : succs) {
+    if (s->deps_pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      ready->push_back(s);
+  }
+}
+
+}  // namespace xtask::detail

@@ -1,0 +1,104 @@
+// OpenMP-style task dependences (`depend(in:)/depend(out:)/depend(inout:)`)
+// for the xtask runtime.
+//
+// The paper's GOMP work strips the *global* lock from dependence handling;
+// the structure that remains (and that this module implements) is:
+//
+//  * a per-scope address map (last writer + readers per depend address).
+//    OpenMP only orders sibling tasks, and siblings are spawned by one
+//    thread — the parent's — so the map needs no synchronization at all;
+//  * per-task edges: an atomic count of unmet predecessors and, on each
+//    predecessor, a successor list consulted at completion. The list is
+//    guarded by a per-task micro spinlock held for a few instructions; it
+//    is only ever contended by one registering parent and one completing
+//    worker, never globally (contrast with GOMP's single task lock).
+//
+// A task with unmet dependences is *deferred*: created and counted as in
+// flight (so barriers stay correct) but not queued; the worker that
+// completes its last predecessor dispatches it through the normal
+// (XQueue / DLB) path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/task.hpp"
+
+namespace xtask {
+
+/// One dependence item: an address and an access mode.
+struct Dep {
+  const void* addr;
+  bool write;
+};
+
+/// depend(in: x) — reads x; ordered after the last writer of x.
+inline Dep din(const void* addr) noexcept { return {addr, false}; }
+/// depend(out: x) / depend(inout: x) — writes x; ordered after the last
+/// writer and all readers since.
+inline Dep dout(const void* addr) noexcept { return {addr, true}; }
+
+namespace detail {
+
+/// Per-task dependence state, allocated lazily (most tasks have none).
+struct TaskDepState {
+  /// Micro spinlock guarding `successors` + `completed`. See file comment
+  /// for why this is not the global-lock pattern the paper removes.
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  bool completed = false;
+  std::vector<Task*> successors;
+
+  void acquire() noexcept {
+    while (lock.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  void release() noexcept { lock.clear(std::memory_order_release); }
+};
+
+/// Per-scope (per parent task) dependence map. Created on first
+/// dependent spawn, destroyed when the owning task's body finishes.
+/// Accessed only by the thread executing the owning task.
+class DepScope {
+ public:
+  ~DepScope();
+
+  /// Register `t` with its dependence list. Returns the number of unmet
+  /// predecessors recorded into t->deps_pending; the caller defers
+  /// dispatch when it is nonzero. Takes map references (task refcounts)
+  /// on `t` as needed.
+  std::uint32_t register_task(Task* t, const Dep* deps, std::size_t count);
+
+  /// Tear down the scope: every task reference the map (or its history)
+  /// holds is appended to `refs_out` for the caller to deref. Must be
+  /// called before destruction.
+  void close(std::vector<Task*>* refs_out);
+
+ private:
+  struct AddrState {
+    Task* last_writer = nullptr;        // holds a task ref
+    std::vector<Task*> readers;         // each holds a task ref
+  };
+
+  /// Add edge pred -> succ if pred has not completed yet. Returns true
+  /// when an edge was created.
+  static bool add_edge(Task* pred, Task* succ);
+
+  std::unordered_map<const void*, AddrState> addrs_;
+  // Tasks whose frontier entry was replaced; their map refs are released
+  // in bulk at close() (bounded by the scope's spawn count).
+  std::vector<Task*> dropped_;
+};
+
+/// Completion hook: marks `t` complete and returns the successors whose
+/// dependence count reached zero (the caller dispatches them). No-op for
+/// tasks without dependence state.
+void collect_ready_successors(Task* t, std::vector<Task*>* ready);
+
+}  // namespace detail
+}  // namespace xtask

@@ -1,0 +1,64 @@
+// parallel_for: OpenMP-taskloop-style helper on top of the task API —
+// recursive range splitting down to a grain, one task per leaf. This is
+// the loop-to-tasks translation the paper's introduction describes
+// ("higher-level parallel constructs such as loops are translated into
+// fine-granularity tasks"), packaged as a library utility.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace xtask {
+
+namespace detail {
+
+template <typename Ctx, typename F>
+void parallel_for_rec(Ctx& ctx, std::size_t begin, std::size_t end,
+                      std::size_t grain, const F& body) {
+  if (end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  ctx.spawn([begin, mid, grain, &body](Ctx& c) {
+    parallel_for_rec(c, begin, mid, grain, body);
+  });
+  ctx.spawn([mid, end, grain, &body](Ctx& c) {
+    parallel_for_rec(c, mid, end, grain, body);
+  });
+  ctx.taskwait();
+}
+
+}  // namespace detail
+
+/// Run body(lo, hi) over disjoint chunks of [begin, end), each at most
+/// `grain` long, as parallel tasks. Blocks (at task level) until the whole
+/// range is processed. `body` must be safe to invoke concurrently on
+/// disjoint chunks; it is shared by reference, so it must outlive the
+/// call (it does: we taskwait).
+///
+/// Works with any context type (xtask, GOMP-like, LOMP-like, simulator,
+/// SerialContext).
+template <typename Ctx, typename F>
+  requires requires(Ctx& c) { c.taskwait(); }  // a task context
+void parallel_for(Ctx& ctx, std::size_t begin, std::size_t end,
+                  std::size_t grain, F&& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const F& body_ref = body;
+  detail::parallel_for_rec(ctx, begin, end, grain, body_ref);
+}
+
+/// Whole-region convenience: open a parallel region on `rt` just for this
+/// loop. Distinguished from the context overload by the absence of
+/// taskwait() (runtimes have run(), contexts have taskwait()).
+template <typename RuntimeT, typename F>
+  requires(!requires(RuntimeT& r) { r.taskwait(); })
+void parallel_for(RuntimeT& rt, std::size_t begin, std::size_t end,
+                  std::size_t grain, F&& body) {
+  rt.run([&](auto& ctx) {
+    parallel_for(ctx, begin, end, grain, body);
+  });
+}
+
+}  // namespace xtask

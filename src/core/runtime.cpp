@@ -1,0 +1,468 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+namespace xtask {
+
+namespace {
+
+/// Single-writer counter bump: the owner is the only writer, so a plain
+/// load+store (no RMW) is enough — this is the "lock-less" discipline the
+/// paper applies to everything outside the XGOMP task count.
+inline void bump(std::atomic<std::uint64_t>& c) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+Runtime::Runtime(Config cfg)
+    : cfg_(cfg),
+      topo_(cfg.numa_zones > 0
+                ? Topology::synthetic(cfg.num_threads, cfg.numa_zones)
+                : Topology::detect(cfg.num_threads)),
+      prof_(cfg.num_threads, cfg.profile_events),
+      xq_(cfg.num_threads, cfg.queue_capacity),
+      central_(cfg.num_threads),
+      tree_(cfg.num_threads),
+      pool_(cfg.allocator) {
+  XTASK_CHECK(cfg_.num_threads >= 1);
+  XTASK_CHECK(cfg_.num_threads <= steal::kMaxWorkerId);
+  workers_.reserve(static_cast<std::size_t>(cfg_.num_threads));
+  for (int i = 0; i < cfg_.num_threads; ++i) {
+    auto w = std::make_unique<detail::Worker>();
+    w->id = i;
+    w->rt = this;
+    w->rng = XorShift(cfg_.seed + static_cast<std::uint64_t>(i) * 0x51ed2701);
+    w->rr_cursor = static_cast<std::uint32_t>(i);  // round-robin starts at
+                                                   // the master queue
+    w->alloc = std::make_unique<TaskAllocator>(pool_);
+    workers_.push_back(std::move(w));
+  }
+  for (int i = 1; i < cfg_.num_threads; ++i)
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { thread_main(i); });
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    shutdown_ = true;
+  }
+  region_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  // Workers' allocators return descriptors to pool_ on destruction; destroy
+  // them before pool_ goes away.
+  workers_.clear();
+}
+
+void Runtime::thread_main(int id) {
+  detail::Worker& w = *workers_[static_cast<std::size_t>(id)];
+  std::uint64_t my_gen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(region_mu_);
+      region_cv_.wait(lock,
+                      [&] { return shutdown_ || region_gen_ > my_gen; });
+      if (shutdown_ && region_gen_ <= my_gen) return;
+      my_gen = region_gen_;
+    }
+    worker_loop(w, my_gen);
+    {
+      std::lock_guard<std::mutex> lock(region_mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void Runtime::run(std::function<void(TaskContext&)> root) {
+  detail::Worker& w0 = *workers_[0];
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    workers_done_ = 0;
+    gen = ++region_gen_;
+  }
+
+  // Create the root task *before* waking the team: its `created` increment
+  // is what keeps the tree barrier's census from declaring the region
+  // quiescent before the root body has run.
+  Task* root_task = allocate_task(w0, nullptr);
+  root_task->emplace([fn = std::move(root)](TaskContext& ctx) { fn(ctx); });
+
+  region_cv_.notify_all();
+
+  execute(w0, root_task);
+  worker_loop(w0, gen);
+
+  // Wait for the helper workers to observe the release and park again, so
+  // a subsequent run() cannot race with stragglers of this region.
+  std::unique_lock<std::mutex> lock(region_mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == cfg_.num_threads - 1; });
+}
+
+// --------------------------------------------------------------------------
+// Task lifecycle.
+
+Task* Runtime::allocate_task(detail::Worker& w, Task* parent) {
+  Task* t = w.alloc->allocate();
+  t->reset(parent, static_cast<std::uint16_t>(w.id));
+  if (parent != nullptr && parent->group != nullptr) {
+    t->group = parent->group;
+    t->group->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (parent != nullptr) {
+    // Owner-thread-only increments would be wrong here: any worker running
+    // `parent` may spawn concurrently with a sibling finishing, so these
+    // two do need RMW. They are on the (uncontended) parent task line, not
+    // on a global.
+    parent->refs.fetch_add(1, std::memory_order_relaxed);
+    parent->active_children.fetch_add(1, std::memory_order_relaxed);
+  }
+  bump(w.created);
+  prof_.thread(w.id).counters.ntasks_created++;
+  if (cfg_.barrier == BarrierKind::kCentral) central_.task_created();
+  return t;
+}
+
+Task* Runtime::dispatch(detail::Worker& w, Task* t) {
+  // NA-RP: a victim with an open redirect session sends new tasks to the
+  // thief instead of its static target (Alg. 3).
+  if (w.redirect_thief >= 0) {
+    if (xq_.push(w.id, w.redirect_thief, t)) {
+      ++w.redirect_pushed;
+      Counters& c = prof_.thread(w.id).counters;
+      if (topo_.local(w.id, w.redirect_thief))
+        c.nsteal_local++;
+      else
+        c.nsteal_remote++;
+      if (w.redirect_pushed >=
+          static_cast<std::uint32_t>(effective_dlb(w).n_steal))
+        end_redirect_session(w);
+      return nullptr;
+    }
+    // Thief queue full: the session ends (isTargetQFull branch of Alg. 3)
+    // and this task falls through to the static balancer.
+    prof_.thread(w.id).counters.nreq_target_full++;
+    end_redirect_session(w);
+  }
+
+  // Static round-robin over all workers, starting with the master queue
+  // (§II-B). A full target queue means the task runs immediately.
+  const int target = static_cast<int>(
+      w.rr_cursor % static_cast<std::uint32_t>(cfg_.num_threads));
+  ++w.rr_cursor;
+  if (xq_.push(w.id, target, t)) {
+    prof_.thread(w.id).counters.ntasks_static_push++;
+    return nullptr;
+  }
+  prof_.thread(w.id).counters.ntasks_imm_exec++;
+  return t;
+}
+
+void Runtime::execute(detail::Worker& w, Task* t) {
+  t->executor = static_cast<std::uint16_t>(w.id);
+  {
+    Counters& c = prof_.thread(w.id).counters;
+    if (t->creator == w.id)
+      c.ntasks_self++;
+    else if (topo_.local(w.id, t->creator))
+      c.ntasks_local++;
+    else
+      c.ntasks_remote++;
+  }
+  const bool sample = cfg_.dlb == DlbKind::kAdaptive &&
+                      (w.sample_tick++ & 15u) == 0;
+  const std::uint64_t t0 = sample ? rdtscp() : 0;
+  {
+    ScopedEvent ev(prof_.thread(w.id), EventKind::kTask);
+    TaskContext ctx(this, &w, t);
+    t->invoke(t, ctx);
+    if (ctx.dep_scope_) {
+      // Tear down the dependence scope: return the address-map's task
+      // references. Children themselves stay tracked via active_children.
+      std::vector<Task*> refs;
+      ctx.dep_scope_->close(&refs);
+      for (Task* r : refs) deref(w, r);
+    }
+  }
+  if (sample) {
+    // Includes nested child executions when the body ran some inline;
+    // still a usable size-class signal (and monotone with task size).
+    const std::uint64_t dt = rdtscp() - t0;
+    w.avg_task_cycles =
+        w.avg_task_cycles == 0 ? dt
+                               : w.avg_task_cycles + (dt - w.avg_task_cycles) / 8;
+  }
+  finish(w, t);
+}
+
+void Runtime::finish(detail::Worker& w, Task* t) {
+  Task* parent = t->parent;
+  std::atomic<std::uint64_t>* group = t->group;
+  bump(w.executed);
+  prof_.thread(w.id).counters.ntasks_executed++;
+  if (cfg_.barrier == BarrierKind::kCentral) central_.task_finished();
+  // Release dependent successors whose last predecessor this was; they
+  // enter the normal dispatch path on this worker.
+  if (t->dep_state != nullptr) {
+    std::vector<Task*> ready;
+    detail::collect_ready_successors(t, &ready);
+    for (Task* succ : ready) {
+      if (Task* overflow = dispatch(w, succ)) execute(w, overflow);
+    }
+  }
+  deref(w, t);
+  if (parent != nullptr) {
+    // Release so the waiting parent's acquire load sees this child's
+    // side effects once the count hits zero.
+    parent->active_children.fetch_sub(1, std::memory_order_release);
+    deref(w, parent);
+  }
+  // Group membership is released last so group_wait's zero implies every
+  // member's effects (release/acquire pair with the waiting loop).
+  if (group != nullptr) group->fetch_sub(1, std::memory_order_release);
+}
+
+void Runtime::deref(detail::Worker& w, Task* t) noexcept {
+  if (t->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete t->dep_state;  // safe: no edges can target a fully-released task
+    t->dep_state = nullptr;
+    w.alloc->release(t);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Scheduling.
+
+Task* Runtime::find_task(detail::Worker& w) {
+  Task* t = xq_.pop(w.id);
+  if (t != nullptr) {
+    w.idle_polls = 0;
+    w.request_round_open = false;
+    if (cfg_.dlb != DlbKind::kNone) victim_check(w);
+  }
+  return t;
+}
+
+void Runtime::idle_step(detail::Worker& w) {
+  // A victim that went idle mid-redirect flushes the session: it has no
+  // more spawns to redirect, so it re-opens itself to new requests.
+  if (w.redirect_thief >= 0) end_redirect_session(w);
+
+  if (cfg_.dlb != DlbKind::kNone && cfg_.num_threads > 1) {
+    if (!w.request_round_open) {
+      thief_send_requests(w);
+      w.request_round_open = true;
+      w.idle_polls = 0;
+    } else if (++w.idle_polls >= effective_dlb(w).t_interval) {
+      // Timeout (§IV-B): request lost/overwritten or victim idle — retry.
+      thief_send_requests(w);
+      w.idle_polls = 0;
+    }
+    // Even an idle worker can be a victim of redirected pushes building up
+    // work for it, and — for NA-WS — of batch migration; it must keep
+    // handling requests so two mutually-idle workers cannot livelock on
+    // unanswered cells.
+    victim_check(w);
+  }
+  cpu_pause();
+}
+
+void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
+  bool arrived = false;
+  int consecutive_idle = 0;
+  std::uint64_t stall_start = 0;
+  ThreadProfile& prof = prof_.thread(w.id);
+
+  for (;;) {
+    if (Task* t = find_task(w)) {
+      if (stall_start != 0) {
+        prof.record(EventKind::kStall, stall_start, rdtscp());
+        stall_start = 0;
+      }
+      consecutive_idle = 0;
+      execute(w, t);
+      continue;
+    }
+    if (stall_start == 0 && prof_.events_enabled()) stall_start = rdtscp();
+    idle_step(w);
+
+    bool released = false;
+    if (cfg_.barrier == BarrierKind::kCentral) {
+      if (!arrived) {
+        central_.arrive(gen);
+        arrived = true;
+      }
+      released = central_.poll(gen);
+    } else {
+      released = tree_.poll(w.id, w.created.load(std::memory_order_relaxed),
+                            w.executed.load(std::memory_order_relaxed), gen);
+    }
+    if (released) {
+      if (stall_start != 0)
+        prof.record(EventKind::kStall, stall_start, rdtscp());
+      return;
+    }
+    if (cfg_.yield_after_idle > 0 &&
+        ++consecutive_idle >= cfg_.yield_after_idle) {
+      // Oversubscribed host: give the thread holding actual work a core.
+      std::this_thread::yield();
+      consecutive_idle = 0;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Dynamic load balancing.
+
+DlbConfig Runtime::effective_dlb(const detail::Worker& w) const noexcept {
+  if (cfg_.dlb != DlbKind::kAdaptive) return cfg_.dlb_cfg;
+  // Table IV guideline rows, keyed by this worker's sampled task size.
+  const std::uint64_t s = w.avg_task_cycles;
+  if (s == 0 || s < 100) return {1, 2, 10'000, 1.0};
+  if (s < 1'000) return {4, 16, 10'000, 1.0};
+  if (s < 10'000) return {8, 32, 10'000, 0.5};
+  return {24, 32, 1'000, 0.08};  // RP row (Table IV: P_local 3-12%)
+}
+
+DlbKind Runtime::effective_strategy(const detail::Worker& w) const noexcept {
+  if (cfg_.dlb != DlbKind::kAdaptive) return cfg_.dlb;
+  return w.avg_task_cycles >= 10'000 ? DlbKind::kRedirectPush
+                                     : DlbKind::kWorkSteal;
+}
+
+void Runtime::thief_send_requests(detail::Worker& w) {
+  Counters& c = prof_.thread(w.id).counters;
+  const DlbConfig dc = effective_dlb(w);
+  for (int i = 0; i < dc.n_victim; ++i) {
+    const int v = pick_victim(topo_, w.id, dc.p_local, w.rng);
+    if (v < 0) return;
+    if (workers_[static_cast<std::size_t>(v)]->cells.try_request(w.id))
+      c.nreq_sent++;
+  }
+}
+
+void Runtime::victim_check(detail::Worker& w) {
+  if (w.redirect_thief >= 0) return;  // NA-RP session in progress
+  const int thief = w.cells.poll_request();
+  if (thief < 0 || thief == w.id) return;
+  Counters& c = prof_.thread(w.id).counters;
+  c.nreq_handled++;
+  if (effective_strategy(w) == DlbKind::kRedirectPush) {
+    // Open a redirect session (Alg. 3); the round completes when the
+    // session ends so only one redirect target is active at a time.
+    w.redirect_thief = thief;
+    w.redirect_pushed = 0;
+  } else {
+    do_work_steal(w, thief);
+    w.cells.complete_round();
+  }
+}
+
+void Runtime::do_work_steal(detail::Worker& w, int thief) {
+  // Alg. 4: migrate up to n_steal queued tasks from our own queues into
+  // the thief's queue that we produce for — every hop stays SPSC-legal.
+  Counters& c = prof_.thread(w.id).counters;
+  const std::uint32_t n_steal =
+      static_cast<std::uint32_t>(effective_dlb(w).n_steal);
+  std::uint32_t moved = 0;
+  while (moved < n_steal) {
+    Task* t = xq_.pop(w.id);
+    if (t == nullptr) {
+      if (moved == 0) c.nreq_src_empty++;
+      break;
+    }
+    if (!xq_.push(w.id, thief, t)) {
+      c.nreq_target_full++;
+      // Could not hand it over; keep it for ourselves. Our master queue
+      // may itself be full, in which case the task runs right here.
+      if (!xq_.push(w.id, w.id, t)) {
+        prof_.thread(w.id).counters.ntasks_imm_exec++;
+        execute(w, t);
+      }
+      break;
+    }
+    ++moved;
+  }
+  if (moved > 0) {
+    c.nreq_has_steal++;
+    if (topo_.local(w.id, thief))
+      c.nsteal_local += moved;
+    else
+      c.nsteal_remote += moved;
+  }
+}
+
+void Runtime::end_redirect_session(detail::Worker& w) {
+  if (w.redirect_thief < 0) return;
+  if (w.redirect_pushed > 0)
+    prof_.thread(w.id).counters.nreq_has_steal++;
+  else
+    prof_.thread(w.id).counters.nreq_src_empty++;
+  w.redirect_thief = -1;
+  w.redirect_pushed = 0;
+  w.cells.complete_round();
+}
+
+void Runtime::group_wait(detail::Worker& w,
+                         std::atomic<std::uint64_t>& live) {
+  int consecutive_idle = 0;
+  while (live.load(std::memory_order_acquire) != 0) {
+    if (Task* other = find_task(w)) {
+      consecutive_idle = 0;
+      execute(w, other);
+      continue;
+    }
+    idle_step(w);
+    if (cfg_.yield_after_idle > 0 &&
+        ++consecutive_idle >= cfg_.yield_after_idle) {
+      std::this_thread::yield();
+      consecutive_idle = 0;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// TaskContext.
+
+bool TaskContext::taskyield() {
+  detail::Worker& w = *w_;
+  if (Task* t = rt_->find_task(w)) {
+    rt_->execute(w, t);
+    return true;
+  }
+  return false;
+}
+
+void TaskContext::taskwait() {
+  if (current_ == nullptr) return;
+  if (current_->active_children.load(std::memory_order_acquire) == 0) return;
+  ScopedEvent ev(rt_->profiler().thread(w_->id), EventKind::kTaskWait);
+  detail::Worker& w = *w_;
+  int consecutive_idle = 0;
+  while (current_->active_children.load(std::memory_order_acquire) != 0) {
+    if (Task* t = rt_->find_task(w)) {
+      consecutive_idle = 0;
+      rt_->execute(w, t);
+      continue;
+    }
+    rt_->idle_step(w);
+    if (rt_->cfg_.yield_after_idle > 0 &&
+        ++consecutive_idle >= rt_->cfg_.yield_after_idle) {
+      std::this_thread::yield();
+      consecutive_idle = 0;
+    }
+  }
+}
+
+}  // namespace xtask

@@ -1,0 +1,315 @@
+// The xtask runtime: an OpenMP-style task-parallel team built on XQueue,
+// with pluggable barriers (centralized vs. distributed tree) and lock-less
+// NUMA-aware dynamic load balancing (paper §III-§IV).
+//
+// Usage:
+//   xtask::Config cfg;
+//   cfg.num_threads = 8;
+//   xtask::Runtime rt(cfg);
+//   long result = 0;
+//   rt.run([&](xtask::TaskContext& ctx) {
+//     ctx.spawn([&](xtask::TaskContext&) { ...child work... });
+//     ctx.taskwait();
+//   });
+//
+// The calling thread becomes worker 0 for the duration of run(); the
+// remaining workers are persistent threads parked between regions.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/central_barrier.hpp"
+#include "core/common.hpp"
+#include "core/dependency.hpp"
+#include "core/steal_protocol.hpp"
+#include "core/task.hpp"
+#include "core/task_allocator.hpp"
+#include "core/topology.hpp"
+#include "core/tree_barrier.hpp"
+#include "core/xqueue.hpp"
+#include "prof/profiler.hpp"
+
+namespace xtask {
+
+/// Which team barrier terminates a parallel region.
+enum class BarrierKind {
+  /// Centralized: shared arrival counter + atomic global task count. This
+  /// is the XGOMP configuration (§III-A) — lock-less queues but one hot
+  /// atomic per task create/finish.
+  kCentral,
+  /// Distributed tree barrier with census-based quiescence detection: the
+  /// XGOMPTB configuration (§III-B). No global task count is maintained.
+  kTree,
+};
+
+/// Dynamic load balancing strategy (paper §IV).
+enum class DlbKind {
+  kNone,          // static round-robin only (SLB)
+  kRedirectPush,  // NA-RP: victims redirect newly created tasks (§IV-C)
+  kWorkSteal,     // NA-WS: victims migrate queued tasks in batches (§IV-D)
+  /// Adaptive (the paper's §X future work): each worker samples its own
+  /// task execution times with rdtscp and derives its strategy and
+  /// parameters from the Table IV guidelines — NA-WS with size-scaled
+  /// steal batches for fine tasks, NA-RP with large local batches for
+  /// tasks above 1e4 cycles. Fully distributed: no shared tuning state.
+  kAdaptive,
+};
+
+/// DLB tuning knobs (§IV-E).
+struct DlbConfig {
+  int n_victim = 1;       // victims contacted per request round
+  int n_steal = 8;        // max tasks stolen/redirected per request
+  std::uint64_t t_interval = 10'000;  // idle polls between request rounds
+  double p_local = 1.0;   // probability of picking a NUMA-local victim
+};
+
+struct Config {
+  int num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  std::uint32_t queue_capacity = 2048;  // per SPSC queue, power of two
+  BarrierKind barrier = BarrierKind::kTree;
+  DlbKind dlb = DlbKind::kNone;
+  DlbConfig dlb_cfg;
+  AllocatorMode allocator = AllocatorMode::kMultiLevel;
+  /// 0 = detect topology from the OS; otherwise build a synthetic topology
+  /// with this many NUMA zones (used on single-node hosts and in tests).
+  int numa_zones = 0;
+  bool profile_events = false;  // record per-event timelines (§V)
+  std::uint64_t seed = 42;      // base seed for per-worker victim RNGs
+  /// Call sched_yield after this many consecutive empty polls, so the
+  /// runtime stays live when threads outnumber cores (oversubscribed CI
+  /// hosts). 0 disables yielding.
+  int yield_after_idle = 64;
+};
+
+class Runtime;
+class TaskContext;
+
+namespace detail {
+
+/// Per-worker state. One instance per worker thread, touched almost
+/// exclusively by its owner; the shared cells (counters for the census,
+/// round/request for the steal protocol) are padded.
+struct Worker {
+  int id = 0;
+  Runtime* rt = nullptr;
+
+  // Monotone lifetime counters, read by the tree barrier census.
+  alignas(kCacheLine) std::atomic<std::uint64_t> created{0};
+  std::atomic<std::uint64_t> executed{0};
+
+  // Lock-less steal-protocol cells (victim role).
+  StealCells cells;
+
+  // Owner-private scheduling state.
+  alignas(kCacheLine) XorShift rng;
+  // Adaptive DLB: exponential moving average of sampled task sizes
+  // (rdtscp cycles; one task in 16 is timed) — 0 means "no estimate yet".
+  std::uint64_t avg_task_cycles = 0;
+  std::uint32_t sample_tick = 0;
+  std::uint32_t rr_cursor = 0;       // static round-robin push target
+  int redirect_thief = -1;           // NA-RP: active redirect target
+  std::uint32_t redirect_pushed = 0;
+  std::uint64_t idle_polls = 0;      // thief timeout counter (T_interval)
+  bool request_round_open = false;   // sent requests, awaiting work
+  std::unique_ptr<TaskAllocator> alloc;
+  std::thread thread;                // empty for worker 0 (caller thread)
+};
+
+}  // namespace detail
+
+/// Handle passed to every task body; the only way tasks interact with the
+/// runtime. Valid only during the task invocation it was created for.
+class TaskContext {
+ public:
+  int worker_id() const noexcept;
+  Runtime& runtime() const noexcept { return *rt_; }
+
+  /// Spawn a child task. F must be invocable as f(TaskContext&) and its
+  /// captures must fit Task::kPayloadBytes. The child may run on any
+  /// worker, immediately on this one if the target queue is full.
+  template <typename F>
+  void spawn(F&& f);
+
+  /// Spawn a child task ordered by OpenMP-style dependences (see
+  /// dependency.hpp): `ctx.spawn(body, {din(&x), dout(&y)})`. Dependences
+  /// order this task against *sibling* tasks of the same parent that
+  /// named overlapping addresses. A task with unmet predecessors is
+  /// deferred and dispatched by whichever worker completes its last
+  /// predecessor.
+  template <typename F>
+  void spawn(F&& f, std::initializer_list<Dep> deps);
+
+  /// Wait until all children spawned by the current task have completed,
+  /// executing other tasks while waiting (OpenMP taskwait semantics).
+  /// Note: also waits for deferred dependent children (they are children
+  /// like any other).
+  void taskwait();
+
+  /// Cooperatively run at most one other ready task, then return (OpenMP
+  /// taskyield semantics). Useful inside long-running tasks to keep the
+  /// worker responsive to its victim duties; returns true if a task ran.
+  bool taskyield();
+
+  /// OpenMP taskgroup: run `body` (which may spawn), then wait until every
+  /// task spawned *within the group's dynamic extent on this task* has
+  /// completed — including grandchildren, which plain taskwait does not
+  /// cover. Implemented by running the body as a synthetic child task and
+  /// waiting on its whole subtree.
+  template <typename F>
+  void taskgroup(F&& body);
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
+
+ private:
+  friend class Runtime;
+  TaskContext(Runtime* rt, detail::Worker* w, Task* current) noexcept
+      : rt_(rt), w_(w), current_(current) {}
+
+  Runtime* rt_;
+  detail::Worker* w_;
+  Task* current_;  // task being executed; parent for spawns
+  // Dependence scope for this task's children; lazily created on the
+  // first dependent spawn, torn down when the task body returns.
+  std::unique_ptr<detail::DepScope> dep_scope_;
+};
+
+/// A persistent team of workers executing task-parallel regions.
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute one parallel region: `root` runs as the root task on worker 0
+  /// (the calling thread) and the region ends when all transitively
+  /// spawned tasks have completed (implicit team barrier).
+  void run(std::function<void(TaskContext&)> root);
+
+  const Config& config() const noexcept { return cfg_; }
+  const Topology& topology() const noexcept { return topo_; }
+  Profiler& profiler() noexcept { return prof_; }
+  const Profiler& profiler() const noexcept { return prof_; }
+
+ private:
+  friend class TaskContext;
+
+  // --- task lifecycle ---------------------------------------------------
+  Task* allocate_task(detail::Worker& w, Task* parent);
+  /// Queue `t` (redirect session or static round-robin). Returns nullptr
+  /// when queued, or `t` back when every queue was full and the caller
+  /// must execute it immediately (§II-B).
+  Task* dispatch(detail::Worker& w, Task* t);
+  void execute(detail::Worker& w, Task* t);           // run + finish
+  void finish(detail::Worker& w, Task* t);            // completion protocol
+  void deref(detail::Worker& w, Task* t) noexcept;
+
+  // --- scheduling -------------------------------------------------------
+  Task* find_task(detail::Worker& w);
+  /// Help execute tasks until a taskgroup's live counter drains to zero.
+  void group_wait(detail::Worker& w, std::atomic<std::uint64_t>& live);
+  void worker_loop(detail::Worker& w, std::uint64_t gen);
+  void idle_step(detail::Worker& w);
+
+  // --- DLB --------------------------------------------------------------
+  /// Effective knobs for `w` right now: the static config, or the
+  /// Table IV guideline row for w's measured task size under kAdaptive.
+  DlbConfig effective_dlb(const detail::Worker& w) const noexcept;
+  /// Strategy `w` applies as a victim (kAdaptive picks RP vs WS by size).
+  DlbKind effective_strategy(const detail::Worker& w) const noexcept;
+  void victim_check(detail::Worker& w);
+  void do_work_steal(detail::Worker& w, int thief);
+  void end_redirect_session(detail::Worker& w);
+  void thief_send_requests(detail::Worker& w);
+
+  // --- team management --------------------------------------------------
+  void thread_main(int id);
+
+  Config cfg_;
+  Topology topo_;
+  Profiler prof_;
+  XQueue xq_;
+  CentralBarrier central_;
+  TreeBarrier tree_;
+  TaskAllocator::SharedPool pool_;
+  std::vector<std::unique_ptr<detail::Worker>> workers_;
+
+  // Region lifecycle: workers park on region_cv_ between runs.
+  std::mutex region_mu_;
+  std::condition_variable region_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t region_gen_ = 0;   // generation being executed
+  int workers_done_ = 0;           // helpers finished with current region
+  bool shutdown_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Inline / template implementations.
+
+inline int TaskContext::worker_id() const noexcept { return w_->id; }
+
+template <typename F>
+void TaskContext::spawn(F&& f) {
+  detail::Worker& w = *w_;
+  Task* overflow;
+  {
+    // Creation (allocate + enqueue) is its own profiling event; if the
+    // task overflows to immediate execution, that runs as a kTask event
+    // outside this scope so the two do not nest.
+    ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskCreate);
+    Task* t = rt_->allocate_task(w, current_);
+    t->emplace(std::forward<F>(f));
+    overflow = rt_->dispatch(w, t);
+  }
+  if (overflow != nullptr) rt_->execute(w, overflow);
+}
+
+template <typename F>
+void TaskContext::taskgroup(F&& body) {
+  // The group body runs immediately on this worker as a child task that
+  // carries a live-task counter; every descendant spawned inside the
+  // group inherits the counter (allocate_task) and decrements it at
+  // completion (finish), so waiting for zero covers the whole dynamic
+  // extent — grandchildren included, unlike taskwait.
+  detail::Worker& w = *w_;
+  std::atomic<std::uint64_t> live{1};  // the body task itself
+  Task* t = rt_->allocate_task(w, current_);
+  // allocate_task enrolled the body in the *enclosing* group (if any);
+  // undo that — the enclosing group is covered transitively because this
+  // call blocks inside the current task until the inner extent drains.
+  if (t->group != nullptr)
+    t->group->fetch_sub(1, std::memory_order_relaxed);
+  t->group = &live;
+  t->emplace(std::forward<F>(body));
+  rt_->execute(w, t);
+  rt_->group_wait(w, live);
+}
+
+template <typename F>
+void TaskContext::spawn(F&& f, std::initializer_list<Dep> deps) {
+  detail::Worker& w = *w_;
+  Task* overflow = nullptr;
+  {
+    ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskCreate);
+    Task* t = rt_->allocate_task(w, current_);
+    t->emplace(std::forward<F>(f));
+    if (!dep_scope_) dep_scope_ = std::make_unique<detail::DepScope>();
+    const std::uint32_t unmet =
+        dep_scope_->register_task(t, deps.begin(), deps.size());
+    if (unmet == 0) overflow = rt_->dispatch(w, t);
+    // else: deferred — the worker completing the last predecessor
+    // dispatches it (Runtime::finish).
+  }
+  if (overflow != nullptr) rt_->execute(w, overflow);
+}
+
+}  // namespace xtask

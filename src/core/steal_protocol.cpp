@@ -1,0 +1,37 @@
+#include "core/steal_protocol.hpp"
+
+namespace xtask {
+
+int pick_victim(const Topology& topo, int self, double p_local,
+                XorShift& rng) noexcept {
+  const int n = topo.num_workers();
+  if (n <= 1) return -1;
+
+  const auto& peers = topo.peers_of(self);
+  const bool have_local = peers.size() > 1;
+  const bool have_remote = static_cast<int>(peers.size()) < n;
+  bool go_local = rng.uniform() < p_local;
+  if (go_local && !have_local) go_local = false;
+  if (!go_local && !have_remote) go_local = true;
+
+  if (go_local) {
+    // Uniform over local peers excluding self.
+    const std::uint64_t k = rng.below(peers.size() - 1);
+    const int v = peers[static_cast<std::size_t>(k)];
+    return v == self ? peers.back() : v;
+  }
+  // Uniform over remote workers: draw from the non-peer count and skip the
+  // contiguous local block ("close" affinity makes zones contiguous, but we
+  // do not rely on that — we draw by rank among remote workers).
+  const int remote_count = n - static_cast<int>(peers.size());
+  std::uint64_t k = rng.below(static_cast<std::uint64_t>(remote_count));
+  const int my_zone = topo.zone_of(self);
+  for (int w = 0; w < n; ++w) {
+    if (topo.zone_of(w) == my_zone) continue;
+    if (k == 0) return w;
+    --k;
+  }
+  return -1;  // unreachable
+}
+
+}  // namespace xtask

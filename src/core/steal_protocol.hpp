@@ -1,0 +1,87 @@
+// Lock-less messaging protocol for dynamic load balancing (paper §IV-B,
+// Alg. 1 & 2): every worker owns a 64-bit *round* cell and a 64-bit
+// *request* cell. A thief writes `pack(thief_id, victim_round)` into the
+// victim's request cell; the victim recognizes the request as valid only if
+// the embedded round equals its current round, handles it, and increments
+// the round. Requests may be overwritten by competing thieves — that is the
+// accepted lock-less trade-off, recovered by the thief's timeout retry.
+//
+// Layout follows the paper exactly: low 40 bits round number, high 24 bits
+// worker id.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/common.hpp"
+#include "core/topology.hpp"
+
+namespace xtask {
+
+namespace steal {
+
+inline constexpr int kRoundBits = 40;
+inline constexpr std::uint64_t kRoundMask = (1ull << kRoundBits) - 1;
+inline constexpr int kMaxWorkerId = (1 << (64 - kRoundBits)) - 1;
+
+constexpr std::uint64_t pack(int thief_id, std::uint64_t round) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(thief_id))
+          << kRoundBits) |
+         (round & kRoundMask);
+}
+constexpr int thief_of(std::uint64_t request) noexcept {
+  return static_cast<int>(request >> kRoundBits);
+}
+constexpr std::uint64_t round_of(std::uint64_t request) noexcept {
+  return request & kRoundMask;
+}
+
+}  // namespace steal
+
+/// The two per-worker cells. Padded so the victim's round (written by the
+/// victim, polled by thieves) and the request cell (written by thieves,
+/// polled by the victim) do not false-share.
+struct StealCells {
+  /// Monotone, starts at 1 (paper §IV-B); owned by the victim.
+  alignas(kCacheLine) std::atomic<std::uint64_t> round{1};
+  /// Written by thieves, consumed by the victim.
+  alignas(kCacheLine) std::atomic<std::uint64_t> request{0};
+
+  /// Thief side of Alg. 1: attempt to register `thief_id` with this
+  /// victim. Returns true when the request was written (no newer request
+  /// was already pending). Never uses RMW: a racing thief may overwrite
+  /// us, which the timeout logic absorbs.
+  bool try_request(int thief_id) noexcept {
+    const std::uint64_t req = request.load(std::memory_order_acquire);
+    const std::uint64_t r = round.load(std::memory_order_acquire);
+    if (steal::round_of(req) >= r) return false;  // a request is pending
+    request.store(steal::pack(thief_id, r), std::memory_order_release);
+    return true;
+  }
+
+  /// Victim side of Alg. 2: check for a valid request. Returns the thief
+  /// id, or -1 when no valid request is pending. Does NOT advance the
+  /// round — the victim calls `complete_round()` once it finished (or
+  /// abandoned) load balancing, making it willing to take new requests.
+  int poll_request() noexcept {
+    const std::uint64_t req = request.load(std::memory_order_acquire);
+    const std::uint64_t r = round.load(std::memory_order_relaxed);
+    if (steal::round_of(req) != r) return -1;
+    return steal::thief_of(req);
+  }
+
+  void complete_round() noexcept {
+    round.store(round.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+};
+
+/// Conditionally-random victim selection (paper §IV-B, after [11]): with
+/// probability `p_local` pick a NUMA-local victim, otherwise a remote one.
+/// Falls back to any-other-worker when the preferred class is empty (e.g.
+/// a single-member zone has no local victims). Returns -1 when there is no
+/// other worker at all.
+int pick_victim(const Topology& topo, int self, double p_local,
+                XorShift& rng) noexcept;
+
+}  // namespace xtask

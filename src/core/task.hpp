@@ -1,0 +1,90 @@
+// Task representation for the xtask runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "core/common.hpp"
+
+namespace xtask {
+
+class TaskContext;
+
+namespace detail {
+struct TaskDepState;  // dependency.hpp
+}
+
+/// A unit of work: a type-erased functor plus the dependency bookkeeping
+/// needed for `taskwait` and for task lifetime.
+///
+/// Lifetime follows a reference count: one reference for the task's own
+/// execution plus one per outstanding child. A child finishing decrements
+/// its parent's count; the task is recycled when the count reaches zero.
+/// This supports the OpenMP-style structure the paper's benchmarks use
+/// (spawn children, `taskwait`, return) but stays correct even when a
+/// parent finishes without waiting.
+struct alignas(kCacheLine) Task {
+  /// Space for the captured functor. Sized so that sizeof(Task) is exactly
+  /// three cache lines; BOTS-style closures (a few ints and pointers) fit
+  /// without heap spill.
+  static constexpr std::size_t kPayloadBytes = 128;
+
+  using InvokeFn = void (*)(Task*, TaskContext&);
+
+  InvokeFn invoke = nullptr;        // runs and destroys the payload
+  Task* parent = nullptr;           // dependency edge for taskwait
+  std::atomic<std::uint32_t> refs{1};          // 1 (self) + live children
+  std::atomic<std::uint32_t> active_children{0};  // children not yet done
+  /// Unmet `depend` predecessors + the registration guard (see
+  /// dependency.hpp); 0 for ordinary tasks.
+  std::atomic<std::uint32_t> deps_pending{0};
+  std::uint16_t creator = 0;        // worker id that spawned this task
+  std::uint16_t executor = 0;       // worker id that ran it (profiling)
+  /// Successor bookkeeping when this task is a `depend` predecessor;
+  /// owned by the task, freed when the descriptor is recycled.
+  detail::TaskDepState* dep_state = nullptr;
+  /// Live-task counter of the innermost enclosing taskgroup (nullptr when
+  /// not in a group). Inherited by descendants at spawn; decremented at
+  /// completion. The counter lives on the taskgroup caller's stack, which
+  /// outlives every group member by construction.
+  std::atomic<std::uint64_t>* group = nullptr;
+
+  alignas(16) unsigned char payload[kPayloadBytes];
+
+  /// Construct the functor in-place. F must be invocable as f(TaskContext&).
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kPayloadBytes,
+                  "task closure too large for inline payload");
+    static_assert(std::is_invocable_v<Fn&, TaskContext&>,
+                  "task body must be callable with (TaskContext&)");
+    ::new (static_cast<void*>(payload)) Fn(std::forward<F>(f));
+    invoke = [](Task* t, TaskContext& ctx) {
+      Fn* fn = std::launder(reinterpret_cast<Fn*>(t->payload));
+      (*fn)(ctx);
+      fn->~Fn();
+    };
+  }
+
+  /// Reset bookkeeping for reuse from an allocator free list. The caller
+  /// (Runtime::deref) has already freed dep_state.
+  void reset(Task* p, std::uint16_t creator_tid) noexcept {
+    invoke = nullptr;
+    parent = p;
+    refs.store(1, std::memory_order_relaxed);
+    active_children.store(0, std::memory_order_relaxed);
+    deps_pending.store(0, std::memory_order_relaxed);
+    creator = creator_tid;
+    executor = creator_tid;
+    dep_state = nullptr;
+    group = nullptr;
+  }
+};
+
+static_assert(sizeof(Task) == 3 * kCacheLine, "Task should be 3 cache lines");
+
+}  // namespace xtask

@@ -1,0 +1,115 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/common.hpp"
+
+namespace xtask {
+
+Topology Topology::synthetic(int num_workers, int num_zones) {
+  XTASK_CHECK(num_workers > 0);
+  num_zones = std::clamp(num_zones, 1, num_workers);
+  Topology t;
+  t.zone_of_.resize(static_cast<size_t>(num_workers));
+  t.members_.resize(static_cast<size_t>(num_zones));
+  // Contiguous striping ("close" affinity): the first ceil(n/z) workers in
+  // zone 0, etc. Zones differ in size by at most one worker.
+  const int base = num_workers / num_zones;
+  const int extra = num_workers % num_zones;
+  int w = 0;
+  for (int z = 0; z < num_zones; ++z) {
+    const int count = base + (z < extra ? 1 : 0);
+    for (int i = 0; i < count; ++i, ++w) {
+      t.zone_of_[static_cast<size_t>(w)] = z;
+      t.members_[static_cast<size_t>(z)].push_back(w);
+    }
+  }
+  return t;
+}
+
+namespace {
+
+// Parse a Linux cpulist string such as "0-3,8,10-11" into cpu ids.
+std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    const auto dash = tok.find('-');
+    if (dash == std::string::npos) {
+      cpus.push_back(std::atoi(tok.c_str()));
+    } else {
+      const int lo = std::atoi(tok.substr(0, dash).c_str());
+      const int hi = std::atoi(tok.substr(dash + 1).c_str());
+      for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    }
+  }
+  return cpus;
+}
+
+}  // namespace
+
+Topology Topology::detect(int num_workers) {
+  XTASK_CHECK(num_workers > 0);
+  // Enumerate /sys/devices/system/node/nodeN/cpulist.
+  std::vector<std::vector<int>> node_cpus;
+  for (int n = 0;; ++n) {
+    char path[128];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/node/node%d/cpulist", n);
+    std::ifstream f(path);
+    if (!f.good()) break;
+    std::string line;
+    std::getline(f, line);
+    auto cpus = parse_cpulist(line);
+    if (!cpus.empty()) node_cpus.push_back(std::move(cpus));
+  }
+  if (node_cpus.size() <= 1) return synthetic(num_workers, 1);
+
+  // Map cpu id -> node, then workers are bound to online cpus in id order
+  // (close affinity), wrapping if there are more workers than cpus.
+  std::vector<std::pair<int, int>> cpu_node;  // (cpu, node)
+  for (size_t n = 0; n < node_cpus.size(); ++n)
+    for (int c : node_cpus[n]) cpu_node.emplace_back(c, static_cast<int>(n));
+  std::sort(cpu_node.begin(), cpu_node.end());
+
+  Topology t;
+  t.zone_of_.resize(static_cast<size_t>(num_workers));
+  t.members_.resize(node_cpus.size());
+  for (int w = 0; w < num_workers; ++w) {
+    const int node = cpu_node[static_cast<size_t>(w) % cpu_node.size()].second;
+    t.zone_of_[static_cast<size_t>(w)] = node;
+    t.members_[static_cast<size_t>(node)].push_back(w);
+  }
+  // Drop zones that received no workers (possible when workers < nodes) so
+  // num_zones() reflects populated zones only.
+  std::vector<std::vector<int>> populated;
+  std::vector<int> remap(t.members_.size(), -1);
+  for (size_t z = 0; z < t.members_.size(); ++z) {
+    if (!t.members_[z].empty()) {
+      remap[z] = static_cast<int>(populated.size());
+      populated.push_back(std::move(t.members_[z]));
+    }
+  }
+  for (auto& z : t.zone_of_) z = remap[static_cast<size_t>(z)];
+  t.members_ = std::move(populated);
+  return t;
+}
+
+std::string Topology::describe() const {
+  std::string out = "topology: " + std::to_string(num_workers()) +
+                    " workers / " + std::to_string(num_zones()) + " zones [";
+  for (int z = 0; z < num_zones(); ++z) {
+    if (z) out += ", ";
+    out += "z" + std::to_string(z) + ":" +
+           std::to_string(zone_members(z).size());
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace xtask

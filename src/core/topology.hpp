@@ -1,0 +1,61 @@
+// NUMA topology abstraction: maps worker ids to NUMA zones and answers
+// locality queries for the NUMA-aware load balancers (paper §IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xtask {
+
+/// Describes how worker threads are laid out over NUMA zones.
+///
+/// The paper evaluates on a Skylake-192 with 8 NUMA zones and binds threads
+/// with `close` affinity: workers [0,24) live in zone 0, [24,48) in zone 1,
+/// and so on. `Topology` reproduces that mapping. When the host genuinely
+/// has multiple NUMA nodes the mapping can be read from sysfs
+/// (`Topology::detect`); on single-node hosts (such as this reproduction's
+/// build machine) a synthetic topology keeps every NUMA-aware code path live
+/// by partitioning workers into virtual zones.
+class Topology {
+ public:
+  /// Synthetic topology: `num_workers` workers striped contiguously
+  /// ("close" affinity) over `num_zones` zones. Zones are balanced to within
+  /// one worker. `num_zones` is clamped to [1, num_workers].
+  static Topology synthetic(int num_workers, int num_zones);
+
+  /// Topology read from the operating system (Linux sysfs). Workers are
+  /// assumed bound round-robin over online CPUs in id order, matching
+  /// OMP_PLACES=cores + close affinity. Falls back to a single zone when
+  /// sysfs is unavailable.
+  static Topology detect(int num_workers);
+
+  Topology() = default;
+
+  int num_workers() const noexcept { return static_cast<int>(zone_of_.size()); }
+  int num_zones() const noexcept { return static_cast<int>(members_.size()); }
+
+  /// Zone that worker `w` belongs to.
+  int zone_of(int w) const noexcept { return zone_of_[static_cast<size_t>(w)]; }
+
+  /// True when two workers share a NUMA zone.
+  bool local(int a, int b) const noexcept { return zone_of(a) == zone_of(b); }
+
+  /// Workers belonging to `zone`, in id order.
+  const std::vector<int>& zone_members(int zone) const noexcept {
+    return members_[static_cast<size_t>(zone)];
+  }
+
+  /// Workers in the same zone as `w` (including `w` itself).
+  const std::vector<int>& peers_of(int w) const noexcept {
+    return members_[static_cast<size_t>(zone_of(w))];
+  }
+
+  std::string describe() const;
+
+ private:
+  std::vector<int> zone_of_;               // worker id -> zone id
+  std::vector<std::vector<int>> members_;  // zone id -> worker ids
+};
+
+}  // namespace xtask

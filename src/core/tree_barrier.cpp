@@ -1,0 +1,97 @@
+#include "core/tree_barrier.hpp"
+
+namespace xtask {
+
+TreeBarrier::TreeBarrier(int num_workers)
+    : n_(num_workers), nodes_(static_cast<std::size_t>(num_workers)) {
+  XTASK_CHECK(num_workers >= 1);
+}
+
+bool TreeBarrier::children_reported(int tid, std::uint64_t epoch,
+                                    std::uint64_t* created_out,
+                                    std::uint64_t* executed_out) noexcept {
+  std::uint64_t created = 0;
+  std::uint64_t executed = 0;
+  for (int c = 2 * tid + 1; c <= 2 * tid + 2; ++c) {
+    if (c >= n_) break;
+    const Node& child = nodes_[static_cast<std::size_t>(c)];
+    if (child.report_epoch.load(std::memory_order_acquire) != epoch)
+      return false;
+    created += child.sum_created.load(std::memory_order_relaxed);
+    executed += child.sum_executed.load(std::memory_order_relaxed);
+  }
+  *created_out = created;
+  *executed_out = executed;
+  return true;
+}
+
+bool TreeBarrier::poll(int tid, std::uint64_t created, std::uint64_t executed,
+                       std::uint64_t gen) noexcept {
+  Node& me = nodes_[static_cast<std::size_t>(tid)];
+
+  // Release broadcast has priority: once the subtree root above us has
+  // released generation `gen`, relay and exit. The root's own release cell
+  // is authoritative for the root.
+  if (tid != 0) {
+    const int parent = (tid - 1) / 2;
+    const std::uint64_t parent_rel =
+        nodes_[static_cast<std::size_t>(parent)].release.load(
+            std::memory_order_acquire);
+    if (parent_rel > me.release.load(std::memory_order_relaxed))
+      me.release.store(parent_rel, std::memory_order_release);
+  }
+  if (me.release.load(std::memory_order_relaxed) >= gen) return true;
+
+  if (tid == 0) {
+    // Root: drive census passes. Pass `e` is open while epoch == e and our
+    // own report_epoch < e; we close it once both children reported e.
+    std::uint64_t e = me.epoch.load(std::memory_order_relaxed);
+    if (me.report_epoch.load(std::memory_order_relaxed) == e) {
+      // Previous pass fully closed; open the next one.
+      me.epoch.store(++e, std::memory_order_release);
+    }
+    std::uint64_t child_created = 0;
+    std::uint64_t child_executed = 0;
+    if (!children_reported(tid, e, &child_created, &child_executed))
+      return false;
+    const std::uint64_t total_created = child_created + created;
+    const std::uint64_t total_executed = child_executed + executed;
+    // Mark pass e closed (root's report cell has no parent reader; it
+    // doubles as the "pass complete" latch and the passes() diagnostic).
+    me.report_epoch.store(e, std::memory_order_relaxed);
+
+    const bool stable = root_.have_prev &&
+                        root_.prev_created == total_created &&
+                        root_.prev_executed == total_executed;
+    root_.prev_created = total_created;
+    root_.prev_executed = total_executed;
+    root_.have_prev = true;
+    if (stable && total_created == total_executed) {
+      root_.have_prev = false;  // restart history for the next region
+      me.release.store(gen, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  // Inner node / leaf: adopt the parent's epoch, propagate it downward,
+  // and report once our whole subtree has reported.
+  const int parent = (tid - 1) / 2;
+  const std::uint64_t target_epoch =
+      nodes_[static_cast<std::size_t>(parent)].epoch.load(
+          std::memory_order_acquire);
+  if (me.epoch.load(std::memory_order_relaxed) != target_epoch)
+    me.epoch.store(target_epoch, std::memory_order_release);
+  if (me.report_epoch.load(std::memory_order_relaxed) == target_epoch)
+    return false;  // already reported this pass; wait for root
+  std::uint64_t child_created = 0;
+  std::uint64_t child_executed = 0;
+  if (!children_reported(tid, target_epoch, &child_created, &child_executed))
+    return false;
+  me.sum_created.store(child_created + created, std::memory_order_relaxed);
+  me.sum_executed.store(child_executed + executed, std::memory_order_relaxed);
+  me.report_epoch.store(target_epoch, std::memory_order_release);
+  return false;
+}
+
+}  // namespace xtask

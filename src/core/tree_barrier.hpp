@@ -1,0 +1,91 @@
+// Distributed hybrid tree barrier (paper §III-B).
+//
+// Workers are connected in a binary tree. Termination of the parallel
+// region is detected with a census protocol that uses **only single-writer
+// memory cells** — plain release stores and acquire loads, zero
+// read-modify-write atomics:
+//
+//  * gather (up the tree): the root repeatedly runs census passes. Each
+//    node, when idle at the barrier, adopts the current pass epoch from its
+//    parent, waits for its children's reports for that epoch, and then
+//    publishes (subtree tasks created, subtree tasks executed) to its own
+//    report cell, which only its parent reads.
+//  * release (down the tree): when the root observes two consecutive
+//    passes with identical totals and created == executed, the region is
+//    quiescent; it bumps its release generation and every node relays the
+//    store downward (the paper's "lock-less releasing" broadcast).
+//
+// The double-pass rule is what makes this barrier correct in the presence
+// of dynamic load balancing: a single bottom-up AND-reduction of "I am
+// idle" flags (the design LLVM briefly shipped and reverted, §III-B) can
+// release while a migrated task is still in flight, because a worker
+// counted idle early in the sweep may receive work from a worker counted
+// later. With monotone per-worker created/executed counters, two
+// consecutive passes with identical totals prove no activity occurred
+// between each worker's two reports, so at the pass boundary the system
+// held zero in-flight tasks — and with no tasks, none can reappear.
+//
+// Per-pass cost: one release store per tree edge upward and one per edge
+// downward on release — at most half the coherence traffic of a shared
+// atomic counter hit once per task, and none of it contended.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace xtask {
+
+class TreeBarrier {
+ public:
+  explicit TreeBarrier(int num_workers);
+
+  /// Called by worker `tid` whenever it is idle at the end-of-region
+  /// barrier. `created`/`executed` are the worker's monotone lifetime task
+  /// counters; `gen` is the barrier generation (count of parallel regions,
+  /// starting at 1). Returns true once the barrier of generation `gen` has
+  /// been released. Non-blocking: performs at most a few cell operations
+  /// per call, so the caller can interleave it with queue polling.
+  bool poll(int tid, std::uint64_t created, std::uint64_t executed,
+            std::uint64_t gen) noexcept;
+
+  int num_workers() const noexcept { return n_; }
+
+  /// Census passes completed since construction (diagnostics).
+  std::uint64_t passes() const noexcept {
+    return nodes_[0].report_epoch.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLine) Node {
+    // --- written by this node, read by its children ---
+    std::atomic<std::uint64_t> epoch{0};    // census pass being gathered
+    std::atomic<std::uint64_t> release{0};  // completed barrier generations
+    // --- written by this node, read by its parent ---
+    // Publication order: sums first (relaxed), then report_epoch
+    // (release). The parent reads report_epoch (acquire) and only then the
+    // sums; the node never rewrites sums for a new epoch until the parent
+    // has consumed the old one (the parent consumes all child reports for
+    // epoch e before anyone advances to e+1).
+    std::atomic<std::uint64_t> report_epoch{0};
+    std::atomic<std::uint64_t> sum_created{0};
+    std::atomic<std::uint64_t> sum_executed{0};
+  };
+
+  bool children_reported(int tid, std::uint64_t epoch,
+                         std::uint64_t* created_out,
+                         std::uint64_t* executed_out) noexcept;
+
+  const int n_;
+  std::vector<Node> nodes_;
+  // Root-only census history; the root is the single thread touching it.
+  struct RootState {
+    std::uint64_t prev_created = ~0ull;
+    std::uint64_t prev_executed = ~0ull;
+    bool have_prev = false;
+  } root_;
+};
+
+}  // namespace xtask

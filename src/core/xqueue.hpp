@@ -1,0 +1,116 @@
+// XQueue: the lock-less, relaxed-order MPMC task queue from §II-B / §III-A,
+// assembled from an N×N matrix of SPSC B-Queues.
+//
+// Worker `w` *consumes* row `w`: its master queue `q[w][w]` plus one
+// auxiliary queue `q[w][p]` for every other worker `p`. Worker `w`
+// *produces* into column `w`: `q[t][w]` for any target `t`. Every queue in
+// the matrix therefore has exactly one producer and one consumer, so the
+// whole structure needs no locks and no RMW atomics, only the B-Queue's
+// release/acquire slot protocol.
+//
+// The same single-producer/single-consumer discipline is what makes the
+// paper's DLB strategies legal without extra synchronization:
+//  * static push:      producer w  -> q[target][w]
+//  * NA-RP redirect:   producer w  -> q[thief][w]   (w is the victim)
+//  * NA-WS migration:  consumer w pops its own row, then produces the
+//                      stolen tasks into q[thief][w]
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bqueue.hpp"
+#include "core/common.hpp"
+#include "core/task.hpp"
+
+namespace xtask {
+
+template <typename TaskPtr>
+class XQueueT {
+ public:
+  /// `num_workers` rows/columns; each SPSC queue holds `queue_capacity`
+  /// task pointers (power of two).
+  XQueueT(int num_workers, std::uint32_t queue_capacity = 2048)
+      : n_(num_workers) {
+    XTASK_CHECK(num_workers >= 1);
+    queues_.reserve(static_cast<std::size_t>(n_) * n_);
+    for (int i = 0; i < n_ * n_; ++i)
+      queues_.push_back(std::make_unique<BQueue<TaskPtr>>(queue_capacity));
+  }
+
+  int num_workers() const noexcept { return n_; }
+
+  /// Push `t` into `target`'s queue set. Must be called from worker
+  /// `producer`'s thread. Returns false when that SPSC queue is full; the
+  /// caller then executes the task immediately.
+  bool push(int producer, int target, TaskPtr t) noexcept {
+    return q(target, producer).push(t);
+  }
+
+  /// Pop the next task for worker `self`: master queue first, then the
+  /// auxiliary queues starting from a rotating offset so no producer
+  /// starves. Must be called from worker `self`'s thread.
+  TaskPtr pop(int self) noexcept {
+    if (TaskPtr t = q(self, self).pop()) return t;
+    if (n_ == 1) return nullptr;
+    // Scan i over n positions (not n-1): the window starts after `rot`,
+    // and `self` is skipped inside it, so every other producer is visited
+    // exactly once regardless of where the cursor points.
+    std::uint32_t& rot = aux_rot_[static_cast<std::size_t>(self)].value;
+    for (int i = 1; i <= n_; ++i) {
+      const int p = static_cast<int>((rot + static_cast<std::uint32_t>(i)) %
+                                     static_cast<std::uint32_t>(n_));
+      if (p == self) continue;
+      if (TaskPtr t = q(self, p).pop()) {
+        rot = static_cast<std::uint32_t>(p);
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  /// True when worker `self`'s master queue has no visible entry; cheap
+  /// hint used by the DLB victim logic.
+  bool master_empty(int self) const noexcept {
+    return const_cast<XQueueT*>(this)->q(self, self).empty();
+  }
+
+  /// True when every queue consumed by `self` appears empty. Transiently
+  /// racy (a push may land right after), which the termination logic
+  /// tolerates via its two-pass quiescence scan.
+  bool all_empty(int self) const noexcept {
+    for (int p = 0; p < n_; ++p)
+      if (!const_cast<XQueueT*>(this)->q(self, p).empty()) return false;
+    return true;
+  }
+
+  /// Total visible entries across the whole matrix. Debug/tests only.
+  std::uint64_t size_approx() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& uq : queues_) total += uq->size_approx();
+    return total;
+  }
+
+ private:
+  BQueue<TaskPtr>& q(int consumer, int producer) noexcept {
+    return *queues_[static_cast<std::size_t>(consumer) *
+                        static_cast<std::size_t>(n_) +
+                    static_cast<std::size_t>(producer)];
+  }
+
+  struct alignas(kCacheLine) PaddedU32 {
+    std::uint32_t value = 0;
+  };
+
+  const int n_;
+  std::vector<std::unique_ptr<BQueue<TaskPtr>>> queues_;
+  // Per-consumer rotation cursor for auxiliary scanning; indexed by self.
+  std::vector<PaddedU32> aux_rot_ = std::vector<PaddedU32>(
+      static_cast<std::size_t>(n_));
+};
+
+/// The runtime's XQueue instance: SPSC matrix of xtask::Task pointers.
+using XQueue = XQueueT<Task*>;
+
+}  // namespace xtask

@@ -1,0 +1,26 @@
+// Umbrella header for the xtask library: the lock-less fine-grained
+// tasking runtime reproducing Wang et al., "Optimizing Fine-Grained
+// Parallelism Through Dynamic Load Balancing on Multi-Socket Many-Core
+// Systems" (IPPS 2025).
+//
+// Public entry points:
+//   xtask::Runtime / xtask::TaskContext  — the runtime (core/runtime.hpp)
+//   xtask::Config                        — barrier / DLB / allocator knobs
+//   xtask::Profiler                      — §V profiling tools
+//   xtask::gomp::GompRuntime             — GOMP-like baseline comparator
+//   xtask::lomp::LompRuntime             — LOMP/XLOMP baseline comparator
+#pragma once
+
+#include "core/bqueue.hpp"
+#include "core/central_barrier.hpp"
+#include "core/common.hpp"
+#include "core/dependency.hpp"
+#include "core/parallel_for.hpp"
+#include "core/runtime.hpp"
+#include "core/steal_protocol.hpp"
+#include "core/task.hpp"
+#include "core/task_allocator.hpp"
+#include "core/topology.hpp"
+#include "core/tree_barrier.hpp"
+#include "core/xqueue.hpp"
+#include "prof/profiler.hpp"

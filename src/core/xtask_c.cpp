@@ -1,0 +1,80 @@
+// C API facade implementation: thin adapters over Runtime/TaskContext.
+#include "core/xtask_c.h"
+
+#include "core/runtime.hpp"
+
+using xtask::Config;
+using xtask::Runtime;
+using xtask::TaskContext;
+
+extern "C" {
+
+struct xtask_runtime_t {
+  Runtime rt;
+  explicit xtask_runtime_t(const Config& cfg) : rt(cfg) {}
+};
+
+// xtask_context_t is a reinterpretation of TaskContext; it is never
+// instantiated directly.
+
+static TaskContext* unwrap(xtask_context_t* ctx) {
+  return reinterpret_cast<TaskContext*>(ctx);
+}
+
+xtask_runtime_t* xtask_create(int num_threads, xtask_dlb_t dlb) {
+  Config cfg;
+  if (num_threads > 0) cfg.num_threads = num_threads;
+  switch (dlb) {
+    case XTASK_DLB_REDIRECT_PUSH:
+      cfg.dlb = xtask::DlbKind::kRedirectPush;
+      break;
+    case XTASK_DLB_WORK_STEAL:
+      cfg.dlb = xtask::DlbKind::kWorkSteal;
+      break;
+    case XTASK_DLB_ADAPTIVE:
+      cfg.dlb = xtask::DlbKind::kAdaptive;
+      break;
+    default:
+      cfg.dlb = xtask::DlbKind::kNone;
+      break;
+  }
+  return new xtask_runtime_t(cfg);
+}
+
+void xtask_destroy(xtask_runtime_t* rt) { delete rt; }
+
+void xtask_run(xtask_runtime_t* rt, xtask_fn_t root, void* arg) {
+  rt->rt.run([root, arg](TaskContext& ctx) {
+    root(reinterpret_cast<xtask_context_t*>(&ctx), arg);
+  });
+}
+
+void xtask_spawn(xtask_context_t* ctx, xtask_fn_t fn, void* arg) {
+  unwrap(ctx)->spawn([fn, arg](TaskContext& child) {
+    fn(reinterpret_cast<xtask_context_t*>(&child), arg);
+  });
+}
+
+void xtask_taskwait(xtask_context_t* ctx) { unwrap(ctx)->taskwait(); }
+
+int xtask_taskyield(xtask_context_t* ctx) {
+  return unwrap(ctx)->taskyield() ? 1 : 0;
+}
+
+int xtask_worker_id(const xtask_context_t* ctx) {
+  return reinterpret_cast<const TaskContext*>(ctx)->worker_id();
+}
+
+void xtask_get_stats(const xtask_runtime_t* rt, xtask_stats_t* out) {
+  const xtask::Counters c = rt->rt.profiler().total_counters();
+  out->tasks_created = c.ntasks_created;
+  out->tasks_executed = c.ntasks_executed;
+  out->tasks_self = c.ntasks_self;
+  out->tasks_numa_local = c.ntasks_local;
+  out->tasks_numa_remote = c.ntasks_remote;
+  out->steal_requests_sent = c.nreq_sent;
+  out->steal_requests_handled = c.nreq_handled;
+  out->tasks_stolen = c.nsteal_local + c.nsteal_remote;
+}
+
+}  // extern "C"

@@ -1,0 +1,65 @@
+/* C API facade for the xtask runtime — the ABI surface a compiler's
+ * OpenMP lowering (or any C program) would target, mirroring how libgomp
+ * exposes GOMP_task/GOMP_taskwait. Function-pointer based: no C++ types
+ * cross the boundary.
+ *
+ * Usage:
+ *   xtask_runtime_t* rt = xtask_create(8, XTASK_DLB_WORK_STEAL);
+ *   xtask_run(rt, root_fn, arg);       // root_fn spawns via xtask_spawn
+ *   xtask_destroy(rt);
+ */
+#ifndef XTASK_C_H_
+#define XTASK_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct xtask_runtime_t xtask_runtime_t;
+/* Opaque per-invocation context; valid only inside the callback. */
+typedef struct xtask_context_t xtask_context_t;
+
+typedef void (*xtask_fn_t)(xtask_context_t* ctx, void* arg);
+
+typedef enum {
+  XTASK_DLB_NONE = 0,          /* static round-robin (SLB) */
+  XTASK_DLB_REDIRECT_PUSH = 1, /* NA-RP */
+  XTASK_DLB_WORK_STEAL = 2,    /* NA-WS */
+  XTASK_DLB_ADAPTIVE = 3,
+} xtask_dlb_t;
+
+/* Team lifecycle. num_threads <= 0 selects hardware concurrency. */
+xtask_runtime_t* xtask_create(int num_threads, xtask_dlb_t dlb);
+void xtask_destroy(xtask_runtime_t* rt);
+
+/* Execute one parallel region (blocking; caller thread is worker 0). */
+void xtask_run(xtask_runtime_t* rt, xtask_fn_t root, void* arg);
+
+/* Inside a task: spawn a child / wait for children / yield once. */
+void xtask_spawn(xtask_context_t* ctx, xtask_fn_t fn, void* arg);
+void xtask_taskwait(xtask_context_t* ctx);
+int xtask_taskyield(xtask_context_t* ctx);
+int xtask_worker_id(const xtask_context_t* ctx);
+
+/* Aggregate statistics (paper §V counters). */
+typedef struct {
+  uint64_t tasks_created;
+  uint64_t tasks_executed;
+  uint64_t tasks_self;
+  uint64_t tasks_numa_local;
+  uint64_t tasks_numa_remote;
+  uint64_t steal_requests_sent;
+  uint64_t steal_requests_handled;
+  uint64_t tasks_stolen;
+} xtask_stats_t;
+
+void xtask_get_stats(const xtask_runtime_t* rt, xtask_stats_t* out);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* XTASK_C_H_ */

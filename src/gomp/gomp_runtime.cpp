@@ -1,0 +1,197 @@
+#include "gomp/gomp_runtime.hpp"
+
+#include <algorithm>
+
+namespace xtask::gomp {
+
+GompRuntime::GompRuntime(Config cfg)
+    : cfg_(cfg),
+      topo_(Topology::synthetic(cfg.num_threads,
+                                std::max(1, cfg.numa_zones))),
+      prof_(cfg.num_threads, cfg.profile_events) {
+  XTASK_CHECK(cfg_.num_threads >= 1);
+  threads_.reserve(static_cast<std::size_t>(cfg_.num_threads - 1));
+  for (int i = 1; i < cfg_.num_threads; ++i)
+    threads_.emplace_back([this, i] { thread_main(i); });
+}
+
+GompRuntime::~GompRuntime() {
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    shutdown_ = true;
+  }
+  region_cv_.notify_all();
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+void GompRuntime::thread_main(int id) {
+  std::uint64_t my_gen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(region_mu_);
+      region_cv_.wait(lock,
+                      [&] { return shutdown_ || region_gen_ > my_gen; });
+      if (shutdown_ && region_gen_ <= my_gen) return;
+      my_gen = region_gen_;
+    }
+    worker_loop(id, my_gen);
+    {
+      std::lock_guard<std::mutex> lock(region_mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void GompRuntime::run(std::function<void(GompContext&)> root) {
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    workers_done_ = 0;
+    gen = ++region_gen_;
+  }
+  auto* root_task = new GTask;
+  root_task->fn = std::move(root);
+  root_task->creator = 0;
+  prof_.thread(0).counters.ntasks_created++;
+  {
+    std::lock_guard<std::mutex> lock(task_lock_);
+    ++in_flight_;  // root counts as in flight until executed
+  }
+  region_cv_.notify_all();
+  execute(0, root_task);
+  worker_loop(0, gen);
+  std::unique_lock<std::mutex> lock(region_mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == cfg_.num_threads - 1; });
+}
+
+void GompRuntime::enqueue(int wid, GTask* t) {
+  (void)wid;
+  std::lock_guard<std::mutex> lock(task_lock_);
+  ++in_flight_;
+  if (t->priority == 0 || queue_.empty()) {
+    queue_.push_back(t);
+  } else {
+    // Priority insertion, FIFO within a level (GNU semantics). Priorities
+    // are rare; linear scan from the front is what libgomp effectively
+    // pays as well.
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](GTask* q) {
+      return q->priority < t->priority;
+    });
+    queue_.insert(it, t);
+  }
+}
+
+GompRuntime::GTask* GompRuntime::try_pop(int wid) {
+  (void)wid;
+  std::lock_guard<std::mutex> lock(task_lock_);
+  if (queue_.empty()) return nullptr;
+  GTask* t = queue_.front();
+  queue_.pop_front();
+  return t;
+}
+
+void GompRuntime::execute(int wid, GTask* t) {
+  {
+    Counters& c = prof_.thread(wid).counters;
+    if (t->creator == wid)
+      c.ntasks_self++;
+    else if (topo_.local(wid, t->creator))
+      c.ntasks_local++;
+    else
+      c.ntasks_remote++;
+  }
+  {
+    ScopedEvent ev(prof_.thread(wid), EventKind::kTask);
+    GompContext ctx(this, wid, t);
+    t->fn(ctx);
+    t->fn = nullptr;  // release captures promptly (GOMP frees the body)
+  }
+  finish(wid, t);
+}
+
+void GompRuntime::finish(int wid, GTask* t) {
+  prof_.thread(wid).counters.ntasks_executed++;
+  {
+    std::lock_guard<std::mutex> lock(task_lock_);
+    --in_flight_;
+  }
+  GTask* parent = t->parent;
+  deref(t);
+  if (parent != nullptr) {
+    parent->active_children.fetch_sub(1, std::memory_order_release);
+    deref(parent);
+  }
+}
+
+void GompRuntime::deref(GTask* t) noexcept {
+  if (t->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete t;
+}
+
+void GompRuntime::worker_loop(int wid, std::uint64_t gen) {
+  bool arrived = false;
+  int consecutive_idle = 0;
+  std::uint64_t stall_start = 0;
+  ThreadProfile& prof = prof_.thread(wid);
+
+  for (;;) {
+    if (GTask* t = try_pop(wid)) {
+      if (stall_start != 0) {
+        prof.record(EventKind::kStall, stall_start, rdtscp());
+        stall_start = 0;
+      }
+      consecutive_idle = 0;
+      execute(wid, t);
+      continue;
+    }
+    if (stall_start == 0 && prof_.events_enabled()) stall_start = rdtscp();
+
+    // Centralized barrier under the global task lock: release when all
+    // workers arrived and nothing is queued or running.
+    {
+      std::lock_guard<std::mutex> lock(task_lock_);
+      if (!arrived) {
+        ++arrived_;
+        arrived = true;
+      }
+      if (released_gen_ >= gen ||
+          (arrived_ == cfg_.num_threads && in_flight_ == 0 &&
+           queue_.empty())) {
+        if (released_gen_ < gen) {
+          released_gen_ = gen;
+          arrived_ = 0;
+        }
+        if (stall_start != 0)
+          prof.record(EventKind::kStall, stall_start, rdtscp());
+        return;
+      }
+    }
+    if (cfg_.yield_after_idle > 0 &&
+        ++consecutive_idle >= cfg_.yield_after_idle) {
+      std::this_thread::yield();
+      consecutive_idle = 0;
+    }
+  }
+}
+
+void GompContext::taskwait() {
+  if (current_ == nullptr) return;
+  if (current_->active_children.load(std::memory_order_acquire) == 0) return;
+  ScopedEvent ev(rt_->prof_.thread(wid_), EventKind::kTaskWait);
+  int consecutive_idle = 0;
+  while (current_->active_children.load(std::memory_order_acquire) != 0) {
+    if (auto* t = rt_->try_pop(wid_)) {
+      consecutive_idle = 0;
+      rt_->execute(wid_, t);
+      continue;
+    }
+    if (rt_->cfg_.yield_after_idle > 0 &&
+        ++consecutive_idle >= rt_->cfg_.yield_after_idle) {
+      std::this_thread::yield();
+      consecutive_idle = 0;
+    }
+  }
+}
+
+}  // namespace xtask::gomp

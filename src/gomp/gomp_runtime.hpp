@@ -1,0 +1,136 @@
+// GOMP-like baseline runtime: reproduces the synchronization structure the
+// paper attributes GNU OpenMP's fine-grained-task collapse to (§II-A):
+//   * one globally shared FIFO/priority task queue,
+//   * one global task lock protecting queueing, bookkeeping, and the
+//     centralized team barrier state,
+//   * malloc/free per task descriptor.
+// It is the "GOMP" column of every comparison in the evaluation. The API
+// mirrors xtask::Runtime so the BOTS kernels template over either.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/topology.hpp"
+#include "prof/profiler.hpp"
+
+namespace xtask::gomp {
+
+class GompRuntime;
+class GompContext;
+
+namespace detail {
+
+/// Heap-allocated per task, GOMP style (one malloc per task, §VI-A).
+struct GTask {
+  std::function<void(GompContext&)> fn;
+  GTask* parent = nullptr;
+  std::atomic<std::uint32_t> refs{1};
+  std::atomic<std::uint32_t> active_children{0};
+  std::uint16_t creator = 0;
+  int priority = 0;
+};
+
+}  // namespace detail
+
+class GompContext {
+ public:
+  int worker_id() const noexcept { return wid_; }
+
+  /// Spawn a child task with optional GNU-style priority (higher runs
+  /// earlier when the scheduler picks from the global queue).
+  template <typename F>
+  void spawn(F&& f, int priority = 0);
+
+  void taskwait();
+
+ private:
+  friend class GompRuntime;
+  GompContext(GompRuntime* rt, int wid, detail::GTask* current) noexcept
+      : rt_(rt), wid_(wid), current_(current) {}
+  GompRuntime* rt_;
+  int wid_;
+  detail::GTask* current_;
+};
+
+class GompRuntime {
+ public:
+  struct Config {
+    int num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    int numa_zones = 1;          // locality accounting only
+    bool profile_events = false;
+    int yield_after_idle = 16;   // oversubscription escape hatch
+  };
+
+  explicit GompRuntime(Config cfg);
+  ~GompRuntime();
+
+  GompRuntime(const GompRuntime&) = delete;
+  GompRuntime& operator=(const GompRuntime&) = delete;
+
+  /// One parallel region; `root` runs on worker 0 (the caller thread).
+  void run(std::function<void(GompContext&)> root);
+
+  Profiler& profiler() noexcept { return prof_; }
+  const Topology& topology() const noexcept { return topo_; }
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  friend class GompContext;
+  using GTask = detail::GTask;
+
+  void enqueue(int wid, GTask* t);           // takes the global lock
+  GTask* try_pop(int wid);                   // takes the global lock
+  void execute(int wid, GTask* t);
+  void finish(int wid, GTask* t);
+  void deref(GTask* t) noexcept;
+  void worker_loop(int wid, std::uint64_t gen);
+  void thread_main(int id);
+
+  Config cfg_;
+  Topology topo_;
+  Profiler prof_;
+
+  // THE global task lock (§II-A). Guards the queue, the in-flight count,
+  // and the barrier arrival state — exactly the entanglement the paper
+  // removes.
+  std::mutex task_lock_;
+  std::deque<GTask*> queue_;   // priority-ordered insertion, FIFO per level
+  std::int64_t in_flight_ = 0;
+  int arrived_ = 0;
+  std::uint64_t released_gen_ = 0;
+
+  std::vector<std::thread> threads_;
+  std::mutex region_mu_;
+  std::condition_variable region_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t region_gen_ = 0;
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+};
+
+template <typename F>
+void GompContext::spawn(F&& f, int priority) {
+  ScopedEvent ev(rt_->prof_.thread(wid_), EventKind::kTaskCreate);
+  auto* t = new detail::GTask;  // GOMP: malloc on every task creation
+  t->fn = std::forward<F>(f);
+  t->parent = current_;
+  t->creator = static_cast<std::uint16_t>(wid_);
+  t->priority = priority;
+  if (current_ != nullptr) {
+    current_->refs.fetch_add(1, std::memory_order_relaxed);
+    current_->active_children.fetch_add(1, std::memory_order_relaxed);
+  }
+  rt_->prof_.thread(wid_).counters.ntasks_created++;
+  rt_->enqueue(wid_, t);
+}
+
+}  // namespace xtask::gomp

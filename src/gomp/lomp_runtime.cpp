@@ -1,0 +1,223 @@
+#include "gomp/lomp_runtime.hpp"
+
+#include <algorithm>
+
+namespace xtask::lomp {
+
+LompRuntime::LompRuntime(Config cfg)
+    : cfg_(cfg),
+      topo_(Topology::synthetic(cfg.num_threads, std::max(1, cfg.numa_zones))),
+      prof_(cfg.num_threads, cfg.profile_events),
+      barrier_(cfg.num_threads),
+      pool_(AllocatorMode::kMultiLevel) {
+  XTASK_CHECK(cfg_.num_threads >= 1);
+  if (cfg_.use_xqueue) {
+    xq_ = std::make_unique<XQueueT<detail::LTask*>>(cfg_.num_threads,
+                                                    cfg_.queue_capacity);
+  } else {
+    deques_.reserve(static_cast<std::size_t>(cfg_.num_threads));
+    for (int i = 0; i < cfg_.num_threads; ++i)
+      deques_.push_back(std::make_unique<detail::LockedDeque>());
+  }
+  workers_.reserve(static_cast<std::size_t>(cfg_.num_threads));
+  for (int i = 0; i < cfg_.num_threads; ++i) {
+    auto w = std::make_unique<detail::Worker>();
+    w->id = i;
+    w->rng = XorShift(cfg_.seed + static_cast<std::uint64_t>(i) * 0x2545f491);
+    w->rr_cursor = static_cast<std::uint32_t>(i);
+    w->alloc = std::make_unique<PoolAllocator<LTask>>(pool_);
+    workers_.push_back(std::move(w));
+  }
+  for (int i = 1; i < cfg_.num_threads; ++i)
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { thread_main(i); });
+}
+
+LompRuntime::~LompRuntime() {
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    shutdown_ = true;
+  }
+  region_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  workers_.clear();  // allocators drain into pool_ before it dies
+}
+
+void LompRuntime::thread_main(int id) {
+  std::uint64_t my_gen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(region_mu_);
+      region_cv_.wait(lock,
+                      [&] { return shutdown_ || region_gen_ > my_gen; });
+      if (shutdown_ && region_gen_ <= my_gen) return;
+      my_gen = region_gen_;
+    }
+    worker_loop(id, my_gen);
+    {
+      std::lock_guard<std::mutex> lock(region_mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void LompRuntime::run(std::function<void(LompContext&)> root) {
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(region_mu_);
+    workers_done_ = 0;
+    gen = ++region_gen_;
+  }
+  LTask* root_task = allocate_task(0, nullptr);
+  root_task->emplace([fn = std::move(root)](LompContext& ctx) { fn(ctx); });
+  region_cv_.notify_all();
+  execute(0, root_task);
+  worker_loop(0, gen);
+  std::unique_lock<std::mutex> lock(region_mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == cfg_.num_threads - 1; });
+}
+
+LompRuntime::LTask* LompRuntime::allocate_task(int wid, LTask* parent) {
+  detail::Worker& w = *workers_[static_cast<std::size_t>(wid)];
+  LTask* t = w.alloc->allocate();
+  t->reset(parent, static_cast<std::uint16_t>(wid));
+  if (parent != nullptr) {
+    parent->refs.fetch_add(1, std::memory_order_relaxed);
+    parent->active_children.fetch_add(1, std::memory_order_relaxed);
+  }
+  prof_.thread(wid).counters.ntasks_created++;
+  barrier_.task_created();
+  return t;
+}
+
+void LompRuntime::dispatch(int wid, LTask* t) {
+  detail::Worker& w = *workers_[static_cast<std::size_t>(wid)];
+  if (cfg_.use_xqueue) {
+    const int target = static_cast<int>(
+        w.rr_cursor % static_cast<std::uint32_t>(cfg_.num_threads));
+    ++w.rr_cursor;
+    if (xq_->push(wid, target, t)) {
+      prof_.thread(wid).counters.ntasks_static_push++;
+      return;
+    }
+    prof_.thread(wid).counters.ntasks_imm_exec++;
+    execute(wid, t);
+    return;
+  }
+  deques_[static_cast<std::size_t>(wid)]->push(t);
+  prof_.thread(wid).counters.ntasks_static_push++;
+}
+
+LompRuntime::LTask* LompRuntime::find_task(int wid) {
+  detail::Worker& w = *workers_[static_cast<std::size_t>(wid)];
+  if (cfg_.use_xqueue) return xq_->pop(wid);
+  if (LTask* t = deques_[static_cast<std::size_t>(wid)]->pop_local())
+    return t;
+  if (cfg_.num_threads == 1) return nullptr;
+  // Pull-based random stealing: a couple of attempts per scheduling point.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int victim = static_cast<int>(
+        w.rng.below(static_cast<std::uint64_t>(cfg_.num_threads)));
+    if (victim == wid) continue;
+    if (LTask* t = deques_[static_cast<std::size_t>(victim)]->pop_steal()) {
+      Counters& c = prof_.thread(wid).counters;
+      if (topo_.local(wid, victim))
+        c.nsteal_local++;
+      else
+        c.nsteal_remote++;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void LompRuntime::execute(int wid, LTask* t) {
+  {
+    Counters& c = prof_.thread(wid).counters;
+    if (t->creator == wid)
+      c.ntasks_self++;
+    else if (topo_.local(wid, t->creator))
+      c.ntasks_local++;
+    else
+      c.ntasks_remote++;
+  }
+  {
+    ScopedEvent ev(prof_.thread(wid), EventKind::kTask);
+    LompContext ctx(this, wid, t);
+    t->invoke(t, ctx);
+  }
+  finish(wid, t);
+}
+
+void LompRuntime::finish(int wid, LTask* t) {
+  prof_.thread(wid).counters.ntasks_executed++;
+  barrier_.task_finished();
+  LTask* parent = t->parent;
+  deref(wid, t);
+  if (parent != nullptr) {
+    parent->active_children.fetch_sub(1, std::memory_order_release);
+    deref(wid, parent);
+  }
+}
+
+void LompRuntime::deref(int wid, LTask* t) noexcept {
+  if (t->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    workers_[static_cast<std::size_t>(wid)]->alloc->release(t);
+}
+
+void LompRuntime::worker_loop(int wid, std::uint64_t gen) {
+  bool arrived = false;
+  int consecutive_idle = 0;
+  std::uint64_t stall_start = 0;
+  ThreadProfile& prof = prof_.thread(wid);
+
+  for (;;) {
+    if (LTask* t = find_task(wid)) {
+      if (stall_start != 0) {
+        prof.record(EventKind::kStall, stall_start, rdtscp());
+        stall_start = 0;
+      }
+      consecutive_idle = 0;
+      execute(wid, t);
+      continue;
+    }
+    if (stall_start == 0 && prof_.events_enabled()) stall_start = rdtscp();
+    if (!arrived) {
+      barrier_.arrive(gen);
+      arrived = true;
+    }
+    if (barrier_.poll(gen)) {
+      if (stall_start != 0)
+        prof.record(EventKind::kStall, stall_start, rdtscp());
+      return;
+    }
+    if (cfg_.yield_after_idle > 0 &&
+        ++consecutive_idle >= cfg_.yield_after_idle) {
+      std::this_thread::yield();
+      consecutive_idle = 0;
+    }
+  }
+}
+
+void LompContext::taskwait() {
+  if (current_ == nullptr) return;
+  if (current_->active_children.load(std::memory_order_acquire) == 0) return;
+  ScopedEvent ev(rt_->prof_.thread(wid_), EventKind::kTaskWait);
+  int consecutive_idle = 0;
+  while (current_->active_children.load(std::memory_order_acquire) != 0) {
+    if (auto* t = rt_->find_task(wid_)) {
+      consecutive_idle = 0;
+      rt_->execute(wid_, t);
+      continue;
+    }
+    if (rt_->cfg_.yield_after_idle > 0 &&
+        ++consecutive_idle >= rt_->cfg_.yield_after_idle) {
+      std::this_thread::yield();
+      consecutive_idle = 0;
+    }
+  }
+}
+
+}  // namespace xtask::lomp

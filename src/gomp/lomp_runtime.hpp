@@ -1,0 +1,192 @@
+// LOMP-like baseline runtime: reproduces the structure the paper credits
+// for LLVM OpenMP's speed on fine-grained tasks (§II, §VI-A):
+//   * per-thread task deques, each protected by its own light lock (libomp
+//     uses a lock per deque, not a global one),
+//   * pull-based random work stealing between deques,
+//   * a fast multi-level task allocator (thread-local free lists),
+//   * a centralized atomic task counter for termination (LLVM's lock-free
+//     barrier equivalent).
+// With `use_xqueue = true` the deques are replaced by XQueue, giving the
+// paper's "XLOMP" configuration.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/central_barrier.hpp"
+#include "core/common.hpp"
+#include "core/task_allocator.hpp"
+#include "core/topology.hpp"
+#include "core/xqueue.hpp"
+#include "prof/profiler.hpp"
+
+namespace xtask::lomp {
+
+class LompRuntime;
+class LompContext;
+
+namespace detail {
+
+/// Task descriptor with inline payload (like xtask::Task) so the
+/// multi-level allocator — not malloc — bounds creation cost.
+struct alignas(kCacheLine) LTask {
+  static constexpr std::size_t kPayloadBytes = 128;
+  using InvokeFn = void (*)(LTask*, LompContext&);
+
+  InvokeFn invoke = nullptr;
+  LTask* parent = nullptr;
+  std::atomic<std::uint32_t> refs{1};
+  std::atomic<std::uint32_t> active_children{0};
+  std::uint16_t creator = 0;
+
+  alignas(16) unsigned char payload[kPayloadBytes];
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kPayloadBytes,
+                  "task closure too large for inline payload");
+    ::new (static_cast<void*>(payload)) Fn(std::forward<F>(f));
+    invoke = [](LTask* t, LompContext& ctx) {
+      Fn* fn = std::launder(reinterpret_cast<Fn*>(t->payload));
+      (*fn)(ctx);
+      fn->~Fn();
+    };
+  }
+
+  void reset(LTask* p, std::uint16_t creator_tid) noexcept {
+    invoke = nullptr;
+    parent = p;
+    refs.store(1, std::memory_order_relaxed);
+    active_children.store(0, std::memory_order_relaxed);
+    creator = creator_tid;
+  }
+};
+
+/// One worker's deque, libomp-style: own lock, LIFO for the owner
+/// (work-first depth-first execution), FIFO for thieves.
+struct alignas(kCacheLine) LockedDeque {
+  std::mutex mu;
+  std::deque<LTask*> q;
+
+  bool push(LTask* t) {
+    std::lock_guard<std::mutex> lock(mu);
+    q.push_back(t);
+    return true;
+  }
+  LTask* pop_local() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (q.empty()) return nullptr;
+    LTask* t = q.back();
+    q.pop_back();
+    return t;
+  }
+  LTask* pop_steal() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (q.empty()) return nullptr;
+    LTask* t = q.front();
+    q.pop_front();
+    return t;
+  }
+};
+
+struct Worker {
+  int id = 0;
+  XorShift rng;
+  std::uint32_t rr_cursor = 0;  // XQueue mode static balancing
+  std::unique_ptr<PoolAllocator<LTask>> alloc;
+  std::thread thread;
+};
+
+}  // namespace detail
+
+class LompContext {
+ public:
+  int worker_id() const noexcept { return wid_; }
+
+  template <typename F>
+  void spawn(F&& f);
+
+  void taskwait();
+
+ private:
+  friend class LompRuntime;
+  LompContext(LompRuntime* rt, int wid, detail::LTask* current) noexcept
+      : rt_(rt), wid_(wid), current_(current) {}
+  LompRuntime* rt_;
+  int wid_;
+  detail::LTask* current_;
+};
+
+class LompRuntime {
+ public:
+  struct Config {
+    int num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    int numa_zones = 1;  // locality accounting only
+    bool profile_events = false;
+    int yield_after_idle = 64;
+    /// false: locked per-thread deques + stealing (LOMP).
+    /// true: XQueue static round-robin, no stealing (XLOMP).
+    bool use_xqueue = false;
+    std::uint32_t queue_capacity = 2048;  // XQueue mode
+    std::uint64_t seed = 42;
+  };
+
+  explicit LompRuntime(Config cfg);
+  ~LompRuntime();
+
+  LompRuntime(const LompRuntime&) = delete;
+  LompRuntime& operator=(const LompRuntime&) = delete;
+
+  void run(std::function<void(LompContext&)> root);
+
+  Profiler& profiler() noexcept { return prof_; }
+  const Topology& topology() const noexcept { return topo_; }
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  friend class LompContext;
+  using LTask = detail::LTask;
+
+  LTask* allocate_task(int wid, LTask* parent);
+  void dispatch(int wid, LTask* t);
+  LTask* find_task(int wid);
+  void execute(int wid, LTask* t);
+  void finish(int wid, LTask* t);
+  void deref(int wid, LTask* t) noexcept;
+  void worker_loop(int wid, std::uint64_t gen);
+  void thread_main(int id);
+
+  Config cfg_;
+  Topology topo_;
+  Profiler prof_;
+  CentralBarrier barrier_;
+  PoolAllocator<LTask>::SharedPool pool_;
+  std::vector<std::unique_ptr<detail::LockedDeque>> deques_;  // LOMP mode
+  std::unique_ptr<XQueueT<detail::LTask*>> xq_;               // XLOMP mode
+
+  std::vector<std::unique_ptr<detail::Worker>> workers_;
+  std::mutex region_mu_;
+  std::condition_variable region_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t region_gen_ = 0;
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+};
+
+template <typename F>
+void LompContext::spawn(F&& f) {
+  ScopedEvent ev(rt_->prof_.thread(wid_), EventKind::kTaskCreate);
+  detail::LTask* t = rt_->allocate_task(wid_, current_);
+  t->emplace(std::forward<F>(f));
+  rt_->dispatch(wid_, t);
+}
+
+}  // namespace xtask::lomp

@@ -1,0 +1,293 @@
+#include "posp/blake3.hpp"
+
+#include <cstring>
+
+namespace xtask::posp {
+
+namespace {
+
+constexpr std::uint32_t kIV[8] = {0x6A09E667u, 0xBB67AE85u, 0x3C6EF372u,
+                                  0xA54FF53Au, 0x510E527Fu, 0x9B05688Cu,
+                                  0x1F83D9ABu, 0x5BE0CD19u};
+
+// Flags (spec §2.3).
+constexpr std::uint32_t kChunkStart = 1u << 0;
+constexpr std::uint32_t kChunkEnd = 1u << 1;
+constexpr std::uint32_t kParent = 1u << 2;
+constexpr std::uint32_t kRoot = 1u << 3;
+constexpr std::uint32_t kKeyedHash = 1u << 4;
+
+constexpr int kMsgPermutation[16] = {2, 6,  3,  10, 7, 0,  4,  13,
+                                     1, 11, 12, 5,  9, 14, 15, 8};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) noexcept {
+  return (x >> n) | (x << (32 - n));
+}
+
+inline void g(std::uint32_t* state, int a, int b, int c, int d,
+              std::uint32_t mx, std::uint32_t my) noexcept {
+  state[a] = state[a] + state[b] + mx;
+  state[d] = rotr(state[d] ^ state[a], 16);
+  state[c] = state[c] + state[d];
+  state[b] = rotr(state[b] ^ state[c], 12);
+  state[a] = state[a] + state[b] + my;
+  state[d] = rotr(state[d] ^ state[a], 8);
+  state[c] = state[c] + state[d];
+  state[b] = rotr(state[b] ^ state[c], 7);
+}
+
+inline void round_fn(std::uint32_t state[16], const std::uint32_t m[16]) {
+  // Columns.
+  g(state, 0, 4, 8, 12, m[0], m[1]);
+  g(state, 1, 5, 9, 13, m[2], m[3]);
+  g(state, 2, 6, 10, 14, m[4], m[5]);
+  g(state, 3, 7, 11, 15, m[6], m[7]);
+  // Diagonals.
+  g(state, 0, 5, 10, 15, m[8], m[9]);
+  g(state, 1, 6, 11, 12, m[10], m[11]);
+  g(state, 2, 7, 8, 13, m[12], m[13]);
+  g(state, 3, 4, 9, 14, m[14], m[15]);
+}
+
+/// The compression function. Produces the full 16-word extended state;
+/// callers take the first 8 words as a chaining value or all 16 for XOF.
+void compress(const std::array<std::uint32_t, 8>& cv,
+              const std::uint32_t block_words[16], std::uint64_t counter,
+              std::uint32_t block_len, std::uint32_t flags,
+              std::uint32_t out[16]) {
+  std::uint32_t state[16] = {
+      cv[0],
+      cv[1],
+      cv[2],
+      cv[3],
+      cv[4],
+      cv[5],
+      cv[6],
+      cv[7],
+      kIV[0],
+      kIV[1],
+      kIV[2],
+      kIV[3],
+      static_cast<std::uint32_t>(counter),
+      static_cast<std::uint32_t>(counter >> 32),
+      block_len,
+      flags,
+  };
+  std::uint32_t m[16];
+  std::memcpy(m, block_words, sizeof(m));
+  for (int r = 0;; ++r) {
+    round_fn(state, m);
+    if (r == 6) break;
+    std::uint32_t permuted[16];
+    for (int i = 0; i < 16; ++i) permuted[i] = m[kMsgPermutation[i]];
+    std::memcpy(m, permuted, sizeof(m));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[i] = state[i] ^ state[i + 8];
+    out[i + 8] = state[i + 8] ^ cv[i];
+  }
+}
+
+void words_from_le_bytes(const std::uint8_t block[64],
+                         std::uint32_t words[16]) {
+  for (int i = 0; i < 16; ++i) {
+    words[i] = static_cast<std::uint32_t>(block[4 * i]) |
+               (static_cast<std::uint32_t>(block[4 * i + 1]) << 8) |
+               (static_cast<std::uint32_t>(block[4 * i + 2]) << 16) |
+               (static_cast<std::uint32_t>(block[4 * i + 3]) << 24);
+  }
+}
+
+}  // namespace
+
+/// Spec's "output object": enough state to produce a chaining value or an
+/// arbitrary-length root output.
+struct Blake3::Output {
+  std::array<std::uint32_t, 8> cv;
+  std::uint32_t block_words[16];
+  std::uint64_t counter;
+  std::uint32_t block_len;
+  std::uint32_t flags;
+
+  std::array<std::uint32_t, 8> chaining_value() const {
+    std::uint32_t out[16];
+    compress(cv, block_words, counter, block_len, flags, out);
+    std::array<std::uint32_t, 8> result;
+    std::memcpy(result.data(), out, sizeof(result));
+    return result;
+  }
+
+  void root_bytes(std::uint8_t* out, std::size_t out_len) const {
+    std::uint64_t output_counter = 0;
+    while (out_len > 0) {
+      std::uint32_t words[16];
+      compress(cv, block_words, output_counter, block_len, flags | kRoot,
+               words);
+      for (int w = 0; w < 16 && out_len > 0; ++w) {
+        for (int b = 0; b < 4 && out_len > 0; ++b) {
+          *out++ = static_cast<std::uint8_t>(words[w] >> (8 * b));
+          --out_len;
+        }
+      }
+      ++output_counter;
+    }
+  }
+};
+
+Blake3::Blake3() {
+  std::memcpy(key_.data(), kIV, sizeof(kIV));
+  chunk_.cv = key_;
+  base_flags_ = 0;
+}
+
+Blake3::Blake3(const std::uint8_t key[32]) {
+  for (int i = 0; i < 8; ++i) {
+    key_[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(key[4 * i]) |
+        (static_cast<std::uint32_t>(key[4 * i + 1]) << 8) |
+        (static_cast<std::uint32_t>(key[4 * i + 2]) << 16) |
+        (static_cast<std::uint32_t>(key[4 * i + 3]) << 24);
+  }
+  chunk_.cv = key_;
+  base_flags_ = kKeyedHash;
+  chunk_.flags = kKeyedHash;
+}
+
+namespace {
+
+/// Chunk-state helpers operate through these free functions to keep the
+/// class surface minimal.
+std::uint32_t start_flag(std::uint8_t blocks_compressed) noexcept {
+  return blocks_compressed == 0 ? kChunkStart : 0;
+}
+
+}  // namespace
+
+void Blake3::add_chunk_cv(const std::array<std::uint32_t, 8>& cv,
+                          std::uint64_t total_chunks) {
+  // Merge completed subtrees: for each trailing zero bit of total_chunks,
+  // pop a sibling and compress a parent node.
+  std::array<std::uint32_t, 8> new_cv = cv;
+  std::uint64_t chunks = total_chunks;
+  while ((chunks & 1) == 0) {
+    const auto& left = cv_stack_[--cv_stack_len_];
+    std::uint32_t block_words[16];
+    std::memcpy(block_words, left.data(), 32);
+    std::memcpy(block_words + 8, new_cv.data(), 32);
+    std::uint32_t out[16];
+    compress(key_, block_words, 0, 64, kParent | base_flags_, out);
+    std::memcpy(new_cv.data(), out, 32);
+    chunks >>= 1;
+  }
+  cv_stack_[cv_stack_len_++] = new_cv;
+}
+
+void Blake3::update(const void* data, std::size_t len) {
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    // If the current chunk is full, finalize its CV into the tree and
+    // start a new chunk.
+    if (chunk_.len() == 1024) {
+      std::uint32_t block_words[16];
+      words_from_le_bytes(chunk_.block, block_words);
+      std::uint32_t out[16];
+      compress(chunk_.cv, block_words, chunk_.chunk_counter, chunk_.block_len,
+               chunk_.flags | start_flag(chunk_.blocks_compressed) |
+                   kChunkEnd,
+               out);
+      std::array<std::uint32_t, 8> cv;
+      std::memcpy(cv.data(), out, 32);
+      const std::uint64_t total = chunk_.chunk_counter + 1;
+      add_chunk_cv(cv, total);
+      chunk_ = ChunkState{};
+      chunk_.cv = key_;
+      chunk_.flags = base_flags_;
+      chunk_.chunk_counter = total;
+    }
+    // If the block buffer is full, compress it (it is not the last block —
+    // more input follows).
+    if (chunk_.block_len == 64) {
+      std::uint32_t block_words[16];
+      words_from_le_bytes(chunk_.block, block_words);
+      std::uint32_t out[16];
+      compress(chunk_.cv, block_words, chunk_.chunk_counter, 64,
+               chunk_.flags | start_flag(chunk_.blocks_compressed), out);
+      std::memcpy(chunk_.cv.data(), out, 32);
+      chunk_.blocks_compressed++;
+      chunk_.block_len = 0;
+      std::memset(chunk_.block, 0, sizeof(chunk_.block));
+    }
+    const std::size_t want = 64 - chunk_.block_len;
+    const std::size_t take = len < want ? len : want;
+    std::memcpy(chunk_.block + chunk_.block_len, in, take);
+    chunk_.block_len += static_cast<std::uint8_t>(take);
+    in += take;
+    len -= take;
+  }
+}
+
+void Blake3::finalize(std::uint8_t* out, std::size_t out_len) const {
+  // Output object for the current (possibly partial) chunk.
+  Output output;
+  output.cv = chunk_.cv;
+  words_from_le_bytes(chunk_.block, output.block_words);
+  output.counter = chunk_.chunk_counter;
+  output.block_len = chunk_.block_len;
+  output.flags =
+      chunk_.flags | start_flag(chunk_.blocks_compressed) | kChunkEnd;
+
+  // Merge up the stack of pending subtree CVs.
+  int remaining = cv_stack_len_;
+  while (remaining > 0) {
+    --remaining;
+    std::array<std::uint32_t, 8> right_cv = output.chaining_value();
+    std::uint32_t block_words[16];
+    std::memcpy(block_words,
+                cv_stack_[static_cast<std::size_t>(remaining)].data(), 32);
+    std::memcpy(block_words + 8, right_cv.data(), 32);
+    output.cv = key_;
+    std::memcpy(output.block_words, block_words, sizeof(block_words));
+    output.counter = 0;
+    output.block_len = 64;
+    output.flags = kParent | base_flags_;
+  }
+  output.root_bytes(out, out_len);
+}
+
+void Blake3::hash(const void* data, std::size_t len, std::uint8_t* out,
+                  std::size_t out_len) {
+  Blake3 h;
+  h.update(data, len);
+  h.finalize(out, out_len);
+}
+
+std::string Blake3::hex(const void* data, std::size_t len,
+                        std::size_t out_len) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string result(out_len * 2, '0');
+  std::uint8_t buf[128];
+  std::size_t done = 0;
+  Blake3 h;
+  h.update(data, len);
+  // finalize supports any length directly; chunk through a buffer only to
+  // bound stack usage for very long outputs.
+  if (out_len <= sizeof(buf)) {
+    h.finalize(buf, out_len);
+    for (std::size_t i = 0; i < out_len; ++i) {
+      result[2 * i] = kHex[buf[i] >> 4];
+      result[2 * i + 1] = kHex[buf[i] & 0xf];
+    }
+    return result;
+  }
+  std::string bytes(out_len, '\0');
+  h.finalize(reinterpret_cast<std::uint8_t*>(bytes.data()), out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const auto b = static_cast<std::uint8_t>(bytes[i]);
+    result[2 * i] = kHex[b >> 4];
+    result[2 * i + 1] = kHex[b & 0xf];
+  }
+  (void)done;
+  return result;
+}
+
+}  // namespace xtask::posp

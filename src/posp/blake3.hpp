@@ -1,0 +1,66 @@
+// Portable BLAKE3 cryptographic hash (O'Connor et al., 2019), implemented
+// from the public specification. The Proof-of-Space application (§VII)
+// hashes nonces with BLAKE3 exactly as the paper's PoSp implementation
+// does; this is a complete single-threaded implementation (keyed mode and
+// extendable output included), not a stub.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace xtask::posp {
+
+class Blake3 {
+ public:
+  static constexpr std::size_t kOutLen = 32;  // default digest bytes
+
+  /// Regular hashing.
+  Blake3();
+  /// Keyed hashing with a 32-byte key.
+  explicit Blake3(const std::uint8_t key[32]);
+
+  /// Absorb `len` bytes.
+  void update(const void* data, std::size_t len);
+
+  /// Produce `out_len` bytes of output (XOF: any length). May be called
+  /// once per hasher state; does not modify the absorbed state.
+  void finalize(std::uint8_t* out, std::size_t out_len) const;
+
+  /// One-shot convenience.
+  static void hash(const void* data, std::size_t len, std::uint8_t* out,
+                   std::size_t out_len = kOutLen);
+
+  /// Hex digest convenience (tests, logging).
+  static std::string hex(const void* data, std::size_t len,
+                         std::size_t out_len = kOutLen);
+
+ private:
+  struct Output;  // chaining-value producer (spec's "output" object)
+
+  struct ChunkState {
+    std::array<std::uint32_t, 8> cv;
+    std::uint64_t chunk_counter = 0;
+    std::uint8_t block[64] = {};
+    std::uint8_t block_len = 0;
+    std::uint8_t blocks_compressed = 0;
+    std::uint32_t flags = 0;
+
+    std::size_t len() const noexcept {
+      return 64 * static_cast<std::size_t>(blocks_compressed) + block_len;
+    }
+  };
+
+  void add_chunk_cv(const std::array<std::uint32_t, 8>& cv,
+                    std::uint64_t total_chunks);
+
+  std::array<std::uint32_t, 8> key_;
+  ChunkState chunk_;
+  // Stack of subtree chaining values (one per set bit of the chunk count).
+  std::array<std::array<std::uint32_t, 8>, 54> cv_stack_;
+  std::uint8_t cv_stack_len_ = 0;
+  std::uint32_t base_flags_ = 0;
+};
+
+}  // namespace xtask::posp

@@ -1,0 +1,188 @@
+#include "posp/plot_file.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace xtask::posp {
+
+namespace {
+
+constexpr std::size_t kRecordBytes = 32;  // 28-byte hash + 4-byte nonce
+
+void encode_record(const Puzzle& p, std::uint8_t out[kRecordBytes]) {
+  std::memcpy(out, p.hash, 28);
+  for (int i = 0; i < 4; ++i)
+    out[28 + i] = static_cast<std::uint8_t>(p.nonce >> (8 * i));
+}
+
+Puzzle decode_record(const std::uint8_t in[kRecordBytes]) {
+  Puzzle p;
+  std::memcpy(p.hash, in, 28);
+  p.nonce = static_cast<std::uint32_t>(in[28]) |
+            (static_cast<std::uint32_t>(in[29]) << 8) |
+            (static_cast<std::uint32_t>(in[30]) << 16) |
+            (static_cast<std::uint32_t>(in[31]) << 24);
+  return p;
+}
+
+bool hash_less(const Puzzle& a, const Puzzle& b) {
+  return std::memcmp(a.hash, b.hash, 28) < 0;
+}
+
+/// RAII FILE handle.
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(const char* path, const char* mode)
+      : f(std::fopen(path, mode)) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  explicit operator bool() const { return f != nullptr; }
+};
+
+}  // namespace
+
+bool write_plot_file(const Plot& plot, const std::string& path) {
+  File file(path.c_str(), "wb");
+  if (!file) return false;
+
+  PlotFileHeader header;
+  header.plot_seed = plot.config().plot_seed;
+  header.k = static_cast<std::uint32_t>(plot.config().k);
+  header.bucket_bits = static_cast<std::uint32_t>(plot.config().bucket_bits);
+  header.total_puzzles = plot.total_puzzles();
+  if (std::fwrite(&header, sizeof(header), 1, file.f) != 1) return false;
+
+  // Offset table (record indices, prefix sum over bucket sizes).
+  const std::size_t buckets = plot.num_buckets();
+  std::vector<std::uint64_t> offsets(buckets + 1, 0);
+  for (std::size_t b = 0; b < buckets; ++b)
+    offsets[b + 1] = offsets[b] + plot.bucket(b).size();
+  if (std::fwrite(offsets.data(), sizeof(std::uint64_t), offsets.size(),
+                  file.f) != offsets.size())
+    return false;
+
+  // Records, bucket by bucket, hash-sorted within each bucket.
+  std::vector<Puzzle> sorted;
+  std::vector<std::uint8_t> encoded;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    sorted.assign(plot.bucket(b).begin(), plot.bucket(b).end());
+    std::sort(sorted.begin(), sorted.end(), hash_less);
+    encoded.resize(sorted.size() * kRecordBytes);
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+      encode_record(sorted[i], encoded.data() + i * kRecordBytes);
+    if (!encoded.empty() &&
+        std::fwrite(encoded.data(), 1, encoded.size(), file.f) !=
+            encoded.size())
+      return false;
+  }
+  return std::fflush(file.f) == 0;
+}
+
+PlotFileReader::PlotFileReader(const std::string& path) : path_(path) {
+  File file(path.c_str(), "rb");
+  if (!file) {
+    error_ = "cannot open " + path;
+    return;
+  }
+  if (std::fread(&header_, sizeof(header_), 1, file.f) != 1 ||
+      header_.magic != PlotFileHeader::kMagic) {
+    error_ = "bad plot file header";
+    return;
+  }
+  if (header_.bucket_bits > 24) {
+    error_ = "implausible bucket_bits";
+    return;
+  }
+  const std::uint64_t buckets = 1ull << header_.bucket_bits;
+  offsets_.resize(buckets + 1);
+  if (std::fread(offsets_.data(), sizeof(std::uint64_t), offsets_.size(),
+                 file.f) != offsets_.size()) {
+    error_ = "truncated offset table";
+    offsets_.clear();
+    return;
+  }
+  if (offsets_.back() != header_.total_puzzles) {
+    error_ = "offset table does not cover all puzzles";
+    offsets_.clear();
+    return;
+  }
+  records_start_ =
+      sizeof(header_) + offsets_.size() * sizeof(std::uint64_t);
+}
+
+std::vector<Puzzle> PlotFileReader::read_bucket(std::uint64_t bucket) const {
+  std::vector<Puzzle> out;
+  if (!ok() || bucket + 1 >= offsets_.size()) return out;
+  const std::uint64_t first = offsets_[bucket];
+  const std::uint64_t count = offsets_[bucket + 1] - first;
+  if (count == 0) return out;
+  File file(path_.c_str(), "rb");
+  if (!file) return out;
+  if (std::fseek(file.f,
+                 static_cast<long>(records_start_ + first * kRecordBytes),
+                 SEEK_SET) != 0)
+    return out;
+  std::vector<std::uint8_t> buf(count * kRecordBytes);
+  if (std::fread(buf.data(), 1, buf.size(), file.f) != buf.size())
+    return out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    out.push_back(decode_record(buf.data() + i * kRecordBytes));
+  return out;
+}
+
+bool PlotFileReader::best_proof(const std::uint8_t challenge[28],
+                                Puzzle* out) const {
+  if (!ok()) return false;
+  const std::uint32_t prefix =
+      (static_cast<std::uint32_t>(challenge[0]) << 16) |
+      (static_cast<std::uint32_t>(challenge[1]) << 8) |
+      static_cast<std::uint32_t>(challenge[2]);
+  const std::uint64_t bucket = prefix >> (24 - header_.bucket_bits);
+  const auto puzzles = read_bucket(bucket);
+  int best_score = -1;
+  for (const Puzzle& p : puzzles) {
+    int score = 0;
+    for (int i = 0; i < 28; ++i) {
+      const auto x = static_cast<std::uint8_t>(p.hash[i] ^ challenge[i]);
+      if (x == 0) {
+        score += 8;
+        continue;
+      }
+      for (int bit = 7; bit >= 0; --bit) {
+        if ((x >> bit) & 1) break;
+        ++score;
+      }
+      break;
+    }
+    if (score > best_score) {
+      best_score = score;
+      *out = p;
+    }
+  }
+  return best_score >= 0;
+}
+
+bool PlotFileReader::verify_all() const {
+  if (!ok()) return false;
+  PospConfig cfg;
+  cfg.k = static_cast<int>(header_.k);
+  cfg.bucket_bits = static_cast<int>(header_.bucket_bits);
+  cfg.plot_seed = header_.plot_seed;
+  Plot reference(cfg);  // only used for make_puzzle()
+  std::uint64_t seen = 0;
+  for (std::uint64_t b = 0; b + 1 < offsets_.size(); ++b) {
+    const auto puzzles = read_bucket(b);
+    for (std::size_t i = 0; i < puzzles.size(); ++i) {
+      const Puzzle expect = reference.make_puzzle(puzzles[i].nonce);
+      if (std::memcmp(expect.hash, puzzles[i].hash, 28) != 0) return false;
+      if (i > 0 && hash_less(puzzles[i], puzzles[i - 1])) return false;
+      ++seen;
+    }
+  }
+  return seen == header_.total_puzzles;
+}
+
+}  // namespace xtask::posp

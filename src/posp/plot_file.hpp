@@ -1,0 +1,69 @@
+// Plot-file persistence for Proof-of-Space (§VII): production PoSp chains
+// (Chia, §VII's reference point) store the 2^K puzzles "in a single file"
+// organized for efficient retrieval. This module serializes a Plot into
+// that shape — a header, a bucket index, and bucket-sorted puzzle records
+// — and answers challenges directly from the file without loading the
+// whole plot.
+//
+// Layout (little-endian):
+//   [PlotFileHeader]
+//   [bucket offset table: (buckets+1) × u64]   — record indices, prefix-sum
+//   [puzzle records: 32 bytes each, grouped by bucket, hash-sorted]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "posp/posp.hpp"
+
+namespace xtask::posp {
+
+struct PlotFileHeader {
+  static constexpr std::uint64_t kMagic = 0x58504c4f54763101ull;  // XPLOTv1
+  std::uint64_t magic = kMagic;
+  std::uint64_t plot_seed = 0;
+  std::uint32_t k = 0;
+  std::uint32_t bucket_bits = 0;
+  std::uint64_t total_puzzles = 0;
+};
+
+/// Write `plot` to `path`. Buckets are emitted in index order with their
+/// puzzles sorted by hash (binary-search-friendly). Returns false on I/O
+/// failure.
+bool write_plot_file(const Plot& plot, const std::string& path);
+
+/// A plot stored on disk; answers challenges by reading one bucket.
+class PlotFileReader {
+ public:
+  /// Open and validate the file. Throws nothing: check ok() after
+  /// construction; error() describes the failure.
+  explicit PlotFileReader(const std::string& path);
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+  const PlotFileHeader& header() const noexcept { return header_; }
+  std::uint64_t num_buckets() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Load one bucket's puzzles (ordered by hash).
+  std::vector<Puzzle> read_bucket(std::uint64_t bucket) const;
+
+  /// Best stored proof for `challenge` (same scoring as Plot::best_proof)
+  /// touching only the matching bucket. Returns false on empty bucket.
+  bool best_proof(const std::uint8_t challenge[28], Puzzle* out) const;
+
+  /// Full-file integrity scan: recompute every puzzle hash and check the
+  /// per-bucket ordering. Expensive; tooling/tests only.
+  bool verify_all() const;
+
+ private:
+  std::string path_;
+  std::string error_;
+  PlotFileHeader header_{};
+  std::vector<std::uint64_t> offsets_;  // record index per bucket, +1 end
+  std::uint64_t records_start_ = 0;     // byte offset of first record
+};
+
+}  // namespace xtask::posp

@@ -1,0 +1,74 @@
+#include "posp/posp.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "core/common.hpp"
+
+namespace xtask::posp {
+
+Plot::Plot(const PospConfig& cfg)
+    : cfg_(cfg),
+      buckets_(static_cast<std::size_t>(1) << cfg.bucket_bits) {
+  XTASK_CHECK(cfg.k >= 1 && cfg.k <= 32);
+  XTASK_CHECK(cfg.bucket_bits >= 1 && cfg.bucket_bits <= 20);
+}
+
+Puzzle Plot::make_puzzle(std::uint32_t nonce) const {
+  // Message: 8-byte plot seed || 4-byte nonce, little endian — the same
+  // "hash a nonce into the plot" structure as the paper's PoSp.
+  std::uint8_t msg[12];
+  for (int i = 0; i < 8; ++i)
+    msg[i] = static_cast<std::uint8_t>(cfg_.plot_seed >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    msg[8 + i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  Puzzle p;
+  Blake3::hash(msg, sizeof(msg), p.hash, sizeof(p.hash));
+  p.nonce = nonce;
+  return p;
+}
+
+void Plot::fill_range(std::uint32_t first, std::uint32_t count) {
+  // Hash outside the lock; group appends per bucket to shorten critical
+  // sections (the runtime under test is the tasking layer, not these
+  // app-level bucket mutexes).
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Puzzle p = make_puzzle(first + i);
+    Bucket& b = buckets_[bucket_index(p.hash)];
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.puzzles.push_back(p);
+  }
+}
+
+bool Plot::best_proof(const std::uint8_t challenge[28], Puzzle* out) const {
+  const Bucket& b = buckets_[bucket_index(challenge)];
+  // Score = common prefix bits with the challenge (higher is better).
+  int best_score = -1;
+  for (const Puzzle& p : b.puzzles) {
+    int score = 0;
+    for (int i = 0; i < 28; ++i) {
+      const std::uint8_t x = static_cast<std::uint8_t>(p.hash[i] ^ challenge[i]);
+      if (x == 0) {
+        score += 8;
+        continue;
+      }
+      for (int bit = 7; bit >= 0; --bit) {
+        if ((x >> bit) & 1) break;
+        ++score;
+      }
+      break;
+    }
+    if (score > best_score) {
+      best_score = score;
+      *out = p;
+    }
+  }
+  return best_score >= 0;
+}
+
+bool Plot::verify(const Puzzle& proof) const {
+  const Puzzle expect = make_puzzle(proof.nonce);
+  return std::memcmp(expect.hash, proof.hash, sizeof(expect.hash)) == 0;
+}
+
+}  // namespace xtask::posp

@@ -1,0 +1,108 @@
+// Proof-of-Space (PoSp) plot generation (paper §VII): fill buckets with
+// cryptographic puzzles — each a 28-byte BLAKE3 hash plus its 4-byte nonce
+// — using task parallelism, with a configurable batch size (puzzles per
+// task). Mirrors the paper's C/OpenMP PoSp implementation: a single loop
+// spawns one task per batch; tasks hash their nonce range and append the
+// puzzles to hash-prefix buckets, which a verifier can later scan to
+// answer challenges (Chia-style space proofs).
+//
+// Scale substitution: production PoSp uses K = 32 (2^32 puzzles ≈ 137 GB,
+// single file). We default to K in the 16–24 range; the throughput-vs-
+// batch-size behaviour being reproduced is a property of the tasking
+// runtime, not of the plot size (see EXPERIMENTS.md / Fig. 8).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "posp/blake3.hpp"
+
+namespace xtask::posp {
+
+struct Puzzle {
+  std::uint8_t hash[28];
+  std::uint32_t nonce;
+};
+
+struct PospConfig {
+  int k = 18;                 // 2^k puzzles in the plot
+  std::uint32_t batch = 64;   // puzzles generated per task
+  int bucket_bits = 8;        // buckets = 2^bucket_bits, keyed by hash MSBs
+  std::uint64_t plot_seed = 0xC41A;  // plot identity, mixed into each hash
+};
+
+/// An in-memory plot: puzzles sorted into hash-prefix buckets.
+class Plot {
+ public:
+  explicit Plot(const PospConfig& cfg);
+
+  const PospConfig& config() const noexcept { return cfg_; }
+  std::uint64_t total_puzzles() const noexcept { return total_; }
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  const std::vector<Puzzle>& bucket(std::size_t i) const noexcept {
+    return buckets_[i].puzzles;
+  }
+
+  /// Compute the puzzle for `nonce` (pure function of plot_seed & nonce).
+  Puzzle make_puzzle(std::uint32_t nonce) const;
+
+  /// Append a batch of puzzles for nonces [first, first+count) — hashing
+  /// happens outside any lock; only the bucket appends synchronize.
+  void fill_range(std::uint32_t first, std::uint32_t count);
+
+  /// Generate the whole plot on runtime `rt` (any runtime with the
+  /// spawn/taskwait context API). Returns wall time in seconds.
+  template <typename RuntimeT>
+  double generate(RuntimeT& rt);
+
+  /// Answer a challenge: the stored puzzle whose hash is closest (by
+  /// prefix XOR distance) to `challenge` within its bucket. Returns false
+  /// for an empty plot.
+  bool best_proof(const std::uint8_t challenge[28], Puzzle* out) const;
+
+  /// Recompute the hash of a claimed proof and check it matches.
+  bool verify(const Puzzle& proof) const;
+
+ private:
+  struct Bucket {
+    std::mutex mu;
+    std::vector<Puzzle> puzzles;
+  };
+
+  std::size_t bucket_index(const std::uint8_t* hash) const noexcept {
+    // Top bucket_bits of the first bytes.
+    std::uint32_t v = (static_cast<std::uint32_t>(hash[0]) << 16) |
+                      (static_cast<std::uint32_t>(hash[1]) << 8) |
+                      static_cast<std::uint32_t>(hash[2]);
+    return v >> (24 - cfg_.bucket_bits);
+  }
+
+  PospConfig cfg_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t total_ = 0;  // valid after generate()
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename RuntimeT>
+double Plot::generate(RuntimeT& rt) {
+  const std::uint64_t total = 1ull << cfg_.k;
+  const std::uint32_t batch = cfg_.batch == 0 ? 1 : cfg_.batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run([&](auto& ctx) {
+    for (std::uint64_t first = 0; first < total; first += batch) {
+      const auto count = static_cast<std::uint32_t>(
+          first + batch <= total ? batch : total - first);
+      const auto f32 = static_cast<std::uint32_t>(first);
+      ctx.spawn([this, f32, count](auto&) { fill_range(f32, count); });
+    }
+    ctx.taskwait();
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  total_ = total;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace xtask::posp

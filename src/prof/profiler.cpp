@@ -1,0 +1,145 @@
+#include "prof/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace xtask {
+
+const char* event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kTask: return "TASK";
+    case EventKind::kTaskCreate: return "TASK_CREATE";
+    case EventKind::kTaskWait: return "TASKWAIT";
+    case EventKind::kBarrier: return "BARRIER";
+    case EventKind::kStall: return "STALL";
+    default: return "?";
+  }
+}
+
+Counters& Counters::operator+=(const Counters& o) noexcept {
+  ntasks_self += o.ntasks_self;
+  ntasks_local += o.ntasks_local;
+  ntasks_remote += o.ntasks_remote;
+  ntasks_static_push += o.ntasks_static_push;
+  ntasks_imm_exec += o.ntasks_imm_exec;
+  nreq_sent += o.nreq_sent;
+  nreq_handled += o.nreq_handled;
+  nreq_has_steal += o.nreq_has_steal;
+  nreq_src_empty += o.nreq_src_empty;
+  nreq_target_full += o.nreq_target_full;
+  nsteal_local += o.nsteal_local;
+  nsteal_remote += o.nsteal_remote;
+  ntasks_created += o.ntasks_created;
+  ntasks_executed += o.ntasks_executed;
+  return *this;
+}
+
+std::array<std::uint64_t, kEventKinds> ThreadProfile::cycles_by_kind() const {
+  std::array<std::uint64_t, kEventKinds> out{};
+  for (const PerfEvent& e : events_) {
+    if (e.end >= e.start) out[static_cast<int>(e.kind)] += e.end - e.start;
+  }
+  return out;
+}
+
+Profiler::Profiler(int num_threads, bool events_enabled)
+    : events_on_(events_enabled),
+      profiles_(static_cast<std::size_t>(num_threads)) {
+  for (auto& p : profiles_) p.set_events_enabled(events_enabled);
+}
+
+Counters Profiler::total_counters() const {
+  Counters total;
+  for (const auto& p : profiles_) total += p.counters;
+  return total;
+}
+
+std::vector<ThreadSummary> Profiler::summarize() const {
+  std::vector<ThreadSummary> out;
+  out.reserve(profiles_.size());
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    ThreadSummary s;
+    s.tid = static_cast<int>(i);
+    s.cycles = profiles_[i].cycles_by_kind();
+    s.tasks_created = profiles_[i].counters.ntasks_created;
+    s.tasks_executed = profiles_[i].counters.ntasks_executed;
+    out.push_back(s);
+  }
+  return out;
+}
+
+bool Profiler::dump_events_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << "tid,kind,start,end\n";
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    for (const PerfEvent& e : profiles_[i].events()) {
+      f << i << ',' << event_kind_name(e.kind) << ',' << e.start << ','
+        << e.end << '\n';
+    }
+  }
+  return f.good();
+}
+
+bool Profiler::dump_counters_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << "tid,ntasks_self,ntasks_local,ntasks_remote,ntasks_static_push,"
+       "ntasks_imm_exec,nreq_sent,nreq_handled,nreq_has_steal,"
+       "nreq_src_empty,nreq_target_full,nsteal_local,nsteal_remote,"
+       "ntasks_created,ntasks_executed\n";
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    const Counters& c = profiles_[i].counters;
+    f << i << ',' << c.ntasks_self << ',' << c.ntasks_local << ','
+      << c.ntasks_remote << ',' << c.ntasks_static_push << ','
+      << c.ntasks_imm_exec << ',' << c.nreq_sent << ',' << c.nreq_handled
+      << ',' << c.nreq_has_steal << ',' << c.nreq_src_empty << ','
+      << c.nreq_target_full << ',' << c.nsteal_local << ','
+      << c.nsteal_remote << ',' << c.ntasks_created << ','
+      << c.ntasks_executed << '\n';
+  }
+  return f.good();
+}
+
+std::string Profiler::timeline_report(int bar_width) const {
+  // One row per thread: a proportional bar over the event kinds (Fig. 3
+  // left), then created/executed counts (Fig. 3 right).
+  static constexpr char kGlyph[kEventKinds] = {'#', '+', 'w', 'B', '.'};
+  const auto summaries = summarize();
+  std::uint64_t max_total = 1;
+  for (const auto& s : summaries) {
+    std::uint64_t t = 0;
+    for (auto c : s.cycles) t += c;
+    max_total = std::max(max_total, t);
+  }
+  std::string out;
+  out += "timeline summary  (#=task +=create w=taskwait B=barrier .=stall)\n";
+  char line[256];
+  for (const auto& s : summaries) {
+    std::uint64_t total = 0;
+    for (auto c : s.cycles) total += c;
+    std::string bar;
+    // Scale the row against the longest-running thread so imbalance shows
+    // up as short bars, matching the paper's presentation.
+    const int row_width = static_cast<int>(
+        static_cast<double>(total) / static_cast<double>(max_total) *
+        bar_width);
+    for (int k = 0; k < kEventKinds; ++k) {
+      const int w =
+          total == 0 ? 0
+                     : static_cast<int>(static_cast<double>(s.cycles[k]) /
+                                        static_cast<double>(total) *
+                                        row_width);
+      bar.append(static_cast<std::size_t>(w), kGlyph[k]);
+    }
+    std::snprintf(line, sizeof(line), "t%03d |%-*s| created=%llu executed=%llu\n",
+                  s.tid, bar_width, bar.c_str(),
+                  static_cast<unsigned long long>(s.tasks_created),
+                  static_cast<unsigned long long>(s.tasks_executed));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace xtask

@@ -1,0 +1,148 @@
+// Per-thread performance profiling tools (paper §V): event timelines keyed
+// by rdtscp timestamps plus thread-local statistical counters, with a dump
+// API equivalent to the paper's xomp_perflog_dump.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace xtask {
+
+/// Event classes from §V. Each recorded event carries a start and end
+/// timestamp in rdtscp cycles.
+enum class EventKind : std::uint8_t {
+  kTask = 0,      // executing a task body               (paper: TASK)
+  kTaskCreate,    // allocating + enqueueing a new task  (paper: GOMP_TASK)
+  kTaskWait,      // inside a taskwait                   (paper: TASKWAIT)
+  kBarrier,       // inside the team barrier             (paper: BARRIER)
+  kStall,         // idle, polling queues                (paper: STALL)
+  kCount_,
+};
+inline constexpr int kEventKinds = static_cast<int>(EventKind::kCount_);
+
+const char* event_kind_name(EventKind k) noexcept;
+
+struct PerfEvent {
+  std::uint64_t start;
+  std::uint64_t end;
+  EventKind kind;
+};
+
+/// Statistical counters from §V. All per-thread; aggregation happens at
+/// report time so the hot path touches only thread-local cache lines.
+struct Counters {
+  // Task locality: executed by creator core / creator's NUMA zone / other.
+  std::uint64_t ntasks_self = 0;
+  std::uint64_t ntasks_local = 0;
+  std::uint64_t ntasks_remote = 0;
+  // Dispatch: queued by the static balancer vs. executed immediately
+  // because the target queue was full.
+  std::uint64_t ntasks_static_push = 0;
+  std::uint64_t ntasks_imm_exec = 0;
+  // DLB messaging funnel.
+  std::uint64_t nreq_sent = 0;
+  std::uint64_t nreq_handled = 0;
+  std::uint64_t nreq_has_steal = 0;
+  std::uint64_t nreq_src_empty = 0;
+  std::uint64_t nreq_target_full = 0;
+  // Stolen-task locality (thief side).
+  std::uint64_t nsteal_local = 0;
+  std::uint64_t nsteal_remote = 0;
+  // Totals.
+  std::uint64_t ntasks_created = 0;
+  std::uint64_t ntasks_executed = 0;
+
+  Counters& operator+=(const Counters& o) noexcept;
+};
+
+/// One thread's profile: counters always on (cheap, thread-local), event
+/// log only when the profiler was constructed with events enabled.
+class alignas(kCacheLine) ThreadProfile {
+ public:
+  Counters counters;
+
+  void set_events_enabled(bool on) { events_on_ = on; }
+
+  void record(EventKind kind, std::uint64_t start, std::uint64_t end) {
+    if (!events_on_) return;
+    events_.push_back(PerfEvent{start, end, kind});
+  }
+
+  const std::vector<PerfEvent>& events() const noexcept { return events_; }
+  void clear_events() { events_.clear(); }
+
+  /// Total cycles recorded per event kind.
+  std::array<std::uint64_t, kEventKinds> cycles_by_kind() const;
+
+ private:
+  bool events_on_ = false;
+  std::vector<PerfEvent> events_;
+};
+
+/// RAII scope that records one event on destruction.
+class ScopedEvent {
+ public:
+  ScopedEvent(ThreadProfile& p, EventKind k) noexcept
+      : prof_(p), kind_(k), start_(rdtscp()) {}
+  ~ScopedEvent() { prof_.record(kind_, start_, rdtscp()); }
+
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+ private:
+  ThreadProfile& prof_;
+  EventKind kind_;
+  std::uint64_t start_;
+};
+
+/// Aggregated per-thread summary used for the Fig. 3-style reports.
+struct ThreadSummary {
+  int tid = 0;
+  std::array<std::uint64_t, kEventKinds> cycles{};  // by EventKind
+  std::uint64_t tasks_created = 0;
+  std::uint64_t tasks_executed = 0;
+};
+
+/// Profiler owning all per-thread profiles for one runtime instance.
+class Profiler {
+ public:
+  Profiler(int num_threads, bool events_enabled);
+
+  ThreadProfile& thread(int tid) noexcept {
+    return profiles_[static_cast<std::size_t>(tid)];
+  }
+  const ThreadProfile& thread(int tid) const noexcept {
+    return profiles_[static_cast<std::size_t>(tid)];
+  }
+  int num_threads() const noexcept {
+    return static_cast<int>(profiles_.size());
+  }
+  bool events_enabled() const noexcept { return events_on_; }
+
+  /// Sum of all threads' counters.
+  Counters total_counters() const;
+
+  /// Per-thread aggregates (timeline summary + task count summary).
+  std::vector<ThreadSummary> summarize() const;
+
+  /// Write the raw event log as CSV (`tid,kind,start,end`). Equivalent of
+  /// the paper's xomp_perflog_dump. Returns false on I/O failure.
+  bool dump_events_csv(const std::string& path) const;
+
+  /// Write per-thread counters as CSV. Returns false on I/O failure.
+  bool dump_counters_csv(const std::string& path) const;
+
+  /// Render an ASCII Fig. 3-style report: one bar per thread showing the
+  /// share of time in each state, plus created/executed task counts.
+  std::string timeline_report(int bar_width = 60) const;
+
+ private:
+  bool events_on_;
+  std::vector<ThreadProfile> profiles_;
+};
+
+}  // namespace xtask

@@ -1,0 +1,54 @@
+#include "prof/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace xtask {
+
+std::string trace_to_json(const Profiler& prof,
+                          const TraceExportOptions& opts) {
+  // Normalize timestamps to the earliest event so traces start at t=0.
+  std::uint64_t t0 = ~0ull;
+  for (int t = 0; t < prof.num_threads(); ++t)
+    for (const PerfEvent& e : prof.thread(t).events())
+      t0 = std::min(t0, e.start);
+  if (t0 == ~0ull) t0 = 0;
+
+  std::string out = "[\n";
+  char buf[256];
+  bool first = true;
+  for (int t = 0; t < prof.num_threads(); ++t) {
+    // Thread name metadata record.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"worker %d\"}}",
+                  first ? "" : ",\n", t, t);
+    out += buf;
+    first = false;
+    for (const PerfEvent& e : prof.thread(t).events()) {
+      if (e.end < e.start || e.end - e.start < opts.min_cycles) continue;
+      const double ts =
+          static_cast<double>(e.start - t0) / opts.cycles_per_us;
+      const double dur =
+          static_cast<double>(e.end - e.start) / opts.cycles_per_us;
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                    "\"ts\":%.3f,\"dur\":%.3f}",
+                    event_kind_name(e.kind), t, ts, dur);
+      out += buf;
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool dump_trace_json(const Profiler& prof, const std::string& path,
+                     const TraceExportOptions& opts) {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << trace_to_json(prof, opts);
+  return f.good();
+}
+
+}  // namespace xtask

@@ -1,0 +1,30 @@
+// Chrome-trace exporter for the §V profiler: converts a Profiler's event
+// log into the Trace Event JSON format that chrome://tracing, Perfetto,
+// and Speedscope load directly — per-thread tracks of TASK / TASK_CREATE /
+// TASKWAIT / BARRIER / STALL spans.
+#pragma once
+
+#include <string>
+
+#include "prof/profiler.hpp"
+
+namespace xtask {
+
+/// Options for the export.
+struct TraceExportOptions {
+  /// Cycles per microsecond used to convert rdtscp timestamps; 2100 for
+  /// the paper's 2.1 GHz parts. Only scales the display.
+  double cycles_per_us = 2100.0;
+  /// Drop events shorter than this many cycles (they render as noise).
+  std::uint64_t min_cycles = 0;
+};
+
+/// Serialize all recorded events as a Trace Event JSON array document.
+std::string trace_to_json(const Profiler& prof,
+                          const TraceExportOptions& opts = {});
+
+/// Write the JSON to `path`. Returns false on I/O failure.
+bool dump_trace_json(const Profiler& prof, const std::string& path,
+                     const TraceExportOptions& opts = {});
+
+}  // namespace xtask

@@ -1,0 +1,663 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace xtask::sim {
+
+const char* sim_policy_name(SimPolicy p) noexcept {
+  switch (p) {
+    case SimPolicy::kGomp: return "GOMP";
+    case SimPolicy::kLomp: return "LOMP";
+    case SimPolicy::kXlomp: return "XLOMP";
+    case SimPolicy::kXGomp: return "XGOMP";
+    case SimPolicy::kXGompTB: return "XGOMPTB";
+    default: return "?";
+  }
+}
+
+SimEngine::SimEngine(SimConfig cfg)
+    : cfg_(cfg),
+      n_(cfg.machine.cores),
+      topo_(Topology::synthetic(cfg.machine.cores, cfg.machine.zones)),
+      malloc_arenas_(static_cast<std::size_t>(std::max(1, cfg.malloc_arenas))) {
+  XTASK_CHECK(n_ >= 1);
+  workers_.reserve(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    auto w = std::make_unique<WorkerState>();
+    w->id = i;
+    w->eng = this;
+    w->rr_cursor = static_cast<std::uint32_t>(i);
+    w->rng = XorShift(cfg_.seed + static_cast<std::uint64_t>(i) * 0x9e3779b9);
+    if (cfg.dlb == SimDlb::kQueueWorkSteal) {
+      w->q_round.assign(static_cast<std::size_t>(n_), 1);
+      w->q_request.assign(static_cast<std::size_t>(n_), 0);
+    }
+    workers_.push_back(std::move(w));
+  }
+  if (uses_xqueue())
+    qmatrix_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+}
+
+SimEngine::~SimEngine() = default;
+
+// ---------------------------------------------------------------------------
+// Virtual time and fiber orchestration.
+
+void SimEngine::advance(WorkerState& w, std::uint64_t cycles) {
+  w.clock += cycles;
+  maybe_switch(w);
+}
+
+void SimEngine::maybe_switch(WorkerState& w) {
+  if (ready_.empty() || ready_.top().first >= w.clock) return;
+  WorkerState* next = workers_[static_cast<std::size_t>(ready_.top().second)]
+                          .get();
+  ready_.pop();
+  ready_.emplace(w.clock, w.id);
+  current_ = next;
+  Fiber::switch_to(&w.fiber.context(), &next->fiber.context());
+  // Resumed: we are the minimum-clock worker again.
+  current_ = &w;
+}
+
+void SimEngine::use_resource(WorkerState& w, Resource& r, std::uint32_t hold) {
+  w.clock = r.acquire(w.clock, hold);
+  maybe_switch(w);
+}
+
+void SimEngine::worker_finished(WorkerState& w) {
+  w.done = true;
+  ++done_count_;
+  if (ready_.empty()) {
+    // Last worker standing: hand control back to run().
+    Fiber::switch_to(&w.fiber.context(), &main_ctx_);
+  } else {
+    WorkerState* next =
+        workers_[static_cast<std::size_t>(ready_.top().second)].get();
+    ready_.pop();
+    current_ = next;
+    Fiber::switch_to(&w.fiber.context(), &next->fiber.context());
+  }
+  fatal("finished sim worker resumed");
+}
+
+void SimEngine::fiber_entry(void* arg) {
+  auto* w = static_cast<WorkerState*>(arg);
+  w->eng->worker_main(*w);
+  w->eng->worker_finished(*w);
+}
+
+SimResult SimEngine::run(std::function<void(SimContext&)> root) {
+  // Root task, owned by worker 0 (mirrors Runtime::run).
+  auto* root_task = new SimTask;
+  root_task->body = std::move(root);
+  root_task->pending_children = 1;
+  root_task->creator = 0;
+  ++in_flight_;
+  ++total_tasks_;
+  workers_[0]->counters.ntasks_created++;
+  workers_[0]->current = nullptr;
+  // Worker 0 discovers the root in its master queue / global queue.
+  if (uses_xqueue())
+    q(0, 0).push_back(root_task);
+  else if (cfg_.policy == SimPolicy::kGomp)
+    global_q_.push_back(root_task);
+  else
+    workers_[0]->deque.push_back(root_task);
+
+  for (int i = 0; i < n_; ++i) {
+    workers_[static_cast<std::size_t>(i)]->fiber.create(
+        &SimEngine::fiber_entry, workers_[static_cast<std::size_t>(i)].get(),
+        cfg_.fiber_stack_bytes);
+    if (i != 0) ready_.emplace(0, i);
+  }
+  current_ = workers_[0].get();
+  Fiber::switch_to(&main_ctx_, &workers_[0]->fiber.context());
+
+  // All workers finished.
+  SimResult res;
+  res.tasks = total_tasks_;
+  res.per_worker.reserve(static_cast<std::size_t>(n_));
+  res.busy_per_worker.reserve(static_cast<std::size_t>(n_));
+  for (const auto& w : workers_) {
+    res.makespan = std::max(res.makespan, w->clock);
+    res.per_worker.push_back(w->counters);
+    res.busy_per_worker.push_back(w->busy_cycles);
+    res.totals += w->counters;
+  }
+  return res;
+}
+
+void SimEngine::worker_main(WorkerState& w) {
+  for (;;) {
+    if (SimTask* t = find_task(w)) {
+      w.idle_backoff = 0;
+      execute(w, t);
+      continue;
+    }
+    idle_step(w);
+    if (barrier_poll(w)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation model.
+
+SimEngine::SimTask* SimEngine::allocate_task(WorkerState& w) {
+  auto* t = new SimTask;  // host allocation; simulated cost below
+  advance(w, cfg_.machine.task_setup);
+  if (uses_pool_alloc()) {
+    t->pool_allocated = true;
+    if (w.freelist > 0) {
+      --w.freelist;
+      advance(w, cfg_.machine.pool_alloc);  // level (i): local free list
+    } else {
+      // Levels (ii)/(iii): grab a buffer from another thread or fall back
+      // to malloc. Both are distributed (buffers come from many peers,
+      // malloc from per-arena locks), so this costs like a cheap malloc
+      // spread over the arenas rather than one serial pool lock.
+      advance(w, cfg_.machine.malloc_work / 2 + cfg_.machine.lock_local_work);
+      use_resource(w,
+                   malloc_arenas_[w.rng.next() % malloc_arenas_.size()],
+                   cfg_.machine.malloc_serial / 2);
+      // The borrowed buffer lives in another thread's memory (§VI-A:
+      // LOMP "steals" buffer space locality-agnostically), so this task's
+      // private data is likely NUMA-remote during execution.
+      t->remote_buffer = true;
+    }
+  } else {
+    // GOMP-style: one malloc per task, arenas model the allocator's
+    // internal parallelism.
+    advance(w, cfg_.machine.malloc_work);
+    use_resource(
+        w,
+        malloc_arenas_[static_cast<std::size_t>(w.id) %
+                       malloc_arenas_.size()],
+        cfg_.machine.malloc_serial);
+  }
+  return t;
+}
+
+void SimEngine::release_task(WorkerState& w, SimTask* t) {
+  if (t->pool_allocated) {
+    ++w.freelist;
+    advance(w, cfg_.machine.pool_alloc / 2);
+  } else {
+    advance(w, cfg_.machine.malloc_work / 2);
+    use_resource(
+        w,
+        malloc_arenas_[static_cast<std::size_t>(w.id) %
+                       malloc_arenas_.size()],
+        cfg_.machine.malloc_serial / 2);
+  }
+  delete t;
+}
+
+// ---------------------------------------------------------------------------
+// Queue model.
+
+bool SimEngine::xq_push(WorkerState& w, int target, SimTask* t) {
+  auto& queue = q(target, w.id);
+  if (queue.size() >= cfg_.queue_capacity) return false;
+  advance(w, cfg_.machine.spsc_op);
+  queue.push_back(t);
+  return true;
+}
+
+SimEngine::SimTask* SimEngine::xq_pop(WorkerState& w) {
+  auto& master = q(w.id, w.id);
+  if (!master.empty()) {
+    advance(w, cfg_.machine.spsc_op);
+    SimTask* t = master.front();
+    master.pop_front();
+    return t;
+  }
+  std::uint32_t probes = 1;  // the master check above
+  for (int i = 1; i < n_; ++i) {
+    const int p = (w.id + i) % n_;
+    auto& aux = q(w.id, p);
+    if (!aux.empty()) {
+      advance(w, probes * cfg_.machine.queue_probe + cfg_.machine.spsc_op);
+      SimTask* t = aux.front();
+      aux.pop_front();
+      return t;
+    }
+    // The consumer's rotation hint makes long cold scans rare; cap the
+    // charged probes.
+    if (probes < cfg_.machine.probe_cap) ++probes;
+  }
+  advance(w, probes * cfg_.machine.queue_probe);
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Tasking.
+
+void SimEngine::spawn(WorkerState& w, std::function<void(SimContext&)> body) {
+  SimTask* t = allocate_task(w);
+  t->body = std::move(body);
+  t->parent = w.current;
+  t->pending_children = 1;
+  t->creator = w.id;
+  if (w.current != nullptr) ++w.current->pending_children;
+  ++in_flight_;
+  ++total_tasks_;
+  w.counters.ntasks_created++;
+
+  // Termination accounting.
+  switch (cfg_.policy) {
+    case SimPolicy::kXGomp:
+      advance(w, cfg_.machine.atomic_local_work);
+      use_resource(w, global_task_count_, cfg_.machine.atomic_transfer);
+      break;
+    case SimPolicy::kLomp:
+    case SimPolicy::kXlomp:
+      // Per-parent counter plus LLVM's richer per-task bookkeeping.
+      advance(w, cfg_.machine.atomic_local_work +
+                     cfg_.machine.lomp_task_extra);
+      break;
+    default:
+      break;  // GOMP folds it into the lock; XGOMPTB has none
+  }
+
+  if (cfg_.policy == SimPolicy::kGomp) {
+    use_resource(w, global_lock_, cfg_.machine.gomp_critical_section);
+    global_q_.push_back(t);
+    w.counters.ntasks_static_push++;
+    return;
+  }
+  if (cfg_.policy == SimPolicy::kLomp) {
+    use_resource(w, w.deque_lock, cfg_.machine.deque_lock_op);
+    w.deque.push_back(t);
+    w.counters.ntasks_static_push++;
+    return;
+  }
+
+  // XQueue policies. Victims handle steal requests only at scheduling
+  // points where they *find* tasks (find_task / idle polls), per Alg. 2 —
+  // a pure producer that never pops (Align's `single` loop) therefore
+  // never redirects, matching §VI-B1. An already-open NA-RP session does
+  // redirect the tasks spawned while it lasts (Alg. 3):
+  if (w.redirect_thief >= 0) {
+    advance(w, cell_cost(w.id, w.redirect_thief));
+    if (xq_push(w, w.redirect_thief, t)) {
+      ++w.redirect_pushed;
+      if (topo_.local(w.id, w.redirect_thief))
+        w.counters.nsteal_local++;
+      else
+        w.counters.nsteal_remote++;
+      if (w.redirect_pushed >=
+          static_cast<std::uint32_t>(effective_dlb(w).n_steal))
+        end_redirect_session(w);
+      return;
+    }
+    w.counters.nreq_target_full++;
+    end_redirect_session(w);
+  }
+
+  const int target =
+      static_cast<int>(w.rr_cursor % static_cast<std::uint32_t>(n_));
+  ++w.rr_cursor;
+  if (xq_push(w, target, t)) {
+    w.counters.ntasks_static_push++;
+    return;
+  }
+  w.counters.ntasks_imm_exec++;
+  execute(w, t);
+}
+
+SimEngine::SimTask* SimEngine::find_task(WorkerState& w) {
+  SimTask* t = nullptr;
+  switch (cfg_.policy) {
+    case SimPolicy::kGomp: {
+      use_resource(w, global_lock_, cfg_.machine.gomp_critical_section);
+      if (!global_q_.empty()) {
+        t = global_q_.front();
+        global_q_.pop_front();
+      }
+      break;
+    }
+    case SimPolicy::kLomp: {
+      use_resource(w, w.deque_lock, cfg_.machine.deque_lock_op);
+      if (!w.deque.empty()) {
+        t = w.deque.back();
+        w.deque.pop_back();
+        break;
+      }
+      // Random pull-based stealing (libomp thieves retry aggressively).
+      for (int attempt = 0; attempt < 4 && t == nullptr && n_ > 1;
+           ++attempt) {
+        const int v = static_cast<int>(
+            w.rng.below(static_cast<std::uint64_t>(n_)));
+        if (v == w.id) continue;
+        WorkerState& victim = *workers_[static_cast<std::size_t>(v)];
+        advance(w, cell_cost(w.id, v));
+        use_resource(w, victim.deque_lock, cfg_.machine.deque_lock_op);
+        if (!victim.deque.empty()) {
+          t = victim.deque.front();
+          victim.deque.pop_front();
+          if (topo_.local(w.id, v))
+            w.counters.nsteal_local++;
+          else
+            w.counters.nsteal_remote++;
+        }
+      }
+      break;
+    }
+    default:
+      t = xq_pop(w);
+      break;
+  }
+  if (t != nullptr && cfg_.dlb != SimDlb::kNone && uses_xqueue()) {
+    if (cfg_.dlb == SimDlb::kQueueWorkSteal)
+      queue_ws_victim_scan(w);
+    else
+      victim_check(w);
+  }
+  return t;
+}
+
+void SimEngine::execute(WorkerState& w, SimTask* t) {
+  {
+    Counters& c = w.counters;
+    if (t->creator == w.id)
+      c.ntasks_self++;
+    else if (topo_.local(w.id, t->creator))
+      c.ntasks_local++;
+    else
+      c.ntasks_remote++;
+  }
+  SimTask* saved = w.current;
+  w.current = t;
+  const std::uint64_t body_start = w.clock;
+  {
+    SimContext ctx(this, &w);
+    t->body(ctx);
+    t->body = nullptr;
+  }
+  if (cfg_.dlb == SimDlb::kAdaptive) {
+    const std::uint64_t dt = w.clock - body_start;
+    w.avg_task_cycles = w.avg_task_cycles == 0
+                            ? dt
+                            : w.avg_task_cycles +
+                                  (dt - w.avg_task_cycles) / 8;
+  }
+  w.current = saved;
+  w.counters.ntasks_executed++;
+  --in_flight_;
+
+  // Termination accounting on completion.
+  switch (cfg_.policy) {
+    case SimPolicy::kGomp:
+      use_resource(w, global_lock_, cfg_.machine.gomp_lock_poll);
+      break;
+    case SimPolicy::kXGomp:
+      advance(w, cfg_.machine.atomic_local_work);
+      use_resource(w, global_task_count_, cfg_.machine.atomic_transfer);
+      break;
+    case SimPolicy::kLomp:
+    case SimPolicy::kXlomp:
+      advance(w, cfg_.machine.atomic_local_work);
+      break;
+    default:
+      break;
+  }
+
+  // Lifetime: pending_children counts self + live children.
+  SimTask* parent = t->parent;
+  if (--t->pending_children == 0) release_task(w, t);
+  if (parent != nullptr && --parent->pending_children == 0)
+    release_task(w, parent);
+}
+
+void SimEngine::idle_step(WorkerState& w) {
+  if (w.redirect_thief >= 0) end_redirect_session(w);
+  if (cfg_.dlb != SimDlb::kNone && uses_xqueue() && n_ > 1) {
+    const bool queue_ws = cfg_.dlb == SimDlb::kQueueWorkSteal;
+    if (!w.request_open) {
+      queue_ws ? queue_ws_send_requests(w) : thief_send_requests(w);
+      w.request_open = true;
+      w.idle_wait = 0;
+    } else if (w.idle_wait >= effective_dlb(w).t_interval) {
+      queue_ws ? queue_ws_send_requests(w) : thief_send_requests(w);
+      w.idle_wait = 0;
+    }
+    if (queue_ws)
+      queue_ws_victim_scan(w);
+    else
+      victim_check(w);
+  }
+  // Exponential backoff models spin-then-sleep idling and keeps simulated
+  // idle polling from dominating event counts.
+  const std::uint32_t cap = cfg_.policy == SimPolicy::kGomp
+                                ? cfg_.machine.gomp_idle_backoff_max
+                                : cfg_.idle_backoff_max;
+  if (w.idle_backoff == 0)
+    w.idle_backoff = cfg_.machine.idle_poll;
+  else
+    w.idle_backoff = std::min(w.idle_backoff * 2, cap);
+  advance(w, w.idle_backoff);
+  w.idle_wait += w.idle_backoff;
+}
+
+bool SimEngine::barrier_poll(WorkerState& w) {
+  if (!w.arrived) {
+    w.arrived = true;
+    ++arrived_;
+  }
+  switch (cfg_.policy) {
+    case SimPolicy::kGomp:
+      // Barrier state is readable only under the global task lock.
+      use_resource(w, global_lock_, cfg_.machine.gomp_lock_poll);
+      break;
+    case SimPolicy::kXGomp:
+    case SimPolicy::kLomp:
+    case SimPolicy::kXlomp:
+      // Poll the shared counter line: hot read, no exclusive hold.
+      advance(w, cfg_.machine.barrier_poll +
+                     cfg_.machine.atomic_local_work);
+      break;
+    case SimPolicy::kXGompTB:
+      // Tree barrier: touch parent/child cells only.
+      advance(w, cfg_.machine.barrier_poll);
+      break;
+  }
+  return in_flight_ == 0 && arrived_ == n_;
+}
+
+// ---------------------------------------------------------------------------
+// DLB (mirrors Runtime's victim/thief logic with messaging costs).
+
+SimDlbConfig SimEngine::effective_dlb(const WorkerState& w) const noexcept {
+  if (cfg_.dlb != SimDlb::kAdaptive) return cfg_.dlb_cfg;
+  const std::uint64_t s = w.avg_task_cycles;
+  if (s == 0 || s < 100) return {1, 2, 10'000, 1.0};
+  if (s < 1'000) return {4, 16, 10'000, 1.0};
+  if (s < 10'000) return {8, 32, 10'000, 0.5};
+  return {24, 32, 1'000, 0.08};  // RP row (Table IV: P_local 3-12%)
+}
+
+void SimEngine::thief_send_requests(WorkerState& w) {
+  const SimDlbConfig dc = effective_dlb(w);
+  for (int i = 0; i < dc.n_victim; ++i) {
+    const int v = pick_victim(topo_, w.id, dc.p_local, w.rng);
+    if (v < 0) return;
+    WorkerState& victim = *workers_[static_cast<std::size_t>(v)];
+    advance(w, cell_cost(w.id, v));  // read round + request
+    if (steal::round_of(victim.request) < victim.round) {
+      advance(w, cell_cost(w.id, v));  // write request
+      victim.request = steal::pack(w.id, victim.round);
+      w.counters.nreq_sent++;
+    }
+  }
+}
+
+void SimEngine::victim_check(WorkerState& w) {
+  if (w.redirect_thief >= 0) return;
+  advance(w, cfg_.machine.cell_local);  // poll own request cell
+  if (steal::round_of(w.request) != w.round) return;
+  const int thief = steal::thief_of(w.request);
+  if (thief == w.id) return;
+  w.counters.nreq_handled++;
+  const bool redirect =
+      cfg_.dlb == SimDlb::kRedirectPush ||
+      (cfg_.dlb == SimDlb::kAdaptive && w.avg_task_cycles >= 10'000);
+  if (redirect) {
+    w.redirect_thief = thief;
+    w.redirect_pushed = 0;
+  } else {
+    do_work_steal(w, thief);
+    w.round++;
+  }
+}
+
+void SimEngine::do_work_steal(WorkerState& w, int thief) {
+  const std::uint32_t n_steal =
+      static_cast<std::uint32_t>(effective_dlb(w).n_steal);
+  std::uint32_t moved = 0;
+  while (moved < n_steal) {
+    SimTask* t = xq_pop(w);
+    if (t == nullptr) {
+      if (moved == 0) w.counters.nreq_src_empty++;
+      break;
+    }
+    advance(w, cell_cost(w.id, thief));
+    if (!xq_push(w, thief, t)) {
+      w.counters.nreq_target_full++;
+      if (!xq_push(w, w.id, t)) {
+        w.counters.ntasks_imm_exec++;
+        execute(w, t);
+      }
+      break;
+    }
+    ++moved;
+  }
+  if (moved > 0) {
+    w.counters.nreq_has_steal++;
+    if (topo_.local(w.id, thief))
+      w.counters.nsteal_local += moved;
+    else
+      w.counters.nsteal_remote += moved;
+  }
+}
+
+void SimEngine::queue_ws_send_requests(WorkerState& w) {
+  // Rejected design (§IV-D): address a specific SPSC queue of the victim.
+  // One producer/consumer per cell avoids overwrites, but the victim can
+  // only scan a few cells per scheduling point, so most requests go stale
+  // before they are seen.
+  for (int i = 0; i < cfg_.dlb_cfg.n_victim; ++i) {
+    const int v = pick_victim(topo_, w.id, cfg_.dlb_cfg.p_local, w.rng);
+    if (v < 0) return;
+    WorkerState& victim = *workers_[static_cast<std::size_t>(v)];
+    const auto qi = static_cast<std::size_t>(
+        w.rng.below(static_cast<std::uint64_t>(n_)));
+    advance(w, cell_cost(w.id, v));
+    if (steal::round_of(victim.q_request[qi]) < victim.q_round[qi]) {
+      advance(w, cell_cost(w.id, v));
+      victim.q_request[qi] = steal::pack(w.id, victim.q_round[qi]);
+      w.counters.nreq_sent++;
+    }
+  }
+}
+
+void SimEngine::queue_ws_victim_scan(WorkerState& w) {
+  // Scan a subset of the per-queue request cells per scheduling point.
+  constexpr int kScan = 8;
+  for (int i = 0; i < kScan; ++i) {
+    const auto qi = static_cast<std::size_t>(w.q_scan_cursor);
+    w.q_scan_cursor = (w.q_scan_cursor + 1) % n_;
+    advance(w, cfg_.machine.cell_local);
+    const std::uint64_t req = w.q_request[qi];
+    if (req == 0) continue;
+    w.q_request[qi] = 0;  // consume the cell
+    w.counters.nreq_handled++;
+    if (steal::round_of(req) != w.q_round[qi]) {
+      // Stale round: thief raced a previous scan. Invalid request.
+      w.q_round[qi]++;  // reopen the cell
+      continue;
+    }
+    const int thief = steal::thief_of(req);
+    // Steal only from the single addressed queue.
+    auto& src = q(w.id, static_cast<int>(qi));
+    std::uint32_t moved = 0;
+    while (moved < static_cast<std::uint32_t>(cfg_.dlb_cfg.n_steal) &&
+           !src.empty()) {
+      SimTask* t = src.front();
+      src.pop_front();
+      advance(w, cfg_.machine.spsc_op + cell_cost(w.id, thief));
+      if (!xq_push(w, thief, t)) {
+        w.counters.nreq_target_full++;
+        if (!xq_push(w, w.id, t)) {
+          w.counters.ntasks_imm_exec++;
+          execute(w, t);
+        }
+        break;
+      }
+      ++moved;
+    }
+    if (moved > 0) {
+      w.counters.nreq_has_steal++;
+      if (topo_.local(w.id, thief))
+        w.counters.nsteal_local += moved;
+      else
+        w.counters.nsteal_remote += moved;
+    } else {
+      w.counters.nreq_src_empty++;
+    }
+    w.q_round[qi]++;
+  }
+}
+
+void SimEngine::end_redirect_session(WorkerState& w) {
+  if (w.redirect_thief < 0) return;
+  if (w.redirect_pushed > 0)
+    w.counters.nreq_has_steal++;
+  else
+    w.counters.nreq_src_empty++;
+  w.redirect_thief = -1;
+  w.redirect_pushed = 0;
+  w.round++;
+}
+
+// ---------------------------------------------------------------------------
+// SimContext.
+
+void SimContext::taskwait() {
+  SimEngine::WorkerState& w = *w_;
+  SimEngine::SimTask* cur = w.current;
+  if (cur == nullptr) return;
+  while (cur->pending_children > 1) {
+    if (SimEngine::SimTask* t = eng_->find_task(w)) {
+      w.idle_backoff = 0;
+      eng_->execute(w, t);
+      continue;
+    }
+    eng_->idle_step(w);
+  }
+}
+
+void SimContext::compute_fixed(std::uint64_t cycles) {
+  w_->busy_cycles += cycles;
+  eng_->advance(*w_, cycles);
+}
+
+void SimContext::compute(std::uint64_t cycles) {
+  SimEngine::WorkerState& w = *w_;
+  double factor = 1.0;
+  const MachineConfig& m = eng_->cfg_.machine;
+  if (w.current != nullptr && w.current->creator != w.id) {
+    factor += (eng_->topo_.local(w.id, w.current->creator)
+                   ? m.local_penalty
+                   : m.remote_penalty) *
+              eng_->cfg_.mem_intensity;
+  }
+  if (w.current != nullptr && w.current->remote_buffer)
+    factor += m.remote_penalty * eng_->cfg_.mem_intensity;
+  const auto inflated =
+      static_cast<std::uint64_t>(static_cast<double>(cycles) * factor);
+  w.busy_cycles += inflated;
+  eng_->advance(w, inflated);
+}
+
+}  // namespace xtask::sim

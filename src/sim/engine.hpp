@@ -1,0 +1,285 @@
+// Discrete-event simulator of the paper's runtimes on a multi-socket
+// many-core machine (see machine.hpp for the cost model and DESIGN.md for
+// why this substrate exists: the paper's Skylake-192 testbed is simulated
+// on whatever host builds this repo).
+//
+// Every simulated worker is a fiber advancing a private virtual clock; the
+// engine always resumes the worker with the smallest clock, so shared model
+// state (queues, steal cells, resources) is accessed in near-causal order
+// without any real synchronization. Workers execute real task closures —
+// the BOTS workload generators recurse and spawn exactly like the real
+// kernels — but "work" is ctx.compute(cycles) instead of real arithmetic.
+//
+// Policies reproduce the scheduler structures of §II–§IV:
+//   kGomp      global priority queue + global task lock + lock barrier
+//   kLomp      per-worker locked deques + random steal + pool allocator
+//   kXlomp     XQueue + pool allocator + per-parent atomic termination
+//   kXGomp     XQueue + malloc + global atomic task count (central barrier)
+//   kXGompTB   XQueue + malloc + distributed tree barrier
+// DLB (NA-RP / NA-WS) can be layered on kXGompTB, mirroring §IV.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/steal_protocol.hpp"
+#include "core/topology.hpp"
+#include "prof/profiler.hpp"
+#include "sim/fiber.hpp"
+#include "sim/machine.hpp"
+
+namespace xtask::sim {
+
+enum class SimPolicy {
+  kGomp,
+  kLomp,
+  kXlomp,
+  kXGomp,
+  kXGompTB,
+};
+
+const char* sim_policy_name(SimPolicy p) noexcept;
+
+enum class SimDlb {
+  kNone,
+  kRedirectPush,
+  kWorkSteal,
+  /// Adaptive (paper §X future work, mirrors DlbKind::kAdaptive in the
+  /// real runtime): workers sample their own task sizes and pick the
+  /// Table IV guideline row — WS with size-scaled batches below 1e4
+  /// cycles, RP with large local batches above.
+  kAdaptive,
+  /// The queue-granularity stealing design §IV-D evaluates and rejects:
+  /// request cells per *queue* instead of per worker. Kept to reproduce
+  /// the request funnel (millions sent, almost none become steals).
+  kQueueWorkSteal,
+};
+
+struct SimDlbConfig {
+  int n_victim = 1;
+  int n_steal = 8;
+  std::uint64_t t_interval = 10'000;  // idle cycles between request rounds
+  double p_local = 1.0;
+};
+
+struct SimConfig {
+  MachineConfig machine;
+  SimPolicy policy = SimPolicy::kXGompTB;
+  SimDlb dlb = SimDlb::kNone;
+  SimDlbConfig dlb_cfg;
+  std::uint32_t queue_capacity = 2048;  // per SPSC queue (XQueue policies)
+  int malloc_arenas = 12;               // parallelism of the system malloc
+  std::uint64_t seed = 42;
+  /// Workload property: fraction of task time that is memory-bound and so
+  /// subject to NUMA inflation (§VI-A work-time inflation).
+  double mem_intensity = 0.0;
+  std::size_t fiber_stack_bytes = 512 * 1024;
+  /// Idle exponential backoff cap in cycles (models passive waiting).
+  std::uint32_t idle_backoff_max = 1'024;
+};
+
+struct SimResult {
+  std::uint64_t makespan = 0;  // cycles until the last worker left the region
+  std::uint64_t tasks = 0;
+  Counters totals;
+  std::vector<Counters> per_worker;
+  /// Cycles each worker spent in ctx.compute() work (utilization for
+  /// Fig. 3-style per-worker timeline summaries; excludes runtime
+  /// overheads and nested bookkeeping).
+  std::vector<std::uint64_t> busy_per_worker;
+
+  double seconds(double ghz = 2.1) const {
+    return static_cast<double>(makespan) / (ghz * 1e9);
+  }
+};
+
+class SimContext;
+
+class SimEngine {
+ public:
+  explicit SimEngine(SimConfig cfg);
+  ~SimEngine();
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Simulate one parallel region rooted at `root` (executed by worker 0).
+  /// An engine instance simulates one region; create a new engine per
+  /// measurement (construction is cheap relative to simulation).
+  SimResult run(std::function<void(SimContext&)> root);
+
+  const SimConfig& config() const noexcept { return cfg_; }
+  const Topology& topology() const noexcept { return topo_; }
+
+ private:
+  friend class SimContext;
+
+  struct SimTask {
+    std::function<void(SimContext&)> body;
+    SimTask* parent = nullptr;
+    int pending_children = 0;
+    int creator = 0;
+    bool pool_allocated = false;  // recycle through the freelist model
+    bool remote_buffer = false;   // descriptor borrowed from a remote peer
+  };
+
+  struct WorkerState {
+    int id = 0;
+    SimEngine* eng = nullptr;
+    std::uint64_t clock = 0;
+    bool done = false;
+    bool arrived = false;
+    Fiber fiber;
+
+    SimTask* current = nullptr;
+    std::uint32_t rr_cursor = 0;
+    XorShift rng;
+    Counters counters;
+
+    // Idle backoff (models spin-then-sleep waiting).
+    std::uint32_t idle_backoff = 0;
+
+    // DLB state (mirrors detail::Worker in the real runtime).
+    std::uint64_t round = 1;
+    std::uint64_t request = 0;
+    int redirect_thief = -1;
+    std::uint32_t redirect_pushed = 0;
+    std::uint64_t idle_wait = 0;  // cycles idled since last request round
+    bool request_open = false;
+
+    // Adaptive DLB: EMA of executed task sizes (virtual cycles).
+    std::uint64_t avg_task_cycles = 0;
+    std::uint64_t busy_cycles = 0;  // time inside task bodies
+
+    // Queue-based WS (rejected design): per-producer-queue cells.
+    std::vector<std::uint64_t> q_round;
+    std::vector<std::uint64_t> q_request;
+    int q_scan_cursor = 0;
+
+    // LOMP allocator model: recycled descriptors available locally.
+    std::uint32_t freelist = 0;
+
+    // LOMP deque lock.
+    Resource deque_lock;
+    std::deque<SimTask*> deque;
+  };
+
+  // --- virtual time ------------------------------------------------------
+  void advance(WorkerState& w, std::uint64_t cycles);
+  void maybe_switch(WorkerState& w);
+  void use_resource(WorkerState& w, Resource& r, std::uint32_t hold);
+  [[noreturn]] void worker_finished(WorkerState& w);
+  static void fiber_entry(void* arg);
+  void worker_main(WorkerState& w);
+
+  // --- tasking -----------------------------------------------------------
+  SimTask* allocate_task(WorkerState& w);
+  void release_task(WorkerState& w, SimTask* t);
+  void spawn(WorkerState& w, std::function<void(SimContext&)> body);
+  SimTask* find_task(WorkerState& w);
+  void execute(WorkerState& w, SimTask* t);
+  void idle_step(WorkerState& w);
+  bool barrier_poll(WorkerState& w);
+  bool uses_xqueue() const noexcept {
+    return cfg_.policy == SimPolicy::kXlomp ||
+           cfg_.policy == SimPolicy::kXGomp ||
+           cfg_.policy == SimPolicy::kXGompTB;
+  }
+  bool uses_pool_alloc() const noexcept {
+    return cfg_.policy == SimPolicy::kLomp || cfg_.policy == SimPolicy::kXlomp;
+  }
+
+  // --- XQueue model ------------------------------------------------------
+  std::deque<SimTask*>& q(int consumer, int producer) noexcept {
+    return qmatrix_[static_cast<std::size_t>(consumer) *
+                        static_cast<std::size_t>(n_) +
+                    static_cast<std::size_t>(producer)];
+  }
+  bool xq_push(WorkerState& w, int target, SimTask* t);
+  SimTask* xq_pop(WorkerState& w);
+
+  // --- DLB ---------------------------------------------------------------
+  std::uint32_t cell_cost(int a, int b) const noexcept {
+    return topo_.local(a, b) ? cfg_.machine.cell_local
+                             : cfg_.machine.cell_remote;
+  }
+  SimDlbConfig effective_dlb(const WorkerState& w) const noexcept;
+  void thief_send_requests(WorkerState& w);
+  void victim_check(WorkerState& w);
+  void queue_ws_send_requests(WorkerState& w);
+  void queue_ws_victim_scan(WorkerState& w);
+  void do_work_steal(WorkerState& w, int thief);
+  void end_redirect_session(WorkerState& w);
+
+  SimConfig cfg_;
+  int n_;
+  Topology topo_;
+
+  // Fiber orchestration.
+  FiberContext main_ctx_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  using HeapEntry = std::pair<std::uint64_t, int>;  // (clock, worker)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      ready_;
+  WorkerState* current_ = nullptr;
+  int done_count_ = 0;
+
+  // Global model state.
+  std::int64_t in_flight_ = 0;
+  int arrived_ = 0;
+  std::uint64_t total_tasks_ = 0;
+
+  // Shared resources.
+  Resource global_lock_;               // GOMP
+  Resource global_task_count_;         // XGOMP atomic counter line
+  Resource shared_pool_;               // pool allocator level (ii)
+  std::vector<Resource> malloc_arenas_;
+
+  // Queues.
+  std::deque<SimTask*> global_q_;          // GOMP
+  std::vector<std::deque<SimTask*>> qmatrix_;  // XQueue policies
+};
+
+/// Handle passed to simulated task bodies (mirrors xtask::TaskContext plus
+/// the virtual-work API).
+class SimContext {
+ public:
+  int worker_id() const noexcept { return w_->id; }
+
+  /// Spawn a child task (costs are charged per the active policy).
+  void spawn(std::function<void(SimContext&)> body) {
+    eng_->spawn(*w_, std::move(body));
+  }
+
+  /// Wait for the current task's children, executing other tasks meanwhile.
+  void taskwait();
+
+  /// Perform `cycles` of task work, inflated by NUMA locality: running on
+  /// the creating core costs `cycles`, in-zone or cross-zone execution
+  /// multiplies the memory-bound fraction (cfg.mem_intensity) by the
+  /// machine's locality penalties.
+  void compute(std::uint64_t cycles);
+
+  /// Uninflated work (pure compute, no memory traffic).
+  void compute_fixed(std::uint64_t cycles);
+
+  /// Deterministic per-worker random stream (workload shaping).
+  std::uint64_t rand() noexcept { return w_->rng.next(); }
+
+  std::uint64_t now() const noexcept { return w_->clock; }
+
+ private:
+  friend class SimEngine;
+  SimContext(SimEngine* eng, SimEngine::WorkerState* w) noexcept
+      : eng_(eng), w_(w) {}
+  SimEngine* eng_;
+  SimEngine::WorkerState* w_;
+};
+
+}  // namespace xtask::sim

@@ -1,0 +1,99 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "core/common.hpp"
+
+namespace xtask::sim {
+
+#if defined(__x86_64__)
+
+extern "C" void xtask_fiber_trampoline() noexcept;  // fiber_switch.S
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) munmap(stack_base_, stack_size_);
+}
+
+void Fiber::create(EntryFn entry, void* arg, std::size_t stack_bytes) {
+  XTASK_CHECK(stack_base_ == nullptr);
+  const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  const std::size_t usable = (stack_bytes + page - 1) & ~(page - 1);
+  stack_size_ = usable + page;  // one guard page below the stack
+  void* mem = mmap(nullptr, stack_size_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  XTASK_CHECK(mem != MAP_FAILED);
+  XTASK_CHECK(mprotect(mem, page, PROT_NONE) == 0);
+  stack_base_ = mem;
+
+  // Seed the stack so the first switch "returns" into the trampoline with
+  // r15 = arg and r14 = entry. Layout below the 16-byte-aligned top, in
+  // the order xtask_fiber_switch pops: r15 r14 r13 r12 rbx rbp retaddr.
+  auto top = reinterpret_cast<std::uintptr_t>(mem) + stack_size_;
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* slots = reinterpret_cast<void**>(top) - 7;
+  slots[0] = arg;
+  slots[1] = reinterpret_cast<void*>(entry);
+  slots[2] = nullptr;  // r13
+  slots[3] = nullptr;  // r12
+  slots[4] = nullptr;  // rbx
+  slots[5] = nullptr;  // rbp
+  slots[6] = reinterpret_cast<void*>(&xtask_fiber_trampoline);
+  ctx_.sp = slots;
+}
+
+void Fiber::switch_to(FiberContext* from, FiberContext* to) noexcept {
+  xtask_fiber_switch(&from->sp, to->sp);
+}
+
+#else  // ucontext fallback (non-x86 hosts)
+
+namespace {
+struct Thunk {
+  Fiber::EntryFn entry;
+  void* arg;
+};
+void ucontext_entry(unsigned hi, unsigned lo) {
+  auto* t = reinterpret_cast<Thunk*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  t->entry(t->arg);
+}
+}  // namespace
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) {
+    munmap(stack_base_, stack_size_);
+    delete static_cast<Thunk*>(aux_);
+  }
+}
+
+void Fiber::create(EntryFn entry, void* arg, std::size_t stack_bytes) {
+  // Portable fallback: correctness only; performance-sensitive users are
+  // expected to be on x86-64.
+  XTASK_CHECK(stack_base_ == nullptr);
+  auto* thunk = new Thunk{entry, arg};
+  aux_ = thunk;
+  void* mem = mmap(nullptr, stack_bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  XTASK_CHECK(mem != MAP_FAILED);
+  stack_base_ = mem;
+  stack_size_ = stack_bytes;
+  getcontext(&ctx_.uc);
+  ctx_.uc.uc_stack.ss_sp = mem;
+  ctx_.uc.uc_stack.ss_size = stack_bytes;
+  ctx_.uc.uc_link = nullptr;
+  const auto p = reinterpret_cast<std::uintptr_t>(thunk);
+  makecontext(&ctx_.uc, reinterpret_cast<void (*)()>(&ucontext_entry), 2,
+              static_cast<unsigned>(p >> 32),
+              static_cast<unsigned>(p & 0xffffffffu));
+}
+
+void Fiber::switch_to(FiberContext* from, FiberContext* to) noexcept {
+  swapcontext(&from->uc, &to->uc);
+}
+
+#endif
+
+}  // namespace xtask::sim

@@ -1,0 +1,71 @@
+// Minimal stackful fibers for the discrete-event simulator. Each simulated
+// worker runs on its own fiber; the engine switches to whichever worker has
+// the smallest virtual clock. A hand-rolled x86-64 context switch keeps a
+// switch under ~30 ns (ucontext's swapcontext performs a sigprocmask
+// syscall per switch, which would dominate simulation time); other
+// architectures fall back to ucontext.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xtask::sim {
+
+#if defined(__x86_64__)
+
+/// Saved machine context: just the stack pointer; everything else lives on
+/// the fiber's stack (SysV callee-saved registers are pushed by the switch
+/// primitive).
+struct FiberContext {
+  void* sp = nullptr;
+};
+
+extern "C" {
+/// Defined in fiber_switch.S: saves callee-saved registers + rsp into
+/// *save, restores from load, and returns on the other stack.
+void xtask_fiber_switch(void** save_sp, void* load_sp) noexcept;
+}
+
+#else
+#include <ucontext.h>
+struct FiberContext {
+  ucontext_t uc;
+};
+#endif
+
+/// A fiber: entry function + owned stack. Switching is cooperative and
+/// single-threaded — exactly one fiber (or the host context) runs at a
+/// time, which is what lets the simulator touch shared model state without
+/// synchronization.
+class Fiber {
+ public:
+  using EntryFn = void (*)(void* arg);
+
+  Fiber() = default;
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Prepare the fiber to run entry(arg) on a fresh stack of `stack_bytes`
+  /// (rounded up to the page size, with a PROT_NONE guard page below).
+  void create(EntryFn entry, void* arg, std::size_t stack_bytes = 256 * 1024);
+
+  bool created() const noexcept { return stack_base_ != nullptr; }
+
+  /// Switch from the context stored in `from` to this fiber. On the
+  /// fiber's next switch-out, control returns through `from`.
+  static void switch_to(FiberContext* from, FiberContext* to) noexcept;
+
+  FiberContext& context() noexcept { return ctx_; }
+
+ private:
+  static void trampoline();
+
+  FiberContext ctx_{};
+  void* stack_base_ = nullptr;   // mmap base (guard page)
+  std::size_t stack_size_ = 0;   // total mapping size
+  void* aux_ = nullptr;          // ucontext fallback: owned entry thunk
+};
+
+}  // namespace xtask::sim

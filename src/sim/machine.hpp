@@ -1,0 +1,97 @@
+// Machine model for the discrete-event simulator: a multi-socket many-core
+// system described by core/zone counts and a table of operation costs in
+// cycles. Defaults approximate the paper's Intel Skylake-192 testbed
+// (192 cores, 8 NUMA zones, ~2.1 GHz):
+//   * SPSC B-Queue ops ~20 cycles (§II-B),
+//   * contended atomic/lock transfers ~100 ns ≈ 200 cycles (§IV-B cites
+//     ~100 ns atomic lower bound),
+//   * shared-cache cell messages "a few nanoseconds" when NUMA-local
+//     (§IV-B), several times that cross-zone.
+// Costs are deliberately round numbers: the simulator targets the *shape*
+// of the paper's results (who wins, crossover points), not cycle-exact
+// prediction; EXPERIMENTS.md documents the calibration.
+#pragma once
+
+#include <cstdint>
+
+#include "core/topology.hpp"
+
+namespace xtask::sim {
+
+struct MachineConfig {
+  int cores = 192;
+  int zones = 8;
+
+  // --- queueing ---------------------------------------------------------
+  std::uint32_t spsc_op = 20;        // B-Queue push/pop (§II-B: ~20 cycles)
+  std::uint32_t queue_probe = 4;     // probing an empty aux queue
+  std::uint32_t probe_cap = 12;      // max probes charged per scan (the
+                                     // consumer's rotation hint makes long
+                                     // cold scans rare)
+  std::uint32_t deque_lock_op = 110;  // LOMP per-deque lock + op (lock line
+                                     // shared with thieves)
+
+  // --- synchronization ---------------------------------------------------
+  std::uint32_t atomic_local_work = 30;   // RMW issue cost
+  std::uint32_t atomic_transfer = 200;    // exclusive cache-line handoff
+                                          // between cores (~100 ns)
+  std::uint32_t lock_local_work = 60;     // mutex fast path
+  /// Serialized cost of one pass through GOMP's global-task-lock critical
+  /// region under contention: the lock line handoff plus the handful of
+  /// shared bookkeeping lines (queue head, task count, barrier state) that
+  /// each ping-pong at ~100 ns, plus the priority-queue operation itself.
+  std::uint32_t gomp_critical_section = 900;
+  /// Serialized cost of a lock acquisition that only reads barrier state
+  /// (idle workers at scheduling points).
+  std::uint32_t gomp_lock_poll = 350;
+  /// GOMP wakes its sleeping workers whenever tasks are queued, so idle
+  /// workers re-poll (and re-acquire the lock) at a short interval instead
+  /// of backing off — the thundering-herd behaviour behind Fig. 1's
+  /// collapse. This caps their backoff, in cycles.
+  std::uint32_t gomp_idle_backoff_max = 4'096;
+  std::uint32_t cell_local = 8;      // round/request cell, same zone (cache)
+  std::uint32_t cell_remote = 60;    // round/request cell, cross zone
+
+  // --- memory / allocation ------------------------------------------------
+  std::uint32_t malloc_work = 90;     // local portion of malloc/free
+  std::uint32_t malloc_serial = 110;  // serialized portion (arena lock)
+  std::uint32_t pool_alloc = 22;      // multi-level allocator local hit
+  std::uint32_t task_setup = 25;      // descriptor init + dependency edges
+  /// Extra per-task bookkeeping in the LLVM runtime ("a richer set of
+  /// cases", §VI-A) — charged by LOMP and XLOMP on top of task_setup.
+  std::uint32_t lomp_task_extra = 140;
+
+  // --- scheduling loop -----------------------------------------------------
+  std::uint32_t idle_poll = 120;     // one empty pass over the queues
+  std::uint32_t barrier_poll = 35;   // one barrier state check (tree edge
+                                     // cells or central counter read)
+
+  // --- locality inflation on task bodies (work-time inflation, §VI-A) -----
+  // Effective task cycles = size * (1 + penalty * mem_intensity), where
+  // mem_intensity in [0,1] is a per-workload property.
+  // Calibrated so a fully memory-bound task (mem_intensity 1.0) runs
+  // ~2.5x slower cross-socket — the regime the paper's 4x NA-RP wins on
+  // STRAS/Sort imply (§VI-B1: interleaved arrays, all traffic remote).
+  double local_penalty = 0.25;   // executed in creator's zone, other core
+  double remote_penalty = 1.50;  // executed in a different zone
+
+  Topology topology() const { return Topology::synthetic(cores, zones); }
+};
+
+/// A serially reusable resource (a lock, a contended cache line, a malloc
+/// arena): each use occupies it for `hold` cycles; acquirers queue up in
+/// virtual time.
+struct Resource {
+  std::uint64_t available_at = 0;
+
+  /// Returns the completion time of a use starting no earlier than `now`.
+  std::uint64_t acquire(std::uint64_t now, std::uint32_t hold) noexcept {
+    const std::uint64_t start = now > available_at ? now : available_at;
+    available_at = start + hold;
+    return available_at;
+  }
+
+  void reset() noexcept { available_at = 0; }
+};
+
+}  // namespace xtask::sim

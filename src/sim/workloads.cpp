@@ -1,0 +1,346 @@
+#include "sim/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xtask::sim {
+
+namespace {
+
+/// Deterministic per-node hash for size jitter (independent of schedule).
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Jitter `base` by ±frac (deterministic in `id`).
+std::uint64_t jitter(std::uint64_t base, std::uint64_t id,
+                     double frac = 0.3) noexcept {
+  const double u =
+      static_cast<double>(mix(id) >> 11) * 0x1.0p-53;  // [0,1)
+  const double f = 1.0 - frac + 2.0 * frac * u;
+  return static_cast<std::uint64_t>(static_cast<double>(base) * f);
+}
+
+// ------------------------------------------------------------------ Fib ----
+void sim_fib(SimContext& ctx, int n) {
+  if (n < 2) {
+    ctx.compute(40);
+    return;
+  }
+  ctx.compute_fixed(15);  // bookkeeping before spawning (creation measured
+                          // separately by the engine)
+  ctx.spawn([n](SimContext& c) { sim_fib(c, n - 1); });
+  ctx.spawn([n](SimContext& c) { sim_fib(c, n - 2); });
+  ctx.taskwait();
+  ctx.compute(25);  // combine
+}
+
+// -------------------------------------------------------------- NQueens ----
+void sim_nqueens(SimContext& ctx, std::uint64_t node, int n, int row) {
+  // Feasibility checks for this row: ~n*row/3 column scans.
+  ctx.compute(30 + static_cast<std::uint64_t>(n) *
+                       static_cast<std::uint64_t>(row) / 2);
+  if (row == n) return;
+  // Average feasible extensions shrink with depth; model with the hash.
+  const int branch =
+      row == 0 ? n
+               : static_cast<int>(mix(node) % static_cast<std::uint64_t>(
+                                                  std::max(2, n - row / 2)));
+  for (int i = 0; i < branch; ++i) {
+    const std::uint64_t child = mix(node * 31 + static_cast<std::uint64_t>(i));
+    ctx.spawn([child, n, row](SimContext& c) {
+      sim_nqueens(c, child, n, row + 1);
+    });
+  }
+  ctx.taskwait();
+}
+
+// ------------------------------------------------------------------ FFT ----
+void sim_fft(SimContext& ctx, std::uint64_t n, std::uint64_t cutoff) {
+  if (n <= cutoff) {
+    // Serial FFT of n points: ~8 cycles per point per level.
+    std::uint64_t levels = 1;
+    for (std::uint64_t v = n; v > 1; v >>= 1) ++levels;
+    ctx.compute(8 * n * levels);
+    return;
+  }
+  const std::uint64_t h = n / 2;
+  ctx.spawn([h, cutoff](SimContext& c) { sim_fft(c, h, cutoff); });
+  ctx.spawn([h, cutoff](SimContext& c) { sim_fft(c, h, cutoff); });
+  ctx.taskwait();
+  // Parallel butterfly: one task per `cutoff` points.
+  for (std::uint64_t k = 0; k < h; k += cutoff) {
+    const std::uint64_t len = std::min(cutoff, h - k);
+    ctx.spawn([len](SimContext& c) { c.compute(12 * len); });
+  }
+  ctx.taskwait();
+}
+
+// ------------------------------------------------------------ Floorplan ----
+void sim_floorplan(SimContext& ctx, std::uint64_t node, int remaining) {
+  // Placement feasibility scan: cost grows as the board fills, with a
+  // heavy tail (some placements scan most of the board).
+  const std::uint64_t base = 150 + (mix(node) % 7 == 0 ? 20'000 : 600);
+  ctx.compute(jitter(base, node, 0.5));
+  if (remaining == 0) return;
+  // Branch over shapes × frontier positions that survive pruning; the
+  // search is progressively cut, producing heavy imbalance.
+  const int branch = static_cast<int>(mix(node ^ 0x5bd1e995) % 5);
+  for (int i = 0; i < branch; ++i) {
+    const std::uint64_t child = mix(node * 131 + static_cast<std::uint64_t>(i));
+    ctx.spawn([child, remaining](SimContext& c) {
+      sim_floorplan(c, child, remaining - 1);
+    });
+  }
+  ctx.taskwait();
+}
+
+// -------------------------------------------------------------- Health ----
+void sim_health_village(SimContext& ctx, std::uint64_t village, int level,
+                        int levels) {
+  if (level + 1 < levels) {
+    for (int b = 0; b < 4; ++b) {
+      const std::uint64_t child = village * 37 + static_cast<std::uint64_t>(b) + 1;
+      ctx.spawn([child, level, levels](SimContext& c) {
+        sim_health_village(c, child, level + 1, levels);
+      });
+    }
+  }
+  // Local patient processing: a few thousand cycles, village-dependent.
+  ctx.compute(jitter(3'000, village, 0.6));
+  if (level + 1 < levels) {
+    ctx.taskwait();
+    ctx.compute(jitter(1'500, village ^ 0xabcd, 0.5));  // referrals
+  }
+}
+
+// ------------------------------------------------------------------ UTS ----
+void sim_uts(SimContext& ctx, std::uint64_t node, int nchildren, double q) {
+  ctx.compute(jitter(300, node, 0.4));  // hash evaluation + bookkeeping
+  for (int i = 0; i < nchildren; ++i) {
+    const std::uint64_t child = mix(node * 2654435761u + static_cast<std::uint64_t>(i));
+    const double u = static_cast<double>(mix(child) >> 11) * 0x1.0p-53;
+    const int kids = u < q ? 4 : 0;
+    ctx.spawn([child, kids, q](SimContext& c) { sim_uts(c, child, kids, q); });
+  }
+  if (nchildren > 0) ctx.taskwait();
+}
+
+// ------------------------------------------------------------- Strassen ----
+void sim_strassen(SimContext& ctx, std::uint64_t n, std::uint64_t cutoff) {
+  if (n <= cutoff) {
+    // Naive multiply of an n×n tile: ~2 cycles per multiply-add.
+    ctx.compute(2 * n * n * n);
+    return;
+  }
+  const std::uint64_t h = n / 2;
+  ctx.compute(10 * h * h);  // the ten operand additions
+  for (int i = 0; i < 7; ++i) {
+    ctx.spawn([h, cutoff](SimContext& c) { sim_strassen(c, h, cutoff); });
+  }
+  ctx.taskwait();
+  ctx.compute(8 * h * h);  // combine into C
+}
+
+// ----------------------------------------------------------------- Sort ----
+void sim_sort_merge(SimContext& ctx, std::uint64_t n, std::uint64_t cutoff) {
+  if (n <= cutoff) {
+    ctx.compute(6 * n);  // serial merge
+    return;
+  }
+  const std::uint64_t h = n / 2;
+  ctx.spawn([h, cutoff](SimContext& c) { sim_sort_merge(c, h, cutoff); });
+  ctx.spawn([h, cutoff](SimContext& c) { sim_sort_merge(c, h, cutoff); });
+  ctx.taskwait();
+}
+
+void sim_sort(SimContext& ctx, std::uint64_t n, std::uint64_t cutoff) {
+  if (n <= cutoff) {
+    // std::sort of n elements: ~20 n log2 n / 16 cycles.
+    std::uint64_t lg = 1;
+    for (std::uint64_t v = n; v > 1; v >>= 1) ++lg;
+    ctx.compute(2 * n * lg);
+    return;
+  }
+  const std::uint64_t q = n / 4;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t len = i == 3 ? n - 3 * q : q;
+    ctx.spawn([len, cutoff](SimContext& c) { sim_sort(c, len, cutoff); });
+  }
+  ctx.taskwait();
+  ctx.spawn([q, cutoff](SimContext& c) { sim_sort_merge(c, 2 * q, cutoff); });
+  ctx.spawn([n, q, cutoff](SimContext& c) {
+    sim_sort_merge(c, n - 2 * q, cutoff);
+  });
+  ctx.taskwait();
+  sim_sort_merge(ctx, n, cutoff);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+SimWorkload wl_fib(int n) {
+  return {"Fib", 0.05, [n](SimContext& ctx) { sim_fib(ctx, n); }};
+}
+
+SimWorkload wl_nqueens(int n) {
+  return {"NQueens", 0.05,
+          [n](SimContext& ctx) { sim_nqueens(ctx, 0x9111, n, 0); }};
+}
+
+SimWorkload wl_fft(std::uint64_t points) {
+  return {"FFT", 0.45,
+          [points](SimContext& ctx) { sim_fft(ctx, points, 512); }};
+}
+
+SimWorkload wl_floorplan(int cells) {
+  return {"FP", 0.20, [cells](SimContext& ctx) {
+            // Root has full branching over first-cell shapes/positions.
+            for (int i = 0; i < 9; ++i) {
+              const std::uint64_t child = mix(0xf100 + static_cast<std::uint64_t>(i));
+              ctx.spawn([child, cells](SimContext& c) {
+                sim_floorplan(c, child, cells - 1);
+              });
+            }
+            ctx.taskwait();
+          }};
+}
+
+SimWorkload wl_health(int levels, int timesteps) {
+  return {"Health", 0.30, [levels, timesteps](SimContext& ctx) {
+            for (int t = 0; t < timesteps; ++t) {
+              sim_health_village(ctx, 1, 0, levels);
+            }
+          }};
+}
+
+SimWorkload wl_uts(int root_children, double q, std::uint64_t seed) {
+  return {"UTS", 0.05, [root_children, q, seed](SimContext& ctx) {
+            sim_uts(ctx, seed, root_children, q);
+          }};
+}
+
+SimWorkload wl_strassen(std::uint64_t n, std::uint64_t cutoff) {
+  return {"STRAS", 0.70,
+          [n, cutoff](SimContext& ctx) { sim_strassen(ctx, n, cutoff); }};
+}
+
+SimWorkload wl_sort(std::uint64_t n, std::uint64_t cutoff) {
+  return {"Sort", 0.70,
+          [n, cutoff](SimContext& ctx) { sim_sort(ctx, n, cutoff); }};
+}
+
+SimWorkload wl_align(int sequences) {
+  return {"Align", 0.05, [sequences](SimContext& ctx) {
+            // Single producer spawns one ~1e6-cycle task per pair.
+            for (int i = 0; i < sequences; ++i) {
+              for (int j = i + 1; j < sequences; ++j) {
+                const std::uint64_t id =
+                    static_cast<std::uint64_t>(i) * 1000 +
+                    static_cast<std::uint64_t>(j);
+                ctx.spawn([id](SimContext& c) {
+                  c.compute(jitter(1'000'000, id, 0.5));
+                });
+              }
+            }
+            ctx.taskwait();
+          }};
+}
+
+SimWorkload wl_posp(std::uint64_t total_puzzles, std::uint64_t batch) {
+  return {"PoSp", 0.15, [total_puzzles, batch](SimContext& ctx) {
+            constexpr std::uint64_t kCyclesPerHash = 450;  // BLAKE3, 32 B
+            for (std::uint64_t done = 0; done < total_puzzles;
+                 done += batch) {
+              const std::uint64_t n = std::min(batch, total_puzzles - done);
+              ctx.spawn([n](SimContext& c) {
+                c.compute(n * kCyclesPerHash + 200);  // + bucket append
+              });
+            }
+            ctx.taskwait();
+          }};
+}
+
+namespace {
+
+/// Recursive irregular generator: 8-ary tree whose leaves carry
+/// heavy-tailed work (log-uniform ×1/4..×4 around task_cycles). Internal
+/// nodes taskwait, so workers pop *between* spawns — the scheduling-point
+/// pattern that lets victims open NA-RP redirect sessions, exactly like
+/// the recursive BOTS apps (a flat producer loop never pops and would
+/// leave RP inert, §VI-B1's Align effect).
+void sim_irregular_node(SimContext& ctx, std::uint64_t id,
+                        std::uint64_t leaves, std::uint64_t task_cycles) {
+  if (leaves <= 8) {
+    for (std::uint64_t i = 0; i < leaves; ++i) {
+      const std::uint64_t h = mix(id * 8 + i + 1);
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      const double f = std::pow(2.0, 4.0 * u - 2.0);  // [1/4, 4]
+      const auto cyc = static_cast<std::uint64_t>(
+          static_cast<double>(task_cycles) * f);
+      ctx.spawn([cyc](SimContext& cc) { cc.compute(cyc); });
+    }
+    ctx.taskwait();
+    return;
+  }
+  const std::uint64_t per = (leaves + 7) / 8;
+  std::uint64_t assigned = 0;
+  for (int b = 0; b < 8 && assigned < leaves; ++b) {
+    const std::uint64_t chunk = std::min(per, leaves - assigned);
+    const std::uint64_t child = mix(id * 31 + static_cast<std::uint64_t>(b));
+    ctx.spawn([child, chunk, task_cycles](SimContext& c) {
+      sim_irregular_node(c, child, chunk, task_cycles);
+    });
+    assigned += chunk;
+  }
+  ctx.compute_fixed(200);  // interior bookkeeping between spawn and wait
+  ctx.taskwait();
+}
+
+}  // namespace
+
+SimWorkload wl_irregular(std::uint64_t ntasks, std::uint64_t task_cycles,
+                         double mem, std::uint64_t seed) {
+  return {"Irregular", mem,
+          [ntasks, task_cycles, seed](SimContext& ctx) {
+            sim_irregular_node(ctx, mix(seed), ntasks, task_cycles);
+          }};
+}
+
+std::vector<SimWorkload> bots_suite(Scale scale) {
+  if (scale == Scale::kSweep) {
+    return {
+        wl_fib(21),                  // ~17k tasks
+        wl_nqueens(7),               // irregular fine tasks
+        wl_fft(1 << 15),             // 32k points
+        wl_floorplan(8),
+        wl_health(3, 6),
+        wl_uts(60, 0.18, 562),
+        wl_strassen(1024, 32),       // 7^5 = 16807 leaf tasks, ~6.5e4 cyc
+        wl_sort(1 << 18, 1 << 11),   // 256k elements, ~4.5e4-cycle leaves
+        wl_align(12),                // 66 × 1e6-cycle tasks
+    };
+  }
+  return {
+      wl_fib(26),                    // ~392k tasks
+      wl_nqueens(8),
+      wl_fft(1 << 18),
+      wl_floorplan(10),
+      wl_health(4, 10),
+      wl_uts(150, 0.199, 562),
+      wl_strassen(2048, 64),         // 7^5 = 16807 leaf tasks
+      wl_sort(1 << 21, 1 << 12),
+      wl_align(20),                  // 190 tasks
+  };
+}
+
+SimResult simulate(SimConfig cfg, const SimWorkload& wl) {
+  cfg.mem_intensity = wl.mem_intensity;
+  SimEngine eng(cfg);
+  return eng.run(wl.root);
+}
+
+}  // namespace xtask::sim

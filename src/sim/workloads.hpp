@@ -1,0 +1,70 @@
+// Simulator workloads: task-graph generators that recurse and spawn with
+// the same structure as the BOTS kernels (src/bots), but whose "work" is
+// virtual cycles drawn from the per-application task-size distributions the
+// paper measured with its profiling tools (§VI-A):
+//
+//   app    task sizes (cycles)        mode        mem-bound fraction
+//   Fib    10–80                      ~40         ~0   (register work)
+//   NQueens~1e2                       ~1e2        low
+//   FFT    1e2–1e6                    1e3–1e4     high (butterflies stream)
+//   FP     1e2–1e6                    1e2–1e3     moderate
+//   Health 1e3–1e4                    ~3e3        moderate
+//   UTS    ~1e2–1e3                   ~3e2        low
+//   STRAS  1e3–1e7                    ~1e4        high (array tiles)
+//   Sort   ~1e5                       ~1e5        high (streams)
+//   Align  1e5–1e7                    ~1e6        ~0   (cache-resident)
+//
+// Scales are reduced the same way the paper reduces its own DLB-sweep
+// inputs (§VI preamble); EXPERIMENTS.md records the mapping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace xtask::sim {
+
+struct SimWorkload {
+  std::string name;
+  double mem_intensity = 0.0;
+  std::function<void(SimContext&)> root;
+};
+
+/// Scale presets: `kSweep` keeps DLB parameter sweeps tractable, `kFull`
+/// is used for the headline Fig. 4/5 style runs.
+enum class Scale { kSweep, kFull };
+
+SimWorkload wl_fib(int n);
+SimWorkload wl_nqueens(int n);
+SimWorkload wl_fft(std::uint64_t points);
+SimWorkload wl_floorplan(int cells);
+SimWorkload wl_health(int levels, int timesteps);
+SimWorkload wl_uts(int root_children, double q, std::uint64_t seed);
+SimWorkload wl_strassen(std::uint64_t n, std::uint64_t cutoff);
+SimWorkload wl_sort(std::uint64_t n, std::uint64_t cutoff);
+SimWorkload wl_align(int sequences);
+
+/// Proof-of-Space plot generation (§VII): total_puzzles hashes split into
+/// tasks of `batch` puzzles, spawned by a single producer loop; each puzzle
+/// is one BLAKE3 hash (~450 cycles for a 32-byte message on Skylake).
+SimWorkload wl_posp(std::uint64_t total_puzzles, std::uint64_t batch);
+
+/// Synthetic irregular workload for the Fig. 9/10 surfaces: a two-level
+/// spawn tree of `ntasks` leaves whose sizes are heavy-tailed around
+/// `task_cycles` (×1/4 .. ×4 spread), with `mem` memory intensity.
+SimWorkload wl_irregular(std::uint64_t ntasks, std::uint64_t task_cycles,
+                         double mem, std::uint64_t seed = 9);
+
+/// The nine-application suite at the given scale, in the paper's
+/// task-size order (Fig. 4): Fib, NQueens, FFT, FP, Health, UTS, STRAS,
+/// Sort, Align.
+std::vector<SimWorkload> bots_suite(Scale scale);
+
+/// Convenience: simulate `wl` under `cfg` (cfg.mem_intensity is set from
+/// the workload).
+SimResult simulate(SimConfig cfg, const SimWorkload& wl);
+
+}  // namespace xtask::sim

@@ -1,0 +1,77 @@
+// Adaptive DLB tests: correctness under the self-tuning strategy and the
+// sampling machinery's basic behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "bots/bots.hpp"
+#include "core/runtime.hpp"
+
+namespace xtask {
+namespace {
+
+Config adaptive_cfg(int threads = 4) {
+  Config cfg;
+  cfg.num_threads = threads;
+  cfg.numa_zones = 2;
+  cfg.dlb = DlbKind::kAdaptive;
+  return cfg;
+}
+
+TEST(AdaptiveDlb, FibIsCorrect) {
+  Runtime rt(adaptive_cfg());
+  EXPECT_EQ(bots::fib_parallel(rt, 18), bots::fib_serial(18));
+}
+
+TEST(AdaptiveDlb, CoarseTasksAreCorrect) {
+  // Coarse tasks (>1e4 cycles) push the workers into the RP regime; the
+  // result must be unaffected.
+  Runtime rt(adaptive_cfg());
+  std::atomic<long> sum{0};
+  rt.run([&](TaskContext& ctx) {
+    for (int i = 0; i < 500; ++i) {
+      ctx.spawn([&, i](TaskContext&) {
+        volatile long acc = 0;
+        for (int k = 0; k < 20'000; ++k) acc = acc + (k ^ i);
+        sum.fetch_add(1 + acc * 0, std::memory_order_relaxed);
+      });
+    }
+    ctx.taskwait();
+  });
+  EXPECT_EQ(sum.load(), 500);
+  const Counters c = rt.profiler().total_counters();
+  EXPECT_EQ(c.ntasks_created, c.ntasks_executed);
+}
+
+TEST(AdaptiveDlb, MixedGranularityRegionsAcrossRuns) {
+  // Alternate fine- and coarse-grained regions on one team: the moving
+  // average must adapt without breaking anything.
+  Runtime rt(adaptive_cfg());
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(bots::fib_parallel(rt, 14), bots::fib_serial(14));
+    auto data = bots::sort_input(1 << 15, static_cast<std::uint64_t>(round));
+    EXPECT_TRUE(bots::sort_parallel(rt, data, 1 << 10, 1 << 10));
+  }
+}
+
+TEST(AdaptiveDlb, WorksWithDependences) {
+  Runtime rt(adaptive_cfg());
+  long value = 0;
+  rt.run([&](TaskContext& ctx) {
+    for (int i = 0; i < 64; ++i)
+      ctx.spawn([&](TaskContext&) { value = value * 2 + 1; },
+                {dout(&value)});
+    ctx.taskwait();
+  });
+  long expect = 0;
+  for (int i = 0; i < 64; ++i) expect = expect * 2 + 1;
+  EXPECT_EQ(value, expect);
+}
+
+TEST(AdaptiveDlb, SingleThreadDegenerates) {
+  Runtime rt(adaptive_cfg(1));
+  EXPECT_EQ(bots::fib_parallel(rt, 12), bots::fib_serial(12));
+}
+
+}  // namespace
+}  // namespace xtask

@@ -1,0 +1,197 @@
+// Correctness of every BOTS kernel: task-parallel result (on the xtask
+// runtime, the GOMP-like and the LOMP-like baselines) must equal the
+// serial reference produced by the same kernel source with SerialContext.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bots/bots.hpp"
+#include "core/runtime.hpp"
+#include "gomp/gomp_runtime.hpp"
+#include "gomp/lomp_runtime.hpp"
+
+namespace xtask {
+namespace {
+
+using bots::SerialRuntime;
+
+Config small_cfg(DlbKind dlb = DlbKind::kNone) {
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.numa_zones = 2;
+  cfg.barrier = BarrierKind::kTree;
+  cfg.dlb = dlb;
+  cfg.dlb_cfg.t_interval = 200;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- Fib ----
+TEST(BotsFib, MatchesSerialOnAllRuntimes) {
+  const long expect = bots::fib_serial(18);
+  {
+    Runtime rt(small_cfg());
+    EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
+  }
+  {
+    gomp::GompRuntime::Config gc;
+    gc.num_threads = 4;
+    gomp::GompRuntime rt(gc);
+    EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
+  }
+  {
+    lomp::LompRuntime::Config lc;
+    lc.num_threads = 4;
+    lomp::LompRuntime rt(lc);
+    EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
+  }
+  {
+    lomp::LompRuntime::Config lc;
+    lc.num_threads = 4;
+    lc.use_xqueue = true;  // XLOMP
+    lomp::LompRuntime rt(lc);
+    EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
+  }
+}
+
+TEST(BotsFib, CutoffDoesNotChangeResult) {
+  Runtime rt(small_cfg());
+  EXPECT_EQ(bots::fib_parallel(rt, 20, /*cutoff=*/8),
+            bots::fib_serial(20));
+}
+
+// ------------------------------------------------------------ NQueens ----
+TEST(BotsNQueens, KnownSolutionCounts) {
+  // OEIS A000170.
+  EXPECT_EQ(bots::nqueens_serial(6), 4);
+  EXPECT_EQ(bots::nqueens_serial(8), 92);
+  EXPECT_EQ(bots::nqueens_serial(9), 352);
+}
+
+TEST(BotsNQueens, ParallelMatchesSerial) {
+  Runtime rt(small_cfg(DlbKind::kWorkSteal));
+  EXPECT_EQ(bots::nqueens_parallel(rt, 9, /*cutoff=*/3),
+            bots::nqueens_serial(9));
+  EXPECT_EQ(bots::nqueens_parallel(rt, 8, /*cutoff=*/0),
+            bots::nqueens_serial(8));
+}
+
+// ---------------------------------------------------------------- Sort ----
+TEST(BotsSort, SortsAndPreservesMultiset) {
+  auto data = bots::sort_input(100'000, 3);
+  auto copy = data;
+  std::sort(copy.begin(), copy.end());
+  Runtime rt(small_cfg());
+  ASSERT_TRUE(bots::sort_parallel(rt, data, /*sort_cutoff=*/512,
+                                  /*merge_cutoff=*/512));
+  EXPECT_EQ(data, copy);
+}
+
+TEST(BotsSort, TinyAndAlreadySortedInputs) {
+  Runtime rt(small_cfg());
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
+                        std::size_t{4096}}) {
+    auto data = bots::sort_input(n, 9);
+    ASSERT_TRUE(bots::sort_parallel(rt, data, 64, 64)) << n;
+    auto sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(data, sorted) << n;
+  }
+}
+
+// ------------------------------------------------------------ Strassen ----
+TEST(BotsStrassen, MatchesNaiveMultiply) {
+  const std::size_t n = 128;
+  auto a = bots::strassen_input(n, 1);
+  auto b = bots::strassen_input(n, 2);
+  auto expect = bots::matmul_serial(a, b, n);
+  Runtime rt(small_cfg());
+  auto got = bots::strassen_parallel(rt, a, b, n, /*cutoff=*/32);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], expect[i], 1e-9) << "at " << i;
+}
+
+// ---------------------------------------------------------------- FFT ----
+TEST(BotsFft, MatchesSerialFft) {
+  const std::size_t n = 4096;
+  auto in = bots::fft_input(n);
+  auto expect = bots::fft_serial(in);
+  Runtime rt(small_cfg());
+  auto got = bots::fft_parallel(rt, in, /*cutoff=*/256);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(got[i].real(), expect[i].real(), 1e-9) << i;
+    ASSERT_NEAR(got[i].imag(), expect[i].imag(), 1e-9) << i;
+  }
+}
+
+TEST(BotsFft, ParsevalEnergyConserved) {
+  const std::size_t n = 1024;
+  auto in = bots::fft_input(n, 5);
+  Runtime rt(small_cfg());
+  auto out = bots::fft_parallel(rt, in, 128);
+  double e_time = 0.0;
+  double e_freq = 0.0;
+  for (const auto& x : in) e_time += std::norm(x);
+  for (const auto& x : out) e_freq += std::norm(x);
+  EXPECT_NEAR(e_freq, e_time * static_cast<double>(n), 1e-6 * e_time * n);
+}
+
+// ------------------------------------------------------------------ UTS ----
+TEST(BotsUts, ParallelCountMatchesSerial) {
+  auto p = bots::uts_tiny();
+  const std::uint64_t expect = bots::uts_serial(p);
+  EXPECT_GT(expect, 100u);  // tree is nontrivial
+  Runtime rt(small_cfg(DlbKind::kRedirectPush));
+  EXPECT_EQ(bots::uts_parallel(rt, p), expect);
+}
+
+TEST(BotsUts, CutoffDoesNotChangeCount) {
+  auto p = bots::uts_tiny();
+  const std::uint64_t expect = bots::uts_serial(p);
+  p.cutoff_depth = 4;
+  Runtime rt(small_cfg());
+  EXPECT_EQ(bots::uts_parallel(rt, p), expect);
+}
+
+// ------------------------------------------------------------ Floorplan ----
+TEST(BotsFloorplan, OptimalAreaMatchesSerial) {
+  auto cells = bots::floorplan_cells(7);
+  const int expect = bots::floorplan_serial(cells);
+  EXPECT_LT(expect, bots::detail::kBoardMax * bots::detail::kBoardMax);
+  Runtime rt(small_cfg(DlbKind::kWorkSteal));
+  EXPECT_EQ(bots::floorplan_parallel(rt, cells, /*cutoff=*/2), expect);
+}
+
+// -------------------------------------------------------------- Health ----
+TEST(BotsHealth, StatsMatchSerial) {
+  auto p = bots::health_small();
+  const auto expect = bots::health_serial(p);
+  EXPECT_GT(expect.generated, 0u);
+  Runtime rt(small_cfg());
+  const auto got = bots::health_parallel(rt, p);
+  EXPECT_EQ(got.generated, expect.generated);
+  EXPECT_EQ(got.treated_local, expect.treated_local);
+  EXPECT_EQ(got.referred, expect.referred);
+  EXPECT_EQ(got.work_sum, expect.work_sum);
+}
+
+// ----------------------------------------------------------- Alignment ----
+TEST(BotsAlignment, ScoresMatchSerial) {
+  auto seqs = bots::alignment_sequences(8, 40, 80);
+  const auto expect = bots::alignment_serial(seqs);
+  Runtime rt(small_cfg());
+  EXPECT_EQ(bots::alignment_parallel(rt, seqs), expect);
+}
+
+TEST(BotsAlignment, IdenticalSequencesScoreHighest) {
+  auto seqs = bots::alignment_sequences(2, 50, 50, 17);
+  std::vector<std::string> same = {seqs[0], seqs[0]};
+  const auto self_score = bots::alignment_serial(same)[0];
+  EXPECT_EQ(self_score, 3 * static_cast<int>(seqs[0].size()));
+  const auto cross = bots::alignment_serial(seqs)[0];
+  EXPECT_LE(cross, self_score);
+}
+
+}  // namespace
+}  // namespace xtask

@@ -1,0 +1,181 @@
+// Cross-runtime BOTS matrix: every kernel against every runtime flavour
+// (xtask/XGOMPTB, xtask/XGOMP, GOMP-like, LOMP-like, XLOMP-mode), each
+// checked against the serial reference — the "BOTS compiles against any
+// OpenMP runtime" property the paper's methodology rests on.
+#include <gtest/gtest.h>
+
+#include "bots/bots.hpp"
+#include "core/runtime.hpp"
+#include "gomp/gomp_runtime.hpp"
+#include "gomp/lomp_runtime.hpp"
+
+namespace xtask {
+namespace {
+
+enum class Flavor { kXGompTB, kXGomp, kXGompTBNaws, kGomp, kLomp, kXlomp };
+
+const char* flavor_name(Flavor f) {
+  switch (f) {
+    case Flavor::kXGompTB: return "xgomptb";
+    case Flavor::kXGomp: return "xgomp";
+    case Flavor::kXGompTBNaws: return "xgomptb_naws";
+    case Flavor::kGomp: return "gomp";
+    case Flavor::kLomp: return "lomp";
+    default: return "xlomp";
+  }
+}
+
+/// Run `kernel(rt)` on the requested runtime flavour. The kernel is a
+/// generic callable taking any runtime type.
+template <typename KernelFn>
+void with_runtime(Flavor f, KernelFn&& kernel) {
+  switch (f) {
+    case Flavor::kXGompTB: {
+      Config cfg;
+      cfg.num_threads = 4;
+      cfg.numa_zones = 2;
+      Runtime rt(cfg);
+      kernel(rt);
+      return;
+    }
+    case Flavor::kXGomp: {
+      Config cfg;
+      cfg.num_threads = 4;
+      cfg.numa_zones = 2;
+      cfg.barrier = BarrierKind::kCentral;
+      cfg.allocator = AllocatorMode::kMalloc;
+      Runtime rt(cfg);
+      kernel(rt);
+      return;
+    }
+    case Flavor::kXGompTBNaws: {
+      Config cfg;
+      cfg.num_threads = 4;
+      cfg.numa_zones = 2;
+      cfg.dlb = DlbKind::kWorkSteal;
+      cfg.dlb_cfg.t_interval = 128;
+      Runtime rt(cfg);
+      kernel(rt);
+      return;
+    }
+    case Flavor::kGomp: {
+      gomp::GompRuntime::Config cfg;
+      cfg.num_threads = 4;
+      gomp::GompRuntime rt(cfg);
+      kernel(rt);
+      return;
+    }
+    case Flavor::kLomp: {
+      lomp::LompRuntime::Config cfg;
+      cfg.num_threads = 4;
+      lomp::LompRuntime rt(cfg);
+      kernel(rt);
+      return;
+    }
+    case Flavor::kXlomp: {
+      lomp::LompRuntime::Config cfg;
+      cfg.num_threads = 4;
+      cfg.use_xqueue = true;
+      lomp::LompRuntime rt(cfg);
+      kernel(rt);
+      return;
+    }
+  }
+}
+
+class BotsMatrix : public ::testing::TestWithParam<Flavor> {};
+
+TEST_P(BotsMatrix, Fib) {
+  with_runtime(GetParam(), [](auto& rt) {
+    EXPECT_EQ(bots::fib_parallel(rt, 16), bots::fib_serial(16));
+  });
+}
+
+TEST_P(BotsMatrix, NQueens) {
+  with_runtime(GetParam(), [](auto& rt) {
+    EXPECT_EQ(bots::nqueens_parallel(rt, 8, 2), 92);
+  });
+}
+
+TEST_P(BotsMatrix, Fft) {
+  with_runtime(GetParam(), [](auto& rt) {
+    auto in = bots::fft_input(1024, 3);
+    auto expect = bots::fft_serial(in);
+    auto got = bots::fft_parallel(rt, in, 128);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_NEAR(got[i].real(), expect[i].real(), 1e-9);
+      ASSERT_NEAR(got[i].imag(), expect[i].imag(), 1e-9);
+    }
+  });
+}
+
+TEST_P(BotsMatrix, Floorplan) {
+  with_runtime(GetParam(), [](auto& rt) {
+    auto cells = bots::floorplan_cells(6);
+    EXPECT_EQ(bots::floorplan_parallel(rt, cells, 2),
+              bots::floorplan_serial(cells));
+  });
+}
+
+TEST_P(BotsMatrix, Health) {
+  with_runtime(GetParam(), [](auto& rt) {
+    bots::HealthParams p;
+    p.levels = 3;
+    p.timesteps = 4;
+    const auto expect = bots::health_serial(p);
+    const auto got = bots::health_parallel(rt, p);
+    EXPECT_EQ(got.generated, expect.generated);
+    EXPECT_EQ(got.work_sum, expect.work_sum);
+  });
+}
+
+TEST_P(BotsMatrix, Uts) {
+  with_runtime(GetParam(), [](auto& rt) {
+    bots::UtsParams p;
+    p.root_children = 20;
+    p.q = 0.15;
+    EXPECT_EQ(bots::uts_parallel(rt, p), bots::uts_serial(p));
+  });
+}
+
+TEST_P(BotsMatrix, Strassen) {
+  with_runtime(GetParam(), [](auto& rt) {
+    const std::size_t n = 64;
+    auto a = bots::strassen_input(n, 5);
+    auto b = bots::strassen_input(n, 6);
+    auto expect = bots::matmul_serial(a, b, n);
+    auto got = bots::strassen_parallel(rt, a, b, n, 16);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_NEAR(got[i], expect[i], 1e-9);
+  });
+}
+
+TEST_P(BotsMatrix, Sort) {
+  with_runtime(GetParam(), [](auto& rt) {
+    auto data = bots::sort_input(20'000, 8);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    ASSERT_TRUE(bots::sort_parallel(rt, data, 512, 512));
+    EXPECT_EQ(data, expect);
+  });
+}
+
+TEST_P(BotsMatrix, Alignment) {
+  with_runtime(GetParam(), [](auto& rt) {
+    auto seqs = bots::alignment_sequences(6, 30, 60, 21);
+    EXPECT_EQ(bots::alignment_parallel(rt, seqs),
+              bots::alignment_serial(seqs));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRuntimes, BotsMatrix,
+                         ::testing::Values(Flavor::kXGompTB, Flavor::kXGomp,
+                                           Flavor::kXGompTBNaws,
+                                           Flavor::kGomp, Flavor::kLomp,
+                                           Flavor::kXlomp),
+                         [](const ::testing::TestParamInfo<Flavor>& info) {
+                           return flavor_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace xtask

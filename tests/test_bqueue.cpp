@@ -1,0 +1,145 @@
+// B-Queue unit + stress tests: SPSC ordering, capacity semantics, the
+// batching probe, consumer backtracking, and a producer/consumer stress
+// run checking that every element arrives exactly once and in order.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/bqueue.hpp"
+
+namespace xtask {
+namespace {
+
+// Tests push/pop raw pointers; values are fabricated non-null addresses.
+int* val(std::uintptr_t i) { return reinterpret_cast<int*>(i << 4 | 0x8); }
+
+TEST(BQueue, StartsEmpty) {
+  BQueue<int*> q(16, 4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_EQ(q.capacity(), 16u);
+}
+
+TEST(BQueue, FifoSingleThread) {
+  BQueue<int*> q(16, 4);
+  for (std::uintptr_t i = 1; i <= 8; ++i) ASSERT_TRUE(q.push(val(i)));
+  for (std::uintptr_t i = 1; i <= 8; ++i) EXPECT_EQ(q.pop(), val(i));
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(BQueue, InterleavedPushPop) {
+  BQueue<int*> q(8, 2);
+  std::uintptr_t next_push = 1;
+  std::uintptr_t next_pop = 1;
+  for (int round = 0; round < 100; ++round) {
+    if (q.push(val(next_push))) ++next_push;
+    if (round % 3 == 0) {
+      int* p = q.pop();
+      if (p != nullptr) {
+        EXPECT_EQ(p, val(next_pop));
+        ++next_pop;
+      }
+    }
+  }
+  for (int* p = q.pop(); p != nullptr; p = q.pop()) {
+    EXPECT_EQ(p, val(next_pop));
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(BQueue, ReportsFullViaBatchProbe) {
+  // With capacity 8 and batch 4 the producer declares full once the slot
+  // 4 ahead is still occupied — conservative, never overruns.
+  BQueue<int*> q(8, 4);
+  int pushed = 0;
+  while (q.push(val(static_cast<std::uintptr_t>(pushed + 1)))) ++pushed;
+  EXPECT_GE(pushed, 4);   // at least one batch fits
+  EXPECT_LE(pushed, 8);   // never exceeds capacity
+  // Draining frees space for the producer again.
+  for (int i = 0; i < pushed; ++i) ASSERT_NE(q.pop(), nullptr);
+  EXPECT_TRUE(q.push(val(99)));
+}
+
+TEST(BQueue, BacktrackingFindsPartialBatch) {
+  // Push fewer than one batch; the consumer must halve its probe distance
+  // down to 1 and still find the elements.
+  BQueue<int*> q(64, 32);
+  ASSERT_TRUE(q.push(val(1)));
+  EXPECT_EQ(q.pop(), val(1));
+  EXPECT_EQ(q.pop(), nullptr);
+  ASSERT_TRUE(q.push(val(2)));
+  ASSERT_TRUE(q.push(val(3)));
+  ASSERT_TRUE(q.push(val(4)));
+  EXPECT_EQ(q.pop(), val(2));
+  EXPECT_EQ(q.pop(), val(3));
+  EXPECT_EQ(q.pop(), val(4));
+}
+
+TEST(BQueue, WrapsAroundManyTimes) {
+  BQueue<int*> q(8, 2);
+  std::uintptr_t v = 1;
+  for (int lap = 0; lap < 1000; ++lap) {
+    ASSERT_TRUE(q.push(val(v)));
+    ASSERT_TRUE(q.push(val(v + 1)));
+    EXPECT_EQ(q.pop(), val(v));
+    EXPECT_EQ(q.pop(), val(v + 1));
+    v += 2;
+  }
+}
+
+TEST(BQueue, MinimalCapacityTwo) {
+  BQueue<int*> q(2, 1);
+  EXPECT_TRUE(q.push(val(1)));
+  EXPECT_EQ(q.pop(), val(1));
+  EXPECT_TRUE(q.push(val(2)));
+  EXPECT_EQ(q.pop(), val(2));
+}
+
+TEST(BQueueStress, SpscTwoThreadsAllDeliveredInOrder) {
+  constexpr std::uintptr_t kCount = 200'000;
+  BQueue<int*> q(1024, 64);
+  std::vector<std::uintptr_t> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    while (received.size() < kCount) {
+      int* p = q.pop();
+      if (p != nullptr)
+        received.push_back(reinterpret_cast<std::uintptr_t>(p) >> 4);
+      else
+        std::this_thread::yield();
+    }
+  });
+  for (std::uintptr_t i = 1; i <= kCount; ++i) {
+    while (!q.push(val(i))) std::this_thread::yield();
+  }
+  consumer.join();
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uintptr_t i = 0; i < kCount; ++i)
+    ASSERT_EQ(received[i], i + 1) << "at " << i;
+}
+
+class BQueueCapacities : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BQueueCapacities, FillDrainCycleIsLossless) {
+  const std::uint32_t cap = GetParam();
+  BQueue<int*> q(cap, cap / 2);
+  std::uintptr_t pushed = 0;
+  std::uintptr_t popped = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    while (q.push(val(pushed + 1))) ++pushed;
+    for (int* p = q.pop(); p != nullptr; p = q.pop()) {
+      ++popped;
+      ASSERT_EQ(reinterpret_cast<std::uintptr_t>(p) >> 4, popped);
+    }
+  }
+  EXPECT_EQ(pushed, popped);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BQueueCapacities,
+                         ::testing::Values(2u, 4u, 8u, 32u, 128u, 1024u,
+                                           4096u));
+
+}  // namespace
+}  // namespace xtask

@@ -1,0 +1,78 @@
+// Centralized barrier tests: the XGOMP-style arrival + atomic task-count
+// release protocol, including multi-generation reuse and threaded stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/central_barrier.hpp"
+
+namespace xtask {
+namespace {
+
+TEST(CentralBarrier, ReleasesOnlyWhenAllArrivedAndDrained) {
+  CentralBarrier cb(3);
+  cb.task_created();
+  cb.arrive(1);
+  cb.arrive(1);
+  EXPECT_FALSE(cb.poll(1));  // missing one arrival, count > 0
+  cb.arrive(1);
+  EXPECT_FALSE(cb.poll(1));  // all arrived but one task in flight
+  cb.task_finished();
+  EXPECT_TRUE(cb.poll(1));
+  EXPECT_TRUE(cb.poll(1));  // idempotent for the same generation
+}
+
+TEST(CentralBarrier, TaskCountTracksCreateFinish) {
+  CentralBarrier cb(1);
+  EXPECT_EQ(cb.task_count(), 0);
+  cb.task_created();
+  cb.task_created();
+  EXPECT_EQ(cb.task_count(), 2);
+  cb.task_finished();
+  EXPECT_EQ(cb.task_count(), 1);
+  cb.task_finished();
+  EXPECT_EQ(cb.task_count(), 0);
+}
+
+TEST(CentralBarrier, MultipleGenerations) {
+  CentralBarrier cb(2);
+  for (std::uint64_t gen = 1; gen <= 4; ++gen) {
+    cb.task_created();
+    cb.arrive(gen);
+    cb.arrive(gen);
+    EXPECT_FALSE(cb.poll(gen)) << gen;
+    cb.task_finished();
+    EXPECT_TRUE(cb.poll(gen)) << gen;
+  }
+}
+
+TEST(CentralBarrierStress, ThreadedProducersDrainAndRelease) {
+  constexpr int kN = 6;
+  CentralBarrier cb(kN);
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kN; ++w) {
+    threads.emplace_back([&, w] {
+      // Phase 1: create and finish some tasks.
+      for (int i = 0; i < 100 + w * 13; ++i) {
+        cb.task_created();
+        cb.task_finished();
+      }
+      // Phase 2: barrier.
+      cb.arrive(1);
+      int spins = 0;
+      while (!cb.poll(1)) {
+        if (++spins % 32 == 0) std::this_thread::yield();
+      }
+      released.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released.load(), kN);
+  EXPECT_EQ(cb.task_count(), 0);
+}
+
+}  // namespace
+}  // namespace xtask

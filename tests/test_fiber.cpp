@@ -1,0 +1,157 @@
+// Fiber substrate tests: creation, ping-pong switching, argument passing,
+// stack isolation, many fibers, and deep stacks within the guard limit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fiber.hpp"
+
+namespace xtask::sim {
+namespace {
+
+// Simple cooperative harness: fibers switch back to `main_ctx` to yield.
+struct Harness {
+  FiberContext main_ctx;
+  Fiber fiber;
+  bool finished = false;
+};
+
+struct PingPongState {
+  Harness h;
+  int counter = 0;
+};
+
+void ping_pong_entry(void* arg) {
+  auto* st = static_cast<PingPongState*>(arg);
+  for (int i = 0; i < 1000; ++i) {
+    ++st->counter;
+    Fiber::switch_to(&st->h.fiber.context(), &st->h.main_ctx);
+  }
+  st->h.finished = true;
+  Fiber::switch_to(&st->h.fiber.context(), &st->h.main_ctx);
+  ADD_FAILURE() << "finished fiber resumed";
+}
+
+TEST(Fiber, PingPongPreservesState) {
+  PingPongState st;
+  st.h.fiber.create(&ping_pong_entry, &st);
+  int resumes = 0;
+  while (!st.h.finished) {
+    Fiber::switch_to(&st.h.main_ctx, &st.h.fiber.context());
+    ++resumes;
+  }
+  EXPECT_EQ(st.counter, 1000);
+  EXPECT_EQ(resumes, 1001);  // 1000 yields + final switch-out
+}
+
+struct StackState {
+  Harness h;
+  std::uintptr_t observed_sp = 0;
+  std::uint64_t checksum = 0;
+};
+
+void stack_user_entry(void* arg) {
+  auto* st = static_cast<StackState*>(arg);
+  // Use a healthy chunk of stack and verify contents survive a switch.
+  volatile std::uint8_t buf[16 * 1024];
+  for (std::size_t i = 0; i < sizeof(buf); ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 31);
+  int probe = 0;
+  st->observed_sp = reinterpret_cast<std::uintptr_t>(&probe);
+  Fiber::switch_to(&st->h.fiber.context(), &st->h.main_ctx);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < sizeof(buf); ++i) sum += buf[i];
+  st->checksum = sum;
+  st->h.finished = true;
+  Fiber::switch_to(&st->h.fiber.context(), &st->h.main_ctx);
+}
+
+TEST(Fiber, OwnStackSurvivesSwitches) {
+  StackState st;
+  st.h.fiber.create(&stack_user_entry, &st, 128 * 1024);
+  Fiber::switch_to(&st.h.main_ctx, &st.h.fiber.context());
+  int here = 0;
+  // The fiber runs on its own mapping, far from this thread's stack.
+  EXPECT_NE(st.observed_sp, 0u);
+  const std::uintptr_t host_sp = reinterpret_cast<std::uintptr_t>(&here);
+  const std::uintptr_t delta = st.observed_sp > host_sp
+                                   ? st.observed_sp - host_sp
+                                   : host_sp - st.observed_sp;
+  EXPECT_GT(delta, 1024u * 1024u);
+  Fiber::switch_to(&st.h.main_ctx, &st.h.fiber.context());
+  EXPECT_TRUE(st.h.finished);
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < 16 * 1024; ++i)
+    expect += static_cast<std::uint8_t>(i * 31);
+  EXPECT_EQ(st.checksum, expect);
+}
+
+struct CounterState {
+  Harness h;
+  int id = 0;
+  int* order_cursor = nullptr;
+  std::vector<int>* order = nullptr;
+};
+
+void ordered_entry(void* arg) {
+  auto* st = static_cast<CounterState*>(arg);
+  st->order->push_back(st->id);
+  st->h.finished = true;
+  Fiber::switch_to(&st->h.fiber.context(), &st->h.main_ctx);
+}
+
+TEST(Fiber, ManyFibersRunIndependently) {
+  constexpr int kN = 64;
+  std::vector<int> order;
+  std::vector<std::unique_ptr<CounterState>> fibers;
+  for (int i = 0; i < kN; ++i) {
+    auto st = std::make_unique<CounterState>();
+    st->id = i;
+    st->order = &order;
+    st->h.fiber.create(&ordered_entry, st.get(), 64 * 1024);
+    fibers.push_back(std::move(st));
+  }
+  // Run in reverse order; completion order must match resume order.
+  for (int i = kN - 1; i >= 0; --i) {
+    auto& st = *fibers[static_cast<std::size_t>(i)];
+    Fiber::switch_to(&st.h.main_ctx, &st.h.fiber.context());
+    EXPECT_TRUE(st.h.finished);
+  }
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], kN - 1 - i);
+}
+
+struct RecursionState {
+  Harness h;
+  int depth = 0;
+  long result = 0;
+};
+
+long deep_sum(int n) {
+  // Non-tail recursion with a local buffer: real stack consumption.
+  volatile char pad[128];
+  pad[0] = static_cast<char>(n);
+  if (n == 0) return pad[0];
+  return deep_sum(n - 1) + 1;
+}
+
+void recursion_entry(void* arg) {
+  auto* st = static_cast<RecursionState*>(arg);
+  st->result = deep_sum(st->depth);
+  st->h.finished = true;
+  Fiber::switch_to(&st->h.fiber.context(), &st->h.main_ctx);
+}
+
+TEST(Fiber, DeepRecursionWithinStackBudget) {
+  RecursionState st;
+  st.depth = 1000;  // ~ 1000 * ~200B frames, well inside 512 KiB
+  st.h.fiber.create(&recursion_entry, &st, 512 * 1024);
+  Fiber::switch_to(&st.h.main_ctx, &st.h.fiber.context());
+  EXPECT_TRUE(st.h.finished);
+  EXPECT_EQ(st.result, 1000);
+}
+
+}  // namespace
+}  // namespace xtask::sim

@@ -1,0 +1,145 @@
+// Plot-file persistence tests: round trip, on-disk ordering, proofs from
+// disk matching in-memory proofs, corruption detection, and error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/runtime.hpp"
+#include "posp/plot_file.hpp"
+
+namespace xtask::posp {
+namespace {
+
+class PlotFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PospConfig cfg;
+    cfg.k = 12;
+    cfg.batch = 64;
+    plot_ = std::make_unique<Plot>(cfg);
+    Config rc;
+    rc.num_threads = 4;
+    Runtime rt(rc);
+    plot_->generate(rt);
+    path_ = "/tmp/xtask_test_plot.bin";
+    ASSERT_TRUE(write_plot_file(*plot_, path_));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::unique_ptr<Plot> plot_;
+  std::string path_;
+};
+
+TEST_F(PlotFileTest, HeaderRoundTrips) {
+  PlotFileReader reader(path_);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  EXPECT_EQ(reader.header().k, 12u);
+  EXPECT_EQ(reader.header().total_puzzles, 4096u);
+  EXPECT_EQ(reader.header().plot_seed, plot_->config().plot_seed);
+  EXPECT_EQ(reader.num_buckets(), plot_->num_buckets());
+}
+
+TEST_F(PlotFileTest, AllPuzzlesPresentAndSorted) {
+  PlotFileReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  std::uint64_t total = 0;
+  for (std::uint64_t b = 0; b < reader.num_buckets(); ++b) {
+    const auto puzzles = reader.read_bucket(b);
+    EXPECT_EQ(puzzles.size(), plot_->bucket(b).size()) << "bucket " << b;
+    for (std::size_t i = 1; i < puzzles.size(); ++i)
+      EXPECT_LE(std::memcmp(puzzles[i - 1].hash, puzzles[i].hash, 28), 0);
+    total += puzzles.size();
+  }
+  EXPECT_EQ(total, 4096u);
+  EXPECT_TRUE(reader.verify_all());
+}
+
+TEST_F(PlotFileTest, DiskProofMatchesMemoryProofQuality) {
+  // Memory buckets are insertion-ordered, disk buckets hash-sorted, so
+  // equal-quality ties can resolve to different nonces; the *score* must
+  // match and both proofs must verify.
+  auto score_of = [](const Puzzle& p, const std::uint8_t challenge[28]) {
+    int score = 0;
+    for (int i = 0; i < 28; ++i) {
+      const auto x = static_cast<std::uint8_t>(p.hash[i] ^ challenge[i]);
+      if (x == 0) {
+        score += 8;
+        continue;
+      }
+      for (int bit = 7; bit >= 0; --bit) {
+        if ((x >> bit) & 1) break;
+        ++score;
+      }
+      break;
+    }
+    return score;
+  };
+  PlotFileReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  for (int i = 0; i < 8; ++i) {
+    std::uint8_t challenge[28];
+    char msg[16];
+    std::snprintf(msg, sizeof(msg), "ch-%d", i);
+    Blake3::hash(msg, std::strlen(msg), challenge, sizeof(challenge));
+    Puzzle mem_proof{};
+    Puzzle disk_proof{};
+    ASSERT_TRUE(plot_->best_proof(challenge, &mem_proof));
+    ASSERT_TRUE(reader.best_proof(challenge, &disk_proof));
+    EXPECT_EQ(score_of(mem_proof, challenge), score_of(disk_proof, challenge))
+        << "challenge " << i;
+    EXPECT_TRUE(plot_->verify(disk_proof));
+    EXPECT_TRUE(plot_->verify(mem_proof));
+  }
+}
+
+TEST_F(PlotFileTest, CorruptionIsDetected) {
+  // Flip one byte in the record area; verify_all must fail.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(-17, std::ios::end);
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(-17, std::ios::end);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+  PlotFileReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.verify_all());
+}
+
+TEST_F(PlotFileTest, TruncatedFileRejected) {
+  // Cut the file inside the offset table.
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<long>(sizeof(PlotFileHeader) + 37));
+  out.close();
+  PlotFileReader reader(path_);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("truncated"), std::string::npos);
+}
+
+TEST(PlotFile, MissingFileReportsError) {
+  PlotFileReader reader("/tmp/definitely_not_here.bin");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(PlotFile, BadMagicRejected) {
+  const std::string path = "/tmp/xtask_badmagic.bin";
+  std::ofstream f(path, std::ios::binary);
+  const std::uint64_t junk[8] = {0xdeadbeef, 1, 2, 3, 4, 5, 6, 7};
+  f.write(reinterpret_cast<const char*>(junk), sizeof(junk));
+  f.close();
+  PlotFileReader reader(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("header"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xtask::posp

@@ -1,0 +1,127 @@
+// Profiler tests (§V tooling): event recording, per-kind aggregation,
+// counter totals, CSV dumps, and the Fig. 3-style timeline report.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/runtime.hpp"
+#include "prof/profiler.hpp"
+
+namespace xtask {
+namespace {
+
+TEST(Profiler, EventsDisabledByDefaultRecordNothing) {
+  Profiler prof(2, /*events_enabled=*/false);
+  prof.thread(0).record(EventKind::kTask, 100, 200);
+  EXPECT_TRUE(prof.thread(0).events().empty());
+}
+
+TEST(Profiler, EventAggregationByKind) {
+  Profiler prof(1, true);
+  prof.thread(0).record(EventKind::kTask, 100, 150);
+  prof.thread(0).record(EventKind::kTask, 200, 260);
+  prof.thread(0).record(EventKind::kBarrier, 300, 310);
+  const auto cycles = prof.thread(0).cycles_by_kind();
+  EXPECT_EQ(cycles[static_cast<int>(EventKind::kTask)], 110u);
+  EXPECT_EQ(cycles[static_cast<int>(EventKind::kBarrier)], 10u);
+  EXPECT_EQ(cycles[static_cast<int>(EventKind::kStall)], 0u);
+}
+
+TEST(Profiler, TotalCountersSumAcrossThreads) {
+  Profiler prof(3, false);
+  prof.thread(0).counters.ntasks_self = 5;
+  prof.thread(1).counters.ntasks_self = 7;
+  prof.thread(2).counters.nreq_sent = 11;
+  const Counters total = prof.total_counters();
+  EXPECT_EQ(total.ntasks_self, 12u);
+  EXPECT_EQ(total.nreq_sent, 11u);
+}
+
+TEST(Profiler, ScopedEventRecordsInterval) {
+  Profiler prof(1, true);
+  {
+    ScopedEvent ev(prof.thread(0), EventKind::kTaskWait);
+  }
+  ASSERT_EQ(prof.thread(0).events().size(), 1u);
+  const PerfEvent& e = prof.thread(0).events()[0];
+  EXPECT_EQ(e.kind, EventKind::kTaskWait);
+  EXPECT_GE(e.end, e.start);
+}
+
+TEST(Profiler, CsvDumpsAreWellFormed) {
+  Profiler prof(2, true);
+  prof.thread(0).record(EventKind::kTask, 1, 2);
+  prof.thread(1).record(EventKind::kStall, 3, 9);
+  prof.thread(1).counters.ntasks_executed = 4;
+
+  const std::string events_path = "/tmp/xtask_test_events.csv";
+  const std::string counters_path = "/tmp/xtask_test_counters.csv";
+  ASSERT_TRUE(prof.dump_events_csv(events_path));
+  ASSERT_TRUE(prof.dump_counters_csv(counters_path));
+
+  std::ifstream ef(events_path);
+  std::string line;
+  std::getline(ef, line);
+  EXPECT_EQ(line, "tid,kind,start,end");
+  int rows = 0;
+  while (std::getline(ef, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+
+  std::ifstream cf(counters_path);
+  std::getline(cf, line);
+  EXPECT_NE(line.find("ntasks_executed"), std::string::npos);
+  rows = 0;
+  while (std::getline(cf, line)) ++rows;
+  EXPECT_EQ(rows, 2);  // one per thread
+  std::remove(events_path.c_str());
+  std::remove(counters_path.c_str());
+}
+
+TEST(Profiler, TimelineReportShowsEveryThread) {
+  Profiler prof(4, true);
+  for (int t = 0; t < 4; ++t)
+    prof.thread(t).record(EventKind::kTask, 0,
+                          100 * static_cast<std::uint64_t>(t + 1));
+  const std::string report = prof.timeline_report(40);
+  EXPECT_NE(report.find("t000"), std::string::npos);
+  EXPECT_NE(report.find("t003"), std::string::npos);
+  // The longest-running thread's bar must be the longest.
+  std::istringstream ss(report);
+  std::string line;
+  std::getline(ss, line);  // legend
+  std::size_t len0 = 0;
+  std::size_t len3 = 0;
+  while (std::getline(ss, line)) {
+    const auto hashes =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), '#'));
+    if (line.find("t000") == 0) len0 = hashes;
+    if (line.find("t003") == 0) len3 = hashes;
+  }
+  EXPECT_GT(len3, len0);
+}
+
+TEST(Profiler, RuntimeIntegrationProducesEvents) {
+  Config cfg;
+  cfg.num_threads = 2;
+  cfg.profile_events = true;
+  Runtime rt(cfg);
+  rt.run([](TaskContext& ctx) {
+    for (int i = 0; i < 50; ++i)
+      ctx.spawn([](TaskContext&) {});
+    ctx.taskwait();
+  });
+  const auto summaries = rt.profiler().summarize();
+  ASSERT_EQ(summaries.size(), 2u);
+  std::uint64_t task_cycles = 0;
+  for (const auto& s : summaries)
+    task_cycles += s.cycles[static_cast<int>(EventKind::kTask)];
+  EXPECT_GT(task_cycles, 0u);
+  const Counters total = rt.profiler().total_counters();
+  EXPECT_EQ(total.ntasks_created, 51u);  // 50 children + root
+  EXPECT_EQ(total.ntasks_executed, 51u);
+}
+
+}  // namespace
+}  // namespace xtask

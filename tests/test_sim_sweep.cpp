@@ -1,0 +1,119 @@
+// Parameterized simulator sweep: every policy × representative workloads
+// must conserve tasks, stay deterministic, and respect basic dominance
+// relations of the cost model.
+#include <gtest/gtest.h>
+
+#include "sim/workloads.hpp"
+
+namespace xtask::sim {
+namespace {
+
+struct SweepCase {
+  const char* name;
+  SimPolicy policy;
+  SimDlb dlb;
+  int cores;
+  int zones;
+};
+
+class SimPolicySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SimPolicySweep, ConservationAndDeterminism) {
+  const SweepCase& p = GetParam();
+  const SimWorkload workloads[] = {
+      wl_fib(14),
+      wl_uts(30, 0.15, 7),
+      wl_sort(1 << 14, 1 << 10),
+      wl_irregular(500, 20'000, 0.4),
+  };
+  for (const auto& wl : workloads) {
+    SimConfig cfg;
+    cfg.policy = p.policy;
+    cfg.dlb = p.dlb;
+    cfg.dlb_cfg = {4, 8, 2'000, 0.5};
+    cfg.machine.cores = p.cores;
+    cfg.machine.zones = p.zones;
+    const auto r1 = simulate(cfg, wl);
+    const auto r2 = simulate(cfg, wl);
+    ASSERT_EQ(r1.totals.ntasks_created, r1.totals.ntasks_executed)
+        << p.name << "/" << wl.name;
+    ASSERT_EQ(r1.makespan, r2.makespan) << p.name << "/" << wl.name;
+    ASSERT_EQ(r1.tasks, r2.tasks) << p.name << "/" << wl.name;
+    ASSERT_GT(r1.makespan, 0u);
+    // Locality classes partition executions.
+    ASSERT_EQ(r1.totals.ntasks_self + r1.totals.ntasks_local +
+                  r1.totals.ntasks_remote,
+              r1.totals.ntasks_executed)
+        << p.name << "/" << wl.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SimPolicySweep,
+    ::testing::Values(
+        SweepCase{"gomp_16", SimPolicy::kGomp, SimDlb::kNone, 16, 4},
+        SweepCase{"lomp_16", SimPolicy::kLomp, SimDlb::kNone, 16, 4},
+        SweepCase{"xlomp_16", SimPolicy::kXlomp, SimDlb::kNone, 16, 4},
+        SweepCase{"xgomp_16", SimPolicy::kXGomp, SimDlb::kNone, 16, 4},
+        SweepCase{"xgomptb_16", SimPolicy::kXGompTB, SimDlb::kNone, 16, 4},
+        SweepCase{"tb_rp_16", SimPolicy::kXGompTB, SimDlb::kRedirectPush,
+                  16, 4},
+        SweepCase{"tb_ws_16", SimPolicy::kXGompTB, SimDlb::kWorkSteal, 16,
+                  4},
+        SweepCase{"tb_qws_16", SimPolicy::kXGompTB,
+                  SimDlb::kQueueWorkSteal, 16, 4},
+        SweepCase{"tb_adaptive_16", SimPolicy::kXGompTB, SimDlb::kAdaptive,
+                  16, 4},
+        SweepCase{"tb_ws_1core", SimPolicy::kXGompTB, SimDlb::kWorkSteal,
+                  1, 1},
+        SweepCase{"tb_192", SimPolicy::kXGompTB, SimDlb::kNone, 192, 8},
+        SweepCase{"gomp_3_uneven", SimPolicy::kGomp, SimDlb::kNone, 3, 2}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SimDominance, MoreCoresScaleUntilSaturation) {
+  // Strict monotonicity does not hold once the workload saturates (more
+  // workers add scan/idle overheads with ~10 leaves each); allow a small
+  // plateau wobble but require real scaling overall.
+  const auto wl = wl_irregular(2000, 30'000, 0.0);
+  std::uint64_t first = 0;
+  std::uint64_t prev = ~0ull;
+  for (int cores : {4, 16, 64, 192}) {
+    SimConfig cfg;
+    cfg.policy = SimPolicy::kXGompTB;
+    cfg.machine.cores = cores;
+    cfg.machine.zones = std::max(1, cores / 24);
+    const auto res = simulate(cfg, wl);
+    EXPECT_LE(res.makespan, prev + prev / 5) << cores << " cores";
+    if (first == 0) first = res.makespan;
+    prev = res.makespan;
+  }
+  EXPECT_LT(prev * 5, first) << "192 cores should be >5x faster than 4";
+}
+
+TEST(SimDominance, HigherMemIntensityNeverFaster) {
+  std::uint64_t prev = 0;
+  for (double mem : {0.0, 0.5, 1.0}) {
+    auto wl = wl_irregular(1000, 40'000, mem);
+    SimConfig cfg;
+    cfg.policy = SimPolicy::kXGompTB;
+    const auto res = simulate(cfg, wl);
+    EXPECT_GE(res.makespan, prev) << mem;
+    prev = res.makespan;
+  }
+}
+
+TEST(SimDominance, CheaperMachineConstantsNeverSlower) {
+  const auto wl = wl_fib(15);
+  SimConfig fast;
+  fast.policy = SimPolicy::kXGomp;
+  SimConfig slow = fast;
+  slow.machine.atomic_transfer *= 4;
+  const auto rf = simulate(fast, wl);
+  const auto rs = simulate(slow, wl);
+  EXPECT_LE(rf.makespan, rs.makespan);
+}
+
+}  // namespace
+}  // namespace xtask::sim

@@ -1,0 +1,165 @@
+// Lock-less messaging protocol tests (Alg. 1 & 2): cell packing, the
+// request/round handshake, overwrite semantics, victim-selection
+// distribution, and a two-thread stress run checking that every handled
+// round is handled exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "core/steal_protocol.hpp"
+
+namespace xtask {
+namespace {
+
+TEST(StealCells, PackUnpackRoundTrip) {
+  for (int tid : {0, 1, 24, 191, steal::kMaxWorkerId}) {
+    for (std::uint64_t round :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{123456789},
+          steal::kRoundMask}) {
+      const std::uint64_t req = steal::pack(tid, round);
+      EXPECT_EQ(steal::thief_of(req), tid);
+      EXPECT_EQ(steal::round_of(req), round);
+    }
+  }
+}
+
+TEST(StealCells, RoundStartsAtOne) {
+  StealCells c;
+  EXPECT_EQ(c.round.load(), 1u);
+  EXPECT_EQ(c.poll_request(), -1);  // request 0 carries round 0 != 1
+}
+
+TEST(StealCells, RequestHandshake) {
+  StealCells c;
+  // Thief 5 registers.
+  EXPECT_TRUE(c.try_request(5));
+  // A second thief cannot register while the first is pending.
+  EXPECT_FALSE(c.try_request(7));
+  // Victim sees thief 5, completes the round.
+  EXPECT_EQ(c.poll_request(), 5);
+  c.complete_round();
+  // Old request is now stale.
+  EXPECT_EQ(c.poll_request(), -1);
+  // New requests are accepted again.
+  EXPECT_TRUE(c.try_request(7));
+  EXPECT_EQ(c.poll_request(), 7);
+}
+
+TEST(StealCells, StaleRequestNeverValid) {
+  StealCells c;
+  EXPECT_TRUE(c.try_request(3));
+  c.complete_round();
+  c.complete_round();  // round advanced twice; nothing pending
+  EXPECT_EQ(c.poll_request(), -1);
+}
+
+TEST(StealCellsStress, EveryRoundHandledAtMostOnce) {
+  // One victim completing rounds, one thief re-requesting: the number of
+  // successful polls must equal the number of completed rounds, with no
+  // double-handling of a round.
+  StealCells c;
+  constexpr int kRounds = 5'000;
+  std::atomic<int> handled{0};
+  std::atomic<bool> stop{false};
+  std::thread victim([&] {
+    int spins = 0;
+    while (handled.load(std::memory_order_relaxed) < kRounds) {
+      if (c.poll_request() >= 0) {
+        handled.fetch_add(1, std::memory_order_relaxed);
+        c.complete_round();
+      } else if (++spins % 16 == 0) {
+        std::this_thread::yield();  // oversubscribed-host liveness
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread thief([&] {
+    int spins = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!c.try_request(9) && ++spins % 16 == 0)
+        std::this_thread::yield();
+    }
+  });
+  victim.join();
+  thief.join();
+  EXPECT_EQ(handled.load(), kRounds);
+  // Round counter advanced exactly once per handled request.
+  EXPECT_EQ(c.round.load(), 1u + kRounds);
+}
+
+TEST(PickVictim, NeverPicksSelfAndRespectsRange) {
+  const auto topo = Topology::synthetic(16, 4);
+  XorShift rng(7);
+  for (int self = 0; self < 16; ++self) {
+    for (int i = 0; i < 200; ++i) {
+      const int v = pick_victim(topo, self, 0.5, rng);
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, 16);
+      ASSERT_NE(v, self);
+    }
+  }
+}
+
+TEST(PickVictim, FullyLocalStaysInZone) {
+  const auto topo = Topology::synthetic(16, 4);
+  XorShift rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int v = pick_victim(topo, 5, 1.0, rng);
+    EXPECT_TRUE(topo.local(5, v)) << v;
+  }
+}
+
+TEST(PickVictim, FullyRemoteLeavesZone) {
+  const auto topo = Topology::synthetic(16, 4);
+  XorShift rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const int v = pick_victim(topo, 5, 0.0, rng);
+    EXPECT_FALSE(topo.local(5, v)) << v;
+  }
+}
+
+TEST(PickVictim, ProbabilityRoughlySplits) {
+  const auto topo = Topology::synthetic(16, 4);
+  XorShift rng(17);
+  int local = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i)
+    if (topo.local(5, pick_victim(topo, 5, 0.5, rng))) ++local;
+  EXPECT_NEAR(static_cast<double>(local) / kTrials, 0.5, 0.03);
+}
+
+TEST(PickVictim, SingleZoneFallsBackToAnyOther) {
+  const auto topo = Topology::synthetic(8, 1);
+  XorShift rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const int v = pick_victim(topo, 2, 0.0, rng);  // remote requested,
+                                                   // none exists
+    ASSERT_GE(v, 0);
+    ASSERT_NE(v, 2);
+  }
+}
+
+TEST(PickVictim, LoneWorkerReturnsMinusOne) {
+  const auto topo = Topology::synthetic(1, 1);
+  XorShift rng(23);
+  EXPECT_EQ(pick_victim(topo, 0, 1.0, rng), -1);
+}
+
+TEST(PickVictim, UniformAcrossRemoteWorkers) {
+  const auto topo = Topology::synthetic(8, 4);  // zones of 2
+  XorShift rng(29);
+  std::map<int, int> counts;
+  constexpr int kTrials = 60'000;
+  for (int i = 0; i < kTrials; ++i) counts[pick_victim(topo, 0, 0.0, rng)]++;
+  // 6 remote workers (zones 1-3), each ~1/6.
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [w, n] : counts) {
+    EXPECT_FALSE(topo.local(0, w));
+    EXPECT_NEAR(static_cast<double>(n) / kTrials, 1.0 / 6, 0.02) << w;
+  }
+}
+
+}  // namespace
+}  // namespace xtask

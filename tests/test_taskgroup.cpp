@@ -1,0 +1,150 @@
+// taskgroup / taskyield tests: subtree completion (grandchildren included
+// — the semantics taskwait does not give), nesting, and yield behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/runtime.hpp"
+
+namespace xtask {
+namespace {
+
+Config cfg4() {
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.numa_zones = 2;
+  return cfg;
+}
+
+TEST(TaskGroup, WaitsForGrandchildren) {
+  // Children spawn grandchildren and return WITHOUT taskwait: a plain
+  // taskwait would not cover the grandchildren, taskgroup must.
+  Runtime rt(cfg4());
+  std::atomic<int> grandchildren{0};
+  bool all_done_inside = false;
+  rt.run([&](TaskContext& ctx) {
+    ctx.taskgroup([&](TaskContext& g) {
+      for (int i = 0; i < 8; ++i) {
+        g.spawn([&](TaskContext& c) {
+          for (int j = 0; j < 8; ++j)
+            c.spawn([&](TaskContext&) {
+              grandchildren.fetch_add(1, std::memory_order_relaxed);
+            });
+          // no taskwait — fire and forget
+        });
+      }
+    });
+    all_done_inside = grandchildren.load() == 64;
+  });
+  EXPECT_TRUE(all_done_inside)
+      << "taskgroup returned before grandchildren finished";
+  EXPECT_EQ(grandchildren.load(), 64);
+}
+
+TEST(TaskGroup, TaskwaitAloneDoesNotCoverGrandchildren) {
+  // Control experiment for the test above: document the weaker taskwait
+  // semantics the group exists to strengthen. (Grandchildren may or may
+  // not be done at the observation point; the region barrier still drains
+  // them, so the final count is exact.)
+  Runtime rt(cfg4());
+  std::atomic<int> done{0};
+  rt.run([&](TaskContext& ctx) {
+    for (int i = 0; i < 4; ++i) {
+      ctx.spawn([&](TaskContext& c) {
+        c.spawn([&](TaskContext&) { done.fetch_add(1); });
+      });
+    }
+    ctx.taskwait();  // waits for children only
+  });
+  EXPECT_EQ(done.load(), 4);  // barrier drained everything by region end
+}
+
+TEST(TaskGroup, NestedGroups) {
+  Runtime rt(cfg4());
+  std::atomic<int> inner_total{0};
+  std::atomic<int> outer_total{0};
+  rt.run([&](TaskContext& ctx) {
+    ctx.taskgroup([&](TaskContext& g) {
+      for (int i = 0; i < 4; ++i) {
+        g.spawn([&](TaskContext& c) {
+          std::atomic<int> mine{0};  // this outer task's inner group only
+          c.taskgroup([&](TaskContext& inner) {
+            for (int j = 0; j < 4; ++j)
+              inner.spawn([&](TaskContext&) {
+                mine.fetch_add(1);
+                inner_total.fetch_add(1);
+              });
+          });
+          // Inner group complete here by definition.
+          EXPECT_EQ(mine.load(), 4);
+          outer_total.fetch_add(1);
+        });
+      }
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+  EXPECT_EQ(outer_total.load(), 4);
+}
+
+TEST(TaskGroup, EmptyGroupReturnsImmediately) {
+  Runtime rt(cfg4());
+  int ran = 0;
+  rt.run([&](TaskContext& ctx) {
+    ctx.taskgroup([&](TaskContext&) { ++ran; });
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(TaskGroup, CountersBalanceWithGroups) {
+  Runtime rt(cfg4());
+  std::atomic<int> n{0};
+  rt.run([&](TaskContext& ctx) {
+    ctx.taskgroup([&](TaskContext& g) {
+      for (int i = 0; i < 100; ++i)
+        g.spawn([&](TaskContext& c) {
+          c.spawn([&](TaskContext&) { n.fetch_add(1); });
+        });
+    });
+  });
+  EXPECT_EQ(n.load(), 100);
+  const Counters c = rt.profiler().total_counters();
+  EXPECT_EQ(c.ntasks_created, c.ntasks_executed);
+}
+
+TEST(TaskYield, RunsAnotherTaskWhenAvailable) {
+  Config cfg;
+  cfg.num_threads = 1;  // deterministic: all tasks on one worker
+  Runtime rt(cfg);
+  std::vector<int> order;
+  rt.run([&](TaskContext& ctx) {
+    ctx.spawn([&](TaskContext&) { order.push_back(1); });
+    ctx.spawn([&](TaskContext& c) {
+      order.push_back(2);
+      // Yield mid-task: task 3 (queued after us) runs inside the yield.
+      const bool ran = c.taskyield();
+      order.push_back(ran ? 4 : -4);
+    });
+    ctx.spawn([&](TaskContext&) { order.push_back(3); });
+    ctx.taskwait();
+  });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);  // executed inside the yield
+  EXPECT_EQ(order[3], 4);
+}
+
+TEST(TaskYield, ReturnsFalseWhenNothingQueued) {
+  Config cfg;
+  cfg.num_threads = 1;
+  Runtime rt(cfg);
+  bool yielded = true;
+  rt.run([&](TaskContext& ctx) {
+    ctx.spawn([&](TaskContext& c) { yielded = c.taskyield(); });
+    ctx.taskwait();
+  });
+  EXPECT_FALSE(yielded);
+}
+
+}  // namespace
+}  // namespace xtask

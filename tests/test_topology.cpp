@@ -1,0 +1,87 @@
+// Topology tests: synthetic zone striping, locality queries, detection
+// fallback, and edge cases (more zones than workers, single worker).
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+
+namespace xtask {
+namespace {
+
+TEST(Topology, SyntheticStripesContiguously) {
+  // 8 workers over 4 zones, "close" affinity: [0,1][2,3][4,5][6,7].
+  const auto t = Topology::synthetic(8, 4);
+  EXPECT_EQ(t.num_workers(), 8);
+  EXPECT_EQ(t.num_zones(), 4);
+  EXPECT_EQ(t.zone_of(0), 0);
+  EXPECT_EQ(t.zone_of(1), 0);
+  EXPECT_EQ(t.zone_of(2), 1);
+  EXPECT_EQ(t.zone_of(7), 3);
+  EXPECT_TRUE(t.local(0, 1));
+  EXPECT_FALSE(t.local(1, 2));
+}
+
+TEST(Topology, UnevenDivisionBalancedWithinOne) {
+  const auto t = Topology::synthetic(10, 3);
+  std::size_t min_size = 100;
+  std::size_t max_size = 0;
+  for (int z = 0; z < t.num_zones(); ++z) {
+    min_size = std::min(min_size, t.zone_members(z).size());
+    max_size = std::max(max_size, t.zone_members(z).size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(Topology, EveryWorkerInExactlyOneZone) {
+  const auto t = Topology::synthetic(192, 8);
+  std::size_t total = 0;
+  for (int z = 0; z < t.num_zones(); ++z) {
+    for (int w : t.zone_members(z)) EXPECT_EQ(t.zone_of(w), z);
+    total += t.zone_members(z).size();
+  }
+  EXPECT_EQ(total, 192u);
+  EXPECT_EQ(t.zone_members(0).size(), 24u);  // Skylake-192 shape
+}
+
+TEST(Topology, MoreZonesThanWorkersClamps) {
+  const auto t = Topology::synthetic(3, 8);
+  EXPECT_EQ(t.num_zones(), 3);
+  for (int w = 0; w < 3; ++w)
+    EXPECT_EQ(t.zone_members(t.zone_of(w)).size(), 1u);
+}
+
+TEST(Topology, SingleWorkerSingleZone) {
+  const auto t = Topology::synthetic(1, 1);
+  EXPECT_EQ(t.num_zones(), 1);
+  EXPECT_TRUE(t.local(0, 0));
+  EXPECT_EQ(t.peers_of(0).size(), 1u);
+}
+
+TEST(Topology, PeersIncludeSelf) {
+  const auto t = Topology::synthetic(12, 4);
+  for (int w = 0; w < 12; ++w) {
+    const auto& peers = t.peers_of(w);
+    EXPECT_NE(std::find(peers.begin(), peers.end(), w), peers.end());
+  }
+}
+
+TEST(Topology, DetectNeverFails) {
+  // On any host this must return a usable topology (>= 1 zone, all
+  // workers mapped).
+  const auto t = Topology::detect(6);
+  EXPECT_EQ(t.num_workers(), 6);
+  EXPECT_GE(t.num_zones(), 1);
+  for (int w = 0; w < 6; ++w) {
+    EXPECT_GE(t.zone_of(w), 0);
+    EXPECT_LT(t.zone_of(w), t.num_zones());
+  }
+}
+
+TEST(Topology, DescribeMentionsCounts) {
+  const auto t = Topology::synthetic(8, 2);
+  const std::string d = t.describe();
+  EXPECT_NE(d.find("8 workers"), std::string::npos);
+  EXPECT_NE(d.find("2 zones"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xtask

@@ -1,0 +1,73 @@
+// Trace exporter tests: JSON structure, normalization, filtering, and an
+// end-to-end dump from a real runtime run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/runtime.hpp"
+#include "prof/trace_export.hpp"
+
+namespace xtask {
+namespace {
+
+TEST(TraceExport, EmptyProfilerYieldsMetadataOnly) {
+  Profiler prof(2, true);
+  const std::string json = trace_to_json(prof);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TraceExport, EventsBecomeCompleteSpans) {
+  Profiler prof(1, true);
+  prof.thread(0).record(EventKind::kTask, 21'000, 42'000);
+  prof.thread(0).record(EventKind::kStall, 42'000, 63'000);
+  TraceExportOptions opts;
+  opts.cycles_per_us = 2100.0;
+  const std::string json = trace_to_json(prof, opts);
+  // Normalized to t0 = 21000; 21000 cycles = 10us at 2.1GHz.
+  EXPECT_NE(json.find("\"name\":\"TASK\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0.000,\"dur\":10.000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"STALL\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10.000"), std::string::npos);
+}
+
+TEST(TraceExport, MinCyclesFilters) {
+  Profiler prof(1, true);
+  prof.thread(0).record(EventKind::kTask, 0, 10);      // 10 cycles
+  prof.thread(0).record(EventKind::kBarrier, 0, 10'000);
+  TraceExportOptions opts;
+  opts.min_cycles = 100;
+  const std::string json = trace_to_json(prof, opts);
+  EXPECT_EQ(json.find("\"name\":\"TASK\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"BARRIER\""), std::string::npos);
+}
+
+TEST(TraceExport, EndToEndDumpIsParsableJson) {
+  Config cfg;
+  cfg.num_threads = 2;
+  cfg.profile_events = true;
+  Runtime rt(cfg);
+  rt.run([](TaskContext& ctx) {
+    for (int i = 0; i < 20; ++i) ctx.spawn([](TaskContext&) {});
+    ctx.taskwait();
+  });
+  const std::string path = "/tmp/xtask_trace_test.json";
+  ASSERT_TRUE(dump_trace_json(rt.profiler(), path));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  // Cheap structural validation: array document, balanced braces.
+  ASSERT_FALSE(content.empty());
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_EQ(content[content.size() - 2], ']');
+  const auto opens = std::count(content.begin(), content.end(), '{');
+  const auto closes = std::count(content.begin(), content.end(), '}');
+  EXPECT_EQ(opens, closes);
+  EXPECT_NE(content.find("\"name\":\"TASK\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xtask

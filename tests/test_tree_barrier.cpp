@@ -1,0 +1,153 @@
+// Distributed tree barrier tests: single-worker release, quiescence
+// detection with monotone counters, the double-pass rule (no premature
+// release while counters still move), multi-generation reuse, and a
+// threaded stress run with simulated task activity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/tree_barrier.hpp"
+
+namespace xtask {
+namespace {
+
+TEST(TreeBarrier, SingleWorkerReleasesWhenQuiescent) {
+  TreeBarrier tb(1);
+  // created != executed: never releases.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(tb.poll(0, 5, 4, 1));
+  // Balanced counters: two stable passes then release.
+  bool released = false;
+  for (int i = 0; i < 10 && !released; ++i) released = tb.poll(0, 5, 5, 1);
+  EXPECT_TRUE(released);
+}
+
+TEST(TreeBarrier, RequiresTwoStablePasses) {
+  // Root alone; counters change between polls — each change must reset
+  // the stability requirement.
+  TreeBarrier tb(1);
+  EXPECT_FALSE(tb.poll(0, 1, 1, 1));  // pass with (1,1)
+  EXPECT_FALSE(tb.poll(0, 2, 2, 1));  // counters moved: (2,2) != (1,1)
+  EXPECT_FALSE(tb.poll(0, 3, 3, 1));  // moved again
+  bool released = false;
+  for (int i = 0; i < 5 && !released; ++i) released = tb.poll(0, 3, 3, 1);
+  EXPECT_TRUE(released);
+}
+
+TEST(TreeBarrier, AllWorkersMustParticipate) {
+  TreeBarrier tb(4);
+  // Workers 0..2 poll; worker 3 never does: no release possible.
+  bool released = false;
+  for (int i = 0; i < 200; ++i) {
+    released = tb.poll(0, 0, 0, 1) || released;
+    released = tb.poll(1, 0, 0, 1) || released;
+    released = tb.poll(2, 0, 0, 1) || released;
+  }
+  EXPECT_FALSE(released);
+  // Worker 3 joins: release reaches everyone.
+  std::vector<bool> done(4, false);
+  for (int i = 0; i < 200 && !(done[0] && done[1] && done[2] && done[3]);
+       ++i) {
+    for (int w = 0; w < 4; ++w)
+      if (tb.poll(w, 0, 0, 1)) done[static_cast<std::size_t>(w)] = true;
+  }
+  EXPECT_TRUE(done[0] && done[1] && done[2] && done[3]);
+}
+
+TEST(TreeBarrier, UnbalancedCountersBlockRelease) {
+  TreeBarrier tb(2);
+  bool released = false;
+  for (int i = 0; i < 300; ++i) {
+    released = tb.poll(0, 10, 9, 1) || released;  // one task in flight
+    released = tb.poll(1, 0, 0, 1) || released;
+  }
+  EXPECT_FALSE(released);
+}
+
+TEST(TreeBarrier, CountersSplitAcrossWorkersStillBalance) {
+  // Created on worker 0, executed on worker 1 — totals match, release.
+  TreeBarrier tb(2);
+  std::vector<bool> done(2, false);
+  for (int i = 0; i < 300 && !(done[0] && done[1]); ++i) {
+    if (tb.poll(0, 100, 0, 1)) done[0] = true;
+    if (tb.poll(1, 0, 100, 1)) done[1] = true;
+  }
+  EXPECT_TRUE(done[0] && done[1]);
+}
+
+TEST(TreeBarrier, MultipleGenerations) {
+  TreeBarrier tb(3);
+  for (std::uint64_t gen = 1; gen <= 5; ++gen) {
+    std::vector<bool> done(3, false);
+    const std::uint64_t c = gen * 7;  // counters grow monotonically
+    for (int i = 0; i < 500 && !(done[0] && done[1] && done[2]); ++i) {
+      for (int w = 0; w < 3; ++w)
+        if (tb.poll(w, c, c, gen)) done[static_cast<std::size_t>(w)] = true;
+    }
+    ASSERT_TRUE(done[0] && done[1] && done[2]) << "generation " << gen;
+  }
+}
+
+TEST(TreeBarrier, LargeTeamReleases) {
+  constexpr int kN = 64;
+  TreeBarrier tb(kN);
+  std::vector<bool> done(kN, false);
+  int done_count = 0;
+  for (int i = 0; i < 50'000 && done_count < kN; ++i) {
+    for (int w = 0; w < kN; ++w) {
+      if (!done[static_cast<std::size_t>(w)] && tb.poll(w, 3, 3, 1)) {
+        done[static_cast<std::size_t>(w)] = true;
+        ++done_count;
+      }
+    }
+  }
+  EXPECT_EQ(done_count, kN);
+}
+
+TEST(TreeBarrierStress, ThreadedWithLiveCountersNeverReleasesEarly) {
+  // Workers "execute tasks" (bump executed up to created) while polling.
+  // The barrier must release every worker, and only after all activity
+  // has stopped (checked by asserting the final totals are balanced when
+  // release is observed).
+  constexpr int kN = 8;
+  TreeBarrier tb(kN);
+  std::vector<std::atomic<std::uint64_t>> created(kN);
+  std::vector<std::atomic<std::uint64_t>> executed(kN);
+  std::atomic<int> released_count{0};
+  std::atomic<bool> premature{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kN; ++w) {
+    threads.emplace_back([&, w] {
+      XorShift rng(static_cast<std::uint64_t>(w) + 1);
+      // Phase 1: do some "work": create tasks, execute them.
+      const int my_tasks = 50 + static_cast<int>(rng.below(100));
+      for (int i = 0; i < my_tasks; ++i) {
+        created[static_cast<std::size_t>(w)].fetch_add(1);
+        std::this_thread::yield();
+        executed[static_cast<std::size_t>(w)].fetch_add(1);
+      }
+      // Phase 2: idle at barrier.
+      while (!tb.poll(w,
+                      created[static_cast<std::size_t>(w)].load(),
+                      executed[static_cast<std::size_t>(w)].load(), 1)) {
+        std::this_thread::yield();
+      }
+      // On release, the global totals must balance.
+      std::uint64_t c = 0;
+      std::uint64_t e = 0;
+      for (int i = 0; i < kN; ++i) {
+        c += created[static_cast<std::size_t>(i)].load();
+        e += executed[static_cast<std::size_t>(i)].load();
+      }
+      if (c != e) premature.store(true);
+      released_count.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released_count.load(), kN);
+  EXPECT_FALSE(premature.load());
+}
+
+}  // namespace
+}  // namespace xtask
