@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_load_imbalance.dir/fig03_load_imbalance.cpp.o"
+  "CMakeFiles/fig03_load_imbalance.dir/fig03_load_imbalance.cpp.o.d"
+  "fig03_load_imbalance"
+  "fig03_load_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_load_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

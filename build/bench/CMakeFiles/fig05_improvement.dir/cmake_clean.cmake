@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_improvement.dir/fig05_improvement.cpp.o"
+  "CMakeFiles/fig05_improvement.dir/fig05_improvement.cpp.o.d"
+  "fig05_improvement"
+  "fig05_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_scaling.dir/fig06_scaling.cpp.o"
+  "CMakeFiles/fig06_scaling.dir/fig06_scaling.cpp.o.d"
+  "fig06_scaling"
+  "fig06_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dlb_best.dir/fig07_dlb_best.cpp.o"
+  "CMakeFiles/fig07_dlb_best.dir/fig07_dlb_best.cpp.o.d"
+  "fig07_dlb_best"
+  "fig07_dlb_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dlb_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

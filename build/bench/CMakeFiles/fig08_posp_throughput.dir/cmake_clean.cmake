@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_posp_throughput.dir/fig08_posp_throughput.cpp.o"
+  "CMakeFiles/fig08_posp_throughput.dir/fig08_posp_throughput.cpp.o.d"
+  "fig08_posp_throughput"
+  "fig08_posp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_posp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

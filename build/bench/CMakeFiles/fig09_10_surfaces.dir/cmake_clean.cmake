@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_surfaces.dir/fig09_10_surfaces.cpp.o"
+  "CMakeFiles/fig09_10_surfaces.dir/fig09_10_surfaces.cpp.o.d"
+  "fig09_10_surfaces"
+  "fig09_10_surfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_surfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_guidelines.dir/fig11_guidelines.cpp.o"
+  "CMakeFiles/fig11_guidelines.dir/fig11_guidelines.cpp.o.d"
+  "fig11_guidelines"
+  "fig11_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

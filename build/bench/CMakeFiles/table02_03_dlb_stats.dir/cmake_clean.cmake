@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_03_dlb_stats.dir/table02_03_dlb_stats.cpp.o"
+  "CMakeFiles/table02_03_dlb_stats.dir/table02_03_dlb_stats.cpp.o.d"
+  "table02_03_dlb_stats"
+  "table02_03_dlb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_03_dlb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

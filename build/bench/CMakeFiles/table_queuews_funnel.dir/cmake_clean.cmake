@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_queuews_funnel.dir/table_queuews_funnel.cpp.o"
+  "CMakeFiles/table_queuews_funnel.dir/table_queuews_funnel.cpp.o.d"
+  "table_queuews_funnel"
+  "table_queuews_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_queuews_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

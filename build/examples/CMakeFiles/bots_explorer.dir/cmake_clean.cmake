@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bots_explorer.dir/bots_explorer.cpp.o"
+  "CMakeFiles/bots_explorer.dir/bots_explorer.cpp.o.d"
+  "bots_explorer"
+  "bots_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bots_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posp_plotter.dir/posp_plotter.cpp.o"
+  "CMakeFiles/posp_plotter.dir/posp_plotter.cpp.o.d"
+  "posp_plotter"
+  "posp_plotter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posp_plotter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wavefront.cpp" "examples/CMakeFiles/wavefront.dir/wavefront.cpp.o" "gcc" "examples/CMakeFiles/wavefront.dir/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bots/CMakeFiles/xtask_bots.dir/DependInfo.cmake"
+  "/root/repo/build/src/posp/CMakeFiles/xtask_posp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xtask_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gomp/CMakeFiles/xtask_gomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/xtask_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bots/bots_support.cpp" "src/bots/CMakeFiles/xtask_bots.dir/bots_support.cpp.o" "gcc" "src/bots/CMakeFiles/xtask_bots.dir/bots_support.cpp.o.d"
+  "/root/repo/src/bots/sparselu.cpp" "src/bots/CMakeFiles/xtask_bots.dir/sparselu.cpp.o" "gcc" "src/bots/CMakeFiles/xtask_bots.dir/sparselu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/xtask_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

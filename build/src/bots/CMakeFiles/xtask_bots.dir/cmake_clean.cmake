@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtask_bots.dir/bots_support.cpp.o"
+  "CMakeFiles/xtask_bots.dir/bots_support.cpp.o.d"
+  "CMakeFiles/xtask_bots.dir/sparselu.cpp.o"
+  "CMakeFiles/xtask_bots.dir/sparselu.cpp.o.d"
+  "libxtask_bots.a"
+  "libxtask_bots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtask_bots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xtask_bots.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for xtask_bots.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dependency.cpp" "src/core/CMakeFiles/xtask_core.dir/dependency.cpp.o" "gcc" "src/core/CMakeFiles/xtask_core.dir/dependency.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/xtask_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/xtask_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/steal_protocol.cpp" "src/core/CMakeFiles/xtask_core.dir/steal_protocol.cpp.o" "gcc" "src/core/CMakeFiles/xtask_core.dir/steal_protocol.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/xtask_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/xtask_core.dir/topology.cpp.o.d"
+  "/root/repo/src/core/tree_barrier.cpp" "src/core/CMakeFiles/xtask_core.dir/tree_barrier.cpp.o" "gcc" "src/core/CMakeFiles/xtask_core.dir/tree_barrier.cpp.o.d"
+  "/root/repo/src/core/xtask_c.cpp" "src/core/CMakeFiles/xtask_core.dir/xtask_c.cpp.o" "gcc" "src/core/CMakeFiles/xtask_core.dir/xtask_c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prof/CMakeFiles/xtask_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtask_core.dir/dependency.cpp.o"
+  "CMakeFiles/xtask_core.dir/dependency.cpp.o.d"
+  "CMakeFiles/xtask_core.dir/runtime.cpp.o"
+  "CMakeFiles/xtask_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/xtask_core.dir/steal_protocol.cpp.o"
+  "CMakeFiles/xtask_core.dir/steal_protocol.cpp.o.d"
+  "CMakeFiles/xtask_core.dir/topology.cpp.o"
+  "CMakeFiles/xtask_core.dir/topology.cpp.o.d"
+  "CMakeFiles/xtask_core.dir/tree_barrier.cpp.o"
+  "CMakeFiles/xtask_core.dir/tree_barrier.cpp.o.d"
+  "CMakeFiles/xtask_core.dir/xtask_c.cpp.o"
+  "CMakeFiles/xtask_core.dir/xtask_c.cpp.o.d"
+  "libxtask_core.a"
+  "libxtask_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtask_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

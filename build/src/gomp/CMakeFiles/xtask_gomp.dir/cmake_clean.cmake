@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtask_gomp.dir/gomp_runtime.cpp.o"
+  "CMakeFiles/xtask_gomp.dir/gomp_runtime.cpp.o.d"
+  "CMakeFiles/xtask_gomp.dir/lomp_runtime.cpp.o"
+  "CMakeFiles/xtask_gomp.dir/lomp_runtime.cpp.o.d"
+  "libxtask_gomp.a"
+  "libxtask_gomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtask_gomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

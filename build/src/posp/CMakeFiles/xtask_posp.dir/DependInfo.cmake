@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posp/blake3.cpp" "src/posp/CMakeFiles/xtask_posp.dir/blake3.cpp.o" "gcc" "src/posp/CMakeFiles/xtask_posp.dir/blake3.cpp.o.d"
+  "/root/repo/src/posp/plot_file.cpp" "src/posp/CMakeFiles/xtask_posp.dir/plot_file.cpp.o" "gcc" "src/posp/CMakeFiles/xtask_posp.dir/plot_file.cpp.o.d"
+  "/root/repo/src/posp/posp.cpp" "src/posp/CMakeFiles/xtask_posp.dir/posp.cpp.o" "gcc" "src/posp/CMakeFiles/xtask_posp.dir/posp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/xtask_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtask_posp.dir/blake3.cpp.o"
+  "CMakeFiles/xtask_posp.dir/blake3.cpp.o.d"
+  "CMakeFiles/xtask_posp.dir/plot_file.cpp.o"
+  "CMakeFiles/xtask_posp.dir/plot_file.cpp.o.d"
+  "CMakeFiles/xtask_posp.dir/posp.cpp.o"
+  "CMakeFiles/xtask_posp.dir/posp.cpp.o.d"
+  "libxtask_posp.a"
+  "libxtask_posp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtask_posp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

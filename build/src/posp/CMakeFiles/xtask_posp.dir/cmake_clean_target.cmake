@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxtask_posp.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for xtask_posp.
+# This may be replaced when dependencies are built.

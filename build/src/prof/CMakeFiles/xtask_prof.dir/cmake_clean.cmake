@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtask_prof.dir/profiler.cpp.o"
+  "CMakeFiles/xtask_prof.dir/profiler.cpp.o.d"
+  "CMakeFiles/xtask_prof.dir/trace_export.cpp.o"
+  "CMakeFiles/xtask_prof.dir/trace_export.cpp.o.d"
+  "libxtask_prof.a"
+  "libxtask_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtask_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

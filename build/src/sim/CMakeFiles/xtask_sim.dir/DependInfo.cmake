@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/fiber_switch.S" "/root/repo/build/src/sim/CMakeFiles/xtask_sim.dir/fiber_switch.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/xtask_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/xtask_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/xtask_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/xtask_sim.dir/fiber.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/sim/CMakeFiles/xtask_sim.dir/workloads.cpp.o" "gcc" "src/sim/CMakeFiles/xtask_sim.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/xtask_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

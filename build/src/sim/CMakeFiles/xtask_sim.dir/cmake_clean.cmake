@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtask_sim.dir/engine.cpp.o"
+  "CMakeFiles/xtask_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/xtask_sim.dir/fiber.cpp.o"
+  "CMakeFiles/xtask_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/xtask_sim.dir/fiber_switch.S.o"
+  "CMakeFiles/xtask_sim.dir/workloads.cpp.o"
+  "CMakeFiles/xtask_sim.dir/workloads.cpp.o.d"
+  "libxtask_sim.a"
+  "libxtask_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/xtask_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bots_matrix.dir/test_bots_matrix.cpp.o"
+  "CMakeFiles/test_bots_matrix.dir/test_bots_matrix.cpp.o.d"
+  "test_bots_matrix"
+  "test_bots_matrix.pdb"
+  "test_bots_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bots_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bqueue.dir/test_bqueue.cpp.o"
+  "CMakeFiles/test_bqueue.dir/test_bqueue.cpp.o.d"
+  "test_bqueue"
+  "test_bqueue.pdb"
+  "test_bqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_central_barrier.dir/test_central_barrier.cpp.o"
+  "CMakeFiles/test_central_barrier.dir/test_central_barrier.cpp.o.d"
+  "test_central_barrier"
+  "test_central_barrier.pdb"
+  "test_central_barrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_central_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

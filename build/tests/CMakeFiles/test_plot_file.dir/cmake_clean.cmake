@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plot_file.dir/test_plot_file.cpp.o"
+  "CMakeFiles/test_plot_file.dir/test_plot_file.cpp.o.d"
+  "test_plot_file"
+  "test_plot_file.pdb"
+  "test_plot_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plot_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posp.dir/test_posp.cpp.o"
+  "CMakeFiles/test_posp.dir/test_posp.cpp.o.d"
+  "test_posp"
+  "test_posp.pdb"
+  "test_posp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparselu.dir/test_sparselu.cpp.o"
+  "CMakeFiles/test_sparselu.dir/test_sparselu.cpp.o.d"
+  "test_sparselu"
+  "test_sparselu.pdb"
+  "test_sparselu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparselu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

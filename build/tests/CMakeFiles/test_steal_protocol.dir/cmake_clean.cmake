@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steal_protocol.dir/test_steal_protocol.cpp.o"
+  "CMakeFiles/test_steal_protocol.dir/test_steal_protocol.cpp.o.d"
+  "test_steal_protocol"
+  "test_steal_protocol.pdb"
+  "test_steal_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steal_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

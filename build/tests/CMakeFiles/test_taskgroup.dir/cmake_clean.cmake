@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskgroup.dir/test_taskgroup.cpp.o"
+  "CMakeFiles/test_taskgroup.dir/test_taskgroup.cpp.o.d"
+  "test_taskgroup"
+  "test_taskgroup.pdb"
+  "test_taskgroup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_barrier.dir/test_tree_barrier.cpp.o"
+  "CMakeFiles/test_tree_barrier.dir/test_tree_barrier.cpp.o.d"
+  "test_tree_barrier"
+  "test_tree_barrier.pdb"
+  "test_tree_barrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

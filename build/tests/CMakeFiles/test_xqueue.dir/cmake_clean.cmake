@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xqueue.dir/test_xqueue.cpp.o"
+  "CMakeFiles/test_xqueue.dir/test_xqueue.cpp.o.d"
+  "test_xqueue"
+  "test_xqueue.pdb"
+  "test_xqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_bots[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_posp[1]_include.cmake")
+include("/root/repo/build/tests/test_bqueue[1]_include.cmake")
+include("/root/repo/build/tests/test_xqueue[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_steal_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_tree_barrier[1]_include.cmake")
+include("/root/repo/build/tests/test_allocator[1]_include.cmake")
+include("/root/repo/build/tests/test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_dependency[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_for[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_export[1]_include.cmake")
+include("/root/repo/build/tests/test_central_barrier[1]_include.cmake")
+include("/root/repo/build/tests/test_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_bots_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_taskgroup[1]_include.cmake")
+include("/root/repo/build/tests/test_plot_file[1]_include.cmake")
+include("/root/repo/build/tests/test_c_api[1]_include.cmake")
+include("/root/repo/build/tests/test_sparselu[1]_include.cmake")
