@@ -16,6 +16,7 @@
 #include <type_traits>
 
 #include "core/common.hpp"
+#include "core/fault.hpp"
 
 namespace xtask {
 
@@ -56,6 +57,11 @@ class BQueue {
   /// of queueing it (§II-B).
   bool push(T value) noexcept {
     XTASK_CHECK(value != nullptr);
+    // Chaos hook: a forced "full" report is indistinguishable from a slow
+    // consumer and must route the caller onto its backpressure path.
+    if (FaultInjector* fi = fault_injector();
+        fi != nullptr && fi->inject(FaultPoint::kQueuePush))
+      return false;
     if (prod_.head == prod_.batch_head) {
       const std::uint32_t probe = prod_.head + batch_;
       if (slots_[probe & mask_].load(std::memory_order_acquire) != nullptr)
@@ -72,6 +78,11 @@ class BQueue {
   /// slot is found, so the consumer never deadlocks waiting for a full
   /// batch the producer will not complete.
   T pop() noexcept {
+    // Chaos hook: a forced miss models the transient emptiness the probe
+    // protocol already produces; the consumer simply polls again later.
+    if (FaultInjector* fi = fault_injector();
+        fi != nullptr && fi->inject(FaultPoint::kQueuePop))
+      return nullptr;
     if (cons_.tail == cons_.batch_tail) {
       std::uint32_t b = batch_;
       while (slots_[(cons_.tail + b - 1) & mask_].load(

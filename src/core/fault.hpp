@@ -1,0 +1,243 @@
+// Fault-tolerance primitives for the xtask runtime: the first-exception-wins
+// exception cell used by tasks, taskgroups, and parallel regions, plus the
+// deterministic chaos-injection machinery the robustness test suite drives.
+//
+// Exception model (see DESIGN.md "Failure model"): a task body that throws
+// has its std::exception_ptr captured into the task's own ExceptionSlot.
+// When the task completes, the pending exception escalates to the nearest
+// enclosing consumer — the parent task (rethrown at the parent's next
+// taskwait), the innermost taskgroup (rethrown when taskgroup() returns,
+// cancelling the rest of the group), or the region slot (rethrown from
+// Runtime::run(), cancelling the rest of the region). Only the first
+// exception to reach a slot survives; later ones are dropped, matching the
+// "first exception wins" rule of every mainstream task runtime.
+//
+// Fault injection: a seeded FaultInjector can be installed process-wide
+// (FaultScope). The lock-less data structures carry hook points —
+// BQueue::push/pop, the steal-protocol request/round cells, the tree
+// barrier's census publication — that consult the injector to force the
+// rare paths (queue full, lost request, delayed response, spurious miss)
+// and to insert random yields at linearization points. When no injector is
+// installed the hooks cost one relaxed load of a global plus an untaken
+// branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <thread>
+
+#include "core/common.hpp"
+
+namespace xtask {
+
+/// A write-once (until taken) exception cell. Many threads may race to
+/// store; exactly one wins and the rest are discarded. `take()` is only
+/// called at synchronization boundaries where all potential writers have
+/// completed (taskwait drain, taskgroup drain, region barrier), so the
+/// reader never waits on a writer for more than the few instructions
+/// between the claim and the publish.
+class ExceptionSlot {
+ public:
+  /// Attempt to store `ep`; returns false when another exception already
+  /// claimed the slot (first-exception-wins).
+  bool try_store(std::exception_ptr ep) noexcept {
+    std::uint32_t expected = kEmpty;
+    if (!state_.compare_exchange_strong(expected, kClaimed,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed))
+      return false;
+    ep_ = std::move(ep);
+    state_.store(kSet, std::memory_order_release);
+    return true;
+  }
+
+  /// True when an exception is stored or mid-store.
+  bool pending() const noexcept {
+    return state_.load(std::memory_order_acquire) != kEmpty;
+  }
+
+  /// Remove and return the stored exception (nullptr when empty). Spins
+  /// past an in-flight writer; see class comment for why that is bounded.
+  std::exception_ptr take() noexcept {
+    if (state_.load(std::memory_order_acquire) == kEmpty) return nullptr;
+    while (state_.load(std::memory_order_acquire) != kSet) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    }
+    std::exception_ptr out = std::move(ep_);
+    ep_ = nullptr;
+    state_.store(kEmpty, std::memory_order_release);
+    return out;
+  }
+
+  /// Reset to empty, dropping any stored exception. Single-threaded use
+  /// only (descriptor recycling, region start).
+  void reset() noexcept {
+    ep_ = nullptr;
+    state_.store(kEmpty, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0;
+  static constexpr std::uint32_t kClaimed = 1;
+  static constexpr std::uint32_t kSet = 2;
+
+  std::atomic<std::uint32_t> state_{kEmpty};
+  std::exception_ptr ep_ = nullptr;
+};
+
+/// Hook points the chaos harness can perturb. Every point is chosen so
+/// that an injected fault exercises a recovery path that must already be
+/// correct: a forced queue-full takes the inline-execution path, a forced
+/// pop miss retries on a later poll, a dropped steal request is recovered
+/// by the thief's timeout, and census yields stretch the windows the
+/// double-pass quiescence rule exists to close.
+enum class FaultPoint : int {
+  kQueuePush = 0,   // BQueue::push reports full (task runs inline)
+  kQueuePop,        // BQueue::pop reports empty (consumer retries later)
+  kStealRequest,    // StealCells::try_request: request lost in flight
+  kStealComplete,   // StealCells::complete_round: response delayed
+  kCensusPublish,   // TreeBarrier census report/release about to publish
+  kIdleWakeup,      // runtime idle poll: spurious wakeup / extra yield
+  kCount_,
+};
+inline constexpr int kFaultPoints = static_cast<int>(FaultPoint::kCount_);
+
+/// Seeded fault injector. Decisions are drawn from per-thread xorshift
+/// streams derived from the base seed and a per-thread enrollment ordinal,
+/// so a given seed replays the same decision sequence on every thread as
+/// long as threads reach the injector in the same order — reproducible in
+/// practice for the fixed-team runtimes that use it. Statistics are
+/// tallied per point so tests can assert that faults actually fired.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) noexcept : seed_(seed) {
+    epoch_ = next_epoch().fetch_add(1, std::memory_order_relaxed) + 1;
+    for (auto& r : fail_rate_) r.store(0, std::memory_order_relaxed);
+    for (auto& r : yield_rate_) r.store(0, std::memory_order_relaxed);
+    for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : evaluated_) c.store(0, std::memory_order_relaxed);
+  }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Probability in [0,1] that `inject(p)` reports a fault.
+  void set_fail_rate(FaultPoint p, double prob) noexcept {
+    fail_rate_[idx(p)].store(to_threshold(prob), std::memory_order_relaxed);
+  }
+  /// Probability in [0,1] that `perturb(p)` yields/delays the caller.
+  void set_yield_rate(FaultPoint p, double prob) noexcept {
+    yield_rate_[idx(p)].store(to_threshold(prob), std::memory_order_relaxed);
+  }
+
+  /// Should the operation at `p` fail this time?
+  bool inject(FaultPoint p) noexcept {
+    evaluated_[idx(p)].fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t thr = fail_rate_[idx(p)].load(std::memory_order_relaxed);
+    if (thr == 0 || draw() >= thr) return false;
+    injected_[idx(p)].fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Maybe stall the caller at a linearization point: a scheduler yield or
+  /// a short random pause burst, widening race windows deterministically.
+  void perturb(FaultPoint p) noexcept {
+    const std::uint32_t thr =
+        yield_rate_[idx(p)].load(std::memory_order_relaxed);
+    if (thr == 0 || draw() >= thr) return;
+    injected_[idx(p)].fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t spin = draw() & 0x3ffu;
+    if (spin < 128) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < spin; ++i) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    }
+  }
+
+  std::uint64_t injected(FaultPoint p) const noexcept {
+    return injected_[idx(p)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t evaluated(FaultPoint p) const noexcept {
+    return evaluated_[idx(p)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_injected() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& c : injected_) n += c.load(std::memory_order_relaxed);
+    return n;
+  }
+
+ private:
+  static std::size_t idx(FaultPoint p) noexcept {
+    return static_cast<std::size_t>(p);
+  }
+  static std::uint32_t to_threshold(double prob) noexcept {
+    if (prob <= 0.0) return 0;
+    if (prob >= 1.0) return 0xffffffffu;
+    return static_cast<std::uint32_t>(prob * 4294967296.0);
+  }
+
+  static std::atomic<std::uint64_t>& next_epoch() noexcept {
+    static std::atomic<std::uint64_t> e{0};
+    return e;
+  }
+
+  std::uint32_t draw() noexcept {
+    thread_local struct Stream {
+      std::uint64_t epoch = 0;
+      XorShift rng{0};
+    } tls;
+    if (tls.epoch != epoch_) {
+      const std::uint64_t ordinal =
+          thread_ordinal_.fetch_add(1, std::memory_order_relaxed);
+      tls.rng = XorShift(seed_ ^ (ordinal * 0x9e3779b97f4a7c15ull + 1));
+      tls.epoch = epoch_;
+    }
+    return static_cast<std::uint32_t>(tls.rng.next() >> 32);
+  }
+
+  const std::uint64_t seed_;
+  std::uint64_t epoch_ = 0;  // distinguishes injector instances in TLS
+  std::atomic<std::uint64_t> thread_ordinal_{0};
+  std::array<std::atomic<std::uint32_t>, kFaultPoints> fail_rate_;
+  std::array<std::atomic<std::uint32_t>, kFaultPoints> yield_rate_;
+  std::array<std::atomic<std::uint64_t>, kFaultPoints> injected_;
+  std::array<std::atomic<std::uint64_t>, kFaultPoints> evaluated_;
+};
+
+namespace detail {
+inline std::atomic<FaultInjector*> g_fault_injector{nullptr};
+}  // namespace detail
+
+/// The currently installed injector, or nullptr (the fast path).
+inline FaultInjector* fault_injector() noexcept {
+  return detail::g_fault_injector.load(std::memory_order_acquire);
+}
+
+/// RAII installation of a process-wide injector. Install before
+/// constructing the runtime under test and keep alive until it is
+/// destroyed; scopes must not nest or overlap across threads.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& fi) noexcept {
+    detail::g_fault_injector.store(&fi, std::memory_order_release);
+  }
+  ~FaultScope() {
+    detail::g_fault_injector.store(nullptr, std::memory_order_release);
+  }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace xtask

@@ -1,6 +1,9 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 
 namespace xtask {
 
@@ -49,9 +52,11 @@ Runtime::Runtime(Config cfg)
   for (int i = 1; i < cfg_.num_threads; ++i)
     workers_[static_cast<std::size_t>(i)]->thread =
         std::thread([this, i] { thread_main(i); });
+  start_watchdog();
 }
 
 Runtime::~Runtime() {
+  watchdog_.stop();  // before workers_: its hooks read worker counters
   {
     std::lock_guard<std::mutex> lock(region_mu_);
     shutdown_ = true;
@@ -92,6 +97,11 @@ void Runtime::run(std::function<void(TaskContext&)> root) {
     workers_done_ = 0;
     gen = ++region_gen_;
   }
+  // Fresh region: clear leftover cancellation/error state. Single-threaded
+  // here — the helpers are still parked behind region_cv_.
+  region_cancel_.store(false, std::memory_order_relaxed);
+  region_err_.reset();
+  region_active_.store(true, std::memory_order_release);
 
   // Create the root task *before* waking the team: its `created` increment
   // is what keeps the tree barrier's census from declaring the region
@@ -106,8 +116,19 @@ void Runtime::run(std::function<void(TaskContext&)> root) {
 
   // Wait for the helper workers to observe the release and park again, so
   // a subsequent run() cannot race with stragglers of this region.
-  std::unique_lock<std::mutex> lock(region_mu_);
-  done_cv_.wait(lock, [&] { return workers_done_ == cfg_.num_threads - 1; });
+  {
+    std::unique_lock<std::mutex> lock(region_mu_);
+    done_cv_.wait(lock,
+                  [&] { return workers_done_ == cfg_.num_threads - 1; });
+  }
+  region_active_.store(false, std::memory_order_relaxed);
+
+  // The region has fully drained and every helper's effects are ordered
+  // before the workers_done_ handshake above, so this read races with
+  // nothing. Rethrow the first exception that reached the region boundary.
+  if (region_err_.pending()) {
+    if (std::exception_ptr ep = region_err_.take()) std::rethrow_exception(ep);
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -118,7 +139,7 @@ Task* Runtime::allocate_task(detail::Worker& w, Task* parent) {
   t->reset(parent, static_cast<std::uint16_t>(w.id));
   if (parent != nullptr && parent->group != nullptr) {
     t->group = parent->group;
-    t->group->fetch_add(1, std::memory_order_relaxed);
+    t->group->live.fetch_add(1, std::memory_order_relaxed);
   }
   if (parent != nullptr) {
     // Owner-thread-only increments would be wrong here: any worker running
@@ -165,7 +186,11 @@ Task* Runtime::dispatch(detail::Worker& w, Task* t) {
     prof_.thread(w.id).counters.ntasks_static_push++;
     return nullptr;
   }
+  // Explicit backpressure (§II-B): every queue this producer could use is
+  // full, so the task runs inline on the spawning worker — bounding queue
+  // memory and recursion depth instead of failing.
   prof_.thread(w.id).counters.ntasks_imm_exec++;
+  prof_.thread(w.id).counters.overflow_inline++;
   return t;
 }
 
@@ -185,11 +210,26 @@ void Runtime::execute(detail::Worker& w, Task* t) {
   const std::uint64_t t0 = sample ? rdtscp() : 0;
   {
     ScopedEvent ev(prof_.thread(w.id), EventKind::kTask);
-    TaskContext ctx(this, &w, t);
-    t->invoke(t, ctx);
+    // A task dequeued from a cancelled extent is drained, not run: the
+    // invoke thunk destroys the payload but skips the body, and the full
+    // completion protocol below still executes so counters, census, group
+    // and reference counts stay exact.
+    const bool skip = task_cancelled(t);
+    if (skip) prof_.thread(w.id).counters.ntasks_cancelled++;
+    TaskContext ctx(this, &w, t, skip);
+    try {
+      t->invoke(t, ctx, skip);
+    } catch (...) {
+      // First-exception-wins into the task's own slot; finish() escalates
+      // it to the nearest consumer once the task completes.
+      t->err.try_store(std::current_exception());
+      prof_.thread(w.id).counters.nexceptions++;
+    }
     if (ctx.dep_scope_) {
       // Tear down the dependence scope: return the address-map's task
       // references. Children themselves stay tracked via active_children.
+      // Must run even after a throw, or deferred successors would leak
+      // and their predecessors' refs never drop.
       std::vector<Task*> refs;
       ctx.dep_scope_->close(&refs);
       for (Task* r : refs) deref(w, r);
@@ -208,18 +248,28 @@ void Runtime::execute(detail::Worker& w, Task* t) {
 
 void Runtime::finish(detail::Worker& w, Task* t) {
   Task* parent = t->parent;
-  std::atomic<std::uint64_t>* group = t->group;
+  TaskGroup* group = t->group;
   bump(w.executed);
   prof_.thread(w.id).counters.ntasks_executed++;
   if (cfg_.barrier == BarrierKind::kCentral) central_.task_finished();
   // Release dependent successors whose last predecessor this was; they
-  // enter the normal dispatch path on this worker.
+  // enter the normal dispatch path on this worker. This must run even when
+  // the task failed — a cancelled successor is drained, never stranded.
   if (t->dep_state != nullptr) {
     std::vector<Task*> ready;
     detail::collect_ready_successors(t, &ready);
     for (Task* succ : ready) {
       if (Task* overflow = dispatch(w, succ)) execute(w, overflow);
     }
+  }
+  // Escalate a pending exception *now*, while our reference on the parent
+  // still pins it: the parent's slot is rethrown at its next taskwait, the
+  // group's when taskgroup() returns, the region's from run(). Ordered
+  // before the active_children/group decrements below so a waiter that
+  // observes the drained count also observes the stored exception.
+  if (t->err.pending()) {
+    if (std::exception_ptr ep = t->err.take())
+      propagate_error(std::move(ep), parent, group);
   }
   deref(w, t);
   if (parent != nullptr) {
@@ -230,11 +280,22 @@ void Runtime::finish(detail::Worker& w, Task* t) {
   }
   // Group membership is released last so group_wait's zero implies every
   // member's effects (release/acquire pair with the waiting loop).
-  if (group != nullptr) group->fetch_sub(1, std::memory_order_release);
+  if (group != nullptr) group->live.fetch_sub(1, std::memory_order_release);
 }
 
 void Runtime::deref(detail::Worker& w, Task* t) noexcept {
   if (t->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // A fire-and-forget child that completed *after* this task's own
+    // finish() may have escalated into our slot too late for anyone to
+    // rethrow it; recover it here, at the last point the descriptor is
+    // live. The parent pointer is unusable now (it may itself be
+    // recycled), but the group is pinned: the child's deref of its parent
+    // precedes the child's group-live decrement, so group_wait cannot
+    // have returned yet.
+    if (t->err.pending()) {
+      if (std::exception_ptr ep = t->err.take())
+        propagate_error(std::move(ep), nullptr, t->group);
+    }
     delete t->dep_state;  // safe: no edges can target a fully-released task
     t->dep_state = nullptr;
     w.alloc->release(t);
@@ -255,6 +316,11 @@ Task* Runtime::find_task(detail::Worker& w) {
 }
 
 void Runtime::idle_step(detail::Worker& w) {
+  // Chaos hook: spurious wakeup — an extra yield/pause in the idle loop,
+  // modelling an OS preemption right where the thief/victim protocol and
+  // the barrier polling interleave.
+  if (FaultInjector* fi = fault_injector())
+    fi->perturb(FaultPoint::kIdleWakeup);
   // A victim that went idle mid-redirect flushes the session: it has no
   // more spawns to redirect, so it re-opens itself to new requests.
   if (w.redirect_thief >= 0) end_redirect_session(w);
@@ -388,6 +454,7 @@ void Runtime::do_work_steal(detail::Worker& w, int thief) {
       // may itself be full, in which case the task runs right here.
       if (!xq_.push(w.id, w.id, t)) {
         prof_.thread(w.id).counters.ntasks_imm_exec++;
+        prof_.thread(w.id).counters.overflow_inline++;
         execute(w, t);
       }
       break;
@@ -414,10 +481,9 @@ void Runtime::end_redirect_session(detail::Worker& w) {
   w.cells.complete_round();
 }
 
-void Runtime::group_wait(detail::Worker& w,
-                         std::atomic<std::uint64_t>& live) {
+void Runtime::group_wait(detail::Worker& w, TaskGroup& group) {
   int consecutive_idle = 0;
-  while (live.load(std::memory_order_acquire) != 0) {
+  while (group.live.load(std::memory_order_acquire) != 0) {
     if (Task* other = find_task(w)) {
       consecutive_idle = 0;
       execute(w, other);
@@ -430,6 +496,108 @@ void Runtime::group_wait(detail::Worker& w,
       consecutive_idle = 0;
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Fault tolerance.
+
+bool Runtime::task_cancelled(const Task* t) const noexcept {
+  if (region_cancel_.load(std::memory_order_relaxed)) return true;
+  return t != nullptr && t->group != nullptr &&
+         t->group->cancelled.load(std::memory_order_relaxed);
+}
+
+void Runtime::propagate_error(std::exception_ptr ep, Task* parent,
+                              TaskGroup* group) noexcept {
+  // Nearest consumer first: the parent's own slot — but only when the
+  // parent shares the group extent. Across a taskgroup boundary the group
+  // must observe the failure directly, or a parent that never taskwaits
+  // again would swallow it. Storing into the parent does NOT cancel
+  // anything: the parent may catch at its next taskwait and recover.
+  if (parent != nullptr && parent->group == group) {
+    parent->err.try_store(std::move(ep));  // loser is dropped: first wins
+    return;
+  }
+  if (group != nullptr) {
+    // Terminal for the group: cancel the remaining members and latch the
+    // exception for the taskgroup() caller.
+    group->cancelled.store(true, std::memory_order_relaxed);
+    group->err.try_store(std::move(ep));
+    return;
+  }
+  // No enclosing consumer: region scope. Cancel the rest of the region so
+  // run() returns promptly, then rethrows from the region slot.
+  region_cancel_.store(true, std::memory_order_relaxed);
+  region_err_.try_store(std::move(ep));
+}
+
+void Runtime::start_watchdog() {
+  if (cfg_.watchdog_timeout_ms == 0) return;
+  Watchdog::Hooks hooks;
+  hooks.timeout_ms = cfg_.watchdog_timeout_ms;
+  hooks.progress = [this]() noexcept {
+    // Monotone: lifetime created+executed over the team. Any scheduled
+    // task moves it; a wedged region leaves it frozen.
+    std::uint64_t sig = 0;
+    for (const auto& w : workers_)
+      sig += w->created.load(std::memory_order_relaxed) +
+             w->executed.load(std::memory_order_relaxed);
+    return sig;
+  };
+  hooks.active = [this]() noexcept {
+    return region_active_.load(std::memory_order_relaxed);
+  };
+  hooks.on_stall = [this] {
+    const std::string snap = debug_snapshot();
+    if (cfg_.watchdog_handler) {
+      cfg_.watchdog_handler(snap);
+      return;
+    }
+    std::fprintf(stderr,
+                 "[xtask] watchdog: no scheduler progress for %llu ms; "
+                 "aborting\n%s",
+                 static_cast<unsigned long long>(cfg_.watchdog_timeout_ms),
+                 snap.c_str());
+    std::abort();
+  };
+  watchdog_.start(std::move(hooks));
+}
+
+std::string Runtime::debug_snapshot() const {
+  // Reads only atomics (and immutable config), so any thread may call it
+  // while the team runs; values from different cells may be mutually
+  // inconsistent, which is fine for a diagnostic dump.
+  std::ostringstream os;
+  os << "=== xtask runtime snapshot ===\n"
+     << "threads=" << cfg_.num_threads << " barrier="
+     << (cfg_.barrier == BarrierKind::kCentral ? "central" : "tree")
+     << " dlb=" << static_cast<int>(cfg_.dlb)
+     << " region_active=" << region_active_.load(std::memory_order_relaxed)
+     << " region_cancelled="
+     << region_cancel_.load(std::memory_order_relaxed)
+     << " region_error=" << region_err_.pending() << '\n';
+  if (cfg_.barrier == BarrierKind::kCentral)
+    os << "central: task_count=" << central_.task_count() << '\n';
+  else
+    os << "tree: census_passes=" << tree_.passes() << '\n';
+  std::uint64_t created = 0;
+  std::uint64_t executed = 0;
+  for (const auto& w : workers_) {
+    const std::uint64_t c = w->created.load(std::memory_order_relaxed);
+    const std::uint64_t e = w->executed.load(std::memory_order_relaxed);
+    created += c;
+    executed += e;
+    const std::uint64_t req =
+        w->cells.request.load(std::memory_order_relaxed);
+    os << "worker " << w->id << ": created=" << c << " executed=" << e
+       << " queued~=" << xq_.consumer_occupancy(w->id)
+       << " steal_round=" << w->cells.round.load(std::memory_order_relaxed)
+       << " steal_req={thief=" << steal::thief_of(req)
+       << ",round=" << steal::round_of(req) << "}\n";
+  }
+  os << "totals: created=" << created << " executed=" << executed
+     << " in_flight=" << (created - executed) << '\n';
+  return os.str();
 }
 
 // --------------------------------------------------------------------------
@@ -446,23 +614,46 @@ bool TaskContext::taskyield() {
 
 void TaskContext::taskwait() {
   if (current_ == nullptr) return;
-  if (current_->active_children.load(std::memory_order_acquire) == 0) return;
-  ScopedEvent ev(rt_->profiler().thread(w_->id), EventKind::kTaskWait);
   detail::Worker& w = *w_;
-  int consecutive_idle = 0;
-  while (current_->active_children.load(std::memory_order_acquire) != 0) {
-    if (Task* t = rt_->find_task(w)) {
-      consecutive_idle = 0;
-      rt_->execute(w, t);
-      continue;
-    }
-    rt_->idle_step(w);
-    if (rt_->cfg_.yield_after_idle > 0 &&
-        ++consecutive_idle >= rt_->cfg_.yield_after_idle) {
-      std::this_thread::yield();
-      consecutive_idle = 0;
+  if (current_->active_children.load(std::memory_order_acquire) != 0) {
+    ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskWait);
+    int consecutive_idle = 0;
+    while (current_->active_children.load(std::memory_order_acquire) != 0) {
+      if (Task* t = rt_->find_task(w)) {
+        consecutive_idle = 0;
+        rt_->execute(w, t);
+        continue;
+      }
+      rt_->idle_step(w);
+      if (rt_->cfg_.yield_after_idle > 0 &&
+          ++consecutive_idle >= rt_->cfg_.yield_after_idle) {
+        std::this_thread::yield();
+        consecutive_idle = 0;
+      }
     }
   }
+  // Every child completed, and each escalated into our slot before its
+  // active_children decrement (release/acquire pair with the loop above),
+  // so no writer can still be in flight. Rethrow the first child failure;
+  // the body may catch it and recover — nothing is auto-cancelled here.
+  if (current_->err.pending()) {
+    if (std::exception_ptr ep = current_->err.take())
+      std::rethrow_exception(ep);
+  }
+}
+
+void TaskContext::cancel_group() noexcept {
+  // OpenMP `cancel taskgroup`: innermost enclosing group, or — for tasks
+  // outside any group — the whole parallel region.
+  if (current_ != nullptr && current_->group != nullptr) {
+    current_->group->cancelled.store(true, std::memory_order_relaxed);
+    return;
+  }
+  rt_->region_cancel_.store(true, std::memory_order_relaxed);
+}
+
+bool TaskContext::cancelled() const noexcept {
+  return rt_->task_cancelled(current_);
 }
 
 }  // namespace xtask

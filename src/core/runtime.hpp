@@ -22,17 +22,20 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/central_barrier.hpp"
 #include "core/common.hpp"
 #include "core/dependency.hpp"
+#include "core/fault.hpp"
 #include "core/steal_protocol.hpp"
 #include "core/task.hpp"
 #include "core/task_allocator.hpp"
 #include "core/topology.hpp"
 #include "core/tree_barrier.hpp"
+#include "core/watchdog.hpp"
 #include "core/xqueue.hpp"
 #include "prof/profiler.hpp"
 
@@ -86,6 +89,18 @@ struct Config {
   /// runtime stays live when threads outnumber cores (oversubscribed CI
   /// hosts). 0 disables yielding.
   int yield_after_idle = 64;
+  /// Watchdog stall window in milliseconds: when > 0, a monitor thread
+  /// watches the team's lifetime task counters and fires once no counter
+  /// moves for this long while a region is active. 0 disables the
+  /// watchdog. Size the window well above the longest single task body —
+  /// a task that spawns nothing and runs longer than the window is
+  /// indistinguishable from a wedged worker.
+  std::uint64_t watchdog_timeout_ms = 0;
+  /// Called with Runtime::debug_snapshot() when the watchdog fires. When
+  /// empty, the runtime prints the snapshot to stderr and aborts — a CI
+  /// job dies loudly with diagnostics instead of hanging until the job
+  /// timeout.
+  std::function<void(const std::string&)> watchdog_handler;
 };
 
 class Runtime;
@@ -161,21 +176,42 @@ class TaskContext {
   /// task spawned *within the group's dynamic extent on this task* has
   /// completed — including grandchildren, which plain taskwait does not
   /// cover. Implemented by running the body as a synthetic child task and
-  /// waiting on its whole subtree.
+  /// waiting on its whole subtree. If a member's exception was not
+  /// consumed by an inner taskwait, the remainder of the group is
+  /// cancelled and the (first) exception is rethrown here.
   template <typename F>
   void taskgroup(F&& body);
+
+  /// Cooperative cancellation, OpenMP `cancel taskgroup` style: mark the
+  /// innermost enclosing taskgroup cancelled — or, when the current task
+  /// is not in a group, the whole parallel region. New spawns in the
+  /// cancelled extent are dropped and already-queued members are drained
+  /// without running their bodies; tasks already executing finish normally
+  /// unless they poll cancelled() and return early.
+  void cancel_group() noexcept;
+
+  /// True when the current task's group (or the region) was cancelled.
+  /// Long-running bodies poll this as their cancellation point.
+  bool cancelled() const noexcept;
+
+  /// True when the runtime is draining this task from a cancelled group:
+  /// the body is not run, only the payload destructor (the invoke thunk
+  /// receives the same flag). User bodies never observe true.
+  bool body_skipped() const noexcept { return skip_body_; }
 
   TaskContext(const TaskContext&) = delete;
   TaskContext& operator=(const TaskContext&) = delete;
 
  private:
   friend class Runtime;
-  TaskContext(Runtime* rt, detail::Worker* w, Task* current) noexcept
-      : rt_(rt), w_(w), current_(current) {}
+  TaskContext(Runtime* rt, detail::Worker* w, Task* current,
+              bool skip_body = false) noexcept
+      : rt_(rt), w_(w), current_(current), skip_body_(skip_body) {}
 
   Runtime* rt_;
   detail::Worker* w_;
   Task* current_;  // task being executed; parent for spawns
+  bool skip_body_;  // draining a cancelled task: destroy payload only
   // Dependence scope for this task's children; lazily created on the
   // first dependent spawn, torn down when the task body returns.
   std::unique_ptr<detail::DepScope> dep_scope_;
@@ -192,13 +228,25 @@ class Runtime {
 
   /// Execute one parallel region: `root` runs as the root task on worker 0
   /// (the calling thread) and the region ends when all transitively
-  /// spawned tasks have completed (implicit team barrier).
+  /// spawned tasks have completed (implicit team barrier). If any task's
+  /// exception reached the region boundary unconsumed, the first such
+  /// exception is rethrown here after the region has fully drained; the
+  /// runtime stays usable for subsequent regions.
   void run(std::function<void(TaskContext&)> root);
 
   const Config& config() const noexcept { return cfg_; }
   const Topology& topology() const noexcept { return topo_; }
   Profiler& profiler() noexcept { return prof_; }
   const Profiler& profiler() const noexcept { return prof_; }
+
+  /// Human-readable diagnostic snapshot: per-worker lifetime counters and
+  /// queue occupancy, steal-protocol cells, barrier state, cancellation
+  /// and error flags. Reads only atomics — safe (if racy) to call from
+  /// any thread at any time; this is what the watchdog hands its handler.
+  std::string debug_snapshot() const;
+
+  /// Stall episodes the watchdog has detected (0 when disabled).
+  std::uint64_t watchdog_stalls() const noexcept { return watchdog_.stalls(); }
 
  private:
   friend class TaskContext;
@@ -216,9 +264,20 @@ class Runtime {
   // --- scheduling -------------------------------------------------------
   Task* find_task(detail::Worker& w);
   /// Help execute tasks until a taskgroup's live counter drains to zero.
-  void group_wait(detail::Worker& w, std::atomic<std::uint64_t>& live);
+  void group_wait(detail::Worker& w, TaskGroup& group);
   void worker_loop(detail::Worker& w, std::uint64_t gen);
   void idle_step(detail::Worker& w);
+
+  // --- fault tolerance --------------------------------------------------
+  /// True when `t` belongs to a cancelled extent (its group, or the
+  /// region). Checked at spawn (drop) and dequeue (drain without running).
+  bool task_cancelled(const Task* t) const noexcept;
+  /// Route an escaped exception to the nearest enclosing consumer: the
+  /// parent task when it shares the same group extent, else the group
+  /// (cancelling it), else the region slot (cancelling the region).
+  void propagate_error(std::exception_ptr ep, Task* parent,
+                       TaskGroup* group) noexcept;
+  void start_watchdog();
 
   // --- DLB --------------------------------------------------------------
   /// Effective knobs for `w` right now: the static config, or the
@@ -250,6 +309,13 @@ class Runtime {
   std::uint64_t region_gen_ = 0;   // generation being executed
   int workers_done_ = 0;           // helpers finished with current region
   bool shutdown_ = false;
+
+  // Fault tolerance: region-scope error/cancel state (reset per run) and
+  // the stall monitor.
+  ExceptionSlot region_err_;
+  std::atomic<bool> region_cancel_{false};
+  std::atomic<bool> region_active_{false};
+  Watchdog watchdog_;
 };
 
 // ---------------------------------------------------------------------------
@@ -260,6 +326,12 @@ inline int TaskContext::worker_id() const noexcept { return w_->id; }
 template <typename F>
 void TaskContext::spawn(F&& f) {
   detail::Worker& w = *w_;
+  // Cancelled extent: drop the spawn (OpenMP cancel semantics). The
+  // captures are never materialized, so there is nothing to destroy.
+  if (rt_->task_cancelled(current_)) {
+    ++rt_->profiler().thread(w.id).counters.ntasks_cancelled;
+    return;
+  }
   Task* overflow;
   {
     // Creation (allocate + enqueue) is its own profiling event; if the
@@ -276,27 +348,35 @@ void TaskContext::spawn(F&& f) {
 template <typename F>
 void TaskContext::taskgroup(F&& body) {
   // The group body runs immediately on this worker as a child task that
-  // carries a live-task counter; every descendant spawned inside the
-  // group inherits the counter (allocate_task) and decrements it at
+  // carries the group's live-task counter; every descendant spawned inside
+  // the group inherits the group (allocate_task) and decrements `live` at
   // completion (finish), so waiting for zero covers the whole dynamic
   // extent — grandchildren included, unlike taskwait.
   detail::Worker& w = *w_;
-  std::atomic<std::uint64_t> live{1};  // the body task itself
+  TaskGroup grp;  // live starts at 1: the body task itself
   Task* t = rt_->allocate_task(w, current_);
   // allocate_task enrolled the body in the *enclosing* group (if any);
   // undo that — the enclosing group is covered transitively because this
   // call blocks inside the current task until the inner extent drains.
   if (t->group != nullptr)
-    t->group->fetch_sub(1, std::memory_order_relaxed);
-  t->group = &live;
+    t->group->live.fetch_sub(1, std::memory_order_relaxed);
+  t->group = &grp;
   t->emplace(std::forward<F>(body));
   rt_->execute(w, t);
-  rt_->group_wait(w, live);
+  rt_->group_wait(w, grp);
+  // Every member has completed: `grp` holds the first exception (if any)
+  // that no inner taskwait consumed. Cancellation without an exception is
+  // not an error — the group just drained early.
+  if (grp.err.pending()) std::rethrow_exception(grp.err.take());
 }
 
 template <typename F>
 void TaskContext::spawn(F&& f, std::initializer_list<Dep> deps) {
   detail::Worker& w = *w_;
+  if (rt_->task_cancelled(current_)) {
+    ++rt_->profiler().thread(w.id).counters.ntasks_cancelled;
+    return;
+  }
   Task* overflow = nullptr;
   {
     ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskCreate);

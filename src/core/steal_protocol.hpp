@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "core/common.hpp"
+#include "core/fault.hpp"
 #include "core/topology.hpp"
 
 namespace xtask {
@@ -55,6 +56,11 @@ struct StealCells {
     const std::uint64_t req = request.load(std::memory_order_acquire);
     const std::uint64_t r = round.load(std::memory_order_acquire);
     if (steal::round_of(req) >= r) return false;  // a request is pending
+    // Chaos hook: drop the request after the thief believes it was sent —
+    // the lost-message case the timeout retry (§IV-B) exists to absorb.
+    if (FaultInjector* fi = fault_injector();
+        fi != nullptr && fi->inject(FaultPoint::kStealRequest))
+      return true;
     request.store(steal::pack(thief_id, r), std::memory_order_release);
     return true;
   }
@@ -71,6 +77,10 @@ struct StealCells {
   }
 
   void complete_round() noexcept {
+    // Chaos hook: delay the round advance so thieves observe a victim that
+    // is slow to reopen — stretching the window their retry logic covers.
+    if (FaultInjector* fi = fault_injector())
+      fi->perturb(FaultPoint::kStealComplete);
     round.store(round.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
   }

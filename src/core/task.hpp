@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/common.hpp"
+#include "core/fault.hpp"
 
 namespace xtask {
 
@@ -16,6 +17,23 @@ class TaskContext;
 namespace detail {
 struct TaskDepState;  // dependency.hpp
 }
+
+/// Shared state of one `taskgroup` extent. Lives on the stack frame of the
+/// TaskContext::taskgroup() call, which blocks until `live` drains to zero
+/// and therefore outlives every member by construction.
+struct TaskGroup {
+  /// Tasks in the group's dynamic extent not yet completed (the synthetic
+  /// body task counts as the initial 1).
+  std::atomic<std::uint64_t> live{1};
+  /// Cooperative cancellation flag: set by TaskContext::cancel_group() or
+  /// automatically when a member's exception escalates to the group.
+  /// Checked at spawn (new members are dropped) and at dequeue (queued
+  /// members are drained without running their bodies).
+  std::atomic<bool> cancelled{false};
+  /// First exception raised in the extent and not consumed by an inner
+  /// taskwait; rethrown when taskgroup() returns.
+  ExceptionSlot err;
+};
 
 /// A unit of work: a type-erased functor plus the dependency bookkeeping
 /// needed for `taskwait` and for task lifetime.
@@ -32,7 +50,7 @@ struct alignas(kCacheLine) Task {
   /// without heap spill.
   static constexpr std::size_t kPayloadBytes = 128;
 
-  using InvokeFn = void (*)(Task*, TaskContext&);
+  using InvokeFn = void (*)(Task*, TaskContext&, bool skip_body);
 
   InvokeFn invoke = nullptr;        // runs and destroys the payload
   Task* parent = nullptr;           // dependency edge for taskwait
@@ -46,11 +64,15 @@ struct alignas(kCacheLine) Task {
   /// Successor bookkeeping when this task is a `depend` predecessor;
   /// owned by the task, freed when the descriptor is recycled.
   detail::TaskDepState* dep_state = nullptr;
-  /// Live-task counter of the innermost enclosing taskgroup (nullptr when
-  /// not in a group). Inherited by descendants at spawn; decremented at
-  /// completion. The counter lives on the taskgroup caller's stack, which
+  /// Innermost enclosing taskgroup (nullptr when not in a group).
+  /// Inherited by descendants at spawn; the live counter is decremented at
+  /// completion. The group lives on the taskgroup caller's stack, which
   /// outlives every group member by construction.
-  std::atomic<std::uint64_t>* group = nullptr;
+  TaskGroup* group = nullptr;
+  /// Exception raised by this task's body or escalated from a completed
+  /// child; consumed at the owner's taskwait or escalated further when the
+  /// descriptor is released (runtime.cpp, "Failure model" in DESIGN.md).
+  ExceptionSlot err;
 
   alignas(16) unsigned char payload[kPayloadBytes];
 
@@ -63,9 +85,11 @@ struct alignas(kCacheLine) Task {
     static_assert(std::is_invocable_v<Fn&, TaskContext&>,
                   "task body must be callable with (TaskContext&)");
     ::new (static_cast<void*>(payload)) Fn(std::forward<F>(f));
-    invoke = [](Task* t, TaskContext& ctx) {
+    invoke = [](Task* t, TaskContext& ctx, bool skip_body) {
       Fn* fn = std::launder(reinterpret_cast<Fn*>(t->payload));
-      (*fn)(ctx);
+      // A cancelled task is drained, not run: the payload still needs its
+      // destructor so captured resources are released, never leaked.
+      if (!skip_body) (*fn)(ctx);
       fn->~Fn();
     };
   }
@@ -82,6 +106,7 @@ struct alignas(kCacheLine) Task {
     executor = creator_tid;
     dep_state = nullptr;
     group = nullptr;
+    err.reset();
   }
 };
 

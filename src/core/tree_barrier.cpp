@@ -1,6 +1,20 @@
 #include "core/tree_barrier.hpp"
 
+#include "core/fault.hpp"
+
 namespace xtask {
+
+namespace {
+
+/// Chaos hook: stall a worker right before it publishes a census cell,
+/// widening the inter-pass windows the double-pass quiescence rule must
+/// remain correct across.
+inline void census_perturb() noexcept {
+  if (FaultInjector* fi = fault_injector())
+    fi->perturb(FaultPoint::kCensusPublish);
+}
+
+}  // namespace
 
 TreeBarrier::TreeBarrier(int num_workers)
     : n_(num_workers), nodes_(static_cast<std::size_t>(num_workers)) {
@@ -68,6 +82,7 @@ bool TreeBarrier::poll(int tid, std::uint64_t created, std::uint64_t executed,
     root_.have_prev = true;
     if (stable && total_created == total_executed) {
       root_.have_prev = false;  // restart history for the next region
+      census_perturb();
       me.release.store(gen, std::memory_order_release);
       return true;
     }
@@ -90,6 +105,7 @@ bool TreeBarrier::poll(int tid, std::uint64_t created, std::uint64_t executed,
     return false;
   me.sum_created.store(child_created + created, std::memory_order_relaxed);
   me.sum_executed.store(child_executed + executed, std::memory_order_relaxed);
+  census_perturb();
   me.report_epoch.store(target_epoch, std::memory_order_release);
   return false;
 }

@@ -1,0 +1,69 @@
+#include "core/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace xtask {
+
+void Watchdog::start(Hooks hooks) {
+  if (hooks.timeout_ms == 0 || !hooks.progress || !hooks.on_stall) return;
+  stop();
+  hooks_ = std::move(hooks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::loop() {
+  using clock = std::chrono::steady_clock;
+  // Sample several times per window so a stall is detected within roughly
+  // timeout_ms..1.25*timeout_ms of its onset.
+  const auto poll_interval = std::chrono::milliseconds(
+      std::clamp<std::uint64_t>(hooks_.timeout_ms / 4, 1, 100));
+  const auto window = std::chrono::milliseconds(hooks_.timeout_ms);
+
+  std::uint64_t last_sig = 0;
+  bool have_baseline = false;
+  clock::time_point last_change = clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, poll_interval, [&] { return stop_requested_; });
+    if (stop_requested_) return;
+    lock.unlock();
+
+    const bool active = !hooks_.active || hooks_.active();
+    if (!active) {
+      have_baseline = false;
+    } else {
+      const std::uint64_t sig = hooks_.progress();
+      const clock::time_point now = clock::now();
+      if (!have_baseline || sig != last_sig) {
+        last_sig = sig;
+        have_baseline = true;
+        last_change = now;
+      } else if (now - last_change >= window) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        hooks_.on_stall();
+        // Restart the episode: fire again only after a whole further
+        // window without progress.
+        have_baseline = false;
+      }
+    }
+
+    lock.lock();
+  }
+}
+
+}  // namespace xtask

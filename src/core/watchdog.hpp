@@ -1,0 +1,70 @@
+// Worker watchdog: a lightweight monitor thread that detects the absence
+// of global scheduler progress over a configurable window and hands a
+// diagnostic snapshot to a handler instead of letting a wedged region hang
+// forever (CI's most expensive failure mode).
+//
+// "Progress" is a monotone signature supplied by the owner — for the xtask
+// runtime, the sum of every worker's created and executed lifetime
+// counters. While a region is active and the signature does not change for
+// `timeout_ms`, the watchdog fires: one callback per stall episode, after
+// which the window restarts. The default runtime handler dumps the
+// snapshot to stderr and aborts with a clear error; tests install their
+// own handler to observe the firing and un-wedge the worker.
+//
+// The monitor samples a handful of atomics a few dozen times per second —
+// it shares no locks with the hot path and costs nothing when disabled.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace xtask {
+
+class Watchdog {
+ public:
+  struct Hooks {
+    /// Stall window in milliseconds; must be > 0 to start.
+    std::uint64_t timeout_ms = 0;
+    /// Monotone progress signature (sampled, compared across the window).
+    std::function<std::uint64_t()> progress;
+    /// Only monitor while this returns true (e.g. a region is running).
+    std::function<bool()> active;
+    /// Invoked once per detected stall episode, from the monitor thread.
+    std::function<void()> on_stall;
+  };
+
+  Watchdog() = default;
+  ~Watchdog() { stop(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Launch the monitor thread. No-op when hooks.timeout_ms == 0.
+  void start(Hooks hooks);
+
+  /// Stop and join the monitor thread. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return thread_.joinable(); }
+
+  /// Stall episodes detected since start().
+  std::uint64_t stalls() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  Hooks hooks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<std::uint64_t> stalls_{0};
+  std::thread thread_;
+};
+
+}  // namespace xtask

@@ -85,6 +85,15 @@ class XQueueT {
     return true;
   }
 
+  /// Approximate entries visible to consumer `self` across its row.
+  /// Diagnostics (watchdog snapshots) and tests only.
+  std::uint64_t consumer_occupancy(int self) const noexcept {
+    std::uint64_t total = 0;
+    for (int p = 0; p < n_; ++p)
+      total += const_cast<XQueueT*>(this)->q(self, p).size_approx();
+    return total;
+  }
+
   /// Total visible entries across the whole matrix. Debug/tests only.
   std::uint64_t size_approx() const noexcept {
     std::uint64_t total = 0;

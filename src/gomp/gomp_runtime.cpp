@@ -51,6 +51,11 @@ void GompRuntime::run(std::function<void(GompContext&)> root) {
     workers_done_ = 0;
     gen = ++region_gen_;
   }
+  // Fresh region: clear fault state. Single-threaded here — the helpers
+  // are still parked behind region_cv_.
+  cancel_.store(false, std::memory_order_relaxed);
+  region_err_.reset();
+
   auto* root_task = new GTask;
   root_task->fn = std::move(root);
   root_task->creator = 0;
@@ -62,8 +67,16 @@ void GompRuntime::run(std::function<void(GompContext&)> root) {
   region_cv_.notify_all();
   execute(0, root_task);
   worker_loop(0, gen);
-  std::unique_lock<std::mutex> lock(region_mu_);
-  done_cv_.wait(lock, [&] { return workers_done_ == cfg_.num_threads - 1; });
+  {
+    std::unique_lock<std::mutex> lock(region_mu_);
+    done_cv_.wait(lock,
+                  [&] { return workers_done_ == cfg_.num_threads - 1; });
+  }
+  // Region drained; helpers' stores are ordered before the workers_done_
+  // handshake, so this read races with nothing.
+  if (region_err_.pending()) {
+    if (std::exception_ptr ep = region_err_.take()) std::rethrow_exception(ep);
+  }
 }
 
 void GompRuntime::enqueue(int wid, GTask* t) {
@@ -105,7 +118,21 @@ void GompRuntime::execute(int wid, GTask* t) {
   {
     ScopedEvent ev(prof_.thread(wid), EventKind::kTask);
     GompContext ctx(this, wid, t);
-    t->fn(ctx);
+    // Cancelled region: drain the task (captures released, body skipped)
+    // but run the full completion protocol so in_flight_ stays exact.
+    if (cancel_.load(std::memory_order_relaxed)) {
+      prof_.thread(wid).counters.ntasks_cancelled++;
+    } else {
+      try {
+        t->fn(ctx);
+      } catch (...) {
+        // Fail-fast: first escaped exception cancels the region and is
+        // rethrown from run().
+        region_err_.try_store(std::current_exception());
+        cancel_.store(true, std::memory_order_relaxed);
+        prof_.thread(wid).counters.nexceptions++;
+      }
+    }
     t->fn = nullptr;  // release captures promptly (GOMP frees the body)
   }
   finish(wid, t);
@@ -173,6 +200,14 @@ void GompRuntime::worker_loop(int wid, std::uint64_t gen) {
       consecutive_idle = 0;
     }
   }
+}
+
+void GompContext::cancel() noexcept {
+  rt_->cancel_.store(true, std::memory_order_relaxed);
+}
+
+bool GompContext::cancelled() const noexcept {
+  return rt_->cancel_.load(std::memory_order_relaxed);
 }
 
 void GompContext::taskwait() {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/fault.hpp"
 #include "core/topology.hpp"
 #include "prof/profiler.hpp"
 
@@ -52,6 +53,13 @@ class GompContext {
 
   void taskwait();
 
+  /// Cooperative region cancellation: new spawns are dropped, queued tasks
+  /// drain without running, running bodies finish unless they poll
+  /// cancelled(). The baseline has no taskgroup scoping, so the unit of
+  /// cancellation is the whole parallel region (`omp cancel parallel`).
+  void cancel() noexcept;
+  bool cancelled() const noexcept;
+
  private:
   friend class GompRuntime;
   GompContext(GompRuntime* rt, int wid, detail::GTask* current) noexcept
@@ -77,6 +85,9 @@ class GompRuntime {
   GompRuntime& operator=(const GompRuntime&) = delete;
 
   /// One parallel region; `root` runs on worker 0 (the caller thread).
+  /// Rethrows the first exception that escaped a task body (fail-fast:
+  /// the region is cancelled as soon as the exception is captured); the
+  /// runtime stays usable afterwards.
   void run(std::function<void(GompContext&)> root);
 
   Profiler& profiler() noexcept { return prof_; }
@@ -108,6 +119,11 @@ class GompRuntime {
   int arrived_ = 0;
   std::uint64_t released_gen_ = 0;
 
+  // Region-scope fault state (reset per run). The baseline keeps the
+  // simple fail-fast model: first escaped exception cancels the region.
+  ExceptionSlot region_err_;
+  std::atomic<bool> cancel_{false};
+
   std::vector<std::thread> threads_;
   std::mutex region_mu_;
   std::condition_variable region_cv_;
@@ -119,6 +135,10 @@ class GompRuntime {
 
 template <typename F>
 void GompContext::spawn(F&& f, int priority) {
+  if (rt_->cancel_.load(std::memory_order_relaxed)) {
+    rt_->prof_.thread(wid_).counters.ntasks_cancelled++;
+    return;
+  }
   ScopedEvent ev(rt_->prof_.thread(wid_), EventKind::kTaskCreate);
   auto* t = new detail::GTask;  // GOMP: malloc on every task creation
   t->fn = std::forward<F>(f);

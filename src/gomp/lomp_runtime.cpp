@@ -70,13 +70,23 @@ void LompRuntime::run(std::function<void(LompContext&)> root) {
     workers_done_ = 0;
     gen = ++region_gen_;
   }
+  // Fresh region: clear fault state while the helpers are still parked.
+  cancel_.store(false, std::memory_order_relaxed);
+  region_err_.reset();
+
   LTask* root_task = allocate_task(0, nullptr);
   root_task->emplace([fn = std::move(root)](LompContext& ctx) { fn(ctx); });
   region_cv_.notify_all();
   execute(0, root_task);
   worker_loop(0, gen);
-  std::unique_lock<std::mutex> lock(region_mu_);
-  done_cv_.wait(lock, [&] { return workers_done_ == cfg_.num_threads - 1; });
+  {
+    std::unique_lock<std::mutex> lock(region_mu_);
+    done_cv_.wait(lock,
+                  [&] { return workers_done_ == cfg_.num_threads - 1; });
+  }
+  if (region_err_.pending()) {
+    if (std::exception_ptr ep = region_err_.take()) std::rethrow_exception(ep);
+  }
 }
 
 LompRuntime::LTask* LompRuntime::allocate_task(int wid, LTask* parent) {
@@ -103,6 +113,7 @@ void LompRuntime::dispatch(int wid, LTask* t) {
       return;
     }
     prof_.thread(wid).counters.ntasks_imm_exec++;
+    prof_.thread(wid).counters.overflow_inline++;
     execute(wid, t);
     return;
   }
@@ -145,8 +156,20 @@ void LompRuntime::execute(int wid, LTask* t) {
   }
   {
     ScopedEvent ev(prof_.thread(wid), EventKind::kTask);
-    LompContext ctx(this, wid, t);
-    t->invoke(t, ctx);
+    // Cancelled region: drain (payload destroyed, body skipped) while the
+    // completion protocol below keeps the task counter exact.
+    const bool skip = cancel_.load(std::memory_order_relaxed);
+    if (skip) prof_.thread(wid).counters.ntasks_cancelled++;
+    LompContext ctx(this, wid, t, skip);
+    try {
+      t->invoke(t, ctx, skip);
+    } catch (...) {
+      // Fail-fast: first escaped exception cancels the region and is
+      // rethrown from run().
+      region_err_.try_store(std::current_exception());
+      cancel_.store(true, std::memory_order_relaxed);
+      prof_.thread(wid).counters.nexceptions++;
+    }
   }
   finish(wid, t);
 }
@@ -199,6 +222,14 @@ void LompRuntime::worker_loop(int wid, std::uint64_t gen) {
       consecutive_idle = 0;
     }
   }
+}
+
+void LompContext::cancel() noexcept {
+  rt_->cancel_.store(true, std::memory_order_relaxed);
+}
+
+bool LompContext::cancelled() const noexcept {
+  return rt_->cancel_.load(std::memory_order_relaxed);
 }
 
 void LompContext::taskwait() {

@@ -22,6 +22,7 @@
 
 #include "core/central_barrier.hpp"
 #include "core/common.hpp"
+#include "core/fault.hpp"
 #include "core/task_allocator.hpp"
 #include "core/topology.hpp"
 #include "core/xqueue.hpp"
@@ -38,7 +39,7 @@ namespace detail {
 /// multi-level allocator — not malloc — bounds creation cost.
 struct alignas(kCacheLine) LTask {
   static constexpr std::size_t kPayloadBytes = 128;
-  using InvokeFn = void (*)(LTask*, LompContext&);
+  using InvokeFn = void (*)(LTask*, LompContext&, bool skip_body);
 
   InvokeFn invoke = nullptr;
   LTask* parent = nullptr;
@@ -54,9 +55,11 @@ struct alignas(kCacheLine) LTask {
     static_assert(sizeof(Fn) <= kPayloadBytes,
                   "task closure too large for inline payload");
     ::new (static_cast<void*>(payload)) Fn(std::forward<F>(f));
-    invoke = [](LTask* t, LompContext& ctx) {
+    invoke = [](LTask* t, LompContext& ctx, bool skip_body) {
       Fn* fn = std::launder(reinterpret_cast<Fn*>(t->payload));
-      (*fn)(ctx);
+      // A task drained from a cancelled region skips the body but still
+      // destroys the payload so captured resources are released.
+      if (!skip_body) (*fn)(ctx);
       fn->~Fn();
     };
   }
@@ -116,13 +119,24 @@ class LompContext {
 
   void taskwait();
 
+  /// Cooperative region cancellation (`omp cancel parallel` granularity):
+  /// new spawns are dropped, queued tasks drain without running.
+  void cancel() noexcept;
+  bool cancelled() const noexcept;
+
+  /// True when the runtime is draining this task from a cancelled region
+  /// (the invoke thunk receives the same flag); never true in user bodies.
+  bool body_skipped() const noexcept { return skip_body_; }
+
  private:
   friend class LompRuntime;
-  LompContext(LompRuntime* rt, int wid, detail::LTask* current) noexcept
-      : rt_(rt), wid_(wid), current_(current) {}
+  LompContext(LompRuntime* rt, int wid, detail::LTask* current,
+              bool skip_body = false) noexcept
+      : rt_(rt), wid_(wid), current_(current), skip_body_(skip_body) {}
   LompRuntime* rt_;
   int wid_;
   detail::LTask* current_;
+  bool skip_body_;
 };
 
 class LompRuntime {
@@ -145,6 +159,9 @@ class LompRuntime {
   LompRuntime(const LompRuntime&) = delete;
   LompRuntime& operator=(const LompRuntime&) = delete;
 
+  /// One parallel region. Rethrows the first exception that escaped a task
+  /// body (fail-fast: the region is cancelled when it is captured); the
+  /// runtime stays usable afterwards.
   void run(std::function<void(LompContext&)> root);
 
   Profiler& profiler() noexcept { return prof_; }
@@ -172,6 +189,11 @@ class LompRuntime {
   std::vector<std::unique_ptr<detail::LockedDeque>> deques_;  // LOMP mode
   std::unique_ptr<XQueueT<detail::LTask*>> xq_;               // XLOMP mode
 
+  // Region-scope fault state (reset per run): fail-fast like the GOMP
+  // baseline.
+  ExceptionSlot region_err_;
+  std::atomic<bool> cancel_{false};
+
   std::vector<std::unique_ptr<detail::Worker>> workers_;
   std::mutex region_mu_;
   std::condition_variable region_cv_;
@@ -183,6 +205,10 @@ class LompRuntime {
 
 template <typename F>
 void LompContext::spawn(F&& f) {
+  if (rt_->cancel_.load(std::memory_order_relaxed)) {
+    rt_->prof_.thread(wid_).counters.ntasks_cancelled++;
+    return;
+  }
   ScopedEvent ev(rt_->prof_.thread(wid_), EventKind::kTaskCreate);
   detail::LTask* t = rt_->allocate_task(wid_, current_);
   t->emplace(std::forward<F>(f));

@@ -32,6 +32,9 @@ Counters& Counters::operator+=(const Counters& o) noexcept {
   nsteal_remote += o.nsteal_remote;
   ntasks_created += o.ntasks_created;
   ntasks_executed += o.ntasks_executed;
+  overflow_inline += o.overflow_inline;
+  ntasks_cancelled += o.ntasks_cancelled;
+  nexceptions += o.nexceptions;
   return *this;
 }
 
@@ -88,7 +91,8 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
   f << "tid,ntasks_self,ntasks_local,ntasks_remote,ntasks_static_push,"
        "ntasks_imm_exec,nreq_sent,nreq_handled,nreq_has_steal,"
        "nreq_src_empty,nreq_target_full,nsteal_local,nsteal_remote,"
-       "ntasks_created,ntasks_executed\n";
+       "ntasks_created,ntasks_executed,overflow_inline,ntasks_cancelled,"
+       "nexceptions\n";
   for (std::size_t i = 0; i < profiles_.size(); ++i) {
     const Counters& c = profiles_[i].counters;
     f << i << ',' << c.ntasks_self << ',' << c.ntasks_local << ','
@@ -97,7 +101,8 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
       << ',' << c.nreq_has_steal << ',' << c.nreq_src_empty << ','
       << c.nreq_target_full << ',' << c.nsteal_local << ','
       << c.nsteal_remote << ',' << c.ntasks_created << ','
-      << c.ntasks_executed << '\n';
+      << c.ntasks_executed << ',' << c.overflow_inline << ','
+      << c.ntasks_cancelled << ',' << c.nexceptions << '\n';
   }
   return f.good();
 }

@@ -55,6 +55,12 @@ struct Counters {
   // Totals.
   std::uint64_t ntasks_created = 0;
   std::uint64_t ntasks_executed = 0;
+  // Fault tolerance: tasks pushed onto a full queue and executed inline
+  // (explicit backpressure), tasks dropped or drained by cancellation,
+  // and exceptions that escaped a task body.
+  std::uint64_t overflow_inline = 0;
+  std::uint64_t ntasks_cancelled = 0;
+  std::uint64_t nexceptions = 0;
 
   Counters& operator+=(const Counters& o) noexcept;
 };

@@ -16,7 +16,7 @@ std::string trace_to_json(const Profiler& prof,
   if (t0 == ~0ull) t0 = 0;
 
   std::string out = "[\n";
-  char buf[256];
+  char buf[512];
   bool first = true;
   for (int t = 0; t < prof.num_threads(); ++t) {
     // Thread name metadata record.
@@ -26,6 +26,22 @@ std::string trace_to_json(const Profiler& prof,
                   first ? "" : ",\n", t, t);
     out += buf;
     first = false;
+    // Per-thread statistical counters as a metadata record, so a trace
+    // carries the robustness funnel (backpressure overflows, cancelled
+    // tasks, escaped exceptions) alongside the timeline.
+    const Counters& c = prof.thread(t).counters;
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\n{\"name\":\"xtask_counters\",\"ph\":\"M\",\"pid\":1,"
+        "\"tid\":%d,\"args\":{\"ntasks_created\":%llu,"
+        "\"ntasks_executed\":%llu,\"overflow_inline\":%llu,"
+        "\"ntasks_cancelled\":%llu,\"nexceptions\":%llu}}",
+        t, static_cast<unsigned long long>(c.ntasks_created),
+        static_cast<unsigned long long>(c.ntasks_executed),
+        static_cast<unsigned long long>(c.overflow_inline),
+        static_cast<unsigned long long>(c.ntasks_cancelled),
+        static_cast<unsigned long long>(c.nexceptions));
+    out += buf;
     for (const PerfEvent& e : prof.thread(t).events()) {
       if (e.end < e.start || e.end - e.start < opts.min_cycles) continue;
       const double ts =

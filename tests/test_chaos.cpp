@@ -1,0 +1,250 @@
+// Deterministic chaos harness: run real BOTS workloads across every
+// {BarrierKind} x {DlbKind} configuration while a seeded FaultInjector
+// forces the runtime's rare paths — queue-full backpressure, spurious pop
+// misses, lost steal requests, delayed round completions, census stalls,
+// idle wakeups. Every injected fault lands on a recovery path that must
+// already be correct, so the assertion is simply: results exact, counters
+// balanced, region terminates (a watchdog bounds the failure mode of a
+// genuine hang to a loud test failure instead of a CI timeout).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bots/fib.hpp"
+#include "bots/nqueens.hpp"
+#include "bots/sparselu.hpp"
+#include "core/runtime.hpp"
+
+namespace xtask {
+namespace {
+
+using bots::SparseLuParams;
+using bots::fib_parallel;
+using bots::fib_serial;
+using bots::nqueens_parallel;
+using bots::nqueens_serial;
+using bots::sparselu_parallel;
+using bots::sparselu_serial;
+
+struct ChaosCase {
+  BarrierKind barrier;
+  DlbKind dlb;
+};
+
+std::string case_name(const ChaosCase& c) {
+  std::string out =
+      c.barrier == BarrierKind::kCentral ? "central" : "tree";
+  out += '_';
+  switch (c.dlb) {
+    case DlbKind::kNone: out += "none"; break;
+    case DlbKind::kRedirectPush: out += "narp"; break;
+    case DlbKind::kWorkSteal: out += "naws"; break;
+    case DlbKind::kAdaptive: out += "adaptive"; break;
+  }
+  return out;
+}
+
+const ChaosCase kCases[] = {
+    {BarrierKind::kCentral, DlbKind::kNone},
+    {BarrierKind::kCentral, DlbKind::kRedirectPush},
+    {BarrierKind::kCentral, DlbKind::kWorkSteal},
+    {BarrierKind::kCentral, DlbKind::kAdaptive},
+    {BarrierKind::kTree, DlbKind::kNone},
+    {BarrierKind::kTree, DlbKind::kRedirectPush},
+    {BarrierKind::kTree, DlbKind::kWorkSteal},
+    {BarrierKind::kTree, DlbKind::kAdaptive},
+};
+
+Config chaos_config(const ChaosCase& c) {
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.numa_zones = 2;
+  cfg.barrier = c.barrier;
+  cfg.dlb = c.dlb;
+  cfg.dlb_cfg.t_interval = 200;  // frequent DLB rounds under injection
+  cfg.queue_capacity = 64;       // small queues: real overflow pressure
+  // A wedged configuration dies loudly with a snapshot instead of hanging
+  // the suite. 20 s is far above any healthy run here (<1 s each).
+  cfg.watchdog_timeout_ms = 20'000;
+  return cfg;
+}
+
+/// Rates tuned so every point fires often (thousands of injections per
+/// run) while forward progress stays certain: fail rates stay below the
+/// retry budget, perturb rates only stretch race windows.
+void arm(FaultInjector& fi) {
+  fi.set_fail_rate(FaultPoint::kQueuePush, 0.05);
+  fi.set_fail_rate(FaultPoint::kQueuePop, 0.05);
+  fi.set_fail_rate(FaultPoint::kStealRequest, 0.25);
+  fi.set_yield_rate(FaultPoint::kStealComplete, 0.25);
+  fi.set_yield_rate(FaultPoint::kCensusPublish, 0.10);
+  fi.set_yield_rate(FaultPoint::kIdleWakeup, 0.02);
+}
+
+void expect_balanced(const Runtime& rt, const std::string& label) {
+  const Counters total = rt.profiler().total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed) << label;
+  EXPECT_EQ(rt.watchdog_stalls(), 0u) << label;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweep, FibExactUnderInjection) {
+  const long expected = fib_serial(16);  // 987
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull, 0xdeadbeefull}) {
+    FaultInjector fi(seed);
+    arm(fi);
+    FaultScope scope(fi);
+    Runtime rt(chaos_config(GetParam()));
+    const long got = fib_parallel(rt, 16, 4);
+    EXPECT_EQ(got, expected)
+        << case_name(GetParam()) << " seed=" << seed;
+    expect_balanced(rt, case_name(GetParam()));
+    // The harness actually injected: the workload is large enough that a
+    // 5% queue rate cannot round to zero.
+    EXPECT_GT(fi.total_injected(), 0u);
+  }
+}
+
+TEST_P(ChaosSweep, NqueensExactUnderInjection) {
+  const long expected = nqueens_serial(7);  // 40
+  for (const std::uint64_t seed : {3ull, 99ull, 4096ull}) {
+    FaultInjector fi(seed);
+    arm(fi);
+    FaultScope scope(fi);
+    Runtime rt(chaos_config(GetParam()));
+    const long got = nqueens_parallel(rt, 7, 3);
+    EXPECT_EQ(got, expected)
+        << case_name(GetParam()) << " seed=" << seed;
+    expect_balanced(rt, case_name(GetParam()));
+  }
+}
+
+TEST_P(ChaosSweep, SparseLuChecksumUnderInjection) {
+  SparseLuParams p;
+  p.blocks = 6;
+  p.block_size = 8;
+  const double expected = sparselu_serial(p);
+  for (const std::uint64_t seed : {5ull, 77ull, 31337ull}) {
+    FaultInjector fi(seed);
+    arm(fi);
+    FaultScope scope(fi);
+    Runtime rt(chaos_config(GetParam()));
+    const double got = sparselu_parallel(rt, p);
+    EXPECT_DOUBLE_EQ(got, expected)
+        << case_name(GetParam()) << " seed=" << seed;
+    expect_balanced(rt, case_name(GetParam()));
+  }
+}
+
+TEST_P(ChaosSweep, ExceptionPropagatesUnderInjection) {
+  // Error delivery must survive chaos too: a nested spawn throws, the
+  // first exception (and only an exception of our type) surfaces from
+  // run(), and the runtime remains usable for a clean verification run.
+  struct ChaosError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  for (const std::uint64_t seed : {11ull, 222ull, 3333ull}) {
+    FaultInjector fi(seed);
+    arm(fi);
+    FaultScope scope(fi);
+    Runtime rt(chaos_config(GetParam()));
+    const std::string msg = "chaos boom seed " + std::to_string(seed);
+    bool caught = false;
+    try {
+      rt.run([&](TaskContext& ctx) {
+        for (int i = 0; i < 64; ++i)
+          ctx.spawn([&, i](TaskContext& c) {
+            if (i == 13) throw ChaosError(msg);
+            c.spawn([](TaskContext&) {});  // extra depth under injection
+          });
+        ctx.taskwait();
+      });
+    } catch (const ChaosError& e) {
+      EXPECT_EQ(std::string(e.what()), msg);
+      caught = true;
+    }
+    EXPECT_TRUE(caught) << case_name(GetParam()) << " seed=" << seed;
+    // Clean region afterwards, still under injection.
+    std::atomic<int> ran{0};
+    rt.run([&](TaskContext& ctx) {
+      for (int i = 0; i < 128; ++i)
+        ctx.spawn([&](TaskContext&) { ran.fetch_add(1); });
+      ctx.taskwait();
+    });
+    EXPECT_EQ(ran.load(), 128) << case_name(GetParam()) << " seed=" << seed;
+    expect_balanced(rt, case_name(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ChaosSweep, ::testing::ValuesIn(kCases),
+                         [](const auto& info) {
+                           return case_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Targeted high-rate runs: each point individually at a brutal rate, so a
+// regression in one recovery path cannot hide behind the mixed sweep.
+
+TEST(ChaosTargeted, QueuePushAlwaysFullStillExact) {
+  // Every push fails: the whole workload runs through the inline
+  // backpressure path, serializing on the spawner.
+  FaultInjector fi(42);
+  fi.set_fail_rate(FaultPoint::kQueuePush, 1.0);
+  FaultScope scope(fi);
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.numa_zones = 2;
+  cfg.watchdog_timeout_ms = 20'000;
+  Runtime rt(cfg);
+  EXPECT_EQ(fib_parallel(rt, 14, 4), fib_serial(14));
+  const Counters total = rt.profiler().total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
+  // All non-root tasks ran inline.
+  EXPECT_EQ(total.overflow_inline, total.ntasks_created - 1);
+}
+
+TEST(ChaosTargeted, HeavyPopMissesStillTerminate) {
+  // 40% forced pop misses stress the termination detection: queues appear
+  // empty to consumers most of the time, yet the census/task-count must
+  // not release early nor hang.
+  for (const auto barrier : {BarrierKind::kCentral, BarrierKind::kTree}) {
+    FaultInjector fi(7);
+    fi.set_fail_rate(FaultPoint::kQueuePop, 0.4);
+    FaultScope scope(fi);
+    Config cfg;
+    cfg.num_threads = 4;
+    cfg.numa_zones = 2;
+    cfg.barrier = barrier;
+    cfg.watchdog_timeout_ms = 20'000;
+    Runtime rt(cfg);
+    EXPECT_EQ(fib_parallel(rt, 15, 4), fib_serial(15));
+    const Counters total = rt.profiler().total_counters();
+    EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
+  }
+}
+
+TEST(ChaosTargeted, AllStealRequestsLostStillBalances) {
+  // Every steal request vanishes in flight: thieves must survive on the
+  // timeout/retry path and the workload on static balancing alone.
+  FaultInjector fi(9);
+  fi.set_fail_rate(FaultPoint::kStealRequest, 1.0);
+  FaultScope scope(fi);
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.numa_zones = 2;
+  cfg.dlb = DlbKind::kWorkSteal;
+  cfg.dlb_cfg.t_interval = 100;
+  cfg.watchdog_timeout_ms = 20'000;
+  Runtime rt(cfg);
+  EXPECT_EQ(nqueens_parallel(rt, 7, 3), nqueens_serial(7));
+  const Counters total = rt.profiler().total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
+  EXPECT_GT(fi.injected(FaultPoint::kStealRequest), 0u);
+}
+
+}  // namespace
+}  // namespace xtask
