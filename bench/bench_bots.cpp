@@ -1,0 +1,115 @@
+// Real-runtime BOTS kernel timings across the four concrete runtimes of
+// the reproduction: GOMP-like, LOMP-like, and xtask under NA-RP and NA-WS.
+// One JSON object per line on stdout so bench/run_bench.py can collect the
+// results into BENCH_bots.json without scraping a table:
+//
+//   {"bench": "fib", "config": "xtask-naws", "threads": 4, "ms": 123.4}
+//
+// Usage: bench_bots [threads] [reps]
+// Each (kernel, config) cell reports the best of `reps` runs (default 3) —
+// min, not mean, because on a shared host the noise is one-sided.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bots/bots.hpp"
+#include "core/runtime.hpp"
+#include "gomp/gomp_runtime.hpp"
+#include "gomp/lomp_runtime.hpp"
+
+namespace {
+
+using namespace xtask;
+
+constexpr const char* kConfigs[] = {"gomp", "lomp", "xtask-narp",
+                                    "xtask-naws"};
+
+/// Run `kernel(rt)` on the named runtime configuration (mirrors the
+/// tests/test_bots_matrix.cpp flavour table, restricted to the four
+/// configurations the benchmark protocol compares).
+template <typename KernelFn>
+void with_runtime(const std::string& config, int threads, KernelFn&& kernel) {
+  if (config == "gomp") {
+    gomp::GompRuntime::Config cfg;
+    cfg.num_threads = threads;
+    gomp::GompRuntime rt(cfg);
+    kernel(rt);
+  } else if (config == "lomp") {
+    lomp::LompRuntime::Config cfg;
+    cfg.num_threads = threads;
+    lomp::LompRuntime rt(cfg);
+    kernel(rt);
+  } else if (config == "xtask-narp") {
+    Config cfg;
+    cfg.num_threads = threads;
+    cfg.numa_zones = threads >= 4 ? 2 : 1;
+    cfg.dlb = DlbKind::kRedirectPush;
+    // Generous queues: overflow pushes execute inline and recurse, and at
+    // benchmark task counts a deep inline cascade can exhaust the stack.
+    cfg.queue_capacity = 8192;
+    Runtime rt(cfg);
+    kernel(rt);
+  } else {  // xtask-naws
+    Config cfg;
+    cfg.num_threads = threads;
+    cfg.numa_zones = threads >= 4 ? 2 : 1;
+    cfg.dlb = DlbKind::kWorkSteal;
+    cfg.dlb_cfg.t_interval = 128;
+    cfg.queue_capacity = 8192;
+    Runtime rt(cfg);
+    kernel(rt);
+  }
+}
+
+/// Time one kernel run in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+template <typename KernelFn>
+void report(const char* bench, int threads, int reps, KernelFn&& kernel) {
+  for (const char* config : kConfigs) {
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const double ms =
+          time_ms([&] { with_runtime(config, threads, kernel); });
+      if (r == 0 || ms < best) best = ms;
+    }
+    std::printf("{\"bench\": \"%s\", \"config\": \"%s\", \"threads\": %d, "
+                "\"ms\": %.3f}\n",
+                bench, config, threads, best);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  // Problem sizes follow the tier-1 matrix tests, scaled up enough that a
+  // run is dominated by tasking rather than runtime construction, but
+  // small enough to finish quickly on a constrained CI host.
+  report("fib", threads, reps, [](auto& rt) {
+    const long got = bots::fib_parallel(rt, 22);
+    if (got != 17711) std::abort();  // fib(22); guards against dead-code
+  });
+  report("nqueens", threads, reps, [](auto& rt) {
+    const long got = bots::nqueens_parallel(rt, 9, 3);
+    if (got != 352) std::abort();
+  });
+  report("sparselu", threads, reps, [](auto& rt) {
+    bots::SparseLuParams p;
+    p.blocks = 12;
+    p.block_size = 16;
+    const double got = bots::sparselu_parallel(rt, p);
+    if (!(got == got)) std::abort();  // NaN guard
+  });
+  return 0;
+}

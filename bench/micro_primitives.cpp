@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <memory>
+#include <vector>
 
 #include "core/bqueue.hpp"
 #include "core/central_barrier.hpp"
@@ -32,6 +34,32 @@ void BM_BQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BQueuePushPop);
+
+void BM_BQueueBatchPushPop(benchmark::State& state) {
+  // Batched transfer (the NA-WS migration building block): amortizes the
+  // ring indexing and the occupancy-counter publication over the batch.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  BQueue<Task*> q(2048, 64);
+  std::vector<Task*> batch(n, reinterpret_cast<Task*>(0x40));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.push_batch(batch.data(), n));
+    benchmark::DoNotOptimize(q.pop_batch(batch.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BQueueBatchPushPop)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_BQueueSizeApprox(benchmark::State& state) {
+  // The O(1) occupancy probe: two counter loads, independent of capacity
+  // or fill level (the slot-scan it replaced walked the ring).
+  BQueue<Task*> q(2048, 64);
+  auto* t = reinterpret_cast<Task*>(0x40);
+  for (int i = 0; i < 1000; ++i) q.push(t);
+  for (auto _ : state) benchmark::DoNotOptimize(q.size_approx());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BQueueSizeApprox);
 
 void BM_XQueuePushPopSelf(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -98,6 +126,57 @@ void BM_AllocatorMultiLevel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AllocatorMultiLevel);
+
+// Shared-pool churn: every thread allocates a burst larger than the local
+// cache and releases it all, so each iteration is forced through the
+// shared overflow pool (acquire on the way up, spill on the way down).
+// This is the serialization case the mutex pool loses on; run at 1 and 4
+// threads to expose the scaling cliff.
+class AllocatorChurn : public benchmark::Fixture {
+ public:
+  // SetUp/TearDown run on every benchmark thread: only thread 0 builds and
+  // tears down the shared state, and the per-thread allocators are fixture
+  // members (not body locals) so their pool-draining destructors cannot
+  // race the pool teardown — every thread has passed the state-loop end
+  // barrier before thread 0 runs TearDown.
+  void SetUp(const benchmark::State& state) override {
+    if (state.thread_index() != 0) return;
+    pool_ = std::make_unique<TaskAllocator::SharedPool>(
+        AllocatorMode::kMultiLevel);
+    allocs_.clear();
+    for (int t = 0; t < state.threads(); ++t)
+      allocs_.push_back(std::make_unique<TaskAllocator>(*pool_));
+  }
+  void TearDown(const benchmark::State& state) override {
+    if (state.thread_index() != 0) return;
+    allocs_.clear();
+    pool_.reset();
+  }
+
+ protected:
+  std::unique_ptr<TaskAllocator::SharedPool> pool_;
+  std::vector<std::unique_ptr<TaskAllocator>> allocs_;
+};
+
+BENCHMARK_DEFINE_F(AllocatorChurn, SharedPool)(benchmark::State& state) {
+  constexpr std::size_t kBurst = 512;  // 2x the local cache limit
+  // Fixture members are safe to touch only once the state loop's start
+  // barrier has passed (thread 0 populates them in SetUp); pick up this
+  // thread's allocator on the first iteration.
+  TaskAllocator* alloc = nullptr;
+  std::vector<Task*> burst(kBurst, nullptr);
+  for (auto _ : state) {
+    if (alloc == nullptr)
+      alloc = allocs_[static_cast<std::size_t>(state.thread_index())].get();
+    for (auto& t : burst) t = alloc->allocate();
+    benchmark::DoNotOptimize(burst.data());
+    for (Task* t : burst) alloc->release(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBurst));
+}
+BENCHMARK_REGISTER_F(AllocatorChurn, SharedPool)->Threads(1)->Threads(4)
+    ->UseRealTime();
 
 void BM_TreeBarrierPoll(benchmark::State& state) {
   // Steady-state poll cost of a non-root node (no release): the per-idle-

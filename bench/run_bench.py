@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Benchmark protocol driver for the reproduction.
+
+Runs the google-benchmark microbenchmark binary (``micro_primitives``) and
+the cross-runtime BOTS kernel driver (``bench_bots``) and records the
+results as JSON at the repository root:
+
+  BENCH_primitives.json  — one record per microbenchmark
+  BENCH_bots.json        — one record per (kernel, runtime-config) cell
+
+Every record follows the schema
+  {"bench": ..., "config": ..., "threads": N, "ns_per_op": X | "ms": X,
+   "timestamp": iso8601}
+
+``--smoke`` runs a trimmed single-rep pass and compares the microbenchmark
+results against the checked-in floor (``bench/perf_floor.json``), failing
+only on a more-than-``--smoke-factor``x regression — wide enough that a
+noisy CI host does not flap, tight enough that an accidental O(n) slip or
+a reintroduced lock on the hot path is caught.
+
+Usage:
+  python3 bench/run_bench.py [--build-dir build] [--threads 4] [--reps 3]
+  python3 bench/run_bench.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FLOOR_FILE = pathlib.Path(__file__).resolve().parent / "perf_floor.json"
+
+# Benchmarks exercised by the smoke gate: the hot-path primitives this
+# reproduction's performance story rests on (allocator churn, queue ops,
+# occupancy probes). Keys must match google-benchmark's reported names.
+SMOKE_BENCHES = [
+    "BM_BQueuePushPop",
+    "BM_BQueueBatchPushPop/32",
+    "BM_BQueueSizeApprox",
+    "BM_XQueuePushPopSelf/4",
+    "BM_AllocatorMultiLevel",
+    "AllocatorChurn/SharedPool/real_time/threads:1",
+    "AllocatorChurn/SharedPool/real_time/threads:4",
+]
+
+
+def _now() -> str:
+    return _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+
+
+def _run(cmd: list[str], timeout: int) -> str:
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=timeout, check=False
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"command failed ({proc.returncode}): {' '.join(cmd)}")
+    return proc.stdout
+
+
+def _threads_of(name: str) -> int:
+    m = re.search(r"/threads:(\d+)$", name)
+    return int(m.group(1)) if m else 1
+
+
+def run_primitives(build_dir: pathlib.Path, min_time: float,
+                   bench_filter: str | None) -> list[dict]:
+    binary = build_dir / "bench" / "micro_primitives"
+    if not binary.exists():
+        raise SystemExit(f"missing {binary}; build the repo first")
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    raw = json.loads(_run(cmd, timeout=1800))
+    stamp = _now()
+    records = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        # google-benchmark reports per-iteration real time in `time_unit`s;
+        # normalize to nanoseconds per iteration.
+        unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b["time_unit"]]
+        records.append({
+            "bench": b["name"],
+            "config": "xtask",
+            "threads": _threads_of(b["name"]),
+            "ns_per_op": b["real_time"] * unit,
+            "timestamp": stamp,
+        })
+    return records
+
+
+def run_bots(build_dir: pathlib.Path, threads: int, reps: int) -> list[dict]:
+    binary = build_dir / "bench" / "bench_bots"
+    if not binary.exists():
+        raise SystemExit(f"missing {binary}; build the repo first")
+    stamp = _now()
+    records = []
+    for line in _run([str(binary), str(threads), str(reps)],
+                     timeout=3600).splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        rec["timestamp"] = stamp
+        records.append(rec)
+    return records
+
+
+def check_floor(records: list[dict], factor: float) -> int:
+    if not FLOOR_FILE.exists():
+        print(f"no {FLOOR_FILE.name}; skipping regression gate")
+        return 0
+    floors = json.loads(FLOOR_FILE.read_text())
+    by_name = {r["bench"]: r for r in records}
+    failures = 0
+    for name, floor_ns in sorted(floors.items()):
+        rec = by_name.get(name)
+        if rec is None:
+            print(f"FAIL {name}: benchmark missing from run")
+            failures += 1
+            continue
+        got = rec["ns_per_op"]
+        limit = floor_ns * factor
+        verdict = "ok" if got <= limit else "FAIL"
+        print(f"{verdict:4s} {name}: {got:.1f} ns/op "
+              f"(floor {floor_ns:.1f}, limit {limit:.1f})")
+        if got > limit:
+            failures += 1
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build", type=pathlib.Path)
+    ap.add_argument("--threads", default=4, type=int)
+    ap.add_argument("--reps", default=3, type=int)
+    ap.add_argument("--min-time", default=0.2, type=float,
+                    help="google-benchmark min seconds per benchmark")
+    ap.add_argument("--smoke", action="store_true",
+                    help="quick pass + perf_floor.json regression gate; "
+                    "skips the BOTS matrix and writes no JSON files")
+    ap.add_argument("--smoke-factor", default=3.0, type=float,
+                    help="fail the smoke gate only above floor*factor")
+    args = ap.parse_args()
+
+    build_dir = args.build_dir
+    if not build_dir.is_absolute():
+        build_dir = REPO_ROOT / build_dir
+
+    if args.smoke:
+        pattern = "|".join(re.escape(n) for n in SMOKE_BENCHES)
+        records = run_primitives(build_dir, min_time=0.05,
+                                 bench_filter=pattern)
+        failures = check_floor(records, args.smoke_factor)
+        if failures:
+            print(f"{failures} perf smoke failure(s)")
+            return 1
+        print("perf smoke passed")
+        return 0
+
+    primitives = run_primitives(build_dir, args.min_time, None)
+    (REPO_ROOT / "BENCH_primitives.json").write_text(
+        json.dumps(primitives, indent=2) + "\n")
+    print(f"wrote BENCH_primitives.json ({len(primitives)} records)")
+
+    bots = run_bots(build_dir, args.threads, args.reps)
+    (REPO_ROOT / "BENCH_bots.json").write_text(
+        json.dumps(bots, indent=2) + "\n")
+    print(f"wrote BENCH_bots.json ({len(bots)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,9 +8,16 @@
 // means by "lock-less": per-operation latency stays in the tens of cycles
 // because the only coherence traffic is the slot cache line itself, and
 // even that is amortized by probing a batch ahead.
+//
+// Each side additionally publishes a single-writer occupancy counter (the
+// producer its push count, the consumer its pop count) with plain release
+// stores. These make `empty()`/`size_approx()` two loads instead of an
+// O(capacity) sweep, and let `push_batch`/`pop_batch` move a whole run of
+// elements with one counter acquire instead of one probe per element.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
@@ -24,9 +31,10 @@ namespace xtask {
 /// reserves nullptr as the "slot empty" marker that replaces shared
 /// head/tail indices.
 ///
-/// Thread-safety contract: exactly one thread calls `push` (the producer)
-/// and exactly one thread calls `pop` (the consumer). They may be the same
-/// thread. All other members are safe from either role as documented.
+/// Thread-safety contract: exactly one thread calls `push`/`push_batch`
+/// (the producer) and exactly one thread calls `pop`/`pop_batch` (the
+/// consumer). They may be the same thread. All other members are safe from
+/// any thread as documented.
 template <typename T>
 class BQueue {
   static_assert(std::is_pointer_v<T>, "BQueue stores pointers");
@@ -70,7 +78,40 @@ class BQueue {
     }
     slots_[prod_.head & mask_].store(value, std::memory_order_release);
     ++prod_.head;
+    prod_.count.store(prod_.head, std::memory_order_release);
     return true;
+  }
+
+  /// Producer side. Push up to `n` values in one shot; returns how many
+  /// were enqueued (a prefix of `values`). One acquire of the consumer's
+  /// pop counter bounds the free space, so the per-element cost is a single
+  /// release store — no per-element probe. Unlike `push`'s conservative
+  /// batch probe this uses the exact occupancy, so it can fill the queue
+  /// completely.
+  std::size_t push_batch(T const* values, std::size_t n) noexcept {
+    if (n == 0) return 0;
+    // Chaos hook: same contract as push — a forced "full" pushes zero and
+    // the caller takes its backpressure path for the whole batch.
+    if (FaultInjector* fi = fault_injector();
+        fi != nullptr && fi->inject(FaultPoint::kQueuePush))
+      return 0;
+    // The acquire pairs with the consumer's release store of its count,
+    // which follows its null-stores in program order: every slot counted
+    // as popped is already nulled and safely writable.
+    const std::uint32_t popped = cons_.count.load(std::memory_order_acquire);
+    const std::uint32_t free = capacity() - (prod_.head - popped);
+    const std::size_t k = n < free ? n : free;
+    for (std::size_t i = 0; i < k; ++i) {
+      XTASK_CHECK(values[i] != nullptr);
+      slots_[(prod_.head + static_cast<std::uint32_t>(i)) & mask_].store(
+          values[i], std::memory_order_release);
+    }
+    prod_.head += static_cast<std::uint32_t>(k);
+    prod_.count.store(prod_.head, std::memory_order_release);
+    // Slots up to `popped + capacity` are known free; credit them to the
+    // scalar push path so it skips its probe until they are used up.
+    prod_.batch_head = popped + capacity();
+    return k;
   }
 
   /// Consumer side. Returns nullptr when no element could be found. Uses
@@ -102,32 +143,77 @@ class BQueue {
     // after our read of the value is complete.
     slots_[cons_.tail & mask_].store(nullptr, std::memory_order_release);
     ++cons_.tail;
+    cons_.count.store(cons_.tail, std::memory_order_release);
     return value;
   }
 
-  /// Consumer-side view: true when the next slot holds no element. May race
-  /// with a concurrent push (a false "empty" is transient, never sticky).
-  bool empty() const noexcept {
-    return slots_[cons_.tail & mask_].load(std::memory_order_acquire) ==
-           nullptr;
+  /// Consumer side. Pop up to `max` values into `out`; returns how many
+  /// were dequeued. One acquire of the producer's push counter bounds the
+  /// available run, so slot loads are relaxed (the counter acquire already
+  /// made them visible) and only the null-stores pay a release.
+  std::size_t pop_batch(T* out, std::size_t max) noexcept {
+    if (max == 0) return 0;
+    // Chaos hook: same contract as pop — a forced miss yields zero.
+    if (FaultInjector* fi = fault_injector();
+        fi != nullptr && fi->inject(FaultPoint::kQueuePop))
+      return 0;
+    // Pairs with the producer's release store of its count, which follows
+    // its slot stores: every slot counted as pushed holds a visible value.
+    const std::uint32_t pushed = prod_.count.load(std::memory_order_acquire);
+    const std::uint32_t avail = pushed - cons_.tail;
+    const std::size_t k = max < avail ? max : avail;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::atomic<T>& slot =
+          slots_[(cons_.tail + static_cast<std::uint32_t>(i)) & mask_];
+      out[i] = slot.load(std::memory_order_relaxed);
+      // Release so the producer's free-space probe sees the null only
+      // after our read of the value completed.
+      slot.store(nullptr, std::memory_order_release);
+    }
+    cons_.tail += static_cast<std::uint32_t>(k);
+    cons_.count.store(cons_.tail, std::memory_order_release);
+    // Slots below `pushed` are known occupied; credit the remainder to the
+    // scalar pop path so it skips its backtracking probe.
+    cons_.batch_tail = pushed;
+    return k;
   }
 
-  /// Approximate occupancy; only exact when both roles are quiescent.
+  /// True when the occupancy counters agree that nothing is queued. Safe
+  /// from any thread; may race with concurrent operations (a stale answer
+  /// is transient, never sticky).
+  bool empty() const noexcept {
+    // Read the pop count first: if a pop sneaks in between the loads the
+    // result errs toward "non-empty", matching the probe-based contract
+    // (false "empty" only when genuinely drained at some instant).
+    const std::uint32_t popped = cons_.count.load(std::memory_order_acquire);
+    const std::uint32_t pushed = prod_.count.load(std::memory_order_acquire);
+    return pushed == popped;
+  }
+
+  /// Approximate occupancy from the single-writer counters: two loads,
+  /// O(1). Safe from any thread; exact when both roles are quiescent.
   std::uint32_t size_approx() const noexcept {
-    std::uint32_t n = 0;
-    for (std::uint32_t i = 0; i <= mask_; ++i)
-      if (slots_[i].load(std::memory_order_relaxed) != nullptr) ++n;
-    return n;
+    // Pop count first so a racing push inflates rather than underflows the
+    // unsigned difference.
+    const std::uint32_t popped = cons_.count.load(std::memory_order_acquire);
+    const std::uint32_t pushed = prod_.count.load(std::memory_order_acquire);
+    return pushed - popped;
   }
 
  private:
   struct alignas(kCacheLine) ProducerState {
     std::uint32_t head = 0;
     std::uint32_t batch_head = 0;
+    /// Total pushes, published after each slot store. Single writer (the
+    /// producer); plain release stores, no RMW.
+    std::atomic<std::uint32_t> count{0};
   };
   struct alignas(kCacheLine) ConsumerState {
     std::uint32_t tail = 0;
     std::uint32_t batch_tail = 0;
+    /// Total pops, published after each slot null-store. Single writer
+    /// (the consumer); plain release stores, no RMW.
+    std::atomic<std::uint32_t> count{0};
   };
 
   const std::uint32_t mask_;

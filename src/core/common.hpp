@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstdio>
 #include <new>
+#include <thread>
 
 namespace xtask {
 
@@ -26,6 +27,17 @@ inline std::uint64_t rdtscp() noexcept {
   struct timespec ts;
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull + ts.tv_nsec;
+#endif
+}
+
+/// One polite busy-wait beat: the x86 `pause` hint (lowers power and frees
+/// pipeline slots for the sibling hyperthread) or a scheduler yield where
+/// no such hint exists.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
 #endif
 }
 

@@ -16,14 +16,6 @@ inline void bump(std::atomic<std::uint64_t>& c) noexcept {
   c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
 }
 
-inline void cpu_pause() noexcept {
-#if defined(__x86_64__)
-  __builtin_ia32_pause();
-#else
-  std::this_thread::yield();
-#endif
-}
-
 }  // namespace
 
 Runtime::Runtime(Config cfg)
@@ -35,7 +27,7 @@ Runtime::Runtime(Config cfg)
       xq_(cfg.num_threads, cfg.queue_capacity),
       central_(cfg.num_threads),
       tree_(cfg.num_threads),
-      pool_(cfg.allocator) {
+      pool_(cfg.allocator, topo_.num_zones()) {
   XTASK_CHECK(cfg_.num_threads >= 1);
   XTASK_CHECK(cfg_.num_threads <= steal::kMaxWorkerId);
   workers_.reserve(static_cast<std::size_t>(cfg_.num_threads));
@@ -46,7 +38,9 @@ Runtime::Runtime(Config cfg)
     w->rng = XorShift(cfg_.seed + static_cast<std::uint64_t>(i) * 0x51ed2701);
     w->rr_cursor = static_cast<std::uint32_t>(i);  // round-robin starts at
                                                    // the master queue
-    w->alloc = std::make_unique<TaskAllocator>(pool_);
+    // Key each worker's allocator to its NUMA zone so recycled descriptors
+    // circulate within a socket before crossing the interconnect.
+    w->alloc = std::make_unique<TaskAllocator>(pool_, topo_.zone_of(i));
     workers_.push_back(std::move(w));
   }
   for (int i = 1; i < cfg_.num_threads; ++i)
@@ -310,6 +304,7 @@ Task* Runtime::find_task(detail::Worker& w) {
   if (t != nullptr) {
     w.idle_polls = 0;
     w.request_round_open = false;
+    w.backoff.reset();
     if (cfg_.dlb != DlbKind::kNone) victim_check(w);
   }
   return t;
@@ -341,12 +336,14 @@ void Runtime::idle_step(detail::Worker& w) {
     // unanswered cells.
     victim_check(w);
   }
-  cpu_pause();
+  // Adaptive spin → pause → yield escalation; every waiting loop funnels
+  // through here so the whole runtime shares one backoff policy.
+  if (w.backoff.step(cfg_.yield_after_idle))
+    prof_.thread(w.id).counters.nidle_yields++;
 }
 
 void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
   bool arrived = false;
-  int consecutive_idle = 0;
   std::uint64_t stall_start = 0;
   ThreadProfile& prof = prof_.thread(w.id);
 
@@ -356,12 +353,11 @@ void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
         prof.record(EventKind::kStall, stall_start, rdtscp());
         stall_start = 0;
       }
-      consecutive_idle = 0;
       execute(w, t);
       continue;
     }
     if (stall_start == 0 && prof_.events_enabled()) stall_start = rdtscp();
-    idle_step(w);
+    idle_step(w);  // DLB duties + adaptive spin/pause/yield backoff
 
     bool released = false;
     if (cfg_.barrier == BarrierKind::kCentral) {
@@ -378,12 +374,6 @@ void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
       if (stall_start != 0)
         prof.record(EventKind::kStall, stall_start, rdtscp());
       return;
-    }
-    if (cfg_.yield_after_idle > 0 &&
-        ++consecutive_idle >= cfg_.yield_after_idle) {
-      // Oversubscribed host: give the thread holding actual work a core.
-      std::this_thread::yield();
-      consecutive_idle = 0;
     }
   }
 }
@@ -436,30 +426,33 @@ void Runtime::victim_check(detail::Worker& w) {
 }
 
 void Runtime::do_work_steal(detail::Worker& w, int thief) {
-  // Alg. 4: migrate up to n_steal queued tasks from our own queues into
-  // the thief's queue that we produce for — every hop stays SPSC-legal.
+  // Alg. 4, batched: drain up to n_steal tasks from our own row with one
+  // counter probe (pop_batch), then hand them over with one batched push —
+  // one acquire/release pair per batch instead of per task. Every hop
+  // stays SPSC-legal: we consume our row and produce into q[thief][w].
   Counters& c = prof_.thread(w.id).counters;
-  const std::uint32_t n_steal =
-      static_cast<std::uint32_t>(effective_dlb(w).n_steal);
-  std::uint32_t moved = 0;
-  while (moved < n_steal) {
-    Task* t = xq_.pop(w.id);
-    if (t == nullptr) {
-      if (moved == 0) c.nreq_src_empty++;
-      break;
-    }
-    if (!xq_.push(w.id, thief, t)) {
-      c.nreq_target_full++;
-      // Could not hand it over; keep it for ourselves. Our master queue
-      // may itself be full, in which case the task runs right here.
-      if (!xq_.push(w.id, w.id, t)) {
-        prof_.thread(w.id).counters.ntasks_imm_exec++;
-        prof_.thread(w.id).counters.overflow_inline++;
-        execute(w, t);
+  constexpr std::size_t kMaxMigrate = 64;
+  Task* batch[kMaxMigrate];
+  const std::size_t n_steal =
+      static_cast<std::size_t>(effective_dlb(w).n_steal);
+  const std::size_t want = n_steal < kMaxMigrate ? n_steal : kMaxMigrate;
+  const std::size_t got = xq_.pop_batch(w.id, batch, want);
+  if (got == 0) {
+    c.nreq_src_empty++;
+    return;
+  }
+  const std::size_t moved = xq_.push_batch(w.id, thief, batch, got);
+  if (moved < got) {
+    // Thief queue full: keep the leftovers. Our master queue may itself be
+    // full, in which case the task runs right here (standard overflow).
+    c.nreq_target_full++;
+    for (std::size_t i = moved; i < got; ++i) {
+      if (!xq_.push(w.id, w.id, batch[i])) {
+        c.ntasks_imm_exec++;
+        c.overflow_inline++;
+        execute(w, batch[i]);
       }
-      break;
     }
-    ++moved;
   }
   if (moved > 0) {
     c.nreq_has_steal++;
@@ -482,19 +475,12 @@ void Runtime::end_redirect_session(detail::Worker& w) {
 }
 
 void Runtime::group_wait(detail::Worker& w, TaskGroup& group) {
-  int consecutive_idle = 0;
   while (group.live.load(std::memory_order_acquire) != 0) {
     if (Task* other = find_task(w)) {
-      consecutive_idle = 0;
       execute(w, other);
       continue;
     }
-    idle_step(w);
-    if (cfg_.yield_after_idle > 0 &&
-        ++consecutive_idle >= cfg_.yield_after_idle) {
-      std::this_thread::yield();
-      consecutive_idle = 0;
-    }
+    idle_step(w);  // shared backoff policy lives there
   }
 }
 
@@ -617,19 +603,12 @@ void TaskContext::taskwait() {
   detail::Worker& w = *w_;
   if (current_->active_children.load(std::memory_order_acquire) != 0) {
     ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskWait);
-    int consecutive_idle = 0;
     while (current_->active_children.load(std::memory_order_acquire) != 0) {
       if (Task* t = rt_->find_task(w)) {
-        consecutive_idle = 0;
         rt_->execute(w, t);
         continue;
       }
-      rt_->idle_step(w);
-      if (rt_->cfg_.yield_after_idle > 0 &&
-          ++consecutive_idle >= rt_->cfg_.yield_after_idle) {
-        std::this_thread::yield();
-        consecutive_idle = 0;
-      }
+      rt_->idle_step(w);  // shared backoff policy lives there
     }
   }
   // Every child completed, and each escalated into our slot before its

@@ -108,6 +108,43 @@ class TaskContext;
 
 namespace detail {
 
+/// Adaptive idle backoff: the first few fruitless polls cost nothing (the
+/// queues may refill any cycle), then the worker escalates through
+/// exponentially longer `pause` bursts (cutting coherence traffic and
+/// power while staying on-core), and finally hands the core to the OS with
+/// sched_yield once the configured idle budget is spent — the regime that
+/// keeps oversubscribed hosts live. Reset on any progress.
+struct IdleBackoff {
+  static constexpr std::uint32_t kSpinPolls = 8;     // free polls first
+  static constexpr std::uint32_t kMaxPauseBurst = 64;
+
+  std::uint32_t idles = 0;        // consecutive fruitless polls
+  std::uint32_t pause_burst = 1;  // pauses per beat, doubling to the cap
+
+  void reset() noexcept {
+    idles = 0;
+    pause_burst = 1;
+  }
+
+  /// One backoff beat after a fruitless poll; returns true when it
+  /// escalated to a sched_yield. `yield_after` <= 0 disables yielding.
+  bool step(int yield_after) noexcept {
+    ++idles;
+    if (idles <= kSpinPolls) return false;
+    if (yield_after > 0 &&
+        idles >= static_cast<std::uint32_t>(yield_after) + kSpinPolls) {
+      std::this_thread::yield();
+      // Stay in the yield regime (pause bursts at the cap between
+      // yields) until reset() — the worker is long-term idle.
+      idles = kSpinPolls;
+      return true;
+    }
+    for (std::uint32_t i = 0; i < pause_burst; ++i) cpu_pause();
+    if (pause_burst < kMaxPauseBurst) pause_burst <<= 1;
+    return false;
+  }
+};
+
 /// Per-worker state. One instance per worker thread, touched almost
 /// exclusively by its owner; the shared cells (counters for the census,
 /// round/request for the steal protocol) are padded.
@@ -133,6 +170,7 @@ struct Worker {
   std::uint32_t redirect_pushed = 0;
   std::uint64_t idle_polls = 0;      // thief timeout counter (T_interval)
   bool request_round_open = false;   // sent requests, awaiting work
+  IdleBackoff backoff;               // spin → pause → yield idle escalation
   std::unique_ptr<TaskAllocator> alloc;
   std::thread thread;                // empty for worker 0 (caller thread)
 };

@@ -14,8 +14,21 @@
 //  * NA-RP redirect:   producer w  -> q[thief][w]   (w is the victim)
 //  * NA-WS migration:  consumer w pops its own row, then produces the
 //                      stolen tasks into q[thief][w]
+//
+// Occupancy hints: scanning all N−1 auxiliary queues on every pop miss is
+// O(N) of cold cache lines at scale. Each consumer row therefore keeps a
+// byte-per-producer hint array: a producer sets its byte after pushing, the
+// consumer clears it after draining that queue, and `pop` only visits
+// flagged queues. Each byte has exactly two writers (that producer sets,
+// that consumer clears) and the flags are heuristic — a cleared flag can
+// race with a concurrent set and lose — so every `kFullScanPeriod`
+// consecutive misses the consumer ignores the hints and scans everything.
+// Termination never depends on the hints (the runtime's census does that);
+// the periodic full scan only bounds how long a queued task can hide.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -29,14 +42,27 @@ namespace xtask {
 template <typename TaskPtr>
 class XQueueT {
  public:
+  /// Pop misses between hint-ignoring full rotation scans.
+  static constexpr std::uint32_t kFullScanPeriod = 64;
+
   /// `num_workers` rows/columns; each SPSC queue holds `queue_capacity`
   /// task pointers (power of two).
   XQueueT(int num_workers, std::uint32_t queue_capacity = 2048)
-      : n_(num_workers) {
+      : n_(num_workers),
+        // Hint rows padded to cache-line multiples so two consumers'
+        // clear-stores never share a line.
+        hint_stride_((static_cast<std::size_t>(num_workers) + kCacheLine - 1) /
+                     kCacheLine * kCacheLine) {
     XTASK_CHECK(num_workers >= 1);
     queues_.reserve(static_cast<std::size_t>(n_) * n_);
     for (int i = 0; i < n_ * n_; ++i)
       queues_.push_back(std::make_unique<BQueue<TaskPtr>>(queue_capacity));
+    hints_ = std::make_unique<std::atomic<std::uint8_t>[]>(
+        hint_stride_ * static_cast<std::size_t>(n_));
+    for (std::size_t i = 0; i < hint_stride_ * static_cast<std::size_t>(n_);
+         ++i)
+      hints_[i].store(0, std::memory_order_relaxed);
+    state_ = std::vector<PerConsumer>(static_cast<std::size_t>(n_));
   }
 
   int num_workers() const noexcept { return n_; }
@@ -45,52 +71,100 @@ class XQueueT {
   /// `producer`'s thread. Returns false when that SPSC queue is full; the
   /// caller then executes the task immediately.
   bool push(int producer, int target, TaskPtr t) noexcept {
-    return q(target, producer).push(t);
+    if (!q(target, producer).push(t)) return false;
+    if (producer != target) note_push(target, producer);
+    return true;
+  }
+
+  /// Push up to `n` tasks into `target`'s queue set in one shot (NA-WS
+  /// migration, allocator-style bulk moves). Must be called from worker
+  /// `producer`'s thread. Returns how many were enqueued (a prefix).
+  std::size_t push_batch(int producer, int target, TaskPtr const* items,
+                         std::size_t n) noexcept {
+    const std::size_t k = q(target, producer).push_batch(items, n);
+    if (k > 0 && producer != target) note_push(target, producer);
+    return k;
   }
 
   /// Pop the next task for worker `self`: master queue first, then the
-  /// auxiliary queues starting from a rotating offset so no producer
-  /// starves. Must be called from worker `self`'s thread.
+  /// auxiliary queues whose hint byte is set, starting from a rotating
+  /// cursor so no producer starves. Must be called from worker `self`'s
+  /// thread.
   TaskPtr pop(int self) noexcept {
-    if (TaskPtr t = q(self, self).pop()) return t;
+    PerConsumer& pc = state_[static_cast<std::size_t>(self)];
+    // Row base hoisted: one index computation for the whole scan.
+    const std::unique_ptr<BQueue<TaskPtr>>* const row =
+        queues_.data() + static_cast<std::size_t>(self) * n_;
+    if (TaskPtr t = row[self]->pop()) {
+      pc.miss_tick = 0;
+      return t;
+    }
     if (n_ == 1) return nullptr;
-    // Scan i over n positions (not n-1): the window starts after `rot`,
-    // and `self` is skipped inside it, so every other producer is visited
-    // exactly once regardless of where the cursor points.
-    std::uint32_t& rot = aux_rot_[static_cast<std::size_t>(self)].value;
-    for (int i = 1; i <= n_; ++i) {
-      const int p = static_cast<int>((rot + static_cast<std::uint32_t>(i)) %
-                                     static_cast<std::uint32_t>(n_));
+    // Periodically ignore the hints entirely: a consumer clear can race
+    // with a producer set and lose, and this bounds how long that hidden
+    // task waits.
+    const bool full_scan = pc.miss_tick >= kFullScanPeriod;
+    std::atomic<std::uint8_t>* const hrow =
+        hints_.get() + static_cast<std::size_t>(self) * hint_stride_;
+    // Increment-and-wrap rotation — no modulo in the scan loop.
+    int p = static_cast<int>(pc.rot);
+    for (int i = 0; i < n_; ++i) {
+      if (++p >= n_) p = 0;
       if (p == self) continue;
-      if (TaskPtr t = q(self, p).pop()) {
-        rot = static_cast<std::uint32_t>(p);
+      if (!full_scan && hrow[p].load(std::memory_order_relaxed) == 0)
+        continue;
+      if (TaskPtr t = row[p]->pop()) {
+        // Leave the hint set: one pop rarely drains the queue, and the
+        // next miss will clear it if it did.
+        hrow[p].store(1, std::memory_order_relaxed);
+        pc.rot = static_cast<std::uint32_t>(p);
+        pc.miss_tick = 0;
         return t;
       }
+      // Drained: clear the hint (skip the store when already clear so a
+      // full scan over idle queues does not dirty producers' lines).
+      if (hrow[p].load(std::memory_order_relaxed) != 0)
+        hrow[p].store(0, std::memory_order_relaxed);
     }
+    pc.miss_tick = full_scan ? 0 : pc.miss_tick + 1;
     return nullptr;
   }
 
+  /// Pop up to `max` tasks for worker `self` in one shot — the NA-WS
+  /// victim's bulk grab. Drains the master queue with one counter probe,
+  /// then tops up from the auxiliary queues. Must be called from worker
+  /// `self`'s thread.
+  std::size_t pop_batch(int self, TaskPtr* out, std::size_t max) noexcept {
+    std::size_t got = q(self, self).pop_batch(out, max);
+    while (got < max) {
+      TaskPtr t = pop(self);
+      if (t == nullptr) break;
+      out[got++] = t;
+    }
+    return got;
+  }
+
   /// True when worker `self`'s master queue has no visible entry; cheap
-  /// hint used by the DLB victim logic.
+  /// hint used by the DLB victim logic. Safe from any thread.
   bool master_empty(int self) const noexcept {
-    return const_cast<XQueueT*>(this)->q(self, self).empty();
+    return q(self, self).empty();
   }
 
   /// True when every queue consumed by `self` appears empty. Transiently
   /// racy (a push may land right after), which the termination logic
-  /// tolerates via its two-pass quiescence scan.
+  /// tolerates via its two-pass quiescence scan. Safe from any thread.
   bool all_empty(int self) const noexcept {
     for (int p = 0; p < n_; ++p)
-      if (!const_cast<XQueueT*>(this)->q(self, p).empty()) return false;
+      if (!q(self, p).empty()) return false;
     return true;
   }
 
   /// Approximate entries visible to consumer `self` across its row.
-  /// Diagnostics (watchdog snapshots) and tests only.
+  /// Diagnostics (watchdog snapshots) and tests only. Safe from any
+  /// thread.
   std::uint64_t consumer_occupancy(int self) const noexcept {
     std::uint64_t total = 0;
-    for (int p = 0; p < n_; ++p)
-      total += const_cast<XQueueT*>(this)->q(self, p).size_approx();
+    for (int p = 0; p < n_; ++p) total += q(self, p).size_approx();
     return total;
   }
 
@@ -101,22 +175,50 @@ class XQueueT {
     return total;
   }
 
+  /// The hint byte for (consumer, producer); tests and debug snapshots.
+  bool hint_set(int consumer, int producer) const noexcept {
+    return hints_[static_cast<std::size_t>(consumer) * hint_stride_ +
+                  static_cast<std::size_t>(producer)]
+               .load(std::memory_order_relaxed) != 0;
+  }
+
  private:
   BQueue<TaskPtr>& q(int consumer, int producer) noexcept {
     return *queues_[static_cast<std::size_t>(consumer) *
                         static_cast<std::size_t>(n_) +
                     static_cast<std::size_t>(producer)];
   }
+  const BQueue<TaskPtr>& q(int consumer, int producer) const noexcept {
+    return *queues_[static_cast<std::size_t>(consumer) *
+                        static_cast<std::size_t>(n_) +
+                    static_cast<std::size_t>(producer)];
+  }
 
-  struct alignas(kCacheLine) PaddedU32 {
-    std::uint32_t value = 0;
+  /// Producer-side hint arm. Check-then-set: skip the store (and the
+  /// cache-line grab) when the byte is already set, which is the common
+  /// case on a busy queue.
+  void note_push(int consumer, int producer) noexcept {
+    std::atomic<std::uint8_t>& h =
+        hints_[static_cast<std::size_t>(consumer) * hint_stride_ +
+               static_cast<std::size_t>(producer)];
+    if (h.load(std::memory_order_relaxed) == 0)
+      h.store(1, std::memory_order_relaxed);
+  }
+
+  /// Per-consumer scan state: rotation cursor plus the miss counter that
+  /// schedules hint-ignoring full scans. Only touched by that consumer.
+  struct alignas(kCacheLine) PerConsumer {
+    std::uint32_t rot = 0;
+    std::uint32_t miss_tick = 0;
   };
 
   const int n_;
+  const std::size_t hint_stride_;
   std::vector<std::unique_ptr<BQueue<TaskPtr>>> queues_;
-  // Per-consumer rotation cursor for auxiliary scanning; indexed by self.
-  std::vector<PaddedU32> aux_rot_ = std::vector<PaddedU32>(
-      static_cast<std::size_t>(n_));
+  // Byte flags: hints_[consumer * hint_stride_ + producer] != 0 means
+  // q(consumer, producer) is plausibly non-empty.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> hints_;
+  std::vector<PerConsumer> state_;
 };
 
 /// The runtime's XQueue instance: SPSC matrix of xtask::Task pointers.

@@ -9,7 +9,7 @@ LompRuntime::LompRuntime(Config cfg)
       topo_(Topology::synthetic(cfg.num_threads, std::max(1, cfg.numa_zones))),
       prof_(cfg.num_threads, cfg.profile_events),
       barrier_(cfg.num_threads),
-      pool_(AllocatorMode::kMultiLevel) {
+      pool_(AllocatorMode::kMultiLevel, topo_.num_zones()) {
   XTASK_CHECK(cfg_.num_threads >= 1);
   if (cfg_.use_xqueue) {
     xq_ = std::make_unique<XQueueT<detail::LTask*>>(cfg_.num_threads,
@@ -25,7 +25,7 @@ LompRuntime::LompRuntime(Config cfg)
     w->id = i;
     w->rng = XorShift(cfg_.seed + static_cast<std::uint64_t>(i) * 0x2545f491);
     w->rr_cursor = static_cast<std::uint32_t>(i);
-    w->alloc = std::make_unique<PoolAllocator<LTask>>(pool_);
+    w->alloc = std::make_unique<PoolAllocator<LTask>>(pool_, topo_.zone_of(i));
     workers_.push_back(std::move(w));
   }
   for (int i = 1; i < cfg_.num_threads; ++i)

@@ -35,6 +35,7 @@ Counters& Counters::operator+=(const Counters& o) noexcept {
   overflow_inline += o.overflow_inline;
   ntasks_cancelled += o.ntasks_cancelled;
   nexceptions += o.nexceptions;
+  nidle_yields += o.nidle_yields;
   return *this;
 }
 
@@ -92,7 +93,7 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
        "ntasks_imm_exec,nreq_sent,nreq_handled,nreq_has_steal,"
        "nreq_src_empty,nreq_target_full,nsteal_local,nsteal_remote,"
        "ntasks_created,ntasks_executed,overflow_inline,ntasks_cancelled,"
-       "nexceptions\n";
+       "nexceptions,nidle_yields\n";
   for (std::size_t i = 0; i < profiles_.size(); ++i) {
     const Counters& c = profiles_[i].counters;
     f << i << ',' << c.ntasks_self << ',' << c.ntasks_local << ','
@@ -102,7 +103,8 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
       << c.nreq_target_full << ',' << c.nsteal_local << ','
       << c.nsteal_remote << ',' << c.ntasks_created << ','
       << c.ntasks_executed << ',' << c.overflow_inline << ','
-      << c.ntasks_cancelled << ',' << c.nexceptions << '\n';
+      << c.ntasks_cancelled << ',' << c.nexceptions << ','
+      << c.nidle_yields << '\n';
   }
   return f.good();
 }

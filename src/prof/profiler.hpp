@@ -61,6 +61,9 @@ struct Counters {
   std::uint64_t overflow_inline = 0;
   std::uint64_t ntasks_cancelled = 0;
   std::uint64_t nexceptions = 0;
+  // Idle backoff: times the worker escalated all the way to sched_yield
+  // (spin and pause beats are too cheap to count individually).
+  std::uint64_t nidle_yields = 0;
 
   Counters& operator+=(const Counters& o) noexcept;
 };

@@ -35,12 +35,14 @@ std::string trace_to_json(const Profiler& prof,
         ",\n{\"name\":\"xtask_counters\",\"ph\":\"M\",\"pid\":1,"
         "\"tid\":%d,\"args\":{\"ntasks_created\":%llu,"
         "\"ntasks_executed\":%llu,\"overflow_inline\":%llu,"
-        "\"ntasks_cancelled\":%llu,\"nexceptions\":%llu}}",
+        "\"ntasks_cancelled\":%llu,\"nexceptions\":%llu,"
+        "\"nidle_yields\":%llu}}",
         t, static_cast<unsigned long long>(c.ntasks_created),
         static_cast<unsigned long long>(c.ntasks_executed),
         static_cast<unsigned long long>(c.overflow_inline),
         static_cast<unsigned long long>(c.ntasks_cancelled),
-        static_cast<unsigned long long>(c.nexceptions));
+        static_cast<unsigned long long>(c.nexceptions),
+        static_cast<unsigned long long>(c.nidle_yields));
     out += buf;
     for (const PerfEvent& e : prof.thread(t).events()) {
       if (e.end < e.start || e.end - e.start < opts.min_cycles) continue;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/bqueue.hpp"
+#include "core/fault.hpp"
 
 namespace xtask {
 namespace {
@@ -113,6 +114,175 @@ TEST(BQueueStress, SpscTwoThreadsAllDeliveredInOrder) {
   });
   for (std::uintptr_t i = 1; i <= kCount; ++i) {
     while (!q.push(val(i))) std::this_thread::yield();
+  }
+  consumer.join();
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uintptr_t i = 0; i < kCount; ++i)
+    ASSERT_EQ(received[i], i + 1) << "at " << i;
+}
+
+TEST(BQueueCounters, SizeApproxTracksPushPop) {
+  BQueue<int*> q(16, 4);
+  EXPECT_EQ(q.size_approx(), 0u);
+  for (std::uintptr_t i = 1; i <= 5; ++i) ASSERT_TRUE(q.push(val(i)));
+  EXPECT_EQ(q.size_approx(), 5u);
+  EXPECT_FALSE(q.empty());
+  ASSERT_NE(q.pop(), nullptr);
+  ASSERT_NE(q.pop(), nullptr);
+  EXPECT_EQ(q.size_approx(), 3u);
+  while (q.pop() != nullptr) {
+  }
+  EXPECT_EQ(q.size_approx(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BQueueCounters, ExactAcrossManyWraps) {
+  // The counters are free-running uint32s; occupancy must stay exact after
+  // the indices lap the ring many times.
+  BQueue<int*> q(8, 2);
+  std::uintptr_t v = 1;
+  for (int lap = 0; lap < 5000; ++lap) {
+    ASSERT_TRUE(q.push(val(v)));
+    ASSERT_TRUE(q.push(val(v + 1)));
+    EXPECT_EQ(q.size_approx(), 2u);
+    EXPECT_EQ(q.pop(), val(v));
+    EXPECT_EQ(q.pop(), val(v + 1));
+    EXPECT_TRUE(q.empty());
+    v += 2;
+  }
+}
+
+TEST(BQueueBatch, RoundTrip) {
+  BQueue<int*> q(16, 4);
+  int* in[8];
+  for (std::uintptr_t i = 0; i < 8; ++i) in[i] = val(i + 1);
+  EXPECT_EQ(q.push_batch(in, 8), 8u);
+  EXPECT_EQ(q.size_approx(), 8u);
+  int* out[16] = {};
+  EXPECT_EQ(q.pop_batch(out, 16), 8u);
+  for (std::uintptr_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], val(i + 1));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop_batch(out, 16), 0u);
+}
+
+TEST(BQueueBatch, PartialBatchAgainstFullQueue) {
+  // push_batch uses the exact counters, so unlike the scalar push's
+  // conservative probe it can fill the ring completely — and no further.
+  BQueue<int*> q(8, 4);
+  int* in[12];
+  for (std::uintptr_t i = 0; i < 12; ++i) in[i] = val(i + 1);
+  EXPECT_EQ(q.push_batch(in, 12), 8u);
+  EXPECT_EQ(q.size_approx(), 8u);
+  EXPECT_EQ(q.push_batch(in, 1), 0u);
+  int* out[4] = {};
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  for (std::uintptr_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], val(i + 1));
+  // Four slots freed: the next oversized batch lands exactly four.
+  EXPECT_EQ(q.push_batch(in, 12), 4u);
+  // FIFO across the partial batches: 5..8 from the first, 1..4 from the
+  // second.
+  for (std::uintptr_t i = 5; i <= 8; ++i) EXPECT_EQ(q.pop(), val(i));
+  for (std::uintptr_t i = 1; i <= 4; ++i) EXPECT_EQ(q.pop(), val(i));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BQueueBatch, WrapAroundManyLaps) {
+  BQueue<int*> q(8, 2);
+  std::uintptr_t v = 1;
+  int* in[6];
+  int* out[6] = {};
+  for (int lap = 0; lap < 2000; ++lap) {
+    for (std::uintptr_t i = 0; i < 6; ++i) in[i] = val(v + i);
+    ASSERT_EQ(q.push_batch(in, 6), 6u);
+    ASSERT_EQ(q.pop_batch(out, 6), 6u);
+    for (std::uintptr_t i = 0; i < 6; ++i) ASSERT_EQ(out[i], val(v + i));
+    v += 6;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BQueueBatch, MixesWithScalarOps) {
+  // Batch and scalar paths share the same indices and counters; interleave
+  // them and check FIFO order plus the probe invariants (a scalar push
+  // after a partial pop_batch must not overrun undrained slots).
+  BQueue<int*> q(16, 4);
+  int* in[4] = {val(1), val(2), val(3), val(4)};
+  ASSERT_EQ(q.push_batch(in, 4), 4u);
+  ASSERT_TRUE(q.push(val(5)));
+  int* out[2] = {};
+  ASSERT_EQ(q.pop_batch(out, 2), 2u);
+  EXPECT_EQ(out[0], val(1));
+  EXPECT_EQ(out[1], val(2));
+  EXPECT_EQ(q.pop(), val(3));
+  in[0] = val(6);
+  ASSERT_EQ(q.push_batch(in, 1), 1u);
+  EXPECT_EQ(q.pop(), val(4));
+  EXPECT_EQ(q.pop(), val(5));
+  EXPECT_EQ(q.pop(), val(6));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BQueueBatch, FaultHooksGateBatchPaths) {
+  // The chaos harness must be able to force the batch paths onto their
+  // backpressure/retry branches exactly like the scalar ones.
+  BQueue<int*> q(16, 4);
+  int* in[4] = {val(1), val(2), val(3), val(4)};
+  int* out[4] = {};
+  FaultInjector fi(1234);
+  FaultScope scope(fi);
+
+  fi.set_fail_rate(FaultPoint::kQueuePush, 1.0);
+  EXPECT_EQ(q.push_batch(in, 4), 0u);
+  EXPECT_GE(fi.injected(FaultPoint::kQueuePush), 1u);
+  EXPECT_TRUE(q.empty());
+
+  fi.set_fail_rate(FaultPoint::kQueuePush, 0.0);
+  ASSERT_EQ(q.push_batch(in, 4), 4u);
+
+  fi.set_fail_rate(FaultPoint::kQueuePop, 1.0);
+  EXPECT_EQ(q.pop_batch(out, 4), 0u);
+  EXPECT_GE(fi.injected(FaultPoint::kQueuePop), 1u);
+  EXPECT_EQ(q.size_approx(), 4u);  // nothing was consumed
+
+  fi.set_fail_rate(FaultPoint::kQueuePop, 0.0);
+  ASSERT_EQ(q.pop_batch(out, 4), 4u);
+  for (std::uintptr_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], val(i + 1));
+}
+
+TEST(BQueueBatchStress, SpscBatchesDeliveredInOrder) {
+  // Producer pushes variable-size batches, consumer drains with pop_batch:
+  // the counter handshake must deliver every element exactly once, in
+  // order, across thread boundaries (TSAN exercises the release/acquire
+  // pairing).
+  constexpr std::uintptr_t kCount = 100'000;
+  BQueue<int*> q(256, 32);
+  std::vector<std::uintptr_t> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    int* out[48];
+    while (received.size() < kCount) {
+      const std::size_t got = q.pop_batch(out, 48);
+      if (got == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t i = 0; i < got; ++i)
+        received.push_back(reinterpret_cast<std::uintptr_t>(out[i]) >> 4);
+    }
+  });
+  int* in[37];
+  std::uintptr_t next = 1;
+  while (next <= kCount) {
+    std::size_t n = (next * 7) % 37 + 1;  // varying batch sizes
+    if (next + n - 1 > kCount) n = kCount - next + 1;
+    for (std::size_t i = 0; i < n; ++i) in[i] = val(next + i);
+    std::size_t sent = 0;
+    while (sent < n) {
+      const std::size_t k = q.push_batch(in + sent, n - sent);
+      if (k == 0) std::this_thread::yield();
+      sent += k;
+    }
+    next += n;
   }
   consumer.join();
   ASSERT_EQ(received.size(), kCount);
