@@ -20,8 +20,8 @@ int main() {
     auto run_with = [&](SimPolicy p, bool expensive_cells) {
       SimConfig cfg;
       cfg.policy = p;
-      cfg.machine.cores = threads;
-      cfg.machine.zones = std::max(1, threads / 24);
+      cfg.machine.topo =
+          xtask::Topology::synthetic(threads, std::max(1, threads / 24));
       if (expensive_cells) {
         // Tree cells become RMW-priced: poll cost includes an atomic op.
         cfg.machine.barrier_poll += cfg.machine.atomic_transfer / 2;

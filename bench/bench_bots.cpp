@@ -1,66 +1,31 @@
-// Real-runtime BOTS kernel timings across the four concrete runtimes of
-// the reproduction: GOMP-like, LOMP-like, and xtask under NA-RP and NA-WS.
-// One JSON object per line on stdout so bench/run_bench.py can collect the
-// results into BENCH_bots.json without scraping a table:
+// Real-runtime BOTS kernel timings across the benchmark-protocol runtime
+// configurations (RuntimeRegistry::bench_configs: GOMP-like, LOMP-like,
+// and xtask under NA-RP and NA-WS). One JSON object per line on stdout so
+// bench/run_bench.py can collect the results into BENCH_bots.json without
+// scraping a table:
 //
 //   {"bench": "fib", "config": "xtask-naws", "threads": 4, "ms": 123.4}
 //
-// Usage: bench_bots [threads] [reps]
-// Each (kernel, config) cell reports the best of `reps` runs (default 3) —
-// min, not mean, because on a shared host the noise is one-sided.
+// Usage:
+//   bench_bots [threads] [reps]   each (kernel, config) cell reports the
+//                                 best of `reps` runs (default 3) — min,
+//                                 not mean: shared-host noise is one-sided
+//   bench_bots --list-configs     print "name<TAB>spec" per protocol config
+//   bench_bots --list-smoke       print the registry's smoke spec list
+//   bench_bots --smoke SPEC       run one tiny kernel on SPEC (any
+//                                 registry spec; honours XTASK_TOPOLOGY)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bots/bots.hpp"
-#include "core/runtime.hpp"
-#include "gomp/gomp_runtime.hpp"
-#include "gomp/lomp_runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace {
 
 using namespace xtask;
-
-constexpr const char* kConfigs[] = {"gomp", "lomp", "xtask-narp",
-                                    "xtask-naws"};
-
-/// Run `kernel(rt)` on the named runtime configuration (mirrors the
-/// tests/test_bots_matrix.cpp flavour table, restricted to the four
-/// configurations the benchmark protocol compares).
-template <typename KernelFn>
-void with_runtime(const std::string& config, int threads, KernelFn&& kernel) {
-  if (config == "gomp") {
-    gomp::GompRuntime::Config cfg;
-    cfg.num_threads = threads;
-    gomp::GompRuntime rt(cfg);
-    kernel(rt);
-  } else if (config == "lomp") {
-    lomp::LompRuntime::Config cfg;
-    cfg.num_threads = threads;
-    lomp::LompRuntime rt(cfg);
-    kernel(rt);
-  } else if (config == "xtask-narp") {
-    Config cfg;
-    cfg.num_threads = threads;
-    cfg.numa_zones = threads >= 4 ? 2 : 1;
-    cfg.dlb = DlbKind::kRedirectPush;
-    // Generous queues: overflow pushes execute inline and recurse, and at
-    // benchmark task counts a deep inline cascade can exhaust the stack.
-    cfg.queue_capacity = 8192;
-    Runtime rt(cfg);
-    kernel(rt);
-  } else {  // xtask-naws
-    Config cfg;
-    cfg.num_threads = threads;
-    cfg.numa_zones = threads >= 4 ? 2 : 1;
-    cfg.dlb = DlbKind::kWorkSteal;
-    cfg.dlb_cfg.t_interval = 128;
-    cfg.queue_capacity = 8192;
-    Runtime rt(cfg);
-    kernel(rt);
-  }
-}
 
 /// Time one kernel run in milliseconds.
 template <typename Fn>
@@ -73,23 +38,65 @@ double time_ms(Fn&& fn) {
 
 template <typename KernelFn>
 void report(const char* bench, int threads, int reps, KernelFn&& kernel) {
-  for (const char* config : kConfigs) {
+  for (const NamedConfig& config : RuntimeRegistry::bench_configs()) {
+    BackendSpec spec = BackendSpec::parse(config.spec);
+    spec.set("threads", std::to_string(threads));
     double best = 0.0;
     for (int r = 0; r < reps; ++r) {
-      const double ms =
-          time_ms([&] { with_runtime(config, threads, kernel); });
+      const double ms = time_ms([&] { RuntimeRegistry::with(spec, kernel); });
       if (r == 0 || ms < best) best = ms;
     }
     std::printf("{\"bench\": \"%s\", \"config\": \"%s\", \"threads\": %d, "
                 "\"ms\": %.3f}\n",
-                bench, config, threads, best);
+                bench, config.name.c_str(), threads, best);
     std::fflush(stdout);
   }
+}
+
+/// One tiny-but-real kernel through the type-erased handle: enough tasking
+/// to exercise the backend's scheduler, small enough for a CI smoke matrix
+/// cell. Returns 0 on success.
+int run_smoke(const std::string& spec) {
+  AnyRuntime rt = RuntimeRegistry::make(spec);
+  const long want = bots::fib_serial(18);
+  const long got = bots::fib_parallel(rt, 18);
+  const auto counters = rt.total_counters();
+  std::printf("smoke %-40s fib(18)=%ld tasks=%llu\n", rt.describe().c_str(),
+              got, static_cast<unsigned long long>(counters.ntasks_executed));
+  if (got != want) {
+    std::fprintf(stderr, "smoke FAILED for '%s': got %ld want %ld\n",
+                 spec.c_str(), got, want);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--list-configs") == 0) {
+    for (const NamedConfig& c : RuntimeRegistry::bench_configs())
+      std::printf("%s\t%s\n", c.name.c_str(), c.spec.c_str());
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--list-smoke") == 0) {
+    for (const std::string& s : RuntimeRegistry::smoke_specs())
+      std::printf("%s\n", s.c_str());
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: bench_bots --smoke SPEC\n");
+      return 2;
+    }
+    try {
+      return run_smoke(argv[2]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "smoke FAILED for '%s': %s\n", argv[2], e.what());
+      return 1;
+    }
+  }
+
   const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
   const int reps = argc > 2 ? std::atoi(argv[2]) : 3;
 

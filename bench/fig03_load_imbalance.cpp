@@ -16,6 +16,7 @@
 #include "bots/bots.hpp"
 #include "core/runtime.hpp"
 #include "sim/workloads.hpp"
+#include "registry/registry.hpp"
 
 using namespace xtask;
 
@@ -42,13 +43,15 @@ int main() {
 
   {
     std::printf("\n--- Fib(24) ---\n");
-    Runtime rt(xgomp_cfg(threads));
+    const auto rt_h = RuntimeRegistry::make_xtask(xgomp_cfg(threads));
+    Runtime& rt = *rt_h;
     bots::fib_parallel(rt, 24);
     std::fputs(rt.profiler().timeline_report().c_str(), stdout);
   }
   {
     std::printf("\n--- Sort(2^20) ---\n");
-    Runtime rt(xgomp_cfg(threads));
+    const auto rt_h = RuntimeRegistry::make_xtask(xgomp_cfg(threads));
+    Runtime& rt = *rt_h;
     auto data = bots::sort_input(1 << 20, 3);
     bots::sort_parallel(rt, data, 1 << 13, 1 << 13);
     std::fputs(rt.profiler().timeline_report().c_str(), stdout);

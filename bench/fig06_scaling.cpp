@@ -23,8 +23,8 @@ int main() {
       std::printf("%-9s", sim_policy_name(p));
       for (int t : kThreads) {
         SimConfig cfg = paper_machine(p);
-        cfg.machine.cores = t;
-        cfg.machine.zones = (t + 23) / 24;  // 24 cores per zone
+        // 24 cores per zone, the paper's Skylake zone width.
+        cfg.machine.topo = xtask::Topology::synthetic(t, (t + 23) / 24);
         const auto res = simulate(cfg, wl);
         std::printf(" %11.4f", res.seconds());
       }

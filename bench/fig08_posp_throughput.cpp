@@ -12,6 +12,7 @@
 #include "core/runtime.hpp"
 #include "gomp/gomp_runtime.hpp"
 #include "posp/posp.hpp"
+#include "registry/registry.hpp"
 
 using namespace xbench;
 
@@ -54,7 +55,8 @@ int main() {
     xtask::posp::Plot plot(pc);
     xtask::Config rc;
     rc.num_threads = 4;
-    xtask::Runtime rt(rc);
+    const auto rt_h = xtask::RuntimeRegistry::make_xtask(rc);
+    xtask::Runtime& rt = *rt_h;
     const double secs = plot.generate(rt);
     std::printf("batch %-6u  %8.3f MH/s (%.3fs)\n", batch,
                 static_cast<double>(plot.total_puzzles()) / (secs * 1e6),

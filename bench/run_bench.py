@@ -100,10 +100,26 @@ def run_primitives(build_dir: pathlib.Path, min_time: float,
     return records
 
 
-def run_bots(build_dir: pathlib.Path, threads: int, reps: int) -> list[dict]:
+def list_bots_configs(build_dir: pathlib.Path) -> dict[str, str]:
+    """Config list from the binary's registry (``--list-configs``): the
+    single source of truth for which runtime configurations the protocol
+    compares. Returns {name: backend spec}."""
     binary = build_dir / "bench" / "bench_bots"
     if not binary.exists():
         raise SystemExit(f"missing {binary}; build the repo first")
+    configs = {}
+    for line in _run([str(binary), "--list-configs"], timeout=60).splitlines():
+        name, _, spec = line.strip().partition("\t")
+        if name:
+            configs[name] = spec
+    if not configs:
+        raise SystemExit("bench_bots --list-configs returned no configs")
+    return configs
+
+
+def run_bots(build_dir: pathlib.Path, threads: int, reps: int) -> list[dict]:
+    binary = build_dir / "bench" / "bench_bots"
+    configs = list_bots_configs(build_dir)
     stamp = _now()
     records = []
     for line in _run([str(binary), str(threads), str(reps)],
@@ -113,7 +129,14 @@ def run_bots(build_dir: pathlib.Path, threads: int, reps: int) -> list[dict]:
             continue
         rec = json.loads(line)
         rec["timestamp"] = stamp
+        rec["spec"] = configs.get(rec.get("config", ""), "")
         records.append(rec)
+    # Every registered config must have produced at least one record —
+    # a silently skipped column would corrupt the comparison.
+    seen = {r["config"] for r in records}
+    missing = sorted(set(configs) - seen)
+    if missing:
+        raise SystemExit(f"bench_bots produced no records for: {missing}")
     return records
 
 

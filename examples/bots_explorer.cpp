@@ -5,23 +5,26 @@
 //   $ ./examples/bots_explorer                 # defaults: fib, best config
 //   $ ./examples/bots_explorer nqueens naws    # NQueens with NA-WS
 //   $ ./examples/bots_explorer sort central    # Sort, XGOMP-style barrier
+//   $ ./examples/bots_explorer fib gomp        # any registry spec works
+//   $ ./examples/bots_explorer uts xtask:dlb=adaptive,qcap=4096 8
 //
 // Arguments: [app] [config] [threads]
 //   app:    fib nqueens fft floorplan health uts strassen sort align
-//   config: slb (XGOMPTB) | central (XGOMP) | narp | naws
+//   config: a registry backend spec ("gomp", "xtask:dlb=naws,zones=4", ...)
+//           or a shorthand: slb (XGOMPTB) | central (XGOMP) | narp | naws
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bots/bots.hpp"
-#include "core/xtask.hpp"
+#include "registry/registry.hpp"
 
 using namespace xtask;
 
 namespace {
 
-double run_app(Runtime& rt, const std::string& app) {
+double run_app(AnyRuntime& rt, const std::string& app) {
   const auto t0 = std::chrono::steady_clock::now();
   bool ok = true;
   if (app == "fib") {
@@ -72,26 +75,29 @@ int main(int argc, char** argv) {
   const std::string mode = argc > 2 ? argv[2] : "slb";
   const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
 
-  Config cfg;
-  cfg.num_threads = threads;
-  cfg.numa_zones = 2;
-  if (mode == "central") {
-    cfg.barrier = BarrierKind::kCentral;
-    cfg.allocator = AllocatorMode::kMalloc;
-  } else if (mode == "narp") {
-    cfg.dlb = DlbKind::kRedirectPush;
-    cfg.dlb_cfg = {4, 16, 5'000, 1.0};
-  } else if (mode == "naws") {
-    cfg.dlb = DlbKind::kWorkSteal;
-    cfg.dlb_cfg = {4, 16, 5'000, 1.0};
-  }  // "slb": defaults (tree barrier, no DLB)
+  // Shorthands for the paper's four xtask operating points; anything else
+  // is passed to the registry verbatim as a backend spec.
+  std::string spec = mode;
+  if (mode == "slb") spec = "xtask";
+  else if (mode == "central") spec = "xtask:barrier=central,alloc=malloc";
+  else if (mode == "narp") spec = "xtask:dlb=narp,nvictim=4,nsteal=16";
+  else if (mode == "naws") spec = "xtask:dlb=naws,nvictim=4,nsteal=16";
 
-  Runtime rt(cfg);
+  BackendSpec parsed = BackendSpec::parse(spec);
+  parsed.set("threads", std::to_string(threads));
+  parsed.set("zones", "2");
+  AnyRuntime rt;
+  try {
+    rt = RuntimeRegistry::make(parsed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   const double secs = run_app(rt, app);
   if (secs < 0) return 1;
 
-  std::printf("%s on %d threads (%s): %.3fs\n", app.c_str(), threads,
-              mode.c_str(), secs);
+  std::printf("%s on %s: %.3fs\n", app.c_str(), rt.describe().c_str(),
+              secs);
   const Counters c = rt.profiler().total_counters();
   std::printf("tasks: created=%llu executed=%llu (self=%llu local=%llu "
               "remote=%llu)\n",

@@ -1,22 +1,32 @@
 // Machine-simulator example: compare scheduling policies on a virtual
 // multi-socket machine — the what-if tool behind the paper-reproduction
-// benchmarks. Users can point it at their own machine shape.
+// benchmarks. The machine shape is an xtask::Topology spec string, the
+// same grammar the real runtimes and the backend registry use ("8x24" =
+// 8 NUMA zones x 24 cores, the paper's Skylake-192).
 //
-//   $ ./examples/machine_sim              # 192 cores / 8 zones, fib
-//   $ ./examples/machine_sim 48 2 sort    # cores, zones, app
+//   $ ./examples/machine_sim              # 8x24 (192 cores), fib
+//   $ ./examples/machine_sim 2x24 sort    # topology spec, app
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "sim/workloads.hpp"
 
 using namespace xtask::sim;
+using xtask::Topology;
 
 int main(int argc, char** argv) {
-  const int cores = argc > 1 ? std::atoi(argv[1]) : 192;
-  const int zones = argc > 2 ? std::atoi(argv[2]) : 8;
-  const std::string app = argc > 3 ? argv[3] : "fib";
+  const std::string topo_spec = argc > 1 ? argv[1] : "8x24";
+  const std::string app = argc > 2 ? argv[2] : "fib";
+  Topology topo;
+  try {
+    topo = Topology::parse(topo_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   SimWorkload wl = wl_fib(21);
   if (app == "sort") wl = wl_sort(1 << 18, 1 << 11);
@@ -30,15 +40,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("simulating '%s' on %d cores / %d NUMA zones\n",
-              wl.name.c_str(), cores, zones);
+  std::printf("simulating '%s' on %s (%d cores / %d NUMA zones)\n",
+              wl.name.c_str(), topo.spec().c_str(), topo.num_workers(),
+              topo.num_zones());
   std::printf("%-22s %14s %12s %10s\n", "policy", "makespan(cyc)",
               "time@2.1GHz", "tasks");
   for (SimPolicy p : {SimPolicy::kGomp, SimPolicy::kLomp, SimPolicy::kXlomp,
                       SimPolicy::kXGomp, SimPolicy::kXGompTB}) {
     SimConfig cfg;
-    cfg.machine.cores = cores;
-    cfg.machine.zones = zones;
+    cfg.machine.topo = topo;
     cfg.policy = p;
     const auto res = simulate(cfg, wl);
     std::printf("%-22s %14llu %11.4fs %10llu\n", sim_policy_name(p),
@@ -51,8 +61,7 @@ int main(int argc, char** argv) {
        {std::pair{SimDlb::kRedirectPush, "XGOMPTB + NA-RP"},
         std::pair{SimDlb::kWorkSteal, "XGOMPTB + NA-WS"}}) {
     SimConfig cfg;
-    cfg.machine.cores = cores;
-    cfg.machine.zones = zones;
+    cfg.machine.topo = topo;
     cfg.policy = SimPolicy::kXGompTB;
     cfg.dlb = dlb;
     cfg.dlb_cfg = {8, 16, 5'000, 1.0};

@@ -7,9 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
-#include "core/xtask.hpp"
 #include "posp/posp.hpp"
+#include "registry/registry.hpp"
 
 int main(int argc, char** argv) {
   xtask::posp::PospConfig pc;
@@ -17,10 +18,9 @@ int main(int argc, char** argv) {
   pc.batch = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 64;
   const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
 
-  xtask::Config rc;
-  rc.num_threads = threads;
-  rc.dlb = xtask::DlbKind::kWorkSteal;  // tolerate uneven bucket costs
-  xtask::Runtime rt(rc);
+  // NA-WS tolerates the plot's uneven bucket costs.
+  xtask::AnyRuntime rt = xtask::RuntimeRegistry::make(
+      "xtask:dlb=naws,threads=" + std::to_string(threads));
 
   std::printf("plotting 2^%d puzzles, batch %u, %d threads...\n", pc.k,
               pc.batch, threads);

@@ -1,25 +1,28 @@
 // Quickstart: the smallest useful xtask program.
 //
 //   $ ./examples/quickstart
+//   $ XTASK_BACKEND=gomp ./examples/quickstart       # same program, GOMP
+//   $ XTASK_TOPOLOGY=2x2 ./examples/quickstart       # 2 zones x 2 workers
 //
-// Creates a team of workers, runs one parallel region that decomposes a
-// sum over a range into recursive tasks, and prints the runtime's
-// task-locality statistics. Shows the three calls a user needs:
-// Config -> Runtime -> run(), plus spawn()/taskwait() inside tasks.
+// Builds a runtime from a backend spec string through the registry, runs
+// one parallel region that decomposes a sum over a range into recursive
+// tasks, and prints the runtime's task-locality statistics. Shows the
+// three calls a user needs: RuntimeRegistry::make_env -> run(), plus
+// spawn()/taskwait() inside tasks.
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
-#include "core/xtask.hpp"
+#include "registry/registry.hpp"
 
-using xtask::Config;
-using xtask::Runtime;
-using xtask::TaskContext;
+using xtask::AnyContext;
+using xtask::AnyRuntime;
+using xtask::RuntimeRegistry;
 
 namespace {
 
 // Recursive divide-and-conquer sum of data[lo, hi).
-void sum_task(TaskContext& ctx, const double* data, std::size_t lo,
+void sum_task(AnyContext& ctx, const double* data, std::size_t lo,
               std::size_t hi, double* out) {
   if (hi - lo <= 4096) {  // leaf: sequential work
     *out = std::accumulate(data + lo, data + hi, 0.0);
@@ -28,10 +31,10 @@ void sum_task(TaskContext& ctx, const double* data, std::size_t lo,
   const std::size_t mid = lo + (hi - lo) / 2;
   double left = 0.0;
   double right = 0.0;
-  ctx.spawn([=, &left](TaskContext& c) {
+  ctx.spawn([=, &left](AnyContext& c) {
     sum_task(c, data, lo, mid, &left);
   });
-  ctx.spawn([=, &right](TaskContext& c) {
+  ctx.spawn([=, &right](AnyContext& c) {
     sum_task(c, data, mid, hi, &right);
   });
   ctx.taskwait();  // children write left/right before we read them
@@ -41,22 +44,20 @@ void sum_task(TaskContext& ctx, const double* data, std::size_t lo,
 }  // namespace
 
 int main() {
-  // 1. Configure the runtime. Defaults give the paper's best setup:
-  //    XQueue + distributed tree barrier + multi-level allocator.
-  Config cfg;
-  cfg.num_threads = 4;
-  cfg.dlb = xtask::DlbKind::kWorkSteal;  // NUMA-aware work stealing
+  // 1. Name a backend configuration. The default spec is the paper's best
+  //    setup (xtask: XQueue + distributed tree barrier + multi-level
+  //    allocator) with NUMA-aware work stealing; XTASK_BACKEND swaps the
+  //    whole spec, XTASK_TOPOLOGY just the machine shape.
+  AnyRuntime rt = RuntimeRegistry::make_env("xtask:threads=4,dlb=naws");
+  std::printf("backend: %s\n", rt.describe().c_str());
 
-  // 2. Create the team (worker threads persist across regions).
-  Runtime rt(cfg);
-
-  // 3. Run parallel regions.
+  // 2. Run parallel regions (worker threads persist across regions).
   std::vector<double> data(1 << 20);
   for (std::size_t i = 0; i < data.size(); ++i)
     data[i] = static_cast<double>(i % 1000) * 0.5;
 
   double total = 0.0;
-  rt.run([&](TaskContext& ctx) {
+  rt.run([&](AnyContext& ctx) {
     sum_task(ctx, data.data(), 0, data.size(), &total);
   });
 
@@ -65,7 +66,8 @@ int main() {
   std::printf("serial check  = %.1f (%s)\n", expect,
               total == expect ? "match" : "MISMATCH");
 
-  const xtask::Counters c = rt.profiler().total_counters();
+  // 3. Inspect the stats snapshot.
+  const xtask::Counters c = rt.total_counters();
   std::printf("tasks executed: %llu (self %llu, NUMA-local %llu, "
               "remote %llu)\n",
               static_cast<unsigned long long>(c.ntasks_executed),

@@ -10,8 +10,8 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/xtask.hpp"
 #include "prof/trace_export.hpp"
+#include "registry/registry.hpp"
 
 using namespace xtask;
 
@@ -33,11 +33,15 @@ int main(int argc, char** argv) {
   const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
   const char* trace_path = argc > 3 ? argv[3] : nullptr;
 
+  // Dependent spawns and the trace exporter are concrete-Runtime surface,
+  // so this example uses the registry's typed escape hatch rather than the
+  // type-erased handle.
   Config cfg;
   cfg.num_threads = threads;
   cfg.dlb = DlbKind::kWorkSteal;
   cfg.profile_events = trace_path != nullptr;
-  Runtime rt(cfg);
+  const auto rt_owner = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_owner;
 
   std::vector<std::vector<long>> grid(static_cast<std::size_t>(n),
                                       std::vector<long>(static_cast<std::size_t>(n), 0));

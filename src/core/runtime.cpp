@@ -16,18 +16,31 @@ inline void bump(std::atomic<std::uint64_t>& c) noexcept {
   c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
 }
 
+/// An explicit Topology is the source of truth for machine shape: fold it
+/// back into the scalar knobs so every downstream consumer (profiler
+/// width, queue matrix, barriers) sees one consistent shape.
+Config normalized(Config cfg) {
+  if (cfg.topology.num_workers() > 0) {
+    cfg.num_threads = cfg.topology.num_workers();
+    cfg.numa_zones = cfg.topology.num_zones();
+  }
+  return cfg;
+}
+
 }  // namespace
 
 Runtime::Runtime(Config cfg)
-    : cfg_(cfg),
-      topo_(cfg.numa_zones > 0
-                ? Topology::synthetic(cfg.num_threads, cfg.numa_zones)
-                : Topology::detect(cfg.num_threads)),
-      prof_(cfg.num_threads, cfg.profile_events),
-      xq_(cfg.num_threads, cfg.queue_capacity),
-      central_(cfg.num_threads),
-      tree_(cfg.num_threads),
-      pool_(cfg.allocator, topo_.num_zones()) {
+    : cfg_(normalized(std::move(cfg))),
+      topo_(cfg_.topology.num_workers() > 0
+                ? cfg_.topology
+                : cfg_.numa_zones > 0
+                      ? Topology::synthetic(cfg_.num_threads, cfg_.numa_zones)
+                      : Topology::detect(cfg_.num_threads)),
+      prof_(cfg_.num_threads, cfg_.profile_events),
+      xq_(cfg_.num_threads, cfg_.queue_capacity),
+      central_(cfg_.num_threads),
+      tree_(cfg_.num_threads),
+      pool_(cfg_.allocator, topo_.num_zones()) {
   XTASK_CHECK(cfg_.num_threads >= 1);
   XTASK_CHECK(cfg_.num_threads <= steal::kMaxWorkerId);
   workers_.reserve(static_cast<std::size_t>(cfg_.num_threads));

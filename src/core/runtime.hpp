@@ -82,7 +82,14 @@ struct Config {
   AllocatorMode allocator = AllocatorMode::kMultiLevel;
   /// 0 = detect topology from the OS; otherwise build a synthetic topology
   /// with this many NUMA zones (used on single-node hosts and in tests).
+  /// Ignored when `topology` is set.
   int numa_zones = 0;
+  /// When non-empty, the machine shape — worker count AND zone map both
+  /// come from here, overriding num_threads/numa_zones. This is how the
+  /// backend registry hands one Topology (parsed from a spec string such
+  /// as "8x24", see Topology::parse) to every consumer; the simulator
+  /// consumes the same object via sim::MachineConfig::topo.
+  Topology topology;
   bool profile_events = false;  // record per-event timelines (§V)
   std::uint64_t seed = 42;      // base seed for per-worker victim RNGs
   /// Call sched_yield after this many consecutive empty polls, so the

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "core/common.hpp"
 
@@ -98,6 +100,95 @@ Topology Topology::detect(int num_workers) {
   for (auto& z : t.zone_of_) z = remap[static_cast<size_t>(z)];
   t.members_ = std::move(populated);
   return t;
+}
+
+namespace {
+
+/// Strict positive decimal integer; rejects signs, whitespace, and junk.
+bool parse_pos_int(const std::string& s, int* out) {
+  if (s.empty() || s.size() > 7) return false;
+  long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (v < 1) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+[[noreturn]] void bad_spec(const std::string& spec) {
+  throw std::invalid_argument("bad topology spec '" + spec +
+                              "' (want ZxW, a:b:c, N, or auto)");
+}
+
+}  // namespace
+
+Topology Topology::parse(const std::string& spec, int default_workers) {
+  if (spec == "auto" || spec == "detect") {
+    const int w =
+        default_workers > 0
+            ? default_workers
+            : static_cast<int>(
+                  std::max(1u, std::thread::hardware_concurrency()));
+    return detect(w);
+  }
+  const auto x = spec.find('x');
+  if (x != std::string::npos) {
+    int zones = 0;
+    int per_zone = 0;
+    if (!parse_pos_int(spec.substr(0, x), &zones) ||
+        !parse_pos_int(spec.substr(x + 1), &per_zone))
+      bad_spec(spec);
+    return synthetic(zones * per_zone, zones);
+  }
+  if (spec.find(':') != std::string::npos) {
+    // Manual split: std::getline drops a trailing empty field, which would
+    // let "3:" slip through as {3}.
+    std::vector<int> sizes;
+    std::size_t start = 0;
+    for (;;) {
+      auto colon = spec.find(':', start);
+      const bool last = colon == std::string::npos;
+      if (last) colon = spec.size();
+      const std::string tok(spec, start, colon - start);
+      int n = 0;
+      if (!parse_pos_int(tok, &n)) bad_spec(spec);
+      sizes.push_back(n);
+      if (last) break;
+      start = colon + 1;
+    }
+    if (sizes.empty()) bad_spec(spec);
+    Topology t;
+    t.members_.resize(sizes.size());
+    int w = 0;
+    for (size_t z = 0; z < sizes.size(); ++z) {
+      for (int i = 0; i < sizes[z]; ++i, ++w) {
+        t.zone_of_.push_back(static_cast<int>(z));
+        t.members_[z].push_back(w);
+      }
+    }
+    return t;
+  }
+  int n = 0;
+  if (!parse_pos_int(spec, &n)) bad_spec(spec);
+  return synthetic(n, 1);
+}
+
+std::string Topology::spec() const {
+  if (num_workers() == 0) return "";
+  const std::size_t first = members_[0].size();
+  bool uniform = true;
+  for (const auto& zone : members_)
+    if (zone.size() != first) uniform = false;
+  if (uniform)
+    return std::to_string(num_zones()) + "x" + std::to_string(first);
+  std::string out;
+  for (std::size_t z = 0; z < members_.size(); ++z) {
+    if (z) out += ':';
+    out += std::to_string(members_[z].size());
+  }
+  return out;
 }
 
 std::string Topology::describe() const {

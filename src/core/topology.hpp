@@ -30,6 +30,26 @@ class Topology {
   /// sysfs is unavailable.
   static Topology detect(int num_workers);
 
+  /// Parse a machine-shape spec string — the single grammar shared by the
+  /// real runtimes, the discrete-event simulator, and the backend
+  /// registry's `XTASK_TOPOLOGY` override:
+  ///   "ZxW"    Z zones of W workers each ("8x24" = the paper's
+  ///            Skylake-192: 8 NUMA zones x 24 cores)
+  ///   "a:b:c"  explicit per-zone worker counts (uneven shapes)
+  ///   "N"      N workers in a single zone
+  ///   "auto"   detect from the OS; `default_workers` workers (or
+  ///            hardware_concurrency when 0)
+  /// Throws std::invalid_argument on malformed specs; every zone and
+  /// worker count must be >= 1.
+  static Topology parse(const std::string& spec, int default_workers = 0);
+
+  /// Canonical spec string for this topology's shape: "ZxW" when every
+  /// zone holds the same number of workers, the explicit "a:b:c" form
+  /// otherwise. `parse(spec())` reproduces the same shape (zone count and
+  /// sizes; worker->zone striping is always the canonical contiguous
+  /// "close" layout).
+  std::string spec() const;
+
   Topology() = default;
 
   int num_workers() const noexcept { return static_cast<int>(zone_of_.size()); }

@@ -4,11 +4,27 @@
 
 namespace xtask::gomp {
 
+namespace {
+
+/// An explicit Topology overrides the scalar shape knobs (see
+/// xtask::Config::topology — one source of truth for machine shape).
+GompRuntime::Config normalized(GompRuntime::Config cfg) {
+  if (cfg.topology.num_workers() > 0) {
+    cfg.num_threads = cfg.topology.num_workers();
+    cfg.numa_zones = cfg.topology.num_zones();
+  }
+  return cfg;
+}
+
+}  // namespace
+
 GompRuntime::GompRuntime(Config cfg)
-    : cfg_(cfg),
-      topo_(Topology::synthetic(cfg.num_threads,
-                                std::max(1, cfg.numa_zones))),
-      prof_(cfg.num_threads, cfg.profile_events) {
+    : cfg_(normalized(std::move(cfg))),
+      topo_(cfg_.topology.num_workers() > 0
+                ? cfg_.topology
+                : Topology::synthetic(cfg_.num_threads,
+                                      std::max(1, cfg_.numa_zones))),
+      prof_(cfg_.num_threads, cfg_.profile_events) {
   XTASK_CHECK(cfg_.num_threads >= 1);
   threads_.reserve(static_cast<std::size_t>(cfg_.num_threads - 1));
   for (int i = 1; i < cfg_.num_threads; ++i)

@@ -76,6 +76,9 @@ class GompRuntime {
     int numa_zones = 1;          // locality accounting only
     bool profile_events = false;
     int yield_after_idle = 16;   // oversubscription escape hatch
+    /// When non-empty, the machine shape; overrides num_threads and
+    /// numa_zones (same contract as xtask::Config::topology).
+    Topology topology;
   };
 
   explicit GompRuntime(Config cfg);

@@ -151,6 +151,9 @@ class LompRuntime {
     bool use_xqueue = false;
     std::uint32_t queue_capacity = 2048;  // XQueue mode
     std::uint64_t seed = 42;
+    /// When non-empty, the machine shape; overrides num_threads and
+    /// numa_zones (same contract as xtask::Config::topology).
+    Topology topology;
   };
 
   explicit LompRuntime(Config cfg);

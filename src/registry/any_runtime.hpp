@@ -1,0 +1,173 @@
+// Type-erased runtime handle: the one surface every backend of this
+// reproduction exposes — run / spawn / taskwait / worker_id / stats — so
+// benchmarks, the test matrix, the chaos harness, trace export, and the
+// examples can hold "a runtime" without naming its concrete type. The
+// BOTS kernels are templates over a context type; instantiating them with
+// AnyContext runs the identical kernel source on whichever backend the
+// registry constructed.
+//
+// Concrete runtime construction happens ONLY in RuntimeRegistry
+// (registry.hpp): nothing outside the registry invokes a
+// Runtime/GompRuntime/LompRuntime constructor.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+#include "core/topology.hpp"
+#include "prof/profiler.hpp"
+
+namespace xtask {
+
+class AnyContext;
+
+/// Type-erased task body: what AnyContext::spawn and AnyRuntime::run
+/// ultimately carry across the backend boundary.
+using AnyBody = std::function<void(AnyContext&)>;
+
+namespace detail_any {
+
+/// One function table per concrete context type (TaskContext,
+/// gomp::GompContext, lomp::LompContext, bots::SerialContext, ...).
+struct ContextVTable {
+  int (*worker_id)(void* ctx);
+  void (*spawn)(void* ctx, AnyBody body);
+  void (*taskwait)(void* ctx);
+};
+
+}  // namespace detail_any
+
+/// Handle passed to type-erased task bodies. Mirrors the common context
+/// surface the kernels rely on; valid only during the task invocation it
+/// was created for (same lifetime rule as the concrete contexts).
+class AnyContext {
+ public:
+  AnyContext(void* ctx, const detail_any::ContextVTable* vt) noexcept
+      : ctx_(ctx), vt_(vt) {}
+
+  int worker_id() const { return vt_->worker_id(ctx_); }
+
+  /// Spawn a child task; `f` must be invocable as f(AnyContext&). The
+  /// closure is carried in a std::function, so — unlike the concrete
+  /// contexts' inline payloads — captures of any size are accepted.
+  template <typename F>
+  void spawn(F&& f) {
+    vt_->spawn(ctx_, AnyBody(std::forward<F>(f)));
+  }
+
+  /// Wait for all children spawned by the current task, executing other
+  /// tasks while waiting (OpenMP taskwait semantics on every backend).
+  void taskwait() { vt_->taskwait(ctx_); }
+
+ private:
+  void* ctx_;
+  const detail_any::ContextVTable* vt_;
+};
+
+namespace detail_any {
+
+template <typename Ctx>
+struct ContextModel {
+  static int worker_id(void* c) { return static_cast<Ctx*>(c)->worker_id(); }
+  static void taskwait(void* c) { static_cast<Ctx*>(c)->taskwait(); }
+  static void spawn(void* c, AnyBody body) {
+    // The wrapper capture is one std::function (32 bytes on libstdc++),
+    // comfortably inside every backend's inline task payload.
+    static_cast<Ctx*>(c)->spawn([body = std::move(body)](Ctx& inner) {
+      AnyContext any(&inner, &kVTable);
+      body(any);
+    });
+  }
+  static constexpr ContextVTable kVTable{&worker_id, &spawn, &taskwait};
+};
+
+}  // namespace detail_any
+
+/// An owning, movable, type-erased runtime. Obtained from
+/// RuntimeRegistry::make("spec"); empty when default-constructed.
+class AnyRuntime {
+ public:
+  /// Implementation interface; public so the registry's backend models
+  /// (including ad-hoc ones like the serial reference) can derive from it,
+  /// but only RuntimeRegistry constructs AnyRuntime instances.
+  struct Model {
+    virtual ~Model() = default;
+    virtual void run(AnyBody root) = 0;
+    virtual const Topology& topology() const noexcept = 0;
+    virtual Profiler& profiler() const noexcept = 0;
+    virtual const std::type_info& type() const noexcept = 0;
+    virtual void* raw() noexcept = 0;
+  };
+
+  /// Generic model over any backend exposing run/topology/profiler with a
+  /// context type `Ctx`.
+  template <typename RT, typename Ctx>
+  struct ModelT final : Model {
+    explicit ModelT(std::unique_ptr<RT> runtime) : rt(std::move(runtime)) {}
+    void run(AnyBody root) override {
+      rt->run([root = std::move(root)](Ctx& c) {
+        AnyContext any(&c, &detail_any::ContextModel<Ctx>::kVTable);
+        root(any);
+      });
+    }
+    const Topology& topology() const noexcept override {
+      return rt->topology();
+    }
+    Profiler& profiler() const noexcept override { return rt->profiler(); }
+    const std::type_info& type() const noexcept override {
+      return typeid(RT);
+    }
+    void* raw() noexcept override { return rt.get(); }
+    std::unique_ptr<RT> rt;
+  };
+
+  AnyRuntime() = default;
+  AnyRuntime(AnyRuntime&&) = default;
+  AnyRuntime& operator=(AnyRuntime&&) = default;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  /// Execute one parallel region rooted at `root` (worker 0 = the calling
+  /// thread on every backend). Rethrows the first escaped task exception.
+  void run(AnyBody root) { impl_->run(std::move(root)); }
+
+  const Topology& topology() const noexcept { return impl_->topology(); }
+  int num_threads() const noexcept { return topology().num_workers(); }
+  Profiler& profiler() noexcept { return impl_->profiler(); }
+  const Profiler& profiler() const noexcept { return impl_->profiler(); }
+
+  /// Stats snapshot: lifetime counters summed over all workers.
+  Counters total_counters() const { return impl_->profiler().total_counters(); }
+
+  /// Canonical backend spec this runtime was constructed from
+  /// (BackendSpec::parse round-trips it).
+  const std::string& spec() const noexcept { return spec_; }
+
+  /// Human-readable one-liner: canonical spec plus the resolved topology.
+  std::string describe() const {
+    return spec_ + " [" + topology().describe() + "]";
+  }
+
+  /// Concrete-type escape hatch for consumers that need backend-specific
+  /// surface (dependence spawns, watchdog stats, debug snapshots):
+  /// returns nullptr when this handle wraps a different backend.
+  template <typename RT>
+  RT* get_if() noexcept {
+    return impl_ != nullptr && impl_->type() == typeid(RT)
+               ? static_cast<RT*>(impl_->raw())
+               : nullptr;
+  }
+
+ private:
+  friend class RuntimeRegistry;
+  AnyRuntime(std::unique_ptr<Model> impl, std::string spec)
+      : impl_(std::move(impl)), spec_(std::move(spec)) {}
+
+  std::unique_ptr<Model> impl_;
+  std::string spec_;
+};
+
+}  // namespace xtask

@@ -1,0 +1,367 @@
+#include "registry/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+#include "core/steal_protocol.hpp"
+
+namespace xtask {
+namespace {
+
+[[noreturn]] void bad_value(const BackendSpec& spec, const std::string& key,
+                            const std::string& value, const char* want) {
+  throw std::invalid_argument("bad value '" + value + "' for key '" + key +
+                              "' in spec '" + spec.describe() + "' (want " +
+                              want + ")");
+}
+
+long long parse_ll(const BackendSpec& spec, const std::string& key,
+                   const std::string& value, long long lo, long long hi) {
+  if (value.empty() || value.size() > 18) bad_value(spec, key, value, "integer");
+  long long v = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') bad_value(spec, key, value, "integer");
+    v = v * 10 + (c - '0');
+  }
+  return std::clamp(v, lo, hi);
+}
+
+double parse_double(const BackendSpec& spec, const std::string& key,
+                    const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0')
+    bad_value(spec, key, value, "number");
+  return v;
+}
+
+bool parse_bool(const BackendSpec& spec, const std::string& key,
+                const std::string& value) {
+  if (value == "1" || value == "true" || value == "on") return true;
+  if (value == "0" || value == "false" || value == "off") return false;
+  bad_value(spec, key, value, "0|1");
+}
+
+/// XQueue capacities must be powers of two; round up and keep them sane.
+std::uint32_t parse_qcap(const BackendSpec& spec, const std::string& key,
+                         const std::string& value) {
+  const auto v = static_cast<std::uint32_t>(
+      parse_ll(spec, key, value, 2, 1u << 24));
+  std::uint32_t cap = 2;
+  while (cap < v) cap <<= 1;
+  return cap;
+}
+
+/// Reject keys outside `allowed` so typos fail loudly.
+void check_keys(const BackendSpec& spec,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : spec.options) {
+    bool ok = false;
+    for (const char* a : allowed) ok = ok || key == a;
+    if (!ok) {
+      std::string want;
+      for (const char* a : allowed) {
+        if (!want.empty()) want += "|";
+        want += a;
+      }
+      throw std::invalid_argument("unknown key '" + key + "' for backend '" +
+                                  spec.backend + "' (known: " +
+                                  (want.empty() ? "none" : want) + ")");
+    }
+  }
+}
+
+const char* env_nonempty(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+/// Resolve the machine shape for a spec: XTASK_TOPOLOGY beats the topo=
+/// key, which beats threads=/zones=, which beat the defaults table.
+Topology resolve_topology(const BackendSpec& spec, int max_threads) {
+  std::string shape;
+  if (const char* env = env_nonempty("XTASK_TOPOLOGY")) {
+    shape = env;
+  } else if (const std::string* topo = spec.find("topo")) {
+    shape = *topo;
+  }
+  if (!shape.empty()) {
+    Topology t = Topology::parse(shape, RegistryDefaults::default_threads());
+    if (t.num_workers() > max_threads)
+      throw std::invalid_argument("topology '" + shape + "' asks for " +
+                                  std::to_string(t.num_workers()) +
+                                  " workers; backend '" + spec.backend +
+                                  "' supports at most " +
+                                  std::to_string(max_threads));
+    return t;
+  }
+  int threads = RegistryDefaults::default_threads();
+  if (const std::string* v = spec.find("threads"))
+    threads = static_cast<int>(parse_ll(spec, "threads", *v, 1, max_threads));
+  threads = std::min(threads, max_threads);
+  int zones = RegistryDefaults::zones_for(threads);
+  if (const std::string* v = spec.find("zones"))
+    zones = static_cast<int>(parse_ll(spec, "zones", *v, 1, threads));
+  return Topology::synthetic(threads, zones);
+}
+
+/// The serial reference does not have a team, a topology, or a profiler of
+/// its own; this model supplies inert ones so the AnyRuntime surface works.
+struct SerialModel final : AnyRuntime::Model {
+  bots::SerialRuntime rt;
+  Topology topo = Topology::synthetic(1, 1);
+  mutable Profiler prof{1, false};
+
+  void run(AnyBody root) override {
+    rt.run([&root](bots::SerialContext& c) {
+      AnyContext any(
+          &c, &detail_any::ContextModel<bots::SerialContext>::kVTable);
+      root(any);
+    });
+  }
+  const Topology& topology() const noexcept override { return topo; }
+  Profiler& profiler() const noexcept override { return prof; }
+  const std::type_info& type() const noexcept override {
+    return typeid(bots::SerialRuntime);
+  }
+  void* raw() noexcept override { return &rt; }
+};
+
+}  // namespace
+
+template <typename RT, typename Ctx>
+AnyRuntime RuntimeRegistry::wrap(std::unique_ptr<RT> rt,
+                                 std::string canonical_spec) {
+  return AnyRuntime(
+      std::make_unique<AnyRuntime::ModelT<RT, Ctx>>(std::move(rt)),
+      std::move(canonical_spec));
+}
+
+// --------------------------------------------------------------------------
+// BackendSpec
+
+BackendSpec BackendSpec::parse(const std::string& spec) {
+  BackendSpec out;
+  const std::size_t colon = spec.find(':');
+  out.backend = spec.substr(0, colon);
+  if (out.backend.empty())
+    throw std::invalid_argument("empty backend name in spec '" + spec + "'");
+  if (colon == std::string::npos) return out;
+
+  std::size_t pos = colon + 1;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string opt = spec.substr(pos, comma - pos);
+    const std::size_t eq = opt.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= opt.size())
+      throw std::invalid_argument("malformed option '" + opt + "' in spec '" +
+                                  spec + "' (want key=value)");
+    out.options.emplace_back(opt.substr(0, eq), opt.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string BackendSpec::describe() const {
+  std::string out = backend;
+  char sep = ':';
+  for (const auto& [key, value] : options) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = ',';
+  }
+  return out;
+}
+
+const std::string* BackendSpec::find(const std::string& key) const noexcept {
+  const std::string* hit = nullptr;
+  for (const auto& [k, v] : options)
+    if (k == key) hit = &v;
+  return hit;
+}
+
+void BackendSpec::set(const std::string& key, std::string value) {
+  for (auto it = options.rbegin(); it != options.rend(); ++it) {
+    if (it->first == key) {
+      it->second = std::move(value);
+      return;
+    }
+  }
+  options.emplace_back(key, std::move(value));
+}
+
+// --------------------------------------------------------------------------
+// Spec -> Config translation (one function per backend owns its key set).
+
+Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
+  check_keys(spec, {"threads", "zones", "topo", "qcap", "barrier", "dlb",
+                    "alloc", "tint", "nvictim", "nsteal", "plocal", "seed",
+                    "wdog", "yield", "profile"});
+  Config cfg;
+  cfg.topology = resolve_topology(spec, steal::kMaxWorkerId);
+  cfg.queue_capacity = RegistryDefaults::kQueueCapacity;
+  if (const std::string* v = spec.find("qcap"))
+    cfg.queue_capacity = parse_qcap(spec, "qcap", *v);
+  if (const std::string* v = spec.find("barrier")) {
+    if (*v == "tree") cfg.barrier = BarrierKind::kTree;
+    else if (*v == "central") cfg.barrier = BarrierKind::kCentral;
+    else bad_value(spec, "barrier", *v, "tree|central");
+  }
+  if (const std::string* v = spec.find("dlb")) {
+    if (*v == "none") cfg.dlb = DlbKind::kNone;
+    else if (*v == "narp") cfg.dlb = DlbKind::kRedirectPush;
+    else if (*v == "naws") cfg.dlb = DlbKind::kWorkSteal;
+    else if (*v == "adaptive") cfg.dlb = DlbKind::kAdaptive;
+    else bad_value(spec, "dlb", *v, "none|narp|naws|adaptive");
+  }
+  if (const std::string* v = spec.find("alloc")) {
+    if (*v == "multi") cfg.allocator = AllocatorMode::kMultiLevel;
+    else if (*v == "malloc") cfg.allocator = AllocatorMode::kMalloc;
+    else bad_value(spec, "alloc", *v, "multi|malloc");
+  }
+  if (const std::string* v = spec.find("tint"))
+    cfg.dlb_cfg.t_interval =
+        static_cast<std::uint64_t>(parse_ll(spec, "tint", *v, 1, 1'000'000'000));
+  if (const std::string* v = spec.find("nvictim"))
+    cfg.dlb_cfg.n_victim = static_cast<int>(parse_ll(spec, "nvictim", *v, 1, 1024));
+  if (const std::string* v = spec.find("nsteal"))
+    cfg.dlb_cfg.n_steal = static_cast<int>(parse_ll(spec, "nsteal", *v, 1, 1024));
+  if (const std::string* v = spec.find("plocal")) {
+    cfg.dlb_cfg.p_local = parse_double(spec, "plocal", *v);
+    if (cfg.dlb_cfg.p_local < 0.0 || cfg.dlb_cfg.p_local > 1.0)
+      bad_value(spec, "plocal", *v, "number in [0,1]");
+  }
+  if (const std::string* v = spec.find("seed"))
+    cfg.seed = static_cast<std::uint64_t>(
+        parse_ll(spec, "seed", *v, 0, std::numeric_limits<long long>::max()));
+  if (const std::string* v = spec.find("wdog"))
+    cfg.watchdog_timeout_ms = static_cast<std::uint64_t>(
+        parse_ll(spec, "wdog", *v, 0, 86'400'000));
+  if (const std::string* v = spec.find("yield"))
+    cfg.yield_after_idle =
+        static_cast<int>(parse_ll(spec, "yield", *v, 0, 1'000'000));
+  if (const std::string* v = spec.find("profile"))
+    cfg.profile_events = parse_bool(spec, "profile", *v);
+  return cfg;
+}
+
+gomp::GompRuntime::Config RuntimeRegistry::gomp_config(
+    const BackendSpec& spec) {
+  check_keys(spec, {"threads", "zones", "topo", "yield", "profile"});
+  gomp::GompRuntime::Config cfg;
+  cfg.topology = resolve_topology(spec, 1 << 16);
+  if (const std::string* v = spec.find("yield"))
+    cfg.yield_after_idle =
+        static_cast<int>(parse_ll(spec, "yield", *v, 0, 1'000'000));
+  if (const std::string* v = spec.find("profile"))
+    cfg.profile_events = parse_bool(spec, "profile", *v);
+  return cfg;
+}
+
+lomp::LompRuntime::Config RuntimeRegistry::lomp_config(
+    const BackendSpec& spec) {
+  check_keys(spec,
+             {"threads", "zones", "topo", "qcap", "seed", "xqueue", "yield",
+              "profile"});
+  lomp::LompRuntime::Config cfg;
+  cfg.topology = resolve_topology(spec, 1 << 16);
+  cfg.use_xqueue = spec.backend == "xlomp";
+  if (const std::string* v = spec.find("xqueue"))
+    cfg.use_xqueue = parse_bool(spec, "xqueue", *v);
+  cfg.queue_capacity = RegistryDefaults::kQueueCapacity;
+  if (const std::string* v = spec.find("qcap"))
+    cfg.queue_capacity = parse_qcap(spec, "qcap", *v);
+  if (const std::string* v = spec.find("seed"))
+    cfg.seed = static_cast<std::uint64_t>(
+        parse_ll(spec, "seed", *v, 0, std::numeric_limits<long long>::max()));
+  if (const std::string* v = spec.find("yield"))
+    cfg.yield_after_idle =
+        static_cast<int>(parse_ll(spec, "yield", *v, 0, 1'000'000));
+  if (const std::string* v = spec.find("profile"))
+    cfg.profile_events = parse_bool(spec, "profile", *v);
+  return cfg;
+}
+
+// --------------------------------------------------------------------------
+// Construction
+
+AnyRuntime RuntimeRegistry::make(const BackendSpec& spec) {
+  std::string canon = spec.describe();
+  if (spec.backend == "serial") {
+    check_keys(spec, {});
+    return AnyRuntime(std::make_unique<SerialModel>(), std::move(canon));
+  }
+  if (spec.backend == "gomp")
+    return wrap<gomp::GompRuntime, gomp::GompContext>(
+        std::make_unique<gomp::GompRuntime>(gomp_config(spec)),
+        std::move(canon));
+  if (spec.backend == "lomp" || spec.backend == "xlomp")
+    return wrap<lomp::LompRuntime, lomp::LompContext>(
+        std::make_unique<lomp::LompRuntime>(lomp_config(spec)),
+        std::move(canon));
+  if (spec.backend == "xtask")
+    return wrap<Runtime, TaskContext>(
+        std::make_unique<Runtime>(xtask_config(spec)), std::move(canon));
+  throw std::invalid_argument("unknown backend '" + spec.backend +
+                              "' (known: serial|gomp|lomp|xlomp|xtask)");
+}
+
+AnyRuntime RuntimeRegistry::make(const std::string& spec) {
+  return make(BackendSpec::parse(spec));
+}
+
+AnyRuntime RuntimeRegistry::make_env(const std::string& fallback_spec) {
+  if (const char* env = env_nonempty("XTASK_BACKEND")) return make(env);
+  return make(fallback_spec);
+}
+
+std::unique_ptr<Runtime> RuntimeRegistry::make_xtask(Config cfg) {
+  return std::make_unique<Runtime>(std::move(cfg));
+}
+
+std::unique_ptr<gomp::GompRuntime> RuntimeRegistry::make_gomp(
+    gomp::GompRuntime::Config cfg) {
+  return std::make_unique<gomp::GompRuntime>(std::move(cfg));
+}
+
+std::unique_ptr<lomp::LompRuntime> RuntimeRegistry::make_lomp(
+    lomp::LompRuntime::Config cfg) {
+  return std::make_unique<lomp::LompRuntime>(std::move(cfg));
+}
+
+// --------------------------------------------------------------------------
+// Catalogues
+
+std::vector<std::string> RuntimeRegistry::backends() {
+  return {"serial", "gomp", "lomp", "xlomp", "xtask"};
+}
+
+std::vector<NamedConfig> RuntimeRegistry::bench_configs() {
+  return {
+      {"gomp", "gomp"},
+      {"lomp", "lomp"},
+      {"xtask-narp", "xtask:dlb=narp"},
+      {"xtask-naws", "xtask:dlb=naws,tint=128"},
+  };
+}
+
+std::vector<std::string> RuntimeRegistry::smoke_specs() {
+  return {
+      "serial",
+      "gomp",
+      "lomp",
+      "xlomp",
+      "xtask",                              // XGOMPTB
+      "xtask:barrier=central,alloc=malloc", // XGOMP
+      "xtask:dlb=narp",                     // + NA-RP
+      "xtask:dlb=naws,tint=128",            // + NA-WS
+      "xtask:dlb=adaptive",
+  };
+}
+
+}  // namespace xtask

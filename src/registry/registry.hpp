@@ -1,0 +1,164 @@
+// Runtime-backend registry: the single place where concrete runtimes are
+// constructed and where their defaults live. Everything else — benchmarks,
+// tests, examples, scripts — names a backend with a spec string:
+//
+//   "gomp"                                  baseline, all defaults
+//   "lomp:threads=8"                        LOMP-like, 8 workers
+//   "xlomp"                                 LOMP structure over XQueue
+//   "xtask:dlb=naws,zones=4,qcap=8192"      paper runtime, NA-WS DLB
+//   "xtask:barrier=central,alloc=malloc"    the XGOMP ablation point
+//   "serial"                                inline-execution reference
+//
+// Grammar: `backend[:key=val[,key=val]*]`. Unknown backends and unknown or
+// malformed keys throw std::invalid_argument — a typo'd spec fails loudly
+// instead of silently benchmarking the wrong configuration.
+//
+// Environment overrides (resolved here, nowhere else):
+//   XTASK_BACKEND   replaces the whole spec in make_env()
+//   XTASK_TOPOLOGY  machine-shape spec (Topology::parse grammar, "8x24");
+//                   beats topo=/threads=/zones= keys in any spec
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bots/serial_ctx.hpp"
+#include "core/runtime.hpp"
+#include "gomp/gomp_runtime.hpp"
+#include "gomp/lomp_runtime.hpp"
+#include "registry/any_runtime.hpp"
+
+namespace xtask {
+
+/// A parsed `backend[:key=val,...]` spec. Pure syntax: key validation
+/// happens when a backend consumes the spec (RuntimeRegistry::make).
+struct BackendSpec {
+  std::string backend;
+  /// Options in spec order; later duplicates win (find returns the last).
+  std::vector<std::pair<std::string, std::string>> options;
+
+  /// Parse a spec string. Throws std::invalid_argument on empty backend
+  /// names and options that are not `key=value`.
+  static BackendSpec parse(const std::string& spec);
+
+  /// Canonical spec string; BackendSpec::parse round-trips it.
+  std::string describe() const;
+
+  /// Last value bound to `key`, or nullptr when absent.
+  const std::string* find(const std::string& key) const noexcept;
+
+  /// Append or overwrite `key` (overwrites the last binding if present).
+  void set(const std::string& key, std::string value);
+};
+
+/// THE defaults table. Every constant that used to drift between
+/// bench/bench_bots.cpp, the tests, and the examples lives here once.
+struct RegistryDefaults {
+  /// Per-SPSC-queue capacity for benchmark-grade runs. Generous on
+  /// purpose: overflow pushes execute inline and recurse, and at benchmark
+  /// task counts a deep inline cascade can exhaust the stack.
+  static constexpr std::uint32_t kQueueCapacity = 8192;
+
+  /// Synthetic NUMA zones for a worker count: two virtual zones once the
+  /// team is big enough to exercise the NUMA-aware code paths, one below.
+  static int zones_for(int threads) noexcept { return threads >= 4 ? 2 : 1; }
+
+  /// Worker count when a spec names none: the host's concurrency.
+  static int default_threads() noexcept {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }
+};
+
+/// A named backend configuration, e.g. {"xtask-naws", "xtask:dlb=naws"}.
+struct NamedConfig {
+  std::string name;
+  std::string spec;
+};
+
+/// Constructs runtimes from spec strings. All static — the registry holds
+/// no state; the defaults table and the spec grammar are the product.
+class RuntimeRegistry {
+ public:
+  /// Build a type-erased runtime from a spec string / parsed spec.
+  /// Throws std::invalid_argument on unknown backends, unknown keys, or
+  /// malformed values.
+  static AnyRuntime make(const std::string& spec);
+  static AnyRuntime make(const BackendSpec& spec);
+
+  /// Like make(), but `XTASK_BACKEND` (when set and non-empty) replaces
+  /// `fallback_spec` wholesale.
+  static AnyRuntime make_env(const std::string& fallback_spec);
+
+  /// Registered backend names: serial, gomp, lomp, xlomp, xtask.
+  static std::vector<std::string> backends();
+
+  /// The benchmark-protocol configurations (the columns of bench_bots and
+  /// bench/run_bench.py): name -> spec.
+  static std::vector<NamedConfig> bench_configs();
+
+  /// One tiny-but-real spec per interesting point of the backend space;
+  /// the CI smoke matrix runs every entry.
+  static std::vector<std::string> smoke_specs();
+
+  // --- concrete-type construction ---------------------------------------
+  // The registry is the one construction site for runtimes. Consumers that
+  // need programmatic Config surface the spec grammar cannot express
+  // (watchdog handler callbacks, profiler event capture with custom
+  // seeds, ...) go through these escape hatches instead of a constructor.
+  static std::unique_ptr<Runtime> make_xtask(Config cfg);
+  static std::unique_ptr<gomp::GompRuntime> make_gomp(
+      gomp::GompRuntime::Config cfg);
+  static std::unique_ptr<lomp::LompRuntime> make_lomp(
+      lomp::LompRuntime::Config cfg);
+
+  // --- spec -> concrete Config translation ------------------------------
+  // Exposed so tests can assert what a spec resolves to without paying for
+  // runtime construction. Each validates its backend's key set and
+  // resolves the topology (XTASK_TOPOLOGY > topo= > threads=/zones= >
+  // defaults).
+  static Config xtask_config(const BackendSpec& spec);
+  static gomp::GompRuntime::Config gomp_config(const BackendSpec& spec);
+  /// Handles both `lomp` and `xlomp` (use_xqueue defaults to the backend).
+  static lomp::LompRuntime::Config lomp_config(const BackendSpec& spec);
+
+  /// Run `fn(rt)` with the *concrete* runtime the spec names — the
+  /// zero-type-erasure path for timing loops. `fn` is instantiated for
+  /// every threaded backend (Runtime, GompRuntime, LompRuntime), so it
+  /// must compile against all three; `serial` is not offered here (its
+  /// runtime has no profiler surface — use make()).
+  template <typename Fn>
+  static void with(const BackendSpec& spec, Fn&& fn) {
+    if (spec.backend == "xtask") {
+      Runtime rt(xtask_config(spec));
+      fn(rt);
+    } else if (spec.backend == "gomp") {
+      gomp::GompRuntime rt(gomp_config(spec));
+      fn(rt);
+    } else if (spec.backend == "lomp" || spec.backend == "xlomp") {
+      lomp::LompRuntime rt(lomp_config(spec));
+      fn(rt);
+    } else {
+      throw std::invalid_argument("with(): unsupported backend '" +
+                                  spec.backend + "' (use make())");
+    }
+  }
+
+  template <typename Fn>
+  static void with(const std::string& spec, Fn&& fn) {
+    with(BackendSpec::parse(spec), std::forward<Fn>(fn));
+  }
+
+ private:
+  /// Wrap an owned concrete runtime in the type-erased handle (the only
+  /// code path that touches AnyRuntime's private constructor).
+  template <typename RT, typename Ctx>
+  static AnyRuntime wrap(std::unique_ptr<RT> rt, std::string canonical_spec);
+};
+
+}  // namespace xtask

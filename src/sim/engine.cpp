@@ -17,8 +17,8 @@ const char* sim_policy_name(SimPolicy p) noexcept {
 
 SimEngine::SimEngine(SimConfig cfg)
     : cfg_(cfg),
-      n_(cfg.machine.cores),
-      topo_(Topology::synthetic(cfg.machine.cores, cfg.machine.zones)),
+      n_(cfg.machine.cores()),
+      topo_(cfg.machine.topo),
       malloc_arenas_(static_cast<std::size_t>(std::max(1, cfg.malloc_arenas))) {
   XTASK_CHECK(n_ >= 1);
   workers_.reserve(static_cast<std::size_t>(n_));

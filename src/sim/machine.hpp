@@ -19,8 +19,15 @@
 namespace xtask::sim {
 
 struct MachineConfig {
-  int cores = 192;
-  int zones = 8;
+  /// Machine shape — the same xtask::Topology object (and spec grammar,
+  /// Topology::parse) the real runtimes consume, so a simulated
+  /// Skylake-192 ("8x24") and a real-thread synthetic topology are the
+  /// same source of truth. Replace via e.g.
+  /// `cfg.machine.topo = Topology::parse("2x24");`.
+  Topology topo = Topology::parse("8x24");
+
+  int cores() const noexcept { return topo.num_workers(); }
+  int zones() const noexcept { return topo.num_zones(); }
 
   // --- queueing ---------------------------------------------------------
   std::uint32_t spsc_op = 20;        // B-Queue push/pop (§II-B: ~20 cycles)
@@ -75,7 +82,7 @@ struct MachineConfig {
   double local_penalty = 0.25;   // executed in creator's zone, other core
   double remote_penalty = 1.50;  // executed in a different zone
 
-  Topology topology() const { return Topology::synthetic(cores, zones); }
+  const Topology& topology() const noexcept { return topo; }
 };
 
 /// A serially reusable resource (a lock, a contended cache line, a malloc

@@ -6,6 +6,7 @@
 
 #include "bots/bots.hpp"
 #include "core/runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -19,14 +20,16 @@ Config adaptive_cfg(int threads = 4) {
 }
 
 TEST(AdaptiveDlb, FibIsCorrect) {
-  Runtime rt(adaptive_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(adaptive_cfg());
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::fib_parallel(rt, 18), bots::fib_serial(18));
 }
 
 TEST(AdaptiveDlb, CoarseTasksAreCorrect) {
   // Coarse tasks (>1e4 cycles) push the workers into the RP regime; the
   // result must be unaffected.
-  Runtime rt(adaptive_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(adaptive_cfg());
+  Runtime& rt = *rt_h;
   std::atomic<long> sum{0};
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < 500; ++i) {
@@ -46,7 +49,8 @@ TEST(AdaptiveDlb, CoarseTasksAreCorrect) {
 TEST(AdaptiveDlb, MixedGranularityRegionsAcrossRuns) {
   // Alternate fine- and coarse-grained regions on one team: the moving
   // average must adapt without breaking anything.
-  Runtime rt(adaptive_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(adaptive_cfg());
+  Runtime& rt = *rt_h;
   for (int round = 0; round < 3; ++round) {
     EXPECT_EQ(bots::fib_parallel(rt, 14), bots::fib_serial(14));
     auto data = bots::sort_input(1 << 15, static_cast<std::uint64_t>(round));
@@ -55,7 +59,8 @@ TEST(AdaptiveDlb, MixedGranularityRegionsAcrossRuns) {
 }
 
 TEST(AdaptiveDlb, WorksWithDependences) {
-  Runtime rt(adaptive_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(adaptive_cfg());
+  Runtime& rt = *rt_h;
   long value = 0;
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < 64; ++i)
@@ -69,7 +74,8 @@ TEST(AdaptiveDlb, WorksWithDependences) {
 }
 
 TEST(AdaptiveDlb, SingleThreadDegenerates) {
-  Runtime rt(adaptive_cfg(1));
+  const auto rt_h = RuntimeRegistry::make_xtask(adaptive_cfg(1));
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::fib_parallel(rt, 12), bots::fib_serial(12));
 }
 

@@ -7,6 +7,7 @@
 
 #include "gomp/gomp_runtime.hpp"
 #include "gomp/lomp_runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -14,7 +15,8 @@ namespace {
 TEST(GompRuntime, FlatSpawnCompletes) {
   gomp::GompRuntime::Config cfg;
   cfg.num_threads = 4;
-  gomp::GompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_gomp(cfg);
+  gomp::GompRuntime& rt = *rt_h;
   std::atomic<int> done{0};
   rt.run([&](gomp::GompContext& ctx) {
     for (int i = 0; i < 5000; ++i)
@@ -32,7 +34,8 @@ TEST(GompRuntime, FlatSpawnCompletes) {
 TEST(GompRuntime, NestedRecursionCompletes) {
   gomp::GompRuntime::Config cfg;
   cfg.num_threads = 3;
-  gomp::GompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_gomp(cfg);
+  gomp::GompRuntime& rt = *rt_h;
   struct Rec {
     static void go(gomp::GompContext& ctx, int depth,
                    std::atomic<int>* count) {
@@ -55,7 +58,8 @@ TEST(GompRuntime, PriorityOrdersSingleThreadedExecution) {
   // earlier priority-0 tasks (GNU semantics).
   gomp::GompRuntime::Config cfg;
   cfg.num_threads = 1;
-  gomp::GompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_gomp(cfg);
+  gomp::GompRuntime& rt = *rt_h;
   std::vector<int> order;
   rt.run([&](gomp::GompContext& ctx) {
     ctx.spawn([&](gomp::GompContext&) { order.push_back(1); }, 0);
@@ -70,7 +74,8 @@ TEST(GompRuntime, PriorityOrdersSingleThreadedExecution) {
 TEST(GompRuntime, RepeatedRegions) {
   gomp::GompRuntime::Config cfg;
   cfg.num_threads = 4;
-  gomp::GompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_gomp(cfg);
+  gomp::GompRuntime& rt = *rt_h;
   for (int r = 0; r < 3; ++r) {
     std::atomic<int> done{0};
     rt.run([&](gomp::GompContext& ctx) {
@@ -85,7 +90,8 @@ TEST(GompRuntime, RepeatedRegions) {
 TEST(LompRuntime, FlatSpawnCompletes) {
   lomp::LompRuntime::Config cfg;
   cfg.num_threads = 4;
-  lomp::LompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_lomp(cfg);
+  lomp::LompRuntime& rt = *rt_h;
   std::atomic<int> done{0};
   rt.run([&](lomp::LompContext& ctx) {
     for (int i = 0; i < 5000; ++i)
@@ -100,7 +106,8 @@ TEST(LompRuntime, FlatSpawnCompletes) {
 TEST(LompRuntime, StealingMovesWorkOffTheProducer) {
   lomp::LompRuntime::Config cfg;
   cfg.num_threads = 4;
-  lomp::LompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_lomp(cfg);
+  lomp::LompRuntime& rt = *rt_h;
   // On an oversubscribed host the producer can occasionally drain its own
   // deque before the helpers are scheduled; repeat regions until a steal
   // is observed (each region is ~10 ms of task work).
@@ -130,7 +137,8 @@ TEST(LompRuntime, XQueueModeCompletes) {
   cfg.num_threads = 4;
   cfg.use_xqueue = true;  // XLOMP
   cfg.queue_capacity = 64;
-  lomp::LompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_lomp(cfg);
+  lomp::LompRuntime& rt = *rt_h;
   struct Rec {
     static void go(lomp::LompContext& ctx, int depth,
                    std::atomic<int>* count) {
@@ -151,7 +159,8 @@ TEST(LompRuntime, XQueueModeCompletes) {
 TEST(LompRuntime, PoolAllocatorRecycles) {
   lomp::LompRuntime::Config cfg;
   cfg.num_threads = 2;
-  lomp::LompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_lomp(cfg);
+  lomp::LompRuntime& rt = *rt_h;
   for (int r = 0; r < 3; ++r) {
     std::atomic<int> done{0};
     rt.run([&](lomp::LompContext& ctx) {

@@ -9,6 +9,7 @@
 #include "core/runtime.hpp"
 #include "gomp/gomp_runtime.hpp"
 #include "gomp/lomp_runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -29,32 +30,37 @@ Config small_cfg(DlbKind dlb = DlbKind::kNone) {
 TEST(BotsFib, MatchesSerialOnAllRuntimes) {
   const long expect = bots::fib_serial(18);
   {
-    Runtime rt(small_cfg());
+    const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+    Runtime& rt = *rt_h;
     EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
   }
   {
     gomp::GompRuntime::Config gc;
     gc.num_threads = 4;
-    gomp::GompRuntime rt(gc);
+    const auto rt_h = RuntimeRegistry::make_gomp(gc);
+    gomp::GompRuntime& rt = *rt_h;
     EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
   }
   {
     lomp::LompRuntime::Config lc;
     lc.num_threads = 4;
-    lomp::LompRuntime rt(lc);
+    const auto rt_h = RuntimeRegistry::make_lomp(lc);
+    lomp::LompRuntime& rt = *rt_h;
     EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
   }
   {
     lomp::LompRuntime::Config lc;
     lc.num_threads = 4;
     lc.use_xqueue = true;  // XLOMP
-    lomp::LompRuntime rt(lc);
+    const auto rt_h = RuntimeRegistry::make_lomp(lc);
+    lomp::LompRuntime& rt = *rt_h;
     EXPECT_EQ(bots::fib_parallel(rt, 18), expect);
   }
 }
 
 TEST(BotsFib, CutoffDoesNotChangeResult) {
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::fib_parallel(rt, 20, /*cutoff=*/8),
             bots::fib_serial(20));
 }
@@ -68,7 +74,8 @@ TEST(BotsNQueens, KnownSolutionCounts) {
 }
 
 TEST(BotsNQueens, ParallelMatchesSerial) {
-  Runtime rt(small_cfg(DlbKind::kWorkSteal));
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg(DlbKind::kWorkSteal));
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::nqueens_parallel(rt, 9, /*cutoff=*/3),
             bots::nqueens_serial(9));
   EXPECT_EQ(bots::nqueens_parallel(rt, 8, /*cutoff=*/0),
@@ -80,14 +87,16 @@ TEST(BotsSort, SortsAndPreservesMultiset) {
   auto data = bots::sort_input(100'000, 3);
   auto copy = data;
   std::sort(copy.begin(), copy.end());
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   ASSERT_TRUE(bots::sort_parallel(rt, data, /*sort_cutoff=*/512,
                                   /*merge_cutoff=*/512));
   EXPECT_EQ(data, copy);
 }
 
 TEST(BotsSort, TinyAndAlreadySortedInputs) {
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{5},
                         std::size_t{4096}}) {
     auto data = bots::sort_input(n, 9);
@@ -104,7 +113,8 @@ TEST(BotsStrassen, MatchesNaiveMultiply) {
   auto a = bots::strassen_input(n, 1);
   auto b = bots::strassen_input(n, 2);
   auto expect = bots::matmul_serial(a, b, n);
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   auto got = bots::strassen_parallel(rt, a, b, n, /*cutoff=*/32);
   ASSERT_EQ(got.size(), expect.size());
   for (std::size_t i = 0; i < got.size(); ++i)
@@ -116,7 +126,8 @@ TEST(BotsFft, MatchesSerialFft) {
   const std::size_t n = 4096;
   auto in = bots::fft_input(n);
   auto expect = bots::fft_serial(in);
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   auto got = bots::fft_parallel(rt, in, /*cutoff=*/256);
   ASSERT_EQ(got.size(), expect.size());
   for (std::size_t i = 0; i < n; ++i) {
@@ -128,7 +139,8 @@ TEST(BotsFft, MatchesSerialFft) {
 TEST(BotsFft, ParsevalEnergyConserved) {
   const std::size_t n = 1024;
   auto in = bots::fft_input(n, 5);
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   auto out = bots::fft_parallel(rt, in, 128);
   double e_time = 0.0;
   double e_freq = 0.0;
@@ -142,7 +154,8 @@ TEST(BotsUts, ParallelCountMatchesSerial) {
   auto p = bots::uts_tiny();
   const std::uint64_t expect = bots::uts_serial(p);
   EXPECT_GT(expect, 100u);  // tree is nontrivial
-  Runtime rt(small_cfg(DlbKind::kRedirectPush));
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg(DlbKind::kRedirectPush));
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::uts_parallel(rt, p), expect);
 }
 
@@ -150,7 +163,8 @@ TEST(BotsUts, CutoffDoesNotChangeCount) {
   auto p = bots::uts_tiny();
   const std::uint64_t expect = bots::uts_serial(p);
   p.cutoff_depth = 4;
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::uts_parallel(rt, p), expect);
 }
 
@@ -159,7 +173,8 @@ TEST(BotsFloorplan, OptimalAreaMatchesSerial) {
   auto cells = bots::floorplan_cells(7);
   const int expect = bots::floorplan_serial(cells);
   EXPECT_LT(expect, bots::detail::kBoardMax * bots::detail::kBoardMax);
-  Runtime rt(small_cfg(DlbKind::kWorkSteal));
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg(DlbKind::kWorkSteal));
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::floorplan_parallel(rt, cells, /*cutoff=*/2), expect);
 }
 
@@ -168,7 +183,8 @@ TEST(BotsHealth, StatsMatchSerial) {
   auto p = bots::health_small();
   const auto expect = bots::health_serial(p);
   EXPECT_GT(expect.generated, 0u);
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   const auto got = bots::health_parallel(rt, p);
   EXPECT_EQ(got.generated, expect.generated);
   EXPECT_EQ(got.treated_local, expect.treated_local);
@@ -180,7 +196,8 @@ TEST(BotsHealth, StatsMatchSerial) {
 TEST(BotsAlignment, ScoresMatchSerial) {
   auto seqs = bots::alignment_sequences(8, 40, 80);
   const auto expect = bots::alignment_serial(seqs);
-  Runtime rt(small_cfg());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_cfg());
+  Runtime& rt = *rt_h;
   EXPECT_EQ(bots::alignment_parallel(rt, seqs), expect);
 }
 

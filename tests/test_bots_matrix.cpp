@@ -1,86 +1,38 @@
 // Cross-runtime BOTS matrix: every kernel against every runtime flavour
 // (xtask/XGOMPTB, xtask/XGOMP, GOMP-like, LOMP-like, XLOMP-mode), each
 // checked against the serial reference — the "BOTS compiles against any
-// OpenMP runtime" property the paper's methodology rests on.
+// OpenMP runtime" property the paper's methodology rests on. Flavours are
+// registry spec strings; the kernels run through the type-erased
+// AnyRuntime handle, so this file also proves the registry surface is
+// enough to host the whole suite.
 #include <gtest/gtest.h>
 
 #include "bots/bots.hpp"
-#include "core/runtime.hpp"
-#include "gomp/gomp_runtime.hpp"
-#include "gomp/lomp_runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
 
-enum class Flavor { kXGompTB, kXGomp, kXGompTBNaws, kGomp, kLomp, kXlomp };
+struct Flavor {
+  const char* name;
+  const char* spec;
+};
 
-const char* flavor_name(Flavor f) {
-  switch (f) {
-    case Flavor::kXGompTB: return "xgomptb";
-    case Flavor::kXGomp: return "xgomp";
-    case Flavor::kXGompTBNaws: return "xgomptb_naws";
-    case Flavor::kGomp: return "gomp";
-    case Flavor::kLomp: return "lomp";
-    default: return "xlomp";
-  }
-}
+constexpr Flavor kFlavors[] = {
+    {"xgomptb", "xtask:threads=4,zones=2"},
+    {"xgomp", "xtask:threads=4,zones=2,barrier=central,alloc=malloc"},
+    {"xgomptb_naws", "xtask:threads=4,zones=2,dlb=naws,tint=128"},
+    {"gomp", "gomp:threads=4"},
+    {"lomp", "lomp:threads=4"},
+    {"xlomp", "xlomp:threads=4"},
+};
 
-/// Run `kernel(rt)` on the requested runtime flavour. The kernel is a
-/// generic callable taking any runtime type.
+/// Run `kernel(rt)` on the requested runtime flavour through the
+/// type-erased registry handle.
 template <typename KernelFn>
-void with_runtime(Flavor f, KernelFn&& kernel) {
-  switch (f) {
-    case Flavor::kXGompTB: {
-      Config cfg;
-      cfg.num_threads = 4;
-      cfg.numa_zones = 2;
-      Runtime rt(cfg);
-      kernel(rt);
-      return;
-    }
-    case Flavor::kXGomp: {
-      Config cfg;
-      cfg.num_threads = 4;
-      cfg.numa_zones = 2;
-      cfg.barrier = BarrierKind::kCentral;
-      cfg.allocator = AllocatorMode::kMalloc;
-      Runtime rt(cfg);
-      kernel(rt);
-      return;
-    }
-    case Flavor::kXGompTBNaws: {
-      Config cfg;
-      cfg.num_threads = 4;
-      cfg.numa_zones = 2;
-      cfg.dlb = DlbKind::kWorkSteal;
-      cfg.dlb_cfg.t_interval = 128;
-      Runtime rt(cfg);
-      kernel(rt);
-      return;
-    }
-    case Flavor::kGomp: {
-      gomp::GompRuntime::Config cfg;
-      cfg.num_threads = 4;
-      gomp::GompRuntime rt(cfg);
-      kernel(rt);
-      return;
-    }
-    case Flavor::kLomp: {
-      lomp::LompRuntime::Config cfg;
-      cfg.num_threads = 4;
-      lomp::LompRuntime rt(cfg);
-      kernel(rt);
-      return;
-    }
-    case Flavor::kXlomp: {
-      lomp::LompRuntime::Config cfg;
-      cfg.num_threads = 4;
-      cfg.use_xqueue = true;
-      lomp::LompRuntime rt(cfg);
-      kernel(rt);
-      return;
-    }
-  }
+void with_runtime(const Flavor& f, KernelFn&& kernel) {
+  AnyRuntime rt = RuntimeRegistry::make(f.spec);
+  kernel(rt);
 }
 
 class BotsMatrix : public ::testing::TestWithParam<Flavor> {};
@@ -169,12 +121,9 @@ TEST_P(BotsMatrix, Alignment) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRuntimes, BotsMatrix,
-                         ::testing::Values(Flavor::kXGompTB, Flavor::kXGomp,
-                                           Flavor::kXGompTBNaws,
-                                           Flavor::kGomp, Flavor::kLomp,
-                                           Flavor::kXlomp),
+                         ::testing::ValuesIn(kFlavors),
                          [](const ::testing::TestParamInfo<Flavor>& info) {
-                           return flavor_name(info.param);
+                           return info.param.name;
                          });
 
 }  // namespace

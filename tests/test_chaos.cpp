@@ -6,6 +6,9 @@
 // already be correct, so the assertion is simply: results exact, counters
 // balanced, region terminates (a watchdog bounds the failure mode of a
 // genuine hang to a loud test failure instead of a CI timeout).
+//
+// Configurations are registry spec strings; the concrete Runtime is
+// recovered through AnyRuntime::get_if for the watchdog-stall check.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,7 +19,7 @@
 #include "bots/fib.hpp"
 #include "bots/nqueens.hpp"
 #include "bots/sparselu.hpp"
-#include "core/runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -30,47 +33,26 @@ using bots::sparselu_parallel;
 using bots::sparselu_serial;
 
 struct ChaosCase {
-  BarrierKind barrier;
-  DlbKind dlb;
+  const char* name;
+  const char* spec;
 };
 
-std::string case_name(const ChaosCase& c) {
-  std::string out =
-      c.barrier == BarrierKind::kCentral ? "central" : "tree";
-  out += '_';
-  switch (c.dlb) {
-    case DlbKind::kNone: out += "none"; break;
-    case DlbKind::kRedirectPush: out += "narp"; break;
-    case DlbKind::kWorkSteal: out += "naws"; break;
-    case DlbKind::kAdaptive: out += "adaptive"; break;
-  }
-  return out;
-}
-
+// Frequent DLB rounds (tint=200) under injection, small queues (qcap=64)
+// for real overflow pressure, and a watchdog so a wedged configuration
+// dies loudly with a snapshot instead of hanging the suite — 20 s is far
+// above any healthy run here (<1 s each).
+#define CHAOS_KNOBS "threads=4,zones=2,tint=200,qcap=64,wdog=20000"
 const ChaosCase kCases[] = {
-    {BarrierKind::kCentral, DlbKind::kNone},
-    {BarrierKind::kCentral, DlbKind::kRedirectPush},
-    {BarrierKind::kCentral, DlbKind::kWorkSteal},
-    {BarrierKind::kCentral, DlbKind::kAdaptive},
-    {BarrierKind::kTree, DlbKind::kNone},
-    {BarrierKind::kTree, DlbKind::kRedirectPush},
-    {BarrierKind::kTree, DlbKind::kWorkSteal},
-    {BarrierKind::kTree, DlbKind::kAdaptive},
+    {"central_none", "xtask:barrier=central,dlb=none," CHAOS_KNOBS},
+    {"central_narp", "xtask:barrier=central,dlb=narp," CHAOS_KNOBS},
+    {"central_naws", "xtask:barrier=central,dlb=naws," CHAOS_KNOBS},
+    {"central_adaptive", "xtask:barrier=central,dlb=adaptive," CHAOS_KNOBS},
+    {"tree_none", "xtask:barrier=tree,dlb=none," CHAOS_KNOBS},
+    {"tree_narp", "xtask:barrier=tree,dlb=narp," CHAOS_KNOBS},
+    {"tree_naws", "xtask:barrier=tree,dlb=naws," CHAOS_KNOBS},
+    {"tree_adaptive", "xtask:barrier=tree,dlb=adaptive," CHAOS_KNOBS},
 };
-
-Config chaos_config(const ChaosCase& c) {
-  Config cfg;
-  cfg.num_threads = 4;
-  cfg.numa_zones = 2;
-  cfg.barrier = c.barrier;
-  cfg.dlb = c.dlb;
-  cfg.dlb_cfg.t_interval = 200;  // frequent DLB rounds under injection
-  cfg.queue_capacity = 64;       // small queues: real overflow pressure
-  // A wedged configuration dies loudly with a snapshot instead of hanging
-  // the suite. 20 s is far above any healthy run here (<1 s each).
-  cfg.watchdog_timeout_ms = 20'000;
-  return cfg;
-}
+#undef CHAOS_KNOBS
 
 /// Rates tuned so every point fires often (thousands of injections per
 /// run) while forward progress stays certain: fail rates stay below the
@@ -84,10 +66,12 @@ void arm(FaultInjector& fi) {
   fi.set_yield_rate(FaultPoint::kIdleWakeup, 0.02);
 }
 
-void expect_balanced(const Runtime& rt, const std::string& label) {
-  const Counters total = rt.profiler().total_counters();
+void expect_balanced(AnyRuntime& rt, const std::string& label) {
+  const Counters total = rt.total_counters();
   EXPECT_EQ(total.ntasks_created, total.ntasks_executed) << label;
-  EXPECT_EQ(rt.watchdog_stalls(), 0u) << label;
+  Runtime* concrete = rt.get_if<Runtime>();
+  ASSERT_NE(concrete, nullptr) << label;
+  EXPECT_EQ(concrete->watchdog_stalls(), 0u) << label;
 }
 
 class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {};
@@ -98,11 +82,10 @@ TEST_P(ChaosSweep, FibExactUnderInjection) {
     FaultInjector fi(seed);
     arm(fi);
     FaultScope scope(fi);
-    Runtime rt(chaos_config(GetParam()));
+    AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
     const long got = fib_parallel(rt, 16, 4);
-    EXPECT_EQ(got, expected)
-        << case_name(GetParam()) << " seed=" << seed;
-    expect_balanced(rt, case_name(GetParam()));
+    EXPECT_EQ(got, expected) << GetParam().name << " seed=" << seed;
+    expect_balanced(rt, GetParam().name);
     // The harness actually injected: the workload is large enough that a
     // 5% queue rate cannot round to zero.
     EXPECT_GT(fi.total_injected(), 0u);
@@ -115,11 +98,10 @@ TEST_P(ChaosSweep, NqueensExactUnderInjection) {
     FaultInjector fi(seed);
     arm(fi);
     FaultScope scope(fi);
-    Runtime rt(chaos_config(GetParam()));
+    AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
     const long got = nqueens_parallel(rt, 7, 3);
-    EXPECT_EQ(got, expected)
-        << case_name(GetParam()) << " seed=" << seed;
-    expect_balanced(rt, case_name(GetParam()));
+    EXPECT_EQ(got, expected) << GetParam().name << " seed=" << seed;
+    expect_balanced(rt, GetParam().name);
   }
 }
 
@@ -132,11 +114,10 @@ TEST_P(ChaosSweep, SparseLuChecksumUnderInjection) {
     FaultInjector fi(seed);
     arm(fi);
     FaultScope scope(fi);
-    Runtime rt(chaos_config(GetParam()));
+    AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
     const double got = sparselu_parallel(rt, p);
-    EXPECT_DOUBLE_EQ(got, expected)
-        << case_name(GetParam()) << " seed=" << seed;
-    expect_balanced(rt, case_name(GetParam()));
+    EXPECT_DOUBLE_EQ(got, expected) << GetParam().name << " seed=" << seed;
+    expect_balanced(rt, GetParam().name);
   }
 }
 
@@ -151,15 +132,15 @@ TEST_P(ChaosSweep, ExceptionPropagatesUnderInjection) {
     FaultInjector fi(seed);
     arm(fi);
     FaultScope scope(fi);
-    Runtime rt(chaos_config(GetParam()));
+    AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
     const std::string msg = "chaos boom seed " + std::to_string(seed);
     bool caught = false;
     try {
-      rt.run([&](TaskContext& ctx) {
+      rt.run([&](AnyContext& ctx) {
         for (int i = 0; i < 64; ++i)
-          ctx.spawn([&, i](TaskContext& c) {
+          ctx.spawn([&, i](AnyContext& c) {
             if (i == 13) throw ChaosError(msg);
-            c.spawn([](TaskContext&) {});  // extra depth under injection
+            c.spawn([](AnyContext&) {});  // extra depth under injection
           });
         ctx.taskwait();
       });
@@ -167,22 +148,22 @@ TEST_P(ChaosSweep, ExceptionPropagatesUnderInjection) {
       EXPECT_EQ(std::string(e.what()), msg);
       caught = true;
     }
-    EXPECT_TRUE(caught) << case_name(GetParam()) << " seed=" << seed;
+    EXPECT_TRUE(caught) << GetParam().name << " seed=" << seed;
     // Clean region afterwards, still under injection.
     std::atomic<int> ran{0};
-    rt.run([&](TaskContext& ctx) {
+    rt.run([&](AnyContext& ctx) {
       for (int i = 0; i < 128; ++i)
-        ctx.spawn([&](TaskContext&) { ran.fetch_add(1); });
+        ctx.spawn([&](AnyContext&) { ran.fetch_add(1); });
       ctx.taskwait();
     });
-    EXPECT_EQ(ran.load(), 128) << case_name(GetParam()) << " seed=" << seed;
-    expect_balanced(rt, case_name(GetParam()));
+    EXPECT_EQ(ran.load(), 128) << GetParam().name << " seed=" << seed;
+    expect_balanced(rt, GetParam().name);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, ChaosSweep, ::testing::ValuesIn(kCases),
                          [](const auto& info) {
-                           return case_name(info.param);
+                           return std::string(info.param.name);
                          });
 
 // ---------------------------------------------------------------------------
@@ -195,13 +176,10 @@ TEST(ChaosTargeted, QueuePushAlwaysFullStillExact) {
   FaultInjector fi(42);
   fi.set_fail_rate(FaultPoint::kQueuePush, 1.0);
   FaultScope scope(fi);
-  Config cfg;
-  cfg.num_threads = 4;
-  cfg.numa_zones = 2;
-  cfg.watchdog_timeout_ms = 20'000;
-  Runtime rt(cfg);
+  AnyRuntime rt =
+      RuntimeRegistry::make("xtask:threads=4,zones=2,wdog=20000");
   EXPECT_EQ(fib_parallel(rt, 14, 4), fib_serial(14));
-  const Counters total = rt.profiler().total_counters();
+  const Counters total = rt.total_counters();
   EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
   // All non-root tasks ran inline.
   EXPECT_EQ(total.overflow_inline, total.ntasks_created - 1);
@@ -211,18 +189,14 @@ TEST(ChaosTargeted, HeavyPopMissesStillTerminate) {
   // 40% forced pop misses stress the termination detection: queues appear
   // empty to consumers most of the time, yet the census/task-count must
   // not release early nor hang.
-  for (const auto barrier : {BarrierKind::kCentral, BarrierKind::kTree}) {
+  for (const char* barrier : {"central", "tree"}) {
     FaultInjector fi(7);
     fi.set_fail_rate(FaultPoint::kQueuePop, 0.4);
     FaultScope scope(fi);
-    Config cfg;
-    cfg.num_threads = 4;
-    cfg.numa_zones = 2;
-    cfg.barrier = barrier;
-    cfg.watchdog_timeout_ms = 20'000;
-    Runtime rt(cfg);
+    AnyRuntime rt = RuntimeRegistry::make(
+        std::string("xtask:threads=4,zones=2,wdog=20000,barrier=") + barrier);
     EXPECT_EQ(fib_parallel(rt, 15, 4), fib_serial(15));
-    const Counters total = rt.profiler().total_counters();
+    const Counters total = rt.total_counters();
     EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
   }
 }
@@ -233,15 +207,10 @@ TEST(ChaosTargeted, AllStealRequestsLostStillBalances) {
   FaultInjector fi(9);
   fi.set_fail_rate(FaultPoint::kStealRequest, 1.0);
   FaultScope scope(fi);
-  Config cfg;
-  cfg.num_threads = 4;
-  cfg.numa_zones = 2;
-  cfg.dlb = DlbKind::kWorkSteal;
-  cfg.dlb_cfg.t_interval = 100;
-  cfg.watchdog_timeout_ms = 20'000;
-  Runtime rt(cfg);
+  AnyRuntime rt = RuntimeRegistry::make(
+      "xtask:threads=4,zones=2,dlb=naws,tint=100,wdog=20000");
   EXPECT_EQ(nqueens_parallel(rt, 7, 3), nqueens_serial(7));
-  const Counters total = rt.profiler().total_counters();
+  const Counters total = rt.total_counters();
   EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
   EXPECT_GT(fi.injected(FaultPoint::kStealRequest), 0u);
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -22,7 +23,8 @@ Config cfg4(DlbKind dlb = DlbKind::kNone) {
 }
 
 TEST(Dependency, OutChainExecutesInOrder) {
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   std::vector<int> order;
   std::mutex mu;
   int x = 0;
@@ -43,7 +45,8 @@ TEST(Dependency, OutChainExecutesInOrder) {
 
 TEST(Dependency, WriterReadersWriterDiamond) {
   // w1 -> {r1..r4} -> w2: readers run after w1, w2 after all readers.
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   int x = 0;
   std::atomic<int> readers_done{0};
   std::atomic<bool> w1_done{false};
@@ -73,7 +76,8 @@ TEST(Dependency, IndependentAddressesDoNotSerialize) {
   // Tasks on disjoint addresses have no edges: all must run (no deadlock,
   // no false dependency that would show up as ordering constraints being
   // enforced — we can only check completion + counts here).
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   int vars[32];
   std::atomic<int> done{0};
   rt.run([&](TaskContext& ctx) {
@@ -87,7 +91,8 @@ TEST(Dependency, IndependentAddressesDoNotSerialize) {
 }
 
 TEST(Dependency, MixedDepAndPlainSpawns) {
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   int x = 0;
   std::atomic<int> plain{0};
   std::atomic<int> chained{0};
@@ -107,7 +112,8 @@ TEST(Dependency, GaussSeidelStencilRespectsAllEdges) {
   // the cells. Values verify the full ordering: out[i][j] must see the
   // final values of both predecessors.
   constexpr int kN = 12;
-  Runtime rt(cfg4(DlbKind::kWorkSteal));
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kWorkSteal));
+  Runtime& rt = *rt_h;
   std::vector<std::vector<long>> grid(kN, std::vector<long>(kN, 0));
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < kN; ++i) {
@@ -140,7 +146,8 @@ TEST(Dependency, GaussSeidelStencilRespectsAllEdges) {
 }
 
 TEST(Dependency, LongChainAcrossManyRegions) {
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   for (int region = 0; region < 5; ++region) {
     long value = 0;
     rt.run([&](TaskContext& ctx) {
@@ -158,7 +165,8 @@ TEST(Dependency, LongChainAcrossManyRegions) {
 TEST(Dependency, NestedScopesAreIndependent) {
   // Each child task opens its own dependence scope over its own local
   // variable; scopes must not interfere.
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   std::atomic<long> total{0};
   rt.run([&](TaskContext& ctx) {
     for (int outer = 0; outer < 8; ++outer) {
@@ -178,7 +186,8 @@ TEST(Dependency, NestedScopesAreIndependent) {
 TEST(Dependency, FireAndForgetChainDrainsAtBarrier) {
   // No taskwait at all: the region barrier must still wait for deferred
   // tasks (they are counted as created-but-not-executed by the census).
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   long value = 0;
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < 50; ++i)
@@ -189,7 +198,8 @@ TEST(Dependency, FireAndForgetChainDrainsAtBarrier) {
 }
 
 TEST(Dependency, CountersStillBalance) {
-  Runtime rt(cfg4(DlbKind::kRedirectPush));
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kRedirectPush));
+  Runtime& rt = *rt_h;
   int a = 0;
   int b = 0;
   rt.run([&](TaskContext& ctx) {

@@ -18,6 +18,7 @@
 #include "core/watchdog.hpp"
 #include "gomp/gomp_runtime.hpp"
 #include "gomp/lomp_runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -182,7 +183,8 @@ Config small_config() {
 }
 
 TEST(RuntimeExceptions, ChildThrowRethrownAtTaskwait) {
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   std::atomic<bool> caught{false};
   std::atomic<int> siblings_ran{0};
   rt.run([&](TaskContext& ctx) {
@@ -204,7 +206,8 @@ TEST(RuntimeExceptions, ChildThrowRethrownAtTaskwait) {
 }
 
 TEST(RuntimeExceptions, UncaughtChildThrowReachesRun) {
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   bool caught = false;
   try {
     rt.run([&](TaskContext& ctx) {
@@ -220,7 +223,8 @@ TEST(RuntimeExceptions, UncaughtChildThrowReachesRun) {
 }
 
 TEST(RuntimeExceptions, RootBodyThrowReachesRun) {
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   EXPECT_THROW(
       rt.run([](TaskContext&) { throw TestError("root boom"); }),
       TestError);
@@ -229,7 +233,8 @@ TEST(RuntimeExceptions, RootBodyThrowReachesRun) {
 TEST(RuntimeExceptions, TaskgroupRethrowsAndCancelsRemainder) {
   Config cfg = small_config();
   cfg.num_threads = 2;  // deterministic pressure on the group
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<bool> caught{false};
   std::atomic<int> late_spawns_ran{0};
   rt.run([&](TaskContext& ctx) {
@@ -251,7 +256,8 @@ TEST(RuntimeExceptions, TaskgroupRethrowsAndCancelsRemainder) {
 TEST(RuntimeExceptions, TaskwaitInsideGroupCanRecover) {
   // A parent that taskwaits inside the group consumes the child failure;
   // the group completes normally and nothing is rethrown outside.
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   std::atomic<bool> recovered{false};
   rt.run([&](TaskContext& ctx) {
     ctx.taskgroup([&](TaskContext& g) {
@@ -268,7 +274,8 @@ TEST(RuntimeExceptions, TaskwaitInsideGroupCanRecover) {
 }
 
 TEST(RuntimeExceptions, RuntimeReusableAfterThrow) {
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   EXPECT_THROW(rt.run([](TaskContext& ctx) {
     ctx.spawn([](TaskContext&) { throw TestError("first region"); });
     ctx.taskwait();
@@ -288,7 +295,8 @@ TEST(RuntimeExceptions, RuntimeReusableAfterThrow) {
 }
 
 TEST(RuntimeExceptions, ParallelForBodyThrow) {
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   std::atomic<int> processed{0};
   bool caught = false;
   try {
@@ -316,7 +324,8 @@ TEST(RuntimeExceptions, ThrowBeforeAndAfterDependentSpawn) {
   // The dep scope must tear down cleanly when the body throws around
   // dependent spawns: deferred successors still run (the parent recovers
   // at taskwait, so nothing is cancelled), address-map refs drop.
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   std::atomic<int> ran{0};
   int x = 0;
   for (const bool throw_before : {true, false}) {
@@ -350,7 +359,8 @@ TEST(RuntimeExceptions, ThrowBeforeAndAfterDependentSpawn) {
 TEST(Cancellation, CancelGroupDropsRemainingMembers) {
   Config cfg = small_config();
   cfg.num_threads = 1;  // deterministic: spawns queue, nothing runs early
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<int> ran{0};
   rt.run([&](TaskContext& ctx) {
     ctx.taskgroup([&](TaskContext& g) {
@@ -370,7 +380,8 @@ TEST(Cancellation, CancelGroupDropsRemainingMembers) {
 }
 
 TEST(Cancellation, RegionCancelFromUngroupedTask) {
-  Runtime rt(small_config());
+  const auto rt_h = RuntimeRegistry::make_xtask(small_config());
+  Runtime& rt = *rt_h;
   std::atomic<int> ran{0};
   rt.run([&](TaskContext& ctx) {
     ctx.cancel_group();  // no enclosing group: cancels the region
@@ -398,7 +409,8 @@ TEST(Cancellation, CancellationRacesStealUnderWorkSteal) {
   cfg.dlb = DlbKind::kWorkSteal;
   cfg.dlb_cfg.t_interval = 100;  // aggressive stealing
   cfg.queue_capacity = 64;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   for (int round = 0; round < 20; ++round) {
     std::atomic<int> ran{0};
     rt.run([&](TaskContext& ctx) {
@@ -437,7 +449,8 @@ TEST(RuntimeWatchdog, FiresOnWedgedWorkerAndSnapshotHasContent) {
     fired.fetch_add(1);
     unwedge.store(true, std::memory_order_release);
   };
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   rt.run([&](TaskContext& ctx) {
     ctx.spawn([&](TaskContext&) {
       // Wedge: no progress until the watchdog unblocks us.
@@ -461,7 +474,8 @@ TEST(RuntimeWatchdog, QuietOnHealthyRegion) {
   cfg.watchdog_timeout_ms = 2000;
   std::atomic<int> fired{0};
   cfg.watchdog_handler = [&](const std::string&) { fired.fetch_add(1); };
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<long> sum{0};
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < 2000; ++i)
@@ -478,7 +492,8 @@ TEST(RuntimeWatchdog, QuietOnHealthyRegion) {
 TEST(BaselineFaults, GompRethrowsAndStaysUsable) {
   gomp::GompRuntime::Config cfg;
   cfg.num_threads = 4;
-  gomp::GompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_gomp(cfg);
+  gomp::GompRuntime& rt = *rt_h;
   EXPECT_THROW(rt.run([](gomp::GompContext& ctx) {
     ctx.spawn([](gomp::GompContext&) { throw TestError("gomp boom"); });
     ctx.taskwait();
@@ -496,7 +511,8 @@ TEST(BaselineFaults, GompRethrowsAndStaysUsable) {
 TEST(BaselineFaults, GompCancelDropsWork) {
   gomp::GompRuntime::Config cfg;
   cfg.num_threads = 1;
-  gomp::GompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_gomp(cfg);
+  gomp::GompRuntime& rt = *rt_h;
   std::atomic<int> ran{0};
   rt.run([&](gomp::GompContext& ctx) {
     for (int i = 0; i < 16; ++i)
@@ -515,7 +531,8 @@ TEST(BaselineFaults, LompRethrowsAndStaysUsable) {
     lomp::LompRuntime::Config cfg;
     cfg.num_threads = 4;
     cfg.use_xqueue = use_xqueue;
-    lomp::LompRuntime rt(cfg);
+    const auto rt_h = RuntimeRegistry::make_lomp(cfg);
+    lomp::LompRuntime& rt = *rt_h;
     EXPECT_THROW(rt.run([](lomp::LompContext& ctx) {
       ctx.spawn([](lomp::LompContext&) { throw TestError("lomp boom"); });
       ctx.taskwait();
@@ -535,7 +552,8 @@ TEST(BaselineFaults, LompCancelDropsWork) {
   lomp::LompRuntime::Config cfg;
   cfg.num_threads = 1;
   cfg.use_xqueue = true;
-  lomp::LompRuntime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_lomp(cfg);
+  lomp::LompRuntime& rt = *rt_h;
   std::atomic<int> ran{0};
   rt.run([&](lomp::LompContext& ctx) {
     for (int i = 0; i < 16; ++i)
@@ -555,7 +573,8 @@ TEST(Backpressure, OverflowInlineCountsForcedFullQueues) {
   Config cfg;
   cfg.num_threads = 2;
   cfg.queue_capacity = 4;  // tiny: static pushes overflow immediately
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<int> ran{0};
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < 4096; ++i)

@@ -9,6 +9,7 @@
 #include "core/parallel_for.hpp"
 #include "core/runtime.hpp"
 #include "gomp/gomp_runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -16,7 +17,8 @@ namespace {
 TEST(ParallelFor, EveryIndexExactlyOnce) {
   Config cfg;
   cfg.num_threads = 4;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   constexpr std::size_t kN = 100'000;
   std::vector<std::atomic<std::uint8_t>> hits(kN);
   parallel_for(rt, 0, kN, 1024, [&](std::size_t lo, std::size_t hi) {
@@ -30,7 +32,8 @@ TEST(ParallelFor, EveryIndexExactlyOnce) {
 TEST(ParallelFor, GrainOneAndHugeGrain) {
   Config cfg;
   cfg.num_threads = 2;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<std::size_t> sum{0};
   parallel_for(rt, 10, 20, 1, [&](std::size_t lo, std::size_t hi) {
     EXPECT_EQ(hi - lo, 1u);  // grain 1: single-index chunks
@@ -49,7 +52,8 @@ TEST(ParallelFor, GrainOneAndHugeGrain) {
 TEST(ParallelFor, EmptyAndReversedRangesAreNoops) {
   Config cfg;
   cfg.num_threads = 2;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   int calls = 0;
   rt.run([&](TaskContext& ctx) {
     parallel_for(ctx, 5, 5, 8, [&](std::size_t, std::size_t) { ++calls; });
@@ -61,7 +65,8 @@ TEST(ParallelFor, EmptyAndReversedRangesAreNoops) {
 TEST(ParallelFor, ZeroGrainTreatedAsOne) {
   Config cfg;
   cfg.num_threads = 2;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<int> n{0};
   parallel_for(rt, 0, 16, 0, [&](std::size_t, std::size_t) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 16);
@@ -70,7 +75,8 @@ TEST(ParallelFor, ZeroGrainTreatedAsOne) {
 TEST(ParallelFor, WorksInsideExistingRegionAndNested) {
   Config cfg;
   cfg.num_threads = 4;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<std::uint64_t> total{0};
   rt.run([&](TaskContext& ctx) {
     parallel_for(ctx, 0, 32, 4, [&](std::size_t lo, std::size_t hi) {
@@ -85,7 +91,8 @@ TEST(ParallelFor, WorksInsideExistingRegionAndNested) {
 TEST(ParallelFor, WorksOnGompBaselineAndSerial) {
   gomp::GompRuntime::Config gc;
   gc.num_threads = 3;
-  gomp::GompRuntime grt(gc);
+  const auto grt_h = RuntimeRegistry::make_gomp(gc);
+  gomp::GompRuntime& grt = *grt_h;
   std::atomic<std::size_t> gsum{0};
   parallel_for(grt, 0, 1000, 64, [&](std::size_t lo, std::size_t hi) {
     gsum.fetch_add(hi - lo);

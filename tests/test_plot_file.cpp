@@ -8,6 +8,7 @@
 
 #include "core/runtime.hpp"
 #include "posp/plot_file.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask::posp {
 namespace {
@@ -21,7 +22,8 @@ class PlotFileTest : public ::testing::Test {
     plot_ = std::make_unique<Plot>(cfg);
     Config rc;
     rc.num_threads = 4;
-    Runtime rt(rc);
+    const auto rt_h = RuntimeRegistry::make_xtask(rc);
+    Runtime& rt = *rt_h;
     plot_->generate(rt);
     path_ = "/tmp/xtask_test_plot.bin";
     ASSERT_TRUE(write_plot_file(*plot_, path_));

@@ -10,6 +10,7 @@
 #include "core/runtime.hpp"
 #include "gomp/gomp_runtime.hpp"
 #include "posp/posp.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask::posp {
 namespace {
@@ -146,7 +147,8 @@ TEST(Posp, PlotGenerationCoversAllNonces) {
   Plot plot(cfg);
   Config rc;
   rc.num_threads = 4;
-  Runtime rt(rc);
+  const auto rt_h = RuntimeRegistry::make_xtask(rc);
+  Runtime& rt = *rt_h;
   plot.generate(rt);
   EXPECT_EQ(plot.total_puzzles(), 4096u);
   std::set<std::uint32_t> nonces;
@@ -179,7 +181,8 @@ TEST(Posp, BatchSizeDoesNotChangeContents) {
     Plot plot(cfg);
     Config rc;
     rc.num_threads = 4;
-    Runtime rt(rc);
+    const auto rt_h = RuntimeRegistry::make_xtask(rc);
+    Runtime& rt = *rt_h;
     plot.generate(rt);
     sums[i++] = checksum(plot);
   }
@@ -192,7 +195,8 @@ TEST(Posp, ProofRoundTrip) {
   Plot plot(cfg);
   Config rc;
   rc.num_threads = 2;
-  Runtime rt(rc);
+  const auto rt_h = RuntimeRegistry::make_xtask(rc);
+  Runtime& rt = *rt_h;
   plot.generate(rt);
   // Challenge = hash of an arbitrary string; the best proof must verify.
   std::uint8_t challenge[28];
@@ -211,7 +215,8 @@ TEST(Posp, WorksOnGompBaselineToo) {
   Plot plot(cfg);
   gomp::GompRuntime::Config gc;
   gc.num_threads = 4;
-  gomp::GompRuntime rt(gc);
+  const auto rt_h = RuntimeRegistry::make_gomp(gc);
+  gomp::GompRuntime& rt = *rt_h;
   plot.generate(rt);
   EXPECT_EQ(plot.total_puzzles(), 1024u);
 }

@@ -8,6 +8,7 @@
 
 #include "core/runtime.hpp"
 #include "prof/profiler.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -106,7 +107,8 @@ TEST(Profiler, RuntimeIntegrationProducesEvents) {
   Config cfg;
   cfg.num_threads = 2;
   cfg.profile_events = true;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   rt.run([](TaskContext& ctx) {
     for (int i = 0; i < 50; ++i)
       ctx.spawn([](TaskContext&) {});

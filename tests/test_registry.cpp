@@ -1,0 +1,313 @@
+// Backend registry tests: the `backend:key=val,...` spec grammar
+// (round-trips, bad keys, bad values, clamping), the defaults table that
+// bench/tests/examples used to each re-invent, XTASK_BACKEND /
+// XTASK_TOPOLOGY override precedence, and the type-erased AnyRuntime
+// surface (run/spawn/taskwait/stats/get_if) on every registered backend.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "bots/fib.hpp"
+#include "registry/registry.hpp"
+
+namespace xtask {
+namespace {
+
+/// Scoped environment override (POSIX setenv/unsetenv), restored on exit
+/// so tests cannot leak state into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Spec grammar
+
+TEST(BackendSpecGrammar, ParsesBackendAndOptions) {
+  const auto s = BackendSpec::parse("xtask:dlb=naws,zones=4,qcap=8192");
+  EXPECT_EQ(s.backend, "xtask");
+  ASSERT_EQ(s.options.size(), 3u);
+  ASSERT_NE(s.find("dlb"), nullptr);
+  EXPECT_EQ(*s.find("dlb"), "naws");
+  EXPECT_EQ(*s.find("qcap"), "8192");
+  EXPECT_EQ(s.find("missing"), nullptr);
+}
+
+TEST(BackendSpecGrammar, BareBackendHasNoOptions) {
+  const auto s = BackendSpec::parse("gomp");
+  EXPECT_EQ(s.backend, "gomp");
+  EXPECT_TRUE(s.options.empty());
+}
+
+TEST(BackendSpecGrammar, DescribeRoundTrips) {
+  for (const char* spec :
+       {"gomp", "lomp:threads=8", "xtask:dlb=naws,zones=4,qcap=8192",
+        "xtask:barrier=tree,dlb=narp,tint=128,plocal=0.5"}) {
+    const auto parsed = BackendSpec::parse(spec);
+    EXPECT_EQ(parsed.describe(), spec);
+    const auto again = BackendSpec::parse(parsed.describe());
+    EXPECT_EQ(again.backend, parsed.backend);
+    EXPECT_EQ(again.options, parsed.options);
+  }
+}
+
+TEST(BackendSpecGrammar, SetOverwritesLastBinding) {
+  auto s = BackendSpec::parse("xtask:threads=2");
+  s.set("threads", "8");
+  EXPECT_EQ(*s.find("threads"), "8");
+  ASSERT_EQ(s.options.size(), 1u);
+  s.set("dlb", "naws");
+  EXPECT_EQ(s.describe(), "xtask:threads=8,dlb=naws");
+}
+
+TEST(BackendSpecGrammar, MalformedSpecsThrow) {
+  for (const char* spec : {"", ":dlb=naws", "xtask:dlb", "xtask:=naws",
+                           "xtask:dlb=", "xtask:dlb=naws,,zones=2"}) {
+    EXPECT_THROW(BackendSpec::parse(spec), std::invalid_argument)
+        << "'" << spec << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Key validation and the defaults table
+
+TEST(RegistryConfig, UnknownBackendThrows) {
+  EXPECT_THROW(RuntimeRegistry::make("openmp"), std::invalid_argument);
+}
+
+TEST(RegistryConfig, UnknownKeysThrow) {
+  EXPECT_THROW(RuntimeRegistry::make("xtask:queue=9"), std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("gomp:dlb=naws"), std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("serial:threads=2"),
+               std::invalid_argument);
+}
+
+TEST(RegistryConfig, BadValuesThrow) {
+  EXPECT_THROW(RuntimeRegistry::make("xtask:dlb=bogus"),
+               std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:barrier=flat"),
+               std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:threads=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:plocal=2.0"),
+               std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:profile=maybe"),
+               std::invalid_argument);
+}
+
+TEST(RegistryConfig, DefaultsComeFromTheTable) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  const Config cfg = RuntimeRegistry::xtask_config(
+      BackendSpec::parse("xtask:threads=4"));
+  EXPECT_EQ(cfg.queue_capacity, RegistryDefaults::kQueueCapacity);
+  EXPECT_EQ(cfg.topology.num_workers(), 4);
+  EXPECT_EQ(cfg.topology.num_zones(), RegistryDefaults::zones_for(4));
+  // The drifting constants this table replaced.
+  EXPECT_EQ(RegistryDefaults::kQueueCapacity, 8192u);
+  EXPECT_EQ(RegistryDefaults::zones_for(4), 2);
+  EXPECT_EQ(RegistryDefaults::zones_for(3), 1);
+}
+
+TEST(RegistryConfig, SpecKeysReachTheConfig) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  const Config cfg = RuntimeRegistry::xtask_config(BackendSpec::parse(
+      "xtask:threads=6,zones=3,qcap=256,barrier=central,dlb=naws,"
+      "alloc=malloc,tint=99,nvictim=2,nsteal=5,plocal=0.25,seed=7,"
+      "wdog=1000,yield=32,profile=1"));
+  EXPECT_EQ(cfg.topology.num_workers(), 6);
+  EXPECT_EQ(cfg.topology.num_zones(), 3);
+  EXPECT_EQ(cfg.queue_capacity, 256u);
+  EXPECT_EQ(cfg.barrier, BarrierKind::kCentral);
+  EXPECT_EQ(cfg.dlb, DlbKind::kWorkSteal);
+  EXPECT_EQ(cfg.allocator, AllocatorMode::kMalloc);
+  EXPECT_EQ(cfg.dlb_cfg.t_interval, 99u);
+  EXPECT_EQ(cfg.dlb_cfg.n_victim, 2);
+  EXPECT_EQ(cfg.dlb_cfg.n_steal, 5);
+  EXPECT_DOUBLE_EQ(cfg.dlb_cfg.p_local, 0.25);
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_EQ(cfg.watchdog_timeout_ms, 1000u);
+  EXPECT_EQ(cfg.yield_after_idle, 32);
+  EXPECT_TRUE(cfg.profile_events);
+}
+
+TEST(RegistryConfig, QueueCapacityRoundsUpToPowerOfTwo) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  EXPECT_EQ(RuntimeRegistry::xtask_config(
+                BackendSpec::parse("xtask:qcap=100"))
+                .queue_capacity,
+            128u);
+  EXPECT_EQ(RuntimeRegistry::xtask_config(BackendSpec::parse("xtask:qcap=1"))
+                .queue_capacity,
+            2u);  // clamped to the floor, then power-of-two
+}
+
+TEST(RegistryConfig, ZonesClampToThreads) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  const Config cfg = RuntimeRegistry::xtask_config(
+      BackendSpec::parse("xtask:threads=2,zones=64"));
+  EXPECT_EQ(cfg.topology.num_zones(), 2);
+}
+
+TEST(RegistryConfig, XlompDefaultsToXQueue) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  EXPECT_TRUE(
+      RuntimeRegistry::lomp_config(BackendSpec::parse("xlomp")).use_xqueue);
+  EXPECT_FALSE(
+      RuntimeRegistry::lomp_config(BackendSpec::parse("lomp")).use_xqueue);
+  EXPECT_FALSE(RuntimeRegistry::lomp_config(
+                   BackendSpec::parse("xlomp:xqueue=0"))
+                   .use_xqueue);
+}
+
+// ---------------------------------------------------------------------------
+// Environment override precedence
+
+TEST(RegistryEnv, TopologyEnvBeatsSpecKeys) {
+  ScopedEnv topo("XTASK_TOPOLOGY", "3x2");
+  const Config cfg = RuntimeRegistry::xtask_config(
+      BackendSpec::parse("xtask:threads=12,zones=1,topo=2x2"));
+  EXPECT_EQ(cfg.topology.num_workers(), 6);
+  EXPECT_EQ(cfg.topology.num_zones(), 3);
+  EXPECT_EQ(cfg.topology.spec(), "3x2");
+}
+
+TEST(RegistryEnv, TopoKeyBeatsThreadsAndZones) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  const Config cfg = RuntimeRegistry::xtask_config(
+      BackendSpec::parse("xtask:threads=12,zones=1,topo=2x2"));
+  EXPECT_EQ(cfg.topology.num_workers(), 4);
+  EXPECT_EQ(cfg.topology.num_zones(), 2);
+}
+
+TEST(RegistryEnv, BackendEnvReplacesFallback) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  {
+    ScopedEnv backend("XTASK_BACKEND", "serial");
+    AnyRuntime rt = RuntimeRegistry::make_env("xtask:threads=2");
+    EXPECT_EQ(rt.spec(), "serial");
+    EXPECT_EQ(rt.num_threads(), 1);
+  }
+  {
+    ScopedEnv backend("XTASK_BACKEND", nullptr);
+    AnyRuntime rt = RuntimeRegistry::make_env("gomp:threads=2");
+    EXPECT_EQ(rt.spec(), "gomp:threads=2");
+    EXPECT_EQ(rt.num_threads(), 2);
+  }
+}
+
+TEST(RegistryEnv, BadEnvTopologyThrows) {
+  ScopedEnv topo("XTASK_TOPOLOGY", "8x24x2");
+  EXPECT_THROW(RuntimeRegistry::make("xtask"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The type-erased runtime surface
+
+TEST(AnyRuntimeSurface, RunsKernelsOnEveryBackend) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  const long expected = bots::fib_serial(12);
+  for (const std::string& name : RuntimeRegistry::backends()) {
+    const std::string spec =
+        name == "serial" ? name : name + ":threads=2";
+    AnyRuntime rt = RuntimeRegistry::make(spec);
+    EXPECT_EQ(bots::fib_parallel(rt, 12), expected) << spec;
+    EXPECT_EQ(rt.spec(), spec);
+    EXPECT_GE(rt.num_threads(), 1) << spec;
+    EXPECT_FALSE(rt.describe().empty()) << spec;
+  }
+}
+
+TEST(AnyRuntimeSurface, SpawnTaskwaitWorkerIdThroughAnyContext) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  AnyRuntime rt = RuntimeRegistry::make("xtask:threads=2");
+  int leaves = 0;
+  rt.run([&](AnyContext& ctx) {
+    EXPECT_GE(ctx.worker_id(), 0);
+    int a = 0;
+    int b = 0;
+    ctx.spawn([&a](AnyContext&) { a = 1; });
+    ctx.spawn([&b](AnyContext& c) {
+      c.spawn([&b](AnyContext&) { ++b; });
+      c.taskwait();
+      ++b;
+    });
+    ctx.taskwait();
+    leaves = a + b;
+  });
+  EXPECT_EQ(leaves, 3);
+  const Counters total = rt.total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
+  EXPECT_GE(total.ntasks_executed, 3u);
+}
+
+TEST(AnyRuntimeSurface, GetIfRecoversTheConcreteType) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  AnyRuntime rt = RuntimeRegistry::make("xtask:threads=2,wdog=30000");
+  ASSERT_NE(rt.get_if<Runtime>(), nullptr);
+  EXPECT_EQ(rt.get_if<gomp::GompRuntime>(), nullptr);
+  EXPECT_EQ(rt.get_if<Runtime>()->watchdog_stalls(), 0u);
+
+  AnyRuntime baseline = RuntimeRegistry::make("gomp:threads=2");
+  EXPECT_EQ(baseline.get_if<Runtime>(), nullptr);
+  ASSERT_NE(baseline.get_if<gomp::GompRuntime>(), nullptr);
+}
+
+TEST(AnyRuntimeSurface, WithRunsTheConcreteRuntime) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  int calls = 0;
+  RuntimeRegistry::with("xtask:threads=2", [&](auto& rt) {
+    ++calls;
+    EXPECT_EQ(bots::fib_parallel(rt, 10), bots::fib_serial(10));
+  });
+  RuntimeRegistry::with("lomp:threads=2", [&](auto& rt) {
+    ++calls;
+    EXPECT_EQ(bots::fib_parallel(rt, 10), bots::fib_serial(10));
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_THROW(RuntimeRegistry::with("serial", [](auto&) {}),
+               std::invalid_argument);
+}
+
+TEST(RegistryCatalogues, EverySmokeAndBenchSpecConstructs) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  for (const std::string& spec : RuntimeRegistry::smoke_specs()) {
+    BackendSpec parsed = BackendSpec::parse(spec);
+    if (parsed.backend != "serial") parsed.set("threads", "2");
+    AnyRuntime rt = RuntimeRegistry::make(parsed);
+    EXPECT_EQ(bots::fib_parallel(rt, 10), bots::fib_serial(10)) << spec;
+  }
+  for (const NamedConfig& c : RuntimeRegistry::bench_configs()) {
+    BackendSpec parsed = BackendSpec::parse(c.spec);
+    parsed.set("threads", "2");
+    AnyRuntime rt = RuntimeRegistry::make(parsed);
+    EXPECT_EQ(bots::fib_parallel(rt, 10), bots::fib_serial(10)) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace xtask

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -49,7 +50,8 @@ TEST_P(RuntimeFib, Fib16FourThreads) {
   cfg.dlb = p.dlb;
   cfg.allocator = p.alloc;
   cfg.queue_capacity = 64;  // small queues force the overflow path
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   long result = -1;
   rt.run([&](TaskContext& ctx) { fib_task(ctx, 16, &result); });
   EXPECT_EQ(result, fib_serial(16));
@@ -86,7 +88,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Runtime, SingleThreadRuns) {
   Config cfg;
   cfg.num_threads = 1;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   long result = -1;
   rt.run([&](TaskContext& ctx) { fib_task(ctx, 12, &result); });
   EXPECT_EQ(result, fib_serial(12));
@@ -96,7 +99,8 @@ TEST(Runtime, RepeatedRegionsReuseTeam) {
   Config cfg;
   cfg.num_threads = 4;
   cfg.barrier = BarrierKind::kTree;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   for (int i = 0; i < 5; ++i) {
     long result = -1;
     rt.run([&](TaskContext& ctx) { fib_task(ctx, 12, &result); });
@@ -108,7 +112,8 @@ TEST(Runtime, EmptyRegionCompletes) {
   Config cfg;
   cfg.num_threads = 4;
   cfg.barrier = BarrierKind::kTree;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   int ran = 0;
   rt.run([&](TaskContext&) { ++ran; });
   EXPECT_EQ(ran, 1);
@@ -120,7 +125,8 @@ TEST(Runtime, WideFlatSpawn) {
   Config cfg;
   cfg.num_threads = 4;
   cfg.barrier = BarrierKind::kTree;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   constexpr int kTasks = 10'000;
   std::atomic<int> done{0};
   rt.run([&](TaskContext& ctx) {
@@ -139,7 +145,8 @@ TEST(Runtime, DeepChainCompletes) {
   Config cfg;
   cfg.num_threads = 4;
   cfg.barrier = BarrierKind::kTree;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<int> depth{0};
   struct Chain {
     static void step(TaskContext& ctx, int remaining, std::atomic<int>* d) {
@@ -163,7 +170,8 @@ TEST(Runtime, DlbCountersConsistent) {
   cfg.dlb_cfg.n_victim = 2;
   cfg.dlb_cfg.n_steal = 4;
   cfg.dlb_cfg.t_interval = 100;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   long result = -1;
   rt.run([&](TaskContext& ctx) { fib_task(ctx, 18, &result); });
   EXPECT_EQ(result, fib_serial(18));

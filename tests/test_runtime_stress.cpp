@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -77,7 +78,8 @@ TEST_P(RuntimeStress, RandomDagsExecuteExactlyOnce) {
   cfg.dlb_cfg.n_victim = 2;
   cfg.dlb_cfg.n_steal = 4;
   cfg.dlb_cfg.t_interval = 64;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
 
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     RandomDag dag;
@@ -128,7 +130,8 @@ TEST(RuntimeStressMisc, ManyConsecutiveRegions) {
   cfg.barrier = BarrierKind::kTree;
   cfg.dlb = DlbKind::kWorkSteal;
   cfg.dlb_cfg.t_interval = 32;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<int> total{0};
   for (int r = 0; r < 50; ++r) {
     rt.run([&](TaskContext& ctx) {
@@ -148,7 +151,8 @@ TEST(RuntimeStressMisc, SpawnInsideSpawnWithoutWaitDrainsAtBarrier) {
   Config cfg;
   cfg.num_threads = 4;
   cfg.barrier = BarrierKind::kTree;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::atomic<int> fired{0};
   rt.run([&](TaskContext& ctx) {
     struct Chain {
@@ -170,7 +174,8 @@ TEST(RuntimeStressMisc, LargePayloadClosuresFitExactly) {
   // beyond it).
   Config cfg;
   cfg.num_threads = 2;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   struct Big {
     char bytes[96];  // + vtable-free lambda overhead stays <= 128
   };

@@ -12,8 +12,7 @@ namespace {
 
 SimConfig cfg_with(SimPolicy p, int cores = 16, int zones = 4) {
   SimConfig cfg;
-  cfg.machine.cores = cores;
-  cfg.machine.zones = zones;
+  cfg.machine.topo = Topology::synthetic(cores, zones);
   cfg.policy = p;
   return cfg;
 }

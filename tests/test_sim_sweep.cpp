@@ -31,8 +31,7 @@ TEST_P(SimPolicySweep, ConservationAndDeterminism) {
     cfg.policy = p.policy;
     cfg.dlb = p.dlb;
     cfg.dlb_cfg = {4, 8, 2'000, 0.5};
-    cfg.machine.cores = p.cores;
-    cfg.machine.zones = p.zones;
+    cfg.machine.topo = Topology::synthetic(p.cores, p.zones);
     const auto r1 = simulate(cfg, wl);
     const auto r2 = simulate(cfg, wl);
     ASSERT_EQ(r1.totals.ntasks_created, r1.totals.ntasks_executed)
@@ -82,8 +81,8 @@ TEST(SimDominance, MoreCoresScaleUntilSaturation) {
   for (int cores : {4, 16, 64, 192}) {
     SimConfig cfg;
     cfg.policy = SimPolicy::kXGompTB;
-    cfg.machine.cores = cores;
-    cfg.machine.zones = std::max(1, cores / 24);
+    cfg.machine.topo =
+        Topology::synthetic(cores, std::max(1, cores / 24));
     const auto res = simulate(cfg, wl);
     EXPECT_LE(res.makespan, prev + prev / 5) << cores << " cores";
     if (first == 0) first = res.makespan;

@@ -10,6 +10,7 @@
 #include "bots/sparselu.hpp"
 #include "core/runtime.hpp"
 #include "gomp/gomp_runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask::bots {
 namespace {
@@ -22,7 +23,8 @@ TEST(SparseLu, ParallelMatchesSerialChecksum) {
   Config cfg;
   cfg.num_threads = 4;
   cfg.numa_zones = 2;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   EXPECT_DOUBLE_EQ(sparselu_parallel(rt, p), expect);
 }
 
@@ -36,13 +38,15 @@ TEST(SparseLu, WorkStealAndGompRuntimesAgree) {
     Config cfg;
     cfg.num_threads = 4;
     cfg.dlb = DlbKind::kWorkSteal;
-    Runtime rt(cfg);
+    const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+    Runtime& rt = *rt_h;
     EXPECT_DOUBLE_EQ(sparselu_parallel(rt, p), expect);
   }
   {
     gomp::GompRuntime::Config cfg;
     cfg.num_threads = 4;
-    gomp::GompRuntime rt(cfg);
+    const auto rt_h = RuntimeRegistry::make_gomp(cfg);
+    gomp::GompRuntime& rt = *rt_h;
     EXPECT_DOUBLE_EQ(sparselu_parallel(rt, p), expect);
   }
 }

@@ -5,6 +5,7 @@
 #include <atomic>
 
 #include "core/runtime.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -19,7 +20,8 @@ Config cfg4() {
 TEST(TaskGroup, WaitsForGrandchildren) {
   // Children spawn grandchildren and return WITHOUT taskwait: a plain
   // taskwait would not cover the grandchildren, taskgroup must.
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   std::atomic<int> grandchildren{0};
   bool all_done_inside = false;
   rt.run([&](TaskContext& ctx) {
@@ -46,7 +48,8 @@ TEST(TaskGroup, TaskwaitAloneDoesNotCoverGrandchildren) {
   // semantics the group exists to strengthen. (Grandchildren may or may
   // not be done at the observation point; the region barrier still drains
   // them, so the final count is exact.)
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   std::atomic<int> done{0};
   rt.run([&](TaskContext& ctx) {
     for (int i = 0; i < 4; ++i) {
@@ -60,7 +63,8 @@ TEST(TaskGroup, TaskwaitAloneDoesNotCoverGrandchildren) {
 }
 
 TEST(TaskGroup, NestedGroups) {
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   std::atomic<int> inner_total{0};
   std::atomic<int> outer_total{0};
   rt.run([&](TaskContext& ctx) {
@@ -87,7 +91,8 @@ TEST(TaskGroup, NestedGroups) {
 }
 
 TEST(TaskGroup, EmptyGroupReturnsImmediately) {
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   int ran = 0;
   rt.run([&](TaskContext& ctx) {
     ctx.taskgroup([&](TaskContext&) { ++ran; });
@@ -96,7 +101,8 @@ TEST(TaskGroup, EmptyGroupReturnsImmediately) {
 }
 
 TEST(TaskGroup, CountersBalanceWithGroups) {
-  Runtime rt(cfg4());
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  Runtime& rt = *rt_h;
   std::atomic<int> n{0};
   rt.run([&](TaskContext& ctx) {
     ctx.taskgroup([&](TaskContext& g) {
@@ -114,7 +120,8 @@ TEST(TaskGroup, CountersBalanceWithGroups) {
 TEST(TaskYield, RunsAnotherTaskWhenAvailable) {
   Config cfg;
   cfg.num_threads = 1;  // deterministic: all tasks on one worker
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   std::vector<int> order;
   rt.run([&](TaskContext& ctx) {
     ctx.spawn([&](TaskContext&) { order.push_back(1); });
@@ -137,7 +144,8 @@ TEST(TaskYield, RunsAnotherTaskWhenAvailable) {
 TEST(TaskYield, ReturnsFalseWhenNothingQueued) {
   Config cfg;
   cfg.num_threads = 1;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   bool yielded = true;
   rt.run([&](TaskContext& ctx) {
     ctx.spawn([&](TaskContext& c) { yielded = c.taskyield(); });

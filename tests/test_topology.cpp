@@ -1,6 +1,9 @@
 // Topology tests: synthetic zone striping, locality queries, detection
-// fallback, and edge cases (more zones than workers, single worker).
+// fallback, the machine-shape spec grammar (parse/spec round-trips, bad
+// specs), and edge cases (more zones than workers, single worker).
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 #include "core/topology.hpp"
 
@@ -81,6 +84,73 @@ TEST(Topology, DescribeMentionsCounts) {
   const std::string d = t.describe();
   EXPECT_NE(d.find("8 workers"), std::string::npos);
   EXPECT_NE(d.find("2 zones"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar: the single machine-shape string shared by the real
+// runtimes, the simulator, and the registry's XTASK_TOPOLOGY override.
+
+TEST(TopologySpec, ZxWForm) {
+  const auto t = Topology::parse("8x24");  // the paper's Skylake-192
+  EXPECT_EQ(t.num_workers(), 192);
+  EXPECT_EQ(t.num_zones(), 8);
+  EXPECT_EQ(t.zone_members(0).size(), 24u);
+  EXPECT_EQ(t.zone_of(0), 0);
+  EXPECT_EQ(t.zone_of(24), 1);   // contiguous "close" striping
+  EXPECT_EQ(t.zone_of(191), 7);
+}
+
+TEST(TopologySpec, ColonFormUnevenZones) {
+  const auto t = Topology::parse("3:1:2");
+  EXPECT_EQ(t.num_workers(), 6);
+  EXPECT_EQ(t.num_zones(), 3);
+  EXPECT_EQ(t.zone_members(0).size(), 3u);
+  EXPECT_EQ(t.zone_members(1).size(), 1u);
+  EXPECT_EQ(t.zone_members(2).size(), 2u);
+  EXPECT_EQ(t.zone_of(3), 1);
+  EXPECT_EQ(t.zone_of(4), 2);
+}
+
+TEST(TopologySpec, PlainCountIsOneZone) {
+  const auto t = Topology::parse("6");
+  EXPECT_EQ(t.num_workers(), 6);
+  EXPECT_EQ(t.num_zones(), 1);
+}
+
+TEST(TopologySpec, AutoDetects) {
+  const auto t = Topology::parse("auto", 4);
+  EXPECT_EQ(t.num_workers(), 4);
+  EXPECT_GE(t.num_zones(), 1);
+  // With no default, auto falls back to hardware concurrency (>= 1).
+  EXPECT_GE(Topology::parse("auto").num_workers(), 1);
+}
+
+TEST(TopologySpec, RoundTripsThroughSpec) {
+  for (const char* s : {"8x24", "2x4", "1x1", "3:1:2", "7:7:7:1"}) {
+    const auto t = Topology::parse(s);
+    const auto again = Topology::parse(t.spec());
+    EXPECT_EQ(again.num_workers(), t.num_workers()) << s;
+    EXPECT_EQ(again.num_zones(), t.num_zones()) << s;
+    for (int w = 0; w < t.num_workers(); ++w)
+      ASSERT_EQ(again.zone_of(w), t.zone_of(w)) << s << " worker " << w;
+    // The canonical form is a fixed point.
+    EXPECT_EQ(again.spec(), t.spec()) << s;
+  }
+}
+
+TEST(TopologySpec, CanonicalFormPrefersZxW) {
+  EXPECT_EQ(Topology::parse("2x3").spec(), "2x3");
+  EXPECT_EQ(Topology::parse("3:3").spec(), "2x3");   // uniform -> ZxW
+  EXPECT_EQ(Topology::parse("3:2").spec(), "3:2");   // uneven stays colon
+  EXPECT_EQ(Topology::parse("5").spec(), "1x5");
+  EXPECT_EQ(Topology::synthetic(10, 3).spec(), "4:3:3");
+}
+
+TEST(TopologySpec, BadSpecsThrow) {
+  for (const char* s : {"", "x", "4x", "x4", "0x4", "4x0", "-1", "3:",
+                        ":3", "3::2", "a", "8x24x2", "1e3", " 4", "4 "}) {
+    EXPECT_THROW(Topology::parse(s), std::invalid_argument) << "'" << s << "'";
+  }
 }
 
 }  // namespace

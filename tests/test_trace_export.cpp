@@ -7,6 +7,7 @@
 
 #include "core/runtime.hpp"
 #include "prof/trace_export.hpp"
+#include "registry/registry.hpp"
 
 namespace xtask {
 namespace {
@@ -48,7 +49,8 @@ TEST(TraceExport, EndToEndDumpIsParsableJson) {
   Config cfg;
   cfg.num_threads = 2;
   cfg.profile_events = true;
-  Runtime rt(cfg);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg);
+  Runtime& rt = *rt_h;
   rt.run([](TaskContext& ctx) {
     for (int i = 0; i < 20; ++i) ctx.spawn([](TaskContext&) {});
     ctx.taskwait();
