@@ -57,7 +57,9 @@ void report(const char* bench, int threads, int reps, KernelFn&& kernel) {
 /// to exercise the backend's scheduler, small enough for a CI smoke matrix
 /// cell. Returns 0 on success.
 int run_smoke(const std::string& spec) {
-  AnyRuntime rt = RuntimeRegistry::make(spec);
+  // make_env: XTASK_BACKEND (when set) overrides the matrix cell, so CI
+  // can drive one smoke run through an arbitrary spec end-to-end.
+  AnyRuntime rt = RuntimeRegistry::make_env(spec);
   const long want = bots::fib_serial(18);
   const long got = bots::fib_parallel(rt, 18);
   const auto counters = rt.total_counters();

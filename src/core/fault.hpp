@@ -104,6 +104,8 @@ enum class FaultPoint : int {
   kStealComplete,   // StealCells::complete_round: response delayed
   kCensusPublish,   // TreeBarrier census report/release about to publish
   kIdleWakeup,      // runtime idle poll: spurious wakeup / extra yield
+  kWorkerStall,     // worker goes heartbeat-silent (wedged task / desched)
+  kWorkerSlow,      // worker goes silent just long enough to turn suspect
   kCount_,
 };
 inline constexpr int kFaultPoints = static_cast<int>(FaultPoint::kCount_);
@@ -120,7 +122,8 @@ class FaultInjector {
     epoch_ = next_epoch().fetch_add(1, std::memory_order_relaxed) + 1;
     for (auto& r : fail_rate_) r.store(0, std::memory_order_relaxed);
     for (auto& r : yield_rate_) r.store(0, std::memory_order_relaxed);
-    for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : failed_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : perturbed_) c.store(0, std::memory_order_relaxed);
     for (auto& c : evaluated_) c.store(0, std::memory_order_relaxed);
   }
 
@@ -141,7 +144,7 @@ class FaultInjector {
     evaluated_[idx(p)].fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t thr = fail_rate_[idx(p)].load(std::memory_order_relaxed);
     if (thr == 0 || draw() >= thr) return false;
-    injected_[idx(p)].fetch_add(1, std::memory_order_relaxed);
+    failed_[idx(p)].fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -151,7 +154,7 @@ class FaultInjector {
     const std::uint32_t thr =
         yield_rate_[idx(p)].load(std::memory_order_relaxed);
     if (thr == 0 || draw() >= thr) return;
-    injected_[idx(p)].fetch_add(1, std::memory_order_relaxed);
+    perturbed_[idx(p)].fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t spin = draw() & 0x3ffu;
     if (spin < 128) {
       std::this_thread::yield();
@@ -166,15 +169,22 @@ class FaultInjector {
     }
   }
 
-  std::uint64_t injected(FaultPoint p) const noexcept {
-    return injected_[idx(p)].load(std::memory_order_relaxed);
+  /// Forced failures reported by `inject(p)`.
+  std::uint64_t failed(FaultPoint p) const noexcept {
+    return failed_[idx(p)].load(std::memory_order_relaxed);
+  }
+  /// Yield/delay perturbations applied by `perturb(p)`.
+  std::uint64_t perturbed(FaultPoint p) const noexcept {
+    return perturbed_[idx(p)].load(std::memory_order_relaxed);
   }
   std::uint64_t evaluated(FaultPoint p) const noexcept {
     return evaluated_[idx(p)].load(std::memory_order_relaxed);
   }
+  /// Every event the harness caused, of either kind, across all points.
   std::uint64_t total_injected() const noexcept {
     std::uint64_t n = 0;
-    for (const auto& c : injected_) n += c.load(std::memory_order_relaxed);
+    for (const auto& c : failed_) n += c.load(std::memory_order_relaxed);
+    for (const auto& c : perturbed_) n += c.load(std::memory_order_relaxed);
     return n;
   }
 
@@ -212,7 +222,8 @@ class FaultInjector {
   std::atomic<std::uint64_t> thread_ordinal_{0};
   std::array<std::atomic<std::uint32_t>, kFaultPoints> fail_rate_;
   std::array<std::atomic<std::uint32_t>, kFaultPoints> yield_rate_;
-  std::array<std::atomic<std::uint64_t>, kFaultPoints> injected_;
+  std::array<std::atomic<std::uint64_t>, kFaultPoints> failed_;
+  std::array<std::atomic<std::uint64_t>, kFaultPoints> perturbed_;
   std::array<std::atomic<std::uint64_t>, kFaultPoints> evaluated_;
 };
 
@@ -227,17 +238,22 @@ inline FaultInjector* fault_injector() noexcept {
 
 /// RAII installation of a process-wide injector. Install before
 /// constructing the runtime under test and keep alive until it is
-/// destroyed; scopes must not nest or overlap across threads.
+/// destroyed. Scopes restore the previously installed injector on
+/// destruction, so they nest LIFO (an inner scope shadows the outer one
+/// for its lifetime); construct/destroy them on one thread.
 class FaultScope {
  public:
-  explicit FaultScope(FaultInjector& fi) noexcept {
-    detail::g_fault_injector.store(&fi, std::memory_order_release);
-  }
+  explicit FaultScope(FaultInjector& fi) noexcept
+      : prev_(detail::g_fault_injector.exchange(&fi,
+                                                std::memory_order_acq_rel)) {}
   ~FaultScope() {
-    detail::g_fault_injector.store(nullptr, std::memory_order_release);
+    detail::g_fault_injector.store(prev_, std::memory_order_release);
   }
   FaultScope(const FaultScope&) = delete;
   FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* const prev_;
 };
 
 }  // namespace xtask

@@ -1,0 +1,154 @@
+// Self-healing worker support: heartbeat classification and the quarantine
+// guard protocol (see DESIGN.md "Heartbeats, quarantine, and readmission").
+//
+// Each worker publishes a monotone heartbeat counter (bumped at task
+// boundaries and idle-poll iterations). A monitor thread samples every
+// heartbeat a few times per window and drives the per-worker state machine
+//
+//     healthy -> suspect -> quarantined -> (heartbeat resumes) -> healthy
+//
+// The *classification* logic lives in HealthTracker, a plain single-thread
+// state machine the monitor owns — pure in/out, so the transitions are unit
+// testable without racing real threads. The *safety* of acting on a verdict
+// comes from the per-worker guard cell:
+//
+//   kGuardFree ──CAS──► kGuardOwner      worker, around every row-consuming
+//                                        or census-publishing step
+//   kGuardFree ──CAS──► kGuardMonitor    monitor, to quarantine
+//   kGuardMonitor ─CAS► kGuardReclaimer  healthy peer, to drain the rows
+//   kGuardReclaimer ──► kGuardMonitor    reclaimer hands ownership back
+//   kGuardMonitor ─CAS► kGuardFree       monitor, to readmit
+//
+// Whoever holds the guard is the exclusive "consumer identity" of that
+// worker: it may pop the worker's XQueue row, publish its tree-barrier
+// census cells, and arrive at the central barrier on its behalf. Every
+// hand-off is an acq_rel CAS (or a release store back along the same
+// chain), so the single-writer plain state inside XQueue and TreeBarrier
+// stays data-race-free under surrogate use. The guard is deliberately NOT
+// held while a task body runs — a worker wedged inside a task is exactly
+// the case quarantine must be able to capture.
+#pragma once
+
+#include <cstdint>
+
+namespace xtask {
+
+/// Externally visible health of one worker (detail::Worker::health).
+/// kSuspect is advisory (published so tests and fault injection can observe
+/// it); only kQuarantined changes scheduling behavior.
+enum class WorkerHealth : std::uint32_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+};
+
+namespace hb {
+
+// Guard cell states (detail::Worker::guard).
+inline constexpr std::uint32_t kGuardFree = 0;
+inline constexpr std::uint32_t kGuardOwner = 1;
+inline constexpr std::uint32_t kGuardMonitor = 2;
+inline constexpr std::uint32_t kGuardReclaimer = 3;
+
+// Heartbeat phase hints (detail::Worker::hb_phase): what the worker was
+// doing when it last crossed an instrumented boundary. Used only to
+// classify a frozen worker (stuck-in-task vs. descheduled) and to exempt
+// parked workers from monitoring; never for correctness.
+inline constexpr std::uint32_t kPhaseParked = 0;     // between regions
+inline constexpr std::uint32_t kPhaseScheduler = 1;  // polling queues/barrier
+inline constexpr std::uint32_t kPhaseInTask = 2;     // inside a task body
+
+}  // namespace hb
+
+/// Aggregate self-healing statistics (Runtime::health_stats()).
+struct HealthStats {
+  std::uint64_t suspects = 0;      // healthy -> suspect transitions
+  std::uint64_t quarantines = 0;   // suspect -> quarantined transitions
+  std::uint64_t quarantines_in_task = 0;      // classified wedged-in-task
+  std::uint64_t quarantines_descheduled = 0;  // classified descheduled
+  std::uint64_t readmissions = 0;  // quarantined -> healthy transitions
+  std::uint64_t tasks_reclaimed = 0;  // tasks drained from quarantined rows
+};
+
+/// Per-worker heartbeat classifier. Owned and driven by the monitor thread
+/// only — one observe() per monitor tick — so it is deliberately a plain,
+/// deterministic state machine: feed it heartbeat samples, act on the
+/// verdicts. Quarantine and readmission are two-phase (verdict, then
+/// commit_*) because the monitor must win the guard CAS before either
+/// transition becomes real; a failed CAS simply re-yields the same verdict
+/// on the next tick.
+class HealthTracker {
+ public:
+  /// `suspect_after`: consecutive frozen ticks before healthy -> suspect.
+  /// `quarantine_after`: further frozen ticks before a suspect becomes
+  /// quarantine-eligible.
+  HealthTracker(std::uint64_t suspect_after,
+                std::uint64_t quarantine_after) noexcept
+      : suspect_after_(suspect_after ? suspect_after : 1),
+        quarantine_after_(quarantine_after ? quarantine_after : 1) {}
+
+  enum class Verdict {
+    kNone,
+    kBecameSuspect,       // publish WorkerHealth::kSuspect
+    kSuspectCleared,      // heartbeat resumed: publish kHealthy
+    kQuarantineEligible,  // try the guard CAS; commit_quarantine on success
+    kHeartbeatResumed,    // quarantined worker moved: try to readmit
+  };
+
+  /// One monitor tick: the worker's current heartbeat and whether it is
+  /// schedulable (region active and not parked). Non-schedulable workers
+  /// are never suspected — a parked worker's heartbeat freezes by design.
+  Verdict observe(std::uint64_t heartbeat, bool schedulable) noexcept {
+    const bool moved = heartbeat != last_hb_;
+    last_hb_ = heartbeat;
+    if (moved || !schedulable)
+      frozen_ticks_ = 0;
+    else
+      ++frozen_ticks_;
+
+    if (health_ == WorkerHealth::kQuarantined)
+      return moved ? Verdict::kHeartbeatResumed : Verdict::kNone;
+    if (moved || !schedulable) {
+      if (health_ == WorkerHealth::kSuspect) {
+        health_ = WorkerHealth::kHealthy;
+        return Verdict::kSuspectCleared;
+      }
+      return Verdict::kNone;
+    }
+    if (health_ == WorkerHealth::kHealthy && frozen_ticks_ >= suspect_after_) {
+      health_ = WorkerHealth::kSuspect;
+      return Verdict::kBecameSuspect;
+    }
+    if (health_ == WorkerHealth::kSuspect &&
+        frozen_ticks_ >= suspect_after_ + quarantine_after_)
+      return Verdict::kQuarantineEligible;
+    return Verdict::kNone;
+  }
+
+  /// The monitor won the guard (free -> monitor): the quarantine is real.
+  void commit_quarantine(bool in_task) noexcept {
+    health_ = WorkerHealth::kQuarantined;
+    in_task_ = in_task;
+  }
+
+  /// The monitor released the guard (monitor -> free): readmitted.
+  void commit_readmit() noexcept {
+    health_ = WorkerHealth::kHealthy;
+    frozen_ticks_ = 0;
+  }
+
+  WorkerHealth health() const noexcept { return health_; }
+  /// Valid after commit_quarantine: was the frozen worker inside a task
+  /// body (wedged) rather than in the scheduler (descheduled)?
+  bool quarantined_in_task() const noexcept { return in_task_; }
+
+ private:
+  const std::uint64_t suspect_after_;
+  const std::uint64_t quarantine_after_;
+  std::uint64_t last_hb_ = 0;
+  std::uint64_t frozen_ticks_ = 0;
+  WorkerHealth health_ = WorkerHealth::kHealthy;
+  bool in_task_ = false;
+};
+
+}  // namespace xtask

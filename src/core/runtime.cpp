@@ -1,9 +1,11 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 namespace xtask {
 
@@ -43,6 +45,12 @@ Runtime::Runtime(Config cfg)
       pool_(cfg_.allocator, topo_.num_zones()) {
   XTASK_CHECK(cfg_.num_threads >= 1);
   XTASK_CHECK(cfg_.num_threads <= steal::kMaxWorkerId);
+  if (cfg_.quarantine && cfg_.heartbeat_ms == 0)
+    throw std::invalid_argument(
+        "xtask::Config: quarantine requires heartbeat_ms > 0 "
+        "(recovery is driven by the heartbeat monitor)");
+  hb_enabled_ = cfg_.heartbeat_ms > 0;
+  guard_enabled_ = hb_enabled_ && cfg_.quarantine;
   workers_.reserve(static_cast<std::size_t>(cfg_.num_threads));
   for (int i = 0; i < cfg_.num_threads; ++i) {
     auto w = std::make_unique<detail::Worker>();
@@ -60,9 +68,11 @@ Runtime::Runtime(Config cfg)
     workers_[static_cast<std::size_t>(i)]->thread =
         std::thread([this, i] { thread_main(i); });
   start_watchdog();
+  start_monitor();
 }
 
 Runtime::~Runtime() {
+  stop_monitor();    // before workers_: it reads worker heartbeat cells
   watchdog_.stop();  // before workers_: its hooks read worker counters
   {
     std::lock_guard<std::mutex> lock(region_mu_);
@@ -108,6 +118,14 @@ void Runtime::run(std::function<void(TaskContext&)> root) {
   // here — the helpers are still parked behind region_cv_.
   region_cancel_.store(false, std::memory_order_relaxed);
   region_err_.reset();
+  if (hb_enabled_) {
+    // Fresh injection budget for worker 0 (helpers reset in worker_loop);
+    // publish the generation for the monitor's proxy duties before the
+    // region is visibly active.
+    w0.stall_injected = false;
+    w0.slow_injected = false;
+    gen_pub_.store(gen, std::memory_order_relaxed);
+  }
   region_active_.store(true, std::memory_order_release);
 
   // Create the root task *before* waking the team: its `created` increment
@@ -163,10 +181,19 @@ Task* Runtime::allocate_task(detail::Worker& w, Task* parent) {
 }
 
 Task* Runtime::dispatch(detail::Worker& w, Task* t) {
+  // Degraded mode: while any worker is quarantined, stop routing work at
+  // it — tasks queued there would sit until a reclaimer migrates them.
+  const bool degraded =
+      guard_enabled_ && num_quarantined_.load(std::memory_order_relaxed) > 0;
   // NA-RP: a victim with an open redirect session sends new tasks to the
   // thief instead of its static target (Alg. 3).
   if (w.redirect_thief >= 0) {
-    if (xq_.push(w.id, w.redirect_thief, t)) {
+    if (degraded &&
+        worker_health(w.redirect_thief) == WorkerHealth::kQuarantined) {
+      // The redirect target went silent mid-session: stop feeding it and
+      // fall through to the static balancer.
+      end_redirect_session(w);
+    } else if (xq_.push(w.id, w.redirect_thief, t)) {
       ++w.redirect_pushed;
       Counters& c = prof_.thread(w.id).counters;
       if (topo_.local(w.id, w.redirect_thief))
@@ -177,18 +204,35 @@ Task* Runtime::dispatch(detail::Worker& w, Task* t) {
           static_cast<std::uint32_t>(effective_dlb(w).n_steal))
         end_redirect_session(w);
       return nullptr;
+    } else {
+      // Thief queue full: the session ends (isTargetQFull branch of
+      // Alg. 3) and this task falls through to the static balancer.
+      prof_.thread(w.id).counters.nreq_target_full++;
+      end_redirect_session(w);
     }
-    // Thief queue full: the session ends (isTargetQFull branch of Alg. 3)
-    // and this task falls through to the static balancer.
-    prof_.thread(w.id).counters.nreq_target_full++;
-    end_redirect_session(w);
   }
 
   // Static round-robin over all workers, starting with the master queue
   // (§II-B). A full target queue means the task runs immediately.
-  const int target = static_cast<int>(
+  int target = static_cast<int>(
       w.rr_cursor % static_cast<std::uint32_t>(cfg_.num_threads));
   ++w.rr_cursor;
+  if (degraded) {
+    // Advance past quarantined targets (self is always acceptable: we are
+    // clearly alive). Bounded probe so a mostly-quarantined team still
+    // terminates; the final fallback is our own master queue.
+    for (int probes = 1;
+         probes < cfg_.num_threads && target != w.id &&
+         worker_health(target) == WorkerHealth::kQuarantined;
+         ++probes) {
+      target = static_cast<int>(
+          w.rr_cursor % static_cast<std::uint32_t>(cfg_.num_threads));
+      ++w.rr_cursor;
+    }
+    if (target != w.id &&
+        worker_health(target) == WorkerHealth::kQuarantined)
+      target = w.id;
+  }
   if (xq_.push(w.id, target, t)) {
     prof_.thread(w.id).counters.ntasks_static_push++;
     return nullptr;
@@ -211,6 +255,17 @@ void Runtime::execute(detail::Worker& w, Task* t) {
       c.ntasks_local++;
     else
       c.ntasks_remote++;
+  }
+  // Task boundary: bump the heartbeat and publish the in-task phase hint
+  // (tasks nest via inline execution, so save/restore, not set/clear).
+  std::uint32_t prev_phase = hb::kPhaseScheduler;
+  if (hb_enabled_) {
+    hb_bump(w);
+    prev_phase = w.hb_phase.load(std::memory_order_relaxed);
+    w.hb_phase.store(hb::kPhaseInTask, std::memory_order_release);
+    // Chaos hook: wedge inside a "task body" — the stuck-in-task flavor
+    // of kWorkerStall (and kWorkerSlow's shorter nap).
+    if (fault_injector() != nullptr) maybe_inject_stall(w);
   }
   const bool sample = cfg_.dlb == DlbKind::kAdaptive &&
                       (w.sample_tick++ & 15u) == 0;
@@ -249,6 +304,10 @@ void Runtime::execute(detail::Worker& w, Task* t) {
     w.avg_task_cycles =
         w.avg_task_cycles == 0 ? dt
                                : w.avg_task_cycles + (dt - w.avg_task_cycles) / 8;
+  }
+  if (hb_enabled_) {
+    w.hb_phase.store(prev_phase, std::memory_order_release);
+    hb_bump(w);  // task boundary: body completed
   }
   finish(w, t);
 }
@@ -313,6 +372,11 @@ void Runtime::deref(detail::Worker& w, Task* t) noexcept {
 // Scheduling.
 
 Task* Runtime::find_task(detail::Worker& w) {
+  // The pop consumes our XQueue row and victim_check may publish census
+  // state, so both run under our consumer guard. A failed acquisition
+  // means the monitor (or a reclaimer) owns our identity right now —
+  // report "no work" and let the heartbeat bumps earn readmission.
+  if (!acquire_guard(w)) return nullptr;
   Task* t = xq_.pop(w.id);
   if (t != nullptr) {
     w.idle_polls = 0;
@@ -320,35 +384,50 @@ Task* Runtime::find_task(detail::Worker& w) {
     w.backoff.reset();
     if (cfg_.dlb != DlbKind::kNone) victim_check(w);
   }
+  release_guard(w);
   return t;
 }
 
 void Runtime::idle_step(detail::Worker& w) {
   // Chaos hook: spurious wakeup — an extra yield/pause in the idle loop,
   // modelling an OS preemption right where the thief/victim protocol and
-  // the barrier polling interleave.
-  if (FaultInjector* fi = fault_injector())
+  // the barrier polling interleave. kWorkerStall/kWorkerSlow ride the same
+  // hook for the "descheduled mid-poll" flavor of going silent.
+  if (FaultInjector* fi = fault_injector()) {
     fi->perturb(FaultPoint::kIdleWakeup);
-  // A victim that went idle mid-redirect flushes the session: it has no
-  // more spawns to redirect, so it re-opens itself to new requests.
-  if (w.redirect_thief >= 0) end_redirect_session(w);
-
-  if (cfg_.dlb != DlbKind::kNone && cfg_.num_threads > 1) {
-    if (!w.request_round_open) {
-      thief_send_requests(w);
-      w.request_round_open = true;
-      w.idle_polls = 0;
-    } else if (++w.idle_polls >= effective_dlb(w).t_interval) {
-      // Timeout (§IV-B): request lost/overwritten or victim idle — retry.
-      thief_send_requests(w);
-      w.idle_polls = 0;
-    }
-    // Even an idle worker can be a victim of redirected pushes building up
-    // work for it, and — for NA-WS — of batch migration; it must keep
-    // handling requests so two mutually-idle workers cannot livelock on
-    // unanswered cells.
-    victim_check(w);
+    if (hb_enabled_) maybe_inject_stall(w);
   }
+  hb_bump(w);  // idle-poll liveness
+  // Recovery duty: drain quarantined workers' rows. Runs *outside* our own
+  // guard — it takes the victim's guard (monitor -> reclaimer), and the
+  // push side of the migration is producer-only.
+  if (guard_enabled_ &&
+      num_quarantined_.load(std::memory_order_relaxed) > 0 &&
+      try_reclaim(w))
+    return;  // reclaimed work is queued locally; next find_task eats it
+  if (acquire_guard(w)) {
+    // A victim that went idle mid-redirect flushes the session: it has no
+    // more spawns to redirect, so it re-opens itself to new requests.
+    if (w.redirect_thief >= 0) end_redirect_session(w);
+
+    if (cfg_.dlb != DlbKind::kNone && cfg_.num_threads > 1) {
+      if (!w.request_round_open) {
+        thief_send_requests(w);
+        w.request_round_open = true;
+        w.idle_polls = 0;
+      } else if (++w.idle_polls >= effective_dlb(w).t_interval) {
+        // Timeout (§IV-B): request lost/overwritten or victim idle — retry.
+        thief_send_requests(w);
+        w.idle_polls = 0;
+      }
+      // Even an idle worker can be a victim of redirected pushes building
+      // up work for it, and — for NA-WS — of batch migration; it must keep
+      // handling requests so two mutually-idle workers cannot livelock on
+      // unanswered cells.
+      victim_check(w);
+    }
+    release_guard(w);
+  }  // else quarantined: skip DLB duties but keep the backoff walking
   // Adaptive spin → pause → yield escalation; every waiting loop funnels
   // through here so the whole runtime shares one backoff policy.
   if (w.backoff.step(cfg_.yield_after_idle))
@@ -359,6 +438,16 @@ void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
   bool arrived = false;
   std::uint64_t stall_start = 0;
   ThreadProfile& prof = prof_.thread(w.id);
+
+  if (hb_enabled_) {
+    // Fresh region: new injection budget, unparked phase, and an initial
+    // bump so a worker quarantined while parked at the previous region's
+    // end is observed moving (readmission) right away.
+    w.stall_injected = false;
+    w.slow_injected = false;
+    hb_set_phase(w, hb::kPhaseScheduler);
+    hb_bump(w);
+  }
 
   for (;;) {
     if (Task* t = find_task(w)) {
@@ -375,17 +464,36 @@ void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
     bool released = false;
     if (cfg_.barrier == BarrierKind::kCentral) {
       if (!arrived) {
-        central_.arrive(gen);
-        arrived = true;
+        if (guard_enabled_) {
+          // Arrival is guarded: the monitor may already have arrived on
+          // our behalf (proxied_gen), and exactly one of us must count.
+          if (acquire_guard(w)) {
+            if (w.proxied_gen.load(std::memory_order_relaxed) >= gen) {
+              arrived = true;  // the monitor arrived for us this region
+            } else {
+              w.arrived_gen.store(gen, std::memory_order_relaxed);
+              central_.arrive(gen);
+              arrived = true;
+            }
+            release_guard(w);
+          }
+        } else {
+          central_.arrive(gen);
+          arrived = true;
+        }
       }
-      released = central_.poll(gen);
-    } else {
+      if (arrived) released = central_.poll(gen);
+    } else if (acquire_guard(w)) {
+      // Census publication is a consumer-identity step: the monitor proxies
+      // it for quarantined workers, so the two must never interleave.
       released = tree_.poll(w.id, w.created.load(std::memory_order_relaxed),
                             w.executed.load(std::memory_order_relaxed), gen);
+      release_guard(w);
     }
     if (released) {
       if (stall_start != 0)
         prof.record(EventKind::kStall, stall_start, rdtscp());
+      hb_set_phase(w, hb::kPhaseParked);
       return;
     }
   }
@@ -413,9 +521,14 @@ DlbKind Runtime::effective_strategy(const detail::Worker& w) const noexcept {
 void Runtime::thief_send_requests(detail::Worker& w) {
   Counters& c = prof_.thread(w.id).counters;
   const DlbConfig dc = effective_dlb(w);
+  const bool degraded =
+      guard_enabled_ && num_quarantined_.load(std::memory_order_relaxed) > 0;
   for (int i = 0; i < dc.n_victim; ++i) {
     const int v = pick_victim(topo_, w.id, dc.p_local, w.rng);
     if (v < 0) return;
+    // A quarantined victim cannot answer; its queued work is drained by
+    // the reclamation path instead of the request/response protocol.
+    if (degraded && worker_health(v) == WorkerHealth::kQuarantined) continue;
     if (workers_[static_cast<std::size_t>(v)]->cells.try_request(w.id))
       c.nreq_sent++;
   }
@@ -425,6 +538,14 @@ void Runtime::victim_check(detail::Worker& w) {
   if (w.redirect_thief >= 0) return;  // NA-RP session in progress
   const int thief = w.cells.poll_request();
   if (thief < 0 || thief == w.id) return;
+  if (guard_enabled_ &&
+      num_quarantined_.load(std::memory_order_relaxed) > 0 &&
+      worker_health(thief) == WorkerHealth::kQuarantined) {
+    // Stale request from a worker quarantined after sending it: don't open
+    // a session toward (or migrate work to) a queue nobody is consuming.
+    w.cells.complete_round();
+    return;
+  }
   Counters& c = prof_.thread(w.id).counters;
   c.nreq_handled++;
   if (effective_strategy(w) == DlbKind::kRedirectPush) {
@@ -562,6 +683,248 @@ void Runtime::start_watchdog() {
   watchdog_.start(std::move(hooks));
 }
 
+// --------------------------------------------------------------------------
+// Self-healing: heartbeat monitor, quarantine, reclamation, readmission.
+// (See heartbeat.hpp for the guard hand-off diagram and DESIGN.md
+// "Heartbeats, quarantine, and readmission" for the full protocol.)
+
+bool Runtime::acquire_guard(detail::Worker& w) noexcept {
+  if (!guard_enabled_) return true;
+  if (w.guard_depth > 0) {
+    // Only this worker's own thread ever CASes free -> owner, so observing
+    // depth > 0 means *we* hold it: inline-executed task re-entering.
+    ++w.guard_depth;
+    return true;
+  }
+  std::uint32_t expect = hb::kGuardFree;
+  if (!w.guard.compare_exchange_strong(expect, hb::kGuardOwner,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+    // Quarantined (or mid-reclaim): we cannot act as our own consumer.
+    // Bumping the heartbeat here is what earns readmission.
+    hb_bump(w);
+    cpu_pause();
+    return false;
+  }
+  w.guard_depth = 1;
+  if (w.was_quarantined.load(std::memory_order_relaxed)) {
+    // First acquisition after a readmission: attribute the episode to our
+    // own (single-writer) profiler counters.
+    w.was_quarantined.store(false, std::memory_order_relaxed);
+    Counters& c = prof_.thread(w.id).counters;
+    c.nquarantined++;
+    c.nreadmitted++;
+  }
+  return true;
+}
+
+bool Runtime::try_reclaim(detail::Worker& w) {
+  // Drain quarantined workers' pending rows through the batched-steal path
+  // (same pop_batch/push_batch pair as NA-WS), acting as a surrogate
+  // consumer under the victim's guard: monitor -> reclaimer -> monitor.
+  constexpr std::size_t kMaxReclaim = 64;
+  bool any = false;
+  for (int v = 0; v < cfg_.num_threads; ++v) {
+    if (v == w.id) continue;
+    detail::Worker& vic = *workers_[static_cast<std::size_t>(v)];
+    if (vic.health.load(std::memory_order_acquire) !=
+        static_cast<std::uint32_t>(WorkerHealth::kQuarantined))
+      continue;
+    std::uint32_t expect = hb::kGuardMonitor;
+    if (!vic.guard.compare_exchange_strong(expect, hb::kGuardReclaimer,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed))
+      continue;  // another reclaimer won, or the victim was just readmitted
+    Task* batch[kMaxReclaim];
+    const std::size_t got = xq_.pop_batch(v, batch, kMaxReclaim);
+    vic.guard.store(hb::kGuardMonitor, std::memory_order_release);
+    if (got == 0) continue;
+    any = true;
+    Counters& c = prof_.thread(w.id).counters;
+    c.nreclaimed += got;
+    hb_tasks_reclaimed_.fetch_add(got, std::memory_order_relaxed);
+    // Requeue into our own master queue — SPSC-legal (we are q[w][w]'s
+    // producer) and guard-free. Overflow runs inline, the standard
+    // backpressure path.
+    const std::size_t moved = xq_.push_batch(w.id, w.id, batch, got);
+    for (std::size_t i = moved; i < got; ++i) {
+      c.ntasks_imm_exec++;
+      c.overflow_inline++;
+      execute(w, batch[i]);
+    }
+  }
+  return any;
+}
+
+void Runtime::maybe_inject_stall(detail::Worker& w) {
+  FaultInjector* fi = fault_injector();
+  if (fi == nullptr) return;
+  // Never go silent while holding our own guard: a real wedged worker is
+  // off-guard by construction (the guard is not held across task bodies),
+  // and a guarded sleeper could not be quarantined at all.
+  if (w.guard_depth > 0) return;
+  if (guard_enabled_ && !w.stall_injected &&
+      fi->inject(FaultPoint::kWorkerStall)) {
+    // Full stall: freeze the heartbeat until the monitor quarantines us,
+    // then linger so peers observe degraded mode, reclaim our rows, and
+    // the barrier gets proxied — proving end-to-end recovery.
+    w.stall_injected = true;
+    const auto quarantined =
+        static_cast<std::uint32_t>(WorkerHealth::kQuarantined);
+    for (int spins = 0;
+         w.health.load(std::memory_order_acquire) != quarantined &&
+         spins < 50'000;
+         ++spins)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(2 * cfg_.heartbeat_ms + 1));
+    return;
+  }
+  if (!w.slow_injected && fi->inject(FaultPoint::kWorkerSlow)) {
+    // Brief stall: silent just long enough to be suspected, then resume —
+    // drives healthy -> suspect -> healthy with no scheduling side effects.
+    w.slow_injected = true;
+    const auto healthy = static_cast<std::uint32_t>(WorkerHealth::kHealthy);
+    for (int spins = 0;
+         w.health.load(std::memory_order_acquire) == healthy &&
+         spins < 10'000;
+         ++spins)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Runtime::monitor_main() {
+  // Sample a few times per heartbeat window so one lost sample cannot
+  // cost a whole window, but clamp the tick so tiny windows do not spin.
+  const std::uint64_t tick_ms =
+      std::clamp<std::uint64_t>(cfg_.heartbeat_ms / 4, 1, 100);
+  const std::uint64_t window_ticks =
+      std::max<std::uint64_t>(1, (cfg_.heartbeat_ms + tick_ms - 1) / tick_ms);
+  // Frozen for ~one window: suspect. Another window: quarantine-eligible.
+  std::vector<HealthTracker> track(
+      workers_.size(), HealthTracker(window_ticks, window_ticks));
+
+  std::unique_lock<std::mutex> lock(monitor_mu_);
+  for (;;) {
+    monitor_cv_.wait_for(lock, std::chrono::milliseconds(tick_ms),
+                         [&] { return monitor_stop_; });
+    if (monitor_stop_) return;
+    lock.unlock();
+
+    const bool active = region_active_.load(std::memory_order_acquire);
+    const std::uint64_t gen = gen_pub_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      detail::Worker& w = *workers_[i];
+      const std::uint64_t beat = w.heartbeat.load(std::memory_order_acquire);
+      const std::uint32_t phase = w.hb_phase.load(std::memory_order_acquire);
+      const bool schedulable = active && phase != hb::kPhaseParked;
+      switch (track[i].observe(beat, schedulable)) {
+        case HealthTracker::Verdict::kNone:
+          break;
+        case HealthTracker::Verdict::kBecameSuspect:
+          hb_suspects_.fetch_add(1, std::memory_order_relaxed);
+          w.health.store(static_cast<std::uint32_t>(WorkerHealth::kSuspect),
+                         std::memory_order_release);
+          break;
+        case HealthTracker::Verdict::kSuspectCleared:
+          w.health.store(static_cast<std::uint32_t>(WorkerHealth::kHealthy),
+                         std::memory_order_release);
+          break;
+        case HealthTracker::Verdict::kQuarantineEligible: {
+          if (!guard_enabled_) break;  // detection-only mode
+          // Linearization point of quarantine: winning the worker's guard
+          // (free -> monitor). From here until readmission the monitor —
+          // not the worker — is the consumer identity; publishing health
+          // *after* the CAS means peers acting on kQuarantined always see
+          // a guard already out of the worker's hands.
+          std::uint32_t expect = hb::kGuardFree;
+          if (w.guard.compare_exchange_strong(expect, hb::kGuardMonitor,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+            const bool in_task = phase == hb::kPhaseInTask;
+            track[i].commit_quarantine(in_task);
+            w.was_quarantined.store(true, std::memory_order_relaxed);
+            w.health.store(
+                static_cast<std::uint32_t>(WorkerHealth::kQuarantined),
+                std::memory_order_release);
+            num_quarantined_.fetch_add(1, std::memory_order_relaxed);
+            hb_quarantines_.fetch_add(1, std::memory_order_relaxed);
+            (in_task ? hb_quarantines_in_task_ : hb_quarantines_desched_)
+                .fetch_add(1, std::memory_order_relaxed);
+          }
+          // CAS failure: the worker held its guard at the sample point —
+          // it is alive inside the scheduler; the verdict re-fires next
+          // tick if the heartbeat stays frozen.
+          break;
+        }
+        case HealthTracker::Verdict::kHeartbeatResumed: {
+          // Linearization point of readmission: handing the guard back
+          // (monitor -> free). Fails while a reclaimer borrows the guard;
+          // the verdict re-fires next tick.
+          std::uint32_t expect = hb::kGuardMonitor;
+          if (w.guard.compare_exchange_strong(expect, hb::kGuardFree,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+            track[i].commit_readmit();
+            w.health.store(
+                static_cast<std::uint32_t>(WorkerHealth::kHealthy),
+                std::memory_order_release);
+            num_quarantined_.fetch_sub(1, std::memory_order_relaxed);
+            hb_readmissions_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+      // Proxy duties: keep a quarantined worker's barrier participation
+      // alive so the region can still terminate. The monitor holds the
+      // guard (reclaimers hand it back between batches), so these are
+      // legal surrogate consumer-identity steps.
+      if (track[i].health() == WorkerHealth::kQuarantined && active) {
+        if (cfg_.barrier == BarrierKind::kTree) {
+          // A couple of polls per tick: the census needs report and
+          // release passes to make progress through the worker's cells.
+          for (int pass = 0; pass < 4; ++pass)
+            tree_.poll(w.id, w.created.load(std::memory_order_relaxed),
+                       w.executed.load(std::memory_order_relaxed), gen);
+        } else if (w.arrived_gen.load(std::memory_order_relaxed) < gen &&
+                   w.proxied_gen.load(std::memory_order_relaxed) < gen) {
+          w.proxied_gen.store(gen, std::memory_order_relaxed);
+          central_.arrive(gen);
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+void Runtime::start_monitor() {
+  if (!hb_enabled_) return;
+  monitor_ = std::thread([this] { monitor_main(); });
+}
+
+void Runtime::stop_monitor() {
+  if (!monitor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  monitor_.join();
+}
+
+HealthStats Runtime::health_stats() const noexcept {
+  HealthStats s;
+  s.suspects = hb_suspects_.load(std::memory_order_relaxed);
+  s.quarantines = hb_quarantines_.load(std::memory_order_relaxed);
+  s.quarantines_in_task =
+      hb_quarantines_in_task_.load(std::memory_order_relaxed);
+  s.quarantines_descheduled =
+      hb_quarantines_desched_.load(std::memory_order_relaxed);
+  s.readmissions = hb_readmissions_.load(std::memory_order_relaxed);
+  s.tasks_reclaimed = hb_tasks_reclaimed_.load(std::memory_order_relaxed);
+  return s;
+}
+
 std::string Runtime::debug_snapshot() const {
   // Reads only atomics (and immutable config), so any thread may call it
   // while the team runs; values from different cells may be mutually
@@ -575,6 +938,15 @@ std::string Runtime::debug_snapshot() const {
      << " region_cancelled="
      << region_cancel_.load(std::memory_order_relaxed)
      << " region_error=" << region_err_.pending() << '\n';
+  if (hb_enabled_)
+    os << "health: hb_ms=" << cfg_.heartbeat_ms
+       << " quarantine=" << (guard_enabled_ ? "on" : "off")
+       << " quarantined_now=" << num_quarantined_.load(std::memory_order_relaxed)
+       << " suspects=" << hb_suspects_.load(std::memory_order_relaxed)
+       << " quarantines=" << hb_quarantines_.load(std::memory_order_relaxed)
+       << " readmissions=" << hb_readmissions_.load(std::memory_order_relaxed)
+       << " reclaimed=" << hb_tasks_reclaimed_.load(std::memory_order_relaxed)
+       << '\n';
   if (cfg_.barrier == BarrierKind::kCentral)
     os << "central: task_count=" << central_.task_count() << '\n';
   else
@@ -592,7 +964,12 @@ std::string Runtime::debug_snapshot() const {
        << " queued~=" << xq_.consumer_occupancy(w->id)
        << " steal_round=" << w->cells.round.load(std::memory_order_relaxed)
        << " steal_req={thief=" << steal::thief_of(req)
-       << ",round=" << steal::round_of(req) << "}\n";
+       << ",round=" << steal::round_of(req) << "}";
+    if (hb_enabled_)
+      os << " health=" << w->health.load(std::memory_order_relaxed)
+         << " heartbeat=" << w->heartbeat.load(std::memory_order_relaxed)
+         << " phase=" << w->hb_phase.load(std::memory_order_relaxed);
+    os << '\n';
   }
   os << "totals: created=" << created << " executed=" << executed
      << " in_flight=" << (created - executed) << '\n';

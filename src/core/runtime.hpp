@@ -30,6 +30,7 @@
 #include "core/common.hpp"
 #include "core/dependency.hpp"
 #include "core/fault.hpp"
+#include "core/heartbeat.hpp"
 #include "core/steal_protocol.hpp"
 #include "core/task.hpp"
 #include "core/task_allocator.hpp"
@@ -108,6 +109,20 @@ struct Config {
   /// job dies loudly with diagnostics instead of hanging until the job
   /// timeout.
   std::function<void(const std::string&)> watchdog_handler;
+  /// Per-worker heartbeat window in milliseconds: when > 0, workers bump a
+  /// monotone heartbeat at task boundaries and idle polls, and a monitor
+  /// thread classifies any worker whose heartbeat freezes for about one
+  /// window as suspect (about two windows: quarantine-eligible). 0
+  /// disables the heartbeat subsystem entirely (no monitor thread, no
+  /// hot-path stores). Spec key: hb=<ms>.
+  std::uint64_t heartbeat_ms = 0;
+  /// Enable stall *recovery* on top of heartbeat *detection*: quarantined
+  /// workers are dropped from DLB victim/redirect selection, their queued
+  /// tasks are reclaimed by healthy workers, and the monitor proxies their
+  /// barrier participation until the heartbeat resumes (readmission).
+  /// Requires heartbeat_ms > 0. Adds one guard CAS per scheduler poll to
+  /// every worker, so it is opt-in. Spec key: quarantine=on|off.
+  bool quarantine = false;
 };
 
 class Runtime;
@@ -165,6 +180,35 @@ struct Worker {
 
   // Lock-less steal-protocol cells (victim role).
   StealCells cells;
+
+  // --- self-healing (heartbeat/quarantine; see heartbeat.hpp) -----------
+  // Liveness heartbeat: single-writer (this worker), bumped at task
+  // boundaries and idle polls; sampled by the monitor thread.
+  alignas(kCacheLine) std::atomic<std::uint64_t> heartbeat{0};
+  // Phase hint for classifying a frozen heartbeat (owner-written).
+  std::atomic<std::uint32_t> hb_phase{hb::kPhaseParked};
+  // Consumer-identity guard cell; see the hand-off diagram in
+  // heartbeat.hpp. Only used when Config::quarantine is on.
+  std::atomic<std::uint32_t> guard{hb::kGuardFree};
+  // Published health (monitor-written): peers skip kQuarantined workers
+  // as DLB victims/targets and reclaim their rows.
+  std::atomic<std::uint32_t> health{
+      static_cast<std::uint32_t>(WorkerHealth::kHealthy)};
+  // Central-barrier proxy handshake: last generation this worker arrived
+  // for itself vs. the last the monitor arrived on its behalf. Both only
+  // written under the guard, so they cannot double-arrive.
+  std::atomic<std::uint64_t> arrived_gen{0};
+  std::atomic<std::uint64_t> proxied_gen{0};
+  // Set by the monitor at quarantine, consumed by the owner at its next
+  // guard acquisition to attribute nquarantined/nreadmitted to its own
+  // profiler counters (keeping those single-writer).
+  std::atomic<bool> was_quarantined{false};
+  // Owner-private: one forced kWorkerStall / kWorkerSlow per region.
+  bool stall_injected = false;
+  bool slow_injected = false;
+  // Owner-private guard recursion depth: a task executed inline while we
+  // hold our own guard (batched-steal overflow) may re-enter find_task.
+  int guard_depth = 0;
 
   // Owner-private scheduling state.
   alignas(kCacheLine) XorShift rng;
@@ -293,6 +337,17 @@ class Runtime {
   /// Stall episodes the watchdog has detected (0 when disabled).
   std::uint64_t watchdog_stalls() const noexcept { return watchdog_.stalls(); }
 
+  /// Aggregate heartbeat/quarantine statistics (all zero when the
+  /// heartbeat subsystem is disabled). Safe from any thread.
+  HealthStats health_stats() const noexcept;
+
+  /// Published health of worker `tid`. Safe from any thread.
+  WorkerHealth worker_health(int tid) const noexcept {
+    return static_cast<WorkerHealth>(
+        workers_[static_cast<std::size_t>(tid)]->health.load(
+            std::memory_order_acquire));
+  }
+
  private:
   friend class TaskContext;
 
@@ -323,6 +378,39 @@ class Runtime {
   void propagate_error(std::exception_ptr ep, Task* parent,
                        TaskGroup* group) noexcept;
   void start_watchdog();
+
+  // --- self-healing (heartbeat monitor + quarantine recovery) -----------
+  /// Owner-side heartbeat bump (single-writer store; no-op when the
+  /// heartbeat subsystem is off).
+  void hb_bump(detail::Worker& w) noexcept {
+    if (hb_enabled_)
+      w.heartbeat.store(w.heartbeat.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  }
+  void hb_set_phase(detail::Worker& w, std::uint32_t phase) noexcept {
+    if (hb_enabled_) w.hb_phase.store(phase, std::memory_order_release);
+  }
+  /// Take this worker's own consumer guard (free -> owner). Returns true
+  /// immediately when quarantine is off. On failure (monitor/reclaimer
+  /// holds it) bumps the heartbeat — sustained bumps are what earn
+  /// readmission — and returns false; the caller treats it as "no work".
+  bool acquire_guard(detail::Worker& w) noexcept;
+  void release_guard(detail::Worker& w) noexcept {
+    if (guard_enabled_ && --w.guard_depth == 0)
+      w.guard.store(hb::kGuardFree, std::memory_order_release);
+  }
+  /// Healthy-worker side of recovery: if any worker is quarantined, try to
+  /// take its guard (monitor -> reclaimer), drain its XQueue row via the
+  /// batched-steal path, and requeue the tasks locally. Returns true when
+  /// any task was reclaimed.
+  bool try_reclaim(detail::Worker& w);
+  /// kWorkerStall / kWorkerSlow chaos hooks: go heartbeat-silent until the
+  /// monitor reacts (quarantine resp. suspect), then resume. The monitor
+  /// classifies from hb_phase, so the hook needs no in-task hint.
+  void maybe_inject_stall(detail::Worker& w);
+  void monitor_main();
+  void start_monitor();
+  void stop_monitor();
 
   // --- DLB --------------------------------------------------------------
   /// Effective knobs for `w` right now: the static config, or the
@@ -361,6 +449,25 @@ class Runtime {
   std::atomic<bool> region_cancel_{false};
   std::atomic<bool> region_active_{false};
   Watchdog watchdog_;
+
+  // Self-healing: cached config switches (hot-path branch predicates), the
+  // heartbeat monitor thread, and monitor-side statistics. gen_pub_
+  // mirrors region_gen_ as an atomic so the monitor can proxy barrier
+  // participation without the region mutex.
+  bool hb_enabled_ = false;     // cfg_.heartbeat_ms > 0
+  bool guard_enabled_ = false;  // hb_enabled_ && cfg_.quarantine
+  std::atomic<std::uint64_t> gen_pub_{0};
+  std::atomic<int> num_quarantined_{0};  // gates peers' recovery scans
+  std::atomic<std::uint64_t> hb_suspects_{0};
+  std::atomic<std::uint64_t> hb_quarantines_{0};
+  std::atomic<std::uint64_t> hb_quarantines_in_task_{0};
+  std::atomic<std::uint64_t> hb_quarantines_desched_{0};
+  std::atomic<std::uint64_t> hb_readmissions_{0};
+  std::atomic<std::uint64_t> hb_tasks_reclaimed_{0};
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
+  std::thread monitor_;
 };
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,9 @@ Counters& Counters::operator+=(const Counters& o) noexcept {
   ntasks_cancelled += o.ntasks_cancelled;
   nexceptions += o.nexceptions;
   nidle_yields += o.nidle_yields;
+  nquarantined += o.nquarantined;
+  nreadmitted += o.nreadmitted;
+  nreclaimed += o.nreclaimed;
   return *this;
 }
 
@@ -93,7 +96,7 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
        "ntasks_imm_exec,nreq_sent,nreq_handled,nreq_has_steal,"
        "nreq_src_empty,nreq_target_full,nsteal_local,nsteal_remote,"
        "ntasks_created,ntasks_executed,overflow_inline,ntasks_cancelled,"
-       "nexceptions,nidle_yields\n";
+       "nexceptions,nidle_yields,nquarantined,nreadmitted,nreclaimed\n";
   for (std::size_t i = 0; i < profiles_.size(); ++i) {
     const Counters& c = profiles_[i].counters;
     f << i << ',' << c.ntasks_self << ',' << c.ntasks_local << ','
@@ -104,7 +107,8 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
       << c.nsteal_remote << ',' << c.ntasks_created << ','
       << c.ntasks_executed << ',' << c.overflow_inline << ','
       << c.ntasks_cancelled << ',' << c.nexceptions << ','
-      << c.nidle_yields << '\n';
+      << c.nidle_yields << ',' << c.nquarantined << ','
+      << c.nreadmitted << ',' << c.nreclaimed << '\n';
   }
   return f.good();
 }

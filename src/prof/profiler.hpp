@@ -64,6 +64,13 @@ struct Counters {
   // Idle backoff: times the worker escalated all the way to sched_yield
   // (spin and pause beats are too cheap to count individually).
   std::uint64_t nidle_yields = 0;
+  // Self-healing: quarantine episodes this worker went through and tasks
+  // it reclaimed from *other* (quarantined) workers' rows. Episode counts
+  // are attributed by the worker itself at readmission so the counters
+  // stay single-writer.
+  std::uint64_t nquarantined = 0;
+  std::uint64_t nreadmitted = 0;
+  std::uint64_t nreclaimed = 0;
 
   Counters& operator+=(const Counters& o) noexcept;
 };

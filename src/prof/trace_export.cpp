@@ -36,13 +36,17 @@ std::string trace_to_json(const Profiler& prof,
         "\"tid\":%d,\"args\":{\"ntasks_created\":%llu,"
         "\"ntasks_executed\":%llu,\"overflow_inline\":%llu,"
         "\"ntasks_cancelled\":%llu,\"nexceptions\":%llu,"
-        "\"nidle_yields\":%llu}}",
+        "\"nidle_yields\":%llu,\"nquarantined\":%llu,"
+        "\"nreadmitted\":%llu,\"nreclaimed\":%llu}}",
         t, static_cast<unsigned long long>(c.ntasks_created),
         static_cast<unsigned long long>(c.ntasks_executed),
         static_cast<unsigned long long>(c.overflow_inline),
         static_cast<unsigned long long>(c.ntasks_cancelled),
         static_cast<unsigned long long>(c.nexceptions),
-        static_cast<unsigned long long>(c.nidle_yields));
+        static_cast<unsigned long long>(c.nidle_yields),
+        static_cast<unsigned long long>(c.nquarantined),
+        static_cast<unsigned long long>(c.nreadmitted),
+        static_cast<unsigned long long>(c.nreclaimed));
     out += buf;
     for (const PerfEvent& e : prof.thread(t).events()) {
       if (e.end < e.start || e.end - e.start < opts.min_cycles) continue;

@@ -201,7 +201,7 @@ void BackendSpec::set(const std::string& key, std::string value) {
 Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
   check_keys(spec, {"threads", "zones", "topo", "qcap", "barrier", "dlb",
                     "alloc", "tint", "nvictim", "nsteal", "plocal", "seed",
-                    "wdog", "yield", "profile"});
+                    "wdog", "yield", "profile", "hb", "quarantine"});
   Config cfg;
   cfg.topology = resolve_topology(spec, steal::kMaxWorkerId);
   cfg.queue_capacity = RegistryDefaults::kQueueCapacity;
@@ -247,6 +247,15 @@ Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
         static_cast<int>(parse_ll(spec, "yield", *v, 0, 1'000'000));
   if (const std::string* v = spec.find("profile"))
     cfg.profile_events = parse_bool(spec, "profile", *v);
+  if (const std::string* v = spec.find("hb"))
+    cfg.heartbeat_ms = static_cast<std::uint64_t>(
+        parse_ll(spec, "hb", *v, 0, 86'400'000));
+  if (const std::string* v = spec.find("quarantine"))
+    cfg.quarantine = parse_bool(spec, "quarantine", *v);
+  if (cfg.quarantine && cfg.heartbeat_ms == 0)
+    throw std::invalid_argument(
+        "spec '" + spec.describe() + "': quarantine=on requires hb=<ms> > 0 "
+        "(the recovery path is driven by the heartbeat monitor)");
   return cfg;
 }
 
@@ -361,6 +370,7 @@ std::vector<std::string> RuntimeRegistry::smoke_specs() {
       "xtask:dlb=narp",                     // + NA-RP
       "xtask:dlb=naws,tint=128",            // + NA-WS
       "xtask:dlb=adaptive",
+      "xtask:dlb=naws,hb=50,quarantine=on", // + self-healing workers
   };
 }
 

@@ -233,7 +233,7 @@ TEST(BQueueBatch, FaultHooksGateBatchPaths) {
 
   fi.set_fail_rate(FaultPoint::kQueuePush, 1.0);
   EXPECT_EQ(q.push_batch(in, 4), 0u);
-  EXPECT_GE(fi.injected(FaultPoint::kQueuePush), 1u);
+  EXPECT_GE(fi.failed(FaultPoint::kQueuePush), 1u);
   EXPECT_TRUE(q.empty());
 
   fi.set_fail_rate(FaultPoint::kQueuePush, 0.0);
@@ -241,7 +241,7 @@ TEST(BQueueBatch, FaultHooksGateBatchPaths) {
 
   fi.set_fail_rate(FaultPoint::kQueuePop, 1.0);
   EXPECT_EQ(q.pop_batch(out, 4), 0u);
-  EXPECT_GE(fi.injected(FaultPoint::kQueuePop), 1u);
+  EXPECT_GE(fi.failed(FaultPoint::kQueuePop), 1u);
   EXPECT_EQ(q.size_approx(), 4u);  // nothing was consumed
 
   fi.set_fail_rate(FaultPoint::kQueuePop, 0.0);

@@ -201,6 +201,124 @@ TEST(ChaosTargeted, HeavyPopMissesStillTerminate) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Self-healing under injection: kWorkerStall forces every worker
+// heartbeat-silent once per region (wedged mid-task or mid-poll, whichever
+// comes first); the monitor must quarantine them, peers must keep the
+// region alive (reclamation + barrier proxy), and readmission must follow
+// the heartbeat resuming — with exact results throughout. This is the
+// acceptance gate for the recovery subsystem, swept across both barriers
+// and both DLB strategies.
+
+struct HealCase {
+  const char* name;
+  const char* spec;
+};
+
+#define HEAL_KNOBS \
+  "threads=4,zones=2,tint=200,qcap=64,wdog=20000,hb=5,quarantine=on"
+const HealCase kHealCases[] = {
+    {"central_narp", "xtask:barrier=central,dlb=narp," HEAL_KNOBS},
+    {"central_naws", "xtask:barrier=central,dlb=naws," HEAL_KNOBS},
+    {"tree_narp", "xtask:barrier=tree,dlb=narp," HEAL_KNOBS},
+    {"tree_naws", "xtask:barrier=tree,dlb=naws," HEAL_KNOBS},
+};
+#undef HEAL_KNOBS
+
+void expect_healed(AnyRuntime& rt, const std::string& label) {
+  expect_balanced(rt, label);
+  Runtime* concrete = rt.get_if<Runtime>();
+  ASSERT_NE(concrete, nullptr) << label;
+  const HealthStats hs = concrete->health_stats();
+  // Workers stalled and were quarantined; the region completing at all
+  // means at least one was readmitted to execute the in-flight tasks.
+  EXPECT_GE(hs.quarantines, 1u) << label;
+  EXPECT_GE(hs.readmissions, 1u) << label;
+  EXPECT_GE(hs.quarantines, hs.readmissions) << label;
+  const Counters total = rt.total_counters();
+  EXPECT_GE(total.nquarantined, 1u) << label;
+  EXPECT_GE(total.nreadmitted, 1u) << label;
+}
+
+class SelfHealingSweep : public ::testing::TestWithParam<HealCase> {};
+
+TEST_P(SelfHealingSweep, FibExactWhileWorkersStallAndRecover) {
+  const long expected = fib_serial(16);  // 987
+  for (const std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    FaultInjector fi(seed);
+    fi.set_fail_rate(FaultPoint::kWorkerStall, 1.0);
+    FaultScope scope(fi);
+    AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
+    const long got = fib_parallel(rt, 16, 4);
+    EXPECT_EQ(got, expected) << GetParam().name << " seed=" << seed;
+    expect_healed(rt, GetParam().name);
+  }
+}
+
+TEST_P(SelfHealingSweep, NqueensExactWhileWorkersStallAndRecover) {
+  const long expected = nqueens_serial(7);  // 40
+  FaultInjector fi(99);
+  fi.set_fail_rate(FaultPoint::kWorkerStall, 1.0);
+  FaultScope scope(fi);
+  AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
+  EXPECT_EQ(nqueens_parallel(rt, 7, 3), expected) << GetParam().name;
+  expect_healed(rt, GetParam().name);
+}
+
+TEST_P(SelfHealingSweep, SparseLuChecksumWhileWorkersStallAndRecover) {
+  SparseLuParams p;
+  p.blocks = 6;
+  p.block_size = 8;
+  const double expected = sparselu_serial(p);
+  FaultInjector fi(31337);
+  fi.set_fail_rate(FaultPoint::kWorkerStall, 1.0);
+  FaultScope scope(fi);
+  AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
+  EXPECT_DOUBLE_EQ(sparselu_parallel(rt, p), expected) << GetParam().name;
+  expect_healed(rt, GetParam().name);
+}
+
+TEST_P(SelfHealingSweep, StallsComposeWithTheFullInjectionMix) {
+  // The recovery machinery must coexist with every other fault: queue
+  // overflows, pop misses, lost requests, census perturbations — all while
+  // workers go silent and come back.
+  const long expected = fib_serial(15);
+  FaultInjector fi(7);
+  arm(fi);
+  fi.set_fail_rate(FaultPoint::kWorkerStall, 1.0);
+  FaultScope scope(fi);
+  AnyRuntime rt = RuntimeRegistry::make(GetParam().spec);
+  EXPECT_EQ(fib_parallel(rt, 15, 4), expected) << GetParam().name;
+  expect_healed(rt, GetParam().name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, SelfHealingSweep,
+                         ::testing::ValuesIn(kHealCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(ChaosTargeted, WorkerSlowOnlySuspectsInDetectionMode) {
+  // kWorkerSlow naps just long enough to be suspected; with hb=<ms> but no
+  // quarantine=on the monitor publishes suspicion, takes no recovery
+  // action, and clears it when the heartbeat resumes.
+  FaultInjector fi(5);
+  fi.set_fail_rate(FaultPoint::kWorkerSlow, 1.0);
+  FaultScope scope(fi);
+  AnyRuntime rt =
+      RuntimeRegistry::make("xtask:threads=4,zones=2,wdog=20000,hb=5");
+  EXPECT_EQ(fib_parallel(rt, 14, 4), fib_serial(14));
+  expect_balanced(rt, "worker_slow");
+  Runtime* concrete = rt.get_if<Runtime>();
+  ASSERT_NE(concrete, nullptr);
+  const HealthStats hs = concrete->health_stats();
+  EXPECT_GE(hs.suspects, 1u);
+  EXPECT_EQ(hs.quarantines, 0u);
+  EXPECT_EQ(hs.readmissions, 0u);
+  for (int t = 0; t < 4; ++t)
+    EXPECT_NE(concrete->worker_health(t), WorkerHealth::kQuarantined);
+}
+
 TEST(ChaosTargeted, AllStealRequestsLostStillBalances) {
   // Every steal request vanishes in flight: thieves must survive on the
   // timeout/retry path and the workload on static balancing alone.
@@ -212,7 +330,7 @@ TEST(ChaosTargeted, AllStealRequestsLostStillBalances) {
   EXPECT_EQ(nqueens_parallel(rt, 7, 3), nqueens_serial(7));
   const Counters total = rt.total_counters();
   EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
-  EXPECT_GT(fi.injected(FaultPoint::kStealRequest), 0u);
+  EXPECT_GT(fi.failed(FaultPoint::kStealRequest), 0u);
 }
 
 }  // namespace

@@ -76,7 +76,7 @@ TEST(FaultInjector, ZeroRateNeverFires) {
   FaultInjector fi(7);
   for (int i = 0; i < 1000; ++i)
     EXPECT_FALSE(fi.inject(FaultPoint::kQueuePush));
-  EXPECT_EQ(fi.injected(FaultPoint::kQueuePush), 0u);
+  EXPECT_EQ(fi.failed(FaultPoint::kQueuePush), 0u);
   EXPECT_EQ(fi.evaluated(FaultPoint::kQueuePush), 1000u);
 }
 
@@ -84,7 +84,7 @@ TEST(FaultInjector, FullRateAlwaysFires) {
   FaultInjector fi(7);
   fi.set_fail_rate(FaultPoint::kQueuePop, 1.0);
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(fi.inject(FaultPoint::kQueuePop));
-  EXPECT_EQ(fi.injected(FaultPoint::kQueuePop), 100u);
+  EXPECT_EQ(fi.failed(FaultPoint::kQueuePop), 100u);
 }
 
 TEST(FaultInjector, SameSeedSameDecisionSequence) {
@@ -123,6 +123,78 @@ TEST(FaultInjector, ScopeInstallsAndRemoves) {
     EXPECT_EQ(fault_injector(), &fi);
   }
   EXPECT_EQ(fault_injector(), nullptr);
+}
+
+TEST(FaultInjector, ScopesNestAndRestoreLifo) {
+  // An inner scope shadows the outer injector for its lifetime and the
+  // outer one is restored on destruction (save/restore, not store-null).
+  EXPECT_EQ(fault_injector(), nullptr);
+  FaultInjector outer(1);
+  FaultInjector inner(2);
+  {
+    FaultScope a(outer);
+    EXPECT_EQ(fault_injector(), &outer);
+    {
+      FaultScope b(inner);
+      EXPECT_EQ(fault_injector(), &inner);
+    }
+    EXPECT_EQ(fault_injector(), &outer);
+  }
+  EXPECT_EQ(fault_injector(), nullptr);
+}
+
+TEST(FaultInjector, FailAndPerturbTalliesAreSeparate) {
+  // inject() and perturb() keep distinct tallies: forced failures must
+  // not be conflated with yield perturbations.
+  FaultInjector fi(9);
+  fi.set_fail_rate(FaultPoint::kQueuePush, 1.0);
+  fi.set_yield_rate(FaultPoint::kQueuePush, 1.0);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(fi.inject(FaultPoint::kQueuePush));
+  for (int i = 0; i < 30; ++i) fi.perturb(FaultPoint::kQueuePush);
+  EXPECT_EQ(fi.failed(FaultPoint::kQueuePush), 50u);
+  EXPECT_EQ(fi.perturbed(FaultPoint::kQueuePush), 30u);
+  EXPECT_EQ(fi.total_injected(), 80u);
+  // The other points stayed untouched.
+  EXPECT_EQ(fi.failed(FaultPoint::kQueuePop), 0u);
+  EXPECT_EQ(fi.perturbed(FaultPoint::kQueuePop), 0u);
+}
+
+TEST(FaultInjector, ReplayDeterministicAcrossThreads) {
+  // The reproducibility claim of draw(): with a fixed thread-enrollment
+  // order, the same seed replays identical per-thread decision sequences
+  // run to run, and a different seed diverges.
+  constexpr int kThreads = 4;
+  constexpr int kDecisions = 64;
+  auto run_once = [](std::uint64_t seed) {
+    FaultInjector fi(seed);
+    fi.set_fail_rate(FaultPoint::kStealRequest, 0.5);
+    std::vector<std::vector<bool>> out(kThreads);
+    std::atomic<int> turn{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        // Serialize the *first* draw: it is what enrolls the thread and
+        // assigns its stream ordinal, so the token fixes the enrollment
+        // order across runs. Later draws interleave freely — streams are
+        // thread-local, so interleaving cannot perturb them.
+        while (turn.load(std::memory_order_acquire) != t)
+          std::this_thread::yield();
+        out[static_cast<std::size_t>(t)].push_back(
+            fi.inject(FaultPoint::kStealRequest));
+        turn.store(t + 1, std::memory_order_release);
+        for (int i = 1; i < kDecisions; ++i)
+          out[static_cast<std::size_t>(t)].push_back(
+              fi.inject(FaultPoint::kStealRequest));
+      });
+    }
+    for (auto& th : threads) th.join();
+    return out;
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, run_once(43));
 }
 
 // ---------------------------------------------------------------------------

@@ -138,7 +138,7 @@ TEST(RegistryConfig, SpecKeysReachTheConfig) {
   const Config cfg = RuntimeRegistry::xtask_config(BackendSpec::parse(
       "xtask:threads=6,zones=3,qcap=256,barrier=central,dlb=naws,"
       "alloc=malloc,tint=99,nvictim=2,nsteal=5,plocal=0.25,seed=7,"
-      "wdog=1000,yield=32,profile=1"));
+      "wdog=1000,yield=32,profile=1,hb=25,quarantine=on"));
   EXPECT_EQ(cfg.topology.num_workers(), 6);
   EXPECT_EQ(cfg.topology.num_zones(), 3);
   EXPECT_EQ(cfg.queue_capacity, 256u);
@@ -153,6 +153,22 @@ TEST(RegistryConfig, SpecKeysReachTheConfig) {
   EXPECT_EQ(cfg.watchdog_timeout_ms, 1000u);
   EXPECT_EQ(cfg.yield_after_idle, 32);
   EXPECT_TRUE(cfg.profile_events);
+  EXPECT_EQ(cfg.heartbeat_ms, 25u);
+  EXPECT_TRUE(cfg.quarantine);
+}
+
+TEST(RegistryConfig, HealthKeysDefaultOffAndValidateTogether) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  const Config cfg =
+      RuntimeRegistry::xtask_config(BackendSpec::parse("xtask:threads=2"));
+  EXPECT_EQ(cfg.heartbeat_ms, 0u);  // monitoring is opt-in
+  EXPECT_FALSE(cfg.quarantine);
+  // quarantine=on is meaningless without a heartbeat to judge workers by;
+  // rejected at parse time rather than silently ignored.
+  EXPECT_THROW(RuntimeRegistry::make("xtask:threads=2,quarantine=on"),
+               std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:threads=2,hb=bogus"),
+               std::invalid_argument);
 }
 
 TEST(RegistryConfig, QueueCapacityRoundsUpToPowerOfTwo) {
