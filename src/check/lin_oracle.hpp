@@ -1,0 +1,153 @@
+// A small linearizability oracle: record an operation history while the
+// checker explores an interleaving, then search for a permutation of the
+// completed operations that a sequential specification accepts
+// (Wing & Gill style).
+//
+// Precedence is deliberately restricted to per-thread *program order*, not
+// wall-clock real-time order between threads. Under the weak-memory model
+// a completed push's slot store may legitimately not yet be visible to a
+// pop that has no synchronizing edge to it — wall-clock precedence would
+// flag that allowed behavior as a violation. Program-order precedence
+// still rejects the bugs that matter: lost values, duplicated values, and
+// reordering within a thread's own operations.
+//
+// Specs are tiny structs supplied by the test:
+//
+//   struct QueueSpec {
+//     using State = std::deque<std::uint64_t>;
+//     State initial() const { return {}; }
+//     // True iff `op` is legal from `s` (and mutate `s` accordingly).
+//     bool apply(State& s, const OpRecord& op) const;
+//   };
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/sched.hpp"
+
+namespace xtask::xcheck {
+
+struct OpRecord {
+  int thread = 0;           // logical thread id (per-thread order source)
+  std::uint64_t inv = 0;    // scheduler step at invocation
+  std::uint64_t res = 0;    // scheduler step at response
+  bool complete = false;
+  std::uint64_t kind = 0;   // spec-defined op code
+  std::uint64_t arg = 0;
+  std::uint64_t ret = 0;
+  std::string label;        // human-readable, for failure messages
+};
+
+/// Append-only operation log. Safe to share across virtual threads (the
+/// checker is single-OS-threaded); clear() between executions.
+class HistoryLog {
+ public:
+  void clear() { ops_.clear(); }
+
+  std::size_t invoke(int thread, std::uint64_t kind, std::uint64_t arg,
+                     std::string label) {
+    OpRecord r;
+    r.thread = thread;
+    r.kind = kind;
+    r.arg = arg;
+    r.label = std::move(label);
+    Sched* s = Sched::active();
+    r.inv = s != nullptr ? s->step() : ops_.size();
+    ops_.push_back(std::move(r));
+    return ops_.size() - 1;
+  }
+
+  void respond(std::size_t id, std::uint64_t ret) {
+    OpRecord& r = ops_[id];
+    r.ret = ret;
+    r.complete = true;
+    Sched* s = Sched::active();
+    r.res = s != nullptr ? s->step() : id;
+  }
+
+  const std::vector<OpRecord>& ops() const noexcept { return ops_; }
+
+  std::string format() const {
+    std::string out;
+    for (const OpRecord& r : ops_) {
+      out += "  T" + std::to_string(r.thread) + " " + r.label +
+             (r.complete ? "" : "  [pending]") + "\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+struct LinResult {
+  bool ok = false;
+  bool conclusive = true;  // false when the search budget ran out
+  std::string message;
+};
+
+namespace detail {
+
+template <typename Spec>
+bool lin_dfs(const Spec& spec, typename Spec::State state,
+             const std::vector<std::vector<const OpRecord*>>& per_thread,
+             std::vector<std::size_t>& pos, std::size_t remaining,
+             std::uint64_t& budget) {
+  if (remaining == 0) return true;
+  if (budget == 0) return false;
+  --budget;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    if (pos[t] >= per_thread[t].size()) continue;
+    const OpRecord* op = per_thread[t][pos[t]];
+    typename Spec::State next = state;
+    if (!spec.apply(next, *op)) continue;
+    ++pos[t];
+    if (lin_dfs(spec, std::move(next), per_thread, pos, remaining - 1,
+                budget))
+      return true;
+    --pos[t];
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Search for a linearization of the completed operations in `log` under
+/// `spec`, honoring per-thread program order. Incomplete (pending)
+/// operations are ignored: a crashed/preempted-forever op has no response
+/// and may linearize anywhere or nowhere — the specs used here only make
+/// claims about completed operations.
+template <typename Spec>
+LinResult check_linearizable(const Spec& spec, const HistoryLog& log) {
+  std::vector<std::vector<const OpRecord*>> per_thread;
+  std::size_t total = 0;
+  for (const OpRecord& r : log.ops()) {
+    if (!r.complete) continue;
+    const auto t = static_cast<std::size_t>(r.thread);
+    if (t >= per_thread.size()) per_thread.resize(t + 1);
+    per_thread[t].push_back(&r);  // log order == program order per thread
+    ++total;
+  }
+  std::vector<std::size_t> pos(per_thread.size(), 0);
+  std::uint64_t budget = 4'000'000;
+  LinResult res;
+  res.ok = detail::lin_dfs(spec, spec.initial(), per_thread, pos, total,
+                           budget);
+  if (!res.ok) {
+    if (budget == 0) {
+      // Ambiguous: ran out before exhausting permutations. Report as
+      // inconclusive-but-passing so a huge history cannot fake a bug.
+      res.ok = true;
+      res.conclusive = false;
+      res.message = "linearizability search budget exceeded (inconclusive)";
+    } else {
+      res.message =
+          "no linearization of the completed history exists:\n" + log.format();
+    }
+  }
+  return res;
+}
+
+}  // namespace xtask::xcheck

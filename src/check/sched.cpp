@@ -1,0 +1,666 @@
+#include "check/sched.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/common.hpp"  // fatal_hook
+#include "sim/fiber.hpp"
+
+namespace xtask::xcheck {
+
+thread_local Sched* Sched::active_ = nullptr;
+
+namespace {
+
+/// Thrown by fail() outside a virtual thread (builder / check phase) to
+/// unwind back into run_once(). Inside a vthread the fiber switch, not an
+/// exception, aborts the execution (exceptions cannot cross fiber stacks).
+struct ViolationAbort {};
+
+/// SplitMix64: deterministic per-seed stream for PCT. Self-contained so
+/// the checker does not depend on common.hpp (which, under
+/// XTASK_MODEL_CHECK, depends back on this file's header).
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed) {}
+  std::uint64_t next() noexcept {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+};
+
+std::uint32_t view_get(const View& v, std::uint32_t loc) noexcept {
+  return loc < v.size() ? v[loc] : 0;
+}
+
+void view_raise(View& v, std::uint32_t loc, std::uint32_t val) {
+  if (loc >= v.size()) v.resize(loc + 1, 0);
+  if (v[loc] < val) v[loc] = val;
+}
+
+void view_join(View& dst, const View& src) {
+  if (src.size() > dst.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    if (dst[i] < src[i]) dst[i] = src[i];
+}
+
+enum class Ev : std::uint8_t {
+  kRun,      // a = thread index resumed
+  kStore,    // loc, a = msg index, repr
+  kLoad,     // loc, a = msg index read, repr
+  kRmw,      // loc, a = msg index written, repr (new value)
+  kRmwFail,  // loc, a = msg index read, repr
+  kNote,     // a = index into note strings
+  kFail,     // a = index into note strings
+};
+
+struct Event {
+  Ev kind;
+  std::int16_t tid;
+  std::uint32_t loc;
+  std::uint32_t a;
+  std::uint64_t repr;
+};
+
+/// PCT change points are drawn over a fixed step horizon so an execution's
+/// schedule is a function of its seed alone — nothing adapts across
+/// iterations, which is what makes "re-run with the printed seed" land on
+/// the bit-identical interleaving.
+constexpr std::uint64_t kPctHorizon = 4096;
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Impl state.
+
+struct Sched::Impl {
+  struct VThread {
+    std::string name;
+    std::function<void()> body;
+    sim::Fiber fiber;
+    Sched* sched = nullptr;  // entry-arg backpointer
+    int idx = 0;
+    bool finished = false;
+    View view;
+  };
+
+  struct Msg {
+    View rel_view;  // writer's view; empty for relaxed stores
+    bool is_release = false;
+    std::uint64_t repr = 0;
+  };
+  struct Loc {
+    std::vector<Msg> msgs;  // index = modification-order position
+  };
+
+  struct Frame {
+    std::uint32_t n;       // candidates at this decision point
+    std::uint32_t chosen;  // branch currently being explored
+  };
+
+  enum class Strategy { kDfs, kPct, kReplay };
+
+  explicit Impl(const ExploreOptions& o) : opts(o) {}
+
+  ExploreOptions opts;
+  Strategy strategy = Strategy::kDfs;
+
+  // --- per-execution state (reset by run_once) --------------------------
+  std::vector<std::unique_ptr<VThread>> threads;
+  std::vector<std::function<void()>> checks;
+  std::vector<Loc> locs;
+  View sc_view;
+  sim::FiberContext controller;
+  int last_ran = -1;
+  int preemptions = 0;
+  bool violation = false;
+  std::string message;
+  std::vector<std::uint32_t> decisions;
+  std::vector<Event> events;
+  std::vector<std::string> notes;
+  std::uint64_t trace_hash = 0;
+
+  // --- DFS --------------------------------------------------------------
+  std::vector<Frame> stack;
+  std::size_t cursor = 0;
+
+  // --- PCT --------------------------------------------------------------
+  std::uint64_t exec_seed = 0;
+  std::unique_ptr<Rng> rng;
+  std::vector<std::int64_t> prio;
+  std::vector<std::uint64_t> change_points;  // sorted
+  std::size_t next_change = 0;
+  std::uint64_t sched_ticks = 0;
+
+  // --- replay -----------------------------------------------------------
+  const std::vector<std::uint32_t>* replay = nullptr;
+  std::size_t replay_cursor = 0;
+
+  static void entry(void* p);  // vthread fiber entry (never returns)
+  void fill(ExploreResult& res) const;
+
+  void hash_event(const Event& e) noexcept {
+    std::uint64_t h = trace_hash ? trace_hash : 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.tid)));
+    mix(e.loc);
+    mix(e.a);
+    mix(e.repr);
+    trace_hash = h;
+  }
+
+  void event(Ev kind, int tid, std::uint32_t loc, std::uint32_t a,
+             std::uint64_t repr) {
+    Event e{kind, static_cast<std::int16_t>(tid), loc, a, repr};
+    hash_event(e);
+    if (opts.record_trace) events.push_back(e);
+  }
+
+  std::string format_trace() const {
+    std::string out;
+    char buf[256];
+    for (const Event& e : events) {
+      const char* name = (e.tid >= 0 &&
+                          static_cast<std::size_t>(e.tid) < threads.size())
+                             ? threads[e.tid]->name.c_str()
+                             : "?";
+      switch (e.kind) {
+        case Ev::kRun:
+          std::snprintf(buf, sizeof buf, "-- run T%d(%s)\n", e.tid, name);
+          break;
+        case Ev::kStore:
+          std::snprintf(buf, sizeof buf,
+                        "T%d(%s) store  loc#%u msg#%u := 0x%" PRIx64 "\n",
+                        e.tid, name, e.loc, e.a, e.repr);
+          break;
+        case Ev::kLoad:
+          std::snprintf(buf, sizeof buf,
+                        "T%d(%s) load   loc#%u msg#%u  = 0x%" PRIx64 "%s\n",
+                        e.tid, name, e.loc, e.a, e.repr,
+                        e.a + 1 < locs[e.loc].msgs.size() ? "  [stale]" : "");
+          break;
+        case Ev::kRmw:
+          std::snprintf(buf, sizeof buf,
+                        "T%d(%s) rmw    loc#%u msg#%u := 0x%" PRIx64 "\n",
+                        e.tid, name, e.loc, e.a, e.repr);
+          break;
+        case Ev::kRmwFail:
+          std::snprintf(buf, sizeof buf,
+                        "T%d(%s) rmw-f  loc#%u msg#%u  = 0x%" PRIx64 "\n",
+                        e.tid, name, e.loc, e.a, e.repr);
+          break;
+        case Ev::kNote:
+          std::snprintf(buf, sizeof buf, "T%d(%s) note   %s\n", e.tid, name,
+                        notes[e.a].c_str());
+          break;
+        case Ev::kFail:
+          std::snprintf(buf, sizeof buf, "T%d VIOLATION: %s\n", e.tid,
+                        notes[e.a].c_str());
+          break;
+      }
+      out += buf;
+    }
+    return out;
+  }
+};
+
+// --------------------------------------------------------------------------
+// Exec surface.
+
+void Exec::thread(std::string name, std::function<void()> body) {
+  auto vt = std::make_unique<Sched::Impl::VThread>();
+  vt->name = std::move(name);
+  vt->body = std::move(body);
+  vt->sched = sched_;
+  vt->idx = static_cast<int>(sched_->impl_->threads.size());
+  sched_->impl_->threads.push_back(std::move(vt));
+}
+
+void Exec::check(std::function<void()> fn) {
+  sched_->impl_->checks.push_back(std::move(fn));
+}
+
+void Exec::fail(const std::string& msg) {
+  Sched* s = Sched::active();
+  if (s == nullptr) {
+    std::fprintf(stderr, "xcheck fail() with no active scheduler: %s\n",
+                 msg.c_str());
+    std::abort();
+  }
+  s->fail_current(msg);
+  std::abort();  // unreachable; fail_current never returns
+}
+
+void Exec::yield() {
+  Sched* s = Sched::active();
+  if (s != nullptr) s->schedule_point();
+}
+
+void on_fatal(const char* msg) noexcept {
+  Sched* s = Sched::active();
+  // Only intercept inside a virtual thread: there the fiber switch (not
+  // an exception) aborts the execution, which is noexcept-safe. A failed
+  // check in direct mode falls through to fatal()'s abort.
+  if (s != nullptr && s->in_vthread()) s->fail_current(msg);
+}
+
+// --------------------------------------------------------------------------
+// Sched: lifecycle.
+
+Sched::Sched(const ExploreOptions& opts) : impl_(new Impl(opts)) {
+  if (active_ != nullptr) {
+    std::fprintf(stderr, "xcheck: nested explore() is not supported\n");
+    std::abort();
+  }
+  active_ = this;
+  xtask::detail::fatal_hook = &on_fatal;
+}
+
+Sched::~Sched() {
+  xtask::detail::fatal_hook = nullptr;
+  active_ = nullptr;
+}
+
+std::uint32_t Sched::register_loc(std::uint64_t initial_repr) {
+  impl_->locs.push_back(Impl::Loc{});
+  Impl::Loc& l = impl_->locs.back();
+  l.msgs.push_back(Impl::Msg{View{}, false, initial_repr});
+  return static_cast<std::uint32_t>(impl_->locs.size() - 1);
+}
+
+std::uint32_t Sched::history_size(std::uint32_t loc) const noexcept {
+  return static_cast<std::uint32_t>(impl_->locs[loc].msgs.size());
+}
+
+void Sched::note(const std::string& text) {
+  impl_->notes.push_back(text);
+  impl_->event(Ev::kNote, current_, 0,
+               static_cast<std::uint32_t>(impl_->notes.size() - 1), 0);
+}
+
+// --------------------------------------------------------------------------
+// Decisions.
+
+std::uint32_t Sched::choose(std::uint32_t num_choices, bool is_schedule,
+                            const std::uint32_t* values) {
+  Impl& im = *impl_;
+  std::uint32_t idx = 0;
+  switch (im.strategy) {
+    case Impl::Strategy::kDfs: {
+      if (num_choices > 1) {
+        if (im.cursor < im.stack.size()) {
+          Impl::Frame& f = im.stack[im.cursor];
+          if (f.n != num_choices) {
+            // The builder was nondeterministic — the exploration's one
+            // hard precondition. Surface it loudly.
+            fail_current("xcheck: nondeterministic program (decision arity "
+                         "changed between executions)");
+          }
+          idx = f.chosen;
+        } else {
+          im.stack.push_back(Impl::Frame{num_choices, 0});
+          idx = 0;
+        }
+        ++im.cursor;
+      }
+      break;
+    }
+    case Impl::Strategy::kPct: {
+      if (num_choices > 1) {
+        if (is_schedule) {
+          // Never reached: PCT schedules by priority, not by choose().
+          idx = static_cast<std::uint32_t>(im.rng->below(num_choices));
+        } else {
+          // Reads: bias toward the latest message (the common-case
+          // behavior) but keep every stale message reachable.
+          idx = (im.rng->next() & 1)
+                    ? 0
+                    : static_cast<std::uint32_t>(im.rng->below(num_choices));
+        }
+      }
+      break;
+    }
+    case Impl::Strategy::kReplay: {
+      if (im.replay_cursor >= im.replay->size())
+        fail_current("xcheck replay: decision list exhausted");
+      const std::uint32_t want = (*im.replay)[im.replay_cursor++];
+      bool found = false;
+      for (std::uint32_t i = 0; i < num_choices; ++i) {
+        if (values[i] == want) {
+          idx = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) fail_current("xcheck replay: divergence from recording");
+      im.decisions.push_back(want);
+      return idx;
+    }
+  }
+  im.decisions.push_back(values[idx]);
+  return idx;
+}
+
+// --------------------------------------------------------------------------
+// Scheduling.
+
+void Sched::schedule_point() {
+  if (!in_vthread()) return;
+  ++step_;
+  if (step_ > impl_->opts.max_steps)
+    fail_current("xcheck: step budget exceeded (livelock or unbounded loop "
+                 "in the checked harness?)");
+  Impl::VThread& self = *impl_->threads[static_cast<std::size_t>(current_)];
+  sim::Fiber::switch_to(&self.fiber.context(), &impl_->controller);
+}
+
+void Sched::fail_current(const std::string& msg) {
+  Impl& im = *impl_;
+  im.violation = true;
+  im.message = msg;
+  im.notes.push_back(msg);
+  im.event(Ev::kFail, current_, 0,
+           static_cast<std::uint32_t>(im.notes.size() - 1), 0);
+  if (!in_vthread()) throw ViolationAbort{};
+  Impl::VThread& self = *im.threads[static_cast<std::size_t>(current_)];
+  self.finished = true;
+  sim::Fiber::switch_to(&self.fiber.context(), &im.controller);
+  std::abort();  // a failed thread is never resumed
+}
+
+void Sched::Impl::entry(void* p) {
+  auto* vt = static_cast<VThread*>(p);
+  vt->body();
+  vt->finished = true;
+  // Release captured state while still alive, then park forever.
+  vt->body = nullptr;
+  sim::Fiber::switch_to(&vt->fiber.context(), &vt->sched->impl_->controller);
+}
+
+bool Sched::run_once(const std::function<void(Exec&)>& build) {
+  Impl& im = *impl_;
+  ++run_id_;
+  step_ = 0;
+  im.threads.clear();
+  im.checks.clear();
+  im.locs.clear();
+  im.sc_view.clear();
+  im.last_ran = -1;
+  im.preemptions = 0;
+  im.violation = false;
+  im.message.clear();
+  im.decisions.clear();
+  im.events.clear();
+  im.notes.clear();
+  im.trace_hash = 0;
+  im.cursor = 0;
+  im.replay_cursor = 0;
+  im.sched_ticks = 0;
+
+  try {
+    Exec ex(this);
+    build(ex);
+  } catch (ViolationAbort&) {
+    return true;
+  }
+
+  const int n = static_cast<int>(im.threads.size());
+  for (auto& vt : im.threads)
+    vt->fiber.create(&Impl::entry, vt.get(), 128 * 1024);
+
+  if (im.strategy == Impl::Strategy::kPct) {
+    im.rng = std::make_unique<Rng>(im.exec_seed);
+    // Distinct base priorities: a random permutation of [1, n].
+    im.prio.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) im.prio[static_cast<std::size_t>(i)] = i + 1;
+    for (int i = n - 1; i > 0; --i)
+      std::swap(im.prio[static_cast<std::size_t>(i)],
+                im.prio[im.rng->below(static_cast<std::uint64_t>(i) + 1)]);
+    im.change_points.clear();
+    for (int i = 0; i + 1 < im.opts.pct_depth; ++i)
+      im.change_points.push_back(im.rng->below(kPctHorizon));
+    std::sort(im.change_points.begin(), im.change_points.end());
+    im.next_change = 0;
+  }
+
+  // Controller loop: pick a runnable thread, run it to its next
+  // scheduling point, repeat. Decisions happen here (and in choose()).
+  std::uint32_t cand[256];
+  for (;;) {
+    if (im.violation) break;
+    std::uint32_t ncand = 0;
+    const bool last_runnable =
+        im.last_ran >= 0 &&
+        !im.threads[static_cast<std::size_t>(im.last_ran)]->finished;
+    if (im.strategy == Impl::Strategy::kDfs) {
+      // Default first = keep running the last thread; alternatives are
+      // preemptions and only offered while the budget lasts.
+      if (last_runnable) {
+        cand[ncand++] = static_cast<std::uint32_t>(im.last_ran);
+        if (im.preemptions < im.opts.preemption_bound) {
+          for (int i = 0; i < n; ++i)
+            if (i != im.last_ran && !im.threads[static_cast<std::size_t>(i)]
+                                         ->finished)
+              cand[ncand++] = static_cast<std::uint32_t>(i);
+        }
+      } else {
+        for (int i = 0; i < n; ++i)
+          if (!im.threads[static_cast<std::size_t>(i)]->finished)
+            cand[ncand++] = static_cast<std::uint32_t>(i);
+      }
+    } else {
+      for (int i = 0; i < n; ++i)
+        if (!im.threads[static_cast<std::size_t>(i)]->finished)
+          cand[ncand++] = static_cast<std::uint32_t>(i);
+    }
+    if (ncand == 0) break;  // all threads finished
+
+    int next;
+    if (im.strategy == Impl::Strategy::kPct) {
+      std::uint32_t best = 0;
+      for (std::uint32_t i = 1; i < ncand; ++i)
+        if (im.prio[cand[i]] > im.prio[cand[best]]) best = i;
+      next = static_cast<int>(cand[best]);
+      im.decisions.push_back(static_cast<std::uint32_t>(next));
+      if (im.next_change < im.change_points.size() &&
+          im.sched_ticks == im.change_points[im.next_change]) {
+        // PCT change point: drop the running thread below everyone.
+        im.prio[static_cast<std::uint32_t>(next)] =
+            -static_cast<std::int64_t>(++im.next_change);
+      }
+      ++im.sched_ticks;
+    } else {
+      next = static_cast<int>(cand[choose(ncand, /*is_schedule=*/true, cand)]);
+    }
+    if (last_runnable && next != im.last_ran) ++im.preemptions;
+    if (next != im.last_ran)
+      im.event(Ev::kRun, next, 0, 0, 0);
+    im.last_ran = next;
+
+    current_ = next;
+    Impl::VThread& vt = *im.threads[static_cast<std::size_t>(next)];
+    sim::Fiber::switch_to(&im.controller, &vt.fiber.context());
+    current_ = -1;
+  }
+
+  if (!im.violation) {
+    try {
+      for (auto& c : im.checks) c();
+    } catch (ViolationAbort&) {
+    }
+  }
+  return im.violation;
+}
+
+bool Sched::dfs_advance() {
+  Impl& im = *impl_;
+  while (!im.stack.empty()) {
+    Impl::Frame& f = im.stack.back();
+    if (f.chosen + 1 < f.n) {
+      ++f.chosen;
+      return true;
+    }
+    im.stack.pop_back();
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Memory model.
+
+std::uint32_t Sched::on_store(std::uint32_t loc, bool release, bool seq_cst,
+                              std::uint64_t repr) {
+  Impl& im = *impl_;
+  Impl::VThread& t = *im.threads[static_cast<std::size_t>(current_)];
+  Impl::Loc& l = im.locs[loc];
+  const auto k = static_cast<std::uint32_t>(l.msgs.size());
+  view_raise(t.view, loc, k);
+  Impl::Msg m;
+  m.repr = repr;
+  m.is_release = release || seq_cst;
+  if (seq_cst) view_join(im.sc_view, t.view);
+  if (m.is_release) m.rel_view = t.view;
+  l.msgs.push_back(std::move(m));
+  im.event(Ev::kStore, current_, loc, k, repr);
+  return k;
+}
+
+std::uint32_t Sched::on_load(std::uint32_t loc, bool acquire, bool seq_cst) {
+  Impl& im = *impl_;
+  Impl::VThread& t = *im.threads[static_cast<std::size_t>(current_)];
+  if (seq_cst) view_join(t.view, im.sc_view);
+  Impl::Loc& l = im.locs[loc];
+  const auto high = static_cast<std::uint32_t>(l.msgs.size() - 1);
+  const std::uint32_t low = view_get(t.view, loc);
+  std::uint32_t k = high;
+  if (low < high) {
+    // Explorable read choice: candidates from the latest (the expected
+    // common case) back to the oldest coherence-permitted message.
+    std::uint32_t vals[512];
+    const std::uint32_t m =
+        std::min<std::uint32_t>(high - low + 1, 512);
+    for (std::uint32_t i = 0; i < m; ++i) vals[i] = high - i;
+    k = vals[choose(m, /*is_schedule=*/false, vals)];
+  }
+  view_raise(t.view, loc, k);
+  const Impl::Msg& msg = l.msgs[k];
+  if ((acquire || seq_cst) && msg.is_release) view_join(t.view, msg.rel_view);
+  im.event(Ev::kLoad, current_, loc, k, msg.repr);
+  return k;
+}
+
+std::uint32_t Sched::on_rmw(std::uint32_t loc, bool acquire, bool release,
+                            bool seq_cst, std::uint64_t repr) {
+  Impl& im = *impl_;
+  Impl::VThread& t = *im.threads[static_cast<std::size_t>(current_)];
+  Impl::Loc& l = im.locs[loc];
+  const auto read = static_cast<std::uint32_t>(l.msgs.size() - 1);
+  view_raise(t.view, loc, read);
+  const bool read_release = l.msgs[read].is_release;
+  if ((acquire || seq_cst) && read_release)
+    view_join(t.view, l.msgs[read].rel_view);
+  if (seq_cst) view_join(t.view, im.sc_view);
+
+  const std::uint32_t k = read + 1;
+  view_raise(t.view, loc, k);
+  Impl::Msg m;
+  m.repr = repr;
+  // An RMW continues the release sequence of the message it read: an
+  // acquire load of this message synchronizes with the original release
+  // store even when the RMW itself is relaxed.
+  m.is_release = release || seq_cst || read_release;
+  if (release || seq_cst) {
+    m.rel_view = t.view;
+    if (read_release) view_join(m.rel_view, l.msgs[read].rel_view);
+  } else if (read_release) {
+    m.rel_view = l.msgs[read].rel_view;
+  }
+  if (seq_cst) view_join(im.sc_view, t.view);
+  l.msgs.push_back(std::move(m));
+  im.event(Ev::kRmw, current_, loc, k, repr);
+  return read;
+}
+
+std::uint32_t Sched::on_rmw_fail(std::uint32_t loc, bool acquire) {
+  Impl& im = *impl_;
+  Impl::VThread& t = *im.threads[static_cast<std::size_t>(current_)];
+  Impl::Loc& l = im.locs[loc];
+  const auto k = static_cast<std::uint32_t>(l.msgs.size() - 1);
+  view_raise(t.view, loc, k);
+  if (acquire && l.msgs[k].is_release) view_join(t.view, l.msgs[k].rel_view);
+  im.event(Ev::kRmwFail, current_, loc, k, l.msgs[k].repr);
+  return k;
+}
+
+// --------------------------------------------------------------------------
+// Exploration drivers.
+
+void Sched::Impl::fill(ExploreResult& res) const {
+  res.violation = violation;
+  res.message = message;
+  res.decisions = decisions;
+  res.trace_hash = trace_hash;
+  if (opts.record_trace) res.trace = format_trace();
+}
+
+ExploreResult explore(const ExploreOptions& opts,
+                      const std::function<void(Exec&)>& build) {
+  Sched s(opts);
+  Sched::Impl& im = *s.impl_;
+  ExploreResult res;
+  if (opts.mode == ExploreOptions::Mode::kExhaustive) {
+    im.strategy = Sched::Impl::Strategy::kDfs;
+    for (;;) {
+      ++res.executions;
+      if (s.run_once(build)) {
+        im.fill(res);
+        return res;
+      }
+      if (!s.dfs_advance()) {
+        res.complete = true;
+        break;
+      }
+      if (res.executions >= opts.max_executions) break;
+    }
+  } else {
+    im.strategy = Sched::Impl::Strategy::kPct;
+    for (std::uint64_t i = 0; i < opts.iterations; ++i) {
+      im.exec_seed = opts.seed + i;
+      ++res.executions;
+      if (s.run_once(build)) {
+        im.fill(res);
+        res.failing_seed = im.exec_seed;
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+ExploreResult replay(const ExploreOptions& opts,
+                     const std::function<void(Exec&)>& build,
+                     const std::vector<std::uint32_t>& decisions) {
+  Sched s(opts);
+  Sched::Impl& im = *s.impl_;
+  im.strategy = Sched::Impl::Strategy::kReplay;
+  im.replay = &decisions;
+  ExploreResult res;
+  res.executions = 1;
+  s.run_once(build);
+  im.fill(res);
+  return res;
+}
+
+}  // namespace xtask::xcheck

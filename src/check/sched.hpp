@@ -1,0 +1,256 @@
+// xcheck: a deterministic schedule-exploration model checker for the
+// runtime's lock-less primitives (see DESIGN.md "Model checking the
+// lock-less core").
+//
+// The pieces:
+//
+//  * Virtual threads. Each checked "thread" is a cooperative fiber
+//    (reusing the simulator's ~30 ns context switch). Exactly one fiber
+//    runs at a time, so the checker — not the OS — owns every
+//    interleaving, and a whole execution is reproducible from the list of
+//    decisions the scheduler made.
+//
+//  * Instrumented atomics. Under -DXTASK_MODEL_CHECK the `xtask::atomic`
+//    alias in common.hpp resolves to xcheck::xatomic<T> (xatomic.hpp),
+//    which yields to the scheduler before every load/store/RMW and runs
+//    the access through the memory model below. Production builds resolve
+//    the alias to std::atomic — byte-identical code, zero overhead.
+//
+//  * A view-based weak-memory model. Every atomic location keeps its full
+//    modification order (a list of store "messages"); every thread keeps a
+//    view: for each location, the oldest message it may still read. A
+//    release store attaches the writer's view to the message; an acquire
+//    load that reads a release message joins that view into the reader's.
+//    A *relaxed* store attaches nothing — so a reader synchronizing
+//    through it can still be handed stale values for every other
+//    location. That gap is precisely what distinguishes a correct
+//    release/acquire handshake from a mutated relaxed one, and the read
+//    of a stale message is an explorable decision like any scheduling
+//    choice. RMWs always read the latest message (atomicity) and extend
+//    release sequences. seq_cst is modeled conservatively strongly via a
+//    global SC view (good enough: the checked protocols are
+//    release/acquire/relaxed throughout).
+//
+//  * Exploration strategies. Bounded-exhaustive DFS over all schedules
+//    with a preemption bound (plus all read choices), PCT-style
+//    randomized priority scheduling with a seed, and exact replay of a
+//    recorded decision list.
+//
+// The checker is single-OS-threaded by construction: checked code runs
+// cooperatively, so plain (non-atomic) fields are torn-free here even
+// where real parallel execution relies on the single-writer discipline.
+// Data races on plain fields are therefore *not* detected — that remains
+// TSAN's job; xcheck explores the orderings TSAN cannot steer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xtask::xcheck {
+
+/// A thread's view: for each registered location (by id), the index of the
+/// oldest message in that location's modification order the thread may
+/// still read. Missing entries mean 0 (everything readable).
+using View = std::vector<std::uint32_t>;
+
+// --------------------------------------------------------------------------
+// Exploration options / result.
+
+struct ExploreOptions {
+  enum class Mode {
+    kExhaustive,  // bounded DFS over schedules and read choices
+    kPct,         // randomized priority scheduling, `iterations` seeds
+  };
+  Mode mode = Mode::kExhaustive;
+
+  /// DFS: preemptions allowed per execution (a preemption = switching away
+  /// from a thread that could have kept running). Unforced switches beyond
+  /// the bound are not explored; forced switches (current thread finished)
+  /// are free. 2-3 finds the overwhelming majority of real bugs
+  /// (CHESS/PCT literature) while keeping small configs fully enumerable.
+  int preemption_bound = 3;
+
+  /// DFS: hard cap on executions; exceeding it marks the result
+  /// incomplete instead of running forever.
+  std::uint64_t max_executions = 1'000'000;
+
+  /// PCT: number of randomized executions and the base seed. Execution i
+  /// derives its schedule from `seed + i`, so a failure report names the
+  /// exact seed to replay.
+  std::uint64_t iterations = 2000;
+  std::uint64_t seed = 1;
+  /// PCT: priority change points per execution (the "d" in PCT's d-bound).
+  int pct_depth = 3;
+
+  /// Per-execution step budget; exceeding it is reported as a violation
+  /// (livelock / unbounded loop in the checked harness).
+  std::uint64_t max_steps = 200'000;
+
+  /// Record a human-readable event trace for the failing execution.
+  bool record_trace = true;
+};
+
+struct ExploreResult {
+  bool violation = false;
+  std::string message;  // first violation's message
+
+  /// DFS only: the whole space (under the preemption bound) was
+  /// enumerated without hitting max_executions.
+  bool complete = false;
+  std::uint64_t executions = 0;
+
+  /// Replayable identity of the failing execution: the exact decision
+  /// sequence (scheduling picks as thread ids, read choices as message
+  /// indices) plus the seed that produced it (PCT mode).
+  std::vector<std::uint32_t> decisions;
+  std::uint64_t failing_seed = 0;
+
+  /// Human-readable schedule trace of the failing execution, and a hash
+  /// over the event stream — two runs produced the identical interleaving
+  /// iff the hashes match.
+  std::string trace;
+  std::uint64_t trace_hash = 0;
+};
+
+// --------------------------------------------------------------------------
+// Harness surface.
+
+class Sched;
+
+/// Handed to the program builder each execution. The builder constructs
+/// fresh shared state (runs in "direct" mode: atomics behave plainly),
+/// registers the virtual threads, and optionally a post-execution check.
+class Exec {
+ public:
+  /// Register a virtual thread. Bodies run under the scheduler; every
+  /// instrumented atomic op is a scheduling point.
+  void thread(std::string name, std::function<void()> body);
+
+  /// Register a predicate evaluated after all threads finished (direct
+  /// mode). Call fail() from it to report a violation.
+  void check(std::function<void()> fn);
+
+  /// Report a violation from a thread body or a check function. Aborts
+  /// the current execution and makes explore() return it as a
+  /// counterexample. Safe to call from XTASK_CHECK via the fatal() hook.
+  [[noreturn]] static void fail(const std::string& msg);
+
+  /// Explicit scheduling point (models a pure compute step the scheduler
+  /// may preempt).
+  static void yield();
+
+ private:
+  friend class Sched;
+  explicit Exec(Sched* s) : sched_(s) {}
+  Sched* sched_;
+};
+
+/// Explore the program under the chosen strategy until a violation is
+/// found or the strategy's budget is exhausted. `build` is invoked once
+/// per execution and must deterministically construct the same program
+/// (no wall-clock, no global RNG) — determinism is what makes traces
+/// replayable.
+ExploreResult explore(const ExploreOptions& opts,
+                      const std::function<void(Exec&)>& build);
+
+/// Re-run one execution following a recorded decision list exactly.
+/// Returns that execution's result (violation state, trace, hash).
+ExploreResult replay(const ExploreOptions& opts,
+                     const std::function<void(Exec&)>& build,
+                     const std::vector<std::uint32_t>& decisions);
+
+/// Entry point for common.hpp's fatal() under XTASK_MODEL_CHECK: turn a
+/// failed XTASK_CHECK inside checked code into a model-checking violation
+/// when an execution is active; fall through (caller aborts) otherwise.
+void on_fatal(const char* msg) noexcept;
+
+// --------------------------------------------------------------------------
+// Scheduler core. xatomic<T> calls into this; tests use explore()/replay().
+
+class Sched {
+ public:
+  /// The active scheduler, non-null between explore() entry and exit.
+  static Sched* active() noexcept { return active_; }
+
+  /// True when called from inside a virtual thread (instrumented ops go
+  /// through the model); false in direct mode (builder / check phase).
+  bool in_vthread() const noexcept { return current_ >= 0; }
+
+  /// Monotone id of the current execution; locations lazily re-register
+  /// when it changes (see xatomic<T>::ensure_registered).
+  std::uint64_t run_id() const noexcept { return run_id_; }
+
+  /// Global step counter (one tick per scheduling point); the oracle uses
+  /// it to timestamp operation invocations/responses.
+  std::uint64_t step() const noexcept { return step_; }
+
+  /// Register a fresh atomic location for this execution. Returns its id.
+  std::uint32_t register_loc(std::uint64_t initial_repr);
+
+  /// Scheduling point: may switch to another virtual thread. Called by
+  /// every instrumented op before it executes; no-op in direct mode.
+  void schedule_point();
+
+  /// Number of messages currently in `loc`'s modification order.
+  std::uint32_t history_size(std::uint32_t loc) const noexcept;
+
+  /// Model a store. Appends a message; returns its index.
+  std::uint32_t on_store(std::uint32_t loc, bool release, bool seq_cst,
+                         std::uint64_t repr);
+
+  /// Model a load: pick (explore/replay) which message to read among the
+  /// coherence-permitted ones; returns its index.
+  std::uint32_t on_load(std::uint32_t loc, bool acquire, bool seq_cst);
+
+  /// Model a successful RMW: reads the latest message, appends the new
+  /// one (continuing the release sequence). Returns the read index; the
+  /// written message is the one after it.
+  std::uint32_t on_rmw(std::uint32_t loc, bool acquire, bool release,
+                       bool seq_cst, std::uint64_t repr);
+
+  /// Model a failed RMW (CAS whose expected/current mismatch): a load
+  /// that always reads the latest message. Returns its index.
+  std::uint32_t on_rmw_fail(std::uint32_t loc, bool acquire);
+
+  /// Trace annotation from harness code (no scheduling effect).
+  void note(const std::string& text);
+
+ private:
+  friend class Exec;
+  friend ExploreResult explore(const ExploreOptions&,
+                               const std::function<void(Exec&)>&);
+  friend ExploreResult replay(const ExploreOptions&,
+                              const std::function<void(Exec&)>&,
+                              const std::vector<std::uint32_t>&);
+  friend void on_fatal(const char* msg) noexcept;
+
+  struct Impl;
+  explicit Sched(const ExploreOptions& opts);
+  ~Sched();
+  Sched(const Sched&) = delete;
+  Sched& operator=(const Sched&) = delete;
+
+  /// Run one execution of `build`. Returns true when a violation fired.
+  bool run_once(const std::function<void(Exec&)>& build);
+
+  /// DFS bookkeeping: advance to the next unexplored branch. False when
+  /// the space is exhausted.
+  bool dfs_advance();
+
+  [[noreturn]] void fail_current(const std::string& msg);
+  void yield_current();
+  std::uint32_t choose(std::uint32_t num_choices, bool is_schedule,
+                       const std::uint32_t* values);
+
+  std::unique_ptr<Impl> impl_;
+  static thread_local Sched* active_;
+  int current_ = -1;  // running vthread index, -1 = controller/direct
+  std::uint64_t run_id_ = 0;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace xtask::xcheck

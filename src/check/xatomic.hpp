@@ -1,0 +1,227 @@
+// Instrumented replacement for std::atomic<T> under -DXTASK_MODEL_CHECK.
+//
+// The production `xtask::atomic` alias (common.hpp) resolves here only in
+// model-checking builds. Each operation:
+//
+//   1. lazily registers the location with the active scheduler (once per
+//      execution — the same object is re-registered fresh each run),
+//   2. hits a scheduling point (the checker may switch threads), and
+//   3. runs through the view-based memory model (sched.hpp), which decides
+//      which message a load observes.
+//
+// Outside a virtual thread (no active scheduler, or the builder / check
+// phase of an execution) operations act directly on a plain value — so
+// constructors and post-run assertions behave like ordinary code.
+//
+// Modeling notes (see DESIGN.md "Model checking the lock-less core"):
+//  * compare_exchange_weak is modeled as strong: a spurious failure is a
+//    pure load followed by a retry, which explores no new states in the
+//    checked retry loops.
+//  * A failed CAS re-reads the *latest* message (slightly stronger than
+//    the architecture; strengthening never hides a violation of the
+//    protocols checked here, which only act on CAS success).
+//  * T must be trivially copyable and at most 8 bytes (true for every
+//    atomic in the runtime's lock-less core).
+#pragma once
+
+#include <atomic>  // std::memory_order
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "check/sched.hpp"
+
+namespace xtask::xcheck {
+
+template <typename T>
+class xatomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "xcheck models word-sized trivially-copyable atomics only");
+
+ public:
+  constexpr xatomic() noexcept : value_{} {}
+  constexpr xatomic(T v) noexcept : value_(v) {}  // NOLINT(runtime/explicit)
+  xatomic(const xatomic&) = delete;
+  xatomic& operator=(const xatomic&) = delete;
+
+  bool is_lock_free() const noexcept { return true; }
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const noexcept {
+    Sched* s = modeled();
+    if (s == nullptr) return value_;
+    s->schedule_point();
+    const std::uint32_t idx = s->on_load(loc_, is_acq(mo), is_sc(mo));
+    return hist_[idx];
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    Sched* s = modeled();
+    if (s == nullptr) {
+      value_ = v;
+      return;
+    }
+    s->schedule_point();
+    s->on_store(loc_, is_rel(mo), is_sc(mo), repr(v));
+    hist_.push_back(v);
+    value_ = v;
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    Sched* s = modeled();
+    if (s == nullptr) {
+      T old = value_;
+      value_ = v;
+      return old;
+    }
+    s->schedule_point();
+    const std::uint32_t read =
+        s->on_rmw(loc_, is_acq(mo), is_rel(mo), is_sc(mo), repr(v));
+    T old = hist_[read];
+    hist_.push_back(v);
+    value_ = v;
+    return old;
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order success = std::memory_order_seq_cst,
+      std::memory_order failure = std::memory_order_seq_cst) noexcept {
+    Sched* s = modeled();
+    if (s == nullptr) {
+      if (repr(value_) == repr(expected)) {
+        value_ = desired;
+        return true;
+      }
+      expected = value_;
+      return false;
+    }
+    s->schedule_point();
+    const T cur = hist_.back();
+    if (repr(cur) == repr(expected)) {
+      s->on_rmw(loc_, is_acq(success), is_rel(success), is_sc(success),
+                repr(desired));
+      hist_.push_back(desired);
+      value_ = desired;
+      return true;
+    }
+    const std::uint32_t idx = s->on_rmw_fail(loc_, is_acq(failure));
+    expected = hist_[idx];
+    return false;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order order) noexcept {
+    return compare_exchange_strong(expected, desired, order,
+                                   fail_order(order));
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order success = std::memory_order_seq_cst,
+      std::memory_order failure = std::memory_order_seq_cst) noexcept {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order order) noexcept {
+    return compare_exchange_strong(expected, desired, order);
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    return rmw_op(mo, [d](T cur) { return static_cast<T>(cur + d); });
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    return rmw_op(mo, [d](T cur) { return static_cast<T>(cur - d); });
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_or(T d, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    return rmw_op(mo, [d](T cur) { return static_cast<T>(cur | d); });
+  }
+
+  template <typename U = T>
+    requires std::is_integral_v<U>
+  T fetch_and(T d, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    return rmw_op(mo, [d](T cur) { return static_cast<T>(cur & d); });
+  }
+
+  T operator=(T v) noexcept {
+    store(v);
+    return v;
+  }
+  operator T() const noexcept { return load(); }
+
+  T operator++() noexcept { return fetch_add(T{1}) + T{1}; }
+  T operator--() noexcept { return fetch_sub(T{1}) - T{1}; }
+  T operator++(int) noexcept { return fetch_add(T{1}); }
+  T operator--(int) noexcept { return fetch_sub(T{1}); }
+
+ private:
+  static std::uint64_t repr(T v) noexcept {
+    std::uint64_t r = 0;
+    std::memcpy(&r, &v, sizeof(T));
+    return r;
+  }
+  static constexpr bool is_acq(std::memory_order mo) noexcept {
+    return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+           mo == std::memory_order_seq_cst || mo == std::memory_order_consume;
+  }
+  static constexpr bool is_rel(std::memory_order mo) noexcept {
+    return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+           mo == std::memory_order_seq_cst;
+  }
+  static constexpr bool is_sc(std::memory_order mo) noexcept {
+    return mo == std::memory_order_seq_cst;
+  }
+  static constexpr std::memory_order fail_order(std::memory_order mo) noexcept {
+    return mo == std::memory_order_acq_rel ? std::memory_order_acquire
+           : mo == std::memory_order_release ? std::memory_order_relaxed
+                                             : mo;
+  }
+
+  /// Non-null iff the access must go through the model: an exploration is
+  /// active *and* we are inside a virtual thread. Registers the location
+  /// for the current execution on first modeled access.
+  Sched* modeled() const noexcept {
+    Sched* s = Sched::active();
+    if (s == nullptr || !s->in_vthread()) return nullptr;
+    if (reg_run_ != s->run_id()) {
+      loc_ = s->register_loc(repr(value_));
+      reg_run_ = s->run_id();
+      hist_.clear();
+      hist_.push_back(value_);
+    }
+    return s;
+  }
+
+  template <typename F>
+  T rmw_op(std::memory_order mo, F next) noexcept {
+    Sched* s = modeled();
+    if (s == nullptr) {
+      T old = value_;
+      value_ = next(old);
+      return old;
+    }
+    s->schedule_point();
+    const T cur = hist_.back();
+    const T nv = next(cur);
+    s->on_rmw(loc_, is_acq(mo), is_rel(mo), is_sc(mo), repr(nv));
+    hist_.push_back(nv);
+    value_ = nv;
+    return cur;
+  }
+
+  T value_;  // latest committed value: direct-mode truth, initial message
+  mutable std::uint32_t loc_ = 0;
+  mutable std::uint64_t reg_run_ = 0;   // run_id the location was registered in
+  mutable std::vector<T> hist_;         // values parallel to the msg list
+};
+
+}  // namespace xtask::xcheck

@@ -25,6 +25,18 @@
 #include "core/common.hpp"
 #include "core/fault.hpp"
 
+// Mutation hook for the model checker's smoke test (tests/model): building
+// a TU with -DXTASK_MODEL_CHECK_MUTATE_BQUEUE weakens the producer's count
+// publication from release to relaxed. The consumer's batched pop acquires
+// that counter precisely to make its relaxed slot loads safe, so the
+// weakened variant lets xcheck hand the consumer a stale (null) slot — the
+// seeded bug the smoke test must find. Never define this outside that test.
+#if defined(XTASK_MODEL_CHECK_MUTATE_BQUEUE)
+#define XTASK_BQUEUE_COUNT_ORDER ::std::memory_order_relaxed
+#else
+#define XTASK_BQUEUE_COUNT_ORDER ::std::memory_order_release
+#endif
+
 namespace xtask {
 
 /// SPSC lock-free queue of pointers. `T` must be a pointer type: the queue
@@ -47,7 +59,7 @@ class BQueue {
   explicit BQueue(std::uint32_t capacity = 2048, std::uint32_t batch = 64)
       : mask_(capacity - 1),
         batch_(batch < capacity ? batch : capacity / 2),
-        slots_(new std::atomic<T>[capacity]) {
+        slots_(new atomic<T>[capacity]) {
     XTASK_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
     XTASK_CHECK(batch_ >= 1);
     for (std::uint32_t i = 0; i < capacity; ++i)
@@ -78,7 +90,7 @@ class BQueue {
     }
     slots_[prod_.head & mask_].store(value, std::memory_order_release);
     ++prod_.head;
-    prod_.count.store(prod_.head, std::memory_order_release);
+    prod_.count.store(prod_.head, XTASK_BQUEUE_COUNT_ORDER);
     return true;
   }
 
@@ -107,7 +119,7 @@ class BQueue {
           values[i], std::memory_order_release);
     }
     prod_.head += static_cast<std::uint32_t>(k);
-    prod_.count.store(prod_.head, std::memory_order_release);
+    prod_.count.store(prod_.head, XTASK_BQUEUE_COUNT_ORDER);
     // Slots up to `popped + capacity` are known free; credit them to the
     // scalar push path so it skips its probe until they are used up.
     prod_.batch_head = popped + capacity();
@@ -163,7 +175,7 @@ class BQueue {
     const std::uint32_t avail = pushed - cons_.tail;
     const std::size_t k = max < avail ? max : avail;
     for (std::size_t i = 0; i < k; ++i) {
-      std::atomic<T>& slot =
+      atomic<T>& slot =
           slots_[(cons_.tail + static_cast<std::uint32_t>(i)) & mask_];
       out[i] = slot.load(std::memory_order_relaxed);
       // Release so the producer's free-space probe sees the null only
@@ -206,19 +218,19 @@ class BQueue {
     std::uint32_t batch_head = 0;
     /// Total pushes, published after each slot store. Single writer (the
     /// producer); plain release stores, no RMW.
-    std::atomic<std::uint32_t> count{0};
+    atomic<std::uint32_t> count{0};
   };
   struct alignas(kCacheLine) ConsumerState {
     std::uint32_t tail = 0;
     std::uint32_t batch_tail = 0;
     /// Total pops, published after each slot null-store. Single writer
     /// (the consumer); plain release stores, no RMW.
-    std::atomic<std::uint32_t> count{0};
+    atomic<std::uint32_t> count{0};
   };
 
   const std::uint32_t mask_;
   const std::uint32_t batch_;
-  std::unique_ptr<std::atomic<T>[]> slots_;
+  std::unique_ptr<atomic<T>[]> slots_;
   ProducerState prod_;
   ConsumerState cons_;
 };

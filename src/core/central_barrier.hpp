@@ -60,9 +60,9 @@ class CentralBarrier {
 
  private:
   const int n_;
-  alignas(kCacheLine) std::atomic<std::int64_t> task_count_{0};
-  alignas(kCacheLine) std::atomic<int> arrived_{0};
-  alignas(kCacheLine) std::atomic<std::uint64_t> released_{0};
+  alignas(kCacheLine) atomic<std::int64_t> task_count_{0};
+  alignas(kCacheLine) atomic<int> arrived_{0};
+  alignas(kCacheLine) atomic<std::uint64_t> released_{0};
 };
 
 }  // namespace xtask

@@ -83,7 +83,17 @@ class XorShift {
   std::uint64_t s1_;
 };
 
+namespace detail {
+/// Consulted by fatal() before aborting. Null in production; the xcheck
+/// model checker installs a handler that converts a failed XTASK_CHECK
+/// inside a checked virtual thread into a reported (replayable) violation
+/// instead of a process abort. A function pointer — not an #ifdef — so the
+/// definition of fatal() is identical in every TU of a mixed binary.
+inline void (*fatal_hook)(const char*) noexcept = nullptr;
+}  // namespace detail
+
 [[noreturn]] inline void fatal(const char* msg) noexcept {
+  if (detail::fatal_hook != nullptr) detail::fatal_hook(msg);
   std::fprintf(stderr, "xtask fatal: %s\n", msg);
   std::abort();
 }
@@ -94,3 +104,27 @@ class XorShift {
   } while (0)
 
 }  // namespace xtask
+
+// ---------------------------------------------------------------------------
+// Atomic alias layer. The runtime's lock-less core declares its shared
+// words as `xtask::atomic<T>`. In production builds that is exactly
+// std::atomic<T> — same type, same codegen, zero overhead. Under
+// -DXTASK_MODEL_CHECK it resolves to the instrumented xcheck::xatomic<T>,
+// which routes every access through the model checker's scheduler and
+// weak-memory model (src/check/). Never mix the two flavors of the same
+// header in one binary: the templates would collide under the ODR.
+#if defined(XTASK_MODEL_CHECK)
+#include "check/xatomic.hpp"
+
+namespace xtask {
+template <typename T>
+using atomic = xcheck::xatomic<T>;
+}  // namespace xtask
+#else
+#include <atomic>
+
+namespace xtask {
+template <typename T>
+using atomic = std::atomic<T>;
+}  // namespace xtask
+#endif

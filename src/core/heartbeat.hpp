@@ -29,7 +29,10 @@
 // the case quarantine must be able to capture.
 #pragma once
 
+#include <atomic>  // std::memory_order
 #include <cstdint>
+
+#include "core/common.hpp"
 
 namespace xtask {
 
@@ -59,6 +62,87 @@ inline constexpr std::uint32_t kPhaseScheduler = 1;  // polling queues/barrier
 inline constexpr std::uint32_t kPhaseInTask = 2;     // inside a task body
 
 }  // namespace hb
+
+/// The per-worker consumer-identity guard cell: one atomic word driven
+/// through exactly the transitions in the diagram above, plus the
+/// owner-private recursion depth (a task executed inline while the worker
+/// holds its own guard may re-enter the scheduler). Extracted into a class
+/// so the runtime, the unit tests, and the model checker (tests/model)
+/// exercise the *same* state machine — the two linearization points argued
+/// in DESIGN.md (quarantine = winning free -> monitor, readmission =
+/// monitor -> free) live here.
+class GuardCell {
+ public:
+  /// Worker side: take the own-consumer role (free -> owner), or re-enter
+  /// if this thread already holds it. Only the owning worker's thread may
+  /// call this — that single-caller discipline is what makes reading
+  /// `depth_ > 0` before the CAS safe.
+  bool try_acquire_owner() noexcept {
+    if (depth_ > 0) {
+      ++depth_;
+      return true;
+    }
+    std::uint32_t expect = hb::kGuardFree;
+    if (!state_.compare_exchange_strong(expect, hb::kGuardOwner,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed))
+      return false;  // quarantined or mid-reclaim
+    depth_ = 1;
+    return true;
+  }
+
+  /// Worker side: leave one nesting level; the outermost release hands the
+  /// cell back (owner -> free) with release ordering so the consumer-state
+  /// writes made under the guard are visible to the next holder.
+  void release_owner() noexcept {
+    if (--depth_ == 0)
+      state_.store(hb::kGuardFree, std::memory_order_release);
+  }
+
+  /// Monitor side: quarantine's linearization point (free -> monitor).
+  bool try_quarantine() noexcept {
+    std::uint32_t expect = hb::kGuardFree;
+    return state_.compare_exchange_strong(expect, hb::kGuardMonitor,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+  }
+
+  /// Monitor side: readmission's linearization point (monitor -> free).
+  /// Fails while a reclaimer borrows the cell.
+  bool try_readmit() noexcept {
+    std::uint32_t expect = hb::kGuardMonitor;
+    return state_.compare_exchange_strong(expect, hb::kGuardFree,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+  }
+
+  /// Healthy-peer side: borrow a quarantined worker's consumer identity to
+  /// drain its rows (monitor -> reclaimer)…
+  bool try_borrow_reclaimer() noexcept {
+    std::uint32_t expect = hb::kGuardMonitor;
+    return state_.compare_exchange_strong(expect, hb::kGuardReclaimer,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+  }
+
+  /// …and hand it back between batches (reclaimer -> monitor) so the
+  /// monitor can readmit at any batch boundary.
+  void return_reclaimer() noexcept {
+    state_.store(hb::kGuardMonitor, std::memory_order_release);
+  }
+
+  /// Owner-private recursion depth; meaningful only on the owning thread.
+  int owner_depth() const noexcept { return depth_; }
+
+  /// Raw state for diagnostics and tests.
+  std::uint32_t state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+
+ private:
+  atomic<std::uint32_t> state_{hb::kGuardFree};
+  int depth_ = 0;  // owner-private: written only under / by the owner
+};
 
 /// Aggregate self-healing statistics (Runtime::health_stats()).
 struct HealthStats {

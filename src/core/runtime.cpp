@@ -690,24 +690,15 @@ void Runtime::start_watchdog() {
 
 bool Runtime::acquire_guard(detail::Worker& w) noexcept {
   if (!guard_enabled_) return true;
-  if (w.guard_depth > 0) {
-    // Only this worker's own thread ever CASes free -> owner, so observing
-    // depth > 0 means *we* hold it: inline-executed task re-entering.
-    ++w.guard_depth;
-    return true;
-  }
-  std::uint32_t expect = hb::kGuardFree;
-  if (!w.guard.compare_exchange_strong(expect, hb::kGuardOwner,
-                                       std::memory_order_acq_rel,
-                                       std::memory_order_relaxed)) {
+  if (!w.guard.try_acquire_owner()) {
     // Quarantined (or mid-reclaim): we cannot act as our own consumer.
     // Bumping the heartbeat here is what earns readmission.
     hb_bump(w);
     cpu_pause();
     return false;
   }
-  w.guard_depth = 1;
-  if (w.was_quarantined.load(std::memory_order_relaxed)) {
+  if (w.guard.owner_depth() == 1 &&
+      w.was_quarantined.load(std::memory_order_relaxed)) {
     // First acquisition after a readmission: attribute the episode to our
     // own (single-writer) profiler counters.
     w.was_quarantined.store(false, std::memory_order_relaxed);
@@ -730,14 +721,11 @@ bool Runtime::try_reclaim(detail::Worker& w) {
     if (vic.health.load(std::memory_order_acquire) !=
         static_cast<std::uint32_t>(WorkerHealth::kQuarantined))
       continue;
-    std::uint32_t expect = hb::kGuardMonitor;
-    if (!vic.guard.compare_exchange_strong(expect, hb::kGuardReclaimer,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_relaxed))
+    if (!vic.guard.try_borrow_reclaimer())
       continue;  // another reclaimer won, or the victim was just readmitted
     Task* batch[kMaxReclaim];
     const std::size_t got = xq_.pop_batch(v, batch, kMaxReclaim);
-    vic.guard.store(hb::kGuardMonitor, std::memory_order_release);
+    vic.guard.return_reclaimer();
     if (got == 0) continue;
     any = true;
     Counters& c = prof_.thread(w.id).counters;
@@ -762,7 +750,7 @@ void Runtime::maybe_inject_stall(detail::Worker& w) {
   // Never go silent while holding our own guard: a real wedged worker is
   // off-guard by construction (the guard is not held across task bodies),
   // and a guarded sleeper could not be quarantined at all.
-  if (w.guard_depth > 0) return;
+  if (w.guard.owner_depth() > 0) return;
   if (guard_enabled_ && !w.stall_injected &&
       fi->inject(FaultPoint::kWorkerStall)) {
     // Full stall: freeze the heartbeat until the monitor quarantines us,
@@ -837,10 +825,7 @@ void Runtime::monitor_main() {
           // not the worker — is the consumer identity; publishing health
           // *after* the CAS means peers acting on kQuarantined always see
           // a guard already out of the worker's hands.
-          std::uint32_t expect = hb::kGuardFree;
-          if (w.guard.compare_exchange_strong(expect, hb::kGuardMonitor,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_relaxed)) {
+          if (w.guard.try_quarantine()) {
             const bool in_task = phase == hb::kPhaseInTask;
             track[i].commit_quarantine(in_task);
             w.was_quarantined.store(true, std::memory_order_relaxed);
@@ -861,10 +846,7 @@ void Runtime::monitor_main() {
           // Linearization point of readmission: handing the guard back
           // (monitor -> free). Fails while a reclaimer borrows the guard;
           // the verdict re-fires next tick.
-          std::uint32_t expect = hb::kGuardMonitor;
-          if (w.guard.compare_exchange_strong(expect, hb::kGuardFree,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_relaxed)) {
+          if (w.guard.try_readmit()) {
             track[i].commit_readmit();
             w.health.store(
                 static_cast<std::uint32_t>(WorkerHealth::kHealthy),

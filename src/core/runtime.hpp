@@ -175,8 +175,8 @@ struct Worker {
   Runtime* rt = nullptr;
 
   // Monotone lifetime counters, read by the tree barrier census.
-  alignas(kCacheLine) std::atomic<std::uint64_t> created{0};
-  std::atomic<std::uint64_t> executed{0};
+  alignas(kCacheLine) atomic<std::uint64_t> created{0};
+  atomic<std::uint64_t> executed{0};
 
   // Lock-less steal-protocol cells (victim role).
   StealCells cells;
@@ -184,31 +184,29 @@ struct Worker {
   // --- self-healing (heartbeat/quarantine; see heartbeat.hpp) -----------
   // Liveness heartbeat: single-writer (this worker), bumped at task
   // boundaries and idle polls; sampled by the monitor thread.
-  alignas(kCacheLine) std::atomic<std::uint64_t> heartbeat{0};
+  alignas(kCacheLine) atomic<std::uint64_t> heartbeat{0};
   // Phase hint for classifying a frozen heartbeat (owner-written).
-  std::atomic<std::uint32_t> hb_phase{hb::kPhaseParked};
-  // Consumer-identity guard cell; see the hand-off diagram in
-  // heartbeat.hpp. Only used when Config::quarantine is on.
-  std::atomic<std::uint32_t> guard{hb::kGuardFree};
+  atomic<std::uint32_t> hb_phase{hb::kPhaseParked};
+  // Consumer-identity guard cell (state machine + owner recursion depth);
+  // see the hand-off diagram in heartbeat.hpp. Only used when
+  // Config::quarantine is on.
+  GuardCell guard;
   // Published health (monitor-written): peers skip kQuarantined workers
   // as DLB victims/targets and reclaim their rows.
-  std::atomic<std::uint32_t> health{
+  atomic<std::uint32_t> health{
       static_cast<std::uint32_t>(WorkerHealth::kHealthy)};
   // Central-barrier proxy handshake: last generation this worker arrived
   // for itself vs. the last the monitor arrived on its behalf. Both only
   // written under the guard, so they cannot double-arrive.
-  std::atomic<std::uint64_t> arrived_gen{0};
-  std::atomic<std::uint64_t> proxied_gen{0};
+  atomic<std::uint64_t> arrived_gen{0};
+  atomic<std::uint64_t> proxied_gen{0};
   // Set by the monitor at quarantine, consumed by the owner at its next
   // guard acquisition to attribute nquarantined/nreadmitted to its own
   // profiler counters (keeping those single-writer).
-  std::atomic<bool> was_quarantined{false};
+  atomic<bool> was_quarantined{false};
   // Owner-private: one forced kWorkerStall / kWorkerSlow per region.
   bool stall_injected = false;
   bool slow_injected = false;
-  // Owner-private guard recursion depth: a task executed inline while we
-  // hold our own guard (batched-steal overflow) may re-enter find_task.
-  int guard_depth = 0;
 
   // Owner-private scheduling state.
   alignas(kCacheLine) XorShift rng;
@@ -396,8 +394,7 @@ class Runtime {
   /// readmission — and returns false; the caller treats it as "no work".
   bool acquire_guard(detail::Worker& w) noexcept;
   void release_guard(detail::Worker& w) noexcept {
-    if (guard_enabled_ && --w.guard_depth == 0)
-      w.guard.store(hb::kGuardFree, std::memory_order_release);
+    if (guard_enabled_) w.guard.release_owner();
   }
   /// Healthy-worker side of recovery: if any worker is quarantined, try to
   /// take its guard (monitor -> reclaimer), drain its XQueue row via the

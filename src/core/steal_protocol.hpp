@@ -44,9 +44,9 @@ constexpr std::uint64_t round_of(std::uint64_t request) noexcept {
 /// polled by the victim) do not false-share.
 struct StealCells {
   /// Monotone, starts at 1 (paper §IV-B); owned by the victim.
-  alignas(kCacheLine) std::atomic<std::uint64_t> round{1};
+  alignas(kCacheLine) atomic<std::uint64_t> round{1};
   /// Written by thieves, consumed by the victim.
-  alignas(kCacheLine) std::atomic<std::uint64_t> request{0};
+  alignas(kCacheLine) atomic<std::uint64_t> request{0};
 
   /// Thief side of Alg. 1: attempt to register `thief_id` with this
   /// victim. Returns true when the request was written (no newer request

@@ -196,7 +196,7 @@ class PoolAllocator {
     /// is atomic because the pop loop may read it for a cell that another
     /// thread just claimed; the tagged-head CAS discards such stale reads.
     struct alignas(kCacheLine) Cell {
-      std::atomic<std::uint32_t> next{kNil};
+      atomic<std::uint32_t> next{kNil};
       std::uint32_t count = 0;
       T* items[kBatch];
     };
@@ -205,8 +205,8 @@ class PoolAllocator {
     /// x 32 descriptors bounds each sub-pool at 8K cached descriptors.
     struct alignas(kCacheLine) Zone {
       std::unique_ptr<Cell[]> cells;
-      alignas(kCacheLine) std::atomic<std::uint64_t> full{0};
-      alignas(kCacheLine) std::atomic<std::uint64_t> free{0};
+      alignas(kCacheLine) atomic<std::uint64_t> full{0};
+      alignas(kCacheLine) atomic<std::uint64_t> free{0};
     };
     static constexpr std::uint32_t kCells = 256;
     static constexpr std::uint32_t kNil = 0xffffffffu;
@@ -227,7 +227,7 @@ class PoolAllocator {
     /// Pop a cell index off `stack`, kNil when empty. The single
     /// acquire-CAS is the whole commit: a thread preempted anywhere in
     /// here blocks nobody.
-    std::uint32_t pop_cell(Zone& z, std::atomic<std::uint64_t>& stack)
+    std::uint32_t pop_cell(Zone& z, atomic<std::uint64_t>& stack)
         noexcept {
       std::uint64_t head = stack.load(std::memory_order_acquire);
       for (;;) {
@@ -243,7 +243,7 @@ class PoolAllocator {
     }
 
     /// Push an exclusively-owned cell onto `stack` (single release-CAS).
-    void push_cell(Zone& z, std::atomic<std::uint64_t>& stack,
+    void push_cell(Zone& z, atomic<std::uint64_t>& stack,
                    std::uint32_t idx) noexcept {
       std::uint64_t head = stack.load(std::memory_order_relaxed);
       for (;;) {
@@ -286,8 +286,8 @@ class PoolAllocator {
 
     const AllocatorMode mode_;
     std::vector<Zone> zones_;
-    std::atomic<std::uint64_t> system_allocs_{0};
-    std::atomic<std::uint64_t> overflow_frees_{0};
+    atomic<std::uint64_t> system_allocs_{0};
+    atomic<std::uint64_t> overflow_frees_{0};
   };
 
   /// `zone` keys the shared level to the owner's NUMA zone

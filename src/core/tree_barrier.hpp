@@ -61,17 +61,17 @@ class TreeBarrier {
  private:
   struct alignas(kCacheLine) Node {
     // --- written by this node, read by its children ---
-    std::atomic<std::uint64_t> epoch{0};    // census pass being gathered
-    std::atomic<std::uint64_t> release{0};  // completed barrier generations
+    atomic<std::uint64_t> epoch{0};    // census pass being gathered
+    atomic<std::uint64_t> release{0};  // completed barrier generations
     // --- written by this node, read by its parent ---
     // Publication order: sums first (relaxed), then report_epoch
     // (release). The parent reads report_epoch (acquire) and only then the
     // sums; the node never rewrites sums for a new epoch until the parent
     // has consumed the old one (the parent consumes all child reports for
     // epoch e before anyone advances to e+1).
-    std::atomic<std::uint64_t> report_epoch{0};
-    std::atomic<std::uint64_t> sum_created{0};
-    std::atomic<std::uint64_t> sum_executed{0};
+    atomic<std::uint64_t> report_epoch{0};
+    atomic<std::uint64_t> sum_created{0};
+    atomic<std::uint64_t> sum_executed{0};
   };
 
   bool children_reported(int tid, std::uint64_t epoch,

@@ -57,7 +57,7 @@ class XQueueT {
     queues_.reserve(static_cast<std::size_t>(n_) * n_);
     for (int i = 0; i < n_ * n_; ++i)
       queues_.push_back(std::make_unique<BQueue<TaskPtr>>(queue_capacity));
-    hints_ = std::make_unique<std::atomic<std::uint8_t>[]>(
+    hints_ = std::make_unique<atomic<std::uint8_t>[]>(
         hint_stride_ * static_cast<std::size_t>(n_));
     for (std::size_t i = 0; i < hint_stride_ * static_cast<std::size_t>(n_);
          ++i)
@@ -104,7 +104,7 @@ class XQueueT {
     // with a producer set and lose, and this bounds how long that hidden
     // task waits.
     const bool full_scan = pc.miss_tick >= kFullScanPeriod;
-    std::atomic<std::uint8_t>* const hrow =
+    atomic<std::uint8_t>* const hrow =
         hints_.get() + static_cast<std::size_t>(self) * hint_stride_;
     // Increment-and-wrap rotation — no modulo in the scan loop.
     int p = static_cast<int>(pc.rot);
@@ -198,7 +198,7 @@ class XQueueT {
   /// cache-line grab) when the byte is already set, which is the common
   /// case on a busy queue.
   void note_push(int consumer, int producer) noexcept {
-    std::atomic<std::uint8_t>& h =
+    atomic<std::uint8_t>& h =
         hints_[static_cast<std::size_t>(consumer) * hint_stride_ +
                static_cast<std::size_t>(producer)];
     if (h.load(std::memory_order_relaxed) == 0)
@@ -217,7 +217,7 @@ class XQueueT {
   std::vector<std::unique_ptr<BQueue<TaskPtr>>> queues_;
   // Byte flags: hints_[consumer * hint_stride_ + producer] != 0 means
   // q(consumer, producer) is plausibly non-empty.
-  std::unique_ptr<std::atomic<std::uint8_t>[]> hints_;
+  std::unique_ptr<atomic<std::uint8_t>[]> hints_;
   std::vector<PerConsumer> state_;
 };
 

@@ -1,0 +1,200 @@
+// Model checking the GuardCell state machine (core/heartbeat.hpp): the
+// per-worker consumer-identity cell the self-healing layer CASes through
+//   free -> owner -> free            (worker)
+//   free -> monitor -> free          (quarantine / readmission)
+//   monitor -> reclaimer -> monitor  (healthy peer draining rows)
+// Checked two ways: a mutual-exclusion invariant (owner and reclaimer
+// critical sections never overlap — that exclusivity is what keeps the
+// single-writer XQueue/TreeBarrier state race-free under surrogate use),
+// and a linearizability oracle whose sequential spec *is* the state
+// machine, with the acq_rel CASes as the linearization points argued in
+// DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/lin_oracle.hpp"
+#include "core/heartbeat.hpp"
+#include "model_harness.hpp"
+
+namespace xc = xtask::xcheck;
+using xtask::GuardCell;
+
+namespace {
+
+// Op codes for the guard history.
+enum : std::uint64_t {
+  kOpAcquire = 0,   // ret: 1 success / 0 refused
+  kOpRelease = 1,   //
+  kOpQuarantine = 2,
+  kOpReadmit = 3,
+  kOpBorrow = 4,
+  kOpReturn = 5,
+};
+
+/// Sequential spec: replay the transition diagram literally. A failed CAS
+/// is also an operation — it must have observed a state that refuses the
+/// transition at its linearization point.
+struct GuardSpec {
+  struct State {
+    std::uint32_t s = xtask::hb::kGuardFree;
+  };
+  State initial() const { return {}; }
+  bool apply(State& st, const xc::OpRecord& op) const {
+    namespace hb = xtask::hb;
+    switch (op.kind) {
+      case kOpAcquire:
+        if (op.ret == 1) {
+          if (st.s != hb::kGuardFree) return false;
+          st.s = hb::kGuardOwner;
+          return true;
+        }
+        return st.s != hb::kGuardFree;
+      case kOpRelease:
+        if (st.s != hb::kGuardOwner) return false;
+        st.s = hb::kGuardFree;
+        return true;
+      case kOpQuarantine:
+        if (op.ret == 1) {
+          if (st.s != hb::kGuardFree) return false;
+          st.s = hb::kGuardMonitor;
+          return true;
+        }
+        return st.s != hb::kGuardFree;
+      case kOpReadmit:
+        if (op.ret == 1) {
+          if (st.s != hb::kGuardMonitor) return false;
+          st.s = hb::kGuardFree;
+          return true;
+        }
+        return st.s != hb::kGuardMonitor;
+      case kOpBorrow:
+        if (op.ret == 1) {
+          if (st.s != hb::kGuardMonitor) return false;
+          st.s = hb::kGuardReclaimer;
+          return true;
+        }
+        return st.s != hb::kGuardMonitor;
+      case kOpReturn:
+        if (st.s != hb::kGuardReclaimer) return false;
+        st.s = hb::kGuardMonitor;
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+/// Shared critical-section flag: 0 = nobody, otherwise the holder's tag.
+/// Plain field on purpose — the checker is single-OS-threaded, so this is
+/// torn-free; the yield() inside makes an overlap observable.
+struct Cs {
+  int holder = 0;
+  void enter(int who) {
+    if (holder != 0)
+      xc::Exec::fail("guard mutual exclusion violated: " +
+                     std::to_string(who) + " entered while " +
+                     std::to_string(holder) + " holds the consumer role");
+    holder = who;
+    xc::Exec::yield();  // let the other side try to break in mid-section
+    holder = 0;
+  }
+};
+
+// The full three-role dance, exhaustively: a worker taking/releasing the
+// guard around consumer steps, the monitor quarantining and readmitting,
+// and a healthy peer borrowing the cell to reclaim. Exclusion + spec.
+TEST(ModelGuard, ExhaustiveThreeRoleExclusionAndLinearization) {
+  auto r = xc::explore(model::exhaustive(2), [](xc::Exec& ex) {
+    auto g = std::make_shared<GuardCell>();
+    auto cs = std::make_shared<Cs>();
+    auto log = std::make_shared<xc::HistoryLog>();
+    ex.thread("worker", [g, cs, log] {
+      for (int round = 0; round < 2; ++round) {
+        std::size_t op = log->invoke(0, kOpAcquire, 0, "acquire_owner");
+        const bool ok = g->try_acquire_owner();
+        log->respond(op, ok ? 1 : 0);
+        if (!ok) continue;  // quarantined or mid-reclaim: back off
+        cs->enter(1);
+        op = log->invoke(0, kOpRelease, 0, "release_owner");
+        g->release_owner();
+        log->respond(op, 0);
+      }
+    });
+    ex.thread("monitor", [g, log] {
+      std::size_t op = log->invoke(1, kOpQuarantine, 0, "quarantine");
+      const bool q = g->try_quarantine();
+      log->respond(op, q ? 1 : 0);
+      if (!q) return;
+      // Readmit with bounded retries: refusals are legal while the
+      // reclaimer borrows the cell, and it returns within bounded steps.
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        op = log->invoke(1, kOpReadmit, 0, "readmit");
+        const bool ok = g->try_readmit();
+        log->respond(op, ok ? 1 : 0);
+        if (ok) return;
+        xc::Exec::yield();
+      }
+    });
+    ex.thread("reclaimer", [g, cs, log] {
+      std::size_t op = log->invoke(2, kOpBorrow, 0, "borrow_reclaimer");
+      const bool b = g->try_borrow_reclaimer();
+      log->respond(op, b ? 1 : 0);
+      if (!b) return;
+      cs->enter(2);
+      op = log->invoke(2, kOpReturn, 0, "return_reclaimer");
+      g->return_reclaimer();
+      log->respond(op, 0);
+    });
+    ex.check([g, log] {
+      const xc::LinResult lin = xc::check_linearizable(GuardSpec{}, *log);
+      if (!lin.ok) xc::Exec::fail(lin.message);
+      // Terminal state sanity: every role released what it held.
+      const std::uint32_t s = g->state();
+      if (s != xtask::hb::kGuardFree && s != xtask::hb::kGuardMonitor)
+        xc::Exec::fail("guard left in owner/reclaimer state at exit");
+    });
+  });
+  model::expect_clean(r, "guard_three_role", /*require_complete=*/true);
+  EXPECT_GT(r.executions, 10u);
+}
+
+// Reentrant ownership: a nested acquire must not open a window where the
+// monitor can quarantine a worker that still holds the guard. The inner
+// release must NOT free the cell; only the outermost one does.
+TEST(ModelGuard, ExhaustiveReentrancyBlocksQuarantine) {
+  auto r = xc::explore(model::exhaustive(3), [](xc::Exec& ex) {
+    auto g = std::make_shared<GuardCell>();
+    auto holding = std::make_shared<int>(0);
+    ex.thread("worker", [g, holding] {
+      if (!g->try_acquire_owner()) return;
+      *holding = 1;
+      xc::Exec::yield();
+      // Inline task re-enters the scheduler: nested acquire on the same
+      // thread must succeed without a CAS and without freeing on exit.
+      if (!g->try_acquire_owner())
+        xc::Exec::fail("nested acquire refused on the owning thread");
+      if (g->owner_depth() != 2) xc::Exec::fail("depth != 2 while nested");
+      g->release_owner();  // inner
+      xc::Exec::yield();   // the quarantine window, if the bug existed
+      if (g->owner_depth() != 1)
+        xc::Exec::fail("inner release dropped ownership");
+      *holding = 0;
+      g->release_owner();  // outer
+    });
+    ex.thread("monitor", [g, holding] {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        if (g->try_quarantine()) {
+          if (*holding != 0)
+            xc::Exec::fail("quarantined a worker still holding its guard");
+          g->try_readmit();
+          return;
+        }
+        xc::Exec::yield();
+      }
+    });
+  });
+  model::expect_clean(r, "guard_reentrancy", /*require_complete=*/true);
+}
+
+}  // namespace

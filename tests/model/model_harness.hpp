@@ -1,0 +1,72 @@
+// Shared helpers for the xcheck model-test suite (tests/model).
+//
+// Every TU in this suite is compiled with -DXTASK_MODEL_CHECK, so the
+// runtime headers it includes use the instrumented xcheck::xatomic<T>.
+// Model binaries link ONLY xtask_check + GTest — never xtask_core or
+// xtask_sim — so the instrumented and production flavors of the same
+// inline/template code can never be folded together by the linker.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/sched.hpp"
+
+namespace model {
+
+/// Write the failing schedule trace where a human (or the CI artifact
+/// uploader — see .github/workflows/ci.yml, job `model-check`) can find
+/// it: $XCHECK_TRACE_DIR/<test>.trace when the variable is set.
+inline void dump_trace(const std::string& test_name,
+                       const xtask::xcheck::ExploreResult& r) {
+  std::string body = "violation: " + r.message + "\n";
+  if (r.failing_seed != 0)
+    body += "failing seed: " + std::to_string(r.failing_seed) + "\n";
+  body += "trace hash: " + std::to_string(r.trace_hash) + "\n";
+  body += "decisions:";
+  for (std::uint32_t d : r.decisions) body += " " + std::to_string(d);
+  body += "\nschedule trace:\n" + r.trace;
+  std::fprintf(stderr, "[xcheck] %s\n%s", test_name.c_str(), body.c_str());
+  if (const char* dir = std::getenv("XCHECK_TRACE_DIR")) {
+    const std::string path = std::string(dir) + "/" + test_name + ".trace";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(body.c_str(), f);
+      std::fclose(f);
+    }
+  }
+}
+
+/// Assert an exploration finished without violations. On failure the
+/// replayable trace goes to stderr (and $XCHECK_TRACE_DIR if set).
+inline void expect_clean(const xtask::xcheck::ExploreResult& r,
+                         const std::string& test_name,
+                         bool require_complete = false) {
+  if (r.violation) dump_trace(test_name, r);
+  EXPECT_FALSE(r.violation) << test_name << ": " << r.message;
+  if (require_complete) {
+    EXPECT_TRUE(r.complete)
+        << test_name << ": exhaustive enumeration hit the execution cap ("
+        << r.executions << " executions)";
+  }
+}
+
+inline xtask::xcheck::ExploreOptions exhaustive(int preemption_bound = 3) {
+  xtask::xcheck::ExploreOptions o;
+  o.mode = xtask::xcheck::ExploreOptions::Mode::kExhaustive;
+  o.preemption_bound = preemption_bound;
+  return o;
+}
+
+inline xtask::xcheck::ExploreOptions pct(std::uint64_t seed,
+                                         std::uint64_t iterations = 500) {
+  xtask::xcheck::ExploreOptions o;
+  o.mode = xtask::xcheck::ExploreOptions::Mode::kPct;
+  o.seed = seed;
+  o.iterations = iterations;
+  return o;
+}
+
+}  // namespace model

@@ -1,0 +1,333 @@
+// Self-tests for the xcheck checker itself: classic litmus shapes with
+// known-allowed/known-forbidden outcomes, determinism and replay
+// guarantees, the fatal() hook, and the linearizability oracle's search.
+// If these pass, a clean result from the primitive tests actually means
+// something.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "check/lin_oracle.hpp"
+#include "check/sched.hpp"
+#include "core/common.hpp"  // xtask::atomic → xcheck::xatomic here
+#include "model_harness.hpp"
+
+namespace xc = xtask::xcheck;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Message passing: flag with release/acquire ⇒ payload visible. The
+// checker must find NO violation across the whole bounded-exhaustive space.
+TEST(XCheckSelf, MessagePassingReleaseAcquireIsClean) {
+  auto r = xc::explore(model::exhaustive(), [](xc::Exec& ex) {
+    auto data = std::make_shared<xtask::atomic<int>>(0);
+    auto flag = std::make_shared<xtask::atomic<int>>(0);
+    ex.thread("writer", [data, flag] {
+      data->store(42, std::memory_order_relaxed);
+      flag->store(1, std::memory_order_release);
+    });
+    ex.thread("reader", [data, flag] {
+      if (flag->load(std::memory_order_acquire) == 1) {
+        if (data->load(std::memory_order_relaxed) != 42)
+          xc::Exec::fail("acquire saw flag but stale data");
+      }
+    });
+  });
+  model::expect_clean(r, "mp_release_acquire", /*require_complete=*/true);
+  EXPECT_GT(r.executions, 1u);
+}
+
+// Message passing with a *relaxed* flag store: the stale-data outcome is
+// allowed by the architecture, and the checker must be able to produce it.
+// This is the core capability the BQueue mutation smoke test relies on.
+TEST(XCheckSelf, MessagePassingRelaxedFlagFindsStaleRead) {
+  auto build = [](xc::Exec& ex) {
+    auto data = std::make_shared<xtask::atomic<int>>(0);
+    auto flag = std::make_shared<xtask::atomic<int>>(0);
+    ex.thread("writer", [data, flag] {
+      data->store(42, std::memory_order_relaxed);
+      flag->store(1, std::memory_order_relaxed);  // the seeded weakness
+    });
+    ex.thread("reader", [data, flag] {
+      if (flag->load(std::memory_order_acquire) == 1) {
+        if (data->load(std::memory_order_relaxed) != 42)
+          xc::Exec::fail("stale data behind relaxed flag");
+      }
+    });
+  };
+  auto r = xc::explore(model::exhaustive(), build);
+  ASSERT_TRUE(r.violation) << "exhaustive mode missed the allowed stale read";
+  EXPECT_NE(r.trace.find("stale"), std::string::npos) << r.trace;
+
+  // The decision list must replay to the bit-identical interleaving.
+  auto rr = xc::replay(model::exhaustive(), build, r.decisions);
+  ASSERT_TRUE(rr.violation);
+  EXPECT_EQ(rr.trace_hash, r.trace_hash);
+  EXPECT_EQ(rr.message, r.message);
+}
+
+// Store buffering with seq_cst on every access: the both-read-zero outcome
+// is forbidden, so exhaustive exploration must terminate with no violation.
+TEST(XCheckSelf, StoreBufferingSeqCstForbidsBothZero) {
+  auto r = xc::explore(model::exhaustive(), [](xc::Exec& ex) {
+    auto x = std::make_shared<xtask::atomic<int>>(0);
+    auto y = std::make_shared<xtask::atomic<int>>(0);
+    auto r0 = std::make_shared<int>(-1);
+    auto r1 = std::make_shared<int>(-1);
+    ex.thread("a", [x, y, r0] {
+      x->store(1);
+      *r0 = y->load();
+    });
+    ex.thread("b", [x, y, r1] {
+      y->store(1);
+      *r1 = x->load();
+    });
+    ex.check([r0, r1] {
+      if (*r0 == 0 && *r1 == 0)
+        xc::Exec::fail("SC store buffering produced r0 == r1 == 0");
+    });
+  });
+  model::expect_clean(r, "sb_seq_cst", /*require_complete=*/true);
+}
+
+// The same shape with relaxed accesses allows both-zero; the checker must
+// find it (this exercises the post-run check() path, not in-thread fail).
+TEST(XCheckSelf, StoreBufferingRelaxedAllowsBothZero) {
+  auto r = xc::explore(model::exhaustive(), [](xc::Exec& ex) {
+    auto x = std::make_shared<xtask::atomic<int>>(0);
+    auto y = std::make_shared<xtask::atomic<int>>(0);
+    auto r0 = std::make_shared<int>(-1);
+    auto r1 = std::make_shared<int>(-1);
+    ex.thread("a", [x, y, r0] {
+      x->store(1, std::memory_order_relaxed);
+      *r0 = y->load(std::memory_order_relaxed);
+    });
+    ex.thread("b", [x, y, r1] {
+      y->store(1, std::memory_order_relaxed);
+      *r1 = x->load(std::memory_order_relaxed);
+    });
+    ex.check([r0, r1] {
+      if (*r0 == 0 && *r1 == 0) xc::Exec::fail("both zero (allowed)");
+    });
+  });
+  EXPECT_TRUE(r.violation);
+}
+
+// RMW atomicity: two concurrent fetch_adds must never lose an increment,
+// under any schedule and any (relaxed) memory order.
+TEST(XCheckSelf, ConcurrentFetchAddNeverLosesIncrements) {
+  auto r = xc::explore(model::exhaustive(), [](xc::Exec& ex) {
+    auto c = std::make_shared<xtask::atomic<int>>(0);
+    for (int t = 0; t < 2; ++t)
+      ex.thread("inc", [c] {
+        c->fetch_add(1, std::memory_order_relaxed);
+        c->fetch_add(1, std::memory_order_relaxed);
+      });
+    ex.check([c] {
+      if (c->load() != 4) xc::Exec::fail("lost increment");
+    });
+  });
+  model::expect_clean(r, "rmw_atomicity", /*require_complete=*/true);
+}
+
+// Release-sequence continuation: a relaxed RMW between a release store and
+// an acquire load must not break synchronization.
+TEST(XCheckSelf, ReleaseSequenceThroughRelaxedRmw) {
+  auto r = xc::explore(model::exhaustive(), [](xc::Exec& ex) {
+    auto data = std::make_shared<xtask::atomic<int>>(0);
+    auto flag = std::make_shared<xtask::atomic<int>>(0);
+    ex.thread("writer", [data, flag] {
+      data->store(7, std::memory_order_relaxed);
+      flag->store(1, std::memory_order_release);
+    });
+    ex.thread("bumper", [flag] {
+      // Relaxed RMW continues the writer's release sequence.
+      flag->fetch_add(1, std::memory_order_relaxed);
+    });
+    ex.thread("reader", [data, flag] {
+      if (flag->load(std::memory_order_acquire) == 2) {
+        // Read the RMW's message ⇒ synchronizes with the original release.
+        if (data->load(std::memory_order_relaxed) != 7)
+          xc::Exec::fail("release sequence broken by relaxed RMW");
+      }
+    });
+  });
+  model::expect_clean(r, "release_sequence", /*require_complete=*/true);
+}
+
+// XTASK_CHECK inside a virtual thread must surface as a reported,
+// replayable violation via the fatal() hook — not a process abort.
+TEST(XCheckSelf, FatalHookTurnsCheckFailureIntoViolation) {
+  auto r = xc::explore(model::exhaustive(), [](xc::Exec& ex) {
+    auto x = std::make_shared<xtask::atomic<int>>(0);
+    ex.thread("t", [x] {
+      x->store(1, std::memory_order_relaxed);
+      XTASK_CHECK(x->load(std::memory_order_relaxed) == 2);  // fires
+    });
+  });
+  ASSERT_TRUE(r.violation);
+  EXPECT_NE(r.message.find("check failed"), std::string::npos) << r.message;
+  EXPECT_FALSE(r.decisions.empty());
+}
+
+// Exhaustive exploration is deterministic: same program, same space, same
+// execution count, twice in a row.
+TEST(XCheckSelf, ExhaustiveEnumerationIsDeterministic) {
+  auto build = [](xc::Exec& ex) {
+    auto x = std::make_shared<xtask::atomic<int>>(0);
+    for (int t = 0; t < 3; ++t)
+      ex.thread("t", [x] { x->fetch_add(1, std::memory_order_relaxed); });
+  };
+  auto a = xc::explore(model::exhaustive(2), build);
+  auto b = xc::explore(model::exhaustive(2), build);
+  EXPECT_TRUE(a.complete);
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_FALSE(a.violation);
+}
+
+// PCT: the failing seed printed in a report reproduces the identical
+// interleaving — same decisions, same trace hash.
+TEST(XCheckSelf, PctFailingSeedReproducesIdenticalInterleaving) {
+  auto build = [](xc::Exec& ex) {
+    auto x = std::make_shared<xtask::atomic<int>>(0);
+    auto y = std::make_shared<xtask::atomic<int>>(0);
+    ex.thread("a", [x, y] {
+      x->store(1, std::memory_order_relaxed);
+      if (y->load(std::memory_order_relaxed) == 0 &&
+          x->load(std::memory_order_relaxed) == 1)
+        xc::Exec::fail("reached the target interleaving");
+    });
+    ex.thread("b", [y] { y->store(1, std::memory_order_relaxed); });
+  };
+  auto r = xc::explore(model::pct(/*seed=*/1, /*iterations=*/500), build);
+  ASSERT_TRUE(r.violation) << "PCT never hit an easily reachable state";
+  ASSERT_NE(r.failing_seed, 0u);
+
+  xc::ExploreOptions one = model::pct(r.failing_seed, 1);
+  auto rr = xc::explore(one, build);
+  ASSERT_TRUE(rr.violation);
+  EXPECT_EQ(rr.failing_seed, r.failing_seed);
+  EXPECT_EQ(rr.decisions, r.decisions);
+  EXPECT_EQ(rr.trace_hash, r.trace_hash);
+}
+
+// A runaway loop in a checked body is reported as a violation (step
+// budget), not a hang.
+TEST(XCheckSelf, StepBudgetCatchesLivelock) {
+  xc::ExploreOptions o = model::pct(1, 1);
+  o.max_steps = 500;
+  auto r = xc::explore(o, [](xc::Exec& ex) {
+    auto x = std::make_shared<xtask::atomic<int>>(0);
+    ex.thread("spin", [x] {
+      while (x->load(std::memory_order_relaxed) == 0) {
+      }
+    });
+  });
+  ASSERT_TRUE(r.violation);
+  EXPECT_NE(r.message.find("step budget"), std::string::npos) << r.message;
+}
+
+// --------------------------------------------------------------------------
+// Linearizability oracle unit tests (no scheduler involved).
+
+struct RegisterSpec {
+  // kind 1 = write(arg), kind 2 = read() -> ret.
+  using State = std::uint64_t;
+  State initial() const { return 0; }
+  bool apply(State& s, const xc::OpRecord& op) const {
+    if (op.kind == 1) {
+      s = op.arg;
+      return true;
+    }
+    return op.ret == s;
+  }
+};
+
+TEST(LinOracle, AcceptsSequentiallyConsistentRegisterHistory) {
+  xc::HistoryLog log;
+  auto w = log.invoke(0, 1, 5, "write(5)");
+  log.respond(w, 0);
+  auto rd = log.invoke(1, 2, 0, "read()->5");
+  log.respond(rd, 5);
+  auto res = xc::check_linearizable(RegisterSpec{}, log);
+  EXPECT_TRUE(res.ok) << res.message;
+  EXPECT_TRUE(res.conclusive);
+}
+
+TEST(LinOracle, RejectsValueFromNowhere) {
+  xc::HistoryLog log;
+  auto w = log.invoke(0, 1, 5, "write(5)");
+  log.respond(w, 0);
+  auto rd = log.invoke(1, 2, 0, "read()->7");
+  log.respond(rd, 7);  // 7 was never written
+  auto res = xc::check_linearizable(RegisterSpec{}, log);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.message.find("no linearization"), std::string::npos);
+}
+
+TEST(LinOracle, HonorsPerThreadProgramOrder) {
+  // One thread writes 1 then 2; a same-thread read of 1 afterwards cannot
+  // linearize (program order pins read after write(2)).
+  xc::HistoryLog log;
+  auto w1 = log.invoke(0, 1, 1, "write(1)");
+  log.respond(w1, 0);
+  auto w2 = log.invoke(0, 1, 2, "write(2)");
+  log.respond(w2, 0);
+  auto rd = log.invoke(0, 2, 0, "read()->1");
+  log.respond(rd, 1);
+  auto res = xc::check_linearizable(RegisterSpec{}, log);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(LinOracle, CrossThreadOverlapMayReorder) {
+  // Another thread's read of the *old* value is fine: no program-order
+  // edge forces it after the write.
+  xc::HistoryLog log;
+  auto w = log.invoke(0, 1, 9, "write(9)");
+  log.respond(w, 0);
+  auto rd = log.invoke(1, 2, 0, "read()->0");
+  log.respond(rd, 0);
+  auto res = xc::check_linearizable(RegisterSpec{}, log);
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(LinOracle, IgnoresPendingOperations) {
+  xc::HistoryLog log;
+  log.invoke(0, 1, 3, "write(3) [never returns]");
+  auto rd = log.invoke(1, 2, 0, "read()->0");
+  log.respond(rd, 0);
+  auto res = xc::check_linearizable(RegisterSpec{}, log);
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+struct QueueSpec {
+  // kind 1 = push(arg), kind 2 = pop() -> ret (0 = empty).
+  using State = std::deque<std::uint64_t>;
+  State initial() const { return {}; }
+  bool apply(State& s, const xc::OpRecord& op) const {
+    if (op.kind == 1) {
+      s.push_back(op.arg);
+      return true;
+    }
+    if (op.ret == 0) return s.empty();
+    if (s.empty() || s.front() != op.ret) return false;
+    s.pop_front();
+    return true;
+  }
+};
+
+TEST(LinOracle, QueueSpecRejectsDuplicatedPop) {
+  xc::HistoryLog log;
+  auto p = log.invoke(0, 1, 11, "push(11)");
+  log.respond(p, 0);
+  auto a = log.invoke(1, 2, 0, "pop()->11");
+  log.respond(a, 11);
+  auto b = log.invoke(2, 2, 0, "pop()->11");
+  log.respond(b, 11);  // the same element twice
+  auto res = xc::check_linearizable(QueueSpec{}, log);
+  EXPECT_FALSE(res.ok);
+}
+
+}  // namespace

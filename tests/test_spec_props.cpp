@@ -1,0 +1,289 @@
+// Property-based round-trip tests for the two user-facing spec grammars:
+// Topology::parse/spec (machine shapes) and BackendSpec/RuntimeRegistry
+// (backend spec strings). A hand-rolled SplitMix64 generator drives a few
+// hundred seeded cases per property — deterministic (the seed is fixed and
+// printed on failure), no external property-testing dependency.
+//
+// Properties:
+//   * parse(t.spec()) reproduces t's shape, and spec() is a fixpoint;
+//   * generated shapes survive parse -> spec -> parse;
+//   * BackendSpec::describe() round-trips through BackendSpec::parse;
+//   * near-miss strings (one edit away from valid) are rejected, and key
+//     typos name the known key set in the error.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "registry/registry.hpp"
+
+namespace {
+
+/// SplitMix64: tiny, seedable, good enough to drive case generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [lo, hi] (inclusive).
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(
+                                             hi - lo + 1));
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(range(0, static_cast<int>(v.size()) -
+                                               1))];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<int> zone_sizes(const xtask::Topology& t) {
+  std::vector<int> sizes;
+  for (int z = 0; z < t.num_zones(); ++z)
+    sizes.push_back(static_cast<int>(t.zone_members(z).size()));
+  return sizes;
+}
+
+/// Shape equality plus the canonical-striping contract: workers appear in
+/// id order, contiguously per zone.
+void expect_same_shape(const xtask::Topology& a, const xtask::Topology& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.num_workers(), b.num_workers()) << context;
+  ASSERT_EQ(a.num_zones(), b.num_zones()) << context;
+  EXPECT_EQ(zone_sizes(a), zone_sizes(b)) << context;
+  for (int w = 0; w < a.num_workers(); ++w)
+    ASSERT_EQ(a.zone_of(w), b.zone_of(w)) << context << " worker " << w;
+}
+
+// ---------------------------------------------------------------------------
+// Topology round trips.
+
+TEST(SpecProps, TopologyUniformShapeRoundTrips) {
+  Rng rng(0xA11CE5EEDull);
+  for (int i = 0; i < 300; ++i) {
+    const int z = rng.range(1, 8);
+    const int w = rng.range(1, 16);
+    const std::string spec = std::to_string(z) + "x" + std::to_string(w);
+    const xtask::Topology t = xtask::Topology::parse(spec);
+    ASSERT_EQ(t.num_zones(), z) << spec;
+    ASSERT_EQ(t.num_workers(), z * w) << spec;
+    for (int zi = 0; zi < z; ++zi)
+      ASSERT_EQ(static_cast<int>(t.zone_members(zi).size()), w) << spec;
+    const xtask::Topology back = xtask::Topology::parse(t.spec());
+    expect_same_shape(t, back, spec);
+    // spec() is a fixpoint: canonical form re-canonicalizes to itself.
+    EXPECT_EQ(back.spec(), t.spec()) << spec;
+  }
+}
+
+TEST(SpecProps, TopologyExplicitShapeRoundTrips) {
+  Rng rng(0xBEEFCAFEull);
+  for (int i = 0; i < 300; ++i) {
+    const int z = rng.range(1, 6);
+    std::vector<int> counts;
+    std::string spec;
+    for (int zi = 0; zi < z; ++zi) {
+      counts.push_back(rng.range(1, 9));
+      if (zi > 0) spec += ":";
+      spec += std::to_string(counts.back());
+    }
+    const xtask::Topology t = xtask::Topology::parse(spec);
+    ASSERT_EQ(zone_sizes(t), counts) << spec;
+    const xtask::Topology back = xtask::Topology::parse(t.spec());
+    expect_same_shape(t, back, spec);
+    EXPECT_EQ(back.spec(), t.spec()) << spec;
+  }
+}
+
+TEST(SpecProps, TopologySyntheticSpecRoundTrips) {
+  Rng rng(0x70D0ull);
+  for (int i = 0; i < 300; ++i) {
+    const int w = rng.range(1, 32);
+    const int z = rng.range(1, 8);  // synthetic() clamps to [1, w]
+    const xtask::Topology t = xtask::Topology::synthetic(w, z);
+    const xtask::Topology back = xtask::Topology::parse(t.spec());
+    expect_same_shape(t, back, t.spec());
+  }
+}
+
+TEST(SpecProps, TopologySingleNumberIsOneZone) {
+  Rng rng(0x1ull);
+  for (int i = 0; i < 100; ++i) {
+    const int n = rng.range(1, 64);
+    const xtask::Topology t = xtask::Topology::parse(std::to_string(n));
+    EXPECT_EQ(t.num_zones(), 1);
+    EXPECT_EQ(t.num_workers(), n);
+  }
+}
+
+// Near-misses: one corruption away from a valid shape. Every operator
+// below produces a string the strict grammar must reject.
+TEST(SpecProps, TopologyNearMissesAreRejected) {
+  Rng rng(0xDEAD5EEDull);
+  for (int i = 0; i < 300; ++i) {
+    const int z = rng.range(1, 8);
+    const int w = rng.range(1, 16);
+    std::string s = std::to_string(z) + "x" + std::to_string(w);
+    switch (rng.range(0, 5)) {
+      case 0: s = "0x" + std::to_string(w); break;   // zero zone count
+      case 1: s = std::to_string(z) + "x0"; break;   // zero worker count
+      case 2: s += "x"; break;                       // trailing separator
+      case 3: s.insert(0, ":"); break;               // empty first segment
+      case 4: s[static_cast<std::size_t>(rng.range(
+                  0, static_cast<int>(s.size()) - 1))] = '?';
+              break;                                 // junk character
+      case 5: s = ""; break;                         // empty spec
+    }
+    EXPECT_THROW(xtask::Topology::parse(s), std::invalid_argument)
+        << "accepted near-miss '" << s << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend spec round trips.
+
+TEST(SpecProps, BackendSpecDescribeRoundTrips) {
+  Rng rng(0xB4C83ull);
+  const std::vector<std::string> backends = {"serial", "gomp", "lomp",
+                                             "xlomp", "xtask"};
+  const std::vector<std::string> keys = {"threads", "zones", "qcap", "dlb",
+                                         "seed",    "topo",  "yield"};
+  const std::vector<std::string> values = {"1",    "8",    "naws", "4096",
+                                           "true", "8x24", "off"};
+  for (int i = 0; i < 300; ++i) {
+    xtask::BackendSpec spec;
+    spec.backend = rng.pick(backends);
+    const int nopts = rng.range(0, 4);
+    for (int k = 0; k < nopts; ++k)
+      spec.options.emplace_back(rng.pick(keys), rng.pick(values));
+    const std::string text = spec.describe();
+    const xtask::BackendSpec back = xtask::BackendSpec::parse(text);
+    ASSERT_EQ(back.backend, spec.backend) << text;
+    ASSERT_EQ(back.options, spec.options) << text;
+    EXPECT_EQ(back.describe(), text) << "describe() not a fixpoint";
+  }
+}
+
+TEST(SpecProps, BackendSpecLastDuplicateWins) {
+  Rng rng(0xD0Dull);
+  for (int i = 0; i < 100; ++i) {
+    const int a = rng.range(1, 64);
+    const int b = rng.range(1, 64);
+    const std::string text = "xtask:threads=" + std::to_string(a) +
+                             ",threads=" + std::to_string(b);
+    const xtask::BackendSpec spec = xtask::BackendSpec::parse(text);
+    const std::string* v = spec.find("threads");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, std::to_string(b)) << text;
+  }
+}
+
+/// One-edit mutations of a valid key: drop last char, double a char, swap
+/// two adjacent chars, append a char. Skips the (rare) mutation that lands
+/// on another valid key.
+std::string mutate_key(Rng& rng, const std::string& key) {
+  std::string m = key;
+  switch (rng.range(0, 3)) {
+    case 0: m.pop_back(); break;
+    case 1: m += m[static_cast<std::size_t>(rng.range(
+                0, static_cast<int>(m.size()) - 1))];
+            break;
+    case 2: {
+      if (m.size() >= 2) {
+        const auto p = static_cast<std::size_t>(
+            rng.range(0, static_cast<int>(m.size()) - 2));
+        std::swap(m[p], m[p + 1]);
+      }
+      break;
+    }
+    case 3: m += 's'; break;
+  }
+  return m;
+}
+
+TEST(SpecProps, NearMissKeysNameTheKnownKeySet) {
+  Rng rng(0x5EED2ull);
+  struct Backend {
+    std::string name;
+    std::vector<std::string> keys;
+  };
+  // Key sets mirror registry.cpp's check_keys call per backend.
+  const std::vector<Backend> table = {
+      {"xtask",
+       {"threads", "zones", "topo", "qcap", "barrier", "dlb", "alloc",
+        "tint", "nvictim", "nsteal", "plocal", "seed", "wdog", "yield",
+        "profile", "hb", "quarantine"}},
+      {"gomp", {"threads", "zones", "topo", "yield", "profile"}},
+      {"lomp",
+       {"threads", "zones", "topo", "qcap", "seed", "xqueue", "yield",
+        "profile"}},
+  };
+  int tested = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Backend& be = table[static_cast<std::size_t>(
+        rng.range(0, static_cast<int>(table.size()) - 1))];
+    const std::set<std::string> valid(be.keys.begin(), be.keys.end());
+    const std::string typo = mutate_key(
+        rng, be.keys[static_cast<std::size_t>(
+                 rng.range(0, static_cast<int>(be.keys.size()) - 1))]);
+    if (valid.count(typo) != 0 || typo.empty()) continue;  // not a typo
+    xtask::BackendSpec spec;
+    spec.backend = be.name;
+    spec.options.emplace_back(typo, "1");
+    try {
+      if (be.name == "xtask") {
+        (void)xtask::RuntimeRegistry::xtask_config(spec);
+      } else if (be.name == "gomp") {
+        (void)xtask::RuntimeRegistry::gomp_config(spec);
+      } else {
+        (void)xtask::RuntimeRegistry::lomp_config(spec);
+      }
+      FAIL() << be.name << " accepted unknown key '" << typo << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(typo), std::string::npos) << msg;
+      EXPECT_NE(msg.find("known"), std::string::npos)
+          << "error for '" << typo << "' does not name the known keys: "
+          << msg;
+      // The suggestion list must actually contain the key that was meant.
+      EXPECT_NE(msg.find(be.keys.front()), std::string::npos) << msg;
+    }
+    ++tested;
+  }
+  EXPECT_GT(tested, 200) << "mutation filter rejected too many cases";
+}
+
+TEST(SpecProps, NearMissBackendsNameTheKnownBackends) {
+  Rng rng(0xFADEull);
+  const std::set<std::string> valid = {"serial", "gomp", "lomp", "xlomp",
+                                       "xtask"};
+  int tested = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::string> names(valid.begin(), valid.end());
+    const std::string typo = mutate_key(rng, rng.pick(names));
+    if (valid.count(typo) != 0 || typo.empty()) continue;
+    try {
+      (void)xtask::RuntimeRegistry::make(typo);
+      FAIL() << "accepted unknown backend '" << typo << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("known"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("xtask"), std::string::npos) << msg;
+    }
+    ++tested;
+  }
+  EXPECT_GT(tested, 150);
+}
+
+}  // namespace
