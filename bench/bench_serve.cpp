@@ -1,0 +1,397 @@
+// Open-loop bursty load generator for the task-service front-end
+// (src/serve): the overload experiment behind DESIGN.md's "Overload
+// control" section. A seeded arrival process (exponential inter-arrival
+// times modulated by a square-wave burst factor) drives a multi-tenant
+// mix into a TaskService at 0.5x / 1.0x / 2.0x of a calibrated
+// sustainable rate, reporting per-phase goodput and accepted-request
+// latency percentiles (p50/p99/p999) as JSON lines.
+//
+// The interesting claim is the 2.0x phase: a service WITHOUT admission
+// control melts there (unbounded queues, seconds of latency, zero
+// goodput headroom); this one must keep p99 within a small multiple of
+// the uncontended value and goodput within 10% of the 1.0x plateau while
+// every request is accounted (executed + shed + rejected == submitted).
+//
+//   bench_serve [--seconds S] [--seed N] [--work-us U] [--burst B]
+//               [--spec "xtask:..."] [--phases all|2x] [--check]
+//               [--check-slo]
+//
+// --check makes accounting violations and hangs a nonzero exit (the CI
+// overload-soak gate); --check-slo additionally enforces the p99 and
+// goodput ratios (local tuning, too machine-sensitive for shared CI).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+#include "registry/registry.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using xtask::XorShift;
+using xtask::serve::Request;
+using xtask::serve::ServeConfig;
+using xtask::serve::Submit;
+using xtask::serve::SubmitStatus;
+using xtask::serve::TaskService;
+using xtask::serve::TenantStats;
+using xtask::TenantSpec;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- latency histogram ----------------------------------------------------
+// Log-linear buckets: 16 sub-buckets per octave of nanoseconds, 64
+// octaves. ~6% relative resolution, wait-free concurrent recording.
+
+constexpr int kSubBits = 4;
+constexpr int kBuckets = 64 << kSubBits;
+std::atomic<std::uint64_t> g_hist[kBuckets];
+std::atomic<std::uint64_t> g_completed{0};
+
+int bucket_of(std::uint64_t ns) {
+  if (ns < (1u << kSubBits)) return static_cast<int>(ns);
+  const int exp = 63 - __builtin_clzll(ns);
+  const int sub = static_cast<int>((ns >> (exp - kSubBits)) & ((1 << kSubBits) - 1));
+  return ((exp - kSubBits + 1) << kSubBits) | sub;
+}
+
+double bucket_value_ns(int b) {
+  const int exp = (b >> kSubBits) + kSubBits - 1;
+  const int sub = b & ((1 << kSubBits) - 1);
+  if (exp < kSubBits) return b;  // the linear region
+  return std::ldexp(1.0 + (sub + 0.5) / (1 << kSubBits), exp);
+}
+
+void hist_reset() {
+  for (auto& h : g_hist) h.store(0, std::memory_order_relaxed);
+  g_completed.store(0, std::memory_order_relaxed);
+}
+
+double hist_percentile(double p) {
+  const std::uint64_t total = g_completed.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += g_hist[b].load(std::memory_order_relaxed);
+    if (seen > target) return bucket_value_ns(b);
+  }
+  return bucket_value_ns(kBuckets - 1);
+}
+
+// --- the request body -----------------------------------------------------
+
+std::uint64_t g_work_ns = 2000;
+
+void serve_request(const Request& req) {
+  const std::uint64_t start = now_ns();
+  g_hist[bucket_of(start - req.t_submit_ns)].fetch_add(
+      1, std::memory_order_relaxed);
+  g_completed.fetch_add(1, std::memory_order_relaxed);
+  // Synthetic work: spin for the configured service time.
+  while (now_ns() - start < g_work_ns) xtask::cpu_pause();
+}
+
+// --- the load generator ---------------------------------------------------
+
+struct PhaseResult {
+  std::string name;
+  double offered_rps = 0;
+  double goodput_rps = 0;
+  double duration_s = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  TenantStats totals;
+  bool accounting_ok = false;
+};
+
+struct Options {
+  std::string spec = "xtask:dlb=naws,tint=128";
+  double seconds = 2.0;
+  std::uint64_t seed = 42;
+  double burst = 3.0;       // square-wave peak multiplier
+  double burst_duty = 0.25; // fraction of each period spent at the peak
+  double burst_period_s = 0.2;
+  bool phases_all = true;   // false: only the 2.0x soak phase
+  bool check = false;
+  bool check_slo = false;
+};
+
+// The multi-tenant mix: shares of the offered load, distinct priorities
+// (bulk is the shed-first class).
+struct Mix {
+  const char* name;
+  double share;
+  int prio;
+};
+constexpr Mix kMix[] = {
+    {"interactive", 0.5, 5}, {"standard", 0.3, 3}, {"bulk", 0.2, 0}};
+constexpr int kTenants = static_cast<int>(sizeof(kMix) / sizeof(kMix[0]));
+
+std::vector<TenantSpec> make_tenants(double total_rate) {
+  std::vector<TenantSpec> out;
+  for (const Mix& m : kMix) {
+    TenantSpec t;
+    t.name = m.name;
+    t.rate = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(total_rate * m.share));
+    t.quota = std::max<std::uint64_t>(64, t.rate);  // rings/queues backstop
+    t.burst = std::max<std::uint64_t>(4, t.rate / 50);
+    t.priority = m.prio;
+    out.push_back(t);
+  }
+  return out;
+}
+
+/// Open-loop arrivals for `seconds`: exponential inter-arrival times at a
+/// square-wave-modulated rate. Open loop means rejected requests are NOT
+/// retried and arrivals never wait for completions — exactly the regime
+/// where a service without admission control builds an unbounded backlog.
+PhaseResult run_phase(const Options& opt, const std::string& name,
+                      double offered_rps, double sustainable_rps) {
+  hist_reset();
+  ServeConfig cfg;
+  cfg.runtime_spec = opt.spec;
+  cfg.tenants = make_tenants(sustainable_rps);
+  TaskService svc(std::move(cfg));
+
+  XorShift rng(opt.seed ^ std::hash<std::string>{}(name));
+  // Normalize the square wave so the mean offered rate stays offered_rps:
+  // peak = burst x base during `duty`, trough covers the remainder.
+  const double duty = opt.burst_duty;
+  const double peak = offered_rps * opt.burst;
+  const double trough =
+      std::max(0.0, offered_rps * (1.0 - opt.burst * duty) / (1.0 - duty));
+  const std::uint64_t period_ns =
+      static_cast<std::uint64_t>(opt.burst_period_s * 1e9);
+
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t_end =
+      t0 + static_cast<std::uint64_t>(opt.seconds * 1e9);
+  std::uint64_t next_arrival = t0;
+  std::uint64_t submitted = 0;
+  while (true) {
+    const std::uint64_t now = now_ns();
+    if (now >= t_end) break;
+    if (now < next_arrival) {
+      const std::uint64_t wait = next_arrival - now;
+      if (wait > 200'000) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(wait - 100'000));
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    // Submit EVERY arrival that is due by now (bounded per poll so the
+    // clock stays fresh): open loop means arrivals happen on schedule
+    // whether or not the service — or this generator thread — kept up.
+    for (int due = 0; due < 256 && next_arrival <= now; ++due) {
+      const double u = rng.uniform();
+      int tenant = kTenants - 1;
+      double acc = 0.0;
+      for (int t = 0; t < kTenants; ++t) {
+        acc += kMix[t].share;
+        if (u < acc) {
+          tenant = t;
+          break;
+        }
+      }
+      Request r;
+      r.fn = serve_request;
+      r.a = submitted;
+      (void)svc.submit(tenant, r);
+      ++submitted;
+
+      const bool in_burst =
+          (next_arrival - t0) % period_ns <
+          static_cast<std::uint64_t>(duty * period_ns);
+      const double rate = in_burst ? peak : trough;
+      if (rate <= 0.0) {
+        // Trough is empty: jump to the next burst window.
+        const std::uint64_t pos = (next_arrival - t0) % period_ns;
+        next_arrival += period_ns - pos;
+      } else {
+        const double gap_s = -std::log(1.0 - rng.uniform()) / rate;
+        next_arrival +=
+            static_cast<std::uint64_t>(std::min(gap_s, 0.1) * 1e9) + 1;
+      }
+    }
+  }
+  svc.stop();
+
+  PhaseResult res;
+  res.name = name;
+  res.offered_rps = offered_rps;
+  res.duration_s = static_cast<double>(now_ns() - t0) / 1e9;
+  res.totals = svc.totals();
+  res.goodput_rps =
+      static_cast<double>(res.totals.executed) / res.duration_s;
+  res.p50_us = hist_percentile(0.50) / 1e3;
+  res.p99_us = hist_percentile(0.99) / 1e3;
+  res.p999_us = hist_percentile(0.999) / 1e3;
+  res.accounting_ok =
+      res.totals.submitted ==
+          res.totals.executed + res.totals.shed + res.totals.rejected &&
+      res.totals.in_flight == 0 &&
+      res.totals.submitted == submitted;
+  return res;
+}
+
+/// Calibrate the sustainable executed-request rate: unlimited admission,
+/// tight-loop submission, measure what actually completes per second.
+double calibrate(const Options& opt) {
+  hist_reset();
+  ServeConfig cfg;
+  cfg.runtime_spec = opt.spec;
+  cfg.tenants = make_tenants(1e9);
+  TaskService svc(std::move(cfg));
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t_end = t0 + 600'000'000ull;  // 0.6 s
+  std::uint64_t i = 0;
+  while (now_ns() < t_end) {
+    Request r;
+    r.fn = serve_request;
+    const Submit s = svc.submit(static_cast<int>(i % kTenants), r);
+    ++i;
+    // Open the loop just enough to keep the ring from being the limiter.
+    if (s.status != SubmitStatus::kAccepted) std::this_thread::yield();
+  }
+  svc.stop();
+  const double dt = static_cast<double>(now_ns() - t0) / 1e9;
+  const double rate = static_cast<double>(svc.totals().executed) / dt;
+  return std::max(rate, 100.0);
+}
+
+void print_phase(const PhaseResult& r, int threads,
+                 const std::string& spec) {
+  std::printf(
+      "{\"bench\":\"serve\",\"phase\":\"%s\",\"offered_rps\":%.0f,"
+      "\"submitted\":%llu,\"accepted\":%llu,\"executed\":%llu,"
+      "\"shed\":%llu,\"rejected\":%llu,\"goodput_rps\":%.0f,"
+      "\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,"
+      "\"duration_s\":%.2f,\"threads\":%d,\"config\":\"%s\","
+      "\"accounting_ok\":%s}\n",
+      r.name.c_str(), r.offered_rps,
+      static_cast<unsigned long long>(r.totals.submitted),
+      static_cast<unsigned long long>(r.totals.admitted),
+      static_cast<unsigned long long>(r.totals.executed),
+      static_cast<unsigned long long>(r.totals.shed),
+      static_cast<unsigned long long>(r.totals.rejected), r.goodput_rps,
+      r.p50_us, r.p99_us, r.p999_us, r.duration_s, threads, spec.c_str(),
+      r.accounting_ok ? "true" : "false");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seconds") opt.seconds = std::atof(next());
+    else if (a == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (a == "--work-us") g_work_ns = static_cast<std::uint64_t>(std::atof(next()) * 1e3);
+    else if (a == "--burst") opt.burst = std::atof(next());
+    else if (a == "--spec") opt.spec = next();
+    else if (a == "--phases") opt.phases_all = std::string(next()) != "2x";
+    else if (a == "--check") opt.check = true;
+    else if (a == "--check-slo") { opt.check = true; opt.check_slo = true; }
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--seconds S] [--seed N] "
+                   "[--work-us U] [--burst B] [--spec SPEC] "
+                   "[--phases all|2x] [--check] [--check-slo]\n");
+      return 2;
+    }
+  }
+  if (opt.burst * opt.burst_duty > 1.0) {
+    // Peaks this tall would need a negative trough; flatten instead.
+    opt.burst = 1.0 / opt.burst_duty;
+  }
+
+  const int threads = xtask::RuntimeRegistry::xtask_config(
+                          xtask::BackendSpec::parse(opt.spec))
+                          .num_threads;
+  const double sustainable = calibrate(opt);
+  std::printf("{\"bench\":\"serve_calibration\",\"sustainable_rps\":%.0f,"
+              "\"threads\":%d,\"work_us\":%.1f}\n",
+              sustainable, threads,
+              static_cast<double>(g_work_ns) / 1e3);
+  std::fflush(stdout);
+
+  std::vector<std::pair<std::string, double>> phases;
+  if (opt.phases_all) {
+    phases.emplace_back("0.5x", 0.5 * sustainable);
+    phases.emplace_back("1.0x", 1.0 * sustainable);
+  }
+  phases.emplace_back("2.0x", 2.0 * sustainable);
+
+  std::vector<PhaseResult> results;
+  bool ok = true;
+  for (const auto& [name, rps] : phases) {
+    results.push_back(run_phase(opt, name, rps, sustainable));
+    const PhaseResult& r = results.back();
+    print_phase(r, threads, opt.spec);
+    if (!r.accounting_ok) {
+      std::fprintf(stderr, "FAIL %s: accounting violated\n", name.c_str());
+      ok = false;
+    }
+    if (r.totals.executed == 0) {
+      std::fprintf(stderr, "FAIL %s: nothing executed (hang?)\n",
+                   name.c_str());
+      ok = false;
+    }
+  }
+
+  if (opt.phases_all && results.size() == 3) {
+    const PhaseResult& low = results[0];
+    const PhaseResult& mid = results[1];
+    const PhaseResult& high = results[2];
+    const double p99_ratio =
+        low.p99_us > 0 ? high.p99_us / low.p99_us : 0.0;
+    const double goodput_ratio =
+        mid.goodput_rps > 0 ? high.goodput_rps / mid.goodput_rps : 0.0;
+    std::printf(
+        "{\"bench\":\"serve_summary\",\"sustainable_rps\":%.0f,"
+        "\"slo_p99_ratio\":%.2f,\"slo_goodput_ratio\":%.2f}\n",
+        sustainable, p99_ratio, goodput_ratio);
+    std::fflush(stdout);
+    if (opt.check_slo) {
+      if (p99_ratio > 5.0) {
+        std::fprintf(stderr,
+                     "FAIL slo: p99(2.0x)/p99(0.5x) = %.2f > 5\n",
+                     p99_ratio);
+        ok = false;
+      }
+      if (goodput_ratio < 0.9) {
+        std::fprintf(stderr,
+                     "FAIL slo: goodput(2.0x)/goodput(1.0x) = %.2f < 0.9\n",
+                     goodput_ratio);
+        ok = false;
+      }
+    }
+  }
+  return opt.check && !ok ? 1 : 0;
+}

@@ -7,6 +7,8 @@ results as JSON at the repository root:
 
   BENCH_primitives.json  — one record per microbenchmark
   BENCH_bots.json        — one record per (kernel, runtime-config) cell
+  BENCH_serve.json       — overload sweep: one record per load phase of
+                           the task-service front-end (``bench_serve``)
 
 Every record follows the schema
   {"bench": ..., "config": ..., "threads": N, "ns_per_op": X | "ms": X,
@@ -140,6 +142,34 @@ def run_bots(build_dir: pathlib.Path, threads: int, reps: int) -> list[dict]:
     return records
 
 
+def run_serve(build_dir: pathlib.Path, seconds: float,
+              seed: int) -> list[dict]:
+    """Overload experiment: bench_serve sweeps 0.5x/1.0x/2.0x of its
+    calibrated sustainable rate with bursty open-loop arrivals and reports
+    per-phase goodput + latency percentiles. ``--check`` makes accounting
+    violations fatal, so a corrupt run raises instead of writing JSON."""
+    binary = build_dir / "bench" / "bench_serve"
+    if not binary.exists():
+        raise SystemExit(f"missing {binary}; build the repo first")
+    stamp = _now()
+    records = []
+    out = _run([str(binary), "--seconds", str(seconds), "--seed", str(seed),
+                "--check"], timeout=600)
+    for line in out.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        rec["timestamp"] = stamp
+        records.append(rec)
+    phases = {r.get("phase") for r in records if r.get("bench") == "serve"}
+    missing = {"0.5x", "1.0x", "2.0x"} - phases
+    if missing:
+        raise SystemExit(f"bench_serve produced no records for: "
+                         f"{sorted(missing)}")
+    return records
+
+
 def check_floor(records: list[dict], factor: float) -> int:
     if not FLOOR_FILE.exists():
         print(f"no {FLOOR_FILE.name}; skipping regression gate")
@@ -175,6 +205,9 @@ def main() -> int:
                     "skips the BOTS matrix and writes no JSON files")
     ap.add_argument("--smoke-factor", default=3.0, type=float,
                     help="fail the smoke gate only above floor*factor")
+    ap.add_argument("--serve-seconds", default=3.0, type=float,
+                    help="seconds per bench_serve load phase")
+    ap.add_argument("--serve-seed", default=42, type=int)
     args = ap.parse_args()
 
     build_dir = args.build_dir
@@ -201,6 +234,11 @@ def main() -> int:
     (REPO_ROOT / "BENCH_bots.json").write_text(
         json.dumps(bots, indent=2) + "\n")
     print(f"wrote BENCH_bots.json ({len(bots)} records)")
+
+    serve = run_serve(build_dir, args.serve_seconds, args.serve_seed)
+    (REPO_ROOT / "BENCH_serve.json").write_text(
+        json.dumps(serve, indent=2) + "\n")
+    print(f"wrote BENCH_serve.json ({len(serve)} records)")
     return 0
 
 

@@ -212,6 +212,17 @@ class BQueue {
     return pushed - popped;
   }
 
+  /// Approximate free slots, clamped to [0, capacity]. Safe from any
+  /// thread; the clamp absorbs the transient over-count size_approx can
+  /// report when a push lands between its two loads. Admission control
+  /// reads this as a backpressure signal — it errs toward "fuller", never
+  /// toward promising space that is not there.
+  std::uint32_t free_space_approx() const noexcept {
+    const std::uint32_t used = size_approx();
+    const std::uint32_t cap = capacity();
+    return used >= cap ? 0 : cap - used;
+  }
+
  private:
   struct alignas(kCacheLine) ProducerState {
     std::uint32_t head = 0;

@@ -106,6 +106,7 @@ enum class FaultPoint : int {
   kIdleWakeup,      // runtime idle poll: spurious wakeup / extra yield
   kWorkerStall,     // worker goes heartbeat-silent (wedged task / desched)
   kWorkerSlow,      // worker goes silent just long enough to turn suspect
+  kAdmissionStall,  // serve admission/drain wedged (service sheds, no block)
   kCount_,
 };
 inline constexpr int kFaultPoints = static_cast<int>(FaultPoint::kCount_);

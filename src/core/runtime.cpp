@@ -239,10 +239,58 @@ Task* Runtime::dispatch(detail::Worker& w, Task* t) {
   }
   // Explicit backpressure (§II-B): every queue this producer could use is
   // full, so the task runs inline on the spawning worker — bounding queue
-  // memory and recursion depth instead of failing.
-  prof_.thread(w.id).counters.ntasks_imm_exec++;
-  prof_.thread(w.id).counters.overflow_inline++;
+  // memory and recursion depth instead of failing. Attribute the event to
+  // the worker's active tenant and the depth of the row that refused it.
+  Counters& c = prof_.thread(w.id).counters;
+  c.ntasks_imm_exec++;
+  c.overflow.note(w.active_tenant, xq_.consumer_occupancy(target));
   return t;
+}
+
+void Runtime::dispatch_batch(detail::Worker& w, Task* const* ts,
+                             std::size_t n) {
+  Counters& c = prof_.thread(w.id).counters;
+  std::size_t done = 0;
+  int last_target = w.id;
+  if (cfg_.num_threads > 1) {
+    const bool degraded =
+        guard_enabled_ &&
+        num_quarantined_.load(std::memory_order_relaxed) > 0;
+    // Remote-first: spread chunks over the other workers, which are
+    // guaranteed to be polling their rows. The caller may be a producer
+    // that never pops its own queue (the serve drain loop), so work must
+    // not land at q[w][w]. Chunk size targets an even split per rotation.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, n / static_cast<std::size_t>(cfg_.num_threads - 1));
+    bool progress = true;
+    while (done < n && progress) {
+      progress = false;
+      for (int i = 0; i < cfg_.num_threads && done < n; ++i) {
+        const int target = static_cast<int>(
+            w.rr_cursor % static_cast<std::uint32_t>(cfg_.num_threads));
+        ++w.rr_cursor;
+        if (target == w.id) continue;
+        if (degraded &&
+            worker_health(target) == WorkerHealth::kQuarantined)
+          continue;
+        last_target = target;
+        const std::size_t want = chunk < n - done ? chunk : n - done;
+        const std::size_t k = xq_.push_batch(w.id, target, ts + done, want);
+        if (k > 0) {
+          c.ntasks_static_push += k;
+          done += k;
+          progress = true;
+        }
+      }
+    }
+  }
+  // Every usable queue is full (or there is no other worker): the
+  // remainder runs inline — the standard overflow backpressure path.
+  for (; done < n; ++done) {
+    c.ntasks_imm_exec++;
+    c.overflow.note(w.active_tenant, xq_.consumer_occupancy(last_target));
+    execute(w, ts[done]);
+  }
 }
 
 void Runtime::execute(detail::Worker& w, Task* t) {
@@ -583,7 +631,7 @@ void Runtime::do_work_steal(detail::Worker& w, int thief) {
     for (std::size_t i = moved; i < got; ++i) {
       if (!xq_.push(w.id, w.id, batch[i])) {
         c.ntasks_imm_exec++;
-        c.overflow_inline++;
+        c.overflow.note(w.active_tenant, xq_.consumer_occupancy(w.id));
         execute(w, batch[i]);
       }
     }
@@ -737,7 +785,7 @@ bool Runtime::try_reclaim(detail::Worker& w) {
     const std::size_t moved = xq_.push_batch(w.id, w.id, batch, got);
     for (std::size_t i = moved; i < got; ++i) {
       c.ntasks_imm_exec++;
-      c.overflow_inline++;
+      c.overflow.note(w.active_tenant, xq_.consumer_occupancy(w.id));
       execute(w, batch[i]);
     }
   }

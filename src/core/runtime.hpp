@@ -207,6 +207,12 @@ struct Worker {
   // Owner-private: one forced kWorkerStall / kWorkerSlow per region.
   bool stall_injected = false;
   bool slow_injected = false;
+  // Owner-private serve-tenant tag for overflow attribution: dispatches
+  // from this worker are attributed to this tenant (0 = untagged; the
+  // service tags tenant index + 1 around its drain pushes). Lives here
+  // rather than in Task because Task is packed to exactly three cache
+  // lines with zero slack.
+  std::uint32_t active_tenant = 0;
 
   // Owner-private scheduling state.
   alignas(kCacheLine) XorShift rng;
@@ -247,6 +253,29 @@ class TaskContext {
   /// predecessor.
   template <typename F>
   void spawn(F&& f, std::initializer_list<Dep> deps);
+
+  /// Spawn `n` same-typed children from a contiguous array, moving each
+  /// element into its task. Dispatch is batched (XQueue::push_batch) and
+  /// remote-first: chunks spread over the *other* workers — the consumers
+  /// guaranteed to be polling their rows — so a long-running producer
+  /// (the serve drain loop) never strands work in its own master queue;
+  /// when every usable queue is full the remainder runs inline here (the
+  /// standard overflow backpressure path, with tenant attribution).
+  template <typename F>
+  void spawn_batch(F* fs, std::size_t n);
+
+  /// Tag subsequent dispatches from this worker with a serve-tenant id
+  /// for overflow attribution (0 = untagged). Worker-local, inherited by
+  /// nothing: set it around a run of dispatches and clear it after.
+  void set_tenant(std::uint32_t tenant) noexcept;
+  std::uint32_t tenant() const noexcept;
+
+  /// Bump this worker's liveness heartbeat from inside a long-running
+  /// task body without yielding. A body that legitimately runs for many
+  /// heartbeat windows (a service drain loop) calls this each iteration
+  /// so the monitor never mistakes it for a wedged worker. No-op when the
+  /// heartbeat subsystem is off.
+  void keepalive() noexcept;
 
   /// Wait until all children spawned by the current task have completed,
   /// executing other tasks while waiting (OpenMP taskwait semantics).
@@ -346,6 +375,37 @@ class Runtime {
             std::memory_order_acquire));
   }
 
+  // --- load/pressure probes (safe from any thread, O(N) or better) ------
+  /// Approximate tasks queued across the whole XQueue matrix.
+  std::uint64_t queued_approx() const noexcept { return xq_.size_approx(); }
+
+  /// Fraction of one producer's reachable queue capacity currently
+  /// occupied, clamped to [0, 1]. The denominator is N × queue_capacity —
+  /// what a single producer (the serve drain loop) can address, which is
+  /// the scale that matters for admission — not the N² matrix total.
+  double queue_pressure() const noexcept {
+    const double cap = static_cast<double>(cfg_.num_threads) *
+                       static_cast<double>(cfg_.queue_capacity);
+    const double p = static_cast<double>(xq_.size_approx()) / cap;
+    return p > 1.0 ? 1.0 : p;
+  }
+
+  /// Workers not currently quarantined — the team's effective capacity.
+  int healthy_workers() const noexcept {
+    const int q = num_quarantined_.load(std::memory_order_acquire);
+    return q >= cfg_.num_threads ? 0 : cfg_.num_threads - q;
+  }
+
+  /// Workers with an unanswered steal request parked in their cells: a
+  /// cheap idle-demand signal (positive means thieves ran dry and queues
+  /// are draining, i.e. pressure is falling, not rising).
+  int starving_workers() const noexcept {
+    int n = 0;
+    for (const auto& w : workers_)
+      if (w->cells.has_pending_request()) ++n;
+    return n;
+  }
+
  private:
   friend class TaskContext;
 
@@ -355,6 +415,11 @@ class Runtime {
   /// when queued, or `t` back when every queue was full and the caller
   /// must execute it immediately (§II-B).
   Task* dispatch(detail::Worker& w, Task* t);
+  /// Batched remote-first dispatch for spawn_batch: chunks round-robin
+  /// over the other workers (skipping quarantined targets in degraded
+  /// mode); whatever no queue accepts runs inline with overflow
+  /// attribution. Never parks work in the caller's own master queue.
+  void dispatch_batch(detail::Worker& w, Task* const* ts, std::size_t n);
   void execute(detail::Worker& w, Task* t);           // run + finish
   void finish(detail::Worker& w, Task* t);            // completion protocol
   void deref(detail::Worker& w, Task* t) noexcept;
@@ -472,6 +537,16 @@ class Runtime {
 
 inline int TaskContext::worker_id() const noexcept { return w_->id; }
 
+inline void TaskContext::set_tenant(std::uint32_t tenant) noexcept {
+  w_->active_tenant = tenant;
+}
+
+inline std::uint32_t TaskContext::tenant() const noexcept {
+  return w_->active_tenant;
+}
+
+inline void TaskContext::keepalive() noexcept { rt_->hb_bump(*w_); }
+
 template <typename F>
 void TaskContext::spawn(F&& f) {
   detail::Worker& w = *w_;
@@ -492,6 +567,32 @@ void TaskContext::spawn(F&& f) {
     overflow = rt_->dispatch(w, t);
   }
   if (overflow != nullptr) rt_->execute(w, overflow);
+}
+
+template <typename F>
+void TaskContext::spawn_batch(F* fs, std::size_t n) {
+  detail::Worker& w = *w_;
+  if (n == 0) return;
+  if (rt_->task_cancelled(current_)) {
+    rt_->profiler().thread(w.id).counters.ntasks_cancelled += n;
+    return;
+  }
+  // Chunked so allocation stays bounded regardless of n; 64 matches the
+  // NA-WS migration batch and BQueue's probe distance.
+  constexpr std::size_t kChunk = 64;
+  Task* batch[kChunk];
+  for (std::size_t i = 0; i < n; i += kChunk) {
+    const std::size_t k = n - i < kChunk ? n - i : kChunk;
+    {
+      ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskCreate);
+      for (std::size_t j = 0; j < k; ++j) {
+        Task* t = rt_->allocate_task(w, current_);
+        t->emplace(std::move(fs[i + j]));
+        batch[j] = t;
+      }
+    }
+    rt_->dispatch_batch(w, batch, k);
+  }
 }
 
 template <typename F>

@@ -76,6 +76,17 @@ struct StealCells {
     return steal::thief_of(req);
   }
 
+  /// Any-thread probe: is a steal request parked at this victim? Same
+  /// validity rule as the thief's pending check in try_request, consuming
+  /// nothing. A pending request means some thief ran dry and is waiting on
+  /// this victim — admission control reads the count of such victims as an
+  /// idle-demand signal (workers are starving, not overloaded).
+  bool has_pending_request() const noexcept {
+    const std::uint64_t req = request.load(std::memory_order_acquire);
+    const std::uint64_t r = round.load(std::memory_order_acquire);
+    return steal::round_of(req) >= r;
+  }
+
   void complete_round() noexcept {
     // Chaos hook: delay the round advance so thieves observe a victim that
     // is slow to reopen — stretching the window their retry logic covers.

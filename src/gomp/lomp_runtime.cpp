@@ -130,7 +130,10 @@ void LompRuntime::dispatch(int wid, LTask* t) {
       return;
     }
     prof_.thread(wid).counters.ntasks_imm_exec++;
-    prof_.thread(wid).counters.overflow_inline++;
+    // No tenant concept in the LOMP baseline; attribute untagged with the
+    // refusing row's depth so the CSV total stays comparable.
+    prof_.thread(wid).counters.overflow.note(
+        0, xq_->consumer_occupancy(target));
     execute(wid, t);
     return;
   }

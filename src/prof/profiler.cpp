@@ -32,13 +32,15 @@ Counters& Counters::operator+=(const Counters& o) noexcept {
   nsteal_remote += o.nsteal_remote;
   ntasks_created += o.ntasks_created;
   ntasks_executed += o.ntasks_executed;
-  overflow_inline += o.overflow_inline;
+  overflow += o.overflow;
   ntasks_cancelled += o.ntasks_cancelled;
   nexceptions += o.nexceptions;
   nidle_yields += o.nidle_yields;
   nquarantined += o.nquarantined;
   nreadmitted += o.nreadmitted;
   nreclaimed += o.nreclaimed;
+  nserve_requests += o.nserve_requests;
+  nserve_shed += o.nserve_shed;
   return *this;
 }
 
@@ -92,11 +94,16 @@ bool Profiler::dump_events_csv(const std::string& path) const {
 bool Profiler::dump_counters_csv(const std::string& path) const {
   std::ofstream f(path);
   if (!f.good()) return false;
+  // Column compatibility: overflow_inline stays in its historical slot and
+  // emits OverflowStat::total; the new attribution columns append at the
+  // end so existing consumers keep parsing by position.
   f << "tid,ntasks_self,ntasks_local,ntasks_remote,ntasks_static_push,"
        "ntasks_imm_exec,nreq_sent,nreq_handled,nreq_has_steal,"
        "nreq_src_empty,nreq_target_full,nsteal_local,nsteal_remote,"
        "ntasks_created,ntasks_executed,overflow_inline,ntasks_cancelled,"
-       "nexceptions,nidle_yields,nquarantined,nreadmitted,nreclaimed\n";
+       "nexceptions,nidle_yields,nquarantined,nreadmitted,nreclaimed,"
+       "overflow_last_tenant,overflow_last_depth,overflow_max_depth,"
+       "nserve_requests,nserve_shed\n";
   for (std::size_t i = 0; i < profiles_.size(); ++i) {
     const Counters& c = profiles_[i].counters;
     f << i << ',' << c.ntasks_self << ',' << c.ntasks_local << ','
@@ -105,10 +112,13 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
       << ',' << c.nreq_has_steal << ',' << c.nreq_src_empty << ','
       << c.nreq_target_full << ',' << c.nsteal_local << ','
       << c.nsteal_remote << ',' << c.ntasks_created << ','
-      << c.ntasks_executed << ',' << c.overflow_inline << ','
+      << c.ntasks_executed << ',' << c.overflow.total << ','
       << c.ntasks_cancelled << ',' << c.nexceptions << ','
       << c.nidle_yields << ',' << c.nquarantined << ','
-      << c.nreadmitted << ',' << c.nreclaimed << '\n';
+      << c.nreadmitted << ',' << c.nreclaimed << ','
+      << c.overflow.last_tenant << ',' << c.overflow.last_depth << ','
+      << c.overflow.max_depth << ',' << c.nserve_requests << ','
+      << c.nserve_shed << '\n';
   }
   return f.good();
 }

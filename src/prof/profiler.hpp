@@ -32,6 +32,36 @@ struct PerfEvent {
   EventKind kind;
 };
 
+/// Backpressure attribution: overflow-inline events (task pushed onto a
+/// full queue, executed inline instead) carry which serve-tenant's work was
+/// being dispatched and how deep the relevant queue row was at failure
+/// time, so shedding decisions can be traced to a tenant instead of a bare
+/// count. Single-writer like every other counter; `total` is what the
+/// legacy `overflow_inline` CSV/JSON column emits.
+struct OverflowStat {
+  std::uint64_t total = 0;        // events (the legacy overflow_inline)
+  std::uint64_t last_tenant = 0;  // 0 = untagged; serve tenants are idx+1
+  std::uint64_t last_depth = 0;   // queue-row occupancy at failure
+  std::uint64_t max_depth = 0;    // deepest failure seen
+
+  void note(std::uint64_t tenant, std::uint64_t depth) noexcept {
+    ++total;
+    last_tenant = tenant;
+    last_depth = depth;
+    if (depth > max_depth) max_depth = depth;
+  }
+
+  OverflowStat& operator+=(const OverflowStat& o) noexcept {
+    total += o.total;
+    if (o.total != 0) {
+      last_tenant = o.last_tenant;
+      last_depth = o.last_depth;
+    }
+    if (o.max_depth > max_depth) max_depth = o.max_depth;
+    return *this;
+  }
+};
+
 /// Statistical counters from §V. All per-thread; aggregation happens at
 /// report time so the hot path touches only thread-local cache lines.
 struct Counters {
@@ -56,9 +86,9 @@ struct Counters {
   std::uint64_t ntasks_created = 0;
   std::uint64_t ntasks_executed = 0;
   // Fault tolerance: tasks pushed onto a full queue and executed inline
-  // (explicit backpressure), tasks dropped or drained by cancellation,
-  // and exceptions that escaped a task body.
-  std::uint64_t overflow_inline = 0;
+  // (explicit backpressure, with tenant/depth attribution), tasks dropped
+  // or drained by cancellation, and exceptions that escaped a task body.
+  OverflowStat overflow;
   std::uint64_t ntasks_cancelled = 0;
   std::uint64_t nexceptions = 0;
   // Idle backoff: times the worker escalated all the way to sched_yield
@@ -71,6 +101,11 @@ struct Counters {
   std::uint64_t nquarantined = 0;
   std::uint64_t nreadmitted = 0;
   std::uint64_t nreclaimed = 0;
+  // Service front-end (src/serve): admitted requests this worker spawned
+  // into the runtime, and requests it shed on the drain side under
+  // pressure. Zero outside service regions.
+  std::uint64_t nserve_requests = 0;
+  std::uint64_t nserve_shed = 0;
 
   Counters& operator+=(const Counters& o) noexcept;
 };

@@ -16,8 +16,17 @@ std::string trace_to_json(const Profiler& prof,
   if (t0 == ~0ull) t0 = 0;
 
   std::string out = "[\n";
-  char buf[512];
+  char buf[768];
   bool first = true;
+  // Caller-supplied metadata records lead the document (service state,
+  // per-tenant admission counters, ...); the args payload is caller-built
+  // JSON of unbounded size, so it bypasses the snprintf buffer.
+  for (const auto& [name, args_json] : opts.extra_meta) {
+    out += first ? "" : ",\n";
+    out += "{\"name\":\"" + name + "\",\"ph\":\"M\",\"pid\":1,\"tid\":0,";
+    out += "\"args\":" + args_json + "}";
+    first = false;
+  }
   for (int t = 0; t < prof.num_threads(); ++t) {
     // Thread name metadata record.
     std::snprintf(buf, sizeof(buf),
@@ -30,23 +39,31 @@ std::string trace_to_json(const Profiler& prof,
     // carries the robustness funnel (backpressure overflows, cancelled
     // tasks, escaped exceptions) alongside the timeline.
     const Counters& c = prof.thread(t).counters;
+    // overflow_inline keeps its name (= OverflowStat::total) so existing
+    // trace consumers stay compatible; the attribution fields are new.
     std::snprintf(
         buf, sizeof(buf),
         ",\n{\"name\":\"xtask_counters\",\"ph\":\"M\",\"pid\":1,"
         "\"tid\":%d,\"args\":{\"ntasks_created\":%llu,"
         "\"ntasks_executed\":%llu,\"overflow_inline\":%llu,"
+        "\"overflow_last_tenant\":%llu,\"overflow_max_depth\":%llu,"
         "\"ntasks_cancelled\":%llu,\"nexceptions\":%llu,"
         "\"nidle_yields\":%llu,\"nquarantined\":%llu,"
-        "\"nreadmitted\":%llu,\"nreclaimed\":%llu}}",
+        "\"nreadmitted\":%llu,\"nreclaimed\":%llu,"
+        "\"nserve_requests\":%llu,\"nserve_shed\":%llu}}",
         t, static_cast<unsigned long long>(c.ntasks_created),
         static_cast<unsigned long long>(c.ntasks_executed),
-        static_cast<unsigned long long>(c.overflow_inline),
+        static_cast<unsigned long long>(c.overflow.total),
+        static_cast<unsigned long long>(c.overflow.last_tenant),
+        static_cast<unsigned long long>(c.overflow.max_depth),
         static_cast<unsigned long long>(c.ntasks_cancelled),
         static_cast<unsigned long long>(c.nexceptions),
         static_cast<unsigned long long>(c.nidle_yields),
         static_cast<unsigned long long>(c.nquarantined),
         static_cast<unsigned long long>(c.nreadmitted),
-        static_cast<unsigned long long>(c.nreclaimed));
+        static_cast<unsigned long long>(c.nreclaimed),
+        static_cast<unsigned long long>(c.nserve_requests),
+        static_cast<unsigned long long>(c.nserve_shed));
     out += buf;
     for (const PerfEvent& e : prof.thread(t).events()) {
       if (e.end < e.start || e.end - e.start < opts.min_cycles) continue;

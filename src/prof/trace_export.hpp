@@ -5,6 +5,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "prof/profiler.hpp"
 
@@ -17,6 +19,12 @@ struct TraceExportOptions {
   double cycles_per_us = 2100.0;
   /// Drop events shorter than this many cycles (they render as noise).
   std::uint64_t min_cycles = 0;
+  /// Extra metadata records, one per entry: {record name, JSON object
+  /// text for its "args"}. The caller owns the JSON validity of the
+  /// second string. This is how subsystems above prof (the serve
+  /// front-end's per-tenant accept/shed/reject counters and ring depths)
+  /// attach their state to a trace without prof depending on them.
+  std::vector<std::pair<std::string, std::string>> extra_meta;
 };
 
 /// Serialize all recorded events as a Trace Event JSON array document.

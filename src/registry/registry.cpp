@@ -196,6 +196,124 @@ void BackendSpec::set(const std::string& key, std::string value) {
 }
 
 // --------------------------------------------------------------------------
+// TenantSpec
+
+namespace {
+
+constexpr const char* kTenantKnownKeys = "rate|quota|burst|prio";
+
+[[noreturn]] void bad_tenant_value(const std::string& tenant,
+                                   const std::string& key,
+                                   const std::string& value,
+                                   const char* want) {
+  throw std::invalid_argument("bad value '" + value + "' for key '" + key +
+                              "' in tenant '" + tenant + "' (want " + want +
+                              ")");
+}
+
+std::uint64_t tenant_u64(const std::string& tenant, const std::string& key,
+                         const std::string& value, std::uint64_t lo,
+                         std::uint64_t hi) {
+  if (value.empty() || value.size() > 18)
+    bad_tenant_value(tenant, key, value, "integer");
+  std::uint64_t v = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') bad_tenant_value(tenant, key, value, "integer");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+TenantSpec TenantSpec::parse(const std::string& spec) {
+  // Accept the registry-key form `tenant=<name>:...` as a convenience.
+  std::string body = spec;
+  if (body.rfind("tenant=", 0) == 0) body = body.substr(7);
+
+  TenantSpec out;
+  const std::size_t colon = body.find(':');
+  out.name = body.substr(0, colon);
+  if (out.name.empty() ||
+      out.name.find_first_of(",;=") != std::string::npos)
+    throw std::invalid_argument("bad tenant name in spec '" + spec +
+                                "' (want <name>:rate=<r>,quota=<q>)");
+  if (colon == std::string::npos)
+    throw std::invalid_argument("tenant '" + out.name +
+                                "' missing required keys rate and quota "
+                                "(known: " + std::string(kTenantKnownKeys) +
+                                ")");
+  bool have_rate = false;
+  bool have_quota = false;
+  std::size_t pos = colon + 1;
+  while (pos <= body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string opt = body.substr(pos, comma - pos);
+    const std::size_t eq = opt.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= opt.size())
+      throw std::invalid_argument("malformed option '" + opt +
+                                  "' in tenant '" + out.name +
+                                  "' (want key=value)");
+    const std::string key = opt.substr(0, eq);
+    const std::string value = opt.substr(eq + 1);
+    if (key == "rate") {
+      out.rate = tenant_u64(out.name, key, value, 1, 1'000'000'000);
+      have_rate = true;
+    } else if (key == "quota") {
+      out.quota = tenant_u64(out.name, key, value, 1, 1'000'000'000);
+      have_quota = true;
+    } else if (key == "burst") {
+      // 0 keeps the default (rate/8); see effective_burst().
+      out.burst = tenant_u64(out.name, key, value, 0, 1'000'000'000);
+    } else if (key == "prio") {
+      out.priority =
+          static_cast<int>(tenant_u64(out.name, key, value, 0, 7));
+    } else {
+      // Same diagnostics shape as check_keys: typo'd keys fail loudly and
+      // name the whole known key set.
+      throw std::invalid_argument("unknown key '" + key + "' for tenant '" +
+                                  out.name + "' (known: " +
+                                  std::string(kTenantKnownKeys) + ")");
+    }
+    pos = comma + 1;
+  }
+  if (!have_rate || !have_quota)
+    throw std::invalid_argument(
+        "tenant '" + out.name + "' missing required key '" +
+        (have_rate ? "quota" : "rate") + "' (known: " +
+        std::string(kTenantKnownKeys) + ")");
+  return out;
+}
+
+std::vector<TenantSpec> TenantSpec::parse_list(const std::string& spec) {
+  std::vector<TenantSpec> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string one = spec.substr(pos, semi - pos);
+    if (!one.empty()) out.push_back(parse(one));
+    pos = semi + 1;
+  }
+  if (out.empty())
+    throw std::invalid_argument("empty tenant list in spec '" + spec + "'");
+  for (std::size_t i = 0; i < out.size(); ++i)
+    for (std::size_t j = i + 1; j < out.size(); ++j)
+      if (out[i].name == out[j].name)
+        throw std::invalid_argument("duplicate tenant '" + out[i].name +
+                                    "' in spec '" + spec + "'");
+  return out;
+}
+
+std::string TenantSpec::describe() const {
+  return name + ":rate=" + std::to_string(rate) +
+         ",quota=" + std::to_string(quota) +
+         ",burst=" + std::to_string(burst) +
+         ",prio=" + std::to_string(priority);
+}
+
+// --------------------------------------------------------------------------
 // Spec -> Config translation (one function per backend owns its key set).
 
 Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {

@@ -56,6 +56,44 @@ struct BackendSpec {
   void set(const std::string& key, std::string value);
 };
 
+/// A parsed per-tenant admission spec for the serve front-end
+/// (src/serve): name plus token-bucket and quota parameters.
+///
+///   `<name>:rate=<r>,quota=<q>[,burst=<b>][,prio=<0..7>]`
+///
+/// An optional `tenant=` prefix is accepted (`tenant=free:rate=...`), and
+/// parse_list splits `;`-separated tenants:
+///
+///   "free:rate=1000,quota=64;paid:rate=10000,quota=512,prio=3"
+///
+/// Same diagnostics contract as BackendSpec: unknown keys, malformed
+/// values, and missing required keys throw std::invalid_argument naming
+/// the known tenant key set (rate|quota|burst|prio).
+struct TenantSpec {
+  std::string name;
+  std::uint64_t rate = 0;   // admitted requests/second (token refill rate)
+  std::uint64_t quota = 0;  // max in-flight (admitted, not yet completed)
+  std::uint64_t burst = 0;  // token-bucket depth; 0 = default (rate/8)
+  int priority = 1;         // 0..7; the lowest tenant is shed first
+
+  /// Parse one tenant spec. `rate` and `quota` are required.
+  static TenantSpec parse(const std::string& spec);
+
+  /// Parse a `;`-separated tenant list; rejects duplicate names.
+  static std::vector<TenantSpec> parse_list(const std::string& spec);
+
+  /// Canonical spec string; TenantSpec::parse round-trips it and
+  /// describe() is a fixpoint (all keys emitted, burst kept verbatim).
+  std::string describe() const;
+
+  /// Bucket depth with the default applied: burst, or max(1, rate/8).
+  std::uint64_t effective_burst() const noexcept {
+    if (burst != 0) return burst;
+    const std::uint64_t b = rate / 8;
+    return b == 0 ? 1 : b;
+  }
+};
+
 /// THE defaults table. Every constant that used to drift between
 /// bench/bench_bots.cpp, the tests, and the examples lives here once.
 struct RegistryDefaults {

@@ -1,0 +1,82 @@
+// Token-bucket admission control for the task-service front-end. Tokens
+// are fixed-point (kScale units = one admission) in a single atomic word:
+// any client thread takes a token with one CAS loop (lock-less, no waits),
+// and the single drain thread refills from wall-clock deltas, scaled by
+// the service's current admission factor so degraded capacity (quarantined
+// workers, deep queues) tightens every tenant's effective rate without any
+// per-tenant coordination.
+#pragma once
+
+#include <cstdint>
+
+#include "core/common.hpp"
+
+namespace xtask::serve {
+
+/// One tenant's bucket. Thread-safety contract: any thread calls
+/// try_take; exactly one thread (the drain loop) calls refill.
+class TokenBucket {
+ public:
+  /// kScale fixed-point units per whole token.
+  static constexpr std::uint64_t kScale = 1ull << 20;
+
+  /// `rate` is admissions per second; `burst` is the bucket depth in whole
+  /// tokens (also the initial fill, so a fresh service admits a burst).
+  TokenBucket(std::uint64_t rate, std::uint64_t burst) noexcept
+      : rate_(rate), burst_scaled_(burst * kScale) {
+    tokens_.store(burst_scaled_, std::memory_order_relaxed);
+  }
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  /// Take one whole token. Returns false (caller rejects) when fewer than
+  /// kScale units remain; never waits.
+  bool try_take() noexcept {
+    std::uint64_t t = tokens_.load(std::memory_order_relaxed);
+    while (t >= kScale) {
+      if (tokens_.compare_exchange_weak(t, t - kScale,
+                                        std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  /// Refiller side (single thread): credit `dt` seconds of rate, scaled by
+  /// `factor` in [0, 1] (the service's admission factor). Fractional
+  /// credit accumulates across calls so slow tick rates lose nothing.
+  void refill(double dt_seconds, double factor) noexcept {
+    if (dt_seconds <= 0.0) return;
+    if (factor < 0.0) factor = 0.0;
+    if (factor > 1.0) factor = 1.0;
+    credit_ += dt_seconds * static_cast<double>(rate_) * factor *
+               static_cast<double>(kScale);
+    if (credit_ < 1.0) return;
+    auto add = static_cast<std::uint64_t>(credit_);
+    credit_ -= static_cast<double>(add);
+    std::uint64_t t = tokens_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t capped =
+          t + add > burst_scaled_ ? burst_scaled_ : t + add;
+      if (capped == t) return;  // already full
+      if (tokens_.compare_exchange_weak(t, capped,
+                                        std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  std::uint64_t rate() const noexcept { return rate_; }
+
+  /// Whole tokens currently available (approximate under concurrency).
+  std::uint64_t available() const noexcept {
+    return tokens_.load(std::memory_order_relaxed) / kScale;
+  }
+
+ private:
+  const std::uint64_t rate_;
+  const std::uint64_t burst_scaled_;
+  alignas(kCacheLine) atomic<std::uint64_t> tokens_{0};
+  double credit_ = 0.0;  // refiller-private fractional remainder
+};
+
+}  // namespace xtask::serve

@@ -1,0 +1,107 @@
+// Per-tenant submission ring for the task-service front-end: a bounded
+// MPMC ring (Vyukov's sequence-counter design) used in MPSC mode — many
+// client threads try_push concurrently, one drain thread pops. Both sides
+// are non-blocking: a full ring reports failure to the producer (the
+// client-visible backpressure signal admission control turns into a
+// reject-with-retry-after) instead of spinning, and an empty ring reports
+// failure to the consumer. Per-slot sequence counters keep producers from
+// ever waiting on each other beyond one CAS retry loop, matching the
+// lock-less submission-structure discipline of the runtime underneath.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/common.hpp"
+
+namespace xtask::serve {
+
+/// Bounded MPSC ring of trivially-copyable values. Capacity is a power of
+/// two. Thread-safety contract: any thread may call try_push; exactly one
+/// thread calls try_pop/pop_batch; capacity/size_approx are safe anywhere.
+template <typename T>
+class SubmitRing {
+ public:
+  explicit SubmitRing(std::uint32_t capacity)
+      : mask_(capacity - 1), cells_(new Cell[capacity]) {
+    XTASK_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    for (std::uint32_t i = 0; i < capacity; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  SubmitRing(const SubmitRing&) = delete;
+  SubmitRing& operator=(const SubmitRing&) = delete;
+
+  std::uint32_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side, any thread. Returns false when the ring is full — the
+  /// caller must take its backpressure path, never wait.
+  bool try_push(const T& v) noexcept {
+    std::uint32_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      const std::uint32_t seq = c.seq.load(std::memory_order_acquire);
+      const std::int32_t dif = static_cast<std::int32_t>(seq - pos);
+      if (dif == 0) {
+        // Slot is free for ticket `pos`; claim the ticket, then publish.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          c.val = v;
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the newer ticket.
+      } else if (dif < 0) {
+        return false;  // the slot still holds an unconsumed value: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side, single thread. Returns false when empty.
+  bool try_pop(T* out) noexcept {
+    const std::uint32_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell& c = cells_[pos & mask_];
+    const std::uint32_t seq = c.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int32_t>(seq - (pos + 1)) < 0) return false;
+    *out = c.val;
+    // Free the slot for the producer one lap ahead.
+    c.seq.store(pos + mask_ + 1, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side, single thread. Pops up to `max` values into `out`;
+  /// returns how many were dequeued.
+  std::size_t pop_batch(T* out, std::size_t max) noexcept {
+    std::size_t n = 0;
+    while (n < max && try_pop(out + n)) ++n;
+    return n;
+  }
+
+  /// Approximate occupancy, clamped to [0, capacity]. Safe from any
+  /// thread; racing operations make it stale, never sticky.
+  std::uint32_t size_approx() const noexcept {
+    // Dequeue position first so a racing push inflates rather than
+    // underflows the unsigned difference.
+    const std::uint32_t deq = dequeue_pos_.load(std::memory_order_acquire);
+    const std::uint32_t enq = enqueue_pos_.load(std::memory_order_acquire);
+    const std::uint32_t d = enq - deq;
+    return d > capacity() ? capacity() : d;
+  }
+
+ private:
+  struct Cell {
+    atomic<std::uint32_t> seq{0};
+    T val{};
+  };
+
+  const std::uint32_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLine) atomic<std::uint32_t> enqueue_pos_{0};
+  alignas(kCacheLine) atomic<std::uint32_t> dequeue_pos_{0};
+};
+
+}  // namespace xtask::serve

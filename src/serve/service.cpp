@@ -1,0 +1,375 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "core/fault.hpp"
+#include "prof/profiler.hpp"
+
+namespace xtask::serve {
+
+namespace {
+
+constexpr double kStateFactor[4] = {1.0, 0.5, 0.25, 0.0};
+
+std::uint32_t round_up_pow2(std::uint32_t v) noexcept {
+  if (v < 2) return 2;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  return v + 1;
+}
+
+}  // namespace
+
+const char* to_string(ServiceState s) noexcept {
+  switch (s) {
+    case ServiceState::kAccept:
+      return "accept";
+    case ServiceState::kThrottle:
+      return "throttle";
+    case ServiceState::kShed:
+      return "shed";
+    case ServiceState::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+std::uint64_t TaskService::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TaskService::RequestTask::operator()(TaskContext& ctx) {
+  ctx.set_tenant(req.tenant + 1);  // profiler tenants are 1-based; 0 = none
+  try {
+    if (req.fn != nullptr) req.fn(req);
+  } catch (...) {
+    // A throwing request must not cancel the drain region — it is the
+    // service's root task. Swallow and account; the tenant still sees the
+    // request as executed (its fn owns its own error reporting).
+  }
+  ctx.set_tenant(0);
+  svc->complete_executed(req);
+}
+
+TaskService::TaskService(ServeConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.tenants.empty())
+    throw std::invalid_argument("TaskService: no tenants configured");
+  if (!(cfg_.throttle_at > 0.0 && cfg_.throttle_at < cfg_.shed_at &&
+        cfg_.shed_at < cfg_.reject_at && cfg_.reject_at <= 1.0))
+    throw std::invalid_argument(
+        "TaskService: thresholds must satisfy 0 < throttle_at < shed_at < "
+        "reject_at <= 1");
+  for (std::size_t i = 0; i < cfg_.tenants.size(); ++i)
+    for (std::size_t j = i + 1; j < cfg_.tenants.size(); ++j)
+      if (cfg_.tenants[i].name == cfg_.tenants[j].name)
+        throw std::invalid_argument("TaskService: duplicate tenant '" +
+                                    cfg_.tenants[i].name + "'");
+
+  const BackendSpec spec = BackendSpec::parse(cfg_.runtime_spec);
+  if (spec.backend != "xtask")
+    throw std::invalid_argument(
+        "TaskService: runtime_spec must name the 'xtask' backend, got '" +
+        spec.backend + "'");
+  rt_ = RuntimeRegistry::make_xtask(RuntimeRegistry::xtask_config(spec));
+
+  const std::uint32_t ring_cap = round_up_pow2(cfg_.ring_capacity);
+  tenants_.reserve(cfg_.tenants.size());
+  min_priority_ = cfg_.tenants.front().priority;
+  for (const TenantSpec& t : cfg_.tenants) {
+    min_priority_ = std::min(min_priority_, t.priority);
+    tenants_.push_back(std::make_unique<Tenant>(t, ring_cap));
+  }
+  drain_batch_ = std::max<std::uint32_t>(1, std::min<std::uint32_t>(
+                                                cfg_.drain_batch, 64));
+
+  last_refill_ns_ = now_ns();
+  thread_ = std::thread([this] {
+    rt_->run([this](TaskContext& ctx) { serve_loop(ctx); });
+  });
+}
+
+TaskService::~TaskService() { stop(); }
+
+std::uint64_t TaskService::retry_after_us(const Tenant& t, double factor,
+                                          std::uint64_t mult) const noexcept {
+  // Time until roughly one token at the current effective rate, scaled by
+  // `mult` for harder rejections; clamped to [1us, 1s] so callers always
+  // get a usable, bounded hint.
+  if (factor < 0.01) factor = 0.01;
+  const double eff = std::max(1.0, static_cast<double>(t.spec.rate) * factor);
+  double us = 1e6 / eff * static_cast<double>(mult);
+  if (us < 1.0) us = 1.0;
+  if (us > 1e6) us = 1e6;
+  return static_cast<std::uint64_t>(us);
+}
+
+Submit TaskService::submit(int tenant, Request req) noexcept {
+  if (tenant < 0 || tenant >= num_tenants())
+    return {SubmitStatus::kRejected, 0};
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  t.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  if (stop_.load(std::memory_order_acquire)) {
+    t.rejected.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kRejected, 0};  // do not retry: shutting down
+  }
+
+  const double factor = admission_factor();
+
+  // Chaos hook: a wedged admission path must shed, never block.
+  if (FaultInjector* fi = fault_injector();
+      fi != nullptr && fi->inject(FaultPoint::kAdmissionStall)) {
+    fi->perturb(FaultPoint::kAdmissionStall);
+    t.shed.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kShed, retry_after_us(t, factor, 1)};
+  }
+
+  const auto st = state();
+  if (st == ServiceState::kReject) {
+    t.rejected.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kRejected, retry_after_us(t, factor, 8)};
+  }
+  if (st == ServiceState::kShed && t.spec.priority == min_priority_) {
+    t.shed.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kShed, retry_after_us(t, factor, 4)};
+  }
+
+  if (t.in_flight.load(std::memory_order_acquire) >= t.spec.quota) {
+    t.rejected.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kRejected, retry_after_us(t, factor, 2)};
+  }
+  if (!t.bucket.try_take()) {
+    t.rejected.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kRejected, retry_after_us(t, factor, 1)};
+  }
+
+  req.tenant = static_cast<std::uint32_t>(tenant);
+  req.priority = static_cast<std::uint8_t>(t.spec.priority);
+  req.t_submit_ns = now_ns();
+  t.in_flight.fetch_add(1, std::memory_order_relaxed);
+  if (!t.ring.try_push(req)) {
+    // Ring full: the drain side is behind. Undo the in-flight claim and
+    // push back on the client — this is the hard backpressure edge.
+    t.in_flight.fetch_sub(1, std::memory_order_relaxed);
+    t.rejected.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kRejected, retry_after_us(t, factor, 4)};
+  }
+  t.admitted.fetch_add(1, std::memory_order_relaxed);
+  return {SubmitStatus::kAccepted, 0};
+}
+
+void TaskService::update_admission(std::uint64_t now) {
+  // Pressure: worst ring fill fraction vs. runtime queue occupancy.
+  double fill = 0.0;
+  for (const auto& t : tenants_) {
+    const double f = static_cast<double>(t->ring.size_approx()) /
+                     static_cast<double>(t->ring.capacity());
+    fill = std::max(fill, f);
+  }
+  double pressure = std::max(fill, rt_->queue_pressure());
+  // Starving workers mean the backlog will drain fast — relax.
+  if (rt_->starving_workers() > 0) pressure *= 0.5;
+
+  // Capacity factor: the healthy fraction of the team. Quarantine shrinks
+  // it, which inflates scaled pressure AND directly scales admission.
+  const int threads = rt_->config().num_threads;
+  const double cap_factor =
+      std::max(1, rt_->healthy_workers()) / static_cast<double>(threads);
+  const double scaled = cap_factor > 0.0 ? pressure / cap_factor : 1.0;
+
+  ServiceState next = ServiceState::kAccept;
+  if (scaled >= cfg_.reject_at)
+    next = ServiceState::kReject;
+  else if (scaled >= cfg_.shed_at)
+    next = ServiceState::kShed;
+  else if (scaled >= cfg_.throttle_at)
+    next = ServiceState::kThrottle;
+
+  const auto prev = static_cast<ServiceState>(
+      state_.exchange(static_cast<std::uint32_t>(next),
+                      std::memory_order_acq_rel));
+  if (prev != next)
+    state_entries_[static_cast<std::size_t>(next)].fetch_add(
+        1, std::memory_order_relaxed);
+
+  const double factor =
+      cap_factor * kStateFactor[static_cast<std::size_t>(next)];
+  admission_milli_.store(static_cast<std::uint32_t>(factor * 1000.0 + 0.5),
+                         std::memory_order_release);
+
+  const double dt =
+      static_cast<double>(now - last_refill_ns_) / 1e9;
+  last_refill_ns_ = now;
+  for (auto& t : tenants_) t->bucket.refill(dt, factor);
+}
+
+void TaskService::complete_executed(const Request& req) noexcept {
+  Tenant& t = *tenants_[req.tenant];
+  t.executed.fetch_add(1, std::memory_order_relaxed);
+  t.in_flight.fetch_sub(1, std::memory_order_release);
+}
+
+void TaskService::shed_from_ring(Tenant& t, std::size_t n) noexcept {
+  t.shed.fetch_add(n, std::memory_order_relaxed);
+  t.in_flight.fetch_sub(n, std::memory_order_release);
+}
+
+std::size_t TaskService::drain_once(TaskContext& ctx) {
+  Counters& c =
+      rt_->profiler().thread(ctx.worker_id()).counters;
+  const bool shedding =
+      state() >= ServiceState::kShed;
+  std::size_t moved = 0;
+  Request reqs[64];
+  RequestTask bodies[64];
+  for (std::size_t ti = 0; ti < tenants_.size(); ++ti) {
+    Tenant& t = *tenants_[ti];
+    const std::size_t n = t.ring.pop_batch(reqs, drain_batch_);
+    if (n == 0) continue;
+    moved += n;
+    if (shedding && t.spec.priority == min_priority_) {
+      // Already-admitted work from the shed-first class is dropped here
+      // rather than executed — the runtime's queues are the scarce
+      // resource in this state.
+      shed_from_ring(t, n);
+      c.nserve_shed += n;
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) bodies[i] = RequestTask{this, reqs[i]};
+    ctx.set_tenant(static_cast<std::uint32_t>(ti) + 1);
+    ctx.spawn_batch(bodies, n);
+    ctx.set_tenant(0);
+    c.nserve_requests += n;
+  }
+  return moved;
+}
+
+void TaskService::serve_loop(TaskContext& ctx) {
+  int idle_spins = 0;
+  for (;;) {
+    // The drain task is long-lived; keep the heartbeat monitor from
+    // mistaking it for a stuck worker.
+    ctx.keepalive();
+    update_admission(now_ns());
+
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    if (paused_.load(std::memory_order_acquire) && !stopping) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+
+    std::size_t moved = 0;
+    if (FaultInjector* fi = fault_injector();
+        fi != nullptr && fi->inject(FaultPoint::kAdmissionStall)) {
+      // Chaos: skip this drain pass entirely. Pressure builds, the state
+      // machine sheds — the service must degrade, not deadlock.
+      fi->perturb(FaultPoint::kAdmissionStall);
+    } else {
+      moved = drain_once(ctx);
+    }
+    if (moved > 0) {
+      idle_spins = 0;
+      continue;
+    }
+    if (stopping && rings_empty()) break;
+    if (++idle_spins < 16) {
+      cpu_pause();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // Wait for every spawned request before the region ends.
+  ctx.taskwait();
+}
+
+bool TaskService::rings_empty() const noexcept {
+  for (const auto& t : tenants_)
+    if (t->ring.size_approx() != 0) return false;
+  return true;
+}
+
+void TaskService::stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  // Defensive sweep: the loop drains rings before exiting, but a request
+  // racing past the stop_ check can land after the final empty check.
+  // Account any stragglers as shed so the invariant still closes.
+  Request r;
+  for (auto& t : tenants_)
+    while (t->ring.try_pop(&r)) shed_from_ring(*t, 1);
+}
+
+TenantStats TaskService::tenant_stats(int tenant) const {
+  const Tenant& t = *tenants_.at(static_cast<std::size_t>(tenant));
+  TenantStats s;
+  s.name = t.spec.name;
+  s.submitted = t.submitted.load(std::memory_order_relaxed);
+  s.admitted = t.admitted.load(std::memory_order_relaxed);
+  s.executed = t.executed.load(std::memory_order_relaxed);
+  s.shed = t.shed.load(std::memory_order_relaxed);
+  s.rejected = t.rejected.load(std::memory_order_relaxed);
+  s.in_flight = t.in_flight.load(std::memory_order_relaxed);
+  s.ring_depth = t.ring.size_approx();
+  s.ring_capacity = t.ring.capacity();
+  return s;
+}
+
+TenantStats TaskService::totals() const {
+  TenantStats sum;
+  sum.name = "total";
+  for (int i = 0; i < num_tenants(); ++i) {
+    const TenantStats s = tenant_stats(i);
+    sum.submitted += s.submitted;
+    sum.admitted += s.admitted;
+    sum.executed += s.executed;
+    sum.shed += s.shed;
+    sum.rejected += s.rejected;
+    sum.in_flight += s.in_flight;
+    sum.ring_depth += s.ring_depth;
+    sum.ring_capacity += s.ring_capacity;
+  }
+  return sum;
+}
+
+std::vector<std::pair<std::string, std::string>> TaskService::trace_meta()
+    const {
+  std::vector<std::pair<std::string, std::string>> meta;
+  {
+    std::string v = "{\"state\":\"";
+    v += to_string(state());
+    v += "\",\"admission_factor\":";
+    v += std::to_string(admission_factor());
+    v += ",\"healthy_workers\":";
+    v += std::to_string(rt_->healthy_workers());
+    v += "}";
+    meta.emplace_back("serve_state", std::move(v));
+  }
+  for (int i = 0; i < num_tenants(); ++i) {
+    const TenantStats s = tenant_stats(i);
+    std::string v = "{\"tenant\":\"" + s.name + "\"";
+    v += ",\"submitted\":" + std::to_string(s.submitted);
+    v += ",\"admitted\":" + std::to_string(s.admitted);
+    v += ",\"executed\":" + std::to_string(s.executed);
+    v += ",\"shed\":" + std::to_string(s.shed);
+    v += ",\"rejected\":" + std::to_string(s.rejected);
+    v += ",\"in_flight\":" + std::to_string(s.in_flight);
+    v += ",\"ring_depth\":" + std::to_string(s.ring_depth);
+    v += ",\"ring_capacity\":" + std::to_string(s.ring_capacity);
+    v += "}";
+    meta.emplace_back("serve_tenant_" + s.name, std::move(v));
+  }
+  return meta;
+}
+
+}  // namespace xtask::serve

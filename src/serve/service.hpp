@@ -1,0 +1,231 @@
+// TaskService: a long-running in-process task-service front-end over the
+// xtask runtime — the "heavy traffic" ingestion path the ROADMAP's
+// xtask-as-a-service item asks for. N client threads submit requests
+// through per-tenant MPSC rings; token-bucket admission control (rate +
+// in-flight quota per tenant) gates entry; a dedicated drain task moves
+// admitted requests into the runtime with batched dispatch. Under pressure
+// the service degrades through explicit states:
+//
+//   accept -> throttle -> shed-lowest-priority -> reject-with-retry-after
+//
+// driven by ring fill, runtime queue pressure, and — via the PR 4
+// quarantine machinery — lost worker capacity: a quarantined worker
+// shrinks the admission factor automatically, so clients see throttling
+// instead of the service building an unbounded backlog it cannot drain.
+// Every submitted request is accounted exactly once as executed, shed, or
+// rejected; the accounting invariant (submitted == executed + shed +
+// rejected after stop()) is what the overload tests and the CI soak pin.
+//
+// See DESIGN.md "Overload control" for the state machine and the
+// admission math.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "registry/registry.hpp"
+#include "serve/admission.hpp"
+#include "serve/ring.hpp"
+
+namespace xtask::serve {
+
+/// One unit of client work. Trivially copyable: it travels by value
+/// through the submission ring and into a task payload. `fn` receives the
+/// whole request, so callers can recover their own fields (a, b) and
+/// compute end-to-end latency from t_submit_ns.
+struct Request {
+  void (*fn)(const Request&) = nullptr;
+  std::uint64_t a = 0;  // caller payload
+  std::uint64_t b = 0;  // caller payload
+  std::uint64_t t_submit_ns = 0;  // stamped at admission
+  std::uint32_t tenant = 0;       // stamped at admission
+  std::uint8_t priority = 0;      // stamped at admission (tenant prio)
+};
+
+/// What happened to one submit() call.
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,  // in the ring; will be executed (or shed under pressure)
+  kShed,      // dropped by policy (lowest-priority tenant under kShed+)
+  kRejected,  // quota/rate/ring-full/state; retry after retry_after_us
+};
+
+/// The service's degradation state, most permissive first.
+enum class ServiceState : std::uint8_t {
+  kAccept = 0,  // normal operation, full admission rate
+  kThrottle,    // pressure building: admission factor halves
+  kShed,        // shedding the lowest-priority tenant's work
+  kReject,      // rejecting everything with retry-after
+};
+
+const char* to_string(ServiceState s) noexcept;
+
+/// Result of submit(): the status plus a retry hint (microseconds) for
+/// rejects. retry_after_us == 0 means "do not retry" (service stopped).
+struct Submit {
+  SubmitStatus status = SubmitStatus::kRejected;
+  std::uint64_t retry_after_us = 0;
+};
+
+/// Per-tenant accounting snapshot. At any instant
+///   submitted >= admitted + shed + rejected, and
+/// after stop():
+///   submitted == executed + shed + rejected, in_flight == 0.
+struct TenantStats {
+  std::string name;
+  std::uint64_t submitted = 0;  // every submit() call
+  std::uint64_t admitted = 0;   // passed admission into the ring
+  std::uint64_t executed = 0;   // request fn ran to completion
+  std::uint64_t shed = 0;       // dropped by policy (admission or drain)
+  std::uint64_t rejected = 0;   // pushed back with retry-after
+  std::uint64_t in_flight = 0;  // admitted, not yet executed/shed
+  std::uint32_t ring_depth = 0;
+  std::uint32_t ring_capacity = 0;
+};
+
+struct ServeConfig {
+  /// Runtime spec (registry grammar); must name the xtask backend — the
+  /// degradation machinery needs quarantine-aware dispatch.
+  std::string runtime_spec = "xtask:dlb=naws,tint=128";
+  /// Tenant admission specs (TenantSpec grammar / parse_list).
+  std::vector<TenantSpec> tenants;
+  /// Per-tenant submission-ring capacity (rounded up to a power of two).
+  std::uint32_t ring_capacity = 1024;
+  /// Max requests drained per tenant per pass (clamped to [1, 64]).
+  std::uint32_t drain_batch = 64;
+  /// State thresholds on scaled pressure (pressure / capacity factor):
+  /// >= throttle_at -> kThrottle, >= shed_at -> kShed, >= reject_at ->
+  /// kReject. Must be increasing and in (0, 1].
+  double throttle_at = 0.50;
+  double shed_at = 0.75;
+  double reject_at = 0.90;
+};
+
+/// The service. Construction spins up the runtime and the drain region;
+/// stop() (or destruction) drains every ring and settles the accounting.
+class TaskService {
+ public:
+  explicit TaskService(ServeConfig cfg);
+  ~TaskService();
+
+  TaskService(const TaskService&) = delete;
+  TaskService& operator=(const TaskService&) = delete;
+
+  /// Submit one request on behalf of tenant index `tenant` (order of
+  /// ServeConfig::tenants). Any thread; never blocks. The req's fn/a/b
+  /// fields are the caller's; tenant/priority/t_submit_ns are stamped
+  /// here on admission.
+  Submit submit(int tenant, Request req) noexcept;
+
+  /// Stop accepting, drain everything admitted, settle accounting, and
+  /// join the service thread. Idempotent; safe from any thread.
+  void stop();
+
+  int num_tenants() const noexcept { return static_cast<int>(tenants_.size()); }
+  TenantStats tenant_stats(int tenant) const;
+  /// Sum over tenants.
+  TenantStats totals() const;
+
+  ServiceState state() const noexcept {
+    return static_cast<ServiceState>(
+        state_.load(std::memory_order_acquire));
+  }
+
+  /// Effective admission scale in [0, 1]: (healthy workers / team size) ×
+  /// the state factor (accept 1.0, throttle 0.5, shed 0.25, reject 0).
+  /// Tenant buckets refill at rate × this factor, so quarantine-driven
+  /// capacity loss tightens admission automatically.
+  double admission_factor() const noexcept {
+    return static_cast<double>(
+               admission_milli_.load(std::memory_order_acquire)) /
+           1000.0;
+  }
+
+  /// Times each state was entered (index by ServiceState).
+  std::uint64_t state_entries(ServiceState s) const noexcept {
+    return state_entries_[static_cast<std::size_t>(s)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// The underlying runtime (profiler, health stats, topology).
+  Runtime& runtime() noexcept { return *rt_; }
+  const Runtime& runtime() const noexcept { return *rt_; }
+
+  /// Metadata records for TraceExportOptions::extra_meta: service state
+  /// plus one record per tenant with its admission counters and ring
+  /// depth, so shedding decisions land in the same trace as the timeline.
+  std::vector<std::pair<std::string, std::string>> trace_meta() const;
+
+  // --- test hooks ---------------------------------------------------------
+  /// Pause/resume the drain loop (admission keeps running): the
+  /// backpressure tests fill rings to capacity with workers paused and
+  /// assert reject-with-retry-after instead of a hang. Pause is ignored
+  /// once stop() is underway, so it can never wedge shutdown.
+  void pause_drain() noexcept {
+    paused_.store(true, std::memory_order_release);
+  }
+  void resume_drain() noexcept {
+    paused_.store(false, std::memory_order_release);
+  }
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    SubmitRing<Request> ring;
+    TokenBucket bucket;
+    atomic<std::uint64_t> submitted{0};
+    atomic<std::uint64_t> admitted{0};
+    atomic<std::uint64_t> executed{0};
+    atomic<std::uint64_t> shed{0};
+    atomic<std::uint64_t> rejected{0};
+    atomic<std::uint64_t> in_flight{0};
+
+    Tenant(TenantSpec s, std::uint32_t ring_cap)
+        : spec(std::move(s)),
+          ring(ring_cap),
+          bucket(spec.rate, spec.effective_burst()) {}
+  };
+
+  /// Task payload wrapping one admitted request (<= Task::kPayloadBytes).
+  struct RequestTask {
+    TaskService* svc = nullptr;
+    Request req{};
+    void operator()(TaskContext& ctx);
+  };
+
+  void serve_loop(TaskContext& ctx);
+  std::size_t drain_once(TaskContext& ctx);
+  void update_admission(std::uint64_t now_ns);
+  void complete_executed(const Request& req) noexcept;
+  void shed_from_ring(Tenant& t, std::size_t n) noexcept;
+  std::uint64_t retry_after_us(const Tenant& t, double factor,
+                               std::uint64_t mult) const noexcept;
+  bool rings_empty() const noexcept;
+  static std::uint64_t now_ns() noexcept;
+
+  ServeConfig cfg_;
+  std::unique_ptr<Runtime> rt_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::uint32_t drain_batch_ = 64;
+  int min_priority_ = 0;  // the shed-first priority class
+
+  atomic<std::uint32_t> state_{
+      static_cast<std::uint32_t>(ServiceState::kAccept)};
+  atomic<std::uint32_t> admission_milli_{1000};
+  atomic<std::uint64_t> state_entries_[4] = {};
+  atomic<bool> paused_{false};
+  atomic<bool> stop_{false};
+
+  // Drain-loop-private refill clock.
+  std::uint64_t last_refill_ns_ = 0;
+
+  std::mutex stop_mu_;  // serializes stop() callers around the join
+  std::thread thread_;  // runs rt_->run(serve_loop)
+};
+
+}  // namespace xtask::serve

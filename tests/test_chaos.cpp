@@ -182,7 +182,7 @@ TEST(ChaosTargeted, QueuePushAlwaysFullStillExact) {
   const Counters total = rt.total_counters();
   EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
   // All non-root tasks ran inline.
-  EXPECT_EQ(total.overflow_inline, total.ntasks_created - 1);
+  EXPECT_EQ(total.overflow.total, total.ntasks_created - 1);
 }
 
 TEST(ChaosTargeted, HeavyPopMissesStillTerminate) {

@@ -655,8 +655,11 @@ TEST(Backpressure, OverflowInlineCountsForcedFullQueues) {
   });
   EXPECT_EQ(ran.load(), 4096);
   const Counters total = rt.profiler().total_counters();
-  EXPECT_GT(total.overflow_inline, 0u);
-  EXPECT_EQ(total.overflow_inline, total.ntasks_imm_exec);
+  EXPECT_GT(total.overflow.total, 0u);
+  EXPECT_EQ(total.overflow.total, total.ntasks_imm_exec);
+  // Untagged workload: attribution records depth but no tenant.
+  EXPECT_EQ(total.overflow.last_tenant, 0u);
+  EXPECT_GE(total.overflow.max_depth, total.overflow.last_depth);
 }
 
 }  // namespace

@@ -1,0 +1,450 @@
+// Overload-resilience tests for the task-service front-end (src/serve):
+// the submission ring and token bucket in isolation, then the service's
+// contract under hostile conditions — rings filled to capacity with the
+// drain paused (reject-with-retry-after, never a hang), a chaos-wedged
+// admission path (shed, never deadlock), and a quarantined worker
+// (admission tightens automatically while the service keeps serving).
+// The closing assertion everywhere is the accounting invariant: after
+// stop(), submitted == executed + shed + rejected and nothing is in
+// flight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "registry/registry.hpp"
+#include "serve/admission.hpp"
+#include "serve/ring.hpp"
+#include "serve/service.hpp"
+
+namespace xtask::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Per-tenant execution counters the request fn bumps; index = stamped
+// tenant id. Reset per test.
+std::atomic<std::uint64_t> g_executed[8];
+
+void count_request(const Request& req) {
+  g_executed[req.tenant].fetch_add(1, std::memory_order_relaxed);
+}
+
+void reset_executed() {
+  for (auto& c : g_executed) c.store(0, std::memory_order_relaxed);
+}
+
+void throwing_request(const Request&) { throw std::runtime_error("boom"); }
+
+void expect_accounting_closed(TaskService& svc) {
+  const TenantStats total = svc.totals();
+  EXPECT_EQ(total.submitted, total.executed + total.shed + total.rejected)
+      << "submitted=" << total.submitted << " executed=" << total.executed
+      << " shed=" << total.shed << " rejected=" << total.rejected;
+  EXPECT_EQ(total.in_flight, 0u);
+  EXPECT_EQ(total.ring_depth, 0u);
+}
+
+// --- SubmitRing ----------------------------------------------------------
+
+TEST(SubmitRing, FifoFillAndDrain) {
+  SubmitRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "full ring must refuse, not wait";
+  EXPECT_EQ(ring.size_approx(), 8u);
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(&v));
+  EXPECT_EQ(ring.size_approx(), 0u);
+  // Freed slots are reusable (wrap-around).
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(100 + i));
+  EXPECT_FALSE(ring.try_push(0));
+}
+
+TEST(SubmitRing, PopBatchRespectsMax) {
+  SubmitRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.try_push(i);
+  int out[16];
+  EXPECT_EQ(ring.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 3);
+  EXPECT_EQ(ring.pop_batch(out, 16), 6u);
+  EXPECT_EQ(ring.pop_batch(out, 16), 0u);
+}
+
+TEST(SubmitRing, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  SubmitRing<std::uint32_t> ring(256);
+  std::atomic<bool> done{false};
+  std::vector<std::uint32_t> seen(kProducers * kPerProducer, 0);
+  std::thread consumer([&] {
+    std::uint32_t v;
+    std::size_t got = 0;
+    while (got < kProducers * kPerProducer) {
+      if (ring.try_pop(&v)) {
+        ++seen[v];
+        ++got;
+      } else if (done.load(std::memory_order_acquire) &&
+                 ring.size_approx() == 0 && !ring.try_pop(&v)) {
+        break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  std::atomic<int> started{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      started.fetch_add(1);
+      while (started.load() < kProducers) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto v = static_cast<std::uint32_t>(p * kPerProducer + i);
+        while (!ring.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    ASSERT_EQ(seen[i], 1u) << "value " << i;
+}
+
+// --- TokenBucket ---------------------------------------------------------
+
+TEST(TokenBucket, StartsFullAndDrains) {
+  TokenBucket b(100, 4);
+  EXPECT_EQ(b.available(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.try_take());
+  EXPECT_FALSE(b.try_take());
+}
+
+TEST(TokenBucket, RefillIsCappedAtBurst) {
+  TokenBucket b(1000, 8);
+  b.refill(10.0, 1.0);  // 10000 tokens of credit, burst is 8
+  EXPECT_EQ(b.available(), 8u);
+}
+
+TEST(TokenBucket, FactorScalesRefillAndZeroStopsIt) {
+  TokenBucket b(1000, 1000);
+  while (b.try_take()) {
+  }
+  b.refill(0.1, 0.0);
+  EXPECT_FALSE(b.try_take()) << "factor 0 must not refill";
+  b.refill(0.1, 0.5);  // 1000 * 0.1 * 0.5 = 50 tokens
+  const std::uint64_t avail = b.available();
+  EXPECT_GE(avail, 49u);
+  EXPECT_LE(avail, 51u);
+}
+
+TEST(TokenBucket, FractionalCreditAccumulates) {
+  TokenBucket b(10, 100);
+  while (b.try_take()) {
+  }
+  b.refill(0.05, 1.0);  // 0.5 token: not yet
+  EXPECT_EQ(b.available(), 0u);
+  b.refill(0.05, 1.0);  // accumulates to 1.0
+  EXPECT_EQ(b.available(), 1u);
+}
+
+// --- TenantSpec plumbing (grammar details live in test_spec_props) -------
+
+TEST(ServeConfigTest, TenantListParsesIntoService) {
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws";
+  cfg.tenants = TenantSpec::parse_list(
+      "free:rate=100,quota=16;paid:rate=1000,quota=64,prio=3");
+  TaskService svc(std::move(cfg));
+  EXPECT_EQ(svc.num_tenants(), 2);
+  EXPECT_EQ(svc.tenant_stats(0).name, "free");
+  EXPECT_EQ(svc.tenant_stats(1).name, "paid");
+  svc.stop();
+  expect_accounting_closed(svc);
+}
+
+TEST(ServeConfigTest, RejectsNonXtaskBackendsAndBadThresholds) {
+  ServeConfig cfg;
+  cfg.tenants = TenantSpec::parse_list("t:rate=10,quota=4");
+  cfg.runtime_spec = "gomp";
+  EXPECT_THROW(TaskService{cfg}, std::invalid_argument);
+  cfg.runtime_spec = "xtask:threads=2";
+  cfg.throttle_at = 0.9;
+  cfg.shed_at = 0.5;
+  EXPECT_THROW(TaskService{cfg}, std::invalid_argument);
+  ServeConfig empty;
+  EXPECT_THROW(TaskService{empty}, std::invalid_argument);
+}
+
+// --- Service: happy path -------------------------------------------------
+
+TEST(TaskServiceTest, ExecutesEverythingUnderLightLoad) {
+  reset_executed();
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws";
+  cfg.tenants = TenantSpec::parse_list(
+      "a:rate=1000000,quota=100000,burst=100000;"
+      "b:rate=1000000,quota=100000,burst=100000,prio=3");
+  TaskService svc(std::move(cfg));
+
+  constexpr int kEach = 500;
+  std::uint64_t accepted[2] = {0, 0};
+  for (int i = 0; i < kEach; ++i) {
+    for (int t = 0; t < 2; ++t) {
+      Request r;
+      r.fn = count_request;
+      r.a = static_cast<std::uint64_t>(i);
+      Submit s = svc.submit(t, r);
+      if (s.status == SubmitStatus::kAccepted) ++accepted[t];
+      // Light load: quotas and rates are far above the offered load, so
+      // the only legitimate non-accept is transient ring pressure.
+      if (s.status == SubmitStatus::kRejected) {
+        EXPECT_GT(s.retry_after_us, 0u);
+      }
+    }
+  }
+  svc.stop();
+  expect_accounting_closed(svc);
+  for (int t = 0; t < 2; ++t) {
+    const TenantStats s = svc.tenant_stats(t);
+    EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kEach));
+    // The request fn ran exactly once per executed request (tenant ids in
+    // the fn are 0-based = stamped index).
+    EXPECT_EQ(g_executed[t].load(), s.executed);
+    EXPECT_EQ(s.executed + s.shed + s.rejected, s.submitted);
+  }
+  // Executed requests flow into the profiler's serve counters: every
+  // spawned request (all of them under light load) is counted at drain.
+  const Counters total = svc.runtime().profiler().total_counters();
+  EXPECT_EQ(total.nserve_requests, svc.totals().executed);
+  EXPECT_GT(total.nserve_requests, 0u);
+}
+
+TEST(TaskServiceTest, ThrowingRequestsAreContained) {
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2";
+  cfg.tenants = TenantSpec::parse_list("t:rate=100000,quota=1000,burst=1000");
+  TaskService svc(std::move(cfg));
+  for (int i = 0; i < 50; ++i) {
+    Request r;
+    r.fn = throwing_request;
+    svc.submit(0, r);
+  }
+  svc.stop();
+  expect_accounting_closed(svc);
+  EXPECT_GT(svc.totals().executed, 0u);
+}
+
+TEST(TaskServiceTest, OutOfRangeTenantIsRejectedWithoutRetry) {
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2";
+  cfg.tenants = TenantSpec::parse_list("t:rate=10,quota=4");
+  TaskService svc(std::move(cfg));
+  const Submit s = svc.submit(7, Request{});
+  EXPECT_EQ(s.status, SubmitStatus::kRejected);
+  EXPECT_EQ(s.retry_after_us, 0u);
+}
+
+// --- Service: overload & backpressure ------------------------------------
+
+TEST(TaskServiceTest, FullRingsRejectWithRetryAfterNeverHang) {
+  reset_executed();
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws";
+  cfg.ring_capacity = 64;
+  // Rate/quota far above the ring: the ring itself is the bottleneck.
+  cfg.tenants =
+      TenantSpec::parse_list("t:rate=1000000000,quota=100000,burst=1000000");
+  TaskService svc(std::move(cfg));
+  svc.pause_drain();
+  // Give the loop a beat to observe the pause (it may drain a few first).
+  std::this_thread::sleep_for(5ms);
+
+  constexpr int kFlood = 1000;
+  std::uint64_t accepted = 0, nonaccepted = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    Request r;
+    r.fn = count_request;
+    const Submit s = svc.submit(0, r);
+    if (s.status == SubmitStatus::kAccepted) {
+      ++accepted;
+    } else {
+      ++nonaccepted;
+      EXPECT_GT(s.retry_after_us, 0u)
+          << "every reject/shed must carry a bounded retry hint";
+      EXPECT_LE(s.retry_after_us, 1000000u);
+    }
+  }
+  // The ring (64 slots, maybe a few drained pre-pause) bounds admission;
+  // the vast majority of the flood was pushed back immediately.
+  EXPECT_GT(nonaccepted, static_cast<std::uint64_t>(kFlood) / 2);
+  EXPECT_GT(accepted, 0u);
+
+  svc.resume_drain();
+  svc.stop();
+  expect_accounting_closed(svc);
+  EXPECT_EQ(svc.totals().submitted, static_cast<std::uint64_t>(kFlood));
+}
+
+TEST(TaskServiceTest, ConcurrentMultiTenantSubmittersAccountExactly) {
+  reset_executed();
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=4,zones=2,dlb=naws,tint=200";
+  cfg.ring_capacity = 128;
+  cfg.tenants = TenantSpec::parse_list(
+      "bulk:rate=50000,quota=256,prio=0;"
+      "std:rate=50000,quota=256,prio=1;"
+      "prio:rate=50000,quota=256,prio=5");
+  TaskService svc(std::move(cfg));
+
+  constexpr int kPerTenant = 3000;
+  std::vector<std::thread> clients;
+  std::atomic<std::uint64_t> accepted[3] = {};
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerTenant; ++i) {
+        Request r;
+        r.fn = count_request;
+        r.a = static_cast<std::uint64_t>(i);
+        const Submit s = svc.submit(t, r);
+        if (s.status == SubmitStatus::kAccepted)
+          accepted[t].fetch_add(1, std::memory_order_relaxed);
+        if ((i & 63) == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  svc.stop();
+  expect_accounting_closed(svc);
+  for (int t = 0; t < 3; ++t) {
+    const TenantStats s = svc.tenant_stats(t);
+    EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kPerTenant)) << s.name;
+    EXPECT_EQ(s.executed + s.shed + s.rejected, s.submitted) << s.name;
+    EXPECT_EQ(g_executed[t].load(), s.executed) << s.name;
+  }
+  // Trace metadata carries the per-tenant ledgers.
+  const auto meta = svc.trace_meta();
+  ASSERT_EQ(meta.size(), 4u);  // serve_state + 3 tenants
+  EXPECT_EQ(meta[0].first, "serve_state");
+  EXPECT_NE(meta[1].second.find("\"submitted\":"), std::string::npos);
+}
+
+// --- Service: chaos ------------------------------------------------------
+
+TEST(TaskServiceChaos, WedgedAdmissionShedsInsteadOfDeadlocking) {
+  reset_executed();
+  FaultInjector fi(0xC0FFEE);
+  fi.set_fail_rate(FaultPoint::kAdmissionStall, 0.3);
+  fi.set_yield_rate(FaultPoint::kAdmissionStall, 0.2);
+  FaultScope scope(fi);
+
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws,tint=200";
+  cfg.ring_capacity = 64;
+  cfg.tenants = TenantSpec::parse_list("t:rate=100000,quota=512,burst=1024");
+  TaskService svc(std::move(cfg));
+
+  constexpr int kTotal = 4000;
+  std::uint64_t shed_seen = 0;
+  for (int i = 0; i < kTotal; ++i) {
+    const Submit s = svc.submit(0, Request{count_request});
+    if (s.status == SubmitStatus::kShed) ++shed_seen;
+    if ((i & 127) == 0) std::this_thread::sleep_for(100us);
+  }
+  svc.stop();
+  expect_accounting_closed(svc);
+  EXPECT_GT(shed_seen, 0u) << "a 30% wedged admission path must shed";
+  EXPECT_GT(svc.totals().executed, 0u) << "and still make forward progress";
+  EXPECT_GT(fi.failed(FaultPoint::kAdmissionStall), 0u);
+}
+
+TEST(TaskServiceChaos, QuarantinedWorkerTightensAdmission) {
+  reset_executed();
+  ServeConfig cfg;
+  // Heartbeats + quarantine on; 4 workers so losing one is a 25% capacity
+  // cut the admission factor must reflect.
+  cfg.runtime_spec = "xtask:threads=4,zones=2,dlb=naws,hb=25,quarantine=on";
+  // The bucket must be the binding constraint in BOTH phases (offered load
+  // far above rate), so the measured accept rate tracks the admission
+  // factor instead of CPU-scheduling noise: ~rate when healthy, ~rate x
+  // (threads-1)/threads once a worker is quarantined.
+  cfg.tenants = TenantSpec::parse_list("t:rate=1000,quota=100000,burst=16");
+  TaskService svc(std::move(cfg));
+  Runtime& rt = svc.runtime();
+  const int threads = rt.config().num_threads;
+
+  // Phase A: healthy baseline — no injector installed, nobody stalls.
+  auto measure = [&](std::chrono::milliseconds window, bool only_degraded) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t acc = 0, sub = 0;
+    double min_factor = 1.0;
+    while (std::chrono::steady_clock::now() - t0 < window) {
+      if (only_degraded && rt.healthy_workers() == threads) break;
+      min_factor = std::min(min_factor, svc.admission_factor());
+      const Submit s = svc.submit(0, Request{count_request});
+      ++sub;
+      if (s.status == SubmitStatus::kAccepted) ++acc;
+      std::this_thread::yield();
+    }
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    struct R {
+      double rate;
+      double min_factor;
+      double seconds;
+    };
+    return R{dt > 0 ? static_cast<double>(acc) / dt : 0.0, min_factor, dt};
+  };
+  const auto healthy = measure(200ms, false);
+  EXPECT_GT(healthy.rate, 0.0);
+
+  // Now arm kWorkerStall: the next time an idle worker passes its
+  // injection point it stalls past the heartbeat deadline and the monitor
+  // quarantines it.
+  FaultInjector fi(0xDEAD);
+  fi.set_fail_rate(FaultPoint::kWorkerStall, 1.0);
+  FaultScope scope(fi);
+
+  bool degraded = false;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (rt.healthy_workers() < threads) {
+      degraded = true;
+      break;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(degraded) << "kWorkerStall at rate 1.0 must quarantine";
+
+  const auto sick = measure(300ms, true);
+  // The admission factor reflects the lost capacity directly...
+  EXPECT_LT(sick.min_factor, 1.0);
+  EXPECT_LE(sick.min_factor,
+            static_cast<double>(threads - 1) / threads + 0.01);
+  // ...and the measured accept rate drops while the service keeps serving.
+  if (sick.seconds > 0.025) {
+    EXPECT_LT(sick.rate, healthy.rate);
+  }
+
+  const std::uint64_t exec_before = svc.totals().executed;
+  std::this_thread::sleep_for(50ms);
+  svc.stop();
+  expect_accounting_closed(svc);
+  EXPECT_GE(svc.totals().executed, exec_before);
+  EXPECT_GT(svc.totals().executed, 0u) << "no deadlock: work kept flowing";
+  EXPECT_GE(rt.health_stats().quarantines, 1u);
+}
+
+}  // namespace
+}  // namespace xtask::serve

@@ -264,6 +264,108 @@ TEST(SpecProps, NearMissKeysNameTheKnownKeySet) {
   EXPECT_GT(tested, 200) << "mutation filter rejected too many cases";
 }
 
+// ---------------------------------------------------------------------------
+// Tenant spec round trips (the serve front-end's admission grammar).
+
+TEST(SpecProps, TenantSpecDescribeRoundTrips) {
+  Rng rng(0x7E4A47ull);
+  const std::vector<std::string> names = {"free", "paid", "batch", "t0",
+                                          "svc-a", "svc_b"};
+  for (int i = 0; i < 300; ++i) {
+    xtask::TenantSpec t;
+    t.name = rng.pick(names);
+    t.rate = static_cast<std::uint64_t>(rng.range(1, 1000000));
+    t.quota = static_cast<std::uint64_t>(rng.range(1, 100000));
+    t.burst = static_cast<std::uint64_t>(rng.range(0, 5000));  // 0 = default
+    t.priority = rng.range(0, 7);
+    const std::string text = t.describe();
+    const xtask::TenantSpec back = xtask::TenantSpec::parse(text);
+    ASSERT_EQ(back.name, t.name) << text;
+    ASSERT_EQ(back.rate, t.rate) << text;
+    ASSERT_EQ(back.quota, t.quota) << text;
+    ASSERT_EQ(back.burst, t.burst) << text;
+    ASSERT_EQ(back.priority, t.priority) << text;
+    EXPECT_EQ(back.describe(), text) << "describe() not a fixpoint";
+    // The optional tenant= prefix parses to the same spec.
+    const xtask::TenantSpec prefixed =
+        xtask::TenantSpec::parse("tenant=" + text);
+    EXPECT_EQ(prefixed.describe(), text) << text;
+  }
+}
+
+TEST(SpecProps, TenantSpecListRoundTripsAndRejectsDuplicates) {
+  Rng rng(0x11575EEDull);
+  for (int i = 0; i < 200; ++i) {
+    const int n = rng.range(1, 5);
+    std::vector<xtask::TenantSpec> in;
+    std::string text;
+    for (int k = 0; k < n; ++k) {
+      xtask::TenantSpec t;
+      t.name = std::string("t") + std::to_string(k);
+      t.rate = static_cast<std::uint64_t>(rng.range(1, 100000));
+      t.quota = static_cast<std::uint64_t>(rng.range(1, 10000));
+      t.priority = rng.range(0, 7);
+      in.push_back(t);
+      if (k > 0) text += ";";
+      text += t.describe();
+    }
+    const auto out = xtask::TenantSpec::parse_list(text);
+    ASSERT_EQ(out.size(), in.size()) << text;
+    for (std::size_t k = 0; k < out.size(); ++k)
+      EXPECT_EQ(out[k].describe(), in[k].describe()) << text;
+    // Appending any existing tenant again must be rejected by name.
+    std::string dup = text;
+    dup += ";";
+    dup += in[0].describe();
+    EXPECT_THROW(xtask::TenantSpec::parse_list(dup), std::invalid_argument)
+        << dup;
+  }
+}
+
+TEST(SpecProps, NearMissTenantKeysNameTheKnownKeySet) {
+  Rng rng(0x7E4A5EEDull);
+  const std::vector<std::string> keys = {"rate", "quota", "burst", "prio"};
+  const std::set<std::string> valid(keys.begin(), keys.end());
+  int tested = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::string typo = mutate_key(rng, rng.pick(keys));
+    if (valid.count(typo) != 0 || typo.empty()) continue;
+    const std::string text = "t:rate=10,quota=4," + typo + "=1";
+    try {
+      (void)xtask::TenantSpec::parse(text);
+      FAIL() << "accepted unknown tenant key '" << typo << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(typo), std::string::npos) << msg;
+      EXPECT_NE(msg.find("known"), std::string::npos)
+          << "error for '" << typo << "' does not name the known keys: "
+          << msg;
+      EXPECT_NE(msg.find("rate"), std::string::npos) << msg;
+    }
+    ++tested;
+  }
+  EXPECT_GT(tested, 200) << "mutation filter rejected too many cases";
+}
+
+TEST(SpecProps, TenantSpecMalformedValuesAndMissingKeysAreRejected) {
+  const std::vector<std::string> bad = {
+      "",                       // empty
+      ":rate=10,quota=4",       // empty name
+      "t",                      // no options
+      "t:rate=10",              // missing quota
+      "t:quota=4",              // missing rate
+      "t:rate=x,quota=4",       // non-numeric
+      "t:rate=10,quota=4,prio=-1",  // negative (sign is not a digit)
+      "t:rate=10,,quota=4",     // empty option
+      "t:rate,quota=4",         // option without '='
+  };
+  for (const std::string& s : bad)
+    EXPECT_THROW(xtask::TenantSpec::parse(s), std::invalid_argument)
+        << "accepted '" << s << "'";
+  EXPECT_THROW(xtask::TenantSpec::parse_list(""), std::invalid_argument);
+  EXPECT_THROW(xtask::TenantSpec::parse_list(";;"), std::invalid_argument);
+}
+
 TEST(SpecProps, NearMissBackendsNameTheKnownBackends) {
   Rng rng(0xFADEull);
   const std::set<std::string> valid = {"serial", "gomp", "lomp", "xlomp",
