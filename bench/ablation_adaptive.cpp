@@ -5,11 +5,64 @@
 //
 // Expected shape: adaptive ≈ the better of the fixed strategies on each
 // app without per-app tuning, and never far below SLB.
+//
+// A second, real-thread section ablates the hybrid dispatch layer: the
+// same BOTS kernels on the actual runtime with the steal protocol forced
+// on (dmode=messaging), bypassed (dmode=direct), and self-selecting
+// (auto), against the LOMP-like baseline the perf gate compares against.
+#include <chrono>
+
 #include "bench_util.hpp"
+#include "bots/bots.hpp"
+#include "registry/registry.hpp"
 
 using namespace xbench;
 
+namespace {
+
+using xtask::bots::fib_parallel;
+using xtask::bots::nqueens_parallel;
+
+double kernel_ms(const std::string& spec, const char* app, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    xtask::AnyRuntime rt = xtask::RuntimeRegistry::make(spec);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (std::string(app) == "fib")
+      fib_parallel(rt, 22, 8);
+    else
+      nqueens_parallel(rt, 9, 3);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void real_thread_section() {
+  print_header("Ablation — hybrid dispatch on real threads",
+               "4 threads, 2 zones; best of 3 reps per cell. `auto` is "
+               "the per-epoch mode controller; messaging/direct pin it.");
+  std::printf("%-10s %10s %10s %10s %10s | %11s\n", "app", "lomp(ms)",
+              "msg(ms)", "direct(ms)", "auto(ms)", "auto/lomp");
+  const char* base = "xtask:threads=4,zones=2,dlb=adaptive";
+  for (const char* app : {"fib", "nqueens"}) {
+    const double lomp = kernel_ms("lomp:threads=4", app, 3);
+    const double msg = kernel_ms(std::string(base) + ",dmode=messaging",
+                                 app, 3);
+    const double dir = kernel_ms(std::string(base) + ",dmode=direct",
+                                 app, 3);
+    const double aut = kernel_ms(base, app, 3);
+    std::printf("%-10s %10.2f %10.2f %10.2f %10.2f | %10.2fx\n", app, lomp,
+                msg, dir, aut, aut / lomp);
+  }
+}
+
+}  // namespace
+
 int main() {
+  real_thread_section();
   print_header("Ablation — adaptive DLB vs fixed strategies",
                "192 simulated cores; fixed strategies use mid-range "
                "settings {8,16,1e4,1.0}; adaptive self-tunes per worker.");

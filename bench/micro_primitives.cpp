@@ -82,6 +82,18 @@ void BM_XQueueEmptyScan(benchmark::State& state) {
 }
 BENCHMARK(BM_XQueueEmptyScan)->Arg(4)->Arg(16)->Arg(64)->Arg(192);
 
+void BM_XQueueOccupancyMask(benchmark::State& state) {
+  // Bitmap census probe: the per-epoch mode-controller input and the
+  // NA-WS victim filter both ride on this word-OR sweep.
+  const int n = static_cast<int>(state.range(0));
+  XQueue xq(n, 2048);
+  auto* t = reinterpret_cast<Task*>(0x40);
+  for (int w = 1; w < n; w += 2) xq.push(w, 0, t);  // arm a few bits
+  for (auto _ : state) benchmark::DoNotOptimize(xq.occupied_mask());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XQueueOccupancyMask)->Arg(4)->Arg(16)->Arg(64);
+
 void BM_StealCellHandshake(benchmark::State& state) {
   StealCells cells;
   for (auto _ : state) {

@@ -20,9 +20,26 @@ only on a more-than-``--smoke-factor``x regression — wide enough that a
 noisy CI host does not flap, tight enough that an accidental O(n) slip or
 a reintroduced lock on the hot path is caught.
 
+``perf_floor.json`` has three sections (a legacy flat file of micro floors
+is still accepted and treated as ``primitives``):
+
+  "primitives"  — {bench name: floor ns/op} for the smoke microbenches
+  "bots"        — real-thread end-to-end gate: the watched xtask config's
+                  kernel time must stay within ``max_ratio[bench]`` x of
+                  the baseline config's (ratios are host-relative, so this
+                  gate needs no per-host calibration)
+  "serve"       — overload-goodput gate: at the 1.0x phase goodput must be
+                  >= ``min_goodput_frac_1x`` of the offered rate, and the
+                  2.0x phase must keep >= ``min_2x_goodput_vs_1x`` of the
+                  1.0x goodput (graceful degradation, not collapse)
+
+``--gate-bots`` / ``--gate-serve`` run those sections standalone against a
+fresh trimmed run — CI's perf-smoke job chains them after ``--smoke``.
+
 Usage:
   python3 bench/run_bench.py [--build-dir build] [--threads 4] [--reps 3]
   python3 bench/run_bench.py --smoke
+  python3 bench/run_bench.py --gate-bots --gate-serve
 """
 
 from __future__ import annotations
@@ -46,6 +63,7 @@ SMOKE_BENCHES = [
     "BM_BQueueBatchPushPop/32",
     "BM_BQueueSizeApprox",
     "BM_XQueuePushPopSelf/4",
+    "BM_XQueueOccupancyMask/4",
     "BM_AllocatorMultiLevel",
     "AllocatorChurn/SharedPool/real_time/threads:1",
     "AllocatorChurn/SharedPool/real_time/threads:4",
@@ -170,11 +188,23 @@ def run_serve(build_dir: pathlib.Path, seconds: float,
     return records
 
 
-def check_floor(records: list[dict], factor: float) -> int:
+def load_floors() -> dict:
+    """Floor file with all three gate sections. A legacy flat file —
+    every top-level value numeric — is promoted to {"primitives": ...} so
+    older checkouts keep gating."""
     if not FLOOR_FILE.exists():
-        print(f"no {FLOOR_FILE.name}; skipping regression gate")
+        return {}
+    raw = json.loads(FLOOR_FILE.read_text())
+    if raw and all(isinstance(v, (int, float)) for v in raw.values()):
+        return {"primitives": raw}
+    return raw
+
+
+def check_floor(records: list[dict], factor: float) -> int:
+    floors = load_floors().get("primitives")
+    if not floors:
+        print(f"no primitives section in {FLOOR_FILE.name}; skipping gate")
         return 0
-    floors = json.loads(FLOOR_FILE.read_text())
     by_name = {r["bench"]: r for r in records}
     failures = 0
     for name, floor_ns in sorted(floors.items()):
@@ -193,6 +223,67 @@ def check_floor(records: list[dict], factor: float) -> int:
     return failures
 
 
+def check_bots_ratio(records: list[dict]) -> int:
+    """End-to-end real-thread gate: the watched config (the adaptive
+    dispatch build) must stay within ``max_ratio`` of the baseline runtime
+    per kernel. Ratios compare two configs measured in the same run on the
+    same host, so no noise factor is applied beyond the checked-in slack."""
+    gate = load_floors().get("bots")
+    if not gate:
+        print(f"no bots section in {FLOOR_FILE.name}; skipping gate")
+        return 0
+    watched = gate["config"]
+    baseline = gate["baseline"]
+    ms = {(r["bench"], r["config"]): r["ms"] for r in records}
+    failures = 0
+    for bench, max_ratio in sorted(gate["max_ratio"].items()):
+        base = ms.get((bench, baseline))
+        got = ms.get((bench, watched))
+        if base is None or got is None:
+            print(f"FAIL bots/{bench}: missing record "
+                  f"({baseline}={base}, {watched}={got})")
+            failures += 1
+            continue
+        ratio = got / base
+        verdict = "ok" if ratio <= max_ratio else "FAIL"
+        print(f"{verdict:4s} bots/{bench}: {watched} {got:.1f} ms vs "
+              f"{baseline} {base:.1f} ms = {ratio:.2f}x "
+              f"(max {max_ratio:.2f}x)")
+        if ratio > max_ratio:
+            failures += 1
+    return failures
+
+
+def check_serve_goodput(records: list[dict]) -> int:
+    """Overload gate: sustainable-load goodput must track the offered rate,
+    and 2x overload must degrade gracefully relative to 1x — both are
+    within-run ratios, robust to host speed."""
+    gate = load_floors().get("serve")
+    if not gate:
+        print(f"no serve section in {FLOOR_FILE.name}; skipping gate")
+        return 0
+    by_phase = {r["phase"]: r for r in records if r.get("bench") == "serve"}
+    failures = 0
+    p1 = by_phase.get("1.0x")
+    p2 = by_phase.get("2.0x")
+    if p1 is None or p2 is None:
+        print(f"FAIL serve: missing phases (have {sorted(by_phase)})")
+        return 1
+    frac_1x = p1["goodput_rps"] / p1["offered_rps"]
+    floor_1x = gate["min_goodput_frac_1x"]
+    verdict = "ok" if frac_1x >= floor_1x else "FAIL"
+    print(f"{verdict:4s} serve/1.0x: goodput {p1['goodput_rps']:.0f} rps = "
+          f"{frac_1x:.2f} of offered (floor {floor_1x:.2f})")
+    failures += frac_1x < floor_1x
+    frac_2x = p2["goodput_rps"] / max(p1["goodput_rps"], 1.0)
+    floor_2x = gate["min_2x_goodput_vs_1x"]
+    verdict = "ok" if frac_2x >= floor_2x else "FAIL"
+    print(f"{verdict:4s} serve/2.0x: goodput {p2['goodput_rps']:.0f} rps = "
+          f"{frac_2x:.2f} of 1.0x goodput (floor {floor_2x:.2f})")
+    failures += frac_2x < floor_2x
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", type=pathlib.Path)
@@ -205,6 +296,12 @@ def main() -> int:
                     "skips the BOTS matrix and writes no JSON files")
     ap.add_argument("--smoke-factor", default=3.0, type=float,
                     help="fail the smoke gate only above floor*factor")
+    ap.add_argument("--gate-bots", action="store_true",
+                    help="trimmed bench_bots run + adaptive-vs-baseline "
+                    "ratio gate; writes no JSON files")
+    ap.add_argument("--gate-serve", action="store_true",
+                    help="trimmed bench_serve run + goodput gate; writes "
+                    "no JSON files")
     ap.add_argument("--serve-seconds", default=3.0, type=float,
                     help="seconds per bench_serve load phase")
     ap.add_argument("--serve-seed", default=42, type=int)
@@ -214,15 +311,24 @@ def main() -> int:
     if not build_dir.is_absolute():
         build_dir = REPO_ROOT / build_dir
 
-    if args.smoke:
-        pattern = "|".join(re.escape(n) for n in SMOKE_BENCHES)
-        records = run_primitives(build_dir, min_time=0.05,
-                                 bench_filter=pattern)
-        failures = check_floor(records, args.smoke_factor)
+    if args.smoke or args.gate_bots or args.gate_serve:
+        failures = 0
+        if args.smoke:
+            pattern = "|".join(re.escape(n) for n in SMOKE_BENCHES)
+            records = run_primitives(build_dir, min_time=0.05,
+                                     bench_filter=pattern)
+            failures += check_floor(records, args.smoke_factor)
+        if args.gate_bots:
+            failures += check_bots_ratio(
+                run_bots(build_dir, args.threads, reps=max(args.reps, 2)))
+        if args.gate_serve:
+            failures += check_serve_goodput(
+                run_serve(build_dir, min(args.serve_seconds, 2.0),
+                          args.serve_seed))
         if failures:
-            print(f"{failures} perf smoke failure(s)")
+            print(f"{failures} perf gate failure(s)")
             return 1
-        print("perf smoke passed")
+        print("perf gates passed")
         return 0
 
     primitives = run_primitives(build_dir, args.min_time, None)
@@ -239,6 +345,13 @@ def main() -> int:
     (REPO_ROOT / "BENCH_serve.json").write_text(
         json.dumps(serve, indent=2) + "\n")
     print(f"wrote BENCH_serve.json ({len(serve)} records)")
+
+    # Full runs gate too: a protocol run that regressed the adaptive
+    # ratio or overload goodput should not silently refresh the JSONs.
+    failures = check_bots_ratio(bots) + check_serve_goodput(serve)
+    if failures:
+        print(f"{failures} perf gate failure(s)")
+        return 1
     return 0
 
 

@@ -1,0 +1,170 @@
+// Adaptive dispatch mode selection (DESIGN.md "Adaptive dispatch & the
+// occupancy bitmap").
+//
+// The paper's messaging steal protocol (NA-RP / NA-WS request rounds) is
+// built for many-core, multi-socket machines: a request round costs two
+// cache-line round trips and only pays off when queues are deep enough
+// that a victim can amortize the exchange over a whole batch. On small
+// teams, shallow queues, or an oversubscribed host (more workers than
+// hardware threads, where a round trip can cost an OS scheduling quantum
+// because the victim is not even running), a direct deque-style protocol —
+// self-push dispatch plus pull-based stealing through the consumer-identity
+// guard — wins by a wide margin.
+//
+// `dlb=adaptive` therefore runs one of two *dispatch modes* and switches
+// between them at runtime:
+//
+//   kMessaging  — the paper's machinery unchanged: round-robin static
+//                 push, Table-IV parameter adaptation, request rounds.
+//   kDirect     — self-push dispatch (tasks stay on the spawning worker)
+//                 and direct stealing: an idle worker borrows a victim's
+//                 guard cell (free -> thief), pops a batch from its row,
+//                 and requeues it locally.
+//
+// The decision lives in ModeController: a plain, single-threaded state
+// machine (the same shape as HealthTracker) owned by worker 0, fed one
+// ModeSignals sample per epoch from the XQueue occupancy-bitmap census.
+// Keeping it pure in/out makes the hysteresis unit-testable without
+// spinning up threads.
+//
+// Flap resistance is layered:
+//  * signal hysteresis — separate enter/leave thresholds for the occupancy
+//    and depth signals, selected by the *current* mode, so a signal
+//    hovering at one boundary cannot oscillate the decision;
+//  * time hysteresis — a switch needs `confirm_epochs` CONSECUTIVE epochs
+//    desiring the other mode; any epoch agreeing with the current mode
+//    resets the streak. A square wave with period < confirm_epochs (e.g.
+//    quarantine flapping healthy_workers, or bursty queue depth) never
+//    switches at all.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace xtask {
+
+/// Which dispatch machinery `dlb=adaptive` is currently running.
+enum class DispatchMode : std::uint32_t {
+  kMessaging = 0,  // paper protocol: RR push + request rounds
+  kDirect = 1,     // self-push + guard-borrowed direct stealing
+};
+
+/// Forced mode selection (`dmode=` registry key). kAuto lets the
+/// ModeController switch per-epoch; the other two pin the mode for
+/// ablation and tests.
+enum class DispatchModePolicy : std::uint32_t {
+  kAuto = 0,
+  kMessaging = 1,
+  kDirect = 2,
+};
+
+/// One epoch's observation, assembled from the XQueue bitmap census and
+/// the runtime's health bookkeeping.
+struct ModeSignals {
+  int occupied_queues = 0;        // visibly non-empty queues (census)
+  std::uint64_t queued_tasks = 0; // approximate total queued (census)
+  int healthy_workers = 0;        // workers not quarantined
+  int zones = 0;                  // NUMA zones in the active topology
+};
+
+/// Calibrated switch points. Defaults chosen from the 4-thread BOTS
+/// ablation (bench/ablation_adaptive.cpp) and the paper's Table IV scale
+/// argument; `hw_threads` is filled in by the runtime.
+struct ModeThresholds {
+  // Static gates: beyond either, the messaging protocol is the design
+  // point (its O(1)-per-round cost is what scales) and direct stealing's
+  // occupancy-mask scan stops being cheap.
+  int direct_max_workers = 32;
+  int direct_max_zones = 2;
+  // Oversubscription gate: with more runnable workers than hardware
+  // threads, a messaging round trip can stall for a scheduling quantum
+  // waiting on a descheduled victim — direct stealing needs no victim
+  // cooperation, so it wins regardless of occupancy. 0 = unknown host.
+  int hw_threads = 0;
+  // Occupancy hysteresis band, in visibly occupied queues per healthy
+  // worker. Below `occ_enter` the messaging fan-out is not materializing
+  // (work is clumped on a few queues) and direct mode engages; once
+  // direct, it persists until occupancy exceeds `occ_leave`.
+  double occ_enter = 1.5;
+  double occ_leave = 3.0;
+  // Queue-depth hysteresis band, in queued tasks per healthy worker.
+  // Deep queues are what let a messaging victim amortize a round over a
+  // big migration batch.
+  double depth_enter = 64.0;
+  double depth_leave = 512.0;
+  // Consecutive epochs desiring the other mode before a switch commits.
+  int confirm_epochs = 3;
+};
+
+/// Per-epoch mode state machine. Single-threaded by construction: worker 0
+/// owns it and publishes the result through an atomic the hot paths read
+/// relaxed. Unit tests drive it directly with synthetic signal waves.
+class ModeController {
+ public:
+  ModeController() noexcept : ModeController(ModeThresholds{}, 1, 1) {}
+
+  /// The initial mode is decided from the static shape alone (no census
+  /// exists before the first tasks run): small healthy team on few zones
+  /// starts direct, anything bigger starts with the paper protocol.
+  ModeController(const ModeThresholds& t, int workers, int zones) noexcept
+      : thr_(t), mode_(static_mode(t, workers, zones)) {}
+
+  /// The mode a team of this static shape starts in.
+  static DispatchMode static_mode(const ModeThresholds& t, int workers,
+                                  int zones) noexcept {
+    if (t.hw_threads > 0 && workers > t.hw_threads)
+      return DispatchMode::kDirect;  // oversubscribed: see header
+    if (workers > t.direct_max_workers || zones > t.direct_max_zones)
+      return DispatchMode::kMessaging;
+    return DispatchMode::kDirect;
+  }
+
+  /// One epoch tick: fold in a census sample, return the (possibly new)
+  /// mode. A switch requires `confirm_epochs` consecutive ticks desiring
+  /// the other mode.
+  DispatchMode observe(const ModeSignals& s) noexcept {
+    const DispatchMode want = desired(s);
+    if (want == mode_) {
+      streak_ = 0;
+      return mode_;
+    }
+    if (++streak_ >= thr_.confirm_epochs) {
+      mode_ = want;
+      streak_ = 0;
+      ++switches_;
+    }
+    return mode_;
+  }
+
+  DispatchMode mode() const noexcept { return mode_; }
+  std::uint64_t switches() const noexcept { return switches_; }
+  const ModeThresholds& thresholds() const noexcept { return thr_; }
+
+ private:
+  /// The mode this epoch's signals argue for, with the hysteresis band
+  /// anchored to the current mode.
+  DispatchMode desired(const ModeSignals& s) const noexcept {
+    const int healthy = std::max(1, s.healthy_workers);
+    if (thr_.hw_threads > 0 && healthy > thr_.hw_threads)
+      return DispatchMode::kDirect;  // oversubscription gate dominates
+    if (healthy > thr_.direct_max_workers || s.zones > thr_.direct_max_zones)
+      return DispatchMode::kMessaging;  // static scale gates
+    const double occ = static_cast<double>(s.occupied_queues) / healthy;
+    const double depth = static_cast<double>(s.queued_tasks) / healthy;
+    const bool in_direct = mode_ == DispatchMode::kDirect;
+    const double occ_gate = in_direct ? thr_.occ_leave : thr_.occ_enter;
+    const double depth_gate = in_direct ? thr_.depth_leave : thr_.depth_enter;
+    // Messaging needs BOTH broad occupancy (many queues worth raiding)
+    // and depth (batches worth a round trip); either signal below its
+    // gate keeps / makes the dispatch direct.
+    return (occ >= occ_gate && depth >= depth_gate) ? DispatchMode::kMessaging
+                                                    : DispatchMode::kDirect;
+  }
+
+  ModeThresholds thr_;
+  DispatchMode mode_;
+  int streak_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace xtask

@@ -18,6 +18,8 @@
 //   kGuardMonitor ─CAS► kGuardReclaimer  healthy peer, to drain the rows
 //   kGuardReclaimer ──► kGuardMonitor    reclaimer hands ownership back
 //   kGuardMonitor ─CAS► kGuardFree       monitor, to readmit
+//   kGuardFree ──CAS──► kGuardThief      idle peer, to pop the rows directly
+//   kGuardThief ──────► kGuardFree       thief hands ownership back
 //
 // Whoever holds the guard is the exclusive "consumer identity" of that
 // worker: it may pop the worker's XQueue row, publish its tree-barrier
@@ -52,6 +54,7 @@ inline constexpr std::uint32_t kGuardFree = 0;
 inline constexpr std::uint32_t kGuardOwner = 1;
 inline constexpr std::uint32_t kGuardMonitor = 2;
 inline constexpr std::uint32_t kGuardReclaimer = 3;
+inline constexpr std::uint32_t kGuardThief = 4;
 
 // Heartbeat phase hints (detail::Worker::hb_phase): what the worker was
 // doing when it last crossed an instrumented boundary. Used only to
@@ -129,6 +132,27 @@ class GuardCell {
   /// monitor can readmit at any batch boundary.
   void return_reclaimer() noexcept {
     state_.store(hb::kGuardMonitor, std::memory_order_release);
+  }
+
+  /// Idle-peer side, direct dispatch mode: borrow a *healthy* worker's
+  /// consumer identity to pop its rows in place (free -> thief). This is
+  /// the adaptive layer's deque-style steal: the SPSC discipline survives
+  /// because at most one thread ever holds the consumer role, and the
+  /// victim keeps producing (its own master pushes are the producer side,
+  /// which the guard does not cover). Fails whenever the victim is inside
+  /// its own scheduler step, quarantined, or already being robbed.
+  bool try_borrow_thief() noexcept {
+    std::uint32_t expect = hb::kGuardFree;
+    return state_.compare_exchange_strong(expect, hb::kGuardThief,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+  }
+
+  /// Thief hands the consumer identity straight back (thief -> free); the
+  /// release store closes the same acq_rel chain the owner/reclaimer
+  /// hand-offs use, so the consumer-side plain state is race-free.
+  void return_thief() noexcept {
+    state_.store(hb::kGuardFree, std::memory_order_release);
   }
 
   /// Owner-private recursion depth; meaningful only on the owning thread.

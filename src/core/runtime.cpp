@@ -26,6 +26,20 @@ Config normalized(Config cfg) {
     cfg.num_threads = cfg.topology.num_workers();
     cfg.numa_zones = cfg.topology.num_zones();
   }
+  // barrier=auto resolves here, by the same static shape gate the mode
+  // controller applies to dispatch: a small or oversubscribed team takes
+  // the centralized task-count barrier (tree census passes each cost a
+  // scheduler quantum when threads time-share cores, and a small team
+  // cannot ping-pong the counter line hard enough to matter); at scale
+  // the distributed tree census wins back the per-task atomic.
+  if (cfg.barrier == BarrierKind::kAuto) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const bool oversubscribed = hw > 0 && cfg.num_threads > hw;
+    cfg.barrier = (oversubscribed ||
+                   cfg.num_threads <= ModeThresholds{}.direct_max_workers)
+                      ? BarrierKind::kCentral
+                      : BarrierKind::kTree;
+  }
   return cfg;
 }
 
@@ -51,6 +65,28 @@ Runtime::Runtime(Config cfg)
         "(recovery is driven by the heartbeat monitor)");
   hb_enabled_ = cfg_.heartbeat_ms > 0;
   guard_enabled_ = hb_enabled_ && cfg_.quarantine;
+  // Adaptive dispatch: with dlb=adaptive on a real team, the dispatch
+  // layer may run in direct mode (self-push + guard-borrowed stealing).
+  // Guards must then cover every row consumption even when quarantine is
+  // off — a thief borrowing a consumer identity is only legal through the
+  // guard cell. The initial mode comes from the static shape (or the
+  // forced dmode policy); the controller takes over once a census exists.
+  adaptive_dispatch_ = cfg_.dlb == DlbKind::kAdaptive && cfg_.num_threads > 1;
+  guards_active_ =
+      guard_enabled_ ||
+      (adaptive_dispatch_ &&
+       cfg_.dispatch_mode != DispatchModePolicy::kMessaging);
+  if (adaptive_dispatch_) {
+    ModeThresholds thr;
+    thr.hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+    mode_ctl_ = ModeController(thr, cfg_.num_threads, topo_.num_zones());
+    DispatchMode init = mode_ctl_.mode();
+    if (cfg_.dispatch_mode == DispatchModePolicy::kMessaging)
+      init = DispatchMode::kMessaging;
+    else if (cfg_.dispatch_mode == DispatchModePolicy::kDirect)
+      init = DispatchMode::kDirect;
+    mode_.store(static_cast<std::uint32_t>(init), std::memory_order_relaxed);
+  }
   workers_.reserve(static_cast<std::size_t>(cfg_.num_threads));
   for (int i = 0; i < cfg_.num_threads; ++i) {
     auto w = std::make_unique<detail::Worker>();
@@ -59,6 +95,9 @@ Runtime::Runtime(Config cfg)
     w->rng = XorShift(cfg_.seed + static_cast<std::uint64_t>(i) * 0x51ed2701);
     w->rr_cursor = static_cast<std::uint32_t>(i);  // round-robin starts at
                                                    // the master queue
+    // Packed zone-peer mask for bitmap victim selection (first 64 workers).
+    for (const int p : topo_.peers_of(i))
+      if (p < 64) w->local_mask |= 1ull << p;
     // Key each worker's allocator to its NUMA zone so recycled descriptors
     // circulate within a socket before crossing the interconnect.
     w->alloc = std::make_unique<TaskAllocator>(pool_, topo_.zone_of(i));
@@ -181,6 +220,31 @@ Task* Runtime::allocate_task(detail::Worker& w, Task* parent) {
 }
 
 Task* Runtime::dispatch(detail::Worker& w, Task* t) {
+  // Direct mode: self-push, lomp-style. New work lands in the spawning
+  // worker's own master queue; distribution happens pull-side via
+  // try_direct_steal. This removes every messaging round trip from the
+  // spawn path, which is what closes the gap to lomp when threads are
+  // oversubscribed on few cores. Overflow falls through to the standard
+  // inline-execution backpressure.
+  if (direct_mode()) {
+    if (w.redirect_thief >= 0) end_redirect_session(w);  // stale NA-RP
+    // Work-first throttle: once the local queue is deep enough to feed
+    // every thief's bulk grab, the push/pop round trip buys no extra
+    // parallelism — executing the child inline is cheaper and bounds the
+    // queue footprint (lomp's depth-first core, with a stealable margin).
+    if (xq_.master_size(w.id) >= kDirectInlineDepth) {
+      prof_.thread(w.id).counters.ntasks_imm_exec++;
+      return t;
+    }
+    if (xq_.push(w.id, w.id, t)) {
+      prof_.thread(w.id).counters.ntasks_static_push++;
+      return nullptr;
+    }
+    Counters& c = prof_.thread(w.id).counters;
+    c.ntasks_imm_exec++;
+    c.overflow.note(w.active_tenant, xq_.consumer_occupancy(w.id));
+    return t;
+  }
   // Degraded mode: while any worker is quarantined, stop routing work at
   // it — tasks queued there would sit until a reclaimer migrates them.
   const bool degraded =
@@ -420,15 +484,33 @@ void Runtime::deref(detail::Worker& w, Task* t) noexcept {
 // Scheduling.
 
 Task* Runtime::find_task(detail::Worker& w) {
+  // Worker 0 drives the per-epoch mode evaluation from here: find_task is
+  // on every scheduling loop (worker_loop, taskwait, group_wait), so the
+  // controller keeps observing even while the team is busy.
+  if (adaptive_dispatch_ && w.id == 0) maybe_eval_mode(w);
   // The pop consumes our XQueue row and victim_check may publish census
   // state, so both run under our consumer guard. A failed acquisition
-  // means the monitor (or a reclaimer) owns our identity right now —
-  // report "no work" and let the heartbeat bumps earn readmission.
+  // means the monitor, a reclaimer, or a direct-mode thief owns our
+  // identity right now — report "no work" and retry on the next poll.
   if (!acquire_guard(w)) return nullptr;
   Task* t = xq_.pop(w.id);
   if (t != nullptr) {
     w.idle_polls = 0;
-    w.request_round_open = false;
+    if (w.request_round_open) {
+      // Work arrived while a steal round was in flight: close the
+      // latency probe opened at the round's first request send.
+      w.request_round_open = false;
+      if (w.round_open_tsc != 0) {
+        prof_.thread(w.id).counters.note_steal_latency(rdtscp() -
+                                                       w.round_open_tsc);
+        w.round_open_tsc = 0;
+      }
+    }
+    if (w.idle_enter_tsc != 0) {
+      // Idle episode ends at the first successful pop.
+      prof_.thread(w.id).counters.idle_cycles += rdtscp() - w.idle_enter_tsc;
+      w.idle_enter_tsc = 0;
+    }
     w.backoff.reset();
     if (cfg_.dlb != DlbKind::kNone) victim_check(w);
   }
@@ -446,6 +528,7 @@ void Runtime::idle_step(detail::Worker& w) {
     if (hb_enabled_) maybe_inject_stall(w);
   }
   hb_bump(w);  // idle-poll liveness
+  if (w.idle_enter_tsc == 0) w.idle_enter_tsc = rdtscp();  // episode start
   // Recovery duty: drain quarantined workers' rows. Runs *outside* our own
   // guard — it takes the victim's guard (monitor -> reclaimer), and the
   // push side of the migration is producer-only.
@@ -453,29 +536,38 @@ void Runtime::idle_step(detail::Worker& w) {
       num_quarantined_.load(std::memory_order_relaxed) > 0 &&
       try_reclaim(w))
     return;  // reclaimed work is queued locally; next find_task eats it
+  const bool direct = direct_mode();
   if (acquire_guard(w)) {
     // A victim that went idle mid-redirect flushes the session: it has no
     // more spawns to redirect, so it re-opens itself to new requests.
     if (w.redirect_thief >= 0) end_redirect_session(w);
 
     if (cfg_.dlb != DlbKind::kNone && cfg_.num_threads > 1) {
-      if (!w.request_round_open) {
-        thief_send_requests(w);
-        w.request_round_open = true;
-        w.idle_polls = 0;
-      } else if (++w.idle_polls >= effective_dlb(w).t_interval) {
-        // Timeout (§IV-B): request lost/overwritten or victim idle — retry.
-        thief_send_requests(w);
-        w.idle_polls = 0;
+      if (!direct) {
+        if (!w.request_round_open) {
+          thief_send_requests(w);
+          w.request_round_open = true;
+          w.idle_polls = 0;
+        } else if (++w.idle_polls >= effective_dlb(w).t_interval) {
+          // Timeout (§IV-B): request lost/overwritten or victim idle —
+          // retry.
+          thief_send_requests(w);
+          w.idle_polls = 0;
+        }
       }
       // Even an idle worker can be a victim of redirected pushes building
       // up work for it, and — for NA-WS — of batch migration; it must keep
       // handling requests so two mutually-idle workers cannot livelock on
-      // unanswered cells.
+      // unanswered cells. Direct mode keeps this too: requests parked by a
+      // thief in a messaging epoch must still be answered after a switch,
+      // or its round (and its latency probe) would dangle forever.
       victim_check(w);
     }
     release_guard(w);
-  }  // else quarantined: skip DLB duties but keep the backoff walking
+  }  // else quarantined/borrowed: skip DLB duties, keep the backoff walking
+  // Direct-mode pull: steal straight from an occupied row, outside our own
+  // guard (we hold the *victim's* guard as a thief, never both at once).
+  if (direct && cfg_.num_threads > 1 && try_direct_steal(w)) return;
   // Adaptive spin → pause → yield escalation; every waiting loop funnels
   // through here so the whole runtime shares one backoff policy.
   if (w.backoff.step(cfg_.yield_after_idle))
@@ -486,6 +578,13 @@ void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
   bool arrived = false;
   std::uint64_t stall_start = 0;
   ThreadProfile& prof = prof_.thread(w.id);
+
+  // Fresh region: a steal round or idle episode left open across the
+  // previous region's barrier would otherwise close against this region's
+  // clock and record a nonsense latency.
+  w.request_round_open = false;
+  w.round_open_tsc = 0;
+  w.idle_enter_tsc = 0;
 
   if (hb_enabled_) {
     // Fresh region: new injection budget, unparked phase, and an initial
@@ -541,6 +640,11 @@ void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
     if (released) {
       if (stall_start != 0)
         prof.record(EventKind::kStall, stall_start, rdtscp());
+      if (w.idle_enter_tsc != 0) {
+        prof.counters.idle_cycles += rdtscp() - w.idle_enter_tsc;
+        w.idle_enter_tsc = 0;
+      }
+      sync_owner_stats(w);
       hb_set_phase(w, hb::kPhaseParked);
       return;
     }
@@ -571,8 +675,27 @@ void Runtime::thief_send_requests(detail::Worker& w) {
   const DlbConfig dc = effective_dlb(w);
   const bool degraded =
       guard_enabled_ && num_quarantined_.load(std::memory_order_relaxed) > 0;
+  c.nsteal_rounds++;
+  // Open the steal-round latency probe at the round's first send; it
+  // closes at the next successful pop (find_task). Retries extend the
+  // same round rather than restarting the clock.
+  if (w.round_open_tsc == 0) w.round_open_tsc = rdtscp();
+  // Bitmap-biased victim selection: when the occupancy bitmap shows work
+  // somewhere, draw victims from the occupied set directly instead of
+  // probing blind — a request sent to an empty victim costs a full
+  // T_interval timeout. Falls back to the blind pick when nothing is
+  // visibly occupied (a victim may be about to publish) or the team does
+  // not fit the 64-bit mask.
+  const std::uint64_t occupied =
+      cfg_.num_threads <= 64
+          ? xq_.occupied_mask() & ~(1ull << static_cast<unsigned>(w.id))
+          : 0;
   for (int i = 0; i < dc.n_victim; ++i) {
-    const int v = pick_victim(topo_, w.id, dc.p_local, w.rng);
+    const int v =
+        occupied != 0
+            ? pick_victim_masked(w.id, dc.p_local, w.rng, occupied,
+                                 w.local_mask)
+            : pick_victim(topo_, w.id, dc.p_local, w.rng);
     if (v < 0) return;
     // A quarantined victim cannot answer; its queued work is drained by
     // the reclamation path instead of the request/response protocol.
@@ -656,6 +779,111 @@ void Runtime::end_redirect_session(detail::Worker& w) {
   w.cells.complete_round();
 }
 
+// --------------------------------------------------------------------------
+// Adaptive dispatch (dlb=adaptive): per-team mode controller + direct steal.
+// (See adaptive.hpp for the state machine and DESIGN.md "Adaptive dispatch
+// & occupancy bitmap" for the protocol argument.)
+
+void Runtime::maybe_eval_mode(detail::Worker& w) noexcept {
+  if (cfg_.dispatch_mode != DispatchModePolicy::kAuto) return;  // pinned
+  // Two-stage throttle: a cheap tick divider keeps rdtscp off the common
+  // path, the epoch clock keeps the census (O(N) popcounts) rare.
+  if ((++mode_tick_ & (kModeEvalTicks - 1)) != 0) return;
+  const std::uint64_t now = rdtscp();
+  if (now < next_mode_eval_) return;
+  next_mode_eval_ = now + kModeEpochCycles;
+  const XQueue::Census census = xq_.census();
+  ModeSignals s;
+  s.occupied_queues = census.occupied_queues;
+  s.queued_tasks = census.queued;
+  s.healthy_workers = healthy_workers();
+  s.zones = topo_.num_zones();
+  const DispatchMode next = mode_ctl_.observe(s);
+  if (next != static_cast<DispatchMode>(
+                  mode_.load(std::memory_order_relaxed))) {
+    mode_.store(static_cast<std::uint32_t>(next), std::memory_order_release);
+    mode_switches_pub_.fetch_add(1, std::memory_order_relaxed);
+    prof_.thread(w.id).counters.nmode_switches++;
+  }
+}
+
+bool Runtime::try_direct_steal(detail::Worker& w) {
+  // Deque-style pull: find an occupied row via the bitmap mask, borrow the
+  // victim's consumer identity (free -> thief), drain a batch, requeue it
+  // at home. A quarantined victim is skipped automatically — its guard is
+  // monitor-held, so try_borrow_thief fails. We never hold our own guard
+  // here, so thief -> victim is the only guard edge and cannot cycle.
+  Counters& c = prof_.thread(w.id).counters;
+  const DlbConfig dc = effective_dlb(w);
+  constexpr std::size_t kMaxMigrate = 64;
+  constexpr int kAttempts = 2;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    int v = -1;
+    if (cfg_.num_threads <= 64) {
+      const std::uint64_t occupied =
+          xq_.occupied_mask() & ~(1ull << static_cast<unsigned>(w.id));
+      if (occupied == 0) return false;  // nothing visibly queued anywhere
+      v = pick_victim_masked(w.id, dc.p_local, w.rng, occupied,
+                             w.local_mask);
+    } else {
+      v = pick_victim(topo_, w.id, dc.p_local, w.rng);
+    }
+    if (v < 0) return false;
+    detail::Worker& vic = *workers_[static_cast<std::size_t>(v)];
+    if (!vic.guard.try_borrow_thief())
+      continue;  // victim busy consuming, quarantined, or already robbed
+    // Steal-half, capped: draining a small victim to zero just ping-pongs
+    // the work back when it spawns again — leave it half its queue.
+    const std::uint64_t visible = xq_.master_size(v);
+    const std::size_t want = std::clamp<std::uint64_t>(
+        visible / 2, 1, kMaxMigrate);
+    Task* batch[kMaxMigrate];
+    const std::size_t got = xq_.pop_batch(v, batch, want);
+    vic.guard.return_thief();
+    if (got == 0) continue;  // raced with the victim's own pops
+    c.nsteal_direct += got;
+    if (topo_.local(w.id, v))
+      c.nsteal_local += got;
+    else
+      c.nsteal_remote += got;
+    // First task runs immediately; the rest land in our master queue
+    // (SPSC-legal: we are q[w][w]'s producer). Overflow runs inline.
+    const std::size_t moved =
+        got > 1 ? xq_.push_batch(w.id, w.id, batch + 1, got - 1) + 1 : 1;
+    for (std::size_t i = moved; i < got; ++i) {
+      c.ntasks_imm_exec++;
+      c.overflow.note(w.active_tenant, xq_.consumer_occupancy(w.id));
+      execute(w, batch[i]);
+    }
+    execute(w, batch[0]);
+    return true;
+  }
+  return false;
+}
+
+void Runtime::sync_owner_stats(detail::Worker& w) noexcept {
+  Counters& c = prof_.thread(w.id).counters;
+  // Allocator churn is strictly owner-private: always safe to read.
+  c.nalloc_refills = w.alloc->refills();
+  c.nalloc_spills = w.alloc->spills();
+  c.alloc_refill_cycles = w.alloc->refill_cycles();
+  // XQueue scan stats live in consumer-identity state, which a straggling
+  // thief or reclaimer may still be writing — read them under our guard.
+  // All values are lifetime-cumulative and single-writer, so assignment
+  // (not +=) is exact; a worker still quarantined at region end simply
+  // syncs on a later region.
+  if (!guards_active_) {
+    const XQueue::ScanStats ss = xq_.scan_stats(w.id);
+    c.nqueue_fullscans = ss.full_scans;
+    c.nqueue_zeroskips = ss.zero_skips;
+  } else if (acquire_guard(w)) {
+    const XQueue::ScanStats ss = xq_.scan_stats(w.id);
+    c.nqueue_fullscans = ss.full_scans;
+    c.nqueue_zeroskips = ss.zero_skips;
+    release_guard(w);
+  }
+}
+
 void Runtime::group_wait(detail::Worker& w, TaskGroup& group) {
   while (group.live.load(std::memory_order_acquire) != 0) {
     if (Task* other = find_task(w)) {
@@ -737,15 +965,19 @@ void Runtime::start_watchdog() {
 // "Heartbeats, quarantine, and readmission" for the full protocol.)
 
 bool Runtime::acquire_guard(detail::Worker& w) noexcept {
-  if (!guard_enabled_) return true;
+  // guards_active_ ⊇ guard_enabled_: direct-mode thieves borrow consumer
+  // identities through the same cell, so the guard must cover every row
+  // consumption whenever that is possible — even with quarantine off.
+  if (!guards_active_) return true;
   if (!w.guard.try_acquire_owner()) {
-    // Quarantined (or mid-reclaim): we cannot act as our own consumer.
-    // Bumping the heartbeat here is what earns readmission.
+    // Quarantined or borrowed (monitor, reclaimer, or a direct-mode
+    // thief owns our identity right now). Bumping the heartbeat here is
+    // what earns readmission in the quarantine case.
     hb_bump(w);
     cpu_pause();
     return false;
   }
-  if (w.guard.owner_depth() == 1 &&
+  if (guard_enabled_ && w.guard.owner_depth() == 1 &&
       w.was_quarantined.load(std::memory_order_relaxed)) {
     // First acquisition after a readmission: attribute the episode to our
     // own (single-writer) profiler counters.
@@ -977,6 +1209,17 @@ std::string Runtime::debug_snapshot() const {
        << " readmissions=" << hb_readmissions_.load(std::memory_order_relaxed)
        << " reclaimed=" << hb_tasks_reclaimed_.load(std::memory_order_relaxed)
        << '\n';
+  if (adaptive_dispatch_) {
+    const XQueue::Census census = xq_.census();
+    os << "adaptive: mode="
+       << (mode_.load(std::memory_order_relaxed) ==
+                   static_cast<std::uint32_t>(DispatchMode::kDirect)
+               ? "direct"
+               : "messaging")
+       << " switches=" << mode_switches_pub_.load(std::memory_order_relaxed)
+       << " occupied=" << census.occupied_queues
+       << " queued~=" << census.queued << '\n';
+  }
   if (cfg_.barrier == BarrierKind::kCentral)
     os << "central: task_count=" << central_.task_count() << '\n';
   else

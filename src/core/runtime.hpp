@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/adaptive.hpp"
 #include "core/central_barrier.hpp"
 #include "core/common.hpp"
 #include "core/dependency.hpp"
@@ -51,6 +52,11 @@ enum class BarrierKind {
   /// Distributed tree barrier with census-based quiescence detection: the
   /// XGOMPTB configuration (§III-B). No global task count is maintained.
   kTree,
+  /// Resolved at construction: central for small or oversubscribed teams
+  /// (the census passes of the tree barrier cost scheduler quanta there,
+  /// while one core cannot ping-pong the task-count line), tree once the
+  /// team is large enough for the shared counter to become the bottleneck.
+  kAuto,
 };
 
 /// Dynamic load balancing strategy (paper §IV).
@@ -58,11 +64,15 @@ enum class DlbKind {
   kNone,          // static round-robin only (SLB)
   kRedirectPush,  // NA-RP: victims redirect newly created tasks (§IV-C)
   kWorkSteal,     // NA-WS: victims migrate queued tasks in batches (§IV-D)
-  /// Adaptive (the paper's §X future work): each worker samples its own
-  /// task execution times with rdtscp and derives its strategy and
-  /// parameters from the Table IV guidelines — NA-WS with size-scaled
-  /// steal batches for fine tasks, NA-RP with large local batches for
-  /// tasks above 1e4 cycles. Fully distributed: no shared tuning state.
+  /// Adaptive (the paper's §X future work), two layers. Per-worker: each
+  /// worker samples its own task execution times with rdtscp and derives
+  /// its strategy and parameters from the Table IV guidelines — NA-WS
+  /// with size-scaled steal batches for fine tasks, NA-RP with large
+  /// local batches for tasks above 1e4 cycles; fully distributed, no
+  /// shared tuning state. Per-team: a ModeController (adaptive.hpp) fed
+  /// by the XQueue occupancy-bitmap census switches the whole dispatch
+  /// layer between the messaging protocol and direct deque-style
+  /// stealing, per epoch, with hysteresis.
   kAdaptive,
 };
 
@@ -123,6 +133,11 @@ struct Config {
   /// Requires heartbeat_ms > 0. Adds one guard CAS per scheduler poll to
   /// every worker, so it is opt-in. Spec key: quarantine=on|off.
   bool quarantine = false;
+  /// Dispatch-mode policy for dlb=adaptive (ignored otherwise): kAuto lets
+  /// the per-epoch ModeController switch between the messaging protocol
+  /// and direct stealing; kMessaging/kDirect pin one mode (ablation,
+  /// tests). Spec key: dmode=auto|messaging|direct.
+  DispatchModePolicy dispatch_mode = DispatchModePolicy::kAuto;
 };
 
 class Runtime;
@@ -225,6 +240,17 @@ struct Worker {
   std::uint32_t redirect_pushed = 0;
   std::uint64_t idle_polls = 0;      // thief timeout counter (T_interval)
   bool request_round_open = false;   // sent requests, awaiting work
+  // Steal-round latency probe: rdtscp at the first request send of the
+  // current round; cleared (and the latency histogrammed) at the next
+  // successful pop. Owner-private.
+  std::uint64_t round_open_tsc = 0;
+  // Idle-residency probe: rdtscp when this worker entered its current
+  // idle episode (0 = not idle). Owner-private.
+  std::uint64_t idle_enter_tsc = 0;
+  // Packed zone-peer mask for bitmap victim selection (bit v = worker v
+  // shares this worker's NUMA zone; first 64 workers). Set once at team
+  // construction.
+  std::uint64_t local_mask = 0;
   IdleBackoff backoff;               // spin → pause → yield idle escalation
   std::unique_ptr<TaskAllocator> alloc;
   std::thread thread;                // empty for worker 0 (caller thread)
@@ -396,6 +422,17 @@ class Runtime {
     return q >= cfg_.num_threads ? 0 : cfg_.num_threads - q;
   }
 
+  /// The dispatch mode dlb=adaptive is running right now (kMessaging for
+  /// every other dlb). Safe from any thread.
+  DispatchMode dispatch_mode_now() const noexcept {
+    return static_cast<DispatchMode>(mode_.load(std::memory_order_acquire));
+  }
+
+  /// Messaging<->direct switches committed so far (0 unless dmode=auto).
+  std::uint64_t mode_switches() const noexcept {
+    return mode_switches_pub_.load(std::memory_order_acquire);
+  }
+
   /// Workers with an unanswered steal request parked in their cells: a
   /// cheap idle-demand signal (positive means thieves ran dry and queues
   /// are draining, i.e. pressure is falling, not rising).
@@ -459,7 +496,7 @@ class Runtime {
   /// readmission — and returns false; the caller treats it as "no work".
   bool acquire_guard(detail::Worker& w) noexcept;
   void release_guard(detail::Worker& w) noexcept {
-    if (guard_enabled_) w.guard.release_owner();
+    if (guards_active_) w.guard.release_owner();
   }
   /// Healthy-worker side of recovery: if any worker is quarantined, try to
   /// take its guard (monitor -> reclaimer), drain its XQueue row via the
@@ -484,6 +521,27 @@ class Runtime {
   void do_work_steal(detail::Worker& w, int thief);
   void end_redirect_session(detail::Worker& w);
   void thief_send_requests(detail::Worker& w);
+
+  // --- adaptive dispatch (dlb=adaptive; see adaptive.hpp) ---------------
+  /// Hot-path predicate: is the direct (self-push + guard-borrowed steal)
+  /// dispatch machinery active right now? One relaxed load of a
+  /// rarely-written line.
+  bool direct_mode() const noexcept {
+    return adaptive_dispatch_ &&
+           mode_.load(std::memory_order_relaxed) ==
+               static_cast<std::uint32_t>(DispatchMode::kDirect);
+  }
+  /// Worker 0, dmode=auto only: every kModeEvalTicks scheduler iterations
+  /// check the epoch clock, and once per epoch feed the bitmap census to
+  /// the ModeController and publish its (possibly new) decision.
+  void maybe_eval_mode(detail::Worker& w) noexcept;
+  /// Direct-mode steal: pick an occupied victim from the bitmap mask,
+  /// borrow its guard (free -> thief), pop a batch from its row, requeue
+  /// locally. Returns true when any task was taken.
+  bool try_direct_steal(detail::Worker& w);
+  /// Fold owner-private instrumentation (XQueue scan stats, allocator
+  /// churn) into this worker's profiler counters; called at region end.
+  void sync_owner_stats(detail::Worker& w) noexcept;
 
   // --- team management --------------------------------------------------
   void thread_main(int id);
@@ -518,6 +576,26 @@ class Runtime {
   // participation without the region mutex.
   bool hb_enabled_ = false;     // cfg_.heartbeat_ms > 0
   bool guard_enabled_ = false;  // hb_enabled_ && cfg_.quarantine
+
+  // Adaptive dispatch (dlb=adaptive): the published mode, the worker-0
+  // epoch controller, and its evaluation cadence. `guards_active_` extends
+  // the guard discipline to direct-mode stealing even when quarantine is
+  // off — any configuration in which a thief may borrow a consumer
+  // identity must route every row consumption through the guard cell.
+  static constexpr std::uint32_t kModeEvalTicks = 256;   // rdtscp divider
+  static constexpr std::uint64_t kModeEpochCycles = 2'000'000;
+  /// Direct-mode work-first throttle: local master depth above which a
+  /// spawned child runs inline instead of being queued. Sized to cover a
+  /// thief's pop_batch bulk grab (64) so stealable slack never runs dry.
+  static constexpr std::uint64_t kDirectInlineDepth = 64;
+  bool adaptive_dispatch_ = false;  // dlb==kAdaptive && num_threads > 1
+  bool guards_active_ = false;      // guard_enabled_ || direct possible
+  std::atomic<std::uint32_t> mode_{
+      static_cast<std::uint32_t>(DispatchMode::kMessaging)};
+  std::atomic<std::uint64_t> mode_switches_pub_{0};
+  ModeController mode_ctl_;          // worker-0-owned (dmode=auto)
+  std::uint64_t next_mode_eval_ = 0; // worker-0-owned tsc deadline
+  std::uint32_t mode_tick_ = 0;      // worker-0-owned call divider
   std::atomic<std::uint64_t> gen_pub_{0};
   std::atomic<int> num_quarantined_{0};  // gates peers' recovery scans
   std::atomic<std::uint64_t> hb_suspects_{0};

@@ -1,5 +1,7 @@
 #include "core/steal_protocol.hpp"
 
+#include <bit>
+
 namespace xtask {
 
 int pick_victim(const Topology& topo, int self, double p_local,
@@ -32,6 +34,33 @@ int pick_victim(const Topology& topo, int self, double p_local,
     --k;
   }
   return -1;  // unreachable
+}
+
+namespace {
+
+/// Index of the k-th (0-based) set bit of `m`; requires k < popcount(m).
+int kth_set_bit(std::uint64_t m, std::uint64_t k) noexcept {
+  while (k-- > 0) m &= m - 1;
+  return std::countr_zero(m);
+}
+
+}  // namespace
+
+int pick_victim_masked(int self, double p_local, XorShift& rng,
+                       std::uint64_t occupied,
+                       std::uint64_t local_mask) noexcept {
+  if (self >= 0 && self < 64) occupied &= ~(1ull << self);
+  if (occupied == 0) return -1;
+
+  const std::uint64_t local = occupied & local_mask;
+  const std::uint64_t remote = occupied & ~local_mask;
+  bool go_local = rng.uniform() < p_local;
+  if (go_local && local == 0) go_local = false;
+  if (!go_local && remote == 0) go_local = true;
+
+  const std::uint64_t pool = go_local ? local : remote;
+  const int count = std::popcount(pool);
+  return kth_set_bit(pool, rng.below(static_cast<std::uint64_t>(count)));
 }
 
 }  // namespace xtask

@@ -105,4 +105,16 @@ struct StealCells {
 int pick_victim(const Topology& topo, int self, double p_local,
                 XorShift& rng) noexcept;
 
+/// Bitmap-vectorized victim selection: the same conditional-random policy,
+/// but restricted to workers whose XQueue row is visibly occupied.
+/// `occupied` is the packed occupancy mask (bit v = worker v has work; the
+/// caller clears its own bit) and `local_mask` the bits of `self`'s zone
+/// peers — both cover the first 64 workers, so callers on larger teams
+/// pass masks for that prefix and the excess falls back to `pick_victim`.
+/// Choosing a victim is popcount + k-th-set-bit selection: no loop over
+/// workers, no probing empty rows. Returns -1 when `occupied` is empty.
+int pick_victim_masked(int self, double p_local, XorShift& rng,
+                       std::uint64_t occupied,
+                       std::uint64_t local_mask) noexcept;
+
 }  // namespace xtask

@@ -319,8 +319,13 @@ class PoolAllocator {
       local_.pop_back();
       return t;
     }
+    // Refill slow path: cycle-measured so the profiler can attribute
+    // allocator churn (shared-pool round trips per region) precisely.
+    const std::uint64_t t0 = rdtscp();
     T* batch[kBatch];
     const std::size_t got = shared_->acquire_batch(batch, kBatch, zone_);
+    ++refills_;
+    refill_cycles_ += rdtscp() - t0;
     if (got > 0) {
       local_.insert(local_.end(), batch, batch + got - 1);
       return batch[got - 1];
@@ -344,11 +349,18 @@ class PoolAllocator {
       shared_->release_batch(local_.data() + (local_.size() - spill), spill,
                              zone_);
       local_.resize(local_.size() - spill);
+      ++spills_;
     }
   }
 
   /// Level-(i) hits since construction (thread-local free-list reuses).
   std::uint64_t local_hits() const noexcept { return local_hits_; }
+  /// Shared-pool refill attempts (local list ran dry), the cycles spent in
+  /// them, and half-spills back to the pool — the allocator-churn profile.
+  /// Owner-private: read from the owning thread or quiesced.
+  std::uint64_t refills() const noexcept { return refills_; }
+  std::uint64_t refill_cycles() const noexcept { return refill_cycles_; }
+  std::uint64_t spills() const noexcept { return spills_; }
 
  private:
   static constexpr std::size_t kLocalCacheMax = 256;  // spill threshold
@@ -362,6 +374,9 @@ class PoolAllocator {
   const int zone_;
   std::vector<T*> local_;
   std::uint64_t local_hits_ = 0;
+  std::uint64_t refills_ = 0;
+  std::uint64_t refill_cycles_ = 0;
+  std::uint64_t spills_ = 0;
 };
 
 using TaskAllocator = PoolAllocator<Task>;

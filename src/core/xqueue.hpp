@@ -5,8 +5,8 @@
 // auxiliary queue `q[w][p]` for every other worker `p`. Worker `w`
 // *produces* into column `w`: `q[t][w]` for any target `t`. Every queue in
 // the matrix therefore has exactly one producer and one consumer, so the
-// whole structure needs no locks and no RMW atomics, only the B-Queue's
-// release/acquire slot protocol.
+// whole structure needs no locks; the only RMW atomics are the occupancy
+// bitmap's publish/retire pair below.
 //
 // The same single-producer/single-consumer discipline is what makes the
 // paper's DLB strategies legal without extra synchronization:
@@ -15,19 +15,39 @@
 //  * NA-WS migration:  consumer w pops its own row, then produces the
 //                      stolen tasks into q[thief][w]
 //
-// Occupancy hints: scanning all N−1 auxiliary queues on every pop miss is
-// O(N) of cold cache lines at scale. Each consumer row therefore keeps a
-// byte-per-producer hint array: a producer sets its byte after pushing, the
-// consumer clears it after draining that queue, and `pop` only visits
-// flagged queues. Each byte has exactly two writers (that producer sets,
-// that consumer clears) and the flags are heuristic — a cleared flag can
-// race with a concurrent set and lose — so every `kFullScanPeriod`
-// consecutive misses the consumer ignores the hints and scans everything.
-// Termination never depends on the hints (the runtime's census does that);
-// the periodic full scan only bounds how long a queued task can hide.
+// Occupancy bitmap: scanning all N−1 auxiliary queues on every pop miss is
+// O(N) of cold cache lines at scale. Each consumer row keeps a packed
+// bitmap, one bit per producer (one 64-bit load covers 64 rows instead of
+// 64 byte probes), scanned with countr_zero. Unlike the hint *bytes* this
+// replaced, the bitmap is reliable, not heuristic:
+//
+//  * publish: after pushing into an aux queue the producer does an
+//    UNCONDITIONAL fetch_or of its bit (release). A check-then-set
+//    shortcut is provably broken: a stale "already set" read can race
+//    with the consumer's retire and permanently hide a task.
+//  * retire: the consumer clears an apparently-drained queue's bit with
+//    fetch_and (acq_rel), then RE-VERIFIES via the queue's occupancy
+//    counters (empty()), not another pop — a pop may miss spuriously on
+//    a non-empty queue. The two RMWs on the same word totally order
+//    against each other: if the consumer's clear ordered after the
+//    producer's set, the acquire side of the fetch_and makes the push's
+//    counter visible and the bit is re-armed; if it ordered before, the
+//    word ends with the bit set. Either way:
+//
+//      INVARIANT: bitmap word == 0 (acquire)  =>  every covered aux queue
+//      is empty, or a producer's fetch_or is already in flight (and will
+//      land — a transient, never a lost task).
+//
+// That invariant is what lets the periodic hint-ignoring full scan skip a
+// zero word outright, and what lets the adaptive dispatch layer run its
+// per-epoch occupancy census on popcounts alone. Termination still never
+// depends on the bitmap (the runtime's census does that); the
+// `kFullScanPeriod` sweep is retained as defense in depth and now probes
+// only words that are non-zero.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -42,26 +62,39 @@ namespace xtask {
 template <typename TaskPtr>
 class XQueueT {
  public:
-  /// Pop misses between hint-ignoring full rotation scans.
+  /// Pop misses between bitmap-ignoring full rotation scans.
   static constexpr std::uint32_t kFullScanPeriod = 64;
+
+  /// Per-consumer scan statistics (owner-private counters, exported into
+  /// the profiler at region end).
+  struct ScanStats {
+    std::uint64_t full_scans = 0;  // kFullScanPeriod sweeps triggered
+    std::uint64_t zero_skips = 0;  // words skipped in sweeps because == 0
+  };
+
+  /// Cheap whole-matrix occupancy census: how many queues are visibly
+  /// non-empty and roughly how many tasks they hold. Bitmap popcounts plus
+  /// one counter probe per master queue — O(N), not O(N²).
+  struct Census {
+    int occupied_queues = 0;   // masters + aux queues with visible entries
+    std::uint64_t queued = 0;  // approximate total tasks across them
+  };
 
   /// `num_workers` rows/columns; each SPSC queue holds `queue_capacity`
   /// task pointers (power of two).
   XQueueT(int num_workers, std::uint32_t queue_capacity = 2048)
       : n_(num_workers),
-        // Hint rows padded to cache-line multiples so two consumers'
-        // clear-stores never share a line.
-        hint_stride_((static_cast<std::size_t>(num_workers) + kCacheLine - 1) /
-                     kCacheLine * kCacheLine) {
+        words_((num_workers + 63) / 64),
+        lines_per_row_((static_cast<std::size_t>(words_) + kWordsPerLine - 1) /
+                       kWordsPerLine) {
     XTASK_CHECK(num_workers >= 1);
     queues_.reserve(static_cast<std::size_t>(n_) * n_);
     for (int i = 0; i < n_ * n_; ++i)
       queues_.push_back(std::make_unique<BQueue<TaskPtr>>(queue_capacity));
-    hints_ = std::make_unique<atomic<std::uint8_t>[]>(
-        hint_stride_ * static_cast<std::size_t>(n_));
-    for (std::size_t i = 0; i < hint_stride_ * static_cast<std::size_t>(n_);
-         ++i)
-      hints_[i].store(0, std::memory_order_relaxed);
+    // One cache line (or more) of bitmap words per consumer, so two
+    // consumers' retire-RMWs never share a line.
+    bitmap_ = std::make_unique<BitmapLine[]>(
+        lines_per_row_ * static_cast<std::size_t>(n_));
     state_ = std::vector<PerConsumer>(static_cast<std::size_t>(n_));
   }
 
@@ -87,9 +120,9 @@ class XQueueT {
   }
 
   /// Pop the next task for worker `self`: master queue first, then the
-  /// auxiliary queues whose hint byte is set, starting from a rotating
-  /// cursor so no producer starves. Must be called from worker `self`'s
-  /// thread.
+  /// auxiliary queues whose bitmap bit is set, starting after the last
+  /// successful producer so no producer starves. Must be called from the
+  /// thread currently holding worker `self`'s consumer identity.
   TaskPtr pop(int self) noexcept {
     PerConsumer& pc = state_[static_cast<std::size_t>(self)];
     // Row base hoisted: one index computation for the whole scan.
@@ -100,31 +133,78 @@ class XQueueT {
       return t;
     }
     if (n_ == 1) return nullptr;
-    // Periodically ignore the hints entirely: a consumer clear can race
-    // with a producer set and lose, and this bounds how long that hidden
-    // task waits.
+    // Defense in depth: periodically probe every queue under a non-zero
+    // word, ignoring individual bits. With the reliable publish/retire
+    // protocol this should never find anything a bit did not announce; a
+    // zero word proves its queues empty and is skipped outright.
     const bool full_scan = pc.miss_tick >= kFullScanPeriod;
-    atomic<std::uint8_t>* const hrow =
-        hints_.get() + static_cast<std::size_t>(self) * hint_stride_;
-    // Increment-and-wrap rotation — no modulo in the scan loop.
-    int p = static_cast<int>(pc.rot);
-    for (int i = 0; i < n_; ++i) {
-      if (++p >= n_) p = 0;
-      if (p == self) continue;
-      if (!full_scan && hrow[p].load(std::memory_order_relaxed) == 0)
-        continue;
-      if (TaskPtr t = row[p]->pop()) {
-        // Leave the hint set: one pop rarely drains the queue, and the
-        // next miss will clear it if it did.
-        hrow[p].store(1, std::memory_order_relaxed);
-        pc.rot = static_cast<std::uint32_t>(p);
-        pc.miss_tick = 0;
-        return t;
+    if (full_scan) pc.stats.full_scans++;
+    atomic<std::uint64_t>* const brow = bitmap_row(self);
+
+    // Visit order: start just after the last successful producer
+    // (rotation fairness), one word at a time; the starting word is
+    // visited twice with complementary masks so the rotation point can
+    // fall mid-word.
+    int start = pc.rot + 1;
+    if (start >= n_) start = 0;
+    const int sw = start >> 6;
+    const std::uint64_t shigh = ~0ull << (start & 63);
+
+    for (int k = 0; k <= words_; ++k) {
+      int wi = sw + k;
+      if (wi >= words_) wi -= words_;
+      std::uint64_t seg = ~0ull;
+      if (k == 0)
+        seg = shigh;
+      else if (k == words_)
+        seg = ~shigh;
+      if (seg == 0) continue;
+
+      const std::uint64_t m = brow[wi].load(std::memory_order_acquire);
+      std::uint64_t cand = m & seg;
+      if (full_scan) {
+        if (m == 0) {
+          // The invariant above makes this sound: a zero word means every
+          // covered queue is empty (or a publish is in flight and will
+          // re-arm it) — skip the probe loop entirely.
+          pc.stats.zero_skips++;
+          continue;
+        }
+        cand = valid_word_mask(self, wi) & seg;
       }
-      // Drained: clear the hint (skip the store when already clear so a
-      // full scan over idle queues does not dirty producers' lines).
-      if (hrow[p].load(std::memory_order_relaxed) != 0)
-        hrow[p].store(0, std::memory_order_relaxed);
+      while (cand != 0) {
+        const int b = std::countr_zero(cand);
+        cand &= cand - 1;
+        const int p = (wi << 6) | b;
+        if (TaskPtr t = row[p]->pop()) {
+          // Leave the bit set: one pop rarely drains the queue, and the
+          // next miss will retire it if it did.
+          pc.rot = p;
+          pc.miss_tick = 0;
+          return t;
+        }
+        // Drained? Retire the bit, then verify with the occupancy
+        // counters — NOT another pop: a pop can miss spuriously on a
+        // non-empty queue (probe backtracking, chaos injection), and a
+        // bit retired on a spurious miss would strand tasks behind the
+        // zero-word skip. The fetch_and / fetch_or pair on this word is
+        // what makes a concurrent push either visible to the counter
+        // probe or re-announced by the producer's own fetch_or. On a
+        // non-empty verdict the bit is re-armed *before* the retry pop,
+        // so a second spurious miss leaves the queue announced.
+        const std::uint64_t bit = 1ull << b;
+        if ((m & bit) != 0) {
+          brow[wi].fetch_and(~bit, std::memory_order_acq_rel);
+          if (!row[p]->empty()) {
+            brow[wi].fetch_or(bit, std::memory_order_release);
+            if (TaskPtr t = row[p]->pop()) {
+              pc.rot = p;
+              pc.miss_tick = 0;
+              return t;
+            }
+          }
+        }
+      }
     }
     pc.miss_tick = full_scan ? 0 : pc.miss_tick + 1;
     return nullptr;
@@ -132,8 +212,8 @@ class XQueueT {
 
   /// Pop up to `max` tasks for worker `self` in one shot — the NA-WS
   /// victim's bulk grab. Drains the master queue with one counter probe,
-  /// then tops up from the auxiliary queues. Must be called from worker
-  /// `self`'s thread.
+  /// then tops up from the auxiliary queues. Must be called from the
+  /// thread currently holding worker `self`'s consumer identity.
   std::size_t pop_batch(int self, TaskPtr* out, std::size_t max) noexcept {
     std::size_t got = q(self, self).pop_batch(out, max);
     while (got < max) {
@@ -152,37 +232,120 @@ class XQueueT {
 
   /// True when every queue consumed by `self` appears empty. Transiently
   /// racy (a push may land right after), which the termination logic
-  /// tolerates via its two-pass quiescence scan. Safe from any thread.
+  /// tolerates via its two-pass quiescence scan. Probes the queues
+  /// directly (not the bitmap) so tests keep their strict reading. Safe
+  /// from any thread.
   bool all_empty(int self) const noexcept {
     for (int p = 0; p < n_; ++p)
       if (!q(self, p).empty()) return false;
     return true;
   }
 
-  /// Approximate entries visible to consumer `self` across its row.
-  /// Diagnostics (watchdog snapshots) and tests only. Safe from any
-  /// thread.
+  /// Approximate depth of `self`'s master queue — input to the direct
+  /// mode's work-first throttle. Safe from any thread.
+  std::uint64_t master_size(int self) const noexcept {
+    return q(self, self).size_approx();
+  }
+
+  /// Approximate entries visible to consumer `self` across its row:
+  /// master counter plus the aux queues the bitmap marks occupied —
+  /// O(occupied), not O(N). Safe from any thread.
   std::uint64_t consumer_occupancy(int self) const noexcept {
-    std::uint64_t total = 0;
-    for (int p = 0; p < n_; ++p) total += q(self, p).size_approx();
+    std::uint64_t total = q(self, self).size_approx();
+    const atomic<std::uint64_t>* const brow = bitmap_row(self);
+    for (int wi = 0; wi < words_; ++wi) {
+      std::uint64_t m = brow[wi].load(std::memory_order_acquire);
+      while (m != 0) {
+        const int p = (wi << 6) | std::countr_zero(m);
+        m &= m - 1;
+        total += q(self, p).size_approx();
+      }
+    }
     return total;
   }
 
-  /// Total visible entries across the whole matrix. Debug/tests only.
+  /// Total visible entries across the whole matrix: one bitmap-guided row
+  /// sum per consumer (O(N + occupied), replacing the old O(N²) probe).
   std::uint64_t size_approx() const noexcept {
     std::uint64_t total = 0;
-    for (const auto& uq : queues_) total += uq->size_approx();
+    for (int c = 0; c < n_; ++c) total += consumer_occupancy(c);
     return total;
   }
 
-  /// The hint byte for (consumer, producer); tests and debug snapshots.
+  /// Batched occupancy census over the whole matrix for the adaptive
+  /// dispatch layer's per-epoch mode decision: bitmap popcounts plus one
+  /// counter probe per master queue. Safe from any thread.
+  Census census() const noexcept {
+    Census out;
+    for (int c = 0; c < n_; ++c) {
+      const atomic<std::uint64_t>* const brow = bitmap_row(c);
+      for (int wi = 0; wi < words_; ++wi) {
+        std::uint64_t m = brow[wi].load(std::memory_order_acquire);
+        out.occupied_queues += std::popcount(m);
+        while (m != 0) {
+          const int p = (wi << 6) | std::countr_zero(m);
+          m &= m - 1;
+          out.queued += q(c, p).size_approx();
+        }
+      }
+      const std::uint64_t master = q(c, c).size_approx();
+      if (master != 0) {
+        out.occupied_queues++;
+        out.queued += master;
+      }
+    }
+    return out;
+  }
+
+  /// One raw bitmap word of consumer `row`'s occupancy map. Safe from any
+  /// thread (acquire).
+  std::uint64_t occupancy_word(int row, int word = 0) const noexcept {
+    return bitmap_row(row)[word].load(std::memory_order_acquire);
+  }
+
+  /// True when consumer `row` has visible work anywhere in its row (any
+  /// bitmap word non-zero, or a non-empty master queue). Safe from any
+  /// thread.
+  bool row_occupied(int row) const noexcept {
+    for (int wi = 0; wi < words_; ++wi)
+      if (bitmap_row(row)[wi].load(std::memory_order_acquire) != 0)
+        return true;
+    return !master_empty(row);
+  }
+
+  /// Packed per-worker occupancy mask for vectorized victim selection:
+  /// bit v set iff row_occupied(v), covering the first 64 workers (teams
+  /// beyond 64 fall back to random selection for the excess). Safe from
+  /// any thread.
+  std::uint64_t occupied_mask() const noexcept {
+    const int lim = n_ < 64 ? n_ : 64;
+    std::uint64_t mask = 0;
+    for (int v = 0; v < lim; ++v)
+      if (row_occupied(v)) mask |= 1ull << v;
+    return mask;
+  }
+
+  /// The bitmap bit for (consumer, producer); tests and debug snapshots.
   bool hint_set(int consumer, int producer) const noexcept {
-    return hints_[static_cast<std::size_t>(consumer) * hint_stride_ +
-                  static_cast<std::size_t>(producer)]
-               .load(std::memory_order_relaxed) != 0;
+    return (occupancy_word(consumer, producer >> 6) &
+            (1ull << (producer & 63))) != 0;
+  }
+
+  /// Consumer `self`'s scan statistics. Owner-private counters: read them
+  /// from the thread holding that consumer identity (or quiesced).
+  ScanStats scan_stats(int self) const noexcept {
+    return state_[static_cast<std::size_t>(self)].stats;
   }
 
  private:
+  static constexpr int kWordsPerLine =
+      static_cast<int>(kCacheLine / sizeof(atomic<std::uint64_t>));
+
+  /// One cache line of bitmap words, so rows never false-share.
+  struct alignas(kCacheLine) BitmapLine {
+    atomic<std::uint64_t> w[kWordsPerLine] = {};
+  };
+
   BQueue<TaskPtr>& q(int consumer, int producer) noexcept {
     return *queues_[static_cast<std::size_t>(consumer) *
                         static_cast<std::size_t>(n_) +
@@ -194,30 +357,47 @@ class XQueueT {
                     static_cast<std::size_t>(producer)];
   }
 
-  /// Producer-side hint arm. Check-then-set: skip the store (and the
-  /// cache-line grab) when the byte is already set, which is the common
-  /// case on a busy queue.
-  void note_push(int consumer, int producer) noexcept {
-    atomic<std::uint8_t>& h =
-        hints_[static_cast<std::size_t>(consumer) * hint_stride_ +
-               static_cast<std::size_t>(producer)];
-    if (h.load(std::memory_order_relaxed) == 0)
-      h.store(1, std::memory_order_relaxed);
+  atomic<std::uint64_t>* bitmap_row(int consumer) noexcept {
+    return bitmap_[static_cast<std::size_t>(consumer) * lines_per_row_].w;
+  }
+  const atomic<std::uint64_t>* bitmap_row(int consumer) const noexcept {
+    return bitmap_[static_cast<std::size_t>(consumer) * lines_per_row_].w;
   }
 
-  /// Per-consumer scan state: rotation cursor plus the miss counter that
-  /// schedules hint-ignoring full scans. Only touched by that consumer.
+  /// Every producer bit word `wi` can legally carry for consumer `self`:
+  /// ids below n_, minus the consumer itself (self-pushes go to the
+  /// master queue and never arm a bit).
+  std::uint64_t valid_word_mask(int self, int wi) const noexcept {
+    const int base = wi << 6;
+    const int cnt = n_ - base;
+    std::uint64_t m = cnt >= 64 ? ~0ull : (1ull << cnt) - 1;
+    if (self >= base && self < base + 64) m &= ~(1ull << (self - base));
+    return m;
+  }
+
+  /// Producer-side publish. Unconditional RMW — see the protocol argument
+  /// in the header comment; a check-then-set here loses tasks.
+  void note_push(int consumer, int producer) noexcept {
+    bitmap_row(consumer)[producer >> 6].fetch_or(
+        1ull << (producer & 63), std::memory_order_release);
+  }
+
+  /// Per-consumer scan state: rotation cursor, the miss counter that
+  /// schedules full scans, and scan statistics. Only touched by the
+  /// thread holding that consumer identity.
   struct alignas(kCacheLine) PerConsumer {
-    std::uint32_t rot = 0;
+    int rot = 0;
     std::uint32_t miss_tick = 0;
+    ScanStats stats;
   };
 
   const int n_;
-  const std::size_t hint_stride_;
+  const int words_;                   // bitmap words per consumer row
+  const std::size_t lines_per_row_;   // cache lines per consumer row
   std::vector<std::unique_ptr<BQueue<TaskPtr>>> queues_;
-  // Byte flags: hints_[consumer * hint_stride_ + producer] != 0 means
-  // q(consumer, producer) is plausibly non-empty.
-  std::unique_ptr<atomic<std::uint8_t>[]> hints_;
+  // bitmap_[consumer row]: bit p set means q(consumer, p) is non-empty
+  // (reliable up to an in-flight publish; see header).
+  std::unique_ptr<BitmapLine[]> bitmap_;
   std::vector<PerConsumer> state_;
 };
 

@@ -41,6 +41,18 @@ Counters& Counters::operator+=(const Counters& o) noexcept {
   nreclaimed += o.nreclaimed;
   nserve_requests += o.nserve_requests;
   nserve_shed += o.nserve_shed;
+  nmode_switches += o.nmode_switches;
+  nsteal_rounds += o.nsteal_rounds;
+  nsteal_direct += o.nsteal_direct;
+  steal_round_cycles += o.steal_round_cycles;
+  for (std::size_t b = 0; b < steal_lat_hist.size(); ++b)
+    steal_lat_hist[b] += o.steal_lat_hist[b];
+  nqueue_fullscans += o.nqueue_fullscans;
+  nqueue_zeroskips += o.nqueue_zeroskips;
+  nalloc_refills += o.nalloc_refills;
+  nalloc_spills += o.nalloc_spills;
+  alloc_refill_cycles += o.alloc_refill_cycles;
+  idle_cycles += o.idle_cycles;
   return *this;
 }
 
@@ -103,7 +115,14 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
        "ntasks_created,ntasks_executed,overflow_inline,ntasks_cancelled,"
        "nexceptions,nidle_yields,nquarantined,nreadmitted,nreclaimed,"
        "overflow_last_tenant,overflow_last_depth,overflow_max_depth,"
-       "nserve_requests,nserve_shed\n";
+       "nserve_requests,nserve_shed,"
+       "nmode_switches,nsteal_rounds,nsteal_direct,steal_round_cycles,"
+       "nqueue_fullscans,nqueue_zeroskips,nalloc_refills,nalloc_spills,"
+       "alloc_refill_cycles,idle_cycles";
+  constexpr std::size_t kHistBuckets =
+      std::tuple_size<decltype(Counters::steal_lat_hist)>::value;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) f << ",steal_lat_b" << b;
+  f << '\n';
   for (std::size_t i = 0; i < profiles_.size(); ++i) {
     const Counters& c = profiles_[i].counters;
     f << i << ',' << c.ntasks_self << ',' << c.ntasks_local << ','
@@ -118,7 +137,14 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
       << c.nreadmitted << ',' << c.nreclaimed << ','
       << c.overflow.last_tenant << ',' << c.overflow.last_depth << ','
       << c.overflow.max_depth << ',' << c.nserve_requests << ','
-      << c.nserve_shed << '\n';
+      << c.nserve_shed << ',' << c.nmode_switches << ','
+      << c.nsteal_rounds << ',' << c.nsteal_direct << ','
+      << c.steal_round_cycles << ',' << c.nqueue_fullscans << ','
+      << c.nqueue_zeroskips << ',' << c.nalloc_refills << ','
+      << c.nalloc_spills << ',' << c.alloc_refill_cycles << ','
+      << c.idle_cycles;
+    for (const std::uint64_t v : c.steal_lat_hist) f << ',' << v;
+    f << '\n';
   }
   return f.good();
 }

@@ -106,6 +106,36 @@ struct Counters {
   // pressure. Zero outside service regions.
   std::uint64_t nserve_requests = 0;
   std::uint64_t nserve_shed = 0;
+  // Adaptive dispatch (dlb=adaptive): messaging<->direct mode switches
+  // committed by this worker's controller (worker 0 only), request rounds
+  // this thief opened, and tasks it took via direct guard-borrowed steals.
+  std::uint64_t nmode_switches = 0;
+  std::uint64_t nsteal_rounds = 0;
+  std::uint64_t nsteal_direct = 0;
+  // Steal-round latency: cycles from opening a request round to the next
+  // successful pop, summed plus a log2 histogram (bucket b covers
+  // [2^(10+b), 2^(11+b)) cycles; bucket 0 is everything under 2^11,
+  // bucket 15 everything at/above 2^25).
+  std::uint64_t steal_round_cycles = 0;
+  std::array<std::uint64_t, 16> steal_lat_hist{};
+  // Hot-path churn, synced from owner-private structures at region end:
+  // XQueue bitmap-ignoring full scans and the zero-word probe loops they
+  // skipped; allocator shared-pool refills/spills with the cycles spent on
+  // the refill slow path; cycles resident in the idle backoff loop.
+  std::uint64_t nqueue_fullscans = 0;
+  std::uint64_t nqueue_zeroskips = 0;
+  std::uint64_t nalloc_refills = 0;
+  std::uint64_t nalloc_spills = 0;
+  std::uint64_t alloc_refill_cycles = 0;
+  std::uint64_t idle_cycles = 0;
+
+  /// Record one steal-round completion latency (cycles).
+  void note_steal_latency(std::uint64_t cycles) noexcept {
+    steal_round_cycles += cycles;
+    std::uint64_t b = 0;
+    while (b + 1 < steal_lat_hist.size() && cycles >= (2048ull << b)) ++b;
+    ++steal_lat_hist[static_cast<std::size_t>(b)];
+  }
 
   Counters& operator+=(const Counters& o) noexcept;
 };

@@ -50,7 +50,7 @@ std::string trace_to_json(const Profiler& prof,
         "\"ntasks_cancelled\":%llu,\"nexceptions\":%llu,"
         "\"nidle_yields\":%llu,\"nquarantined\":%llu,"
         "\"nreadmitted\":%llu,\"nreclaimed\":%llu,"
-        "\"nserve_requests\":%llu,\"nserve_shed\":%llu}}",
+        "\"nserve_requests\":%llu,\"nserve_shed\":%llu,",
         t, static_cast<unsigned long long>(c.ntasks_created),
         static_cast<unsigned long long>(c.ntasks_executed),
         static_cast<unsigned long long>(c.overflow.total),
@@ -65,6 +65,32 @@ std::string trace_to_json(const Profiler& prof,
         static_cast<unsigned long long>(c.nserve_requests),
         static_cast<unsigned long long>(c.nserve_shed));
     out += buf;
+    // Adaptive-dispatch instrumentation continues the same args object.
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"nmode_switches\":%llu,\"nsteal_rounds\":%llu,"
+        "\"nsteal_direct\":%llu,\"steal_round_cycles\":%llu,"
+        "\"nqueue_fullscans\":%llu,\"nqueue_zeroskips\":%llu,"
+        "\"nalloc_refills\":%llu,\"nalloc_spills\":%llu,"
+        "\"alloc_refill_cycles\":%llu,\"idle_cycles\":%llu,"
+        "\"steal_lat_hist\":[",
+        static_cast<unsigned long long>(c.nmode_switches),
+        static_cast<unsigned long long>(c.nsteal_rounds),
+        static_cast<unsigned long long>(c.nsteal_direct),
+        static_cast<unsigned long long>(c.steal_round_cycles),
+        static_cast<unsigned long long>(c.nqueue_fullscans),
+        static_cast<unsigned long long>(c.nqueue_zeroskips),
+        static_cast<unsigned long long>(c.nalloc_refills),
+        static_cast<unsigned long long>(c.nalloc_spills),
+        static_cast<unsigned long long>(c.alloc_refill_cycles),
+        static_cast<unsigned long long>(c.idle_cycles));
+    out += buf;
+    for (std::size_t b = 0; b < c.steal_lat_hist.size(); ++b) {
+      std::snprintf(buf, sizeof(buf), "%s%llu", b == 0 ? "" : ",",
+                    static_cast<unsigned long long>(c.steal_lat_hist[b]));
+      out += buf;
+    }
+    out += "]}}";
     for (const PerfEvent& e : prof.thread(t).events()) {
       if (e.end < e.start || e.end - e.start < opts.min_cycles) continue;
       const double ts =

@@ -318,8 +318,8 @@ std::string TenantSpec::describe() const {
 
 Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
   check_keys(spec, {"threads", "zones", "topo", "qcap", "barrier", "dlb",
-                    "alloc", "tint", "nvictim", "nsteal", "plocal", "seed",
-                    "wdog", "yield", "profile", "hb", "quarantine"});
+                    "dmode", "alloc", "tint", "nvictim", "nsteal", "plocal",
+                    "seed", "wdog", "yield", "profile", "hb", "quarantine"});
   Config cfg;
   cfg.topology = resolve_topology(spec, steal::kMaxWorkerId);
   cfg.queue_capacity = RegistryDefaults::kQueueCapacity;
@@ -328,7 +328,8 @@ Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
   if (const std::string* v = spec.find("barrier")) {
     if (*v == "tree") cfg.barrier = BarrierKind::kTree;
     else if (*v == "central") cfg.barrier = BarrierKind::kCentral;
-    else bad_value(spec, "barrier", *v, "tree|central");
+    else if (*v == "auto") cfg.barrier = BarrierKind::kAuto;
+    else bad_value(spec, "barrier", *v, "tree|central|auto");
   }
   if (const std::string* v = spec.find("dlb")) {
     if (*v == "none") cfg.dlb = DlbKind::kNone;
@@ -336,6 +337,23 @@ Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
     else if (*v == "naws") cfg.dlb = DlbKind::kWorkSteal;
     else if (*v == "adaptive") cfg.dlb = DlbKind::kAdaptive;
     else bad_value(spec, "dlb", *v, "none|narp|naws|adaptive");
+  }
+  // The adaptive layer self-selects its barrier unless the spec pins one:
+  // the runtime resolves kAuto by the same static shape gate the mode
+  // controller uses (small/oversubscribed team -> central, scale -> tree).
+  if (cfg.dlb == DlbKind::kAdaptive && spec.find("barrier") == nullptr)
+    cfg.barrier = BarrierKind::kAuto;
+  if (const std::string* v = spec.find("dmode")) {
+    if (*v == "auto") cfg.dispatch_mode = DispatchModePolicy::kAuto;
+    else if (*v == "messaging")
+      cfg.dispatch_mode = DispatchModePolicy::kMessaging;
+    else if (*v == "direct") cfg.dispatch_mode = DispatchModePolicy::kDirect;
+    else bad_value(spec, "dmode", *v, "auto|messaging|direct");
+    if (cfg.dlb != DlbKind::kAdaptive)
+      throw std::invalid_argument(
+          "spec '" + spec.describe() +
+          "': dmode requires dlb=adaptive (the dispatch-mode controller is "
+          "part of the adaptive layer)");
   }
   if (const std::string* v = spec.find("alloc")) {
     if (*v == "multi") cfg.allocator = AllocatorMode::kMultiLevel;
@@ -474,6 +492,7 @@ std::vector<NamedConfig> RuntimeRegistry::bench_configs() {
       {"lomp", "lomp"},
       {"xtask-narp", "xtask:dlb=narp"},
       {"xtask-naws", "xtask:dlb=naws,tint=128"},
+      {"xtask-adaptive", "xtask:dlb=adaptive"},
   };
 }
 
@@ -488,6 +507,8 @@ std::vector<std::string> RuntimeRegistry::smoke_specs() {
       "xtask:dlb=narp",                     // + NA-RP
       "xtask:dlb=naws,tint=128",            // + NA-WS
       "xtask:dlb=adaptive",
+      "xtask:dlb=adaptive,dmode=direct",    // forced direct dispatch
+      "xtask:dlb=adaptive,dmode=messaging", // forced messaging dispatch
       "xtask:dlb=naws,hb=50,quarantine=on", // + self-healing workers
   };
 }

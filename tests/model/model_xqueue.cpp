@@ -1,9 +1,9 @@
 // Model checking the real XQueue (core/xqueue.hpp): the N×N SPSC matrix
-// plus the relaxed occupancy-hint bytes. The hints are deliberately racy
-// (a consumer clear may lose against a producer set), so the invariant we
-// check is the one the runtime actually relies on: no task is ever lost or
-// duplicated, and a hidden task is recoverable by a hint-ignoring full
-// scan — never required for termination.
+// plus the occupancy bitmap's publish/retire protocol (unconditional
+// fetch_or on push; fetch_and + counter-verified re-arm on retire). Beyond
+// "no task lost or duplicated", the bitmap adds a strict invariant the
+// zero-word full-scan skip depends on: once no publish is in flight, a
+// zero bitmap word means every covered queue is empty.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -54,9 +54,9 @@ void expect_exact(Q& q, int self, std::vector<int*> got,
 }
 
 // Cross-worker handoff through an auxiliary queue: producer w1 pushes into
-// w0's row (arming the hint byte), consumer w0 pops. Exhaustively
-// enumerated; the hint's lost-clear race is reachable at this size, so a
-// clean result shows the full-scan recovery path really bounds it.
+// w0's row (arming the bitmap bit), consumer w0 pops. Exhaustively
+// enumerated; the publish/retire contention is reachable at this size, so
+// a clean result shows no interleaving loses or duplicates a task.
 TEST(ModelXQueue, ExhaustiveCrossWorkerHandoff) {
   auto r = xc::explore(model::exhaustive(2), [](xc::Exec& ex) {
     auto q = std::make_shared<Q>(/*num_workers=*/2, /*queue_capacity=*/4);
@@ -94,6 +94,38 @@ TEST(ModelXQueue, ExhaustiveSelfPushPlusRedirect) {
     ex.check([q, got] { expect_exact(*q, 0, *got, 3); });
   });
   model::expect_clean(r, "xqueue_redirect", /*require_complete=*/true);
+}
+
+// The bitmap publish/retire race, exhaustively: the producer's
+// unconditional fetch_or contends with the consumer's fetch_and retire on
+// the same word while pops miss and recover. At the check point every
+// thread has finished, so no publish is in flight and the invariant is
+// strict: occupancy word zero => the row's aux queues are all empty (the
+// zero-word skip in the full scan is sound), word non-zero bits only ever
+// cover genuinely announced queues (retire always catches up).
+TEST(ModelXQueue, ExhaustiveBitmapPublishRetire) {
+  auto r = xc::explore(model::exhaustive(2), [](xc::Exec& ex) {
+    auto q = std::make_shared<Q>(2, 4);
+    auto got = std::make_shared<std::vector<int*>>();
+    ex.thread("w1-prod", [q] {
+      q->push(/*producer=*/1, /*target=*/0, val(0));
+      q->push(1, 0, val(1));
+    });
+    ex.thread("w0-cons", [q, got] {
+      // Interleave pops with the producer's pushes: misses walk the
+      // retire path (fetch_and + counter verify + re-arm) mid-publish.
+      for (int t = 0; t < 4; ++t)
+        if (int* v = q->pop(0)) got->push_back(v);
+    });
+    ex.check([q, got] {
+      if (q->occupancy_word(0) == 0 && !q->all_empty(0))
+        xc::Exec::fail("zero bitmap word over a non-empty row: the "
+                       "full-scan zero-skip would strand these tasks");
+      expect_exact(*q, 0, *got, 2);
+    });
+  });
+  model::expect_clean(r, "xqueue_bitmap", /*require_complete=*/true);
+  EXPECT_GT(r.executions, 10u);
 }
 
 // Bulk migration (NA-WS): producer batch-pushes into the victim's row;

@@ -61,15 +61,16 @@ TEST(AdaptiveDlb, MixedGranularityRegionsAcrossRuns) {
 TEST(AdaptiveDlb, WorksWithDependences) {
   const auto rt_h = RuntimeRegistry::make_xtask(adaptive_cfg());
   Runtime& rt = *rt_h;
+  // 48 chained doublings stay below the signed-long limit (2^48 - 1).
   long value = 0;
   rt.run([&](TaskContext& ctx) {
-    for (int i = 0; i < 64; ++i)
+    for (int i = 0; i < 48; ++i)
       ctx.spawn([&](TaskContext&) { value = value * 2 + 1; },
                 {dout(&value)});
     ctx.taskwait();
   });
   long expect = 0;
-  for (int i = 0; i < 64; ++i) expect = expect * 2 + 1;
+  for (int i = 0; i < 48; ++i) expect = expect * 2 + 1;
   EXPECT_EQ(value, expect);
 }
 
@@ -77,6 +78,179 @@ TEST(AdaptiveDlb, SingleThreadDegenerates) {
   const auto rt_h = RuntimeRegistry::make_xtask(adaptive_cfg(1));
   Runtime& rt = *rt_h;
   EXPECT_EQ(bots::fib_parallel(rt, 12), bots::fib_serial(12));
+}
+
+// ---------------------------------------------------------------------------
+// ModeController: the per-team dispatch-mode state machine in isolation.
+
+ModeThresholds small_host() {
+  // A host where the 4-thread team is oversubscribed (1 hw thread) —
+  // matches the CI containers this suite actually runs on.
+  ModeThresholds thr;
+  thr.hw_threads = 1;
+  return thr;
+}
+
+ModeThresholds big_host() {
+  ModeThresholds thr;
+  thr.hw_threads = 256;
+  return thr;
+}
+
+TEST(ModeController, OversubscriptionForcesDirect) {
+  // healthy > hw_threads: messaging round trips cost scheduling quanta,
+  // so the gate pins direct mode regardless of occupancy signals.
+  ModeController ctl(small_host(), 4, 2);
+  EXPECT_EQ(ctl.mode(), DispatchMode::kDirect);
+  ModeSignals s;
+  s.occupied_queues = 4;
+  s.queued_tasks = 100'000;
+  s.healthy_workers = 4;
+  s.zones = 2;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ctl.observe(s), DispatchMode::kDirect);
+  EXPECT_EQ(ctl.switches(), 0u);
+}
+
+TEST(ModeController, LargeTeamsAndManyZonesStayMessaging) {
+  // Above the static scale caps the messaging protocol's O(1) victim-side
+  // cost wins; direct stealing's shared-guard traffic does not scale.
+  ModeController wide(big_host(), 64, 2);
+  EXPECT_EQ(wide.mode(), DispatchMode::kMessaging);
+  ModeController zoned(big_host(), 8, 4);
+  EXPECT_EQ(zoned.mode(), DispatchMode::kMessaging);
+}
+
+// Synthetic signal helpers for a 4-worker, 2-zone team on a big host.
+// `busy` clears both leave gates (occ 16/4 = 4 >= 3.0, depth 4096/4 =
+// 1024 >= 512) so it argues for messaging; `starved` sits below both
+// enter gates and argues for direct.
+ModeSignals busy_signals() {
+  ModeSignals s;
+  s.occupied_queues = 16;
+  s.queued_tasks = 4096;
+  s.healthy_workers = 4;
+  s.zones = 2;
+  return s;
+}
+
+ModeSignals starved_signals() {
+  ModeSignals s = busy_signals();
+  s.occupied_queues = 1;
+  s.queued_tasks = 2;
+  return s;
+}
+
+TEST(ModeController, SustainedLoadSwitchesModesBothWays) {
+  // A small team starts direct; sustained broad+deep load flips it to
+  // messaging after exactly confirm_epochs agreeing epochs, and a
+  // sustained starve flips it back.
+  ModeThresholds thr = big_host();
+  ModeController ctl(thr, 4, 2);
+  ASSERT_EQ(ctl.mode(), DispatchMode::kDirect);
+  for (int i = 0; i + 1 < thr.confirm_epochs; ++i)
+    EXPECT_EQ(ctl.observe(busy_signals()), DispatchMode::kDirect) << i;
+  EXPECT_EQ(ctl.observe(busy_signals()), DispatchMode::kMessaging);
+  EXPECT_EQ(ctl.switches(), 1u);
+  for (int i = 0; i + 1 < thr.confirm_epochs; ++i)
+    EXPECT_EQ(ctl.observe(starved_signals()), DispatchMode::kMessaging) << i;
+  EXPECT_EQ(ctl.observe(starved_signals()), DispatchMode::kDirect);
+  EXPECT_EQ(ctl.switches(), 2u);
+}
+
+TEST(ModeController, HysteresisIgnoresOccupancySquareWave) {
+  // A square wave flipping faster than confirm_epochs must never switch
+  // the mode: every epoch agreeing with the current mode resets the
+  // confirmation streak.
+  ModeThresholds thr = big_host();
+  for (int period = 1; period < thr.confirm_epochs; ++period) {
+    ModeController ctl(thr, 4, 2);
+    ASSERT_EQ(ctl.mode(), DispatchMode::kDirect);
+    for (int epoch = 0; epoch < 64; ++epoch) {
+      const ModeSignals s =
+          (epoch / period) % 2 == 0 ? busy_signals() : starved_signals();
+      EXPECT_EQ(ctl.observe(s), DispatchMode::kDirect)
+          << "period=" << period << " epoch=" << epoch;
+    }
+    EXPECT_EQ(ctl.switches(), 0u) << "period=" << period;
+  }
+}
+
+TEST(ModeController, BandGapPreventsPingPong) {
+  // Signals inside the hysteresis band (above the enter gates, below the
+  // leave gates) renew whichever mode is current — the band gap is what
+  // stops a boundary-hovering signal from oscillating the decision.
+  ModeThresholds thr = big_host();
+  ModeSignals mid = busy_signals();
+  mid.occupied_queues = 8;   // 2.0/worker: in (occ_enter, occ_leave)
+  mid.queued_tasks = 512;    // 128/worker: in (depth_enter, depth_leave)
+
+  ModeController in_direct(thr, 4, 2);
+  ASSERT_EQ(in_direct.mode(), DispatchMode::kDirect);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(in_direct.observe(mid), DispatchMode::kDirect);
+  EXPECT_EQ(in_direct.switches(), 0u);
+
+  ModeController in_messaging(thr, 4, 2);
+  for (int i = 0; i < thr.confirm_epochs; ++i)
+    in_messaging.observe(busy_signals());
+  ASSERT_EQ(in_messaging.mode(), DispatchMode::kMessaging);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(in_messaging.observe(mid), DispatchMode::kMessaging);
+  EXPECT_EQ(in_messaging.switches(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Forced dispatch modes: correctness is mode-independent, so each policy
+// must produce exact results. No test asserts which mode dmode=auto picks
+// on a real run — that is machine-dependent by design.
+
+TEST(AdaptiveDispatch, ForcedDirectIsCorrect) {
+  AnyRuntime rt = RuntimeRegistry::make(
+      "xtask:threads=4,zones=2,dlb=adaptive,dmode=direct");
+  EXPECT_EQ(bots::fib_parallel(rt, 18, 4), bots::fib_serial(18));
+  const Counters total = rt.total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
+  // Direct mode never opens messaging rounds.
+  EXPECT_EQ(total.nsteal_rounds, 0u);
+}
+
+TEST(AdaptiveDispatch, ForcedMessagingIsCorrect) {
+  AnyRuntime rt = RuntimeRegistry::make(
+      "xtask:threads=4,zones=2,dlb=adaptive,dmode=messaging");
+  EXPECT_EQ(bots::fib_parallel(rt, 18, 4), bots::fib_serial(18));
+  const Counters total = rt.total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
+  // Messaging mode never direct-steals.
+  EXPECT_EQ(total.nsteal_direct, 0u);
+  Runtime* concrete = rt.get_if<Runtime>();
+  ASSERT_NE(concrete, nullptr);
+  EXPECT_EQ(concrete->dispatch_mode_now(), DispatchMode::kMessaging);
+  EXPECT_EQ(concrete->mode_switches(), 0u);
+}
+
+TEST(AdaptiveDispatch, AutoIsCorrectAcrossRegions) {
+  AnyRuntime rt =
+      RuntimeRegistry::make("xtask:threads=4,zones=2,dlb=adaptive");
+  for (int round = 0; round < 3; ++round)
+    EXPECT_EQ(bots::fib_parallel(rt, 16, 4), bots::fib_serial(16)) << round;
+  const Counters total = rt.total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
+}
+
+TEST(AdaptiveDispatch, ForcedDirectSingleZone) {
+  AnyRuntime rt = RuntimeRegistry::make(
+      "xtask:threads=4,zones=1,dlb=adaptive,dmode=direct");
+  EXPECT_EQ(bots::nqueens_parallel(rt, 7, 3), bots::nqueens_serial(7));
+}
+
+TEST(AdaptiveDispatch, ForcedDirectWithSmallQueuesOverflows) {
+  // Tiny queues force the direct-mode overflow path (inline execution)
+  // and thief-requeue overflow; results must stay exact.
+  AnyRuntime rt = RuntimeRegistry::make(
+      "xtask:threads=4,zones=2,qcap=8,dlb=adaptive,dmode=direct");
+  EXPECT_EQ(bots::fib_parallel(rt, 17, 4), bots::fib_serial(17));
+  const Counters total = rt.total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);
 }
 
 }  // namespace

@@ -222,6 +222,11 @@ const HealCase kHealCases[] = {
     {"central_naws", "xtask:barrier=central,dlb=naws," HEAL_KNOBS},
     {"tree_narp", "xtask:barrier=tree,dlb=narp," HEAL_KNOBS},
     {"tree_naws", "xtask:barrier=tree,dlb=naws," HEAL_KNOBS},
+    // Adaptive dispatch must coexist with quarantine: a direct-mode thief
+    // and the monitor contend for the same guard cells, and the mode
+    // controller's census must not stall recovery (or vice versa).
+    {"central_adaptive", "xtask:barrier=central,dlb=adaptive," HEAL_KNOBS},
+    {"tree_adaptive", "xtask:barrier=tree,dlb=adaptive," HEAL_KNOBS},
 };
 #undef HEAL_KNOBS
 

@@ -171,6 +171,74 @@ TEST(RegistryConfig, HealthKeysDefaultOffAndValidateTogether) {
                std::invalid_argument);
 }
 
+TEST(RegistryConfig, AdaptiveDispatchModeKey) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  // Round-trip: every dmode value parses, reaches the Config, and the
+  // describe() form re-parses to the same Config.
+  const struct {
+    const char* value;
+    DispatchModePolicy policy;
+  } kCases[] = {
+      {"auto", DispatchModePolicy::kAuto},
+      {"messaging", DispatchModePolicy::kMessaging},
+      {"direct", DispatchModePolicy::kDirect},
+  };
+  for (const auto& c : kCases) {
+    const std::string spec =
+        std::string("xtask:threads=4,dlb=adaptive,dmode=") + c.value;
+    const BackendSpec parsed = BackendSpec::parse(spec);
+    const Config cfg = RuntimeRegistry::xtask_config(parsed);
+    EXPECT_EQ(cfg.dlb, DlbKind::kAdaptive) << c.value;
+    EXPECT_EQ(cfg.dispatch_mode, c.policy) << c.value;
+    const Config again =
+        RuntimeRegistry::xtask_config(BackendSpec::parse(parsed.describe()));
+    EXPECT_EQ(again.dispatch_mode, c.policy) << c.value;
+  }
+  // Default is auto, and dmode without dlb=adaptive is rejected: the mode
+  // controller is part of the adaptive layer.
+  EXPECT_EQ(RuntimeRegistry::xtask_config(
+                BackendSpec::parse("xtask:dlb=adaptive"))
+                .dispatch_mode,
+            DispatchModePolicy::kAuto);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:dmode=direct"),
+               std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:dlb=naws,dmode=direct"),
+               std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::make("xtask:dlb=adaptive,dmode=bogus"),
+               std::invalid_argument);
+}
+
+TEST(RegistryConfig, BarrierAutoSelection) {
+  ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
+  // barrier=auto parses for any backend config...
+  EXPECT_EQ(RuntimeRegistry::xtask_config(
+                BackendSpec::parse("xtask:threads=4,barrier=auto"))
+                .barrier,
+            BarrierKind::kAuto);
+  // ...and is the implicit default for the adaptive layer, while an
+  // explicit barrier key still pins the kind.
+  EXPECT_EQ(RuntimeRegistry::xtask_config(
+                BackendSpec::parse("xtask:threads=4,dlb=adaptive"))
+                .barrier,
+            BarrierKind::kAuto);
+  EXPECT_EQ(RuntimeRegistry::xtask_config(
+                BackendSpec::parse("xtask:threads=4,dlb=adaptive,"
+                                   "barrier=tree"))
+                .barrier,
+            BarrierKind::kTree);
+  // Non-adaptive configs keep the tree default untouched.
+  EXPECT_EQ(RuntimeRegistry::xtask_config(
+                BackendSpec::parse("xtask:threads=4,dlb=naws"))
+                .barrier,
+            BarrierKind::kTree);
+  // A constructed runtime always resolves kAuto to a concrete barrier: a
+  // 4-thread team is small (or oversubscribed on a small CI host), so the
+  // snapshot must report the centralized task-count barrier.
+  AnyRuntime rt = RuntimeRegistry::make("xtask:threads=4,dlb=adaptive");
+  EXPECT_NE(rt.get_if<Runtime>()->debug_snapshot().find("barrier=central"),
+            std::string::npos);
+}
+
 TEST(RegistryConfig, QueueCapacityRoundsUpToPowerOfTwo) {
   ScopedEnv topo("XTASK_TOPOLOGY", nullptr);
   EXPECT_EQ(RuntimeRegistry::xtask_config(

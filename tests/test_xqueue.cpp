@@ -78,6 +78,59 @@ TEST(XQueue, SingleWorkerSelfQueue) {
   EXPECT_EQ(xq.pop(0), nullptr);
 }
 
+TEST(XQueueBitmap, PublishAndRetireTrackOccupancy) {
+  XQueue xq(3, 16);
+  EXPECT_FALSE(xq.hint_set(0, 1));
+  ASSERT_TRUE(xq.push(1, 0, tval(7)));
+  EXPECT_TRUE(xq.hint_set(0, 1));       // publish armed the bit
+  EXPECT_EQ(tid(xq.pop(0)), 7u);
+  EXPECT_TRUE(xq.hint_set(0, 1));       // one pop leaves the bit set
+  EXPECT_EQ(xq.pop(0), nullptr);        // miss retires the drained bit
+  EXPECT_FALSE(xq.hint_set(0, 1));
+  // Self-pushes go to the master queue and never arm a bit.
+  ASSERT_TRUE(xq.push(0, 0, tval(9)));
+  EXPECT_FALSE(xq.hint_set(0, 0));
+  EXPECT_EQ(tid(xq.pop(0)), 9u);
+}
+
+TEST(XQueueBitmap, OccupiedMaskAndCensusAgree) {
+  XQueue xq(4, 16);
+  EXPECT_EQ(xq.occupied_mask(), 0u);
+  ASSERT_TRUE(xq.push(1, 0, tval(1)));  // row 0 occupied via aux
+  ASSERT_TRUE(xq.push(2, 2, tval(2)));  // row 2 occupied via master
+  ASSERT_TRUE(xq.push(0, 3, tval(3)));  // row 3 occupied via aux
+  EXPECT_EQ(xq.occupied_mask(), 0b1101u);
+  const XQueue::Census census = xq.census();
+  EXPECT_EQ(census.occupied_queues, 3);
+  EXPECT_EQ(census.queued, 3u);
+  while (xq.pop(0) != nullptr) {
+  }
+  while (xq.pop(2) != nullptr) {
+  }
+  while (xq.pop(3) != nullptr) {
+  }
+  EXPECT_EQ(xq.occupied_mask(), 0u);
+  EXPECT_EQ(xq.census().queued, 0u);
+}
+
+TEST(XQueueBitmap, ZeroWordSkipCountsInScanStats) {
+  XQueue xq(4, 16);
+  // Drive the consumer past kFullScanPeriod misses on an empty row: every
+  // full scan must take the zero-word skip, never the probe loop.
+  for (std::uint32_t i = 0; i < 3 * XQueue::kFullScanPeriod + 3; ++i)
+    EXPECT_EQ(xq.pop(0), nullptr);
+  const XQueue::ScanStats stats = xq.scan_stats(0);
+  EXPECT_GE(stats.full_scans, 3u);
+  // The rotation start can fall mid-word, visiting the word twice with
+  // complementary masks — so skips count at least once per sweep.
+  EXPECT_GE(stats.zero_skips, stats.full_scans);
+  // A published bit makes the next full scan probe instead of skipping —
+  // and the task is still found by the very next pop, proving staleness
+  // cannot hide behind the skip.
+  ASSERT_TRUE(xq.push(2, 0, tval(11)));
+  EXPECT_EQ(tid(xq.pop(0)), 11u);
+}
+
 TEST(XQueueStress, ManyProducersOneConsumerDeliversAll) {
   constexpr int kProducers = 3;
   constexpr std::uintptr_t kPerProducer = 50'000;
