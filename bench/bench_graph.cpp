@@ -1,0 +1,325 @@
+// Graph capture/replay benchmark: the cost model behind DESIGN.md's
+// "Task-graph engine" section, as runnable numbers.
+//
+// Workloads (JSON lines to stdout, collected by run_bench.py into
+// BENCH_graph.json):
+//
+//   graph_pipeline — a synthetic request pipeline: L layers x W stages,
+//     every stage reading all W outputs of the previous layer (the dense
+//     fan-in/fan-out shape of a batched inference or feature-join
+//     request). Run N times two ways:
+//       rebuild — one parallel region per iteration, dependences
+//         registered live through ctx.spawn(body, deps): the full
+//         frontier-hash + TaskDepState + release-list cost, every time.
+//       replay  — TaskGraph::record once, then replay N times: counter
+//         resets only.
+//     The ratio rebuild/replay is the record run_bench.py --gate-graph
+//     checks against perf_floor.json's min_replay_speedup (>= 3x).
+//
+//   sparselu_graph / strassen_graph — the BOTS kernels as dependency
+//     graphs (src/bots/graph_workloads.hpp): taskwait/spawn baseline vs
+//     spawn-with-deps vs graph replay, with exact-equality checks (the
+//     graph formulations are bit-identical by construction).
+//
+//   bench_graph [--threads N] [--iters N] [--layers L] [--width W]
+//               [--spec "xtask:graph=replay,greplays=N"] [--check]
+//               [--smoke]
+//
+// --spec routes through the registry grammar: graph=replay runs only the
+// replay side (greplays = iteration count), graph=capture|off only the
+// rebuild side — so the spec keys drive the same code paths here that
+// they select in the serve front-end. --check makes correctness or
+// accounting violations a nonzero exit (the ctest `graph` smoke gate);
+// --smoke shrinks every size for CI.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bots/graph_workloads.hpp"
+#include "bots/sparselu.hpp"
+#include "bots/strassen.hpp"
+#include "core/runtime.hpp"
+#include "core/task_graph.hpp"
+#include "registry/registry.hpp"
+
+namespace {
+
+using xtask::BackendSpec;
+using xtask::Config;
+using xtask::Dep;
+using xtask::din;
+using xtask::dout;
+using xtask::GraphMode;
+using xtask::Runtime;
+using xtask::RuntimeRegistry;
+using xtask::TaskContext;
+using xtask::TaskGraph;
+
+int g_failures = 0;
+
+void fail(const char* what) {
+  std::fprintf(stderr, "bench_graph: CHECK FAILED: %s\n", what);
+  ++g_failures;
+}
+
+double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// --- the request pipeline ---------------------------------------------------
+// L layers x W stages; stage (l, w) reads every slot of layer l-1 and
+// writes its own. Dense edges (W^2 per layer gap) make the per-edge cost
+// difference between live registration and counter decrement visible.
+
+struct Pipeline {
+  int layers;
+  int width;
+  std::vector<double> slots;                    // dependence tokens
+  std::unique_ptr<std::atomic<std::uint32_t>[]> runs;  // per-node counter
+
+  Pipeline(int l, int w)
+      : layers(l), width(w), slots(static_cast<std::size_t>(l) * w, 0.0),
+        runs(new std::atomic<std::uint32_t>[static_cast<std::size_t>(l) * w]) {
+    for (int i = 0; i < l * w; ++i) runs[i].store(0, std::memory_order_relaxed);
+  }
+
+  double* slot(int l, int w) { return &slots[static_cast<std::size_t>(l) * width + w]; }
+
+  template <typename Emit>
+  void build(Emit&& emit) {
+    std::vector<Dep> deps;
+    deps.reserve(static_cast<std::size_t>(width) + 1);
+    for (int l = 0; l < layers; ++l)
+      for (int w = 0; w < width; ++w) {
+        deps.clear();
+        if (l > 0)
+          for (int p = 0; p < width; ++p) deps.push_back(din(slot(l - 1, p)));
+        deps.push_back(dout(slot(l, w)));
+        auto* counter = &runs[static_cast<std::size_t>(l) * width + w];
+        emit([counter](TaskContext&) {
+          counter->fetch_add(1, std::memory_order_relaxed);
+        }, deps.data(), deps.size());
+      }
+  }
+
+  bool check_runs(std::uint32_t expected) const {
+    for (int i = 0; i < layers * width; ++i)
+      if (runs[i].load(std::memory_order_relaxed) != expected) return false;
+    return true;
+  }
+};
+
+void run_pipeline(Runtime& rt, int threads, int iters, int layers, int width,
+                  bool do_rebuild, bool do_replay, bool check) {
+  double rebuild_ms = 0.0, replay_ms = 0.0;
+  std::uint32_t nodes = 0, edges = 0, cpath = 0;
+
+  if (do_rebuild) {
+    Pipeline p(layers, width);
+    // One region, one taskgroup-bounded registration pass per iteration —
+    // the same region-amortized shape TaskGraph::replay uses, so the two
+    // configs differ only in the per-iteration dependence-rebuild cost.
+    auto run_iters = [&](int n_iters) {
+      rt.run([&](TaskContext& ctx) {
+        for (int i = 0; i < n_iters; ++i)
+          ctx.taskgroup([&p](TaskContext& c) {
+            p.build([&c](auto&& f, const Dep* deps, std::size_t n) {
+              c.spawn(std::forward<decltype(f)>(f), deps, n);
+            });
+          });
+      });
+    };
+    run_iters(1);  // warm allocator pools and the team
+    rebuild_ms = time_ms([&] { run_iters(iters); });
+    if (check && !p.check_runs(static_cast<std::uint32_t>(iters) + 1))
+      fail("pipeline rebuild: per-node run counts != iterations");
+    std::printf("{\"bench\": \"graph_pipeline\", \"config\": \"rebuild\", "
+                "\"threads\": %d, \"iters\": %d, \"layers\": %d, "
+                "\"width\": %d, \"ms\": %.3f, \"us_per_iter\": %.2f}\n",
+                threads, iters, layers, width, rebuild_ms,
+                1e3 * rebuild_ms / iters);
+  }
+
+  if (do_replay) {
+    Pipeline p(layers, width);
+    TaskGraph g = TaskGraph::record([&](TaskGraph::Capture& cap) {
+      p.build([&cap](auto&& f, const Dep* deps, std::size_t n) {
+        cap.node(std::forward<decltype(f)>(f), deps, n);
+      });
+    });
+    nodes = g.num_nodes();
+    edges = g.num_edges();
+    cpath = g.critical_path();
+    g.replay(rt, 1);  // warm
+    replay_ms = time_ms([&] { g.replay(rt, iters); });
+    if (check && !p.check_runs(static_cast<std::uint32_t>(iters) + 1))
+      fail("pipeline replay: per-node run counts != replays");
+    std::printf("{\"bench\": \"graph_pipeline\", \"config\": \"replay\", "
+                "\"threads\": %d, \"iters\": %d, \"nodes\": %u, "
+                "\"edges\": %u, \"critical_path\": %u, \"ms\": %.3f, "
+                "\"us_per_iter\": %.2f}\n",
+                threads, iters, nodes, edges, cpath, replay_ms,
+                1e3 * replay_ms / iters);
+  }
+
+  if (do_rebuild && do_replay && replay_ms > 0.0)
+    std::printf("{\"bench\": \"graph_pipeline\", \"config\": \"speedup\", "
+                "\"threads\": %d, \"speedup\": %.2f}\n",
+                threads, rebuild_ms / replay_ms);
+}
+
+// --- BOTS kernels as graphs -------------------------------------------------
+
+void run_sparselu(Runtime& rt, int threads, int blocks, int bs, int replays,
+                  bool check) {
+  xtask::bots::SparseLuParams p;
+  p.blocks = blocks;
+  p.block_size = bs;
+
+  double base_ck = 0.0, deps_ck = 0.0, graph_ck = 0.0;
+  const double base_ms =
+      time_ms([&] { base_ck = xtask::bots::sparselu_parallel(rt, p); });
+  const double deps_ms =
+      time_ms([&] { deps_ck = xtask::bots::sparselu_deps(rt, p); });
+
+  // Replay: one matrix, recorded once; each replay re-factorizes in
+  // place, so re-fill between replays and time only the graph runs.
+  xtask::bots::SparseMatrix m(p, /*fill=*/true);
+  TaskGraph g = xtask::bots::sparselu_record(&m);
+  double graph_ms = 0.0;
+  for (int r = 0; r < replays; ++r) {
+    m.refill();
+    xtask::bots::sparselu_prefill(&m);
+    graph_ms += time_ms([&] { g.replay(rt, 1); });
+  }
+  graph_ck = m.checksum();
+
+  if (check) {
+    if (deps_ck != base_ck) fail("sparselu deps checksum != taskwait");
+    if (graph_ck != base_ck) fail("sparselu graph checksum != taskwait");
+  }
+  std::printf("{\"bench\": \"sparselu_graph\", \"config\": \"taskwait\", "
+              "\"threads\": %d, \"ms\": %.3f, \"checksum\": %.6f}\n",
+              threads, base_ms, base_ck);
+  std::printf("{\"bench\": \"sparselu_graph\", \"config\": \"deps\", "
+              "\"threads\": %d, \"ms\": %.3f, \"checksum\": %.6f}\n",
+              threads, deps_ms, deps_ck);
+  std::printf("{\"bench\": \"sparselu_graph\", \"config\": \"replay\", "
+              "\"threads\": %d, \"ms\": %.3f, \"checksum\": %.6f, "
+              "\"nodes\": %u, \"edges\": %u, \"replays\": %d}\n",
+              threads, graph_ms / replays, graph_ck, g.num_nodes(),
+              g.num_edges(), replays);
+}
+
+void run_strassen(Runtime& rt, int threads, std::size_t n, std::size_t cutoff,
+                  bool check) {
+  const std::vector<double> a = xtask::bots::strassen_input(n, 1);
+  const std::vector<double> b = xtask::bots::strassen_input(n, 2);
+
+  std::vector<double> c_spawn, c_deps;
+  const double spawn_ms = time_ms(
+      [&] { c_spawn = xtask::bots::strassen_parallel(rt, a, b, n, cutoff); });
+  const double deps_ms =
+      time_ms([&] { c_deps = xtask::bots::strassen_deps(rt, a, b, n, cutoff); });
+
+  std::vector<double> c_graph(n * n, 0.0);
+  xtask::bots::StrassenDepState s(a.data(), b.data(), c_graph.data(), n,
+                                  cutoff);
+  TaskGraph g = xtask::bots::strassen_record(&s);
+  const double graph_ms = time_ms([&] { g.replay(rt, 1); });
+
+  if (check) {
+    if (std::memcmp(c_deps.data(), c_spawn.data(), n * n * sizeof(double)) != 0)
+      fail("strassen deps product != spawn product");
+    if (std::memcmp(c_graph.data(), c_spawn.data(), n * n * sizeof(double)) !=
+        0)
+      fail("strassen graph product != spawn product");
+  }
+  std::printf("{\"bench\": \"strassen_graph\", \"config\": \"spawn\", "
+              "\"threads\": %d, \"n\": %zu, \"ms\": %.3f}\n",
+              threads, n, spawn_ms);
+  std::printf("{\"bench\": \"strassen_graph\", \"config\": \"deps\", "
+              "\"threads\": %d, \"n\": %zu, \"ms\": %.3f}\n",
+              threads, n, deps_ms);
+  std::printf("{\"bench\": \"strassen_graph\", \"config\": \"replay\", "
+              "\"threads\": %d, \"n\": %zu, \"ms\": %.3f, \"nodes\": %u, "
+              "\"edges\": %u, \"critical_path\": %u}\n",
+              threads, n, graph_ms, g.num_nodes(), g.num_edges(),
+              g.critical_path());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  int iters = 200;
+  int layers = 16;
+  int width = 16;
+  bool check = false;
+  bool smoke = false;
+  std::string spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_graph: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") threads = std::atoi(next());
+    else if (arg == "--iters") iters = std::atoi(next());
+    else if (arg == "--layers") layers = std::atoi(next());
+    else if (arg == "--width") width = std::atoi(next());
+    else if (arg == "--spec") spec = next();
+    else if (arg == "--check") check = true;
+    else if (arg == "--smoke") smoke = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_graph [--threads N] [--iters N] [--layers L] "
+                   "[--width W] [--spec S] [--check] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    iters = 30;
+    layers = 8;
+    width = 8;
+  }
+
+  // The registry grammar selects which side of the comparison runs:
+  // graph=replay (greplays = iteration count) runs only the replay path,
+  // graph=off/capture only the rebuild path; no spec runs both.
+  bool do_rebuild = true, do_replay = true;
+  Config cfg;
+  if (!spec.empty()) {
+    cfg = RuntimeRegistry::xtask_config(BackendSpec::parse(spec));
+    do_replay = cfg.graph_mode == GraphMode::kReplay;
+    do_rebuild = !do_replay;
+    if (do_replay && cfg.graph_replays > 1) iters = cfg.graph_replays;
+  }
+  cfg.num_threads = threads;
+
+  const std::unique_ptr<Runtime> rt = RuntimeRegistry::make_xtask(cfg);
+  run_pipeline(*rt, threads, iters, layers, width, do_rebuild, do_replay,
+               check);
+  run_sparselu(*rt, threads, smoke ? 6 : 10, 8, smoke ? 2 : 4, check);
+  run_strassen(*rt, threads, smoke ? 64 : 128, smoke ? 16 : 32, check);
+
+  if (g_failures != 0) {
+    std::fprintf(stderr, "bench_graph: %d check failure(s)\n", g_failures);
+    return check ? 1 : 0;
+  }
+  return 0;
+}

@@ -9,6 +9,9 @@ results as JSON at the repository root:
   BENCH_bots.json        — one record per (kernel, runtime-config) cell
   BENCH_serve.json       — overload sweep: one record per load phase of
                            the task-service front-end (``bench_serve``)
+  BENCH_graph.json       — graph capture/replay: the request-pipeline
+                           rebuild-vs-replay comparison plus the BOTS
+                           kernels as dependency graphs (``bench_graph``)
 
 Every record follows the schema
   {"bench": ..., "config": ..., "threads": N, "ns_per_op": X | "ms": X,
@@ -32,14 +35,22 @@ is still accepted and treated as ``primitives``):
                   >= ``min_goodput_frac_1x`` of the offered rate, and the
                   2.0x phase must keep >= ``min_2x_goodput_vs_1x`` of the
                   1.0x goodput (graceful degradation, not collapse)
+  "graph"       — capture/replay gate: replaying the recorded request
+                  pipeline must be >= ``min_replay_speedup`` x faster than
+                  re-registering its dependences every iteration. Measured
+                  single-threaded: the gate isolates the per-iteration
+                  rebuild cost (frontier hashing, dep-state allocation,
+                  release-list pushes) from scheduler latency, which a
+                  loaded CI host would otherwise fold into both sides
 
-``--gate-bots`` / ``--gate-serve`` run those sections standalone against a
-fresh trimmed run — CI's perf-smoke job chains them after ``--smoke``.
+``--gate-bots`` / ``--gate-serve`` / ``--gate-graph`` run those sections
+standalone against a fresh trimmed run — CI's perf-smoke job chains them
+after ``--smoke``.
 
 Usage:
   python3 bench/run_bench.py [--build-dir build] [--threads 4] [--reps 3]
   python3 bench/run_bench.py --smoke
-  python3 bench/run_bench.py --gate-bots --gate-serve
+  python3 bench/run_bench.py --gate-bots --gate-serve --gate-graph
 """
 
 from __future__ import annotations
@@ -188,6 +199,36 @@ def run_serve(build_dir: pathlib.Path, seconds: float,
     return records
 
 
+def run_graph(build_dir: pathlib.Path, iters: int) -> list[dict]:
+    """Graph capture/replay experiment: the request-pipeline rebuild-vs-
+    replay comparison plus sparselu/strassen as dependency graphs, with
+    ``--check`` making exact-equality violations fatal. Single-threaded on
+    purpose — see the "graph" section note in the module docstring."""
+    binary = build_dir / "bench" / "bench_graph"
+    if not binary.exists():
+        raise SystemExit(f"missing {binary}; build the repo first")
+    stamp = _now()
+    records = []
+    out = _run([str(binary), "--threads", "1", "--iters", str(iters),
+                "--check"], timeout=600)
+    for line in out.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        rec["timestamp"] = stamp
+        records.append(rec)
+    have = {(r["bench"], r["config"]) for r in records}
+    need = {("graph_pipeline", "rebuild"), ("graph_pipeline", "replay"),
+            ("graph_pipeline", "speedup"), ("sparselu_graph", "replay"),
+            ("strassen_graph", "replay")}
+    missing = need - have
+    if missing:
+        raise SystemExit(f"bench_graph produced no records for: "
+                         f"{sorted(missing)}")
+    return records
+
+
 def load_floors() -> dict:
     """Floor file with all three gate sections. A legacy flat file —
     every top-level value numeric — is promoted to {"primitives": ...} so
@@ -284,6 +325,27 @@ def check_serve_goodput(records: list[dict]) -> int:
     return failures
 
 
+def check_graph_speedup(records: list[dict]) -> int:
+    """Capture/replay gate: the recorded pipeline's replay throughput must
+    beat per-iteration dependence rebuild by the checked-in factor — a
+    within-run ratio on the same host, so no noise factor applies."""
+    gate = load_floors().get("graph")
+    if not gate:
+        print(f"no graph section in {FLOOR_FILE.name}; skipping gate")
+        return 0
+    speedup = next((r["speedup"] for r in records
+                    if r.get("bench") == "graph_pipeline"
+                    and r.get("config") == "speedup"), None)
+    if speedup is None:
+        print("FAIL graph: no speedup record in run")
+        return 1
+    floor = gate["min_replay_speedup"]
+    verdict = "ok" if speedup >= floor else "FAIL"
+    print(f"{verdict:4s} graph/pipeline: replay {speedup:.2f}x rebuild "
+          f"(floor {floor:.2f}x)")
+    return int(speedup < floor)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", type=pathlib.Path)
@@ -302,6 +364,11 @@ def main() -> int:
     ap.add_argument("--gate-serve", action="store_true",
                     help="trimmed bench_serve run + goodput gate; writes "
                     "no JSON files")
+    ap.add_argument("--gate-graph", action="store_true",
+                    help="trimmed bench_graph run + replay-speedup gate; "
+                    "writes no JSON files")
+    ap.add_argument("--graph-iters", default=150, type=int,
+                    help="pipeline iterations per bench_graph config")
     ap.add_argument("--serve-seconds", default=3.0, type=float,
                     help="seconds per bench_serve load phase")
     ap.add_argument("--serve-seed", default=42, type=int)
@@ -311,7 +378,7 @@ def main() -> int:
     if not build_dir.is_absolute():
         build_dir = REPO_ROOT / build_dir
 
-    if args.smoke or args.gate_bots or args.gate_serve:
+    if args.smoke or args.gate_bots or args.gate_serve or args.gate_graph:
         failures = 0
         if args.smoke:
             pattern = "|".join(re.escape(n) for n in SMOKE_BENCHES)
@@ -325,6 +392,9 @@ def main() -> int:
             failures += check_serve_goodput(
                 run_serve(build_dir, min(args.serve_seconds, 2.0),
                           args.serve_seed))
+        if args.gate_graph:
+            failures += check_graph_speedup(
+                run_graph(build_dir, args.graph_iters))
         if failures:
             print(f"{failures} perf gate failure(s)")
             return 1
@@ -346,9 +416,16 @@ def main() -> int:
         json.dumps(serve, indent=2) + "\n")
     print(f"wrote BENCH_serve.json ({len(serve)} records)")
 
+    graph = run_graph(build_dir, args.graph_iters)
+    (REPO_ROOT / "BENCH_graph.json").write_text(
+        json.dumps(graph, indent=2) + "\n")
+    print(f"wrote BENCH_graph.json ({len(graph)} records)")
+
     # Full runs gate too: a protocol run that regressed the adaptive
-    # ratio or overload goodput should not silently refresh the JSONs.
-    failures = check_bots_ratio(bots) + check_serve_goodput(serve)
+    # ratio, overload goodput, or replay speedup should not silently
+    # refresh the JSONs.
+    failures = (check_bots_ratio(bots) + check_serve_goodput(serve) +
+                check_graph_speedup(graph))
     if failures:
         print(f"{failures} perf gate failure(s)")
         return 1

@@ -1,0 +1,271 @@
+// Dependency-graph formulations of two BOTS kernels, built once and
+// emitted through a caller-supplied sink so the *same* builder serves both
+// execution styles:
+//
+//   * live spawn-with-deps: emit = ctx.spawn(body, deps) — one region, no
+//     taskwaits; ordering comes entirely from the dependence layer. This
+//     is the classic OmpSs formulation (sparselu: lu0 -> fwd/bdiv -> bmod
+//     chained per block address).
+//   * graph capture: emit = cap.node(body, deps) — the DAG is recorded
+//     into a TaskGraph and can replay with zero rebuild cost.
+//
+// Both produce bit-identical results to the taskwait versions in
+// sparselu.hpp / strassen.hpp: the kernels and their arithmetic order are
+// unchanged, only the synchronization is expressed differently (the
+// tests pin this exactly).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "bots/serial_ctx.hpp"
+#include "bots/sparselu.hpp"
+#include "bots/strassen.hpp"
+#include "core/runtime.hpp"
+#include "core/task_graph.hpp"
+
+namespace xtask::bots {
+
+/// Materialize sparselu's full fill pattern up front. The taskwait version
+/// materializes fill-in lazily between phases; a static dependence graph
+/// needs every eventual block address to exist at build time. The k-ordered
+/// sweep reproduces the lazy recurrence exactly (liveness only grows), so
+/// the resulting block set — and therefore the checksum domain — is
+/// identical.
+inline void sparselu_prefill(SparseMatrix* m) {
+  const int n = m->blocks();
+  for (int k = 0; k < n; ++k)
+    for (int i = k + 1; i < n; ++i) {
+      if (m->block(i, k) == nullptr) continue;
+      for (int j = k + 1; j < n; ++j)
+        if (m->block(k, j) != nullptr) m->materialize(i, j);
+    }
+}
+
+/// Emit the sparselu elimination as dependence-annotated nodes. `emit`
+/// must be callable as emit(body, std::initializer_list<Dep>) where body
+/// is invocable with (TaskContext&). Block base addresses are the
+/// dependence tokens: lu0 inout(diag); fwd/bdiv in(diag) inout(panel);
+/// bmod in(row) in(col) inout(inner). The per-address chains across k give
+/// the exact phase ordering the taskwait version enforces with barriers —
+/// minus the barriers.
+template <typename Emit>
+void sparselu_dep_build(SparseMatrix* m, Emit&& emit) {
+  const int n = m->blocks();
+  const int bs = m->bs();
+  for (int k = 0; k < n; ++k) {
+    double* dkk = m->block(k, k);
+    emit([dkk, bs](TaskContext&) { detail::lu0(dkk, bs); }, {dinout(dkk)});
+    for (int j = k + 1; j < n; ++j)
+      if (double* blk = m->block(k, j))
+        emit([dkk, blk, bs](TaskContext&) { detail::fwd(dkk, blk, bs); },
+             {din(dkk), dinout(blk)});
+    for (int i = k + 1; i < n; ++i)
+      if (double* blk = m->block(i, k))
+        emit([dkk, blk, bs](TaskContext&) { detail::bdiv(dkk, blk, bs); },
+             {din(dkk), dinout(blk)});
+    for (int i = k + 1; i < n; ++i) {
+      double* row = m->block(i, k);
+      if (row == nullptr) continue;
+      for (int j = k + 1; j < n; ++j) {
+        double* col = m->block(k, j);
+        if (col == nullptr) continue;
+        double* inner = m->block(i, j);  // exists: sparselu_prefill
+        emit(
+            [row, col, inner, bs](TaskContext&) {
+              detail::bmod(row, col, inner, bs);
+            },
+            {din(row), din(col), dinout(inner)});
+      }
+    }
+  }
+}
+
+/// Spawn-with-deps sparselu; checksum equals sparselu_parallel (and the
+/// serial reference) for the same params.
+inline double sparselu_deps(Runtime& rt, const SparseLuParams& p) {
+  SparseMatrix m(p, /*fill=*/true);
+  sparselu_prefill(&m);
+  rt.run([&](TaskContext& ctx) {
+    sparselu_dep_build(
+        &m, [&ctx](auto&& f, std::initializer_list<Dep> deps) {
+          ctx.spawn(std::forward<decltype(f)>(f), deps);
+        });
+  });
+  return m.checksum();
+}
+
+/// Record sparselu over `m` as a sealed TaskGraph (not executed — the
+/// first replay is the first factorization). `m` must outlive the graph.
+inline TaskGraph sparselu_record(SparseMatrix* m) {
+  sparselu_prefill(m);
+  return TaskGraph::record([m](TaskGraph::Capture& cap) {
+    sparselu_dep_build(
+        m, [&cap](auto&& f, std::initializer_list<Dep> deps) {
+          cap.node(std::forward<decltype(f)>(f), deps);
+        });
+  });
+}
+
+/// Borrowed operands + owned scratch for one Strassen decomposition level
+/// expressed as a dependence graph. Must outlive any graph recorded over
+/// it (node bodies hold raw pointers into it).
+struct StrassenDepState {
+  StrassenDepState(const double* a_, const double* b_, double* c_,
+                   std::size_t n_, std::size_t cutoff_)
+      : n(n_), h(n_ / 2), cutoff(cutoff_), a(a_), b(b_), c(c_),
+        scratch(17 * (n_ / 2) * (n_ / 2), 0.0) {
+    for (int i = 0; i < 7; ++i) m[i] = scratch.data() + i * h * h;
+    for (int i = 0; i < 10; ++i) t[i] = scratch.data() + (7 + i) * h * h;
+  }
+  std::size_t n, h, cutoff;
+  const double* a;
+  const double* b;
+  double* c;
+  std::vector<double> scratch;  // 7 products + 10 operand temps, h*h each
+  double* m[7];
+  double* t[10];
+};
+
+/// One Strassen level as nodes: 10 operand preps -> 7 sub-multiplies -> 4
+/// quadrant combines (depth 3, width 7). The sub-multiplies run the serial
+/// recursion inline — the same code path the spawning version executes,
+/// so the product is bit-identical to strassen_parallel.
+template <typename Emit>
+void strassen_dep_build(StrassenDepState* s, Emit&& emit) {
+  using detail::mat_add;
+  using detail::mat_sub;
+  const std::size_t h = s->h, ld = s->n, cutoff = s->cutoff;
+  const double* a11 = s->a;
+  const double* a12 = s->a + h;
+  const double* a21 = s->a + h * ld;
+  const double* a22 = s->a + h * ld + h;
+  const double* b11 = s->b;
+  const double* b12 = s->b + h;
+  const double* b21 = s->b + h * ld;
+  const double* b22 = s->b + h * ld + h;
+  double** t = s->t;
+  double** m = s->m;
+
+  // Operand temps (tN = x op y, all reads from the immutable inputs).
+  const struct {
+    const double* x;
+    const double* y;
+    int ti;
+    bool add;
+  } preps[10] = {
+      {a11, a22, 0, true},  {b11, b22, 1, true},  {a21, a22, 2, true},
+      {b12, b22, 3, false}, {b21, b11, 4, false}, {a11, a12, 5, true},
+      {a21, a11, 6, false}, {b11, b12, 7, true},  {a12, a22, 8, false},
+      {b21, b22, 9, true},
+  };
+  for (const auto& pr : preps) {
+    double* out = t[pr.ti];
+    emit(
+        [x = pr.x, y = pr.y, out, h, ld, add = pr.add](TaskContext&) {
+          if (add) mat_add(x, y, out, h, ld, ld, h);
+          else mat_sub(x, y, out, h, ld, ld, h);
+        },
+        {din(pr.x), din(pr.y), dout(out)});
+  }
+
+  // The seven products (inputs are temps with stride h or original
+  // quadrants with stride ld; strassen_mixed normalizes).
+  const struct {
+    const double* x;
+    std::size_t ldx;
+    const double* y;
+    std::size_t ldy;
+    int mi;
+  } muls[7] = {
+      {t[0], h, t[1], h, 0},  {t[2], h, b11, ld, 1}, {a11, ld, t[3], h, 2},
+      {a22, ld, t[4], h, 3},  {t[5], h, b22, ld, 4}, {t[6], h, t[7], h, 5},
+      {t[8], h, t[9], h, 6},
+  };
+  for (const auto& mu : muls) {
+    double* out = m[mu.mi];
+    emit(
+        [x = mu.x, ldx = mu.ldx, y = mu.y, ldy = mu.ldy, out, h,
+         cutoff](TaskContext&) {
+          SerialContext sc;
+          detail::strassen_mixed(sc, x, ldx, y, ldy, out, h, cutoff);
+        },
+        {din(mu.x), din(mu.y), dout(out)});
+  }
+
+  // Quadrant combines, same single-expression arithmetic as the taskwait
+  // version's combine loop (bit-for-bit equality).
+  double* c11 = s->c;
+  double* c12 = s->c + h;
+  double* c21 = s->c + h * ld;
+  double* c22 = s->c + h * ld + h;
+  emit(
+      [m0 = m[0], m3 = m[3], m4 = m[4], m6 = m[6], c11, h, ld](TaskContext&) {
+        for (std::size_t i = 0; i < h; ++i)
+          for (std::size_t j = 0; j < h; ++j) {
+            const std::size_t sidx = i * h + j;
+            c11[i * ld + j] = m0[sidx] + m3[sidx] - m4[sidx] + m6[sidx];
+          }
+      },
+      {din(m[0]), din(m[3]), din(m[4]), din(m[6]), dout(c11)});
+  emit(
+      [m2 = m[2], m4 = m[4], c12, h, ld](TaskContext&) {
+        for (std::size_t i = 0; i < h; ++i)
+          for (std::size_t j = 0; j < h; ++j) {
+            const std::size_t sidx = i * h + j;
+            c12[i * ld + j] = m2[sidx] + m4[sidx];
+          }
+      },
+      {din(m[2]), din(m[4]), dout(c12)});
+  emit(
+      [m1 = m[1], m3 = m[3], c21, h, ld](TaskContext&) {
+        for (std::size_t i = 0; i < h; ++i)
+          for (std::size_t j = 0; j < h; ++j) {
+            const std::size_t sidx = i * h + j;
+            c21[i * ld + j] = m1[sidx] + m3[sidx];
+          }
+      },
+      {din(m[1]), din(m[3]), dout(c21)});
+  emit(
+      [m0 = m[0], m1 = m[1], m2 = m[2], m5 = m[5], c22, h, ld](TaskContext&) {
+        for (std::size_t i = 0; i < h; ++i)
+          for (std::size_t j = 0; j < h; ++j) {
+            const std::size_t sidx = i * h + j;
+            c22[i * ld + j] = m0[sidx] - m1[sidx] + m2[sidx] + m5[sidx];
+          }
+      },
+      {din(m[0]), din(m[1]), din(m[2]), din(m[5]), dout(c22)});
+}
+
+/// Spawn-with-deps Strassen (one decomposed level); C equals
+/// strassen_parallel's output exactly. n must be even and >= 2*cutoff for
+/// the decomposition to be meaningful.
+inline std::vector<double> strassen_deps(Runtime& rt,
+                                         const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         std::size_t n,
+                                         std::size_t cutoff = 64) {
+  std::vector<double> c(n * n, 0.0);
+  StrassenDepState s(a.data(), b.data(), c.data(), n, cutoff);
+  rt.run([&](TaskContext& ctx) {
+    strassen_dep_build(
+        &s, [&ctx](auto&& f, std::initializer_list<Dep> deps) {
+          ctx.spawn(std::forward<decltype(f)>(f), deps);
+        });
+  });
+  return c;
+}
+
+/// Record one Strassen level over `s` as a sealed TaskGraph (not
+/// executed). `s` must outlive the graph.
+inline TaskGraph strassen_record(StrassenDepState* s) {
+  return TaskGraph::record([s](TaskGraph::Capture& cap) {
+    strassen_dep_build(
+        s, [&cap](auto&& f, std::initializer_list<Dep> deps) {
+          cap.node(std::forward<decltype(f)>(f), deps);
+        });
+  });
+}
+
+}  // namespace xtask::bots

@@ -1,5 +1,7 @@
 #include "bots/sparselu.hpp"
 
+#include <algorithm>
+
 #include "bots/serial_ctx.hpp"
 #include "core/common.hpp"
 
@@ -10,16 +12,27 @@ SparseMatrix::SparseMatrix(const SparseLuParams& p, bool fill) : p_(p) {
   data_.resize(static_cast<std::size_t>(p.blocks) *
                static_cast<std::size_t>(p.blocks));
   if (!fill) return;
+  refill();
+}
+
+void SparseMatrix::refill() {
   // Deterministic sparsity pattern (BOTS genmat): diagonal always live,
   // off-diagonal live with ~35% density, values diagonally dominant so
-  // the factorization stays well-conditioned without pivoting.
-  XorShift rng(p.seed);
-  const int n = p.blocks;
-  const int bs = p.block_size;
+  // the factorization stays well-conditioned without pivoting. Replaying
+  // the seeded sequence reproduces the constructor's values exactly;
+  // any block outside the pattern (fill-in materialized during a prior
+  // factorization) is reset to zero.
+  XorShift rng(p_.seed);
+  const int n = p_.blocks;
+  const int bs = p_.block_size;
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       const bool live = i == j || rng.below(100) < 35;
-      if (!live) continue;
+      if (!live) {
+        if (double* blk = block(i, j))
+          std::fill(blk, blk + static_cast<std::size_t>(bs) * bs, 0.0);
+        continue;
+      }
       double* blk = materialize(i, j);
       for (int e = 0; e < bs * bs; ++e)
         blk[e] = rng.uniform() * 2.0 - 1.0;

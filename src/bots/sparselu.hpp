@@ -38,6 +38,13 @@ class SparseMatrix {
   /// Create (zero-initialized) the block if it is structurally zero.
   double* materialize(int i, int j);
 
+  /// Restore the original seeded values in place: pattern blocks get the
+  /// constructor's exact value sequence back, blocks materialized later
+  /// (fill-in) are zeroed. No block address changes, so a TaskGraph
+  /// recorded over this matrix replays on fresh data (the graph-replay
+  /// benchmark re-factorizes between replays this way).
+  void refill();
+
   /// Frobenius-style checksum over all live blocks (order-independent).
   double checksum() const;
 

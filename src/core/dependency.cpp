@@ -1,26 +1,39 @@
 #include "core/dependency.hpp"
 
+#include "core/task_allocator.hpp"
+
 namespace xtask::detail {
+
+namespace {
+/// Edge nodes are allocated on the registering thread and freed on the
+/// completing thread; each side uses its own cache (see ThreadNodeCache —
+/// ownership transfers through the release list, so no synchronization).
+thread_local ThreadNodeCache<ReleaseNode> t_node_cache;
+}  // namespace
 
 DepScope::~DepScope() {
   // Map references are handed back through close(), which the runtime
   // calls before destroying the scope; destruction with live entries
   // would leak task refcounts.
-  XTASK_CHECK(addrs_.empty());
+  XTASK_CHECK(frontier_.empty());
 }
 
 bool DepScope::add_edge(Task* pred, Task* succ) {
   TaskDepState* st = pred->dep_state;
   XTASK_CHECK(st != nullptr);  // preds are always dependence-registered
-  st->acquire();
-  if (st->completed) {
-    st->release();
-    return false;
-  }
+  // Count the edge before publishing it: once the node is in pred's list
+  // a completing worker may decrement immediately. The count cannot hit
+  // zero early — the registration guard on succ holds it above the edges.
   succ->deps_pending.fetch_add(1, std::memory_order_relaxed);
-  st->successors.push_back(succ);
-  st->release();
-  return true;
+  ReleaseNode* n = t_node_cache.get();
+  n->item = succ;
+  n->next = nullptr;
+  if (st->successors.push(n)) return true;
+  // The predecessor already completed and sealed its list: the dependence
+  // is satisfied, no edge exists. Undo the count, reclaim the node.
+  succ->deps_pending.fetch_sub(1, std::memory_order_relaxed);
+  t_node_cache.put(n);
+  return false;
 }
 
 std::uint32_t DepScope::register_task(Task* t, const Dep* deps,
@@ -36,27 +49,12 @@ std::uint32_t DepScope::register_task(Task* t, const Dep* deps,
 
   for (std::size_t i = 0; i < count; ++i) {
     const Dep& d = deps[i];
-    AddrState& st = addrs_[d.addr];
-    if (d.write) {
-      // Writer: ordered after the previous writer and every reader since.
-      if (st.last_writer != nullptr && st.last_writer != t)
-        add_edge(st.last_writer, t);
-      for (Task* r : st.readers)
-        if (r != t) add_edge(r, t);
-      // Replace the frontier: drop map refs on the old entries, take one
-      // on the new writer.
-      if (st.last_writer != nullptr) dropped_.push_back(st.last_writer);
-      for (Task* r : st.readers) dropped_.push_back(r);
-      st.readers.clear();
-      st.last_writer = t;
-      t->refs.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      // Reader: ordered after the last writer only; joins the reader set.
-      if (st.last_writer != nullptr && st.last_writer != t)
-        add_edge(st.last_writer, t);
-      st.readers.push_back(t);
-      t->refs.fetch_add(1, std::memory_order_relaxed);
-    }
+    frontier_.access(
+        t, d.addr, d.mode,
+        /*edge=*/[&](Task* pred) { add_edge(pred, t); },
+        /*retain=*/
+        [](Task* n) { n->refs.fetch_add(1, std::memory_order_relaxed); },
+        /*drop=*/[this](Task* n) { dropped_.push_back(n); });
   }
   // Drop the registration guard; the return value tells the caller
   // whether the task is immediately dispatchable.
@@ -64,11 +62,7 @@ std::uint32_t DepScope::register_task(Task* t, const Dep* deps,
 }
 
 void DepScope::close(std::vector<Task*>* refs_out) {
-  for (auto& [addr, st] : addrs_) {
-    if (st.last_writer != nullptr) refs_out->push_back(st.last_writer);
-    for (Task* r : st.readers) refs_out->push_back(r);
-  }
-  addrs_.clear();
+  frontier_.clear([&](Task* n) { refs_out->push_back(n); });
   refs_out->insert(refs_out->end(), dropped_.begin(), dropped_.end());
   dropped_.clear();
 }
@@ -76,15 +70,18 @@ void DepScope::close(std::vector<Task*>* refs_out) {
 void collect_ready_successors(Task* t, std::vector<Task*>* ready) {
   TaskDepState* st = t->dep_state;
   if (st == nullptr) return;
-  st->acquire();
-  st->completed = true;
-  // Move the list out so the lock is held only for the swap.
-  std::vector<Task*> succs;
-  succs.swap(st->successors);
-  st->release();
-  for (Task* s : succs) {
+  // The exchange inside seal() is completion's linearization point: every
+  // edge pushed before it is in the chain, every add_edge after it fails
+  // (and correctly treats the dependence as already satisfied).
+  ReleaseNode* n = st->successors.seal();
+  XTASK_CHECK(n != ReleaseList::sealed_tag());  // one completer per task
+  while (n != nullptr) {
+    ReleaseNode* next = n->next;
+    Task* s = static_cast<Task*>(n->item);
     if (s->deps_pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
       ready->push_back(s);
+    t_node_cache.put(n);
+    n = next;
   }
 }
 

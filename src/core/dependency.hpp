@@ -2,21 +2,39 @@
 // for the xtask runtime.
 //
 // The paper's GOMP work strips the *global* lock from dependence handling;
-// the structure that remains (and that this module implements) is:
+// this module goes the rest of the way (the Nanos6 wait-free design from
+// PAPERS.md) so nothing on the dependence path locks at all:
 //
-//  * a per-scope address map (last writer + readers per depend address).
-//    OpenMP only orders sibling tasks, and siblings are spawned by one
-//    thread — the parent's — so the map needs no synchronization at all;
+//  * a per-scope address map (last writer + reader set per depend
+//    address). OpenMP only orders sibling tasks, and siblings are spawned
+//    by one thread — the parent's — so the map needs no synchronization;
 //  * per-task edges: an atomic count of unmet predecessors and, on each
-//    predecessor, a successor list consulted at completion. The list is
-//    guarded by a per-task micro spinlock held for a few instructions; it
-//    is only ever contended by one registering parent and one completing
-//    worker, never globally (contrast with GOMP's single task lock).
+//    predecessor, a lock-free successor list (release_list.hpp): edges are
+//    CAS-pushed intrusive nodes, and completion seals the list with one
+//    exchange — the two parties (registering parent, completing worker)
+//    never spin on each other.
 //
 // A task with unmet dependences is *deferred*: created and counted as in
-// flight (so barriers stay correct) but not queued; the worker that
-// completes its last predecessor dispatches it through the normal
-// (XQueue / DLB) path.
+// flight (so barriers stay correct) but not queued; the worker whose
+// completion decrements the count to zero dispatches it through the
+// normal (XQueue / DLB / adaptive) path.
+//
+// Frontier semantics (the address map). Per address the map keeps the
+// *frontier*: the last writer plus the readers that arrived since. A new
+// access orders against exactly the frontier entries its mode conflicts
+// with, then updates the frontier:
+//
+//   in    — one edge from the last writer (if any); joins the reader set.
+//   out   — edges from the last writer and every current reader; the
+//   inout   frontier *collapses* to the new writer (reader set cleared,
+//           old entries' map references dropped).
+//
+// Collapse is what keeps registration O(conflicts): a `din` after an
+// `inout` chain sees exactly one frontier entry — the last writer — and
+// never stale readers from before it (the reader-after-writer regression
+// tests in tests/test_dependency.cpp pin this, including the historical
+// `{din,dout}` spelling of inout, which used to leave the task behind in
+// its own reader set and double-edge every later conflict).
 #pragma once
 
 #include <atomic>
@@ -25,40 +43,139 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/release_list.hpp"
 #include "core/task.hpp"
 
 namespace xtask {
 
+/// Access mode of one dependence item.
+enum class DepMode : std::uint8_t {
+  kIn = 0,     // reads the address
+  kOut = 1,    // writes the address
+  kInOut = 2,  // reads and writes; orders identically to kOut but is kept
+               // distinct for graph capture/introspection
+};
+
 /// One dependence item: an address and an access mode.
 struct Dep {
   const void* addr;
-  bool write;
+  DepMode mode;
 };
 
 /// depend(in: x) — reads x; ordered after the last writer of x.
-inline Dep din(const void* addr) noexcept { return {addr, false}; }
-/// depend(out: x) / depend(inout: x) — writes x; ordered after the last
-/// writer and all readers since.
-inline Dep dout(const void* addr) noexcept { return {addr, true}; }
+inline Dep din(const void* addr) noexcept { return {addr, DepMode::kIn}; }
+/// depend(out: x) — writes x; ordered after the last writer and all
+/// readers since.
+inline Dep dout(const void* addr) noexcept { return {addr, DepMode::kOut}; }
+/// depend(inout: x) — reads and writes x. Prefer this over the historical
+/// `{din(&x), dout(&x)}` spelling, which is still accepted (and now
+/// deduplicated) but registers two map accesses.
+inline Dep dinout(const void* addr) noexcept {
+  return {addr, DepMode::kInOut};
+}
 
 namespace detail {
 
-/// Per-task dependence state, allocated lazily (most tasks have none).
-struct TaskDepState {
-  /// Micro spinlock guarding `successors` + `completed`. See file comment
-  /// for why this is not the global-lock pattern the paper removes.
-  std::atomic_flag lock = ATOMIC_FLAG_INIT;
-  bool completed = false;
-  std::vector<Task*> successors;
+/// True when `m` conflicts like a writer (out/inout).
+constexpr bool dep_writes(DepMode m) noexcept { return m != DepMode::kIn; }
 
-  void acquire() noexcept {
-    while (lock.test_and_set(std::memory_order_acquire)) {
-#if defined(__x86_64__)
-      __builtin_ia32_pause();
-#endif
+/// Per-task dependence state, allocated lazily (most tasks have none):
+/// the lock-free list of successors to release at completion.
+struct TaskDepState {
+  ReleaseList successors;
+};
+
+/// The frontier map shared by DepScope (live tasks) and TaskGraph capture
+/// (recorded node ids). Single-threaded by construction in both uses, so
+/// it is plain data; all synchronization lives in the edge representation
+/// the callbacks create. `Node` must be cheap to copy and equality-
+/// comparable (Task* / std::uint32_t).
+///
+/// access() invokes, in order:
+///   edge(pred)  — for each frontier entry the new access conflicts with;
+///   drop(node)  — for each frontier entry the access evicts;
+///   retain(n)   — when `n` enters the frontier (at most once per call).
+template <typename Node>
+class DepFrontier {
+ public:
+  template <typename EdgeFn, typename RetainFn, typename DropFn>
+  void access(Node n, const void* addr, DepMode mode, EdgeFn&& edge,
+              RetainFn&& retain, DropFn&& drop) {
+    Entry& e = map_[addr];
+    if (dep_writes(mode)) {
+      // Writer: ordered after the previous writer and every reader since;
+      // the frontier collapses to the new writer. When n itself already
+      // holds a frontier entry (re-registration like `{dout,dout}` or the
+      // historical `{din,dout}` inout spelling) that entry is folded into
+      // the writer slot — no self-edge, no double retain.
+      bool self_retained = false;
+      for (const Node& r : e.readers) {
+        if (r == n) {
+          self_retained = true;  // reader retain carries over to the writer
+          continue;
+        }
+        edge(r);
+        drop(r);
+      }
+      e.readers.clear();
+      if (e.has_writer) {
+        if (e.writer == n) return;  // already the frontier writer
+        edge(e.writer);
+        drop(e.writer);
+      }
+      e.writer = n;
+      e.has_writer = true;
+      if (!self_retained) retain(n);
+    } else {
+      // Reader: ordered after the last writer only — never after other
+      // readers, and never after stale readers from before that writer
+      // (collapse above already cleared them).
+      if (e.has_writer && e.writer != n) edge(e.writer);
+      // A task never joins its own frontier twice: if n is the current
+      // writer its ordering is already captured (this is the
+      // reader-after-writer fix — the old code pushed n into the reader
+      // set here and every later writer double-edged against it). And a
+      // duplicate `din` in one dependence list lands adjacently, so a
+      // back() probe is a full dedup for the single-registration map.
+      if (e.has_writer && e.writer == n) return;
+      if (!e.readers.empty() && e.readers.back() == n) return;
+      e.readers.push_back(n);
+      retain(n);
     }
   }
-  void release() noexcept { lock.clear(std::memory_order_release); }
+
+  /// Visit every node the frontier still holds (one visit per retain()
+  /// that was not matched by a drop()), then clear.
+  template <typename EachFn>
+  void clear(EachFn&& each) {
+    for (auto& [addr, e] : map_) {
+      if (e.has_writer) each(e.writer);
+      for (const Node& r : e.readers) each(r);
+    }
+    map_.clear();
+  }
+
+  bool empty() const noexcept { return map_.empty(); }
+
+  // --- introspection (tests, graph capture stats) -----------------------
+  std::size_t reader_count(const void* addr) const {
+    auto it = map_.find(addr);
+    return it == map_.end() ? 0 : it->second.readers.size();
+  }
+  /// The frontier writer for `addr`, or `none` when absent.
+  Node last_writer(const void* addr, Node none) const {
+    auto it = map_.find(addr);
+    return it != map_.end() && it->second.has_writer ? it->second.writer
+                                                     : none;
+  }
+
+ private:
+  struct Entry {
+    Node writer{};
+    bool has_writer = false;
+    std::vector<Node> readers;  // readers since `writer`; collapsed on write
+  };
+  std::unordered_map<const void*, Entry> map_;
 };
 
 /// Per-scope (per parent task) dependence map. Created on first
@@ -79,25 +196,28 @@ class DepScope {
   /// called before destruction.
   void close(std::vector<Task*>* refs_out);
 
- private:
-  struct AddrState {
-    Task* last_writer = nullptr;        // holds a task ref
-    std::vector<Task*> readers;         // each holds a task ref
-  };
+  // --- test introspection -----------------------------------------------
+  std::size_t reader_count(const void* addr) const {
+    return frontier_.reader_count(addr);
+  }
+  Task* last_writer(const void* addr) const {
+    return frontier_.last_writer(addr, static_cast<Task*>(nullptr));
+  }
 
-  /// Add edge pred -> succ if pred has not completed yet. Returns true
-  /// when an edge was created.
+ private:
+  /// Add edge pred -> succ unless pred already completed (its release
+  /// list is sealed). Returns true when an edge was created.
   static bool add_edge(Task* pred, Task* succ);
 
-  std::unordered_map<const void*, AddrState> addrs_;
+  DepFrontier<Task*> frontier_;
   // Tasks whose frontier entry was replaced; their map refs are released
   // in bulk at close() (bounded by the scope's spawn count).
   std::vector<Task*> dropped_;
 };
 
-/// Completion hook: marks `t` complete and returns the successors whose
-/// dependence count reached zero (the caller dispatches them). No-op for
-/// tasks without dependence state.
+/// Completion hook: seals `t`'s release list and returns the successors
+/// whose dependence count reached zero (the caller dispatches them).
+/// No-op for tasks without dependence state.
 void collect_ready_successors(Task* t, std::vector<Task*>* ready);
 
 }  // namespace detail

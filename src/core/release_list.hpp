@@ -1,0 +1,84 @@
+// Lock-free successor ("release") list — the Nanos6-style replacement for
+// the per-task micro spinlock that used to guard dependence successors.
+//
+// Shape of the race it resolves: one *registering* thread (the parent
+// executing its body) wants to append "when pred completes, release succ"
+// edges to a predecessor's list, while one *completing* worker wants to
+// atomically close that list and walk it. The paper's thesis is that such
+// two-party synchronization never needs a lock:
+//
+//   * registration CAS-pushes an intrusive node onto a Treiber-style head;
+//   * completion swings the head to a sealed sentinel with one exchange,
+//     taking the whole chain in the same instruction.
+//
+// The exchange is the linearization point of completion: every push that
+// succeeded before it is in the returned chain, every push attempted after
+// it observes the sentinel and fails — which tells the registering side
+// "this predecessor is already done, no edge exists". There is no state in
+// which a successfully pushed node is lost or a node is both refused and
+// collected (the xcheck model test tests/model/model_deplist.cpp explores
+// exactly this claim).
+//
+// The completer is wait-free (one exchange); the pusher is lock-free (its
+// CAS only retries when another push or the seal made progress). Payloads
+// are opaque `void*` so the list can be model-checked without dragging the
+// Task definition into an instrumented TU.
+#pragma once
+
+#include "core/common.hpp"
+
+namespace xtask::detail {
+
+/// Intrusive chain node. The pusher owns it until push() returns: on
+/// success ownership passes to whoever seals the list; on failure (list
+/// already sealed) the pusher keeps it and typically frees it.
+struct ReleaseNode {
+  void* item = nullptr;
+  ReleaseNode* next = nullptr;
+};
+
+class ReleaseList {
+ public:
+  /// Distinguished address marking a sealed list. Never dereferenced as a
+  /// chain element; `next` of real nodes never points at it.
+  static ReleaseNode* sealed_tag() noexcept {
+    static ReleaseNode tag;
+    return &tag;
+  }
+
+  /// Append `n`. Returns true when the node is now owned by the list;
+  /// false when the list was already sealed (the completer has been and
+  /// gone — the would-be edge is already satisfied).
+  bool push(ReleaseNode* n) noexcept {
+    ReleaseNode* h = head_.load(std::memory_order_acquire);
+    for (;;) {
+      if (h == sealed_tag()) return false;
+      n->next = h;
+      // Release so the sealer's acquire exchange observes n's fields;
+      // acquire on failure so the re-read of a just-sealed head is not
+      // reordered ahead of the retry check.
+      if (head_.compare_exchange_weak(h, n, std::memory_order_release,
+                                      std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  /// Close the list forever and take every node pushed so far. Returns
+  /// the chain head (nullptr for an empty list), or sealed_tag() if the
+  /// list was already sealed — callers treat that as "nothing to do"
+  /// (it cannot happen in the runtime, where exactly one worker completes
+  /// a task, but the oracle in the model test wants it well-defined).
+  ReleaseNode* seal() noexcept {
+    return head_.exchange(sealed_tag(), std::memory_order_acq_rel);
+  }
+
+  /// True once seal() has run. Racy by nature; for diagnostics and tests.
+  bool sealed() const noexcept {
+    return head_.load(std::memory_order_acquire) == sealed_tag();
+  }
+
+ private:
+  xtask::atomic<ReleaseNode*> head_{nullptr};
+};
+
+}  // namespace xtask::detail

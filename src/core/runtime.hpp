@@ -84,6 +84,18 @@ struct DlbConfig {
   double p_local = 1.0;   // probability of picking a NUMA-local victim
 };
 
+/// How a graph-capable workload driver (bench_graph, graph-aware tests)
+/// should execute its DAG. Carried on Config so the registry spec grammar
+/// (`graph=capture|replay`, `greplays=<n>`) can select the path uniformly;
+/// the runtime itself schedules both paths identically — the difference is
+/// whether the driver rebuilds dependences per iteration or replays a
+/// sealed TaskGraph.
+enum class GraphMode : std::uint8_t {
+  kOff,      // spawn/taskwait or per-iteration dependence registration
+  kCapture,  // capture a TaskGraph on the first execution, keep rebuilding
+  kReplay,   // capture once, then replay (zero rebuild cost per iteration)
+};
+
 struct Config {
   int num_threads = static_cast<int>(std::thread::hardware_concurrency());
   std::uint32_t queue_capacity = 2048;  // per SPSC queue, power of two
@@ -138,6 +150,11 @@ struct Config {
   /// and direct stealing; kMessaging/kDirect pin one mode (ablation,
   /// tests). Spec key: dmode=auto|messaging|direct.
   DispatchModePolicy dispatch_mode = DispatchModePolicy::kAuto;
+  /// Graph execution mode for graph-capable drivers (see GraphMode).
+  /// Spec keys: graph=off|capture|replay, greplays=<n> (the replay count
+  /// a driver should run per captured graph; requires graph=replay).
+  GraphMode graph_mode = GraphMode::kOff;
+  int graph_replays = 1;
 };
 
 class Runtime;
@@ -279,6 +296,11 @@ class TaskContext {
   /// predecessor.
   template <typename F>
   void spawn(F&& f, std::initializer_list<Dep> deps);
+
+  /// Same, with a runtime-sized dependence list (workloads whose fan-in
+  /// is a parameter, e.g. the graph-pipeline benchmark).
+  template <typename F>
+  void spawn(F&& f, const Dep* deps, std::size_t ndeps);
 
   /// Spawn `n` same-typed children from a contiguous array, moving each
   /// element into its task. Dispatch is batched (XQueue::push_batch) and
@@ -700,6 +722,11 @@ void TaskContext::taskgroup(F&& body) {
 
 template <typename F>
 void TaskContext::spawn(F&& f, std::initializer_list<Dep> deps) {
+  spawn(std::forward<F>(f), deps.begin(), deps.size());
+}
+
+template <typename F>
+void TaskContext::spawn(F&& f, const Dep* deps, std::size_t ndeps) {
   detail::Worker& w = *w_;
   if (rt_->task_cancelled(current_)) {
     ++rt_->profiler().thread(w.id).counters.ntasks_cancelled;
@@ -711,8 +738,7 @@ void TaskContext::spawn(F&& f, std::initializer_list<Dep> deps) {
     Task* t = rt_->allocate_task(w, current_);
     t->emplace(std::forward<F>(f));
     if (!dep_scope_) dep_scope_ = std::make_unique<detail::DepScope>();
-    const std::uint32_t unmet =
-        dep_scope_->register_task(t, deps.begin(), deps.size());
+    const std::uint32_t unmet = dep_scope_->register_task(t, deps, ndeps);
     if (unmet == 0) overflow = rt_->dispatch(w, t);
     // else: deferred — the worker completing the last predecessor
     // dispatches it (Runtime::finish).

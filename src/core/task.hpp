@@ -61,8 +61,9 @@ struct alignas(kCacheLine) Task {
   std::atomic<std::uint32_t> deps_pending{0};
   std::uint16_t creator = 0;        // worker id that spawned this task
   std::uint16_t executor = 0;       // worker id that ran it (profiling)
-  /// Successor bookkeeping when this task is a `depend` predecessor;
-  /// owned by the task, freed when the descriptor is recycled.
+  /// Successor bookkeeping when this task is a `depend` predecessor: a
+  /// lock-free release list that completion seals (dependency.hpp). Owned
+  /// by the task, freed when the descriptor is recycled.
   detail::TaskDepState* dep_state = nullptr;
   /// Innermost enclosing taskgroup (nullptr when not in a group).
   /// Inherited by descendants at spawn; the live counter is decremented at

@@ -381,4 +381,51 @@ class PoolAllocator {
 
 using TaskAllocator = PoolAllocator<Task>;
 
+/// Thread-cached free list for small intrusive link nodes — the dependency
+/// layer's per-edge ReleaseNode allocations (register/complete hot path).
+/// `T` must expose a `next` member of type `T*`, reused as the free-list
+/// link while the node is cached.
+///
+/// Ownership is locality-agnostic, like task descriptors: a node is
+/// allocated by the registering thread, handed through the lock-free
+/// release list, and freed by the *completing* thread into its own cache —
+/// no cross-thread free list, no synchronization, just the ordinary
+/// transfer-of-ownership the list's seal already provides. Each cache is
+/// bounded so a completion-heavy thread cannot hoard every node.
+template <typename T>
+class ThreadNodeCache {
+ public:
+  static constexpr std::size_t kMaxCached = 256;
+
+  ~ThreadNodeCache() {
+    while (head_ != nullptr) {
+      T* n = head_;
+      head_ = n->next;
+      delete n;
+    }
+  }
+
+  T* get() {
+    if (head_ == nullptr) return new T;
+    T* n = head_;
+    head_ = n->next;
+    --size_;
+    return n;
+  }
+
+  void put(T* n) noexcept {
+    if (size_ >= kMaxCached) {
+      delete n;
+      return;
+    }
+    n->next = head_;
+    head_ = n;
+    ++size_;
+  }
+
+ private:
+  T* head_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 }  // namespace xtask

@@ -1,0 +1,141 @@
+#include "core/task_graph.hpp"
+
+#include <algorithm>
+
+namespace xtask {
+
+void TaskGraph::record_deps(std::uint32_t id, const Dep* deps,
+                            std::size_t count) {
+  if (!build_) build_ = std::make_unique<BuildState>();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Dep& d = deps[i];
+    build_->frontier.access(
+        id, d.addr, d.mode,
+        /*edge=*/
+        [&](std::uint32_t pred) { build_->edges.emplace_back(pred, id); },
+        /*retain=*/[](std::uint32_t) {}, /*drop=*/[](std::uint32_t) {});
+  }
+}
+
+void TaskGraph::seal() {
+  XTASK_CHECK(!sealed_);
+  const std::uint32_t n = num_nodes();
+  if (build_) {
+    // Capture order is a topological order (frontier edges always point
+    // from an earlier node to a later one), so one id-ordered pass over
+    // the edge list computes both the CSR layout and the critical path.
+    num_edges_ = static_cast<std::uint32_t>(build_->edges.size());
+    std::sort(build_->edges.begin(), build_->edges.end());
+    for (const auto& [pred, succ] : build_->edges) {
+      XTASK_CHECK(pred < succ);
+      nodes_[succ].init_preds++;
+      nodes_[pred].succ_count++;
+    }
+    succs_.resize(num_edges_);
+    std::uint32_t offset = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      nodes_[i].succ_begin = offset;
+      offset += nodes_[i].succ_count;
+      nodes_[i].succ_count = 0;  // reused as a fill cursor below
+    }
+    for (const auto& [pred, succ] : build_->edges)
+      succs_[nodes_[pred].succ_begin + nodes_[pred].succ_count++] = succ;
+    // Longest chain, unit weights: depth[succ] = max(depth[pred]) + 1.
+    std::vector<std::uint32_t> depth(n, 1);
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t e = 0; e < nodes_[i].succ_count; ++e) {
+        const std::uint32_t s = succs_[nodes_[i].succ_begin + e];
+        depth[s] = std::max(depth[s], depth[i] + 1);
+      }
+    for (std::uint32_t i = 0; i < n; ++i)
+      critical_path_ = std::max(critical_path_, depth[i]);
+    build_.reset();
+  } else {
+    critical_path_ = n > 0 ? 1 : 0;
+  }
+  roots_.clear();
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (nodes_[i].init_preds == 0) roots_.push_back(i);
+  XTASK_CHECK(n == 0 || !roots_.empty());  // a DAG always has a source
+  sealed_ = true;
+}
+
+TaskGraph::Instance::Instance(const TaskGraph& g) : g_(&g) {
+  XTASK_CHECK(g.sealed());
+  pending_ = std::make_unique<xtask::atomic<std::uint32_t>[]>(g.num_nodes());
+  reset();
+  // A fresh instance reports idle() until replay_async claims it.
+  remaining_.store(0, std::memory_order_relaxed);
+}
+
+void TaskGraph::Instance::reset() noexcept {
+  const std::uint32_t n = g_->num_nodes();
+  for (std::uint32_t i = 0; i < n; ++i)
+    pending_[i].store(g_->nodes_[i].init_preds, std::memory_order_relaxed);
+  remaining_.store(n, std::memory_order_relaxed);
+  done_fn_ = nullptr;
+  done_arg_ = nullptr;
+}
+
+void TaskGraph::NodeTask::operator()(TaskContext& ctx) const {
+  const TaskGraph& g = inst->graph();
+  const Node& nd = g.nodes_[id];
+  nd.run(&nd, ctx);
+  Counters& c =
+      ctx.runtime().profiler().thread(ctx.worker_id()).counters;
+  c.ngraph_nodes_run++;
+  c.ngraph_edges_released += nd.succ_count;
+  // Release the static successor slice: the last predecessor to finish
+  // spawns the successor into the normal dispatch path. remaining_ counts
+  // node *executions*, so it cannot drain while any successor is still
+  // unspawned — the done hook fires on the worker running the last body.
+  for (std::uint32_t e = 0; e < nd.succ_count; ++e) {
+    const std::uint32_t s = g.succs_[nd.succ_begin + e];
+    if (inst->pending_[s].fetch_sub(1, std::memory_order_acq_rel) == 1)
+      ctx.spawn(NodeTask{inst, s});
+  }
+  if (inst->remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (inst->done_fn_ != nullptr) inst->done_fn_(inst->done_arg_);
+  }
+}
+
+void TaskGraph::replay_async(TaskContext& ctx, Instance* inst) const {
+  XTASK_CHECK(sealed_);
+  XTASK_CHECK(inst->g_ == this);
+  if (num_nodes() == 0) {
+    if (inst->done_fn_ != nullptr) inst->done_fn_(inst->done_arg_);
+    return;
+  }
+  ctx.runtime().profiler().thread(ctx.worker_id()).counters.ngraph_replays++;
+  // Roots go out through spawn_batch: remote-first round-robin over the
+  // team, so a wide root set lands spread across zones before the first
+  // edge fires (the topology-aware initial placement).
+  constexpr std::size_t kChunk = 64;
+  NodeTask batch[kChunk];
+  const std::size_t nroots = roots_.size();
+  for (std::size_t i = 0; i < nroots; i += kChunk) {
+    const std::size_t k = std::min(kChunk, nroots - i);
+    for (std::size_t j = 0; j < k; ++j)
+      batch[j] = NodeTask{inst, roots_[i + j]};
+    ctx.spawn_batch(batch, k);
+  }
+}
+
+void TaskGraph::replay(Runtime& rt, int times) const {
+  if (times <= 0) return;
+  Instance inst(*this);
+  // One parallel region for ALL replays: a region wake/join costs ~1ms of
+  // team barriers, which would swamp the per-replay cost this path exists
+  // to minimize (counter reset + node execution). Each replay is bounded
+  // by a taskgroup instead — its drain guarantees every node task (and
+  // its transitive spawns) completed, so the instance is idle for the
+  // next reset.
+  rt.run([&](TaskContext& ctx) {
+    for (int i = 0; i < times; ++i) {
+      inst.reset();
+      ctx.taskgroup([&](TaskContext& c) { replay_async(c, &inst); });
+    }
+  });
+}
+
+}  // namespace xtask

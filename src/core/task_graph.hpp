@@ -1,0 +1,261 @@
+// TaskGraph: first-class capture/replay of dependence DAGs — the serving
+// core the ROADMAP's north star asks for ("millions of identical small
+// request-DAGs per second").
+//
+// The spawn-with-deps path rebuilds the whole graph every execution:
+// hash-map frontier lookups, a TaskDepState allocation per node, and a
+// CAS-pushed release-list node per edge. For a request-shaped DAG executed
+// millions of times that is pure overhead — the topology never changes,
+// only the data. TaskGraph splits the two:
+//
+//   capture — the build function runs once under instrumentation: every
+//     Capture::node(body, {deps}) call records a node (body stored
+//     in-place, re-invocable) and resolves its dependences against the
+//     same in/out/inout frontier semantics as live spawns (the shared
+//     detail::DepFrontier — one semantics, two consumers), then the
+//     recorded graph executes once through the runtime. seal() freezes
+//     the structure into CSR successor arrays, per-node initial
+//     predecessor counts, the root set, and the critical path.
+//
+//   replay — re-executes the sealed graph with zero rebuild cost. All
+//     mutable state lives in an Instance: one atomic countdown per node
+//     plus one for the whole replay, reset() touches counters only (no
+//     allocation, no map, no edge construction). Roots are dispatched
+//     with spawn_batch's remote-first round-robin, which spreads them
+//     across the team's zones before the first edge fires (topology-aware
+//     initial placement); every released successor then flows through the
+//     normal XQueue/DLB/adaptive dispatch path like any other task.
+//
+// Replays on one Instance are sequential; concurrent in-flight replays of
+// the same graph (the serve front-end) each use their own Instance — the
+// graph itself is immutable after seal() and shared freely.
+//
+// Cost model (DESIGN.md "Task-graph engine" has the numbers): rebuild
+// pays O(nodes + edges) allocations and frontier updates per execution;
+// replay pays O(nodes) relaxed stores in reset() and two atomics per
+// node at run time. The request-pipeline benchmark gates replay at >= 3x
+// rebuild throughput (bench/bench_graph.cpp, run_bench.py --gate-graph).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/dependency.hpp"
+#include "core/runtime.hpp"
+
+namespace xtask {
+
+class TaskGraph {
+ public:
+  /// Inline storage per node body; same budget as Task::kPayloadBytes so
+  /// anything spawnable is capturable.
+  static constexpr std::size_t kNodePayloadBytes = 128;
+
+  TaskGraph() = default;
+  ~TaskGraph() { destroy_nodes(); }
+  TaskGraph(TaskGraph&& o) noexcept : TaskGraph() { *this = std::move(o); }
+  TaskGraph& operator=(TaskGraph&& o) noexcept {
+    if (this != &o) {
+      destroy_nodes();
+      nodes_ = std::move(o.nodes_);
+      succs_ = std::move(o.succs_);
+      roots_ = std::move(o.roots_);
+      build_ = std::move(o.build_);
+      num_edges_ = o.num_edges_;
+      critical_path_ = o.critical_path_;
+      sealed_ = o.sealed_;
+      o.nodes_.clear();
+      o.sealed_ = false;
+    }
+    return *this;
+  }
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Recording handle passed to the build function.
+  class Capture {
+   public:
+    /// Record one node ordered by `deps` (same in/out/inout semantics as
+    /// ctx.spawn(body, deps)). `f` must be invocable as f(TaskContext&),
+    /// fit kNodePayloadBytes, and be safely invocable once per replay.
+    /// Returns the node id (a topological order by construction).
+    template <typename F>
+    std::uint32_t node(F&& f, std::initializer_list<Dep> deps) {
+      return g_->add_node(std::forward<F>(f), deps.begin(), deps.size());
+    }
+    /// A node with no dependences (always a root unless deps say so).
+    template <typename F>
+    std::uint32_t node(F&& f) {
+      return g_->add_node(std::forward<F>(f), nullptr, 0);
+    }
+    /// Runtime-sized dependence list (mirrors ctx.spawn(f, deps, n)).
+    template <typename F>
+    std::uint32_t node(F&& f, const Dep* deps, std::size_t ndeps) {
+      return g_->add_node(std::forward<F>(f), deps, ndeps);
+    }
+
+   private:
+    friend class TaskGraph;
+    explicit Capture(TaskGraph* g) noexcept : g_(g) {}
+    TaskGraph* g_;
+  };
+
+  /// Record a graph from one instrumented execution: `build` runs once
+  /// (its node() calls are recorded, not dispatched), the structure is
+  /// sealed, and the captured graph executes once through `rt` — so a
+  /// capture *is* an execution of the workload, with the graph retained.
+  template <typename BuildFn>
+  static TaskGraph capture(Runtime& rt, BuildFn&& build) {
+    TaskGraph g = record(std::forward<BuildFn>(build));
+    g.replay(rt, 1);
+    return g;
+  }
+
+  /// Record + seal without executing (serve registration, structural
+  /// tests). The first replay is then the first execution.
+  template <typename BuildFn>
+  static TaskGraph record(BuildFn&& build) {
+    TaskGraph g;
+    Capture cap(&g);
+    build(cap);
+    g.seal();
+    return g;
+  }
+
+  /// Per-replay mutable state: one pending-predecessor countdown per node
+  /// and a whole-replay countdown. Preallocated once; reset() between
+  /// replays touches counters only. One Instance supports one in-flight
+  /// replay at a time; concurrent replays use separate Instances.
+  class Instance {
+   public:
+    explicit Instance(const TaskGraph& g);
+
+    /// Re-arm for the next replay. Must not run while a replay on this
+    /// instance is in flight.
+    void reset() noexcept;
+
+    /// True when no replay is in flight (all nodes of the last one ran).
+    bool idle() const noexcept {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    }
+
+    /// Completion hook for the current replay: fired exactly once, on the
+    /// worker that finishes the last node. Cleared by reset().
+    using DoneFn = void (*)(void* arg);
+    void arm(DoneFn fn, void* arg) noexcept {
+      done_fn_ = fn;
+      done_arg_ = arg;
+    }
+
+    const TaskGraph& graph() const noexcept { return *g_; }
+
+   private:
+    friend class TaskGraph;
+    const TaskGraph* g_;
+    std::unique_ptr<xtask::atomic<std::uint32_t>[]> pending_;  // per node
+    xtask::atomic<std::uint32_t> remaining_{0};
+    DoneFn done_fn_ = nullptr;
+    void* done_arg_ = nullptr;
+  };
+
+  /// Execute the sealed graph `times` times, one parallel region each,
+  /// reusing a single Instance (counter reset between replays is the only
+  /// per-iteration cost besides the region itself).
+  void replay(Runtime& rt, int times) const;
+
+  /// Launch one replay inside a running region: dispatches the root nodes
+  /// as children of the current task and returns immediately; completion
+  /// is the instance's arm() hook (or the enclosing region barrier, which
+  /// always covers every node). `inst` must be reset() and not in flight.
+  void replay_async(TaskContext& ctx, Instance* inst) const;
+
+  // --- introspection (per-graph structure counters) -----------------------
+  bool sealed() const noexcept { return sealed_; }
+  std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  std::uint32_t num_edges() const noexcept { return num_edges_; }
+  std::uint32_t num_roots() const noexcept {
+    return static_cast<std::uint32_t>(roots_.size());
+  }
+  /// Nodes on the longest dependence chain (unit node weights): the
+  /// replay's parallelism ceiling is num_nodes / critical_path.
+  std::uint32_t critical_path() const noexcept { return critical_path_; }
+
+ private:
+  struct Node {
+    void (*run)(const Node*, TaskContext&) = nullptr;
+    void (*destroy)(Node*) noexcept = nullptr;  // null: trivially dtor
+    std::uint32_t succ_begin = 0;  // CSR slice into succs_
+    std::uint32_t succ_count = 0;
+    std::uint32_t init_preds = 0;  // incoming edge count (0 = root)
+    alignas(16) unsigned char payload[kNodePayloadBytes];
+  };
+
+  /// Capture-time scratch, discarded at seal().
+  struct BuildState {
+    detail::DepFrontier<std::uint32_t> frontier;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  };
+
+  /// The spawned trampoline: runs the node body, releases its successors
+  /// against the instance counters, spawns the newly ready ones.
+  struct NodeTask {
+    Instance* inst;
+    std::uint32_t id;
+    void operator()(TaskContext& ctx) const;
+  };
+
+  template <typename F>
+  std::uint32_t add_node(F&& f, const Dep* deps, std::size_t count) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kNodePayloadBytes,
+                  "graph node closure too large for inline payload");
+    static_assert(std::is_invocable_v<Fn&, TaskContext&>,
+                  "graph node body must be callable with (TaskContext&)");
+    XTASK_CHECK(!sealed_);
+    // deque: node addresses are stable under growth, so non-trivially-
+    // copyable bodies are safe (a vector would memmove them on realloc).
+    nodes_.emplace_back();
+    Node& nd = nodes_.back();
+    ::new (static_cast<void*>(nd.payload)) Fn(std::forward<F>(f));
+    nd.run = [](const Node* node, TaskContext& ctx) {
+      // Const-cast matches Task::emplace's contract: the body is mutable
+      // state owned by the node; the graph structure around it is not.
+      auto* fn = std::launder(
+          reinterpret_cast<Fn*>(const_cast<unsigned char*>(node->payload)));
+      (*fn)(ctx);
+    };
+    if constexpr (!std::is_trivially_destructible_v<Fn>) {
+      nd.destroy = [](Node* node) noexcept {
+        std::launder(reinterpret_cast<Fn*>(node->payload))->~Fn();
+      };
+    }
+    const auto id = static_cast<std::uint32_t>(nodes_.size() - 1);
+    record_deps(id, deps, count);
+    return id;
+  }
+
+  void record_deps(std::uint32_t id, const Dep* deps, std::size_t count);
+  void seal();
+  void destroy_nodes() noexcept {
+    for (Node& n : nodes_)
+      if (n.destroy != nullptr) n.destroy(&n);
+    nodes_.clear();
+  }
+
+  std::deque<Node> nodes_;
+  std::vector<std::uint32_t> succs_;  // CSR successor ids
+  std::vector<std::uint32_t> roots_;  // init_preds == 0
+  std::unique_ptr<BuildState> build_;
+  std::uint32_t num_edges_ = 0;
+  std::uint32_t critical_path_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace xtask

@@ -106,6 +106,14 @@ struct Counters {
   // pressure. Zero outside service regions.
   std::uint64_t nserve_requests = 0;
   std::uint64_t nserve_shed = 0;
+  // Task-graph engine (src/core/task_graph.hpp): replays this worker
+  // initiated, node bodies it executed, and static successor edges it
+  // released after them. All single-writer like the rest; per-graph
+  // structure (node/edge/critical-path totals) lives on the TaskGraph
+  // itself — these count work actually done by this thread.
+  std::uint64_t ngraph_replays = 0;
+  std::uint64_t ngraph_nodes_run = 0;
+  std::uint64_t ngraph_edges_released = 0;
   // Adaptive dispatch (dlb=adaptive): messaging<->direct mode switches
   // committed by this worker's controller (worker 0 only), request rounds
   // this thief opened, and tasks it took via direct guard-borrowed steals.

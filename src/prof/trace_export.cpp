@@ -73,6 +73,8 @@ std::string trace_to_json(const Profiler& prof,
         "\"nqueue_fullscans\":%llu,\"nqueue_zeroskips\":%llu,"
         "\"nalloc_refills\":%llu,\"nalloc_spills\":%llu,"
         "\"alloc_refill_cycles\":%llu,\"idle_cycles\":%llu,"
+        "\"ngraph_replays\":%llu,\"ngraph_nodes_run\":%llu,"
+        "\"ngraph_edges_released\":%llu,"
         "\"steal_lat_hist\":[",
         static_cast<unsigned long long>(c.nmode_switches),
         static_cast<unsigned long long>(c.nsteal_rounds),
@@ -83,7 +85,10 @@ std::string trace_to_json(const Profiler& prof,
         static_cast<unsigned long long>(c.nalloc_refills),
         static_cast<unsigned long long>(c.nalloc_spills),
         static_cast<unsigned long long>(c.alloc_refill_cycles),
-        static_cast<unsigned long long>(c.idle_cycles));
+        static_cast<unsigned long long>(c.idle_cycles),
+        static_cast<unsigned long long>(c.ngraph_replays),
+        static_cast<unsigned long long>(c.ngraph_nodes_run),
+        static_cast<unsigned long long>(c.ngraph_edges_released));
     out += buf;
     for (std::size_t b = 0; b < c.steal_lat_hist.size(); ++b) {
       std::snprintf(buf, sizeof(buf), "%s%llu", b == 0 ? "" : ",",

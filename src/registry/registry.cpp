@@ -319,7 +319,8 @@ std::string TenantSpec::describe() const {
 Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
   check_keys(spec, {"threads", "zones", "topo", "qcap", "barrier", "dlb",
                     "dmode", "alloc", "tint", "nvictim", "nsteal", "plocal",
-                    "seed", "wdog", "yield", "profile", "hb", "quarantine"});
+                    "seed", "wdog", "yield", "profile", "hb", "quarantine",
+                    "graph", "greplays"});
   Config cfg;
   cfg.topology = resolve_topology(spec, steal::kMaxWorkerId);
   cfg.queue_capacity = RegistryDefaults::kQueueCapacity;
@@ -392,6 +393,21 @@ Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
     throw std::invalid_argument(
         "spec '" + spec.describe() + "': quarantine=on requires hb=<ms> > 0 "
         "(the recovery path is driven by the heartbeat monitor)");
+  if (const std::string* v = spec.find("graph")) {
+    if (*v == "off") cfg.graph_mode = GraphMode::kOff;
+    else if (*v == "capture") cfg.graph_mode = GraphMode::kCapture;
+    else if (*v == "replay") cfg.graph_mode = GraphMode::kReplay;
+    else bad_value(spec, "graph", *v, "off|capture|replay");
+  }
+  if (const std::string* v = spec.find("greplays")) {
+    cfg.graph_replays =
+        static_cast<int>(parse_ll(spec, "greplays", *v, 1, 1'000'000'000));
+    if (cfg.graph_mode != GraphMode::kReplay)
+      throw std::invalid_argument(
+          "spec '" + spec.describe() +
+          "': greplays requires graph=replay (only the replay path runs a "
+          "captured graph more than once)");
+  }
   return cfg;
 }
 
@@ -510,6 +526,7 @@ std::vector<std::string> RuntimeRegistry::smoke_specs() {
       "xtask:dlb=adaptive,dmode=direct",    // forced direct dispatch
       "xtask:dlb=adaptive,dmode=messaging", // forced messaging dispatch
       "xtask:dlb=naws,hb=50,quarantine=on", // + self-healing workers
+      "xtask:graph=replay,greplays=4",      // graph capture/replay drivers
   };
 }
 

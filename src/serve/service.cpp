@@ -48,6 +48,14 @@ std::uint64_t TaskService::now_ns() noexcept {
 }
 
 void TaskService::RequestTask::operator()(TaskContext& ctx) {
+  if (req.graph != 0) {
+    // Graph-shaped request: the body only launches the replay; the
+    // request completes (and accounts as executed) from the instance's
+    // done hook when the last node finishes. The serve region's barrier
+    // covers every node task, so stop() still waits for all of them.
+    svc->launch_graph(ctx, req);
+    return;
+  }
   ctx.set_tenant(req.tenant + 1);  // profiler tenants are 1-based; 0 = none
   try {
     if (req.fn != nullptr) req.fn(req);
@@ -99,6 +107,54 @@ TaskService::TaskService(ServeConfig cfg) : cfg_(std::move(cfg)) {
 
 TaskService::~TaskService() { stop(); }
 
+std::uint32_t TaskService::register_graph(TaskGraph g) {
+  if (!g.sealed())
+    throw std::invalid_argument("register_graph: graph is not sealed");
+  std::lock_guard<std::mutex> lock(graph_reg_mu_);
+  const std::uint32_t n = graph_count_.load(std::memory_order_relaxed);
+  if (n >= kMaxGraphs)
+    throw std::length_error("register_graph: graph slot table full");
+  auto slot = std::make_unique<GraphSlot>();
+  slot->graph = std::move(g);
+  graphs_[n] = std::move(slot);
+  // Publish: a submit() that reads graph_count_ >= n+1 (acquire) sees the
+  // fully-initialized slot.
+  graph_count_.store(n + 1, std::memory_order_release);
+  return n + 1;
+}
+
+void TaskService::launch_graph(TaskContext& ctx, const Request& req) {
+  GraphSlot& gs = *graphs_[req.graph - 1];
+  std::unique_ptr<TaskGraph::Instance> inst;
+  {
+    std::lock_guard<std::mutex> lock(gs.pool_mu);
+    if (!gs.pool.empty()) {
+      inst = std::move(gs.pool.back());
+      gs.pool.pop_back();
+    }
+  }
+  if (!inst) inst = std::make_unique<TaskGraph::Instance>(gs.graph);
+  inst->reset();
+  gs.replays.fetch_add(1, std::memory_order_relaxed);
+  auto* flight = new GraphFlight{this, req, &gs, inst.release()};
+  flight->inst->arm(&TaskService::graph_done, flight);
+  ctx.set_tenant(req.tenant + 1);
+  gs.graph.replay_async(ctx, flight->inst);
+  ctx.set_tenant(0);
+}
+
+void TaskService::graph_done(void* arg) noexcept {
+  auto* flight = static_cast<GraphFlight*>(arg);
+  // The final node's counter decrement happened-before this hook, so the
+  // instance is quiescent: pool it for the next request of this shape.
+  {
+    std::lock_guard<std::mutex> lock(flight->slot->pool_mu);
+    flight->slot->pool.emplace_back(flight->inst);
+  }
+  flight->svc->complete_executed(flight->req);
+  delete flight;
+}
+
 std::uint64_t TaskService::retry_after_us(const Tenant& t, double factor,
                                           std::uint64_t mult) const noexcept {
   // Time until roughly one token at the current effective rate, scaled by
@@ -121,6 +177,11 @@ Submit TaskService::submit(int tenant, Request req) noexcept {
   if (stop_.load(std::memory_order_acquire)) {
     t.rejected.fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kRejected, 0};  // do not retry: shutting down
+  }
+  if (req.graph > graph_count_.load(std::memory_order_acquire)) {
+    // Unknown graph handle: a client bug, not pressure — no retry hint.
+    t.rejected.fetch_add(1, std::memory_order_relaxed);
+    return {SubmitStatus::kRejected, 0};
   }
 
   const double factor = admission_factor();
@@ -368,6 +429,21 @@ std::vector<std::pair<std::string, std::string>> TaskService::trace_meta()
     v += ",\"ring_capacity\":" + std::to_string(s.ring_capacity);
     v += "}";
     meta.emplace_back("serve_tenant_" + s.name, std::move(v));
+  }
+  // One record per registered graph: structure + replays served, so a
+  // trace shows which request shapes carried the load.
+  const auto ngraphs = graph_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < ngraphs; ++i) {
+    const GraphSlot& gs = *graphs_[i];
+    std::string v = "{\"handle\":" + std::to_string(i + 1);
+    v += ",\"nodes\":" + std::to_string(gs.graph.num_nodes());
+    v += ",\"edges\":" + std::to_string(gs.graph.num_edges());
+    v += ",\"roots\":" + std::to_string(gs.graph.num_roots());
+    v += ",\"critical_path\":" + std::to_string(gs.graph.critical_path());
+    v += ",\"replays\":" +
+         std::to_string(gs.replays.load(std::memory_order_relaxed));
+    v += "}";
+    meta.emplace_back("serve_graph_" + std::to_string(i + 1), std::move(v));
   }
   return meta;
 }

@@ -20,6 +20,7 @@
 // admission math.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "core/task_graph.hpp"
 #include "registry/registry.hpp"
 #include "serve/admission.hpp"
 #include "serve/ring.hpp"
@@ -45,6 +47,10 @@ struct Request {
   std::uint64_t b = 0;  // caller payload
   std::uint64_t t_submit_ns = 0;  // stamped at admission
   std::uint32_t tenant = 0;       // stamped at admission
+  /// 0: plain body request (fn runs once). Otherwise a 1-based handle from
+  /// register_graph(): the whole captured DAG replays as this request, and
+  /// the request counts as executed when its last node finishes.
+  std::uint32_t graph = 0;
   std::uint8_t priority = 0;      // stamped at admission (tenant prio)
 };
 
@@ -118,9 +124,26 @@ class TaskService {
 
   /// Submit one request on behalf of tenant index `tenant` (order of
   /// ServeConfig::tenants). Any thread; never blocks. The req's fn/a/b
-  /// fields are the caller's; tenant/priority/t_submit_ns are stamped
-  /// here on admission.
+  /// (or graph handle) fields are the caller's; tenant/priority/
+  /// t_submit_ns are stamped here on admission. A request naming an
+  /// unregistered graph handle is rejected with no retry hint.
   Submit submit(int tenant, Request req) noexcept;
+
+  /// Register a captured (sealed) graph as a request shape; returns the
+  /// 1-based handle clients put in Request::graph. The service owns the
+  /// graph and a pool of replay instances for it — a graph request costs
+  /// one instance reset, not a graph rebuild. Any thread, any time before
+  /// stop(); handles stay valid for the service's lifetime. Throws when
+  /// the graph is unsealed or the slot table (kMaxGraphs) is full.
+  std::uint32_t register_graph(TaskGraph g);
+
+  int num_graphs() const noexcept {
+    return static_cast<int>(graph_count_.load(std::memory_order_acquire));
+  }
+  /// Replays served for one registered graph (1-based handle).
+  std::uint64_t graph_replays(std::uint32_t handle) const noexcept {
+    return graphs_[handle - 1]->replays.load(std::memory_order_relaxed);
+  }
 
   /// Stop accepting, drain everything admitted, settle accounting, and
   /// join the service thread. Idempotent; safe from any thread.
@@ -198,6 +221,29 @@ class TaskService {
     void operator()(TaskContext& ctx);
   };
 
+  /// One registered request graph: the immutable sealed structure plus a
+  /// pool of reusable replay instances (each in-flight graph request holds
+  /// one; the completion hook returns it). The slot itself is published
+  /// once via graph_count_ and never moves, so submit/drain read it
+  /// lock-free.
+  struct GraphSlot {
+    TaskGraph graph;
+    std::mutex pool_mu;
+    std::vector<std::unique_ptr<TaskGraph::Instance>> pool;
+    atomic<std::uint64_t> replays{0};
+  };
+  /// Heap context threaded through Instance::arm for one graph request.
+  struct GraphFlight {
+    TaskService* svc;
+    Request req;
+    GraphSlot* slot;
+    TaskGraph::Instance* inst;
+  };
+  static constexpr std::size_t kMaxGraphs = 16;
+
+  void launch_graph(TaskContext& ctx, const Request& req);
+  static void graph_done(void* arg) noexcept;
+
   void serve_loop(TaskContext& ctx);
   std::size_t drain_once(TaskContext& ctx);
   void update_admission(std::uint64_t now_ns);
@@ -211,6 +257,9 @@ class TaskService {
   ServeConfig cfg_;
   std::unique_ptr<Runtime> rt_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::array<std::unique_ptr<GraphSlot>, kMaxGraphs> graphs_;
+  atomic<std::uint32_t> graph_count_{0};  // published slots (release)
+  std::mutex graph_reg_mu_;               // serializes register_graph
   std::uint32_t drain_batch_ = 64;
   int min_priority_ = 0;  // the shed-first priority class
 

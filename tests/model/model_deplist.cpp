@@ -1,0 +1,201 @@
+// Model checking the lock-free successor list (core/release_list.hpp) —
+// the register-vs-complete race at the heart of the dependence layer,
+// under bounded-exhaustive interleavings plus a PCT sweep.
+//
+// Two properties:
+//
+//  1. Sealed-chain completeness (the linearization oracle): the exchange
+//     inside seal() is completion's linearization point. Every push that
+//     returned true appears in the sealed chain exactly once; every push
+//     that returned false observed the sealed tag — at that moment the
+//     list reports sealed() and stays sealed forever.
+//
+//  2. Exactly-one dispatcher: composing the list with the deps_pending
+//     protocol from dependency.cpp (registration guard of 1, count-then-
+//     push, undo on sealed failure, completer decrements per chain node),
+//     the successor's count reaches zero exactly once across every
+//     interleaving — it is dispatched by the registrant xor a completer,
+//     never both, never neither.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/release_list.hpp"
+#include "model_harness.hpp"
+
+namespace xc = xtask::xcheck;
+using xtask::detail::ReleaseList;
+using xtask::detail::ReleaseNode;
+
+namespace {
+
+int g_items[4];
+
+// --- property 1: sealed-chain completeness ---------------------------------
+
+struct ChainState {
+  ReleaseList list;
+  ReleaseNode nodes[3];
+  bool pushed[3] = {false, false, false};
+  int post_seal_push_results = 0;  // pushes attempted after walk started
+};
+
+std::function<void(xc::Exec&)> chain_build(int n_pushers) {
+  return [n_pushers](xc::Exec& ex) {
+    auto st = std::make_shared<ChainState>();
+    for (int p = 0; p < n_pushers; ++p) {
+      ex.thread("push" + std::to_string(p), [st, p] {
+        st->nodes[p].item = &g_items[p];
+        st->pushed[p] = st->list.push(&st->nodes[p]);
+        if (!st->pushed[p] && !st->list.sealed())
+          xc::Exec::fail("push refused while the list was not sealed");
+      });
+    }
+    ex.thread("completer", [st, n_pushers] {
+      ReleaseNode* n = st->list.seal();
+      if (n == ReleaseList::sealed_tag())
+        xc::Exec::fail("double seal observed by the single completer");
+      int seen[3] = {0, 0, 0};
+      int len = 0;
+      for (; n != nullptr; n = n->next) {
+        if (++len > n_pushers) xc::Exec::fail("sealed chain has a cycle");
+        bool matched = false;
+        for (int p = 0; p < n_pushers; ++p)
+          if (n == &st->nodes[p]) {
+            ++seen[p];
+            matched = true;
+          }
+        if (!matched) xc::Exec::fail("foreign node in sealed chain");
+      }
+      for (int p = 0; p < n_pushers; ++p) st->nodes[p].next = nullptr;
+      // Record what the walk saw for the post-run oracle (plain fields;
+      // the checker is single-OS-threaded).
+      for (int p = 0; p < n_pushers; ++p)
+        st->post_seal_push_results += seen[p] << (2 * p);
+      if (!st->list.sealed())
+        xc::Exec::fail("list not sealed after seal()");
+      // A late edge attempt must fail — completion already happened.
+      ReleaseNode extra;
+      extra.item = &g_items[3];
+      if (st->list.push(&extra))
+        xc::Exec::fail("push succeeded after seal");
+    });
+    ex.check([st, n_pushers] {
+      for (int p = 0; p < n_pushers; ++p) {
+        const int times = (st->post_seal_push_results >> (2 * p)) & 3;
+        if (st->pushed[p] && times != 1)
+          xc::Exec::fail("successful push " + std::to_string(p) +
+                         " appears " + std::to_string(times) +
+                         " times in the sealed chain");
+        if (!st->pushed[p] && times != 0)
+          xc::Exec::fail("failed push " + std::to_string(p) +
+                         " leaked into the sealed chain");
+      }
+    });
+  };
+}
+
+TEST(ModelDepList, ExhaustiveTwoPushersVsCompleter) {
+  auto r = xc::explore(model::exhaustive(3), chain_build(2));
+  model::expect_clean(r, "deplist_chain_2p", /*require_complete=*/true);
+}
+
+TEST(ModelDepList, ExhaustiveThreePushersVsCompleter) {
+  auto r = xc::explore(model::exhaustive(2), chain_build(3));
+  model::expect_clean(r, "deplist_chain_3p");
+}
+
+TEST(ModelDepList, PctSweepChain) {
+  auto r = xc::explore(model::pct(/*seed=*/11, /*iterations=*/400),
+                       chain_build(3));
+  model::expect_clean(r, "deplist_chain_pct");
+}
+
+// --- property 2: exactly-one dispatcher ------------------------------------
+// The composed protocol from dependency.cpp, two predecessors completing
+// concurrently with registration:
+//   registrant: count = 1 (guard); per pred: count++, push; on sealed
+//               failure count-- (undo); finally count-- and dispatch on 0.
+//   completer i: seal pred i's list; for each chained node count-- and
+//               dispatch on 0.
+
+struct ReleaseState {
+  ReleaseList pred[2];
+  ReleaseNode edge[2];
+  xtask::atomic<std::uint32_t> deps_pending{1};  // the registration guard
+  int dispatched = 0;  // plain: single-OS-threaded checker, yields expose
+                       // double dispatch deterministically
+};
+
+void dispatch(const std::shared_ptr<ReleaseState>& st) {
+  xc::Exec::yield();  // widen the window between decide and act
+  st->dispatched++;
+}
+
+TEST(ModelDepList, ExhaustiveExactlyOneDispatcher) {
+  auto r = xc::explore(model::exhaustive(3), [](xc::Exec& ex) {
+    auto st = std::make_shared<ReleaseState>();
+    ex.thread("registrant", [st] {
+      for (int p = 0; p < 2; ++p) {
+        st->deps_pending.fetch_add(1, std::memory_order_relaxed);
+        st->edge[p].item = st.get();
+        if (!st->pred[p].push(&st->edge[p]))
+          st->deps_pending.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (st->deps_pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        dispatch(st);
+    });
+    for (int p = 0; p < 2; ++p) {
+      ex.thread("completer" + std::to_string(p), [st, p] {
+        ReleaseNode* n = st->pred[p].seal();
+        for (; n != nullptr; n = n->next)
+          if (st->deps_pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            dispatch(st);
+      });
+    }
+    ex.check([st] {
+      if (st->dispatched != 1)
+        xc::Exec::fail("successor dispatched " +
+                       std::to_string(st->dispatched) +
+                       " times (must be exactly once)");
+      if (st->deps_pending.load(std::memory_order_relaxed) != 0)
+        xc::Exec::fail("deps_pending nonzero after all parties finished");
+    });
+  });
+  model::expect_clean(r, "deplist_one_dispatcher");
+}
+
+TEST(ModelDepList, PctSweepExactlyOneDispatcher) {
+  auto r = xc::explore(model::pct(/*seed=*/13, /*iterations=*/400),
+                       [](xc::Exec& ex) {
+    auto st = std::make_shared<ReleaseState>();
+    ex.thread("registrant", [st] {
+      for (int p = 0; p < 2; ++p) {
+        st->deps_pending.fetch_add(1, std::memory_order_relaxed);
+        st->edge[p].item = st.get();
+        if (!st->pred[p].push(&st->edge[p]))
+          st->deps_pending.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (st->deps_pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        dispatch(st);
+    });
+    for (int p = 0; p < 2; ++p) {
+      ex.thread("completer" + std::to_string(p), [st, p] {
+        ReleaseNode* n = st->pred[p].seal();
+        for (; n != nullptr; n = n->next)
+          if (st->deps_pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            dispatch(st);
+      });
+    }
+    ex.check([st] {
+      if (st->dispatched != 1)
+        xc::Exec::fail("successor dispatched " +
+                       std::to_string(st->dispatched) + " times");
+    });
+  });
+  model::expect_clean(r, "deplist_one_dispatcher_pct");
+}
+
+}  // namespace

@@ -197,6 +197,105 @@ TEST(Dependency, FireAndForgetChainDrainsAtBarrier) {
   EXPECT_EQ(value, 50);
 }
 
+// --- structural regressions on the frontier map itself ---------------------
+// These drive detail::DepScope directly on stack Task objects and assert
+// the exact unmet-predecessor counts register_task reports, pinning the
+// reader-after-writer fix: a `din` after an `inout` chain orders against
+// the *last* writer only, and a task never lingers in its own reader set.
+
+/// Seal every task's release list (freeing edge nodes) and close the scope
+/// so its destructor invariant holds; stack Tasks own their dep_state here.
+void drain_scope(detail::DepScope& scope, std::initializer_list<Task*> ts) {
+  std::vector<Task*> ready;
+  for (Task* t : ts) detail::collect_ready_successors(t, &ready);
+  std::vector<Task*> refs;
+  scope.close(&refs);
+  for (Task* t : ts) {
+    delete t->dep_state;
+    t->dep_state = nullptr;
+  }
+}
+
+TEST(DependencyFrontier, ReaderAfterInoutChainOrdersAgainstLastWriterOnly) {
+  detail::DepScope scope;
+  Task w1{}, w2{}, r{};
+  int x = 0;
+  const Dep dw = dinout(&x);
+  const Dep dr = din(&x);
+  EXPECT_EQ(scope.register_task(&w1, &dw, 1), 0u);
+  EXPECT_EQ(scope.register_task(&w2, &dw, 1), 1u);
+  // The regression: exactly one unmet predecessor — the last writer w2 —
+  // never stale entries from earlier in the chain.
+  EXPECT_EQ(scope.register_task(&r, &dr, 1), 1u);
+  EXPECT_EQ(scope.last_writer(&x), &w2);
+  EXPECT_EQ(scope.reader_count(&x), 1u);
+  drain_scope(scope, {&w1, &w2, &r});
+}
+
+TEST(DependencyFrontier, DinDoutInoutSpellingLeavesNoSelfReader) {
+  // The historical `{din(&x), dout(&x)}` spelling of inout used to leave
+  // the task behind in its own reader set, double-edging every later
+  // conflict. It must collapse into a single writer entry.
+  detail::DepScope scope;
+  Task w{}, w2{};
+  int x = 0;
+  const Dep both[2] = {din(&x), dout(&x)};
+  EXPECT_EQ(scope.register_task(&w, both, 2), 0u);
+  EXPECT_EQ(scope.reader_count(&x), 0u);   // folded into the writer slot
+  EXPECT_EQ(scope.last_writer(&x), &w);
+  EXPECT_EQ(w.refs.load(), 2u);            // one map reference, not two
+  const Dep dw = dout(&x);
+  EXPECT_EQ(scope.register_task(&w2, &dw, 1), 1u);  // one edge, not two
+  drain_scope(scope, {&w, &w2});
+}
+
+TEST(DependencyFrontier, DuplicateDinRegistersOnce) {
+  detail::DepScope scope;
+  Task r{};
+  int x = 0;
+  const Dep dd[2] = {din(&x), din(&x)};
+  EXPECT_EQ(scope.register_task(&r, dd, 2), 0u);
+  EXPECT_EQ(scope.reader_count(&x), 1u);
+  EXPECT_EQ(r.refs.load(), 2u);  // single reader retain
+  drain_scope(scope, {&r});
+}
+
+TEST(DependencyFrontier, WriterOrdersAfterWriterAndAllReaders) {
+  detail::DepScope scope;
+  Task w1{}, r1{}, r2{}, w2{};
+  int x = 0;
+  const Dep dw = dout(&x);
+  const Dep dr = din(&x);
+  EXPECT_EQ(scope.register_task(&w1, &dw, 1), 0u);
+  EXPECT_EQ(scope.register_task(&r1, &dr, 1), 1u);
+  EXPECT_EQ(scope.register_task(&r2, &dr, 1), 1u);
+  // Collapse: the new writer conflicts with the old writer AND both
+  // readers; afterwards the frontier is just w2.
+  EXPECT_EQ(scope.register_task(&w2, &dw, 1), 3u);
+  EXPECT_EQ(scope.reader_count(&x), 0u);
+  EXPECT_EQ(scope.last_writer(&x), &w2);
+  drain_scope(scope, {&w1, &r1, &r2, &w2});
+}
+
+TEST(Dependency, InoutChainThenReaderSeesFinalValue) {
+  // End-to-end spelling of the regression: the reader must observe the
+  // value after the *last* writer of the chain.
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kWorkSteal));
+  Runtime& rt = *rt_h;
+  long v = 0;
+  long seen = -1;
+  rt.run([&](TaskContext& ctx) {
+    for (int i = 0; i < 20; ++i)
+      ctx.spawn([&](TaskContext&) { v = v * 2 + 1; }, {dinout(&v)});
+    ctx.spawn([&](TaskContext&) { seen = v; }, {din(&v)});
+    ctx.taskwait();
+  });
+  long expect = 0;
+  for (int i = 0; i < 20; ++i) expect = expect * 2 + 1;
+  EXPECT_EQ(v, expect);
+  EXPECT_EQ(seen, expect);
+}
+
 TEST(Dependency, CountersStillBalance) {
   const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kRedirectPush));
   Runtime& rt = *rt_h;

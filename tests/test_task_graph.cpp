@@ -1,0 +1,318 @@
+// Task-graph engine tests (core/task_graph.hpp): capture/replay structure,
+// replay determinism and exact accounting, BOTS kernels as dependency
+// graphs matching their taskwait formulations bit-for-bit, serve-side
+// graph handles, and the registry's graph spec keys.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bots/graph_workloads.hpp"
+#include "core/task_graph.hpp"
+#include "registry/registry.hpp"
+#include "serve/service.hpp"
+
+namespace xtask {
+namespace {
+
+Config cfg4(DlbKind dlb = DlbKind::kWorkSteal) {
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.numa_zones = 2;
+  cfg.dlb = dlb;
+  cfg.dlb_cfg.t_interval = 64;
+  return cfg;
+}
+
+// --- structure -------------------------------------------------------------
+
+TEST(TaskGraph, DiamondStructure) {
+  int a = 0, b = 0;
+  TaskGraph g = TaskGraph::record([&](TaskGraph::Capture& cap) {
+    cap.node([](TaskContext&) {}, {dout(&a)});                 // source
+    cap.node([](TaskContext&) {}, {din(&a), dout(&b)});        // left
+    cap.node([](TaskContext&) {}, {din(&a)});                  // right
+    cap.node([](TaskContext&) {}, {din(&b), dinout(&a)});      // sink
+  });
+  EXPECT_TRUE(g.sealed());
+  EXPECT_EQ(g.num_nodes(), 4u);
+  // Edges: 0->1 and 0->2 (readers of a after its writer), 1->3 (b's
+  // writer), and the sink's dinout(a) collapsing a's frontier with edges
+  // from readers {1, 2} (the 1->3 duplicate is a legitimate parallel edge
+  // over two addresses). Roots: just the source; longest chain 0->1->3.
+  EXPECT_EQ(g.num_roots(), 1u);
+  EXPECT_EQ(g.critical_path(), 3u);
+  EXPECT_GE(g.num_edges(), 4u);
+}
+
+TEST(TaskGraph, MoveTransfersOwnership) {
+  int a = 0;
+  TaskGraph g = TaskGraph::record([&](TaskGraph::Capture& cap) {
+    cap.node([](TaskContext&) {}, {dout(&a)});
+    cap.node([](TaskContext&) {}, {din(&a)});
+  });
+  TaskGraph h = std::move(g);
+  EXPECT_TRUE(h.sealed());
+  EXPECT_EQ(h.num_nodes(), 2u);
+  EXPECT_EQ(g.num_nodes(), 0u);  // NOLINT(bugprone-use-after-move): pinned
+}
+
+TEST(TaskGraph, EmptyGraphReplaysWithoutHanging) {
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  TaskGraph g = TaskGraph::record([](TaskGraph::Capture&) {});
+  g.replay(*rt_h, 3);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.critical_path(), 0u);
+}
+
+// --- capture & replay semantics --------------------------------------------
+
+TEST(TaskGraph, CaptureExecutesTheWorkloadOnce) {
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  std::atomic<int> runs{0};
+  int tok = 0;
+  TaskGraph g = TaskGraph::capture(*rt_h, [&](TaskGraph::Capture& cap) {
+    for (int i = 0; i < 8; ++i)
+      cap.node([&runs](TaskContext&) { runs.fetch_add(1); }, {dinout(&tok)});
+  });
+  EXPECT_EQ(runs.load(), 8);  // capture == one execution
+  g.replay(*rt_h, 2);
+  EXPECT_EQ(runs.load(), 24);
+}
+
+TEST(TaskGraph, ReplayDeterminism100) {
+  // Same graph, 100 replays: every node executes exactly once per replay
+  // (identical executed-node counts), and runtime task accounting closes
+  // exactly (submitted == executed). A wide-ish DAG with chains, a
+  // reduction fan-in, and independent islands exercises the release path
+  // across workers; run under TSAN in CI.
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kAdaptive));
+  Runtime& rt = *rt_h;
+  constexpr int kChains = 8, kLen = 8;
+  constexpr int kNodes = kChains * kLen + 1;  // + reduction sink
+  auto counts = std::make_unique<std::atomic<std::uint32_t>[]>(kNodes);
+  for (int i = 0; i < kNodes; ++i) counts[i].store(0);
+  int tokens[kChains];
+  TaskGraph g = TaskGraph::record([&](TaskGraph::Capture& cap) {
+    for (int c = 0; c < kChains; ++c)
+      for (int s = 0; s < kLen; ++s)
+        cap.node(
+            [p = &counts[c * kLen + s]](TaskContext&) { p->fetch_add(1); },
+            {dinout(&tokens[c])});
+    std::initializer_list<Dep> all = {din(&tokens[0]), din(&tokens[1]),
+                                      din(&tokens[2]), din(&tokens[3]),
+                                      din(&tokens[4]), din(&tokens[5]),
+                                      din(&tokens[6]), din(&tokens[7])};
+    cap.node([p = &counts[kNodes - 1]](TaskContext&) { p->fetch_add(1); },
+             all);
+  });
+  EXPECT_EQ(g.num_nodes(), static_cast<std::uint32_t>(kNodes));
+  EXPECT_EQ(g.num_roots(), static_cast<std::uint32_t>(kChains));
+  EXPECT_EQ(g.critical_path(), static_cast<std::uint32_t>(kLen + 1));
+
+  constexpr int kReplays = 100;
+  g.replay(rt, kReplays);
+  for (int i = 0; i < kNodes; ++i)
+    ASSERT_EQ(counts[i].load(), static_cast<std::uint32_t>(kReplays))
+        << "node " << i;
+
+  const Counters total = rt.profiler().total_counters();
+  EXPECT_EQ(total.ntasks_created, total.ntasks_executed);  // exact books
+  EXPECT_EQ(total.ngraph_replays, static_cast<std::uint64_t>(kReplays));
+  EXPECT_EQ(total.ngraph_nodes_run,
+            static_cast<std::uint64_t>(kReplays) * kNodes);
+  EXPECT_EQ(total.ngraph_edges_released,
+            static_cast<std::uint64_t>(kReplays) * g.num_edges());
+}
+
+TEST(TaskGraph, ArmHookFiresExactlyOncePerReplay) {
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4());
+  int tok = 0;
+  TaskGraph g = TaskGraph::record([&](TaskGraph::Capture& cap) {
+    for (int i = 0; i < 16; ++i)
+      cap.node([](TaskContext&) {}, {dinout(&tok)});
+  });
+  TaskGraph::Instance inst(g);
+  EXPECT_TRUE(inst.idle());
+  std::atomic<int> fired{0};
+  for (int r = 0; r < 5; ++r) {
+    inst.reset();
+    inst.arm([](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); },
+             &fired);
+    rt_h->run([&](TaskContext& ctx) { g.replay_async(ctx, &inst); });
+    EXPECT_TRUE(inst.idle());
+    EXPECT_EQ(fired.load(), r + 1);
+  }
+}
+
+// --- BOTS kernels as dependency graphs -------------------------------------
+
+TEST(TaskGraph, SparseLuDepsMatchesTaskwaitExactly) {
+  bots::SparseLuParams p;
+  p.blocks = 8;
+  p.block_size = 8;
+  const double serial = bots::sparselu_serial(p);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kAdaptive));
+  double parallel, deps;
+  {
+    const auto rt2 = RuntimeRegistry::make_xtask(cfg4(DlbKind::kAdaptive));
+    parallel = bots::sparselu_parallel(*rt2, p);
+  }
+  deps = bots::sparselu_deps(*rt_h, p);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(deps, serial);  // bit-identical: same kernels, same order
+}
+
+TEST(TaskGraph, SparseLuGraphReplayMatchesTaskwaitExactly) {
+  bots::SparseLuParams p;
+  p.blocks = 8;
+  p.block_size = 8;
+  const double serial = bots::sparselu_serial(p);
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kAdaptive));
+  bots::SparseMatrix m(p, /*fill=*/true);
+  TaskGraph g = bots::sparselu_record(&m);
+  EXPECT_GT(g.num_edges(), g.num_nodes());  // densely chained DAG
+  g.replay(*rt_h, 1);  // first replay = the factorization
+  EXPECT_EQ(m.checksum(), serial);
+}
+
+TEST(TaskGraph, StrassenDepsAndGraphMatchParallelExactly) {
+  constexpr std::size_t kN = 128, kCutoff = 32;
+  const std::vector<double> a = bots::strassen_input(kN, 3);
+  const std::vector<double> b = bots::strassen_input(kN, 5);
+  std::vector<double> ref;
+  {
+    const auto rt = RuntimeRegistry::make_xtask(cfg4());
+    ref = bots::strassen_parallel(*rt, a, b, kN, kCutoff);
+  }
+  const auto rt_h = RuntimeRegistry::make_xtask(cfg4(DlbKind::kAdaptive));
+  const std::vector<double> viadeps =
+      bots::strassen_deps(*rt_h, a, b, kN, kCutoff);
+  ASSERT_EQ(viadeps.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(viadeps[i], ref[i]) << "deps element " << i;
+
+  std::vector<double> c(kN * kN, 0.0);
+  bots::StrassenDepState s(a.data(), b.data(), c.data(), kN, kCutoff);
+  TaskGraph g = bots::strassen_record(&s);
+  EXPECT_EQ(g.num_nodes(), 21u);  // 10 preps + 7 muls + 4 combines
+  EXPECT_EQ(g.critical_path(), 3u);
+  g.replay(*rt_h, 1);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(c[i], ref[i]) << "graph element " << i;
+}
+
+// --- serve front-end: graph-shaped requests --------------------------------
+
+TEST(TaskGraphServe, GraphRequestsAccountExactly) {
+  serve::ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws";
+  cfg.tenants = TenantSpec::parse_list(
+      "a:rate=1000000,quota=100000,burst=100000");
+  serve::TaskService svc(std::move(cfg));
+
+  static std::atomic<std::uint64_t> node_runs{0};
+  node_runs.store(0);
+  int tok = 0;
+  constexpr std::uint32_t kGraphNodes = 12;
+  TaskGraph g = TaskGraph::record([&](TaskGraph::Capture& cap) {
+    for (std::uint32_t i = 0; i < kGraphNodes; ++i)
+      cap.node([](TaskContext&) { node_runs.fetch_add(1); }, {dinout(&tok)});
+  });
+  const std::uint32_t handle = svc.register_graph(std::move(g));
+  ASSERT_EQ(handle, 1u);
+  EXPECT_EQ(svc.num_graphs(), 1);
+
+  constexpr int kRequests = 300;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::Request r;
+    r.graph = handle;
+    svc.submit(0, r);
+  }
+  svc.stop();
+
+  const serve::TenantStats s = svc.tenant_stats(0);
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(s.executed + s.shed + s.rejected, s.submitted);
+  EXPECT_EQ(s.in_flight, 0u);
+  // Every executed graph request ran the whole DAG exactly once.
+  EXPECT_EQ(node_runs.load(), s.executed * kGraphNodes);
+  EXPECT_EQ(svc.graph_replays(handle), s.executed);
+  EXPECT_GT(s.executed, 0u);
+}
+
+TEST(TaskGraphServe, UnknownGraphHandleIsRejected) {
+  serve::ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2";
+  cfg.tenants = TenantSpec::parse_list("a:rate=1000,quota=100");
+  serve::TaskService svc(std::move(cfg));
+  serve::Request r;
+  r.graph = 7;  // never registered
+  const serve::Submit s = svc.submit(0, r);
+  EXPECT_EQ(s.status, serve::SubmitStatus::kRejected);
+  EXPECT_EQ(s.retry_after_us, 0u);  // client bug, not pressure
+  svc.stop();
+  EXPECT_EQ(svc.tenant_stats(0).rejected, 1u);
+}
+
+TEST(TaskGraphServe, RegisterGraphValidates) {
+  serve::ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2";
+  cfg.tenants = TenantSpec::parse_list("a:rate=1000,quota=100");
+  serve::TaskService svc(std::move(cfg));
+  EXPECT_THROW(svc.register_graph(TaskGraph{}), std::invalid_argument);
+  svc.stop();
+}
+
+// --- registry grammar ------------------------------------------------------
+
+TEST(TaskGraphRegistry, GraphKeysParse) {
+  const Config off = RuntimeRegistry::xtask_config(BackendSpec::parse("xtask"));
+  EXPECT_EQ(off.graph_mode, GraphMode::kOff);
+  EXPECT_EQ(off.graph_replays, 1);
+
+  const Config cap = RuntimeRegistry::xtask_config(
+      BackendSpec::parse("xtask:graph=capture"));
+  EXPECT_EQ(cap.graph_mode, GraphMode::kCapture);
+
+  const Config rep = RuntimeRegistry::xtask_config(
+      BackendSpec::parse("xtask:graph=replay,greplays=16"));
+  EXPECT_EQ(rep.graph_mode, GraphMode::kReplay);
+  EXPECT_EQ(rep.graph_replays, 16);
+}
+
+TEST(TaskGraphRegistry, GraphKeysValidate) {
+  EXPECT_THROW(RuntimeRegistry::xtask_config(
+                   BackendSpec::parse("xtask:graph=sometimes")),
+               std::invalid_argument);
+  // greplays without graph=replay is a contradiction, not a default.
+  EXPECT_THROW(
+      RuntimeRegistry::xtask_config(BackendSpec::parse("xtask:greplays=4")),
+      std::invalid_argument);
+  EXPECT_THROW(RuntimeRegistry::xtask_config(
+                   BackendSpec::parse("xtask:graph=capture,greplays=4")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      RuntimeRegistry::xtask_config(BackendSpec::parse("xtask:greplays=0")),
+      std::invalid_argument);
+  // Typo'd key fails loudly through check_keys.
+  EXPECT_THROW(
+      RuntimeRegistry::xtask_config(BackendSpec::parse("xtask:grpah=replay")),
+      std::invalid_argument);
+}
+
+TEST(TaskGraphRegistry, SmokeSpecsIncludeGraphAndStayValid) {
+  bool saw_graph = false;
+  for (const std::string& spec : RuntimeRegistry::smoke_specs()) {
+    if (spec.find("graph=") != std::string::npos) saw_graph = true;
+    const BackendSpec parsed = BackendSpec::parse(spec);
+    if (parsed.backend == "xtask")
+      EXPECT_NO_THROW(RuntimeRegistry::xtask_config(parsed)) << spec;
+  }
+  EXPECT_TRUE(saw_graph);
+}
+
+}  // namespace
+}  // namespace xtask
