@@ -14,11 +14,26 @@
 //
 //   bench_serve [--seconds S] [--seed N] [--work-us U] [--burst B]
 //               [--spec "xtask:..."] [--phases all|2x] [--check]
-//               [--check-slo]
+//               [--check-slo] [--transport inproc|ipc]
 //
 // --check makes accounting violations and hangs a nonzero exit (the CI
 // overload-soak gate); --check-slo additionally enforces the p99 and
 // goodput ratios (local tuning, too machine-sensitive for shared CI).
+//
+// --transport ipc swaps the experiment: after calibration it runs ONE
+// 1.0x in-process phase as the reference, then the same offered load
+// through the shared-memory transport (src/serve/ipc) with one real
+// child process per tenant (fork+exec of this binary in a hidden
+// --ipc-child mode) submitting at the tenant's share of the rate. Both
+// phases land in the JSON stream ("transport" field) plus a
+// serve_ipc_summary record with the cross-process/in-process goodput
+// ratio — the transport's overhead, measured end to end. Latency for the
+// ipc phase is recorded server-side from the client's submit stamp (both
+// sides share CLOCK_MONOTONIC).
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -34,6 +49,8 @@
 
 #include "core/common.hpp"
 #include "registry/registry.hpp"
+#include "serve/ipc/client.hpp"
+#include "serve/ipc/server.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -111,6 +128,7 @@ void serve_request(const Request& req) {
 
 struct PhaseResult {
   std::string name;
+  std::string transport = "inproc";
   double offered_rps = 0;
   double goodput_rps = 0;
   double duration_s = 0;
@@ -121,6 +139,7 @@ struct PhaseResult {
 
 struct Options {
   std::string spec = "xtask:dlb=naws,tint=128";
+  std::string transport = "inproc";  // or "ipc"
   double seconds = 2.0;
   std::uint64_t seed = 42;
   double burst = 3.0;       // square-wave peak multiplier
@@ -245,8 +264,8 @@ PhaseResult run_phase(const Options& opt, const std::string& name,
   res.p99_us = hist_percentile(0.99) / 1e3;
   res.p999_us = hist_percentile(0.999) / 1e3;
   res.accounting_ok =
-      res.totals.submitted ==
-          res.totals.executed + res.totals.shed + res.totals.rejected &&
+      res.totals.submitted == res.totals.executed + res.totals.shed +
+                                  res.totals.rejected + res.totals.orphaned &&
       res.totals.in_flight == 0 &&
       res.totals.submitted == submitted;
   return res;
@@ -277,21 +296,179 @@ double calibrate(const Options& opt) {
   return std::max(rate, 100.0);
 }
 
+// --- the ipc (cross-process) phase ----------------------------------------
+
+/// Server-side request body for the ipc phase: same synthetic spin as
+/// serve_request, latency measured from the CLIENT's submit stamp (both
+/// processes share CLOCK_MONOTONIC), so the recorded percentiles include
+/// the transport hop.
+std::uint64_t ipc_handler(std::uint32_t, std::uint64_t arg,
+                          std::uint64_t t_submit_ns) {
+  const std::uint64_t start = now_ns();
+  g_hist[bucket_of(start - t_submit_ns)].fetch_add(
+      1, std::memory_order_relaxed);
+  g_completed.fetch_add(1, std::memory_order_relaxed);
+  while (now_ns() - start < g_work_ns) xtask::cpu_pause();
+  return arg;
+}
+
+/// The hidden --ipc-child body: one external loadgen process submitting
+/// open-loop exponential arrivals at `rps` as `tenant`. Arrivals that
+/// cannot be submitted within a short deadline are dropped, not retried —
+/// same open-loop regime as run_phase. Silent on stdout (the parent owns
+/// the JSON stream).
+int run_ipc_child(const std::string& spec_str, int tenant, double rps,
+                  double seconds, std::uint64_t seed) {
+  xtask::TransportSpec tspec;
+  try {
+    tspec = xtask::TransportSpec::parse(spec_str);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipc-child: bad spec: %s\n", e.what());
+    return 3;
+  }
+  xtask::ipc::Client c;
+  xtask::ipc::Client::Options copt;
+  copt.backoff_seed = seed;
+  if (c.connect(tspec, static_cast<std::uint32_t>(tenant), copt) !=
+      xtask::ipc::ClientStatus::kOk) {
+    std::fprintf(stderr, "ipc-child: connect failed\n");
+    return 3;
+  }
+  XorShift rng(seed);
+  xtask::ipc::CmplPayload cmpl[64];
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t_end = t0 + static_cast<std::uint64_t>(seconds * 1e9);
+  std::uint64_t next_arrival = t0;
+  std::uint64_t id = 0;
+  while (now_ns() < t_end) {
+    const std::uint64_t now = now_ns();
+    if (now < next_arrival) {
+      const std::uint64_t wait = next_arrival - now;
+      if (wait > 200'000) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(wait - 100'000));
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    for (int due = 0; due < 256 && next_arrival <= now; ++due) {
+      (void)c.submit(0, id, id, now + 5'000'000);  // 5 ms, then drop
+      ++id;
+      const double gap_s = -std::log(1.0 - rng.uniform()) / rps;
+      next_arrival +=
+          static_cast<std::uint64_t>(std::min(gap_s, 0.1) * 1e9) + 1;
+    }
+    if (c.poisoned() || c.evicted()) break;
+    (void)c.poll(cmpl, 64);
+  }
+  // Drain the completion tail so the server's pushes don't hit a full
+  // ring, then say goodbye properly.
+  const std::uint64_t drain_end = now_ns() + 500'000'000ull;
+  while (now_ns() < drain_end && c.poll(cmpl, 64) != 0) {
+  }
+  c.disconnect();
+  return 0;
+}
+
+PhaseResult run_ipc_phase(const Options& opt, const std::string& name,
+                          double offered_rps, double sustainable_rps,
+                          const char* self_exe) {
+  hist_reset();
+  ServeConfig cfg;
+  cfg.runtime_spec = opt.spec;
+  cfg.tenants = make_tenants(sustainable_rps);
+  const std::string seg = "bench_serve_" + std::to_string(::getpid());
+  xtask::TransportSpec tspec = xtask::TransportSpec::parse(
+      "ipc=shm,seg=" + seg + ",sessions=8,ring=1024,lease_ms=200");
+  xtask::ipc::IpcServer server(std::move(cfg), tspec, &ipc_handler);
+
+  const std::uint64_t t0 = now_ns();
+  std::vector<pid_t> kids;
+  for (int t = 0; t < kTenants; ++t) {
+    const double rps = std::max(1.0, offered_rps * kMix[t].share);
+    const std::string spec_s = tspec.describe();
+    const std::string tenant_s = std::to_string(t);
+    const std::string rate_s = std::to_string(rps);
+    const std::string seconds_s = std::to_string(opt.seconds);
+    const std::string seed_s =
+        std::to_string(opt.seed + static_cast<std::uint64_t>(t) * 7919);
+    const char* cargv[] = {self_exe,      "--ipc-child",
+                           "--ipc-spec",  spec_s.c_str(),
+                           "--tenant",    tenant_s.c_str(),
+                           "--rate",      rate_s.c_str(),
+                           "--seconds",   seconds_s.c_str(),
+                           "--seed",      seed_s.c_str(),
+                           nullptr};
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execv(self_exe, const_cast<char* const*>(cargv));
+      ::_exit(127);
+    }
+    if (pid > 0) kids.push_back(pid);
+  }
+
+  bool children_ok = !kids.empty();
+  const std::uint64_t wait_deadline =
+      now_ns() + static_cast<std::uint64_t>((opt.seconds + 30.0) * 1e9);
+  for (const pid_t pid : kids) {
+    int status = 0;
+    for (;;) {
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) break;
+      if (r < 0 || now_ns() >= wait_deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+        children_ok = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0))
+      children_ok = false;
+  }
+  // Let graceful closes drain before stopping.
+  const std::uint64_t drain_deadline = now_ns() + 2'000'000'000ull;
+  while (server.live_sessions() != 0 && now_ns() < drain_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double duration_s = static_cast<double>(now_ns() - t0) / 1e9;
+  server.stop();
+
+  PhaseResult res;
+  res.name = name;
+  res.transport = "ipc";
+  res.offered_rps = offered_rps;
+  res.duration_s = duration_s;
+  res.totals = server.service().totals();
+  res.goodput_rps =
+      static_cast<double>(res.totals.executed) / std::max(duration_s, 1e-9);
+  res.p50_us = hist_percentile(0.50) / 1e3;
+  res.p99_us = hist_percentile(0.99) / 1e3;
+  res.p999_us = hist_percentile(0.999) / 1e3;
+  res.accounting_ok =
+      res.totals.submitted == res.totals.executed + res.totals.shed +
+                                  res.totals.rejected + res.totals.orphaned &&
+      res.totals.in_flight == 0 && children_ok;
+  return res;
+}
+
 void print_phase(const PhaseResult& r, int threads,
                  const std::string& spec) {
   std::printf(
-      "{\"bench\":\"serve\",\"phase\":\"%s\",\"offered_rps\":%.0f,"
+      "{\"bench\":\"serve\",\"phase\":\"%s\",\"transport\":\"%s\","
+      "\"offered_rps\":%.0f,"
       "\"submitted\":%llu,\"accepted\":%llu,\"executed\":%llu,"
-      "\"shed\":%llu,\"rejected\":%llu,\"goodput_rps\":%.0f,"
+      "\"shed\":%llu,\"rejected\":%llu,\"orphaned\":%llu,"
+      "\"goodput_rps\":%.0f,"
       "\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,"
       "\"duration_s\":%.2f,\"threads\":%d,\"config\":\"%s\","
       "\"accounting_ok\":%s}\n",
-      r.name.c_str(), r.offered_rps,
+      r.name.c_str(), r.transport.c_str(), r.offered_rps,
       static_cast<unsigned long long>(r.totals.submitted),
       static_cast<unsigned long long>(r.totals.admitted),
       static_cast<unsigned long long>(r.totals.executed),
       static_cast<unsigned long long>(r.totals.shed),
-      static_cast<unsigned long long>(r.totals.rejected), r.goodput_rps,
+      static_cast<unsigned long long>(r.totals.rejected),
+      static_cast<unsigned long long>(r.totals.orphaned), r.goodput_rps,
       r.p50_us, r.p99_us, r.p999_us, r.duration_s, threads, spec.c_str(),
       r.accounting_ok ? "true" : "false");
   std::fflush(stdout);
@@ -301,6 +478,10 @@ void print_phase(const PhaseResult& r, int threads,
 
 int main(int argc, char** argv) {
   Options opt;
+  bool ipc_child = false;
+  std::string child_spec;
+  int child_tenant = 0;
+  double child_rate = 100.0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -318,13 +499,29 @@ int main(int argc, char** argv) {
     else if (a == "--phases") opt.phases_all = std::string(next()) != "2x";
     else if (a == "--check") opt.check = true;
     else if (a == "--check-slo") { opt.check = true; opt.check_slo = true; }
+    else if (a == "--transport") opt.transport = next();
+    else if (a.rfind("--transport=", 0) == 0)
+      opt.transport = a.substr(std::strlen("--transport="));
+    else if (a == "--ipc-child") ipc_child = true;
+    else if (a == "--ipc-spec") child_spec = next();
+    else if (a == "--tenant") child_tenant = std::atoi(next());
+    else if (a == "--rate") child_rate = std::atof(next());
     else {
       std::fprintf(stderr,
                    "usage: bench_serve [--seconds S] [--seed N] "
                    "[--work-us U] [--burst B] [--spec SPEC] "
-                   "[--phases all|2x] [--check] [--check-slo]\n");
+                   "[--phases all|2x] [--check] [--check-slo] "
+                   "[--transport inproc|ipc]\n");
       return 2;
     }
+  }
+  if (ipc_child)
+    return run_ipc_child(child_spec, child_tenant, child_rate, opt.seconds,
+                         opt.seed);
+  if (opt.transport != "inproc" && opt.transport != "ipc") {
+    std::fprintf(stderr, "unknown --transport '%s' (inproc|ipc)\n",
+                 opt.transport.c_str());
+    return 2;
   }
   if (opt.burst * opt.burst_duty > 1.0) {
     // Peaks this tall would need a negative trough; flatten instead.
@@ -340,6 +537,41 @@ int main(int argc, char** argv) {
               sustainable, threads,
               static_cast<double>(g_work_ns) / 1e3);
   std::fflush(stdout);
+
+  if (opt.transport == "ipc") {
+    // Cross-process experiment: an in-process 1.0x reference, then the
+    // same offered load through the shm transport with real child
+    // processes. The ratio is the transport's end-to-end overhead.
+    bool ok = true;
+    const PhaseResult inproc =
+        run_phase(opt, "1.0x", 1.0 * sustainable, sustainable);
+    print_phase(inproc, threads, opt.spec);
+    const PhaseResult ipc = run_ipc_phase(opt, "ipc-1.0x", 1.0 * sustainable,
+                                          sustainable, "/proc/self/exe");
+    print_phase(ipc, threads, opt.spec);
+    for (const PhaseResult* r : {&inproc, &ipc}) {
+      if (!r->accounting_ok) {
+        std::fprintf(stderr, "FAIL %s: accounting violated\n",
+                     r->name.c_str());
+        ok = false;
+      }
+      if (r->totals.executed == 0) {
+        std::fprintf(stderr, "FAIL %s: nothing executed (hang?)\n",
+                     r->name.c_str());
+        ok = false;
+      }
+    }
+    const double ratio = inproc.goodput_rps > 0
+                             ? ipc.goodput_rps / inproc.goodput_rps
+                             : 0.0;
+    std::printf(
+        "{\"bench\":\"serve_ipc_summary\",\"sustainable_rps\":%.0f,"
+        "\"inproc_goodput_rps\":%.0f,\"ipc_goodput_rps\":%.0f,"
+        "\"ipc_vs_inproc_goodput\":%.3f}\n",
+        sustainable, inproc.goodput_rps, ipc.goodput_rps, ratio);
+    std::fflush(stdout);
+    return opt.check && !ok ? 1 : 0;
+  }
 
   std::vector<std::pair<std::string, double>> phases;
   if (opt.phases_all) {

@@ -182,17 +182,22 @@ def run_serve(build_dir: pathlib.Path, seconds: float,
         raise SystemExit(f"missing {binary}; build the repo first")
     stamp = _now()
     records = []
-    out = _run([str(binary), "--seconds", str(seconds), "--seed", str(seed),
-                "--check"], timeout=600)
-    for line in out.splitlines():
-        line = line.strip()
-        if not line.startswith("{"):
-            continue
-        rec = json.loads(line)
-        rec["timestamp"] = stamp
-        records.append(rec)
+    # Two sweeps into one stream: the in-process overload phases, then the
+    # cross-process (shm transport) comparison — records carry a
+    # "transport" field and the ipc run adds a serve_ipc_summary record
+    # with the cross-process/in-process goodput ratio.
+    for extra in ([], ["--transport", "ipc"]):
+        out = _run([str(binary), "--seconds", str(seconds),
+                    "--seed", str(seed), "--check"] + extra, timeout=600)
+        for line in out.splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            rec = json.loads(line)
+            rec["timestamp"] = stamp
+            records.append(rec)
     phases = {r.get("phase") for r in records if r.get("bench") == "serve"}
-    missing = {"0.5x", "1.0x", "2.0x"} - phases
+    missing = {"0.5x", "1.0x", "2.0x", "ipc-1.0x"} - phases
     if missing:
         raise SystemExit(f"bench_serve produced no records for: "
                          f"{sorted(missing)}")
@@ -303,7 +308,8 @@ def check_serve_goodput(records: list[dict]) -> int:
     if not gate:
         print(f"no serve section in {FLOOR_FILE.name}; skipping gate")
         return 0
-    by_phase = {r["phase"]: r for r in records if r.get("bench") == "serve"}
+    by_phase = {r["phase"]: r for r in records if r.get("bench") == "serve"
+                and r.get("transport", "inproc") == "inproc"}
     failures = 0
     p1 = by_phase.get("1.0x")
     p2 = by_phase.get("2.0x")
@@ -322,6 +328,23 @@ def check_serve_goodput(records: list[dict]) -> int:
     print(f"{verdict:4s} serve/2.0x: goodput {p2['goodput_rps']:.0f} rps = "
           f"{frac_2x:.2f} of 1.0x goodput (floor {floor_2x:.2f})")
     failures += frac_2x < floor_2x
+    # Cross-process transport gate: the shm transport's goodput at 1.0x
+    # must stay within 1.5x of the in-process path (ratio >= 2/3), from the
+    # serve_ipc_summary record of the same run — a within-run ratio, so no
+    # host-speed noise factor applies.
+    floor_ipc = gate.get("min_ipc_vs_inproc_goodput")
+    ipc_sum = next((r for r in records
+                    if r.get("bench") == "serve_ipc_summary"), None)
+    if floor_ipc is not None:
+        if ipc_sum is None:
+            print("FAIL serve/ipc: no serve_ipc_summary record")
+            failures += 1
+        else:
+            ratio = ipc_sum["ipc_vs_inproc_goodput"]
+            verdict = "ok" if ratio >= floor_ipc else "FAIL"
+            print(f"{verdict:4s} serve/ipc: cross-process goodput = "
+                  f"{ratio:.2f} of in-process (floor {floor_ipc:.2f})")
+            failures += ratio < floor_ipc
     return failures
 
 

@@ -1,0 +1,132 @@
+// ipc_client — external-process client for the shared-memory task
+// service transport (src/serve/ipc). Quick start:
+//
+//   # terminal 1: any IpcServer, e.g. bench_serve --transport=ipc
+//   # terminal 2:
+//   ./ipc_client --spec "ipc=shm,seg=demo" --tenant 0 --count 1000
+//
+// Besides the normal mode it can impersonate every misbehaving client the
+// crash fault model covers — the fork-chaos tests exec this binary:
+//
+//   --mode normal        submit N, poll all completions, disconnect. [0]
+//   --mode torn          submit a few, claim a ring ticket, die without
+//                        publishing (the mid-publish SIGKILL footprint).
+//   --mode no-heartbeat  connect without a heartbeat, submit a burst,
+//                        vanish: lease expiry + orphaned requests.
+//   --mode hold          connect, submit, stop heartbeating, sleep until
+//                        killed (the wedged-client shape).
+//   --mode flood         submit as fast as possible until killed.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/ipc/client.hpp"
+
+using xtask::ipc::Client;
+using xtask::ipc::ClientStatus;
+using xtask::ipc::CmplPayload;
+
+int main(int argc, char** argv) {
+  std::string spec_str = "ipc=shm,seg=demo";
+  std::string mode = "normal";
+  std::uint32_t tenant = 0;
+  std::uint64_t count = 100;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (a == "--spec") spec_str = next();
+    else if (a == "--mode") mode = next();
+    else if (a == "--tenant") tenant = std::strtoul(next(), nullptr, 10);
+    else if (a == "--count") count = std::strtoull(next(), nullptr, 10);
+    else if (a == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return 64;
+    }
+  }
+
+  xtask::TransportSpec tspec;
+  try {
+    tspec = xtask::TransportSpec::parse(spec_str);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad --spec: %s\n", e.what());
+    return 64;
+  }
+
+  Client c;
+  Client::Options opt;
+  opt.backoff_seed = seed;
+  opt.start_heartbeat = mode != "no-heartbeat";
+  const ClientStatus cs = c.connect(tspec, tenant, opt);
+  if (cs != ClientStatus::kOk) {
+    std::fprintf(stderr, "connect: %s\n", xtask::ipc::to_string(cs));
+    return 3;
+  }
+
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  CmplPayload cmpl[64];
+  auto drain = [&] {
+    std::size_t n;
+    while ((n = c.poll(cmpl, 64)) != 0) completed += n;
+  };
+
+  if (mode == "torn") {
+    for (std::uint64_t i = 0; i < 4; ++i)
+      c.submit(0, i, i, xtask::ipc::now_ns() + 100'000'000);
+    c.debug_claim_and_abandon();
+    _exit(0);  // no disconnect, no destructors: a crash in shoes
+  }
+  if (mode == "no-heartbeat") {
+    for (std::uint64_t i = 0; i < count; ++i)
+      if (c.submit(0, i, i, xtask::ipc::now_ns() + 50'000'000) !=
+          ClientStatus::kOk)
+        ++failed;
+    _exit(0);
+  }
+  if (mode == "hold") {
+    for (std::uint64_t i = 0; i < count; ++i)
+      c.submit(0, i, i, xtask::ipc::now_ns() + 50'000'000);
+    c.debug_stop_heartbeat();
+    for (;;) ::sleep(3600);  // until SIGKILL
+  }
+  if (mode == "flood") {
+    for (std::uint64_t i = 0;; ++i) {
+      c.submit(0, i, i, xtask::ipc::now_ns() + 20'000'000);
+      if ((i & 63) == 0) drain();
+      if (c.poisoned() || c.evicted()) _exit(0);
+    }
+  }
+
+  // normal
+  const std::uint64_t deadline = xtask::ipc::now_ns() + 30'000'000'000ull;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ClientStatus st = c.submit(0, i, i, xtask::ipc::now_ns() +
+                                                  2'000'000'000ull);
+    if (st != ClientStatus::kOk) ++failed;
+    if ((i & 31) == 0) drain();
+  }
+  while (completed + failed < count && xtask::ipc::now_ns() < deadline) {
+    if (c.poisoned() || c.evicted()) break;
+    drain();
+    ::usleep(500);
+  }
+  drain();
+  std::printf("submitted=%llu completed=%llu failed=%llu status=%s\n",
+              static_cast<unsigned long long>(c.submitted()),
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(failed),
+              c.poisoned() ? "poisoned" : (c.evicted() ? "evicted" : "ok"));
+  c.disconnect();
+  return 0;
+}

@@ -107,6 +107,8 @@ enum class FaultPoint : int {
   kWorkerStall,     // worker goes heartbeat-silent (wedged task / desched)
   kWorkerSlow,      // worker goes silent just long enough to turn suspect
   kAdmissionStall,  // serve admission/drain wedged (service sheds, no block)
+  kTransportTorn,   // ipc submit slot treated as torn (skipped, counted)
+  kClientVanish,    // ipc session treated as crashed regardless of lease
   kCount_,
 };
 inline constexpr int kFaultPoints = static_cast<int>(FaultPoint::kCount_);

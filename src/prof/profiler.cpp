@@ -41,6 +41,9 @@ Counters& Counters::operator+=(const Counters& o) noexcept {
   nreclaimed += o.nreclaimed;
   nserve_requests += o.nserve_requests;
   nserve_shed += o.nserve_shed;
+  nsessions_expired += o.nsessions_expired;
+  nslots_torn += o.nslots_torn;
+  norphaned += o.norphaned;
   ngraph_replays += o.ngraph_replays;
   ngraph_nodes_run += o.ngraph_nodes_run;
   ngraph_edges_released += o.ngraph_edges_released;
@@ -122,7 +125,8 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
        "nmode_switches,nsteal_rounds,nsteal_direct,steal_round_cycles,"
        "nqueue_fullscans,nqueue_zeroskips,nalloc_refills,nalloc_spills,"
        "alloc_refill_cycles,idle_cycles,"
-       "ngraph_replays,ngraph_nodes_run,ngraph_edges_released";
+       "ngraph_replays,ngraph_nodes_run,ngraph_edges_released,"
+       "nsessions_expired,nslots_torn,norphaned";
   constexpr std::size_t kHistBuckets =
       std::tuple_size<decltype(Counters::steal_lat_hist)>::value;
   for (std::size_t b = 0; b < kHistBuckets; ++b) f << ",steal_lat_b" << b;
@@ -147,7 +151,9 @@ bool Profiler::dump_counters_csv(const std::string& path) const {
       << c.nqueue_zeroskips << ',' << c.nalloc_refills << ','
       << c.nalloc_spills << ',' << c.alloc_refill_cycles << ','
       << c.idle_cycles << ',' << c.ngraph_replays << ','
-      << c.ngraph_nodes_run << ',' << c.ngraph_edges_released;
+      << c.ngraph_nodes_run << ',' << c.ngraph_edges_released << ','
+      << c.nsessions_expired << ',' << c.nslots_torn << ','
+      << c.norphaned;
     for (const std::uint64_t v : c.steal_lat_hist) f << ',' << v;
     f << '\n';
   }

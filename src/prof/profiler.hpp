@@ -106,6 +106,12 @@ struct Counters {
   // pressure. Zero outside service regions.
   std::uint64_t nserve_requests = 0;
   std::uint64_t nserve_shed = 0;
+  // Cross-process transport health (src/serve/ipc); bumped only by the
+  // service drain thread (the single ring consumer), single-writer like
+  // the rest. Zero unless an ipc transport is attached.
+  std::uint64_t nsessions_expired = 0;  // leases expired -> reclaimed
+  std::uint64_t nslots_torn = 0;        // torn/invalid submit slots skipped
+  std::uint64_t norphaned = 0;          // published requests from dead clients
   // Task-graph engine (src/core/task_graph.hpp): replays this worker
   // initiated, node bodies it executed, and static successor edges it
   // released after them. All single-writer like the rest; per-graph

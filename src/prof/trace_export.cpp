@@ -16,7 +16,7 @@ std::string trace_to_json(const Profiler& prof,
   if (t0 == ~0ull) t0 = 0;
 
   std::string out = "[\n";
-  char buf[768];
+  char buf[1024];
   bool first = true;
   // Caller-supplied metadata records lead the document (service state,
   // per-tenant admission counters, ...); the args payload is caller-built
@@ -50,7 +50,9 @@ std::string trace_to_json(const Profiler& prof,
         "\"ntasks_cancelled\":%llu,\"nexceptions\":%llu,"
         "\"nidle_yields\":%llu,\"nquarantined\":%llu,"
         "\"nreadmitted\":%llu,\"nreclaimed\":%llu,"
-        "\"nserve_requests\":%llu,\"nserve_shed\":%llu,",
+        "\"nserve_requests\":%llu,\"nserve_shed\":%llu,"
+        "\"nsessions_expired\":%llu,\"nslots_torn\":%llu,"
+        "\"norphaned\":%llu,",
         t, static_cast<unsigned long long>(c.ntasks_created),
         static_cast<unsigned long long>(c.ntasks_executed),
         static_cast<unsigned long long>(c.overflow.total),
@@ -63,7 +65,10 @@ std::string trace_to_json(const Profiler& prof,
         static_cast<unsigned long long>(c.nreadmitted),
         static_cast<unsigned long long>(c.nreclaimed),
         static_cast<unsigned long long>(c.nserve_requests),
-        static_cast<unsigned long long>(c.nserve_shed));
+        static_cast<unsigned long long>(c.nserve_shed),
+        static_cast<unsigned long long>(c.nsessions_expired),
+        static_cast<unsigned long long>(c.nslots_torn),
+        static_cast<unsigned long long>(c.norphaned));
     out += buf;
     // Adaptive-dispatch instrumentation continues the same args object.
     std::snprintf(

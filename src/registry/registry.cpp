@@ -314,6 +314,93 @@ std::string TenantSpec::describe() const {
 }
 
 // --------------------------------------------------------------------------
+// TransportSpec
+
+namespace {
+
+constexpr const char* kTransportKnownKeys =
+    "ipc|seg|sessions|ring|cmpl|lease_ms";
+
+std::uint32_t round_up_pow2_u32(std::uint32_t v) noexcept {
+  if (v < 2) return 2;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  return v + 1;
+}
+
+}  // namespace
+
+TransportSpec TransportSpec::parse(const std::string& spec) {
+  TransportSpec out;
+  out.kind.clear();
+  bool have_seg = false;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string opt = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (opt.empty()) continue;
+    const std::size_t eq = opt.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= opt.size())
+      throw std::invalid_argument("malformed option '" + opt +
+                                  "' in transport spec '" + spec +
+                                  "' (want key=value)");
+    const std::string key = opt.substr(0, eq);
+    const std::string value = opt.substr(eq + 1);
+    if (key == "ipc") {
+      if (value != "shm")
+        bad_tenant_value("<transport>", key, value, "shm");
+      out.kind = value;
+    } else if (key == "seg") {
+      if (value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz"
+              "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-") !=
+          std::string::npos)
+        bad_tenant_value("<transport>", key, value, "[A-Za-z0-9_.-]+");
+      out.seg = value;
+      have_seg = true;
+    } else if (key == "sessions") {
+      out.sessions = static_cast<std::uint32_t>(
+          tenant_u64("<transport>", key, value, 1, 64));
+    } else if (key == "ring") {
+      out.ring = round_up_pow2_u32(static_cast<std::uint32_t>(
+          tenant_u64("<transport>", key, value, 8, 65536)));
+    } else if (key == "cmpl") {
+      const auto v = tenant_u64("<transport>", key, value, 0, 65536);
+      out.cmpl = v == 0 ? 0
+                        : round_up_pow2_u32(static_cast<std::uint32_t>(
+                              std::max<std::uint64_t>(v, 8)));
+    } else if (key == "lease_ms") {
+      out.lease_ms = static_cast<std::uint32_t>(
+          tenant_u64("<transport>", key, value, 1, 10000));
+    } else {
+      throw std::invalid_argument("unknown key '" + key +
+                                  "' in transport spec '" + spec +
+                                  "' (known: " +
+                                  std::string(kTransportKnownKeys) + ")");
+    }
+  }
+  if (out.kind.empty() || !have_seg)
+    throw std::invalid_argument(
+        "transport spec '" + spec + "' missing required key '" +
+        (out.kind.empty() ? "ipc" : "seg") + "' (known: " +
+        std::string(kTransportKnownKeys) + ")");
+  return out;
+}
+
+std::string TransportSpec::describe() const {
+  return "ipc=" + kind + ",seg=" + seg +
+         ",sessions=" + std::to_string(sessions) +
+         ",ring=" + std::to_string(ring) + ",cmpl=" + std::to_string(cmpl) +
+         ",lease_ms=" + std::to_string(lease_ms);
+}
+
+// --------------------------------------------------------------------------
 // Spec -> Config translation (one function per backend owns its key set).
 
 Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {

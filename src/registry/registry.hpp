@@ -94,6 +94,41 @@ struct TenantSpec {
   }
 };
 
+/// A parsed cross-process transport spec for the serve front-end
+/// (src/serve/ipc): the shared-memory segment geometry a server publishes
+/// and a client must agree on.
+///
+///   `ipc=shm,seg=<name>[,sessions=<1..64>][,ring=<8..65536>]
+///        [,cmpl=<8..65536>][,lease_ms=<1..10000>]`
+///
+/// `ipc` (transport kind; only `shm` today) and `seg` (segment name,
+/// [A-Za-z0-9_.-]) are required. Ring capacities are rounded up to powers
+/// of two; `cmpl=0` (the default) means 2x the submit ring. Same
+/// diagnostics contract as TenantSpec: unknown keys, malformed values,
+/// and missing required keys throw std::invalid_argument naming the known
+/// key set.
+struct TransportSpec {
+  std::string kind;        // "shm"
+  std::string seg;         // segment name (shm object: "/xtask_<seg>")
+  std::uint32_t sessions = 8;
+  std::uint32_t ring = 256;    // submit-ring slots per session
+  std::uint32_t cmpl = 0;      // completion-ring slots; 0 = 2*ring
+  std::uint32_t lease_ms = 100;
+
+  static TransportSpec parse(const std::string& spec);
+
+  /// Canonical spec string; parse round-trips it and describe() is a
+  /// fixpoint (all keys emitted, cmpl kept verbatim).
+  std::string describe() const;
+
+  /// The POSIX shm object name for this spec.
+  std::string shm_name() const { return "/xtask_" + seg; }
+
+  std::uint32_t effective_cmpl() const noexcept {
+    return cmpl != 0 ? cmpl : 2 * ring;
+  }
+};
+
 /// THE defaults table. Every constant that used to drift between
 /// bench/bench_bots.cpp, the tests, and the examples lives here once.
 struct RegistryDefaults {

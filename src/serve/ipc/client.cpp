@@ -1,0 +1,262 @@
+#include "serve/ipc/client.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <string>
+
+namespace xtask::ipc {
+
+const char* to_string(ClientStatus s) noexcept {
+  switch (s) {
+    case ClientStatus::kOk:
+      return "ok";
+    case ClientStatus::kTimeout:
+      return "timeout";
+    case ClientStatus::kPoisoned:
+      return "poisoned";
+    case ClientStatus::kEvicted:
+      return "evicted";
+    case ClientStatus::kNotConnected:
+      return "not-connected";
+  }
+  return "?";
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::unmap() noexcept {
+  if (mem_ != nullptr) {
+    ::munmap(mem_, map_bytes_);
+    mem_ = nullptr;
+    hdr_ = nullptr;
+    cell_ = nullptr;
+  }
+  session_ = -1;
+}
+
+ClientStatus Client::connect(const TransportSpec& spec, std::uint32_t tenant,
+                             Options opt) {
+  if (connected()) return ClientStatus::kOk;
+  rng_ = XorShift(opt.backoff_seed ^ static_cast<std::uint64_t>(::getpid()));
+  const SegmentMap map =
+      SegmentMap::compute(spec.sessions, spec.ring, spec.effective_cmpl());
+  const std::uint64_t deadline = now_ns() + opt.connect_timeout_ns;
+  const std::string name = spec.shm_name();
+
+  // Phase 1: map the segment and wait for the server's magic.
+  for (;;) {
+    const int fd = ::shm_open(name.c_str(), O_RDWR, 0);
+    if (fd >= 0) {
+      struct stat st {};
+      const bool sized =
+          ::fstat(fd, &st) == 0 &&
+          static_cast<std::size_t>(st.st_size) >= map.total;
+      if (sized) {
+        mem_ = ::mmap(nullptr, map.total, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+        ::close(fd);
+        if (mem_ == MAP_FAILED) {
+          mem_ = nullptr;
+          return ClientStatus::kTimeout;
+        }
+        map_bytes_ = map.total;
+        hdr_ = static_cast<SegmentHeader*>(mem_);
+        if (hdr_->magic.load(std::memory_order_acquire) == kMagic) break;
+        unmap();  // server still initializing; retry
+      } else {
+        ::close(fd);
+      }
+    }
+    if (now_ns() >= deadline) return ClientStatus::kTimeout;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  if (hdr_->state.load(std::memory_order_acquire) == kSegPoisoned) {
+    unmap();
+    flag_.store(Flag::kPoisoned, std::memory_order_release);
+    return ClientStatus::kPoisoned;
+  }
+  // The server's geometry wins over ours: a spec mismatch would make the
+  // ring views read the wrong bytes.
+  if (hdr_->version != kVersion || hdr_->nsessions != spec.sessions ||
+      hdr_->req_cap != spec.ring ||
+      hdr_->cmpl_cap != spec.effective_cmpl()) {
+    unmap();
+    return ClientStatus::kTimeout;
+  }
+  lease_ns_ = hdr_->lease_ns;
+  hb_period_ns_ = opt.heartbeat_period_ns != 0 ? opt.heartbeat_period_ns
+                                               : lease_ns_ / 4;
+  tenant_ = tenant;
+
+  // Phase 2: claim a session cell. Ordering is the crash-safe part: the
+  // lease and tenant are in place BEFORE the cell turns kActive, so the
+  // server never registers a session whose lease still reads 0.
+  auto* cells = reinterpret_cast<SessionCell*>(static_cast<char*>(mem_) +
+                                               map.cells);
+  for (;;) {
+    for (std::uint32_t s = 0; s < spec.sessions; ++s) {
+      std::uint32_t expect = kSessFree;
+      if (!cells[s].state.compare_exchange_strong(
+              expect, kSessConnecting, std::memory_order_acq_rel))
+        continue;
+      cell_ = cells + s;
+      session_ = static_cast<int>(s);
+      gen_ = cell_->gen.load(std::memory_order_acquire);
+      cell_->tenant.store(tenant_, std::memory_order_relaxed);
+      cell_->pid.store(static_cast<std::uint32_t>(::getpid()),
+                       std::memory_order_relaxed);
+      cell_->lease_deadline_ns.store(now_ns() + lease_ns_,
+                                     std::memory_order_release);
+      void* block = map.session_block(mem_, s);
+      req_.attach(static_cast<char*>(block) + map.req_off, spec.ring);
+      cmpl_.attach(static_cast<char*>(block) + map.cmpl_off,
+                   spec.effective_cmpl());
+      cell_->state.store(kSessActive, std::memory_order_release);
+      flag_.store(Flag::kLive, std::memory_order_release);
+      if (opt.start_heartbeat) {
+        hb_stop_.store(false, std::memory_order_release);
+        hb_thread_ = std::thread([this] { heartbeat_loop(); });
+      }
+      return ClientStatus::kOk;
+    }
+    if (hdr_->state.load(std::memory_order_acquire) == kSegPoisoned) {
+      unmap();
+      flag_.store(Flag::kPoisoned, std::memory_order_release);
+      return ClientStatus::kPoisoned;
+    }
+    if (now_ns() >= deadline) {
+      unmap();
+      return ClientStatus::kTimeout;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+ClientStatus Client::check_session() noexcept {
+  if (!connected()) {
+    return flag_.load(std::memory_order_acquire) == Flag::kPoisoned
+               ? ClientStatus::kPoisoned
+               : ClientStatus::kNotConnected;
+  }
+  if (hdr_->state.load(std::memory_order_acquire) == kSegPoisoned) {
+    flag_.store(Flag::kPoisoned, std::memory_order_release);
+    return ClientStatus::kPoisoned;
+  }
+  if (cell_->gen.load(std::memory_order_acquire) != gen_) {
+    // The server reclaimed our session (expired lease) and recycled the
+    // cell; everything we publish from here on is fenced off by the
+    // checksum salt, so just stop.
+    flag_.store(Flag::kEvicted, std::memory_order_release);
+    return ClientStatus::kEvicted;
+  }
+  return ClientStatus::kOk;
+}
+
+void Client::heartbeat_now() {
+  if (connected() && check_session() == ClientStatus::kOk)
+    cell_->lease_deadline_ns.store(now_ns() + lease_ns_,
+                                   std::memory_order_release);
+}
+
+void Client::heartbeat_loop() {
+  while (!hb_stop_.load(std::memory_order_acquire)) {
+    if (check_session() != ClientStatus::kOk) return;
+    cell_->lease_deadline_ns.store(now_ns() + lease_ns_,
+                                   std::memory_order_release);
+    std::uint64_t slept = 0;
+    // Sleep in small slices so disconnect() joins quickly.
+    while (slept < hb_period_ns_ &&
+           !hb_stop_.load(std::memory_order_acquire)) {
+      const std::uint64_t slice =
+          std::min<std::uint64_t>(hb_period_ns_ - slept, 2'000'000);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+ClientStatus Client::submit(std::uint32_t op, std::uint64_t arg,
+                            std::uint64_t id, std::uint64_t deadline_ns) {
+  std::uint64_t backoff_us = 0;
+  for (;;) {
+    const ClientStatus st = check_session();
+    if (st != ClientStatus::kOk) return st;
+    ReqPayload p;
+    p.id = id;
+    p.arg = arg;
+    p.t_submit_ns = now_ns();
+    p.op = op;
+    p.tenant = tenant_;
+    if (req_.try_push(p, gen_)) {
+      ++submitted_;
+      // Submitting proves liveness as well as any heartbeat.
+      cell_->lease_deadline_ns.store(p.t_submit_ns + lease_ns_,
+                                     std::memory_order_release);
+      return ClientStatus::kOk;
+    }
+    if (deadline_ns == 0 || now_ns() >= deadline_ns)
+      return ClientStatus::kTimeout;
+    // Jittered exponential backoff, floored at the server's hint so an
+    // overloaded server sets the pace and ±25% jittered so synchronized
+    // clients spread out instead of re-arriving in lockstep.
+    const std::uint64_t hint =
+        hdr_->retry_after_us.load(std::memory_order_relaxed);
+    backoff_us = backoff_us == 0 ? 50 : backoff_us * 2;
+    if (backoff_us > 50'000) backoff_us = 50'000;
+    std::uint64_t wait_us = std::max(backoff_us, hint);
+    wait_us = wait_us * (768 + (rng_.next() & 511)) / 1024;
+    const std::uint64_t remain_us = (deadline_ns - now_ns()) / 1000;
+    if (wait_us > remain_us) wait_us = remain_us;
+    if (wait_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+  }
+}
+
+std::size_t Client::poll(CmplPayload* out, std::size_t max) {
+  if (!connected() || check_session() != ClientStatus::kOk) return 0;
+  std::size_t n = 0;
+  while (n < max) {
+    CmplPayload c;
+    const auto r = cmpl_.try_pop(&c, gen_);
+    if (r == CrashRingView<CmplPayload>::Pop::kOk) {
+      out[n++] = c;
+      continue;
+    }
+    if (r == CrashRingView<CmplPayload>::Pop::kTorn) continue;
+    break;  // kEmpty / kNotReady (server mid-publish): come back later
+  }
+  return n;
+}
+
+bool Client::debug_claim_and_abandon() {
+  if (!connected()) return false;
+  return req_.claim_and_abandon();
+}
+
+void Client::debug_stop_heartbeat() {
+  hb_stop_.store(true, std::memory_order_release);
+  if (hb_thread_.joinable()) hb_thread_.join();
+}
+
+void Client::disconnect() {
+  hb_stop_.store(true, std::memory_order_release);
+  if (hb_thread_.joinable()) hb_thread_.join();
+  if (connected() && flag_.load(std::memory_order_acquire) == Flag::kLive &&
+      cell_->gen.load(std::memory_order_acquire) == gen_) {
+    // Leave the lease fresh so the server drains our tail as a graceful
+    // close instead of an expiry.
+    cell_->lease_deadline_ns.store(now_ns() + lease_ns_,
+                                   std::memory_order_release);
+    cell_->state.store(kSessClosing, std::memory_order_release);
+  }
+  unmap();
+}
+
+}  // namespace xtask::ipc

@@ -1,0 +1,123 @@
+// xtask::ipc::Client — the client side of the shared-memory transport.
+// Lives in an UNTRUSTED external process: everything it does must be
+// survivable by the server if this process is SIGKILLed at any point.
+//
+// Lifecycle: connect() claims a SessionCell (CAS kFree -> kConnecting),
+// arms the lease, attaches the session's rings and flips the cell
+// kActive; a background heartbeat thread refreshes the lease every
+// lease/4. submit() pushes into the session's submit ring with jittered
+// exponential backoff (honoring the server's published retry_after_us
+// hint) until a deadline; poll() drains completions. disconnect() flips
+// the cell to kClosing and lets the server drain + free it.
+//
+// Fail-fast edges the client observes on every operation:
+//   - segment poisoned (server stopped)           -> kPoisoned
+//   - cell generation moved (server evicted us)   -> kEvicted
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "core/common.hpp"
+#include "registry/registry.hpp"
+#include "serve/ipc/layout.hpp"
+
+namespace xtask::ipc {
+
+enum class ClientStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,    // deadline passed while backing off (ring full / no cell)
+  kPoisoned,   // server poisoned the segment: stop, do not retry
+  kEvicted,    // server reclaimed our session (lease expired under us)
+  kNotConnected,
+};
+
+const char* to_string(ClientStatus s) noexcept;
+
+class Client {
+ public:
+  struct Options {
+    std::uint64_t connect_timeout_ns = 1'000'000'000;  // magic + free cell
+    /// 0 = lease/4. The heartbeat thread also watches for poison/evict.
+    std::uint64_t heartbeat_period_ns = 0;
+    bool start_heartbeat = true;  // tests turn this off to die of expiry
+    std::uint64_t backoff_seed = 0x5eed5eed5eed5eedull;
+  };
+
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Open the segment named by `spec`, wait for the server's magic, claim
+  /// a session cell as `tenant`. kTimeout when no free cell (or no
+  /// server) within connect_timeout_ns.
+  ClientStatus connect(const TransportSpec& spec, std::uint32_t tenant,
+                       Options opt);
+  ClientStatus connect(const TransportSpec& spec, std::uint32_t tenant) {
+    return connect(spec, tenant, Options());
+  }
+
+  /// Push one request; on a full ring, back off (jittered exponential,
+  /// floored at the server's retry_after_us hint) and retry until
+  /// `deadline_ns` (absolute, now_ns() timebase; 0 = one attempt).
+  ClientStatus submit(std::uint32_t op, std::uint64_t arg, std::uint64_t id,
+                      std::uint64_t deadline_ns = 0);
+
+  /// Drain up to `max` completions into `out`; returns how many.
+  std::size_t poll(CmplPayload* out, std::size_t max);
+
+  /// Refresh the lease immediately (also done by every submit).
+  void heartbeat_now();
+
+  /// Graceful goodbye: flip the cell to kClosing (the server drains what
+  /// we published, then frees the cell), stop the heartbeat, unmap.
+  void disconnect();
+
+  bool connected() const noexcept { return mem_ != nullptr && session_ >= 0; }
+  bool poisoned() const noexcept {
+    return flag_.load(std::memory_order_acquire) == Flag::kPoisoned;
+  }
+  bool evicted() const noexcept {
+    return flag_.load(std::memory_order_acquire) == Flag::kEvicted;
+  }
+  std::uint32_t gen() const noexcept { return gen_; }
+  int session() const noexcept { return session_; }
+  std::uint64_t submitted() const noexcept { return submitted_; }
+
+  /// Test hook: claim a submit-ring ticket and never publish it — the
+  /// exact footprint of dying between claim and publish.
+  bool debug_claim_and_abandon();
+  /// Test hook: stop refreshing the lease (the server will expire us).
+  void debug_stop_heartbeat();
+
+ private:
+  enum class Flag : std::uint8_t { kLive, kPoisoned, kEvicted };
+
+  ClientStatus check_session() noexcept;
+  void heartbeat_loop();
+  void unmap() noexcept;
+
+  void* mem_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  SegmentHeader* hdr_ = nullptr;
+  SessionCell* cell_ = nullptr;
+  CrashRingView<ReqPayload> req_;
+  CrashRingView<CmplPayload> cmpl_;
+  int session_ = -1;
+  std::uint32_t gen_ = 0;
+  std::uint32_t tenant_ = 0;
+  std::uint64_t lease_ns_ = 0;
+  std::uint64_t hb_period_ns_ = 0;
+  std::uint64_t submitted_ = 0;
+  XorShift rng_{1};
+  std::atomic<Flag> flag_{Flag::kLive};
+  std::atomic<bool> hb_stop_{false};
+  std::thread hb_thread_;
+};
+
+}  // namespace xtask::ipc

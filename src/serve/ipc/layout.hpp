@@ -1,0 +1,377 @@
+// Shared-memory segment layout for the cross-process task-service
+// transport (DESIGN.md "Cross-process transport & crash fault model").
+//
+// The segment is a single shm_open + mmap region shared between one
+// server process and up to `nsessions` untrusted client processes. The
+// failure model is crash-fault: a client may be SIGKILLed between ANY two
+// instructions, so every shared word is a lock-free std::atomic (the
+// layout never holds a lock a dead process could leave behind), and the
+// submission protocol is designed so a death at any point leaves at worst
+// one *detectably* torn slot, never executable garbage:
+//
+//   1. claim  — CAS on the ring's enqueue position takes a ticket
+//   2. write  — payload words + checksum land in the claimed slot
+//   3. publish— a release store of seq = ticket + 1 makes the slot visible
+//
+// Death before (1): nothing happened. Death between (1) and (3): the slot
+// is claimed-but-never-published — the server sees seq stuck at the ticket
+// value while the enqueue position has moved past it, classifies the slot
+// as TORN, and skips it. Death after (3): the request is fully published
+// and either executes or is accounted as orphaned when the lease expires.
+// The checksum (salted with the session generation) additionally rejects
+// garbage published by a misbehaving client, or by a zombie producer that
+// was descheduled across its own eviction and woke up writing into a
+// recycled ring generation.
+//
+// Payload bytes travel through relaxed atomic words (not plain memcpy) so
+// the in-process tests and soaks are exactly as data-race-free as the
+// cross-process protocol is crash-safe; the cost is a few extra mov
+// instructions per 8 payload bytes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "core/common.hpp"
+
+namespace xtask::ipc {
+
+inline constexpr std::uint64_t kMagic = 0x787461736b697063ull;  // "xtaskipc"
+inline constexpr std::uint32_t kVersion = 1;
+
+// SegmentHeader::state values.
+inline constexpr std::uint32_t kSegLive = 1;
+inline constexpr std::uint32_t kSegPoisoned = 2;  // server gone: fail fast
+
+// SessionCell::state values. Clients drive kFree -> kConnecting ->
+// kActive -> kClosing; ONLY the server ever returns a cell to kFree (with
+// the generation bumped), so a recycled session is always distinguishable
+// from the one a stale client still believes it owns.
+inline constexpr std::uint32_t kSessFree = 0;
+inline constexpr std::uint32_t kSessConnecting = 1;
+inline constexpr std::uint32_t kSessActive = 2;
+inline constexpr std::uint32_t kSessClosing = 3;
+
+/// Completion status codes (CmplPayload::status).
+inline constexpr std::uint32_t kCmplDone = 0;      // executed; result valid
+inline constexpr std::uint32_t kCmplRejected = 1;  // result = retry_after_us
+inline constexpr std::uint32_t kCmplShed = 2;      // result = retry_after_us
+inline constexpr std::uint32_t kCmplShutdown = 3;  // service stopped
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Segment-wide control block. Geometry fields are written once by the
+/// server before `magic` is published (release), so any client that
+/// observes the magic sees a fully initialized segment.
+struct alignas(kCacheLine) SegmentHeader {
+  std::atomic<std::uint64_t> magic{0};
+  std::uint32_t version = 0;
+  std::uint32_t nsessions = 0;
+  std::uint32_t req_cap = 0;   // submit-ring slots per session (pow2)
+  std::uint32_t cmpl_cap = 0;  // completion-ring slots per session (pow2)
+  std::uint64_t lease_ns = 0;  // client lease length
+  std::atomic<std::uint32_t> state{kSegLive};
+  /// Server-published backoff hint (µs): what a client should wait before
+  /// re-trying a full ring / rejected submit. 0 = no pressure.
+  std::atomic<std::uint32_t> retry_after_us{0};
+};
+
+/// One client session's control cell. The lease is a heartbeat-refreshed
+/// absolute deadline on the shared CLOCK_MONOTONIC timebase: the client
+/// stores now + lease_ns from a heartbeat thread (and on every submit);
+/// the server-side SessionTracker expires the session once the deadline
+/// plus a grace period passes without a refresh — exactly the
+/// healthy -> suspect -> expired shape of the in-process HealthTracker.
+struct alignas(kCacheLine) SessionCell {
+  std::atomic<std::uint32_t> state{kSessFree};
+  std::atomic<std::uint32_t> gen{0};  // bumped by the server at reclaim
+  std::atomic<std::uint64_t> lease_deadline_ns{0};
+  std::atomic<std::uint32_t> tenant{0};
+  std::atomic<std::uint32_t> pid{0};
+};
+
+/// One submitted request as it travels through the submit ring.
+struct ReqPayload {
+  std::uint64_t id = 0;           // client-assigned correlation id
+  std::uint64_t arg = 0;          // handler argument
+  std::uint64_t t_submit_ns = 0;  // client clock, CLOCK_MONOTONIC
+  std::uint32_t op = 0;           // server handler opcode
+  std::uint32_t tenant = 0;       // must match the session's tenant
+};
+
+/// One completion as it travels back. For kCmplRejected/kCmplShed the
+/// result field carries the server's retry_after_us hint.
+struct CmplPayload {
+  std::uint64_t id = 0;
+  std::uint64_t result = 0;
+  std::uint64_t t_submit_ns = 0;
+  std::uint32_t status = 0;
+  std::uint32_t pad = 0;
+};
+
+/// FNV-1a over the payload words, salted with the session generation so a
+/// zombie writer publishing into a recycled ring generation can never
+/// produce a valid checksum.
+inline std::uint32_t payload_checksum(const std::uint64_t* words,
+                                      std::size_t n,
+                                      std::uint32_t salt) noexcept {
+  std::uint64_t h = 1469598103934665603ull ^ salt;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= words[i];
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+/// Ring positions. Producer and consumer words live on separate cache
+/// lines; both are plain Vyukov-style monotone counters.
+struct alignas(kCacheLine) RingHdr {
+  std::atomic<std::uint32_t> enq{0};
+  alignas(kCacheLine) std::atomic<std::uint32_t> deq{0};
+};
+
+/// A crash-tolerant MPSC ring *view* over raw shared memory. The memory
+/// (one RingHdr + cap slots) is owned by the segment; the view is a
+/// per-process handle. Producer side: any thread of the owning client.
+/// Consumer side: exactly one server thread (the service drain loop).
+template <typename P>
+class CrashRingView {
+  static_assert(std::is_trivially_copyable_v<P>);
+
+ public:
+  static constexpr std::size_t kWords = (sizeof(P) + 7) / 8;
+
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint32_t> csum{0};
+    std::atomic<std::uint64_t> data[kWords];
+  };
+
+  static std::size_t bytes(std::uint32_t cap) noexcept {
+    return sizeof(RingHdr) + static_cast<std::size_t>(cap) * sizeof(Slot);
+  }
+
+  /// Server side, at segment creation: placement-initialize the ring.
+  static void init_at(void* mem, std::uint32_t cap) noexcept {
+    auto* h = new (mem) RingHdr;
+    auto* slots = reinterpret_cast<Slot*>(h + 1);
+    for (std::uint32_t i = 0; i < cap; ++i) {
+      auto* s = new (slots + i) Slot;
+      s->seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  CrashRingView() = default;
+  void attach(void* mem, std::uint32_t cap) noexcept {
+    hdr_ = static_cast<RingHdr*>(mem);
+    slots_ = reinterpret_cast<Slot*>(hdr_ + 1);
+    mask_ = cap - 1;
+  }
+  bool attached() const noexcept { return hdr_ != nullptr; }
+  std::uint32_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer: claim, write, publish. Returns false when full (the caller
+  /// backs off; never waits in here).
+  bool try_push(const P& v, std::uint32_t salt) noexcept {
+    std::uint32_t pos = hdr_->enq.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& c = slots_[pos & mask_];
+      const std::uint32_t seq = c.seq.load(std::memory_order_acquire);
+      const std::int32_t dif = static_cast<std::int32_t>(seq - pos);
+      if (dif == 0) {
+        if (hdr_->enq.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+          std::uint64_t w[kWords] = {};
+          std::memcpy(w, &v, sizeof(P));
+          for (std::size_t i = 0; i < kWords; ++i)
+            c.data[i].store(w[i], std::memory_order_relaxed);
+          c.csum.store(payload_checksum(w, kWords, salt),
+                       std::memory_order_relaxed);
+          c.seq.store(pos + 1, std::memory_order_release);  // publish
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = hdr_->enq.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Test hook: take a ticket and "die" before publishing — byte-for-byte
+  /// what a client SIGKILLed between claim and publish leaves behind.
+  /// Returns false when the ring is full.
+  bool claim_and_abandon() noexcept {
+    std::uint32_t pos = hdr_->enq.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& c = slots_[pos & mask_];
+      const std::uint32_t seq = c.seq.load(std::memory_order_acquire);
+      const std::int32_t dif = static_cast<std::int32_t>(seq - pos);
+      if (dif == 0) {
+        if (hdr_->enq.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed))
+          return true;  // claimed; deliberately never published
+      } else if (dif < 0) {
+        return false;
+      } else {
+        pos = hdr_->enq.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  enum class Pop : std::uint8_t {
+    kOk,        // *out valid
+    kEmpty,     // nothing claimed
+    kNotReady,  // head claimed but not yet published (in-flight or torn)
+    kTorn,      // head was published garbage; slot consumed and skipped
+  };
+
+  /// Consumer (single thread). kNotReady is returned without consuming:
+  /// an alive client publishes within nanoseconds, so the server retries
+  /// next pass and only force-skips via skip_head() after a timeout.
+  Pop try_pop(P* out, std::uint32_t salt) noexcept {
+    const std::uint32_t pos = hdr_->deq.load(std::memory_order_relaxed);
+    Slot& c = slots_[pos & mask_];
+    const std::uint32_t seq = c.seq.load(std::memory_order_acquire);
+    if (seq == pos + 1) {
+      std::uint64_t w[kWords];
+      for (std::size_t i = 0; i < kWords; ++i)
+        w[i] = c.data[i].load(std::memory_order_relaxed);
+      const std::uint32_t want = c.csum.load(std::memory_order_relaxed);
+      free_slot(c, pos);
+      if (payload_checksum(w, kWords, salt) != want) return Pop::kTorn;
+      std::memcpy(out, w, sizeof(P));
+      return Pop::kOk;
+    }
+    const std::uint32_t enq = hdr_->enq.load(std::memory_order_acquire);
+    if (static_cast<std::int32_t>(enq - pos) <= 0) return Pop::kEmpty;
+    return Pop::kNotReady;
+  }
+
+  /// Consumer: current head ticket, for stuck-head (torn-claim) tracking.
+  std::uint32_t head_pos() const noexcept {
+    return hdr_->deq.load(std::memory_order_relaxed);
+  }
+
+  /// Consumer: unconditionally consume the head slot without executing it
+  /// — the torn-claim recovery path. Safe even if the slot's seq holds
+  /// zombie garbage: the slot is re-stamped for the next lap.
+  void skip_head() noexcept {
+    const std::uint32_t pos = hdr_->deq.load(std::memory_order_relaxed);
+    free_slot(slots_[pos & mask_], pos);
+  }
+
+  /// Any thread; approximate, clamped.
+  std::uint32_t size_approx() const noexcept {
+    const std::uint32_t deq = hdr_->deq.load(std::memory_order_acquire);
+    const std::uint32_t enq = hdr_->enq.load(std::memory_order_acquire);
+    const std::uint32_t d = enq - deq;
+    return d > capacity() ? capacity() : d;
+  }
+
+  struct ReclaimCounts {
+    std::uint32_t published = 0;  // valid requests never executed
+    std::uint32_t torn = 0;       // claimed-not-published or bad checksum
+  };
+
+  /// Consumer, session-reclaim path: classify every outstanding slot
+  /// (published+valid -> on_published, anything else -> torn), then
+  /// re-initialize the ring for the next session generation. The caller
+  /// guarantees the owning client is dead or evicted (its gen is already
+  /// stale), so racing zombie writes are caught by the checksum salt.
+  template <typename Fn>
+  ReclaimCounts reclaim(Fn&& on_published, std::uint32_t salt) noexcept {
+    ReclaimCounts counts;
+    std::uint32_t pos = hdr_->deq.load(std::memory_order_relaxed);
+    const std::uint32_t enq = hdr_->enq.load(std::memory_order_acquire);
+    for (; static_cast<std::int32_t>(enq - pos) > 0; ++pos) {
+      Slot& c = slots_[pos & mask_];
+      if (c.seq.load(std::memory_order_acquire) != pos + 1) {
+        ++counts.torn;  // claimed, never published: mid-publish death
+        continue;
+      }
+      std::uint64_t w[kWords];
+      for (std::size_t i = 0; i < kWords; ++i)
+        w[i] = c.data[i].load(std::memory_order_relaxed);
+      if (payload_checksum(w, kWords, salt) !=
+          c.csum.load(std::memory_order_relaxed)) {
+        ++counts.torn;
+        continue;
+      }
+      P v;
+      std::memcpy(&v, w, sizeof(P));
+      ++counts.published;
+      on_published(v);
+    }
+    reinit();
+    return counts;
+  }
+
+  /// Consumer: reset to the empty gen-0 layout (positions zero, slot i
+  /// stamped i). Used at session reclaim; the new generation's checksum
+  /// salt fences off any zombie writes that race this.
+  void reinit() noexcept {
+    const std::uint32_t cap = capacity();
+    for (std::uint32_t i = 0; i < cap; ++i)
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    hdr_->deq.store(0, std::memory_order_relaxed);
+    hdr_->enq.store(0, std::memory_order_release);
+  }
+
+ private:
+  void free_slot(Slot& c, std::uint32_t pos) noexcept {
+    // Stamp the slot for the next producer lap, then advance the consumer
+    // position (single consumer, so the deq store needs no RMW).
+    c.seq.store(pos + mask_ + 1, std::memory_order_release);
+    hdr_->deq.store(pos + 1, std::memory_order_release);
+  }
+
+  RingHdr* hdr_ = nullptr;
+  Slot* slots_ = nullptr;
+  std::uint32_t mask_ = 0;
+};
+
+/// Byte offsets of every region in the segment, derived purely from the
+/// geometry in the header — server and client compute identical maps.
+struct SegmentMap {
+  std::size_t total = 0;
+  std::size_t cells = 0;        // SessionCell[nsessions]
+  std::size_t session_stride = 0;
+  std::size_t sessions0 = 0;    // first session block
+  std::size_t req_off = 0;      // within a session block
+  std::size_t cmpl_off = 0;
+
+  static std::size_t align_up(std::size_t v) noexcept {
+    return (v + kCacheLine - 1) & ~(kCacheLine - 1);
+  }
+
+  static SegmentMap compute(std::uint32_t nsessions, std::uint32_t req_cap,
+                            std::uint32_t cmpl_cap) noexcept {
+    SegmentMap m;
+    m.cells = align_up(sizeof(SegmentHeader));
+    m.sessions0 = align_up(m.cells + nsessions * sizeof(SessionCell));
+    m.req_off = 0;
+    m.cmpl_off = align_up(CrashRingView<ReqPayload>::bytes(req_cap));
+    m.session_stride =
+        align_up(m.cmpl_off + CrashRingView<CmplPayload>::bytes(cmpl_cap));
+    m.total = m.sessions0 + nsessions * m.session_stride;
+    // Page-round so the mapping length is exact.
+    m.total = (m.total + 4095) & ~static_cast<std::size_t>(4095);
+    return m;
+  }
+
+  void* session_block(void* base, std::uint32_t s) const noexcept {
+    return static_cast<char*>(base) + sessions0 + s * session_stride;
+  }
+};
+
+}  // namespace xtask::ipc

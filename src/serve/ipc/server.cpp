@@ -1,0 +1,463 @@
+#include "serve/ipc/server.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/fault.hpp"
+#include "prof/profiler.hpp"
+
+namespace xtask::ipc {
+
+namespace {
+
+/// Heap record for one accepted ipc request while it is in flight inside
+/// the service. Request::a carries the pointer; the exec trampoline and
+/// the drop hook both own deleting it exactly once (whichever fires).
+struct IpcFlight {
+  IpcServer* srv;
+  std::uint32_t session;
+  std::uint32_t gen;
+  ReqPayload p;
+};
+
+std::uint32_t cmpl_status_for(serve::SubmitStatus s) noexcept {
+  switch (s) {
+    case serve::SubmitStatus::kAccepted:
+      return kCmplDone;  // unreachable on the drop/reject paths
+    case serve::SubmitStatus::kShed:
+      return kCmplShed;
+    case serve::SubmitStatus::kRejected:
+      return kCmplRejected;
+    case serve::SubmitStatus::kShutdown:
+      return kCmplShutdown;
+  }
+  return kCmplRejected;
+}
+
+}  // namespace
+
+/// Server-private per-session state. `dead`/`cmpl_users` form the guard
+/// that lets worker threads push completions while the pump thread can
+/// still reclaim the session at any moment: workers enter with
+/// users++ then re-check dead (both seq_cst); the reclaimer sets dead and
+/// spins until users drains to zero before touching the rings.
+struct IpcServer::SessionLocal {
+  CrashRingView<ReqPayload> req;
+  CrashRingView<CmplPayload> cmpl;
+  SessionTracker tracker;
+  bool registered = false;
+  std::uint32_t gen = 0;
+  std::uint32_t tenant = 0;
+  bool tenant_valid = false;
+  std::atomic<std::uint32_t> cmpl_users{0};
+  std::atomic<bool> dead{true};
+  std::atomic<std::uint32_t> live_gen{0};
+  // Stuck-head (torn claim) and stuck-connect timers, pump-private.
+  std::uint32_t stuck_pos = 0;
+  std::uint64_t stuck_since = 0;
+  std::uint64_t connecting_since = 0;
+};
+
+IpcServer::IpcServer(serve::ServeConfig scfg, TransportSpec tspec,
+                     Handler handler)
+    : tspec_(std::move(tspec)), handler_(handler) {
+  if (tspec_.kind != "shm")
+    throw std::invalid_argument("IpcServer: transport kind must be 'shm'");
+  if (scfg.ingest != nullptr || scfg.on_drop != nullptr)
+    throw std::invalid_argument(
+        "IpcServer: ServeConfig ingest/on_drop hooks belong to the "
+        "transport");
+
+  map_ = SegmentMap::compute(tspec_.sessions, tspec_.ring,
+                             tspec_.effective_cmpl());
+  create_segment();
+
+  locals_ = std::make_unique<SessionLocal[]>(tspec_.sessions);
+  const std::uint64_t lease_ns =
+      static_cast<std::uint64_t>(tspec_.lease_ms) * 1'000'000ull;
+  for (std::uint32_t s = 0; s < tspec_.sessions; ++s) {
+    void* block = map_.session_block(mem_, s);
+    locals_[s].req.attach(static_cast<char*>(block) + map_.req_off,
+                          tspec_.ring);
+    locals_[s].cmpl.attach(static_cast<char*>(block) + map_.cmpl_off,
+                           tspec_.effective_cmpl());
+    locals_[s].tracker = SessionTracker(lease_ns);  // grace = one lease
+  }
+  // A claimed-but-unpublished head blocks its ring; give the (alive)
+  // producer two leases to publish before the slot is ruled torn.
+  stuck_skip_ns_ = 2 * lease_ns;
+
+  scfg.ingest = &IpcServer::pump_tramp;
+  scfg.ingest_arg = this;
+  scfg.on_drop = &IpcServer::on_drop_tramp;
+  scfg.on_drop_arg = this;
+  svc_ = std::make_unique<serve::TaskService>(std::move(scfg));
+  // The drain loop may have called pump_tramp before svc_ was assigned;
+  // it no-ops until this publish.
+  svc_ready_.store(true, std::memory_order_release);
+}
+
+IpcServer::~IpcServer() { stop(); }
+
+void IpcServer::create_segment() {
+  const std::string name = tspec_.shm_name();
+  ::shm_unlink(name.c_str());  // stale object from a crashed server
+  fd_ = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd_ < 0)
+    throw std::runtime_error("IpcServer: shm_open('" + name +
+                             "') failed: " + std::strerror(errno));
+  if (::ftruncate(fd_, static_cast<off_t>(map_.total)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    ::shm_unlink(name.c_str());
+    throw std::runtime_error("IpcServer: ftruncate failed: " +
+                             std::string(std::strerror(err)));
+  }
+  mem_ = ::mmap(nullptr, map_.total, PROT_READ | PROT_WRITE, MAP_SHARED,
+                fd_, 0);
+  if (mem_ == MAP_FAILED) {
+    const int err = errno;
+    mem_ = nullptr;
+    ::close(fd_);
+    ::shm_unlink(name.c_str());
+    throw std::runtime_error("IpcServer: mmap failed: " +
+                             std::string(std::strerror(err)));
+  }
+
+  hdr_ = new (mem_) SegmentHeader;
+  hdr_->version = kVersion;
+  hdr_->nsessions = tspec_.sessions;
+  hdr_->req_cap = tspec_.ring;
+  hdr_->cmpl_cap = tspec_.effective_cmpl();
+  hdr_->lease_ns = static_cast<std::uint64_t>(tspec_.lease_ms) * 1'000'000ull;
+  cells_ = reinterpret_cast<SessionCell*>(static_cast<char*>(mem_) +
+                                          map_.cells);
+  for (std::uint32_t s = 0; s < tspec_.sessions; ++s)
+    new (cells_ + s) SessionCell;
+  for (std::uint32_t s = 0; s < tspec_.sessions; ++s) {
+    void* block = map_.session_block(mem_, s);
+    CrashRingView<ReqPayload>::init_at(
+        static_cast<char*>(block) + map_.req_off, tspec_.ring);
+    CrashRingView<CmplPayload>::init_at(
+        static_cast<char*>(block) + map_.cmpl_off, tspec_.effective_cmpl());
+  }
+  // Publish: a client that observes the magic (acquire) sees the whole
+  // segment initialized.
+  hdr_->magic.store(kMagic, std::memory_order_release);
+}
+
+void IpcServer::destroy_segment() noexcept {
+  if (mem_ != nullptr) {
+    ::munmap(mem_, map_.total);
+    mem_ = nullptr;
+    hdr_ = nullptr;
+    cells_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::shm_unlink(tspec_.shm_name().c_str());
+  }
+}
+
+std::size_t IpcServer::pump_tramp(TaskContext& ctx, void* arg) {
+  return static_cast<IpcServer*>(arg)->pump(ctx);
+}
+
+void IpcServer::on_drop_tramp(const serve::Request& req,
+                              serve::SubmitStatus why, void* arg) {
+  // The drop hook fires for every discarded admitted request, including
+  // purely in-process ones; only ipc requests carry a flight record.
+  if (req.fn != &IpcServer::exec_tramp) return;
+  auto* fl = reinterpret_cast<IpcFlight*>(req.a);
+  auto* srv = static_cast<IpcServer*>(arg);
+  srv->complete(fl->session, fl->gen, fl->p, cmpl_status_for(why),
+                srv->svc_ready_.load(std::memory_order_acquire)
+                    ? srv->svc_->suggest_retry_us()
+                    : 0);
+  delete fl;
+}
+
+void IpcServer::exec_tramp(const serve::Request& req) {
+  auto* fl = reinterpret_cast<IpcFlight*>(req.a);
+  IpcServer* srv = fl->srv;
+  std::uint64_t result = fl->p.arg;
+  if (srv->handler_ != nullptr) {
+    try {
+      result = srv->handler_(fl->p.op, fl->p.arg, req.t_submit_ns);
+    } catch (...) {
+      result = 0;  // handler errors are the handler's protocol to signal
+    }
+  }
+  srv->complete(fl->session, fl->gen, fl->p, kCmplDone, result);
+  delete fl;
+}
+
+void IpcServer::complete(std::uint32_t session, std::uint32_t gen,
+                         const ReqPayload& p, std::uint32_t status,
+                         std::uint64_t result) noexcept {
+  SessionLocal& sl = locals_[session];
+  sl.cmpl_users.fetch_add(1);  // seq_cst: pairs with reclaim's dead+spin
+  if (sl.dead.load() || sl.live_gen.load() != gen ||
+      !sl.cmpl.try_push(CmplPayload{p.id, result, p.t_submit_ns, status, 0},
+                        gen)) {
+    st_completions_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sl.cmpl_users.fetch_sub(1);
+}
+
+std::size_t IpcServer::pump(TaskContext& ctx) {
+  if (!svc_ready_.load(std::memory_order_acquire)) return 0;
+  const bool stopping = stopping_.load(std::memory_order_acquire);
+  hdr_->retry_after_us.store(
+      static_cast<std::uint32_t>(svc_->suggest_retry_us()),
+      std::memory_order_relaxed);
+  const std::uint64_t now = now_ns();
+  std::size_t moved = 0;
+  for (std::uint32_t s = 0; s < tspec_.sessions; ++s)
+    moved += pump_session(ctx, s, now, stopping);
+  return moved;
+}
+
+void IpcServer::register_session(std::uint32_t s) {
+  SessionLocal& sl = locals_[s];
+  SessionCell& cell = cells_[s];
+  sl.gen = cell.gen.load(std::memory_order_acquire);
+  sl.tenant = cell.tenant.load(std::memory_order_relaxed);
+  sl.tenant_valid = sl.tenant < static_cast<std::uint32_t>(
+                                    svc_->num_tenants());
+  sl.tracker.reset();
+  sl.stuck_since = 0;
+  sl.connecting_since = 0;
+  sl.live_gen.store(sl.gen);
+  sl.dead.store(false);
+  sl.registered = true;
+  live_sessions_.fetch_add(1, std::memory_order_release);
+  st_sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t IpcServer::pump_session(TaskContext& ctx, std::uint32_t s,
+                                    std::uint64_t now, bool stopping) {
+  SessionCell& cell = cells_[s];
+  SessionLocal& sl = locals_[s];
+  const std::uint32_t st = cell.state.load(std::memory_order_acquire);
+
+  if (!sl.registered) {
+    if (st == kSessActive) {
+      register_session(s);
+      if (!sl.tenant_valid) {
+        // A client naming a tenant the service does not have can never
+        // submit successfully; evict immediately (its slots count torn).
+        reclaim_session(ctx, s, /*expired=*/false);
+        return 0;
+      }
+    } else if (st == kSessConnecting) {
+      // A client that died between claiming the cell and activating it
+      // would wedge the slot forever; rule it dead after two leases.
+      if (sl.connecting_since == 0) {
+        sl.connecting_since = now;
+      } else if (now - sl.connecting_since >= stuck_skip_ns_ || stopping) {
+        register_session(s);
+        sl.tenant_valid = false;  // nothing of it is trustworthy
+        reclaim_session(ctx, s, /*expired=*/true);
+      }
+      return 0;
+    } else {
+      sl.connecting_since = 0;
+      return 0;
+    }
+  }
+
+  if (stopping) {
+    // Shutdown pass: the header is already poisoned; reclaim everyone so
+    // orphan accounting settles before the drain loop exits.
+    reclaim_session(ctx, s, /*expired=*/false);
+    return 0;
+  }
+
+  Counters& c = svc_->runtime().profiler().thread(ctx.worker_id()).counters;
+  FaultInjector* fi = fault_injector();
+
+  bool vanish = false;
+  if (fi != nullptr && fi->inject(FaultPoint::kClientVanish)) {
+    fi->perturb(FaultPoint::kClientVanish);
+    vanish = true;
+  }
+  const auto verdict = sl.tracker.observe(
+      now, cell.lease_deadline_ns.load(std::memory_order_acquire), vanish);
+  if (verdict == SessionTracker::Verdict::kExpired) {
+    reclaim_session(ctx, s, /*expired=*/true);
+    return 0;
+  }
+
+  std::size_t ingested = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ReqPayload p;
+    const auto r = sl.req.try_pop(&p, sl.gen);
+    if (r == CrashRingView<ReqPayload>::Pop::kOk) {
+      sl.stuck_since = 0;
+      if (fi != nullptr && fi->inject(FaultPoint::kTransportTorn)) {
+        // Chaos: treat this (valid) slot as torn — the skip path must
+        // never execute it and never disturb the accounting invariant.
+        fi->perturb(FaultPoint::kTransportTorn);
+        ++c.nslots_torn;
+        st_slots_torn_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      ingest_one(ctx, s, p);
+      ++ingested;
+      continue;
+    }
+    if (r == CrashRingView<ReqPayload>::Pop::kTorn) {
+      sl.stuck_since = 0;
+      ++c.nslots_torn;
+      st_slots_torn_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (r == CrashRingView<ReqPayload>::Pop::kNotReady) {
+      // Claimed but unpublished head: an alive producer publishes within
+      // nanoseconds, so only a death mid-publish holds this for long.
+      const std::uint32_t pos = sl.req.head_pos();
+      if (sl.stuck_since != 0 && sl.stuck_pos == pos) {
+        if (now - sl.stuck_since >= stuck_skip_ns_) {
+          sl.req.skip_head();
+          sl.stuck_since = 0;
+          ++c.nslots_torn;
+          st_slots_torn_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      } else {
+        sl.stuck_pos = pos;
+        sl.stuck_since = now;
+      }
+      break;
+    }
+    sl.stuck_since = 0;  // kEmpty
+    break;
+  }
+
+  if (st == kSessClosing && sl.req.size_approx() == 0) {
+    // Graceful disconnect: everything the client published was drained.
+    reclaim_session(ctx, s, /*expired=*/false);
+  }
+  return ingested;
+}
+
+void IpcServer::ingest_one(TaskContext& ctx, std::uint32_t s,
+                           const ReqPayload& p) {
+  SessionLocal& sl = locals_[s];
+  auto* fl = new IpcFlight{this, s, sl.gen, p};
+  serve::Request r;
+  r.fn = &IpcServer::exec_tramp;
+  r.a = reinterpret_cast<std::uint64_t>(fl);
+  // Trust the client's submit stamp only if it is sane on our shared
+  // monotonic timebase; otherwise latency accounting starts here.
+  const std::uint64_t now = now_ns();
+  r.t_submit_ns =
+      (p.t_submit_ns != 0 && p.t_submit_ns <= now) ? p.t_submit_ns : now;
+  (void)ctx;
+  const serve::Submit res =
+      svc_->submit(static_cast<int>(sl.tenant), r);
+  st_requests_ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (res.status != serve::SubmitStatus::kAccepted) {
+    complete(s, sl.gen, p, cmpl_status_for(res.status), res.retry_after_us);
+    delete fl;
+  }
+}
+
+void IpcServer::reclaim_session(TaskContext& ctx, std::uint32_t s,
+                                bool expired) {
+  Counters& c = svc_->runtime().profiler().thread(ctx.worker_id()).counters;
+  reclaim_core(s, &c, expired);
+}
+
+void IpcServer::reclaim_core(std::uint32_t s, Counters* c, bool expired) {
+  SessionLocal& sl = locals_[s];
+  SessionCell& cell = cells_[s];
+  // Fence off completion producers before touching the rings.
+  sl.dead.store(true);  // seq_cst: pairs with complete()'s users++/check
+  while (sl.cmpl_users.load() != 0) cpu_pause();
+
+  const auto counts = sl.req.reclaim([](const ReqPayload&) {}, sl.gen);
+  std::uint32_t orphans = 0;
+  std::uint32_t torn = counts.torn;
+  if (sl.tenant_valid) {
+    orphans = counts.published;
+    svc_->account_orphaned(static_cast<int>(sl.tenant), orphans);
+  } else {
+    torn += counts.published;  // untrusted session: nothing is a request
+  }
+  sl.cmpl.reinit();
+
+  st_orphaned_.fetch_add(orphans, std::memory_order_relaxed);
+  st_slots_torn_.fetch_add(torn, std::memory_order_relaxed);
+  if (expired)
+    st_sessions_expired_.fetch_add(1, std::memory_order_relaxed);
+  else
+    st_sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (c != nullptr) {
+    c->norphaned += orphans;
+    c->nslots_torn += torn;
+    if (expired) ++c->nsessions_expired;
+  }
+
+  // Recycle the cell under a new generation: a zombie writer holding the
+  // old gen can no longer produce a valid checksum, and a stale heartbeat
+  // is detected by the gen mismatch client-side.
+  cell.gen.store(sl.gen + 1, std::memory_order_relaxed);
+  cell.lease_deadline_ns.store(0, std::memory_order_relaxed);
+  cell.tenant.store(0, std::memory_order_relaxed);
+  cell.pid.store(0, std::memory_order_relaxed);
+  cell.state.store(kSessFree, std::memory_order_release);
+  sl.registered = false;
+  sl.connecting_since = 0;
+  live_sessions_.fetch_sub(1, std::memory_order_release);
+}
+
+void IpcServer::stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  // Order matters: poison first (clients fail fast), then let the pump's
+  // stopping pass reclaim sessions and settle accounting, then stop the
+  // service (which joins the drain thread), then sweep anything the pump
+  // never saw, then tear the segment down.
+  hdr_->state.store(kSegPoisoned, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+  svc_->stop();
+  for (std::uint32_t s = 0; s < tspec_.sessions; ++s) {
+    if (locals_[s].registered) {
+      reclaim_core(s, nullptr, /*expired=*/false);
+      continue;
+    }
+    // Cells claimed after the pump exited: classify their rings directly.
+    const std::uint32_t st = cells_[s].state.load(std::memory_order_acquire);
+    if (st != kSessFree) {
+      register_session(s);
+      reclaim_core(s, nullptr, /*expired=*/false);
+    }
+  }
+  destroy_segment();
+}
+
+TransportStats IpcServer::stats() const noexcept {
+  TransportStats t;
+  t.sessions_opened = st_sessions_opened_.load(std::memory_order_relaxed);
+  t.sessions_expired = st_sessions_expired_.load(std::memory_order_relaxed);
+  t.sessions_closed = st_sessions_closed_.load(std::memory_order_relaxed);
+  t.slots_torn = st_slots_torn_.load(std::memory_order_relaxed);
+  t.orphaned = st_orphaned_.load(std::memory_order_relaxed);
+  t.requests_ingested =
+      st_requests_ingested_.load(std::memory_order_relaxed);
+  t.completions_dropped =
+      st_completions_dropped_.load(std::memory_order_relaxed);
+  return t;
+}
+
+}  // namespace xtask::ipc

@@ -1,0 +1,133 @@
+// IpcServer: the server side of the shared-memory cross-process transport
+// (ROADMAP "xtask-as-a-service, phase 2"). Owns the shm segment and a
+// TaskService; plugs into the service's drain loop via the ServeConfig
+// ingest hook, so session rings are pumped by the same single thread that
+// drains the in-process tenant rings — one consumer, single-writer
+// profiler counters, no new threads.
+//
+// Crash fault model (see DESIGN.md "Cross-process transport & crash fault
+// model"): clients may die at any instruction. The server
+//   - skips torn submit slots (claimed-not-published or bad checksum)
+//     instead of executing garbage,
+//   - expires dead sessions via the lease/SessionTracker machine and
+//     reclaims their rings through the same classify path,
+//   - accounts every published-but-never-drained request of a dead
+//     session as `orphaned`, keeping the service invariant
+//     submitted == executed + shed + rejected + orphaned exact,
+//   - poisons the segment header at stop() so clients fail fast.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "registry/registry.hpp"
+#include "serve/ipc/layout.hpp"
+#include "serve/ipc/session.hpp"
+#include "serve/service.hpp"
+
+namespace xtask {
+struct Counters;
+}
+
+namespace xtask::ipc {
+
+/// Transport-level totals (server side, drained from the pump thread).
+struct TransportStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_expired = 0;   // lease/vanish-reclaimed
+  std::uint64_t sessions_closed = 0;    // graceful disconnects
+  std::uint64_t slots_torn = 0;         // skipped submit slots
+  std::uint64_t orphaned = 0;           // published requests of dead clients
+  std::uint64_t requests_ingested = 0;  // handed to TaskService::submit
+  std::uint64_t completions_dropped = 0;  // cmpl ring full / session gone
+};
+
+class IpcServer {
+ public:
+  /// What the service executes for an ipc request: op/arg from the client,
+  /// t_submit_ns as stamped at submit. The return value travels back in
+  /// the completion. Null handler echoes arg.
+  using Handler = std::uint64_t (*)(std::uint32_t op, std::uint64_t arg,
+                                    std::uint64_t t_submit_ns);
+
+  /// Creates the segment (shm_open O_CREAT|O_EXCL after unlinking any
+  /// stale object of the same name) and starts the TaskService with the
+  /// transport hooks installed. `scfg.ingest`/`on_drop` must be unset —
+  /// the transport owns them.
+  IpcServer(serve::ServeConfig scfg, TransportSpec tspec,
+            Handler handler = nullptr);
+  ~IpcServer();
+
+  IpcServer(const IpcServer&) = delete;
+  IpcServer& operator=(const IpcServer&) = delete;
+
+  /// Poison the segment (clients fail fast), reclaim every session,
+  /// settle accounting, stop the service, unlink the shm object.
+  /// Idempotent.
+  void stop();
+
+  serve::TaskService& service() noexcept { return *svc_; }
+  const serve::TaskService& service() const noexcept { return *svc_; }
+  const TransportSpec& spec() const noexcept { return tspec_; }
+
+  TransportStats stats() const noexcept;
+
+  /// Live (registered, not yet reclaimed) sessions, pump's view.
+  std::uint32_t live_sessions() const noexcept {
+    return live_sessions_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct SessionLocal;
+
+  static std::size_t pump_tramp(TaskContext& ctx, void* arg);
+  static void on_drop_tramp(const serve::Request& req,
+                            serve::SubmitStatus why, void* arg);
+  static void exec_tramp(const serve::Request& req);
+
+  std::size_t pump(TaskContext& ctx);
+  std::size_t pump_session(TaskContext& ctx, std::uint32_t s,
+                           std::uint64_t now, bool stopping);
+  void register_session(std::uint32_t s);
+  void reclaim_session(TaskContext& ctx, std::uint32_t s, bool expired);
+  void reclaim_core(std::uint32_t s, Counters* c, bool expired);
+  void ingest_one(TaskContext& ctx, std::uint32_t s, const ReqPayload& p);
+  void complete(std::uint32_t session, std::uint32_t gen,
+                const ReqPayload& p, std::uint32_t status,
+                std::uint64_t result) noexcept;
+  void create_segment();
+  void destroy_segment() noexcept;
+
+  TransportSpec tspec_;
+  Handler handler_ = nullptr;
+  SegmentMap map_{};
+  int fd_ = -1;
+  void* mem_ = nullptr;
+  SegmentHeader* hdr_ = nullptr;
+  SessionCell* cells_ = nullptr;
+  std::unique_ptr<SessionLocal[]> locals_;
+  std::uint64_t stuck_skip_ns_ = 0;  // force-skip a claimed head after this
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> svc_ready_{false};
+  std::mutex stop_mu_;  // serializes stop() callers
+  bool stopped_ = false;
+  std::atomic<std::uint32_t> live_sessions_{0};
+
+  // Pump-thread-written, any-thread-read transport totals.
+  std::atomic<std::uint64_t> st_sessions_opened_{0};
+  std::atomic<std::uint64_t> st_sessions_expired_{0};
+  std::atomic<std::uint64_t> st_sessions_closed_{0};
+  std::atomic<std::uint64_t> st_slots_torn_{0};
+  std::atomic<std::uint64_t> st_orphaned_{0};
+  std::atomic<std::uint64_t> st_requests_ingested_{0};
+  std::atomic<std::uint64_t> st_completions_dropped_{0};
+
+  std::unique_ptr<serve::TaskService> svc_;  // last member: stops first
+};
+
+}  // namespace xtask::ipc

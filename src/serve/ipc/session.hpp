@@ -1,0 +1,89 @@
+// Server-side lease tracking for ipc client sessions.
+//
+// SessionTracker mirrors the shape of core/heartbeat.hpp's HealthTracker:
+// a plain, single-threaded state machine (only the service drain thread
+// calls it) that turns raw lease observations into edge-triggered
+// verdicts. The caller owns all side effects (reclaiming rings, counter
+// bumps); the tracker only decides *when*.
+//
+// The lease cell holds an absolute CLOCK_MONOTONIC deadline the client
+// refreshes from its heartbeat thread. States:
+//
+//   healthy --(deadline passed)--> suspect --(grace elapsed)--> expired
+//      ^                              |
+//      +---------(refresh seen)-------+
+//
+// `expired` is terminal until reset() — the server reclaims the session
+// and recycles the cell under a new generation, so a late heartbeat from
+// the dead client's ghost can never resurrect the old session.
+#pragma once
+
+#include <cstdint>
+
+namespace xtask::ipc {
+
+class SessionTracker {
+ public:
+  enum class Verdict : std::uint8_t {
+    kNone,            // no state change
+    kBecameSuspect,   // deadline passed; grace timer started
+    kSuspectCleared,  // refresh arrived while suspect
+    kExpired,         // grace elapsed (or vanish injected): reclaim now
+  };
+
+  explicit SessionTracker(std::uint64_t grace_ns = 0) noexcept
+      : grace_ns_(grace_ns) {}
+
+  /// Re-arm for a freshly registered session.
+  void reset() noexcept {
+    state_ = State::kHealthy;
+    suspect_since_ns_ = 0;
+  }
+
+  /// One observation of the shared lease cell. `vanish` is the
+  /// FaultPoint::kClientVanish injection: treat the client as dead right
+  /// now regardless of its lease.
+  Verdict observe(std::uint64_t now_ns, std::uint64_t lease_deadline_ns,
+                  bool vanish = false) noexcept {
+    if (state_ == State::kExpired) return Verdict::kNone;
+    if (vanish) {
+      state_ = State::kExpired;
+      return Verdict::kExpired;
+    }
+    if (now_ns <= lease_deadline_ns) {
+      if (state_ == State::kSuspect) {
+        state_ = State::kHealthy;
+        suspect_since_ns_ = 0;
+        return Verdict::kSuspectCleared;
+      }
+      return Verdict::kNone;
+    }
+    // Lease overdue.
+    if (state_ == State::kHealthy) {
+      state_ = State::kSuspect;
+      suspect_since_ns_ = now_ns;
+      if (grace_ns_ == 0) {
+        state_ = State::kExpired;
+        return Verdict::kExpired;
+      }
+      return Verdict::kBecameSuspect;
+    }
+    if (now_ns - suspect_since_ns_ >= grace_ns_) {
+      state_ = State::kExpired;
+      return Verdict::kExpired;
+    }
+    return Verdict::kNone;
+  }
+
+  bool expired() const noexcept { return state_ == State::kExpired; }
+  bool suspect() const noexcept { return state_ == State::kSuspect; }
+
+ private:
+  enum class State : std::uint8_t { kHealthy, kSuspect, kExpired };
+
+  std::uint64_t grace_ns_;
+  std::uint64_t suspect_since_ns_ = 0;
+  State state_ = State::kHealthy;
+};
+
+}  // namespace xtask::ipc

@@ -155,17 +155,49 @@ void TaskService::graph_done(void* arg) noexcept {
   delete flight;
 }
 
+std::uint64_t TaskService::jitter(std::uint64_t us) const noexcept {
+  // ±25%, from a seeded SplitMix64 stream: N clients rejected in the same
+  // instant draw different positions in the stream and re-arrive spread
+  // over a half-width window instead of in lockstep (thundering herd).
+  std::uint64_t z = cfg_.retry_jitter_seed +
+                    jitter_seq_.fetch_add(0x9e3779b97f4a7c15ull,
+                                          std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  // Factor in [0.75, 1.25): 1024ths in [768, 1280).
+  std::uint64_t out = us * (768 + (z & 511)) / 1024;
+  if (out < 1) out = 1;
+  if (out > 1000000) out = 1000000;
+  return out;
+}
+
 std::uint64_t TaskService::retry_after_us(const Tenant& t, double factor,
                                           std::uint64_t mult) const noexcept {
   // Time until roughly one token at the current effective rate, scaled by
   // `mult` for harder rejections; clamped to [1us, 1s] so callers always
-  // get a usable, bounded hint.
+  // get a usable, bounded hint, then jittered so synchronized clients
+  // de-synchronize.
   if (factor < 0.01) factor = 0.01;
   const double eff = std::max(1.0, static_cast<double>(t.spec.rate) * factor);
   double us = 1e6 / eff * static_cast<double>(mult);
   if (us < 1.0) us = 1.0;
   if (us > 1e6) us = 1e6;
-  return static_cast<std::uint64_t>(us);
+  return jitter(static_cast<std::uint64_t>(us));
+}
+
+std::uint64_t TaskService::suggest_retry_us() const noexcept {
+  switch (state()) {
+    case ServiceState::kAccept:
+      return 0;
+    case ServiceState::kThrottle:
+      return jitter(100);
+    case ServiceState::kShed:
+      return jitter(500);
+    case ServiceState::kReject:
+      return jitter(2000);
+  }
+  return 0;
 }
 
 Submit TaskService::submit(int tenant, Request req) noexcept {
@@ -176,7 +208,7 @@ Submit TaskService::submit(int tenant, Request req) noexcept {
 
   if (stop_.load(std::memory_order_acquire)) {
     t.rejected.fetch_add(1, std::memory_order_relaxed);
-    return {SubmitStatus::kRejected, 0};  // do not retry: shutting down
+    return {SubmitStatus::kShutdown, 0};  // the service is gone for good
   }
   if (req.graph > graph_count_.load(std::memory_order_acquire)) {
     // Unknown graph handle: a client bug, not pressure — no retry hint.
@@ -215,7 +247,9 @@ Submit TaskService::submit(int tenant, Request req) noexcept {
 
   req.tenant = static_cast<std::uint32_t>(tenant);
   req.priority = static_cast<std::uint8_t>(t.spec.priority);
-  req.t_submit_ns = now_ns();
+  // Transports stamp the client's submit time before the request crosses
+  // the process boundary; only stamp here when no one has yet.
+  if (req.t_submit_ns == 0) req.t_submit_ns = now_ns();
   t.in_flight.fetch_add(1, std::memory_order_relaxed);
   if (!t.ring.try_push(req)) {
     // Ring full: the drain side is behind. Undo the in-flight claim and
@@ -284,6 +318,17 @@ void TaskService::shed_from_ring(Tenant& t, std::size_t n) noexcept {
   t.in_flight.fetch_sub(n, std::memory_order_release);
 }
 
+void TaskService::drop_request(const Request& req, SubmitStatus why) noexcept {
+  if (cfg_.on_drop != nullptr) cfg_.on_drop(req, why, cfg_.on_drop_arg);
+}
+
+void TaskService::account_orphaned(int tenant, std::uint64_t n) noexcept {
+  if (n == 0 || tenant < 0 || tenant >= num_tenants()) return;
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  t.submitted.fetch_add(n, std::memory_order_relaxed);
+  t.orphaned.fetch_add(n, std::memory_order_relaxed);
+}
+
 std::size_t TaskService::drain_once(TaskContext& ctx) {
   Counters& c =
       rt_->profiler().thread(ctx.worker_id()).counters;
@@ -300,7 +345,10 @@ std::size_t TaskService::drain_once(TaskContext& ctx) {
     if (shedding && t.spec.priority == min_priority_) {
       // Already-admitted work from the shed-first class is dropped here
       // rather than executed — the runtime's queues are the scarce
-      // resource in this state.
+      // resource in this state. Transports get a per-request drop
+      // callback so the client still receives a completion.
+      for (std::size_t i = 0; i < n; ++i)
+        drop_request(reqs[i], SubmitStatus::kShed);
       shed_from_ring(t, n);
       c.nserve_shed += n;
       continue;
@@ -337,6 +385,11 @@ void TaskService::serve_loop(TaskContext& ctx) {
     } else {
       moved = drain_once(ctx);
     }
+    // Transport pump (ipc session rings -> submit()): runs on this thread
+    // only, so it can use the single-writer profiler counters. It must
+    // run while stopping too — that pass reclaims live sessions and
+    // settles orphan accounting before the loop exits.
+    if (cfg_.ingest != nullptr) moved += cfg_.ingest(ctx, cfg_.ingest_arg);
     if (moved > 0) {
       idle_spins = 0;
       continue;
@@ -368,7 +421,10 @@ void TaskService::stop() {
   // Account any stragglers as shed so the invariant still closes.
   Request r;
   for (auto& t : tenants_)
-    while (t->ring.try_pop(&r)) shed_from_ring(*t, 1);
+    while (t->ring.try_pop(&r)) {
+      drop_request(r, SubmitStatus::kShutdown);
+      shed_from_ring(*t, 1);
+    }
 }
 
 TenantStats TaskService::tenant_stats(int tenant) const {
@@ -380,6 +436,7 @@ TenantStats TaskService::tenant_stats(int tenant) const {
   s.executed = t.executed.load(std::memory_order_relaxed);
   s.shed = t.shed.load(std::memory_order_relaxed);
   s.rejected = t.rejected.load(std::memory_order_relaxed);
+  s.orphaned = t.orphaned.load(std::memory_order_relaxed);
   s.in_flight = t.in_flight.load(std::memory_order_relaxed);
   s.ring_depth = t.ring.size_approx();
   s.ring_capacity = t.ring.capacity();
@@ -396,6 +453,7 @@ TenantStats TaskService::totals() const {
     sum.executed += s.executed;
     sum.shed += s.shed;
     sum.rejected += s.rejected;
+    sum.orphaned += s.orphaned;
     sum.in_flight += s.in_flight;
     sum.ring_depth += s.ring_depth;
     sum.ring_capacity += s.ring_capacity;
@@ -424,6 +482,7 @@ std::vector<std::pair<std::string, std::string>> TaskService::trace_meta()
     v += ",\"executed\":" + std::to_string(s.executed);
     v += ",\"shed\":" + std::to_string(s.shed);
     v += ",\"rejected\":" + std::to_string(s.rejected);
+    v += ",\"orphaned\":" + std::to_string(s.orphaned);
     v += ",\"in_flight\":" + std::to_string(s.in_flight);
     v += ",\"ring_depth\":" + std::to_string(s.ring_depth);
     v += ",\"ring_capacity\":" + std::to_string(s.ring_capacity);

@@ -59,6 +59,7 @@ enum class SubmitStatus : std::uint8_t {
   kAccepted,  // in the ring; will be executed (or shed under pressure)
   kShed,      // dropped by policy (lowest-priority tenant under kShed+)
   kRejected,  // quota/rate/ring-full/state; retry after retry_after_us
+  kShutdown,  // service stopped: do not retry, the request was not taken
 };
 
 /// The service's degradation state, most permissive first.
@@ -72,23 +73,32 @@ enum class ServiceState : std::uint8_t {
 const char* to_string(ServiceState s) noexcept;
 
 /// Result of submit(): the status plus a retry hint (microseconds) for
-/// rejects. retry_after_us == 0 means "do not retry" (service stopped).
+/// rejects/sheds. A stopped service answers kShutdown (never a zero-hint
+/// kRejected), so retry_after_us == 0 on a kRejected now always means
+/// "this request can never succeed" (bad tenant index / unknown graph
+/// handle), not "the service is gone". Hints carry seeded ±25% jitter so
+/// synchronized clients do not re-arrive in lockstep.
 struct Submit {
   SubmitStatus status = SubmitStatus::kRejected;
   std::uint64_t retry_after_us = 0;
 };
 
 /// Per-tenant accounting snapshot. At any instant
-///   submitted >= admitted + shed + rejected, and
+///   submitted >= admitted + shed + rejected + orphaned, and
 /// after stop():
-///   submitted == executed + shed + rejected, in_flight == 0.
+///   submitted == executed + shed + rejected + orphaned, in_flight == 0.
 struct TenantStats {
   std::string name;
-  std::uint64_t submitted = 0;  // every submit() call
+  std::uint64_t submitted = 0;  // every submit() call (+ orphaned intakes)
   std::uint64_t admitted = 0;   // passed admission into the ring
   std::uint64_t executed = 0;   // request fn ran to completion
   std::uint64_t shed = 0;       // dropped by policy (admission or drain)
   std::uint64_t rejected = 0;   // pushed back with retry-after
+  /// Published by a client that died before the server drained them: the
+  /// ipc transport reclaims the dead session's ring and accounts each
+  /// valid-but-never-executed request here (account_orphaned). Always 0
+  /// for purely in-process use.
+  std::uint64_t orphaned = 0;
   std::uint64_t in_flight = 0;  // admitted, not yet executed/shed
   std::uint32_t ring_depth = 0;
   std::uint32_t ring_capacity = 0;
@@ -110,6 +120,21 @@ struct ServeConfig {
   double throttle_at = 0.50;
   double shed_at = 0.75;
   double reject_at = 0.90;
+  /// Seed for the ±25% retry-after jitter stream (see retry_after_us).
+  std::uint64_t retry_jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Optional transport hook, called once per drain-loop pass on the
+  /// drain thread (single caller, so it may use single-writer profiler
+  /// counters). Returns how many requests it moved; the loop treats them
+  /// like drained work for its idle/backoff decision. The ipc server uses
+  /// this to pump session rings into submit().
+  std::size_t (*ingest)(TaskContext& ctx, void* arg) = nullptr;
+  void* ingest_arg = nullptr;
+  /// Optional drop notifier: called for every ADMITTED request the
+  /// service discards without running its fn (drain-shed batches and the
+  /// stop() straggler sweep). Transports use it to send the client a
+  /// shed/shutdown completion instead of leaking the flight record.
+  void (*on_drop)(const Request& req, SubmitStatus why, void* arg) = nullptr;
+  void* on_drop_arg = nullptr;
 };
 
 /// The service. Construction spins up the runtime and the drain region;
@@ -148,6 +173,19 @@ class TaskService {
   /// Stop accepting, drain everything admitted, settle accounting, and
   /// join the service thread. Idempotent; safe from any thread.
   void stop();
+
+  /// Transport path: account `n` requests that a now-dead client had
+  /// fully published but the service never drained. Each counts as
+  /// submitted AND orphaned, keeping the closed-accounting invariant
+  /// exact without pretending the work was shed or rejected. Tenant
+  /// indexes outside [0, num_tenants) are ignored (a crashed client's
+  /// ring can hold garbage).
+  void account_orphaned(int tenant, std::uint64_t n) noexcept;
+
+  /// A state-driven backoff hint (µs, jittered) suitable for publishing
+  /// to clients that cannot name a tenant yet — e.g. the ipc segment
+  /// header's retry_after_us cell. 0 while accepting at full rate.
+  std::uint64_t suggest_retry_us() const noexcept;
 
   int num_tenants() const noexcept { return static_cast<int>(tenants_.size()); }
   TenantStats tenant_stats(int tenant) const;
@@ -206,6 +244,7 @@ class TaskService {
     atomic<std::uint64_t> executed{0};
     atomic<std::uint64_t> shed{0};
     atomic<std::uint64_t> rejected{0};
+    atomic<std::uint64_t> orphaned{0};
     atomic<std::uint64_t> in_flight{0};
 
     Tenant(TenantSpec s, std::uint32_t ring_cap)
@@ -249,8 +288,10 @@ class TaskService {
   void update_admission(std::uint64_t now_ns);
   void complete_executed(const Request& req) noexcept;
   void shed_from_ring(Tenant& t, std::size_t n) noexcept;
+  void drop_request(const Request& req, SubmitStatus why) noexcept;
   std::uint64_t retry_after_us(const Tenant& t, double factor,
                                std::uint64_t mult) const noexcept;
+  std::uint64_t jitter(std::uint64_t us) const noexcept;
   bool rings_empty() const noexcept;
   static std::uint64_t now_ns() noexcept;
 
@@ -272,6 +313,10 @@ class TaskService {
 
   // Drain-loop-private refill clock.
   std::uint64_t last_refill_ns_ = 0;
+
+  // Retry-jitter stream: any submitting thread advances it; exact
+  // sequencing across threads is irrelevant (any draw de-synchronizes).
+  mutable atomic<std::uint64_t> jitter_seq_{0};
 
   std::mutex stop_mu_;  // serializes stop() callers around the join
   std::thread thread_;  // runs rt_->run(serve_loop)

@@ -1,0 +1,414 @@
+// In-process tests for the shared-memory transport (src/serve/ipc): the
+// crash-tolerant ring's torn-slot classification in isolation, the
+// SessionTracker lease machine, the TransportSpec grammar, and
+// client/server end-to-end over a real shm segment — including lease
+// expiry with orphan accounting, torn-slot skip, injected
+// kTransportTorn/kClientVanish faults, and fail-fast on poison. The
+// multi-process (fork+exec, SIGKILL) coverage lives in
+// test_ipc_crash.cpp; everything here runs in one process so it can
+// assert on both sides of the boundary directly.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "registry/registry.hpp"
+#include "serve/ipc/client.hpp"
+#include "serve/ipc/server.hpp"
+
+namespace xtask::ipc {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::ServeConfig;
+using serve::TenantStats;
+
+std::uint64_t echo_handler(std::uint32_t op, std::uint64_t arg,
+                           std::uint64_t) {
+  return arg + op + 1;
+}
+
+// Unique segment name per test so parallel ctest runs never collide.
+std::string seg_name(const char* tag) {
+  return std::string(tag) + "_" + std::to_string(::getpid());
+}
+
+ServeConfig small_cfg() {
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws";
+  cfg.tenants = TenantSpec::parse_list(
+      "alpha:rate=1000000,quota=100000,burst=100000;"
+      "beta:rate=1000000,quota=100000,burst=100000");
+  return cfg;
+}
+
+void expect_closed(const TenantStats& t) {
+  EXPECT_EQ(t.submitted, t.executed + t.shed + t.rejected + t.orphaned)
+      << "submitted=" << t.submitted << " executed=" << t.executed
+      << " shed=" << t.shed << " rejected=" << t.rejected
+      << " orphaned=" << t.orphaned;
+  EXPECT_EQ(t.in_flight, 0u);
+}
+
+// --- CrashRingView in isolation ------------------------------------------
+
+TEST(CrashRing, PushPopRoundTripsPayloadAndChecksum) {
+  std::vector<char> mem(CrashRingView<ReqPayload>::bytes(8));
+  CrashRingView<ReqPayload>::init_at(mem.data(), 8);
+  CrashRingView<ReqPayload> ring;
+  ring.attach(mem.data(), 8);
+
+  ReqPayload p;
+  p.id = 42;
+  p.arg = 7;
+  p.t_submit_ns = 1234;
+  p.op = 3;
+  p.tenant = 1;
+  ASSERT_TRUE(ring.try_push(p, /*salt=*/5));
+
+  ReqPayload out;
+  ASSERT_EQ(ring.try_pop(&out, 5), CrashRingView<ReqPayload>::Pop::kOk);
+  EXPECT_EQ(out.id, 42u);
+  EXPECT_EQ(out.arg, 7u);
+  EXPECT_EQ(out.t_submit_ns, 1234u);
+  EXPECT_EQ(out.op, 3u);
+  EXPECT_EQ(out.tenant, 1u);
+  EXPECT_EQ(ring.try_pop(&out, 5), CrashRingView<ReqPayload>::Pop::kEmpty);
+}
+
+TEST(CrashRing, WrongSaltClassifiesTorn) {
+  // A zombie producer publishing under a stale generation must never
+  // deliver: the checksum salt is the generation.
+  std::vector<char> mem(CrashRingView<ReqPayload>::bytes(8));
+  CrashRingView<ReqPayload>::init_at(mem.data(), 8);
+  CrashRingView<ReqPayload> ring;
+  ring.attach(mem.data(), 8);
+  ASSERT_TRUE(ring.try_push(ReqPayload{}, /*salt=*/1));
+  ReqPayload out;
+  EXPECT_EQ(ring.try_pop(&out, /*salt=*/2),
+            CrashRingView<ReqPayload>::Pop::kTorn);
+  // The torn slot was consumed; the ring is usable again.
+  EXPECT_EQ(ring.try_pop(&out, 2), CrashRingView<ReqPayload>::Pop::kEmpty);
+  ASSERT_TRUE(ring.try_push(ReqPayload{}, 2));
+  EXPECT_EQ(ring.try_pop(&out, 2), CrashRingView<ReqPayload>::Pop::kOk);
+}
+
+TEST(CrashRing, ClaimedUnpublishedSlotIsNotReadyThenSkippable) {
+  // The footprint of a client SIGKILLed between claim and publish: the
+  // consumer sees kNotReady (never garbage), and skip_head() recovers the
+  // ring. A request published BEHIND the dead claim is still delivered
+  // afterwards — one death costs one slot, not the ring.
+  std::vector<char> mem(CrashRingView<ReqPayload>::bytes(8));
+  CrashRingView<ReqPayload>::init_at(mem.data(), 8);
+  CrashRingView<ReqPayload> ring;
+  ring.attach(mem.data(), 8);
+
+  ASSERT_TRUE(ring.claim_and_abandon());
+  ReqPayload live;
+  live.id = 7;
+  ASSERT_TRUE(ring.try_push(live, 0));
+
+  ReqPayload out;
+  EXPECT_EQ(ring.try_pop(&out, 0),
+            CrashRingView<ReqPayload>::Pop::kNotReady);
+  ring.skip_head();
+  ASSERT_EQ(ring.try_pop(&out, 0), CrashRingView<ReqPayload>::Pop::kOk);
+  EXPECT_EQ(out.id, 7u);
+}
+
+TEST(CrashRing, ReclaimClassifiesPublishedVsTorn) {
+  std::vector<char> mem(CrashRingView<ReqPayload>::bytes(8));
+  CrashRingView<ReqPayload>::init_at(mem.data(), 8);
+  CrashRingView<ReqPayload> ring;
+  ring.attach(mem.data(), 8);
+
+  ReqPayload p;
+  p.id = 1;
+  ASSERT_TRUE(ring.try_push(p, 3));
+  ASSERT_TRUE(ring.claim_and_abandon());
+  p.id = 2;
+  ASSERT_TRUE(ring.try_push(p, 3));
+
+  std::vector<std::uint64_t> ids;
+  const auto counts =
+      ring.reclaim([&](const ReqPayload& r) { ids.push_back(r.id); }, 3);
+  EXPECT_EQ(counts.published, 2u);
+  EXPECT_EQ(counts.torn, 1u);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[1], 2u);
+  // reclaim() reinitializes: full capacity is available again.
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(p, 4));
+  EXPECT_FALSE(ring.try_push(p, 4));
+}
+
+// --- SessionTracker -------------------------------------------------------
+
+TEST(SessionTrackerTest, HealthySuspectExpiredWalk) {
+  SessionTracker tr(/*grace_ns=*/100);
+  EXPECT_EQ(tr.observe(50, 60), SessionTracker::Verdict::kNone);
+  // Deadline passed -> suspect; grace starts.
+  EXPECT_EQ(tr.observe(61, 60), SessionTracker::Verdict::kBecameSuspect);
+  EXPECT_TRUE(tr.suspect());
+  // A refresh clears suspicion.
+  EXPECT_EQ(tr.observe(70, 200), SessionTracker::Verdict::kSuspectCleared);
+  // Overdue again; expires only after the grace elapses.
+  EXPECT_EQ(tr.observe(201, 200), SessionTracker::Verdict::kBecameSuspect);
+  EXPECT_EQ(tr.observe(250, 200), SessionTracker::Verdict::kNone);
+  EXPECT_EQ(tr.observe(301, 200), SessionTracker::Verdict::kExpired);
+  EXPECT_TRUE(tr.expired());
+  // Terminal until reset.
+  EXPECT_EQ(tr.observe(1000, 5000), SessionTracker::Verdict::kNone);
+  tr.reset();
+  EXPECT_EQ(tr.observe(1000, 5000), SessionTracker::Verdict::kNone);
+  EXPECT_FALSE(tr.expired());
+}
+
+TEST(SessionTrackerTest, VanishInjectionExpiresImmediately) {
+  SessionTracker tr(1'000'000'000);
+  EXPECT_EQ(tr.observe(10, 1000, /*vanish=*/true),
+            SessionTracker::Verdict::kExpired);
+  EXPECT_TRUE(tr.expired());
+}
+
+// --- TransportSpec grammar ------------------------------------------------
+
+TEST(TransportSpecTest, ParsesDefaultsAndRoundTrips) {
+  const TransportSpec t = TransportSpec::parse("ipc=shm,seg=demo");
+  EXPECT_EQ(t.kind, "shm");
+  EXPECT_EQ(t.seg, "demo");
+  EXPECT_EQ(t.sessions, 8u);
+  EXPECT_EQ(t.ring, 256u);
+  EXPECT_EQ(t.cmpl, 0u);
+  EXPECT_EQ(t.effective_cmpl(), 512u);
+  EXPECT_EQ(t.lease_ms, 100u);
+  EXPECT_EQ(t.shm_name(), "/xtask_demo");
+  // describe() is a parse fixpoint.
+  const TransportSpec u = TransportSpec::parse(t.describe());
+  EXPECT_EQ(u.describe(), t.describe());
+}
+
+TEST(TransportSpecTest, ParsesAllKeysAndRoundsRings) {
+  const TransportSpec t = TransportSpec::parse(
+      "ipc=shm,seg=x_1.a-b,sessions=3,ring=100,cmpl=9,lease_ms=250");
+  EXPECT_EQ(t.sessions, 3u);
+  EXPECT_EQ(t.ring, 128u);   // rounded up to pow2
+  EXPECT_EQ(t.cmpl, 16u);    // rounded up to pow2
+  EXPECT_EQ(t.lease_ms, 250u);
+}
+
+TEST(TransportSpecTest, DiagnosticsNameTheKeySet) {
+  EXPECT_THROW(TransportSpec::parse("ipc=shm"), std::invalid_argument);
+  EXPECT_THROW(TransportSpec::parse("seg=demo"), std::invalid_argument);
+  EXPECT_THROW(TransportSpec::parse("ipc=tcp,seg=demo"),
+               std::invalid_argument);
+  EXPECT_THROW(TransportSpec::parse("ipc=shm,seg=bad/name"),
+               std::invalid_argument);
+  try {
+    TransportSpec::parse("ipc=shm,seg=demo,bogus=1");
+    FAIL() << "unknown key must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lease_ms"), std::string::npos)
+        << "diagnostic must name the known key set: " << e.what();
+  }
+}
+
+// --- End-to-end over a real shm segment -----------------------------------
+
+TEST(IpcEndToEnd, SubmitPollCompleteAndGracefulClose) {
+  // cmpl sized to hold every completion: the client can stall in
+  // submit-backoff without polling, so outstanding completions reach kN
+  // and anything smaller would (by design) drop the overflow.
+  TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("e2e") + ",sessions=2,ring=64,cmpl=512");
+  IpcServer server(small_cfg(), tspec, &echo_handler);
+
+  Client c;
+  ASSERT_EQ(c.connect(tspec, /*tenant=*/0), ClientStatus::kOk);
+  constexpr std::uint64_t kN = 200;
+  std::uint64_t completed = 0, ok = 0;
+  CmplPayload out[64];
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(c.submit(/*op=*/2, /*arg=*/i, /*id=*/i,
+                       now_ns() + 1'000'000'000ull),
+              ClientStatus::kOk);
+    completed += c.poll(out, 64);
+  }
+  const std::uint64_t deadline = now_ns() + 5'000'000'000ull;
+  while (completed < kN && now_ns() < deadline) {
+    const std::size_t n = c.poll(out, 64);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i].status, kCmplDone);
+      EXPECT_EQ(out[i].result, out[i].id + 3u);  // echo: arg + op + 1
+      ++ok;
+    }
+    completed += n;
+    if (n == 0) std::this_thread::sleep_for(100us);
+  }
+  EXPECT_EQ(completed, kN) << "every accepted request gets a completion";
+  c.disconnect();
+
+  // The server notices the graceful close and frees the session.
+  const std::uint64_t d2 = now_ns() + 2'000'000'000ull;
+  while (server.live_sessions() != 0 && now_ns() < d2)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(server.live_sessions(), 0u);
+
+  server.stop();
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  EXPECT_EQ(t.executed, kN);
+  EXPECT_EQ(server.stats().sessions_closed, 1u);
+  EXPECT_EQ(server.stats().sessions_expired, 0u);
+  EXPECT_EQ(server.stats().completions_dropped, 0u);
+}
+
+TEST(IpcEndToEnd, DeadClientLeaseExpiresSlotsReclaimedOrphansAccounted) {
+  // Short lease so expiry is fast. The "client" stops heartbeating with
+  // published-but-undrained requests in its ring (drain paused), plus one
+  // torn claim — the server must reclaim, account orphans exactly, and
+  // count the torn slot without executing it.
+  TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("dead") + ",sessions=2,ring=64,lease_ms=20");
+  IpcServer server(small_cfg(), tspec, &echo_handler);
+
+  Client::Options copt;
+  copt.start_heartbeat = false;  // die of lease expiry
+  Client c;
+  ASSERT_EQ(c.connect(tspec, 1, copt), ClientStatus::kOk);
+
+  server.service().pause_drain();  // also pauses the transport pump
+  std::this_thread::sleep_for(5ms);
+  constexpr std::uint64_t kBurst = 16;
+  for (std::uint64_t i = 0; i < kBurst; ++i)
+    ASSERT_EQ(c.submit(0, i, i, 0), ClientStatus::kOk);
+  ASSERT_TRUE(c.debug_claim_and_abandon());  // die mid-publish
+
+  // Let the lease + grace expire with the pump paused, then resume.
+  std::this_thread::sleep_for(60ms);
+  server.service().resume_drain();
+
+  // Wait for the expiry itself (live_sessions()==0 is trivially true
+  // before the pump has registered the session at all).
+  const std::uint64_t deadline = now_ns() + 5'000'000'000ull;
+  while (server.stats().sessions_expired == 0 && now_ns() < deadline)
+    std::this_thread::sleep_for(1ms);
+  ASSERT_EQ(server.stats().sessions_expired, 1u)
+      << "dead session must be lease-expired";
+  ASSERT_EQ(server.live_sessions(), 0u) << "expired session must be freed";
+
+  // The evicted client observes the generation bump and fails fast.
+  EXPECT_EQ(c.submit(0, 99, 99, 0), ClientStatus::kEvicted);
+  EXPECT_TRUE(c.evicted());
+
+  server.stop();
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  const TransportStats ts = server.stats();
+  SCOPED_TRACE(::testing::Message()
+               << "submitted=" << t.submitted << " executed=" << t.executed
+               << " shed=" << t.shed << " rejected=" << t.rejected
+               << " orphaned=" << t.orphaned << " | opened="
+               << ts.sessions_opened << " expired=" << ts.sessions_expired
+               << " closed=" << ts.sessions_closed << " torn="
+               << ts.slots_torn << " ingested=" << ts.requests_ingested);
+  EXPECT_EQ(ts.sessions_expired, 1u);
+  EXPECT_EQ(ts.slots_torn, 1u) << "the abandoned claim counts torn";
+  // Requests drained before the pause executed; the rest orphaned. Either
+  // way: executed + orphaned == kBurst and nothing vanished.
+  EXPECT_EQ(t.executed + t.orphaned, kBurst);
+  EXPECT_EQ(ts.orphaned, t.orphaned);
+}
+
+TEST(IpcEndToEnd, PoisonedSegmentFailsClientsFast) {
+  TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("poison") + ",sessions=2,ring=64");
+  auto server = std::make_unique<IpcServer>(small_cfg(), tspec,
+                                            &echo_handler);
+  Client c;
+  ASSERT_EQ(c.connect(tspec, 0), ClientStatus::kOk);
+  ASSERT_EQ(c.submit(0, 1, 1, now_ns() + 1'000'000'000ull),
+            ClientStatus::kOk);
+
+  server->stop();
+  EXPECT_EQ(c.submit(0, 2, 2, now_ns() + 1'000'000'000ull),
+            ClientStatus::kPoisoned);
+  EXPECT_TRUE(c.poisoned());
+  c.disconnect();
+  expect_closed(server->service().totals());
+
+  // A fresh connect to the (unlinked) segment times out cleanly.
+  Client c2;
+  Client::Options copt;
+  copt.connect_timeout_ns = 50'000'000;
+  EXPECT_NE(c2.connect(tspec, 0, copt), ClientStatus::kOk);
+}
+
+TEST(IpcEndToEnd, InjectedTornAndVanishFaultsKeepAccountingExact) {
+  // kTransportTorn: valid slots are deliberately skipped as torn.
+  // kClientVanish: sessions are reclaimed regardless of lease. Under
+  // both, the invariant must stay exact and the server must not hang.
+  TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("chaos") + ",sessions=4,ring=64");
+  IpcServer server(small_cfg(), tspec, &echo_handler);
+
+  FaultInjector fi(0xC4A05);
+  fi.set_fail_rate(FaultPoint::kTransportTorn, 0.05);
+  fi.set_fail_rate(FaultPoint::kClientVanish, 0.001);
+  FaultScope scope(fi);
+
+  constexpr int kClients = 3;
+  constexpr std::uint64_t kPer = 300;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> client_completions{0};
+  for (int k = 0; k < kClients; ++k) {
+    threads.emplace_back([&, k] {
+      CmplPayload out[64];
+      for (;;) {
+        Client c;
+        Client::Options copt;
+        copt.backoff_seed = 77 + static_cast<std::uint64_t>(k);
+        if (c.connect(tspec, static_cast<std::uint32_t>(k % 2), copt) !=
+            ClientStatus::kOk)
+          return;  // poisoned/teardown race: fine
+        std::uint64_t sent = 0;
+        while (sent < kPer) {
+          const auto st =
+              c.submit(1, sent, sent, now_ns() + 200'000'000ull);
+          if (st == ClientStatus::kEvicted) break;  // vanished: reconnect
+          if (st == ClientStatus::kPoisoned) return;
+          if (st == ClientStatus::kOk) ++sent;
+          client_completions.fetch_add(c.poll(out, 64),
+                                       std::memory_order_relaxed);
+        }
+        client_completions.fetch_add(c.poll(out, 64),
+                                     std::memory_order_relaxed);
+        if (sent >= kPer) {
+          c.disconnect();
+          return;
+        }
+        // else: evicted mid-burst; loop reconnects as a new session.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  const TransportStats ts = server.stats();
+  EXPECT_GT(t.executed, 0u);
+  EXPECT_GT(ts.slots_torn, 0u) << "torn injection at 5% must fire";
+  // Whatever was injected, nothing hangs and nothing goes unaccounted;
+  // torn slots never execute (they are not in submitted at all).
+}
+
+}  // namespace
+}  // namespace xtask::ipc

@@ -1,0 +1,328 @@
+// Fork-based crash chaos for the shared-memory transport: real external
+// client processes (the ipc_client example, fork+exec'd so the
+// multithreaded gtest parent never runs library code after fork) are
+// SIGKILLed mid-burst, exit without publishing a claimed ring ticket,
+// or stop heartbeating while holding a session. After every scenario the
+// server must have expired the dead leases, reclaimed the ring slots,
+// and kept the accounting invariant EXACT:
+//
+//   submitted == executed + shed + rejected + orphaned
+//
+// with no hangs (every wait here carries a deadline and FAILs instead of
+// blocking forever). CI runs this suite under ASAN with
+// `--repeat until-fail:3`, plus a kill-loop soak sized by the
+// XTASK_IPC_SOAK_SECONDS env var (default: a short smoke).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "registry/registry.hpp"
+#include "serve/ipc/server.hpp"
+
+#ifndef XTASK_IPC_CLIENT_BIN
+#error "XTASK_IPC_CLIENT_BIN must point at the ipc_client example binary"
+#endif
+
+namespace xtask::ipc {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::ServeConfig;
+using serve::TenantStats;
+
+std::uint64_t busy_handler(std::uint32_t op, std::uint64_t arg,
+                           std::uint64_t) {
+  return arg * 2 + op;
+}
+
+std::string seg_name(const char* tag) {
+  return std::string(tag) + "_" + std::to_string(::getpid());
+}
+
+ServeConfig serve_cfg() {
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws";
+  cfg.tenants = TenantSpec::parse_list(
+      "alpha:rate=1000000,quota=100000,burst=100000;"
+      "beta:rate=1000000,quota=100000,burst=100000");
+  return cfg;
+}
+
+// fork+exec one ipc_client child. Returns the pid; -1 on failure. The
+// parent is multithreaded, so the child must do nothing between fork and
+// exec beyond async-signal-safe calls.
+pid_t spawn_client(const std::string& spec, const char* mode, int tenant,
+                   std::uint64_t count, std::uint64_t seed) {
+  const std::string tenant_s = std::to_string(tenant);
+  const std::string count_s = std::to_string(count);
+  const std::string seed_s = std::to_string(seed);
+  const char* argv[] = {XTASK_IPC_CLIENT_BIN,
+                        "--spec",   spec.c_str(),
+                        "--mode",   mode,
+                        "--tenant", tenant_s.c_str(),
+                        "--count",  count_s.c_str(),
+                        "--seed",   seed_s.c_str(),
+                        nullptr};
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(XTASK_IPC_CLIENT_BIN, const_cast<char* const*>(argv));
+    ::_exit(127);  // exec failed
+  }
+  return pid;
+}
+
+// waitpid with a deadline: a hung child is a test FAILURE, not a hang.
+// Returns the exit status (or -1 on timeout, after SIGKILLing the child).
+int wait_child(pid_t pid, std::uint64_t timeout_ns) {
+  const std::uint64_t deadline = now_ns() + timeout_ns;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (r < 0) return -1;
+    if (now_ns() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return -1;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+void expect_closed(const TenantStats& t) {
+  EXPECT_EQ(t.submitted, t.executed + t.shed + t.rejected + t.orphaned)
+      << "submitted=" << t.submitted << " executed=" << t.executed
+      << " shed=" << t.shed << " rejected=" << t.rejected
+      << " orphaned=" << t.orphaned;
+  EXPECT_EQ(t.in_flight, 0u);
+}
+
+// Wait (bounded) until the server has no live sessions.
+::testing::AssertionResult sessions_drain(IpcServer& server,
+                                          std::uint64_t timeout_ns) {
+  const std::uint64_t deadline = now_ns() + timeout_ns;
+  while (now_ns() < deadline) {
+    if (server.live_sessions() == 0) return ::testing::AssertionSuccess();
+    std::this_thread::sleep_for(2ms);
+  }
+  return ::testing::AssertionFailure()
+         << server.live_sessions() << " sessions still live after "
+         << timeout_ns / 1'000'000 << " ms";
+}
+
+TEST(IpcCrash, WellBehavedExternalClientsComplete) {
+  // Sanity anchor before the chaos: 3 real processes, everyone finishes,
+  // everything closes gracefully.
+  const TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("ok") + ",sessions=4,ring=128");
+  IpcServer server(serve_cfg(), tspec, &busy_handler);
+
+  std::vector<pid_t> kids;
+  for (int k = 0; k < 3; ++k)
+    kids.push_back(
+        spawn_client(tspec.describe(), "normal", k % 2, 200, 11 + k));
+  for (const pid_t pid : kids) {
+    const int st = wait_child(pid, 60'000'000'000ull);
+    ASSERT_NE(st, -1) << "client hung";
+    ASSERT_TRUE(WIFEXITED(st));
+    EXPECT_EQ(WEXITSTATUS(st), 0);
+  }
+  EXPECT_TRUE(sessions_drain(server, 5'000'000'000ull));
+  server.stop();
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  EXPECT_EQ(t.executed, 600u);
+  EXPECT_EQ(server.stats().sessions_expired, 0u);
+  EXPECT_EQ(server.stats().slots_torn, 0u);
+}
+
+TEST(IpcCrash, SigkillMidFloodExpiresLeaseAndReclaims) {
+  // Clients flooding the ring are SIGKILLed at arbitrary points — the
+  // canonical mid-submit death. Leases expire, slots are reclaimed
+  // (published ones counted orphaned, unpublished claims torn), and the
+  // accounting closes exactly.
+  const TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("kill") + ",sessions=4,ring=128,lease_ms=40");
+  IpcServer server(serve_cfg(), tspec, &busy_handler);
+
+  constexpr int kVictims = 3;
+  std::vector<pid_t> kids;
+  for (int k = 0; k < kVictims; ++k)
+    kids.push_back(
+        spawn_client(tspec.describe(), "flood", k % 2, 0, 101 + k));
+  // Let them connect and flood, then kill at staggered instants.
+  std::this_thread::sleep_for(50ms);
+  for (int k = 0; k < kVictims; ++k) {
+    ::kill(kids[k], SIGKILL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3 + 7 * k));
+  }
+  for (const pid_t pid : kids) {
+    const int st = wait_child(pid, 10'000'000'000ull);
+    ASSERT_NE(st, -1);
+    ASSERT_TRUE(WIFSIGNALED(st));
+    EXPECT_EQ(WTERMSIG(st), SIGKILL);
+  }
+
+  // Wait on the expiry count, not live_sessions()==0 (trivially true
+  // before the pump registers the sessions).
+  const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+  while (server.stats().sessions_expired <
+             static_cast<std::uint64_t>(kVictims) &&
+         now_ns() < deadline)
+    std::this_thread::sleep_for(2ms);
+  EXPECT_TRUE(sessions_drain(server, 5'000'000'000ull))
+      << "dead floods must be lease-expired and reclaimed";
+  server.stop();
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  EXPECT_GT(t.executed, 0u) << "some flood requests must have run";
+  const TransportStats ts = server.stats();
+  EXPECT_GE(ts.sessions_expired, static_cast<std::uint64_t>(kVictims));
+  EXPECT_EQ(ts.orphaned, t.orphaned);
+}
+
+TEST(IpcCrash, TornExitLeavesDetectableSlotNeverExecuted) {
+  // The client claims a ring ticket and dies without publishing: the
+  // server must classify that slot torn — never execute it — and still
+  // deliver the requests published before the death.
+  const TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("torn") + ",sessions=2,ring=64,lease_ms=40");
+  IpcServer server(serve_cfg(), tspec, &busy_handler);
+
+  const pid_t pid = spawn_client(tspec.describe(), "torn", 0, 0, 5);
+  const int st = wait_child(pid, 10'000'000'000ull);
+  ASSERT_NE(st, -1);
+  ASSERT_TRUE(WIFEXITED(st));
+  EXPECT_EQ(WEXITSTATUS(st), 0);
+
+  // Wait on the expiry, not live_sessions()==0 (trivially true before
+  // the pump registers the session).
+  const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+  while (server.stats().sessions_expired == 0 && now_ns() < deadline)
+    std::this_thread::sleep_for(2ms);
+  EXPECT_TRUE(sessions_drain(server, 5'000'000'000ull));
+  server.stop();
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  const TransportStats ts = server.stats();
+  EXPECT_GE(ts.slots_torn, 1u) << "the abandoned claim must count torn";
+  // The 4 published requests either executed (drained before expiry) or
+  // were reclaimed as orphans — but they are all accounted.
+  EXPECT_EQ(t.executed + t.orphaned, 4u);
+  EXPECT_EQ(ts.sessions_expired, 1u);
+}
+
+TEST(IpcCrash, NoHeartbeatAndHeldSessionsBothExpire) {
+  // Two lease-death shapes at once: a client that never heartbeats and
+  // exits silently, and a wedged client that holds its session (alive,
+  // lease armed once, heartbeat stopped) until SIGKILL.
+  const TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("lease") + ",sessions=4,ring=64,lease_ms=40");
+  IpcServer server(serve_cfg(), tspec, &busy_handler);
+
+  const pid_t quiet = spawn_client(tspec.describe(), "no-heartbeat", 0,
+                                   /*count=*/8, 21);
+  const pid_t held = spawn_client(tspec.describe(), "hold", 1,
+                                  /*count=*/8, 22);
+  const int st = wait_child(quiet, 10'000'000'000ull);
+  ASSERT_NE(st, -1);
+  ASSERT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0);
+
+  // The held client sleeps forever; its lease must expire under it even
+  // though the process is alive. Wait on the expiry count itself —
+  // live_sessions()==0 is trivially true before the pump has registered
+  // either session — then kill the held process.
+  const std::uint64_t deadline = now_ns() + 10'000'000'000ull;
+  while (server.stats().sessions_expired < 2 && now_ns() < deadline)
+    std::this_thread::sleep_for(2ms);
+  EXPECT_EQ(server.stats().sessions_expired, 2u)
+      << "no-heartbeat exit and expired-lease holder must both expire";
+  EXPECT_EQ(server.live_sessions(), 0u);
+  ::kill(held, SIGKILL);
+  wait_child(held, 10'000'000'000ull);
+
+  server.stop();
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  EXPECT_EQ(server.stats().sessions_expired, 2u);
+}
+
+TEST(IpcCrash, KillLoopSoak) {
+  // Continuous churn: keep a population of flood/normal/torn clients and
+  // SIGKILL a random one every few milliseconds, for
+  // XTASK_IPC_SOAK_SECONDS (default 2 — CI sets 30). The server must
+  // never hang, never execute a torn slot, reclaim every dead session,
+  // and close the accounting at the end.
+  std::uint64_t soak_s = 2;
+  if (const char* env = std::getenv("XTASK_IPC_SOAK_SECONDS"))
+    soak_s = std::strtoull(env, nullptr, 10);
+  const TransportSpec tspec = TransportSpec::parse(
+      "ipc=shm,seg=" + seg_name("soak") + ",sessions=6,ring=128,lease_ms=40");
+  IpcServer server(serve_cfg(), tspec, &busy_handler);
+
+  const char* kModes[] = {"flood", "normal", "torn", "no-heartbeat"};
+  std::uint64_t rng = 0x50A4'50A4'50A4'50A4ull;
+  std::uint64_t spawned = 0, killed = 0;
+  std::vector<pid_t> kids;
+  const std::uint64_t deadline = now_ns() + soak_s * 1'000'000'000ull;
+  while (now_ns() < deadline) {
+    // Keep ~3 children alive.
+    while (kids.size() < 3) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const char* mode = kModes[(rng >> 33) % 4];
+      const pid_t pid = spawn_client(tspec.describe(), mode,
+                                     static_cast<int>((rng >> 17) % 2),
+                                     /*count=*/64, rng >> 48);
+      ASSERT_GT(pid, 0);
+      kids.push_back(pid);
+      ++spawned;
+    }
+    std::this_thread::sleep_for(5ms);
+    // Kill one at random; reap any that finished on their own.
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t victim = (rng >> 29) % kids.size();
+    ::kill(kids[victim], SIGKILL);
+    ++killed;
+    for (std::size_t i = 0; i < kids.size();) {
+      int st = 0;
+      const pid_t r = ::waitpid(kids[i], &st, WNOHANG);
+      if (r == kids[i]) {
+        kids.erase(kids.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (const pid_t pid : kids) {
+    ::kill(pid, SIGKILL);
+    wait_child(pid, 10'000'000'000ull);
+  }
+
+  EXPECT_TRUE(sessions_drain(server, 10'000'000'000ull))
+      << "soak left unreclaimed sessions";
+  server.stop();
+  const TenantStats t = server.service().totals();
+  expect_closed(t);
+  const TransportStats ts = server.stats();
+  EXPECT_GT(spawned, 0u);
+  EXPECT_GT(killed, 0u);
+  EXPECT_GT(t.submitted, 0u);
+  ::testing::Test::RecordProperty("soak_spawned",
+                                  static_cast<int>(spawned));
+  ::testing::Test::RecordProperty("soak_sessions_expired",
+                                  static_cast<int>(ts.sessions_expired));
+  ::testing::Test::RecordProperty("soak_slots_torn",
+                                  static_cast<int>(ts.slots_torn));
+}
+
+}  // namespace
+}  // namespace xtask::ipc

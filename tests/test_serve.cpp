@@ -9,6 +9,7 @@
 // flight.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -43,9 +44,11 @@ void throwing_request(const Request&) { throw std::runtime_error("boom"); }
 
 void expect_accounting_closed(TaskService& svc) {
   const TenantStats total = svc.totals();
-  EXPECT_EQ(total.submitted, total.executed + total.shed + total.rejected)
+  EXPECT_EQ(total.submitted,
+            total.executed + total.shed + total.rejected + total.orphaned)
       << "submitted=" << total.submitted << " executed=" << total.executed
-      << " shed=" << total.shed << " rejected=" << total.rejected;
+      << " shed=" << total.shed << " rejected=" << total.rejected
+      << " orphaned=" << total.orphaned;
   EXPECT_EQ(total.in_flight, 0u);
   EXPECT_EQ(total.ring_depth, 0u);
 }
@@ -444,6 +447,93 @@ TEST(TaskServiceChaos, QuarantinedWorkerTightensAdmission) {
   EXPECT_GE(svc.totals().executed, exec_before);
   EXPECT_GT(svc.totals().executed, 0u) << "no deadlock: work kept flowing";
   EXPECT_GE(rt.health_stats().quarantines, 1u);
+}
+
+// --- Shutdown status, retry jitter, orphan accounting --------------------
+
+TEST(TaskServiceTest, StoppedServiceAnswersShutdownNotZeroHintReject) {
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2";
+  cfg.tenants = TenantSpec::parse_list("t:rate=10,quota=4");
+  TaskService svc(std::move(cfg));
+  svc.stop();
+  Request r;
+  r.fn = count_request;
+  const Submit s = svc.submit(0, r);
+  EXPECT_EQ(s.status, SubmitStatus::kShutdown)
+      << "a stopped service must be distinguishable from a zero-hint "
+         "reject (bad tenant / unknown graph)";
+  EXPECT_EQ(s.retry_after_us, 0u);
+  expect_accounting_closed(svc);
+}
+
+TEST(TaskServiceTest, RetryHintsAreJitteredAcrossRejects) {
+  // Identical rejects (same tenant, same reason, same admission factor)
+  // must NOT get identical retry hints, or synchronized clients re-arrive
+  // in lockstep. Fill the ring with the drain paused and sample the
+  // ring-full reject hints.
+  reset_executed();
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2,dlb=naws";
+  cfg.ring_capacity = 32;
+  // Modest rate so the base hint is thousands of µs — wide enough that
+  // the ±25% window yields visibly distinct integers.
+  cfg.tenants =
+      TenantSpec::parse_list("t:rate=1000,quota=100000,burst=1000000");
+  TaskService svc(std::move(cfg));
+  svc.pause_drain();
+  std::this_thread::sleep_for(5ms);
+
+  std::vector<std::uint64_t> hints;
+  for (int i = 0; i < 400 && hints.size() < 64; ++i) {
+    Request r;
+    r.fn = count_request;
+    const Submit s = svc.submit(0, r);
+    if (s.status == SubmitStatus::kRejected && s.retry_after_us > 0)
+      hints.push_back(s.retry_after_us);
+  }
+  ASSERT_GE(hints.size(), 16u) << "expected a flood of ring-full rejects";
+
+  std::uint64_t lo = hints[0], hi = hints[0];
+  std::size_t distinct = 0;
+  std::vector<std::uint64_t> sorted = hints;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i] != sorted[i - 1]) ++distinct;
+    lo = std::min(lo, sorted[i]);
+    hi = std::max(hi, sorted[i]);
+  }
+  EXPECT_GE(distinct, 4u) << "hints are deterministic multiples again";
+  // ±25% window: max/min stays under 1.25/0.75 (plus integer-math slack).
+  EXPECT_LE(static_cast<double>(hi),
+            static_cast<double>(lo) * (1.25 / 0.75) * 1.10 + 2.0);
+
+  svc.resume_drain();
+  svc.stop();
+  expect_accounting_closed(svc);
+}
+
+TEST(TaskServiceTest, OrphanAccountingKeepsInvariantExact) {
+  reset_executed();
+  ServeConfig cfg;
+  cfg.runtime_spec = "xtask:threads=2";
+  cfg.tenants = TenantSpec::parse_list("t:rate=100000,quota=1000");
+  TaskService svc(std::move(cfg));
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.fn = count_request;
+    svc.submit(0, r);
+  }
+  // Transport path: 5 published requests of a dead client, never drained.
+  svc.account_orphaned(0, 5);
+  // Out-of-range tenants are ignored (a crashed client's ring can hold
+  // arbitrary bytes).
+  svc.account_orphaned(7, 3);
+  svc.account_orphaned(-1, 3);
+  svc.stop();
+  expect_accounting_closed(svc);
+  EXPECT_EQ(svc.totals().orphaned, 5u);
+  EXPECT_EQ(svc.tenant_stats(0).orphaned, 5u);
 }
 
 }  // namespace
