@@ -1,0 +1,332 @@
+// Sim↔real cross-calibration benchmark: the quantitative answer to "how
+// far is the simulator from the real runtime on the same schedule?"
+//
+// Pipeline (JSON lines to stdout, collected by run_bench.py into
+// BENCH_replay.json):
+//
+//   1. record  — run a deterministic irregular reference workload on the
+//      real runtime with trace=record: the trace captures the task DAG
+//      plus every task's measured self-cost in host tsc cycles.
+//   2. real replay — replay_real() the trace on --spec (fresh runtime per
+//      rep, min makespan across reps). Work is a calibrated rdtscp spin
+//      of the recorded cycles, so the replay measures *scheduling*, with
+//      the work term held fixed by construction.
+//   3. sim replay — replay_sim() the identical tree on the simulated
+//      machine of the same shape. Self-costs are the same recorded host
+//      cycles, so sim and real makespans are directly comparable in
+//      recorded-cycle units; what differs is the runtime-overhead model.
+//      A two-stage grid sweeps one overhead multiplier applied to every
+//      MachineConfig cost knob (queue ops, atomics, malloc, polling) and
+//      keeps the fit minimizing relative makespan error.
+//   4. report — one replay_fit record per candidate multiplier and a
+//      replay_calibration summary with the best fit's makespan error and
+//      the per-worker busy-share error (sorted busy fractions of a
+//      re-recorded real replay vs the sim's busy_per_worker; sorted
+//      because worker identity is not preserved across executors).
+//
+//   bench_replay [--spec S] [--reps N] [--tasks N] [--trace-out PATH]
+//                [--smoke] [--check]
+//
+// --check makes trace-validation or exact-count violations a nonzero
+// exit (the ctest bench-smoke gate); the makespan-error threshold itself
+// lives in run_bench.py --gate-replay against perf_floor.json's "replay"
+// section, like every other perf floor in this repo.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "registry/registry.hpp"
+#include "sim/engine.hpp"
+#include "trace/format.hpp"
+#include "trace/replay.hpp"
+
+namespace {
+
+using xtask::AnyContext;
+using xtask::AnyRuntime;
+using xtask::Runtime;
+using xtask::RuntimeRegistry;
+using xtask::Topology;
+
+int g_failures = 0;
+
+void fail(const char* what) {
+  std::fprintf(stderr, "bench_replay: CHECK FAILED: %s\n", what);
+  ++g_failures;
+}
+
+// --- reference workload -----------------------------------------------------
+// Deterministic irregular bursts: phases of uneven fan-out with a mix of
+// leaf tasks and two-child subtrees, costs spanning ~2k..32k cycles. The
+// shape exercises exactly what the calibration must price — queue churn,
+// steals under imbalance, and taskwait polling — without being so skewed
+// that one straggler hides the overhead term.
+
+struct SplitMix64 {
+  std::uint64_t s;
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+};
+
+void reference_root(AnyContext& ctx, int ntasks) {
+  SplitMix64 rng{0xCA11B8A7Eull};
+  const int bursts = 8;
+  const int per_burst = std::max(1, ntasks / bursts);
+  for (int b = 0; b < bursts; ++b) {
+    for (int i = 0; i < per_burst; ++i) {
+      const std::uint64_t cost = 2'000 + rng.next() % 30'000;
+      const bool fan = rng.next() % 3 == 0;
+      ctx.spawn([cost, fan](AnyContext& c) {
+        if (fan) {
+          for (int k = 0; k < 2; ++k)
+            c.spawn([cost](AnyContext&) {
+              xtask::trace::spin_cycles(cost / 2);
+            });
+        }
+        xtask::trace::spin_cycles(cost);
+        if (fan) c.taskwait();
+      });
+    }
+    ctx.taskwait();
+  }
+}
+
+// --- recording --------------------------------------------------------------
+
+xtask::trace::Trace record(const std::string& spec, int ntasks) {
+  AnyRuntime rt = RuntimeRegistry::make(spec);
+  Runtime* xrt = rt.get_if<Runtime>();
+  if (xrt == nullptr || xrt->tracer() == nullptr) {
+    std::fprintf(stderr, "bench_replay: spec '%s' is not a recording xtask "
+                 "runtime\n", spec.c_str());
+    std::exit(2);
+  }
+  rt.run([ntasks](AnyContext& ctx) { reference_root(ctx, ntasks); });
+  return xrt->tracer()->build();
+}
+
+// --- calibration ------------------------------------------------------------
+
+/// Scale every runtime-overhead knob of the cost model by `m`. Work-time
+/// inflation penalties are workload properties, not runtime overheads, so
+/// they stay fixed.
+xtask::sim::MachineConfig scaled_machine(const xtask::sim::MachineConfig& base,
+                                         double m) {
+  auto s = [m](std::uint32_t v) {
+    return static_cast<std::uint32_t>(std::llround(v * m));
+  };
+  xtask::sim::MachineConfig c = base;
+  c.spsc_op = s(base.spsc_op);
+  c.queue_probe = s(base.queue_probe);
+  c.deque_lock_op = s(base.deque_lock_op);
+  c.atomic_local_work = s(base.atomic_local_work);
+  c.atomic_transfer = s(base.atomic_transfer);
+  c.lock_local_work = s(base.lock_local_work);
+  c.cell_local = s(base.cell_local);
+  c.cell_remote = s(base.cell_remote);
+  c.malloc_work = s(base.malloc_work);
+  c.malloc_serial = s(base.malloc_serial);
+  c.pool_alloc = s(base.pool_alloc);
+  c.task_setup = s(base.task_setup);
+  c.idle_poll = s(base.idle_poll);
+  c.barrier_poll = s(base.barrier_poll);
+  return c;
+}
+
+xtask::sim::SimConfig sim_config_for(const std::string& topo, double mult) {
+  xtask::sim::SimConfig cfg;
+  cfg.machine = scaled_machine(xtask::sim::MachineConfig{}, mult);
+  cfg.machine.topo = Topology::parse(topo);
+  cfg.policy = xtask::sim::SimPolicy::kXGompTB;
+  cfg.dlb = xtask::sim::SimDlb::kWorkSteal;
+  return cfg;
+}
+
+/// Mean absolute difference between the *sorted* per-worker busy shares
+/// of two executions: a load-balance shape comparison that is invariant
+/// to which physical worker ended up with which share.
+double busy_share_error(const std::vector<std::uint64_t>& a,
+                        const std::vector<std::uint64_t>& b) {
+  auto shares = [](const std::vector<std::uint64_t>& v) {
+    std::vector<double> out(v.size(), 0.0);
+    long double total = 0;
+    for (std::uint64_t x : v) total += static_cast<long double>(x);
+    if (total <= 0) return out;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      out[i] = static_cast<double>(v[i] / total);
+    std::sort(out.begin(), out.end(), std::greater<double>());
+    return out;
+  };
+  const std::vector<double> sa = shares(a);
+  const std::vector<double> sb = shares(b);
+  const std::size_t n = std::max(sa.size(), sb.size());
+  if (n == 0) return 0.0;
+  double err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    err += std::fabs((i < sa.size() ? sa[i] : 0.0) -
+                     (i < sb.size() ? sb[i] : 0.0));
+  return err / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Size the machine to the cores this host can actually run in parallel:
+  // oversubscribed real workers would serialize spin work the simulator
+  // prices as parallel, turning host shape into calibration error. On a
+  // >=4-core host the default is the 2-zone 2x2 shape (stealing crosses a
+  // simulated zone boundary); below that, a flat topology of what's there.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::string topo = hw >= 4 ? "2x2" : hw >= 2 ? "1x2" : "1x1";
+  std::string spec;  // defaulted from topo after flag parsing
+  std::string trace_out;
+  int reps = 5;
+  int ntasks = 600;
+  bool smoke = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_replay: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--spec") {
+      spec = next();
+    } else if (a == "--topo") {
+      topo = next();
+    } else if (a == "--reps") {
+      reps = std::atoi(next());
+    } else if (a == "--tasks") {
+      ntasks = std::atoi(next());
+    } else if (a == "--trace-out") {
+      trace_out = next();
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--check") {
+      check = true;
+    } else {
+      std::fprintf(stderr, "bench_replay: unknown arg %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (smoke) {
+    reps = std::min(reps, 2);
+    ntasks = std::min(ntasks, 160);
+  }
+  if (spec.empty())
+    spec = "xtask:topo=" + topo + ",dlb=naws,tint=128";
+
+  // 1. Record the reference workload on the real runtime.
+  const std::string record_spec = spec + ",trace=record";
+  const xtask::trace::Trace tr = record(record_spec, ntasks);
+  if (check) {
+    try {
+      tr.validate();
+    } catch (const xtask::trace::TraceError& e) {
+      fail(e.what());
+    }
+    if (tr.exec_count() != tr.spawn_count()) fail("recorded counts diverge");
+  }
+  if (!trace_out.empty()) xtask::trace::write_file(tr, trace_out);
+  const xtask::trace::ReplayTree tree = xtask::trace::ReplayTree::build(tr);
+  // All timestamps and self-costs in the trace are host tsc cycles; use
+  // the recorded rate to report milliseconds. Sim virtual cycles consume
+  // the same recorded-cycle work units, so one rate serves both sides.
+  const double cyc_per_ms = std::max(tr.cycles_per_us, 1.0) * 1e3;
+  std::printf("{\"bench\":\"replay_trace\",\"config\":\"%s\","
+              "\"threads\":%u,\"tasks\":%zu,\"total_self_ms\":%.3f}\n",
+              spec.c_str(), tr.nworkers, tree.size(),
+              static_cast<double>(tree.total_self_cycles()) / cyc_per_ms);
+
+  // 2. Real replay: min makespan across reps, fresh runtime per rep.
+  std::uint64_t real_makespan = ~std::uint64_t{0};
+  for (int r = 0; r < reps; ++r) {
+    AnyRuntime rt = RuntimeRegistry::make(spec);
+    const xtask::trace::RealReplayResult res =
+        xtask::trace::replay_real(rt, tree);
+    real_makespan = std::min(real_makespan, res.makespan_cycles);
+    if (check && res.tasks != tree.size()) fail("real replay lost tasks");
+  }
+
+  // Re-record one real replay to get its per-worker busy distribution
+  // (and, under --check, prove the replayed DAG is the recorded DAG).
+  std::vector<std::uint64_t> real_busy;
+  {
+    AnyRuntime rt = RuntimeRegistry::make(record_spec);
+    xtask::trace::replay_real(rt, tree);
+    const xtask::trace::Trace rerec = rt.get_if<Runtime>()->tracer()->build();
+    real_busy = rerec.busy_per_worker();
+    if (check && rerec.dag_fingerprint() != tr.dag_fingerprint())
+      fail("re-recorded replay DAG fingerprint diverged");
+  }
+
+  // 3. Sim replay: two-stage grid over the overhead multiplier.
+  std::vector<double> grid = smoke
+      ? std::vector<double>{0.5, 1.0, 2.0}
+      : std::vector<double>{0.25, 0.35, 0.5, 0.71, 1.0, 1.41, 2.0, 2.83, 4.0};
+  double best_mult = 1.0;
+  double best_err = HUGE_VAL;
+  std::uint64_t best_sim = 0;
+  std::vector<std::uint64_t> best_busy;
+  auto try_mult = [&](double m) {
+    const xtask::sim::SimResult res =
+        xtask::trace::replay_sim(sim_config_for(topo, m), tree);
+    if (check && res.tasks != tree.size()) fail("sim replay lost tasks");
+    const double err =
+        (static_cast<double>(res.makespan) -
+         static_cast<double>(real_makespan)) /
+        static_cast<double>(real_makespan);
+    std::printf("{\"bench\":\"replay_fit\",\"config\":\"%s\","
+                "\"overhead_mult\":%.3f,\"sim_ms\":%.3f,\"err\":%.4f}\n",
+                spec.c_str(), m,
+                static_cast<double>(res.makespan) / cyc_per_ms, err);
+    if (std::fabs(err) < std::fabs(best_err)) {
+      best_err = err;
+      best_mult = m;
+      best_sim = res.makespan;
+      best_busy = res.busy_per_worker;
+    }
+  };
+  for (double m : grid) try_mult(m);
+  if (!smoke) {
+    for (double f : {0.8, 0.9, 1.1, 1.25}) {
+      const double m = best_mult * f;
+      if (std::none_of(grid.begin(), grid.end(), [m](double g) {
+            return std::fabs(g - m) < 1e-9;
+          }))
+        try_mult(m);
+    }
+  }
+
+  // 4. Summary record — the one run_bench.py --gate-replay reads.
+  const double busy_err = busy_share_error(real_busy, best_busy);
+  std::printf("{\"bench\":\"replay_calibration\",\"config\":\"%s\","
+              "\"threads\":%u,\"real_ms\":%.3f,\"sim_ms\":%.3f,"
+              "\"makespan_err\":%.4f,\"overhead_mult\":%.3f,"
+              "\"busy_err\":%.4f}\n",
+              spec.c_str(), tr.nworkers,
+              static_cast<double>(real_makespan) / cyc_per_ms,
+              static_cast<double>(best_sim) / cyc_per_ms,
+              std::fabs(best_err), best_mult, busy_err);
+
+  if (g_failures != 0) {
+    std::fprintf(stderr, "bench_replay: %d check failure(s)\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,11 @@ results as JSON at the repository root:
   BENCH_graph.json       — graph capture/replay: the request-pipeline
                            rebuild-vs-replay comparison plus the BOTS
                            kernels as dependency graphs (``bench_graph``)
+  BENCH_replay.json      — sim↔real cross-calibration: a trace recorded
+                           from the real runtime replayed on both
+                           executors, with the fitted overhead multiplier
+                           and the residual makespan/busy-share error
+                           (``bench_replay``)
 
 Every record follows the schema
   {"bench": ..., "config": ..., "threads": N, "ns_per_op": X | "ms": X,
@@ -42,15 +47,28 @@ is still accepted and treated as ``primitives``):
                   rebuild cost (frontier hashing, dep-state allocation,
                   release-list pushes) from scheduler latency, which a
                   loaded CI host would otherwise fold into both sides
+  "replay"      — cross-calibration gate: the simulator's best-fit replay
+                  of a trace recorded from the real runtime must land
+                  within ``max_makespan_err`` (relative) of the measured
+                  real-replay makespan, with the sorted per-worker
+                  busy-share distribution within ``max_busy_err``. Both
+                  are within-run comparisons of the same trace, so the
+                  gate needs no per-host calibration
 
-``--gate-bots`` / ``--gate-serve`` / ``--gate-graph`` run those sections
-standalone against a fresh trimmed run — CI's perf-smoke job chains them
-after ``--smoke``.
+``--gate-bots`` / ``--gate-serve`` / ``--gate-graph`` / ``--gate-replay``
+run those sections standalone against a fresh trimmed run — CI's
+perf-smoke and trace-replay jobs chain them after ``--smoke``.
+
+``--task-plot [SVG]`` records a fresh trace through ``bench_replay
+--trace-out`` and renders its per-worker execution timeline with
+``tools/task_plot.py`` (pass an existing trace with ``--trace``).
 
 Usage:
   python3 bench/run_bench.py [--build-dir build] [--threads 4] [--reps 3]
   python3 bench/run_bench.py --smoke
   python3 bench/run_bench.py --gate-bots --gate-serve --gate-graph
+  python3 bench/run_bench.py --gate-replay
+  python3 bench/run_bench.py --task-plot task_timeline.svg
 """
 
 from __future__ import annotations
@@ -234,6 +252,33 @@ def run_graph(build_dir: pathlib.Path, iters: int) -> list[dict]:
     return records
 
 
+def run_replay(build_dir: pathlib.Path, reps: int,
+               trace_out: pathlib.Path | None = None) -> list[dict]:
+    """Cross-calibration experiment: bench_replay records a reference
+    workload on the real runtime, replays the trace on both executors, and
+    fits the simulator's overhead multiplier. ``--check`` makes trace
+    validation and exact-count violations fatal, so a corrupt run raises
+    instead of writing JSON."""
+    binary = build_dir / "bench" / "bench_replay"
+    if not binary.exists():
+        raise SystemExit(f"missing {binary}; build the repo first")
+    stamp = _now()
+    cmd = [str(binary), "--reps", str(reps), "--check"]
+    if trace_out is not None:
+        cmd += ["--trace-out", str(trace_out)]
+    records = []
+    for line in _run(cmd, timeout=600).splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        rec = json.loads(line)
+        rec["timestamp"] = stamp
+        records.append(rec)
+    if not any(r.get("bench") == "replay_calibration" for r in records):
+        raise SystemExit("bench_replay produced no calibration summary")
+    return records
+
+
 def load_floors() -> dict:
     """Floor file with all three gate sections. A legacy flat file —
     every top-level value numeric — is promoted to {"primitives": ...} so
@@ -369,6 +414,51 @@ def check_graph_speedup(records: list[dict]) -> int:
     return int(speedup < floor)
 
 
+def check_replay_error(records: list[dict]) -> int:
+    """Cross-calibration gate: the best-fit sim replay must track the real
+    replay of the same trace within the checked-in relative error — a
+    within-run comparison on the same host, so no noise factor applies."""
+    gate = load_floors().get("replay")
+    if not gate:
+        print(f"no replay section in {FLOOR_FILE.name}; skipping gate")
+        return 0
+    summary = next((r for r in records
+                    if r.get("bench") == "replay_calibration"), None)
+    if summary is None:
+        print("FAIL replay: no replay_calibration record in run")
+        return 1
+    failures = 0
+    err = summary["makespan_err"]
+    ceil = gate["max_makespan_err"]
+    verdict = "ok" if err <= ceil else "FAIL"
+    print(f"{verdict:4s} replay/makespan: sim {summary['sim_ms']:.3f} ms vs "
+          f"real {summary['real_ms']:.3f} ms = {err:.1%} error "
+          f"(max {ceil:.0%}, overhead_mult {summary['overhead_mult']:.2f})")
+    failures += err > ceil
+    busy_ceil = gate.get("max_busy_err")
+    if busy_ceil is not None:
+        busy = summary["busy_err"]
+        verdict = "ok" if busy <= busy_ceil else "FAIL"
+        print(f"{verdict:4s} replay/busy-share: {busy:.1%} mean deviation "
+              f"(max {busy_ceil:.0%})")
+        failures += busy > busy_ceil
+    return failures
+
+
+def task_plot(build_dir: pathlib.Path, out_svg: pathlib.Path,
+              trace: pathlib.Path | None, reps: int) -> int:
+    """Render a per-worker execution timeline. Without ``--trace``, record
+    a fresh one through bench_replay --trace-out first."""
+    if trace is None:
+        trace = REPO_ROOT / "BENCH_replay_trace.jsonl"
+        run_replay(build_dir, reps, trace_out=trace)
+        print(f"wrote {trace.name}")
+    _run([sys.executable, str(REPO_ROOT / "tools" / "task_plot.py"),
+          str(trace), "-o", str(out_svg)], timeout=120)
+    print(f"wrote {out_svg}")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", type=pathlib.Path)
@@ -390,6 +480,16 @@ def main() -> int:
     ap.add_argument("--gate-graph", action="store_true",
                     help="trimmed bench_graph run + replay-speedup gate; "
                     "writes no JSON files")
+    ap.add_argument("--gate-replay", action="store_true",
+                    help="bench_replay cross-calibration run + sim-vs-real "
+                    "makespan-error gate; writes no JSON files")
+    ap.add_argument("--task-plot", nargs="?", const="task_timeline.svg",
+                    metavar="SVG",
+                    help="render a per-worker execution timeline SVG from "
+                    "a recorded trace (records a fresh one unless --trace "
+                    "is given), then exit")
+    ap.add_argument("--trace", type=pathlib.Path,
+                    help="existing trace file for --task-plot")
     ap.add_argument("--graph-iters", default=150, type=int,
                     help="pipeline iterations per bench_graph config")
     ap.add_argument("--serve-seconds", default=3.0, type=float,
@@ -401,7 +501,12 @@ def main() -> int:
     if not build_dir.is_absolute():
         build_dir = REPO_ROOT / build_dir
 
-    if args.smoke or args.gate_bots or args.gate_serve or args.gate_graph:
+    if args.task_plot is not None:
+        return task_plot(build_dir, pathlib.Path(args.task_plot),
+                         args.trace, reps=max(args.reps, 2))
+
+    if (args.smoke or args.gate_bots or args.gate_serve or args.gate_graph
+            or args.gate_replay):
         failures = 0
         if args.smoke:
             pattern = "|".join(re.escape(n) for n in SMOKE_BENCHES)
@@ -418,6 +523,9 @@ def main() -> int:
         if args.gate_graph:
             failures += check_graph_speedup(
                 run_graph(build_dir, args.graph_iters))
+        if args.gate_replay:
+            failures += check_replay_error(
+                run_replay(build_dir, reps=max(args.reps, 3)))
         if failures:
             print(f"{failures} perf gate failure(s)")
             return 1
@@ -444,11 +552,17 @@ def main() -> int:
         json.dumps(graph, indent=2) + "\n")
     print(f"wrote BENCH_graph.json ({len(graph)} records)")
 
+    replay = run_replay(build_dir, args.reps,
+                        trace_out=REPO_ROOT / "BENCH_replay_trace.jsonl")
+    (REPO_ROOT / "BENCH_replay.json").write_text(
+        json.dumps(replay, indent=2) + "\n")
+    print(f"wrote BENCH_replay.json ({len(replay)} records)")
+
     # Full runs gate too: a protocol run that regressed the adaptive
-    # ratio, overload goodput, or replay speedup should not silently
-    # refresh the JSONs.
+    # ratio, overload goodput, replay speedup, or sim↔real calibration
+    # should not silently refresh the JSONs.
     failures = (check_bots_ratio(bots) + check_serve_goodput(serve) +
-                check_graph_speedup(graph))
+                check_graph_speedup(graph) + check_replay_error(replay))
     if failures:
         print(f"{failures} perf gate failure(s)")
         return 1

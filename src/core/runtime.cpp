@@ -43,6 +43,21 @@ Config normalized(Config cfg) {
   return cfg;
 }
 
+/// TSC rate for the trace header (display/scaling only — records carry raw
+/// rdtscp cycles). A ~2ms spin gives three significant digits, paid once at
+/// construction and only when tracing is on.
+double measure_cycles_per_us() {
+  using clock = std::chrono::steady_clock;
+  const auto w0 = clock::now();
+  const std::uint64_t c0 = rdtscp();
+  while (clock::now() - w0 < std::chrono::milliseconds(2)) {
+  }
+  const std::uint64_t c1 = rdtscp();
+  const double us =
+      std::chrono::duration<double, std::micro>(clock::now() - w0).count();
+  return us > 0 ? static_cast<double>(c1 - c0) / us : 0.0;
+}
+
 }  // namespace
 
 Runtime::Runtime(Config cfg)
@@ -103,6 +118,16 @@ Runtime::Runtime(Config cfg)
     w->alloc = std::make_unique<TaskAllocator>(pool_, topo_.zone_of(i));
     workers_.push_back(std::move(w));
   }
+  if (cfg_.trace_mode == TraceMode::kRecord) {
+    std::vector<std::uint8_t> zones(static_cast<std::size_t>(cfg_.num_threads));
+    for (int i = 0; i < cfg_.num_threads; ++i)
+      zones[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(topo_.zone_of(i));
+    tracer_ = std::make_unique<trace::Recorder>(
+        cfg_.num_threads, measure_cycles_per_us(), "xtask", topo_.describe(),
+        std::move(zones));
+    tracer_raw_ = tracer_.get();
+  }
   for (int i = 1; i < cfg_.num_threads; ++i)
     workers_[static_cast<std::size_t>(i)]->thread =
         std::thread([this, i] { thread_main(i); });
@@ -120,6 +145,17 @@ Runtime::~Runtime() {
   region_cv_.notify_all();
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
+  // All workers have quiesced, so the per-worker trace buffers are stable:
+  // dump the recorded trace if a sink was configured. Never throw from a
+  // destructor — report and carry on.
+  if (tracer_ != nullptr && !cfg_.trace_file.empty()) {
+    try {
+      trace::write_file(tracer_->build(), cfg_.trace_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "xtask: trace dump to '%s' failed: %s\n",
+                   cfg_.trace_file.c_str(), e.what());
+    }
+  }
   // Workers' allocators return descriptors to pool_ on destruction; destroy
   // them before pool_ goes away.
   workers_.clear();
@@ -216,6 +252,7 @@ Task* Runtime::allocate_task(detail::Worker& w, Task* parent) {
   bump(w.created);
   prof_.thread(w.id).counters.ntasks_created++;
   if (cfg_.barrier == BarrierKind::kCentral) central_.task_created();
+  trace_spawn(w, t);
   return t;
 }
 
@@ -382,6 +419,7 @@ void Runtime::execute(detail::Worker& w, Task* t) {
   const bool sample = cfg_.dlb == DlbKind::kAdaptive &&
                       (w.sample_tick++ & 15u) == 0;
   const std::uint64_t t0 = sample ? rdtscp() : 0;
+  if (tracer_raw_ != nullptr) tracer_raw_->on_exec_begin(w.id, t, rdtscp());
   {
     ScopedEvent ev(prof_.thread(w.id), EventKind::kTask);
     // A task dequeued from a cancelled extent is drained, not run: the
@@ -421,6 +459,7 @@ void Runtime::execute(detail::Worker& w, Task* t) {
     w.hb_phase.store(prev_phase, std::memory_order_release);
     hb_bump(w);  // task boundary: body completed
   }
+  if (tracer_raw_ != nullptr) tracer_raw_->on_exec_end(w.id, rdtscp());
   finish(w, t);
 }
 
@@ -508,7 +547,10 @@ Task* Runtime::find_task(detail::Worker& w) {
     }
     if (w.idle_enter_tsc != 0) {
       // Idle episode ends at the first successful pop.
-      prof_.thread(w.id).counters.idle_cycles += rdtscp() - w.idle_enter_tsc;
+      const std::uint64_t now = rdtscp();
+      prof_.thread(w.id).counters.idle_cycles += now - w.idle_enter_tsc;
+      if (tracer_raw_ != nullptr)
+        tracer_raw_->on_idle(w.id, w.idle_enter_tsc, now);
       w.idle_enter_tsc = 0;
     }
     w.backoff.reset();
@@ -641,7 +683,10 @@ void Runtime::worker_loop(detail::Worker& w, std::uint64_t gen) {
       if (stall_start != 0)
         prof.record(EventKind::kStall, stall_start, rdtscp());
       if (w.idle_enter_tsc != 0) {
-        prof.counters.idle_cycles += rdtscp() - w.idle_enter_tsc;
+        const std::uint64_t now = rdtscp();
+        prof.counters.idle_cycles += now - w.idle_enter_tsc;
+        if (tracer_raw_ != nullptr)
+          tracer_raw_->on_idle(w.id, w.idle_enter_tsc, now);
         w.idle_enter_tsc = 0;
       }
       sync_owner_stats(w);
@@ -765,6 +810,8 @@ void Runtime::do_work_steal(detail::Worker& w, int thief) {
       c.nsteal_local += moved;
     else
       c.nsteal_remote += moved;
+    if (tracer_raw_ != nullptr)
+      tracer_raw_->on_steal(w.id, thief, moved, /*direct=*/false, rdtscp());
   }
 }
 
@@ -842,6 +889,8 @@ bool Runtime::try_direct_steal(detail::Worker& w) {
     vic.guard.return_thief();
     if (got == 0) continue;  // raced with the victim's own pops
     c.nsteal_direct += got;
+    if (tracer_raw_ != nullptr)
+      tracer_raw_->on_steal(w.id, v, got, /*direct=*/true, rdtscp());
     if (topo_.local(w.id, v))
       c.nsteal_local += got;
     else
@@ -885,6 +934,7 @@ void Runtime::sync_owner_stats(detail::Worker& w) noexcept {
 }
 
 void Runtime::group_wait(detail::Worker& w, TaskGroup& group) {
+  trace_pause(w);  // wait polling is not the enclosing task's own work
   while (group.live.load(std::memory_order_acquire) != 0) {
     if (Task* other = find_task(w)) {
       execute(w, other);
@@ -892,6 +942,7 @@ void Runtime::group_wait(detail::Worker& w, TaskGroup& group) {
     }
     idle_step(w);  // shared backoff policy lives there
   }
+  trace_resume(w);
 }
 
 // --------------------------------------------------------------------------
@@ -1266,6 +1317,9 @@ void TaskContext::taskwait() {
   detail::Worker& w = *w_;
   if (current_->active_children.load(std::memory_order_acquire) != 0) {
     ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskWait);
+    // The wait loop (polling + helping) is not this task's own work: stop
+    // its trace self-clock so replay re-burns only the body's cycles.
+    rt_->trace_pause(w);
     while (current_->active_children.load(std::memory_order_acquire) != 0) {
       if (Task* t = rt_->find_task(w)) {
         rt_->execute(w, t);
@@ -1273,6 +1327,7 @@ void TaskContext::taskwait() {
       }
       rt_->idle_step(w);  // shared backoff policy lives there
     }
+    rt_->trace_resume(w);
   }
   // Every child completed, and each escalated into our slot before its
   // active_children decrement (release/acquire pair with the loop above),

@@ -40,6 +40,7 @@
 #include "core/watchdog.hpp"
 #include "core/xqueue.hpp"
 #include "prof/profiler.hpp"
+#include "trace/recorder.hpp"
 
 namespace xtask {
 
@@ -94,6 +95,20 @@ enum class GraphMode : std::uint8_t {
   kOff,      // spawn/taskwait or per-iteration dependence registration
   kCapture,  // capture a TaskGraph on the first execution, keep rebuilding
   kReplay,   // capture once, then replay (zero rebuild cost per iteration)
+};
+
+/// Scheduler-trace mode, carried on Config so the registry spec grammar
+/// (`trace=record|replay`, `tracefile=<path>`) selects it uniformly.
+/// kRecord arms the runtime's trace recorder (trace/recorder.hpp): every
+/// spawn/exec/steal/idle is captured, readable in-memory via
+/// Runtime::tracer() and dumped to `trace_file` at runtime destruction.
+/// kReplay does not change the runtime's behavior — it tells a
+/// trace-capable driver (bench_replay, the golden-trace tests) to replay
+/// `trace_file` instead of generating fresh work.
+enum class TraceMode : std::uint8_t {
+  kOff,
+  kRecord,
+  kReplay,
 };
 
 struct Config {
@@ -155,6 +170,14 @@ struct Config {
   /// a driver should run per captured graph; requires graph=replay).
   GraphMode graph_mode = GraphMode::kOff;
   int graph_replays = 1;
+  /// Scheduler-trace mode (see TraceMode). Spec keys:
+  /// trace=off|record|replay, tracefile=<path> (requires trace != off).
+  TraceMode trace_mode = TraceMode::kOff;
+  /// Where to dump (record) or read (replay) the trace. Extension picks
+  /// the encoding: .jsonl/.json → JSONL, anything else → binary. Empty
+  /// with trace=record keeps the trace in-memory only (tests read it via
+  /// Runtime::tracer()).
+  std::string trace_file;
 };
 
 class Runtime;
@@ -412,6 +435,11 @@ class Runtime {
   /// Stall episodes the watchdog has detected (0 when disabled).
   std::uint64_t watchdog_stalls() const noexcept { return watchdog_.stalls(); }
 
+  /// The scheduler-trace recorder, or nullptr unless trace_mode=kRecord.
+  /// Call tracer()->build() only between regions (the per-worker buffers
+  /// are single-writer while a region runs).
+  trace::Recorder* tracer() noexcept { return tracer_raw_; }
+
   /// Aggregate heartbeat/quarantine statistics (all zero when the
   /// heartbeat subsystem is disabled). Safe from any thread.
   HealthStats health_stats() const noexcept;
@@ -565,6 +593,28 @@ class Runtime {
   /// churn) into this worker's profiler counters; called at region end.
   void sync_owner_stats(detail::Worker& w) noexcept;
 
+  // --- trace recording (trace_mode=kRecord; all no-ops otherwise) -------
+  /// Spawn hook: called by the owning worker right after allocate_task,
+  /// before the task can reach any queue (the recorder's inflight-map
+  /// insert must happen-before the executing worker's lookup; the queue's
+  /// release/acquire transfer provides that order).
+  void trace_spawn(detail::Worker& w, Task* t) noexcept {
+    if (tracer_raw_ != nullptr) tracer_raw_->on_spawn(w.id, t, rdtscp());
+  }
+  /// One dependence item of the task just recorded by trace_spawn.
+  void trace_dep(detail::Worker& w, const Dep& d) noexcept {
+    if (tracer_raw_ != nullptr)
+      tracer_raw_->on_dep(w.id, static_cast<std::uint32_t>(d.mode),
+                          reinterpret_cast<std::uintptr_t>(d.addr));
+  }
+  /// Bracket wait loops so polling is not billed as task self-cost.
+  void trace_pause(detail::Worker& w) noexcept {
+    if (tracer_raw_ != nullptr) tracer_raw_->on_pause(w.id, rdtscp());
+  }
+  void trace_resume(detail::Worker& w) noexcept {
+    if (tracer_raw_ != nullptr) tracer_raw_->on_resume(w.id, rdtscp());
+  }
+
   // --- team management --------------------------------------------------
   void thread_main(int id);
 
@@ -584,6 +634,11 @@ class Runtime {
   std::uint64_t region_gen_ = 0;   // generation being executed
   int workers_done_ = 0;           // helpers finished with current region
   bool shutdown_ = false;
+
+  // Trace recording (cfg_.trace_mode == kRecord). tracer_raw_ caches the
+  // unique_ptr's target so the hot-path guard is one plain load.
+  std::unique_ptr<trace::Recorder> tracer_;
+  trace::Recorder* tracer_raw_ = nullptr;
 
   // Fault tolerance: region-scope error/cancel state (reset per run) and
   // the stall monitor.
@@ -737,6 +792,7 @@ void TaskContext::spawn(F&& f, const Dep* deps, std::size_t ndeps) {
     ScopedEvent ev(rt_->profiler().thread(w.id), EventKind::kTaskCreate);
     Task* t = rt_->allocate_task(w, current_);
     t->emplace(std::forward<F>(f));
+    for (std::size_t i = 0; i < ndeps; ++i) rt_->trace_dep(w, deps[i]);
     if (!dep_scope_) dep_scope_ = std::make_unique<detail::DepScope>();
     const std::uint32_t unmet = dep_scope_->register_task(t, deps, ndeps);
     if (unmet == 0) overflow = rt_->dispatch(w, t);

@@ -18,6 +18,17 @@ std::string trace_to_json(const Profiler& prof,
   std::string out = "[\n";
   char buf[1024];
   bool first = true;
+  // Clock metadata: cycles_per_us only *scales the display* of ts/dur —
+  // every duration event also carries its raw rdtscp interval in args
+  // ("sc"/"dc", cycles since t0 / duration cycles), so a consumer with the
+  // true TSC rate can rescale without re-recording. t0_cycles anchors the
+  // normalized timeline back to absolute rdtscp values.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"xtask_clock\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                "\"args\":{\"cycles_per_us\":%.3f,\"t0_cycles\":%llu}}",
+                opts.cycles_per_us, static_cast<unsigned long long>(t0));
+  out += buf;
+  first = false;
   // Caller-supplied metadata records lead the document (service state,
   // per-tenant admission counters, ...); the args payload is caller-built
   // JSON of unbounded size, so it bypasses the snprintf buffer.
@@ -109,8 +120,11 @@ std::string trace_to_json(const Profiler& prof,
           static_cast<double>(e.end - e.start) / opts.cycles_per_us;
       std::snprintf(buf, sizeof(buf),
                     ",\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-                    "\"ts\":%.3f,\"dur\":%.3f}",
-                    event_kind_name(e.kind), t, ts, dur);
+                    "\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"args\":{\"sc\":%llu,\"dc\":%llu}}",
+                    event_kind_name(e.kind), t, ts, dur,
+                    static_cast<unsigned long long>(e.start - t0),
+                    static_cast<unsigned long long>(e.end - e.start));
       out += buf;
     }
   }

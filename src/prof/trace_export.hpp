@@ -15,7 +15,10 @@ namespace xtask {
 /// Options for the export.
 struct TraceExportOptions {
   /// Cycles per microsecond used to convert rdtscp timestamps; 2100 for
-  /// the paper's 2.1 GHz parts. Only scales the display.
+  /// the paper's 2.1 GHz parts. Display-only: every duration event also
+  /// carries raw cycle values in args ("sc" start offset, "dc" duration)
+  /// and an xtask_clock metadata record names this rate and the t0 anchor,
+  /// so a consumer can rescale without re-recording.
   double cycles_per_us = 2100.0;
   /// Drop events shorter than this many cycles (they render as noise).
   std::uint64_t min_cycles = 0;

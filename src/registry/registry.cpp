@@ -407,7 +407,7 @@ Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
   check_keys(spec, {"threads", "zones", "topo", "qcap", "barrier", "dlb",
                     "dmode", "alloc", "tint", "nvictim", "nsteal", "plocal",
                     "seed", "wdog", "yield", "profile", "hb", "quarantine",
-                    "graph", "greplays"});
+                    "graph", "greplays", "trace", "tracefile"});
   Config cfg;
   cfg.topology = resolve_topology(spec, steal::kMaxWorkerId);
   cfg.queue_capacity = RegistryDefaults::kQueueCapacity;
@@ -494,6 +494,20 @@ Config RuntimeRegistry::xtask_config(const BackendSpec& spec) {
           "spec '" + spec.describe() +
           "': greplays requires graph=replay (only the replay path runs a "
           "captured graph more than once)");
+  }
+  if (const std::string* v = spec.find("trace")) {
+    if (*v == "off") cfg.trace_mode = TraceMode::kOff;
+    else if (*v == "record") cfg.trace_mode = TraceMode::kRecord;
+    else if (*v == "replay") cfg.trace_mode = TraceMode::kReplay;
+    else bad_value(spec, "trace", *v, "off|record|replay");
+  }
+  if (const std::string* v = spec.find("tracefile")) {
+    cfg.trace_file = *v;
+    if (cfg.trace_mode == TraceMode::kOff)
+      throw std::invalid_argument(
+          "spec '" + spec.describe() +
+          "': tracefile requires trace=record|replay (a sink without a "
+          "recorder would never be written)");
   }
   return cfg;
 }
@@ -614,6 +628,7 @@ std::vector<std::string> RuntimeRegistry::smoke_specs() {
       "xtask:dlb=adaptive,dmode=messaging", // forced messaging dispatch
       "xtask:dlb=naws,hb=50,quarantine=on", // + self-healing workers
       "xtask:graph=replay,greplays=4",      // graph capture/replay drivers
+      "xtask:trace=record",                 // scheduler trace recorder
   };
 }
 

@@ -97,6 +97,16 @@ SimResult SimEngine::run(std::function<void(SimContext&)> root) {
   ++total_tasks_;
   workers_[0]->counters.ntasks_created++;
   workers_[0]->current = nullptr;
+  if (cfg_.record_trace) {
+    trace_.nworkers = static_cast<std::uint32_t>(n_);
+    // Virtual clock rate: the machine model is priced at 2.1 GHz (the
+    // same constant SimResult::seconds defaults to).
+    trace_.cycles_per_us = 2100.0;
+    trace_.backend = std::string("sim:") + sim_policy_name(cfg_.policy);
+    trace_.topology = topo_.describe();
+    root_task->trace_id = ++next_trace_id_;
+    rec(trace::RecordKind::kSpawn, 0, 0, root_task->trace_id, 0, 0, 0);
+  }
   // Worker 0 discovers the root in its master queue / global queue.
   if (uses_xqueue())
     q(0, 0).push_back(root_task);
@@ -243,6 +253,11 @@ void SimEngine::spawn(WorkerState& w, std::function<void(SimContext&)> body) {
   ++in_flight_;
   ++total_tasks_;
   w.counters.ntasks_created++;
+  if (cfg_.record_trace) {
+    t->trace_id = ++next_trace_id_;
+    rec(trace::RecordKind::kSpawn, w.id, 0, t->trace_id, w.clock, 0,
+        w.current != nullptr ? w.current->trace_id : 0);
+  }
 
   // Termination accounting.
   switch (cfg_.policy) {
@@ -383,6 +398,9 @@ void SimEngine::execute(WorkerState& w, SimTask* t) {
                                   (dt - w.avg_task_cycles) / 8;
   }
   w.current = saved;
+  if (cfg_.record_trace)
+    rec(trace::RecordKind::kExec, w.id, 0, t->trace_id, body_start, w.clock,
+        t->trace_self);
   w.counters.ntasks_executed++;
   --in_flight_;
 
@@ -538,7 +556,26 @@ void SimEngine::do_work_steal(WorkerState& w, int thief) {
       w.counters.nsteal_local += moved;
     else
       w.counters.nsteal_remote += moved;
+    if (cfg_.record_trace)
+      rec(trace::RecordKind::kStealMsg, w.id,
+          static_cast<std::uint32_t>(thief), 0, w.clock, w.clock, moved);
   }
+}
+
+void SimEngine::rec(trace::RecordKind kind, int worker, std::uint32_t aux,
+                    std::uint64_t id, std::uint64_t t0, std::uint64_t t1,
+                    std::uint64_t ref) {
+  if (!cfg_.record_trace) return;
+  trace::TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(kind);
+  r.zone = static_cast<std::uint8_t>(topo_.zone_of(worker));
+  r.worker = static_cast<std::uint16_t>(worker);
+  r.aux = aux;
+  r.id = id;
+  r.t0 = t0;
+  r.t1 = t1;
+  r.ref = ref;
+  trace_.records.push_back(r);
 }
 
 void SimEngine::queue_ws_send_requests(WorkerState& w) {
@@ -639,6 +676,7 @@ void SimContext::taskwait() {
 
 void SimContext::compute_fixed(std::uint64_t cycles) {
   w_->busy_cycles += cycles;
+  if (w_->current != nullptr) w_->current->trace_self += cycles;
   eng_->advance(*w_, cycles);
 }
 
@@ -657,6 +695,7 @@ void SimContext::compute(std::uint64_t cycles) {
   const auto inflated =
       static_cast<std::uint64_t>(static_cast<double>(cycles) * factor);
   w.busy_cycles += inflated;
+  if (w.current != nullptr) w.current->trace_self += inflated;
   eng_->advance(w, inflated);
 }
 

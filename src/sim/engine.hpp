@@ -32,6 +32,7 @@
 #include "prof/profiler.hpp"
 #include "sim/fiber.hpp"
 #include "sim/machine.hpp"
+#include "trace/format.hpp"
 
 namespace xtask::sim {
 
@@ -81,6 +82,12 @@ struct SimConfig {
   std::size_t fiber_stack_bytes = 512 * 1024;
   /// Idle exponential backoff cap in cycles (models passive waiting).
   std::uint32_t idle_backoff_max = 1'024;
+  /// Record a scheduler trace (trace/format.hpp) on the virtual clocks:
+  /// every spawn, exec (with compute-cycle self cost) and steal, in fiber
+  /// scheduling order — which is deterministic for a fixed seed, so the
+  /// serialized trace is bit-identical across runs (the determinism gate
+  /// in test_sim.cpp). Read it back via SimEngine::trace() after run().
+  bool record_trace = false;
 };
 
 struct SimResult {
@@ -115,6 +122,9 @@ class SimEngine {
 
   const SimConfig& config() const noexcept { return cfg_; }
   const Topology& topology() const noexcept { return topo_; }
+  /// The recorded event log (empty unless cfg.record_trace); valid after
+  /// run() returns.
+  const trace::Trace& trace() const noexcept { return trace_; }
 
  private:
   friend class SimContext;
@@ -126,6 +136,10 @@ class SimEngine {
     int creator = 0;
     bool pool_allocated = false;  // recycle through the freelist model
     bool remote_buffer = false;   // descriptor borrowed from a remote peer
+    // Trace recording (cfg.record_trace): stable id and accumulated
+    // compute cycles. Unlike the real Task, SimTask has no layout budget.
+    std::uint64_t trace_id = 0;
+    std::uint64_t trace_self = 0;
   };
 
   struct WorkerState {
@@ -203,6 +217,12 @@ class SimEngine {
   bool xq_push(WorkerState& w, int target, SimTask* t);
   SimTask* xq_pop(WorkerState& w);
 
+  // --- trace recording ----------------------------------------------------
+  /// Append one record to the event log (no-op unless recording).
+  void rec(trace::RecordKind kind, int worker, std::uint32_t aux,
+           std::uint64_t id, std::uint64_t t0, std::uint64_t t1,
+           std::uint64_t ref);
+
   // --- DLB ---------------------------------------------------------------
   std::uint32_t cell_cost(int a, int b) const noexcept {
     return topo_.local(a, b) ? cfg_.machine.cell_local
@@ -234,6 +254,10 @@ class SimEngine {
   std::int64_t in_flight_ = 0;
   int arrived_ = 0;
   std::uint64_t total_tasks_ = 0;
+
+  // Trace recording (cfg.record_trace).
+  trace::Trace trace_;
+  std::uint64_t next_trace_id_ = 0;
 
   // Shared resources.
   Resource global_lock_;               // GOMP

@@ -1,0 +1,442 @@
+#include "trace/format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xtask::trace {
+
+namespace {
+
+/// Meta strings (backend/topology) may not contain characters that would
+/// break the line-oriented JSONL encoding; sanitize on write so a read
+/// never needs escape handling (specs and topology strings are plain
+/// `[-a-z0-9:=,.x]` in practice).
+std::string sanitized(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    if (c == '"' || c == '\\' || c == '\n' || c == '\r') c = '_';
+  return out;
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  // SplitMix64 finalizer.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void fail(const std::string& msg) { throw TraceError(msg); }
+
+std::string rec_prefix(std::size_t idx) {
+  return "record " + std::to_string(idx) + ": ";
+}
+
+// --- minimal JSON field extraction -----------------------------------------
+// The JSONL schema is flat objects with numeric and (sanitized) string
+// values, so a targeted scanner is enough — no general JSON dependency.
+
+/// Find `"key":` in `line` and return the character offset just past the
+/// colon, or npos.
+std::size_t find_field(const std::string& line, const char* key) {
+  const std::string pat = std::string("\"") + key + "\"";
+  std::size_t pos = line.find(pat);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + pat.size();
+    while (p < line.size() && std::isspace(static_cast<unsigned char>(line[p])))
+      ++p;
+    if (p < line.size() && line[p] == ':') return p + 1;
+    pos = line.find(pat, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool get_u64(const std::string& line, const char* key, std::uint64_t* out) {
+  const std::size_t p = find_field(line, key);
+  if (p == std::string::npos) return false;
+  std::size_t q = p;
+  while (q < line.size() && std::isspace(static_cast<unsigned char>(line[q])))
+    ++q;
+  if (q >= line.size() || !std::isdigit(static_cast<unsigned char>(line[q])))
+    return false;
+  std::uint64_t v = 0;
+  for (; q < line.size() && std::isdigit(static_cast<unsigned char>(line[q]));
+       ++q) {
+    const std::uint64_t d = static_cast<std::uint64_t>(line[q] - '0');
+    if (v > (~0ull - d) / 10) return false;  // overflow: reject, don't wrap
+    v = v * 10 + d;
+  }
+  *out = v;
+  return true;
+}
+
+bool get_double(const std::string& line, const char* key, double* out) {
+  const std::size_t p = find_field(line, key);
+  if (p == std::string::npos) return false;
+  return std::sscanf(line.c_str() + p, " %lf", out) == 1;
+}
+
+bool get_string(const std::string& line, const char* key, std::string* out) {
+  std::size_t p = find_field(line, key);
+  if (p == std::string::npos) return false;
+  while (p < line.size() && std::isspace(static_cast<unsigned char>(line[p])))
+    ++p;
+  if (p >= line.size() || line[p] != '"') return false;
+  const std::size_t end = line.find('"', p + 1);
+  if (end == std::string::npos) return false;
+  *out = line.substr(p + 1, end - p - 1);
+  return true;
+}
+
+RecordKind kind_from_name(const std::string& name, std::size_t line_no) {
+  if (name == "spawn") return RecordKind::kSpawn;
+  if (name == "exec") return RecordKind::kExec;
+  if (name == "steal") return RecordKind::kStealMsg;
+  if (name == "dsteal") return RecordKind::kStealDirect;
+  if (name == "idle") return RecordKind::kIdle;
+  if (name == "dep") return RecordKind::kDep;
+  fail("line " + std::to_string(line_no) + ": unknown record kind '" +
+       name + "'");
+}
+
+template <typename T>
+void put_raw(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool get_raw(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return is.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+}  // namespace
+
+bool valid_kind(std::uint8_t k) noexcept {
+  return k >= static_cast<std::uint8_t>(RecordKind::kSpawn) &&
+         k <= static_cast<std::uint8_t>(RecordKind::kDep);
+}
+
+const char* kind_name(RecordKind k) noexcept {
+  switch (k) {
+    case RecordKind::kSpawn: return "spawn";
+    case RecordKind::kExec: return "exec";
+    case RecordKind::kStealMsg: return "steal";
+    case RecordKind::kStealDirect: return "dsteal";
+    case RecordKind::kIdle: return "idle";
+    case RecordKind::kDep: return "dep";
+  }
+  return "?";
+}
+
+// --- derived views ----------------------------------------------------------
+
+std::uint64_t Trace::spawn_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const TraceRecord& r : records)
+    n += r.kind == static_cast<std::uint8_t>(RecordKind::kSpawn);
+  return n;
+}
+
+std::uint64_t Trace::exec_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const TraceRecord& r : records)
+    n += r.kind == static_cast<std::uint8_t>(RecordKind::kExec);
+  return n;
+}
+
+std::uint64_t Trace::makespan_cycles() const noexcept {
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const TraceRecord& r : records) {
+    if (r.kind != static_cast<std::uint8_t>(RecordKind::kExec)) continue;
+    lo = std::min(lo, r.t0);
+    hi = std::max(hi, r.t1);
+  }
+  return hi > lo ? hi - lo : 0;
+}
+
+std::vector<std::uint64_t> Trace::busy_per_worker() const {
+  std::vector<std::uint64_t> busy(nworkers, 0);
+  for (const TraceRecord& r : records) {
+    if (r.kind != static_cast<std::uint8_t>(RecordKind::kExec)) continue;
+    if (r.worker < busy.size()) busy[r.worker] += r.ref;
+  }
+  return busy;
+}
+
+std::uint64_t Trace::dag_fingerprint() const {
+  // Children per parent, in record order. Record order within one worker
+  // is write order, and all spawns of one parent happen on the worker
+  // executing that parent, so per-parent child order is well-defined.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> children;
+  std::unordered_set<std::uint64_t> spawned;
+  std::vector<std::uint64_t> order;  // spawn ids in record order
+  for (const TraceRecord& r : records) {
+    if (r.kind != static_cast<std::uint8_t>(RecordKind::kSpawn)) continue;
+    spawned.insert(r.id);
+    order.push_back(r.id);
+  }
+  std::vector<std::uint64_t> roots;
+  for (const TraceRecord& r : records) {
+    if (r.kind != static_cast<std::uint8_t>(RecordKind::kSpawn)) continue;
+    if (r.ref != 0 && spawned.count(r.ref) != 0)
+      children[r.ref].push_back(r.id);
+    else
+      roots.push_back(r.id);
+  }
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  // Iterative preorder DFS; children pushed in reverse so they pop in
+  // record order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stack;  // (id, depth)
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it)
+    stack.push_back({*it, 0});
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const auto cit = children.find(id);
+    const std::uint64_t nkids =
+        cit == children.end() ? 0 : cit->second.size();
+    h = mix64(h ^ mix64(depth * 0x100000001b3ull + nkids));
+    if (cit != children.end())
+      for (auto it = cit->second.rbegin(); it != cit->second.rend(); ++it)
+        stack.push_back({*it, depth + 1});
+  }
+  return h;
+}
+
+void Trace::validate() const {
+  std::unordered_set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    if (!valid_kind(r.kind))
+      fail(rec_prefix(i) + "bad kind " + std::to_string(r.kind));
+    if (nworkers != 0 && r.worker >= nworkers)
+      fail(rec_prefix(i) + "worker " + std::to_string(r.worker) +
+           " out of range [0," + std::to_string(nworkers) + ")");
+    switch (static_cast<RecordKind>(r.kind)) {
+      case RecordKind::kSpawn:
+        if (r.id == 0) fail(rec_prefix(i) + "spawn with task id 0");
+        if (!ids.insert(r.id).second)
+          fail(rec_prefix(i) + "duplicate spawn of task id " +
+               std::to_string(r.id));
+        break;
+      case RecordKind::kExec:
+        if (r.id == 0) fail(rec_prefix(i) + "exec with task id 0");
+        if (r.t1 < r.t0)
+          fail(rec_prefix(i) + "exec interval ends before it starts");
+        break;
+      case RecordKind::kIdle:
+        if (r.t1 < r.t0)
+          fail(rec_prefix(i) + "idle interval ends before it starts");
+        break;
+      case RecordKind::kDep:
+        if (r.id == 0) fail(rec_prefix(i) + "dep with task id 0");
+        if (r.aux > 2)
+          fail(rec_prefix(i) + "dep mode " + std::to_string(r.aux) +
+               " out of range [0,2]");
+        break;
+      case RecordKind::kStealMsg:
+      case RecordKind::kStealDirect:
+        if (nworkers != 0 && r.aux >= nworkers)
+          fail(rec_prefix(i) + "steal peer " + std::to_string(r.aux) +
+               " out of range [0," + std::to_string(nworkers) + ")");
+        break;
+    }
+  }
+}
+
+// --- binary encoding --------------------------------------------------------
+
+void write_binary(const Trace& tr, std::ostream& os) {
+  const std::string backend = sanitized(tr.backend);
+  const std::string topology = sanitized(tr.topology);
+  put_raw(os, kTraceMagic);
+  put_raw(os, tr.version);
+  put_raw(os, tr.nworkers);
+  put_raw(os, std::uint32_t{0});  // reserved
+  put_raw(os, tr.cycles_per_us);
+  put_raw(os, static_cast<std::uint32_t>(backend.size()));
+  os.write(backend.data(), static_cast<std::streamsize>(backend.size()));
+  put_raw(os, static_cast<std::uint32_t>(topology.size()));
+  os.write(topology.data(), static_cast<std::streamsize>(topology.size()));
+  put_raw(os, static_cast<std::uint64_t>(tr.records.size()));
+  for (const TraceRecord& r : tr.records) put_raw(os, r);
+}
+
+Trace read_binary(std::istream& is) {
+  Trace tr;
+  std::uint32_t magic = 0, reserved = 0;
+  if (!get_raw(is, &magic)) fail("truncated header: missing magic");
+  if (magic != kTraceMagic)
+    fail("not an xtask trace (bad magic 0x" + [&] {
+      char b[16];
+      std::snprintf(b, sizeof(b), "%08x", magic);
+      return std::string(b);
+    }() + ")");
+  if (!get_raw(is, &tr.version)) fail("truncated header: missing version");
+  if (tr.version != kTraceVersion)
+    fail("unsupported trace version " + std::to_string(tr.version) +
+         " (supported: " + std::to_string(kTraceVersion) + ")");
+  if (!get_raw(is, &tr.nworkers) || !get_raw(is, &reserved) ||
+      !get_raw(is, &tr.cycles_per_us))
+    fail("truncated header: missing machine fields");
+  constexpr std::uint32_t kMaxMeta = 1u << 20;
+  std::uint32_t len = 0;
+  if (!get_raw(is, &len)) fail("truncated header: missing backend length");
+  if (len > kMaxMeta)
+    fail("header backend string length " + std::to_string(len) +
+         " exceeds limit " + std::to_string(kMaxMeta));
+  tr.backend.resize(len);
+  is.read(tr.backend.data(), static_cast<std::streamsize>(len));
+  if (is.gcount() != static_cast<std::streamsize>(len))
+    fail("truncated header: backend string cut short");
+  if (!get_raw(is, &len)) fail("truncated header: missing topology length");
+  if (len > kMaxMeta)
+    fail("header topology string length " + std::to_string(len) +
+         " exceeds limit " + std::to_string(kMaxMeta));
+  tr.topology.resize(len);
+  is.read(tr.topology.data(), static_cast<std::streamsize>(len));
+  if (is.gcount() != static_cast<std::streamsize>(len))
+    fail("truncated header: topology string cut short");
+  std::uint64_t nrecords = 0;
+  if (!get_raw(is, &nrecords)) fail("truncated header: missing record count");
+  // A corrupt count must not pre-allocate unbounded memory: reserve is
+  // capped and the loop below fails at the first short read.
+  tr.records.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(nrecords, 1u << 20)));
+  for (std::uint64_t i = 0; i < nrecords; ++i) {
+    TraceRecord r;
+    if (!get_raw(is, &r))
+      fail("truncated at record " + std::to_string(i) + " of " +
+           std::to_string(nrecords));
+    if (!valid_kind(r.kind))
+      fail(rec_prefix(static_cast<std::size_t>(i)) + "bad kind " +
+           std::to_string(r.kind));
+    tr.records.push_back(r);
+  }
+  return tr;
+}
+
+// --- JSONL encoding ---------------------------------------------------------
+
+void write_jsonl(const Trace& tr, std::ostream& os) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"xtask_trace\":%u,\"nworkers\":%u,"
+                "\"cycles_per_us\":%.3f,",
+                tr.version, tr.nworkers, tr.cycles_per_us);
+  os << buf << "\"backend\":\"" << sanitized(tr.backend)
+     << "\",\"topology\":\"" << sanitized(tr.topology) << "\"}\n";
+  for (const TraceRecord& r : tr.records) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"k\":\"%s\",\"w\":%u,\"z\":%u,\"aux\":%u,"
+                  "\"id\":%" PRIu64 ",\"t0\":%" PRIu64 ",\"t1\":%" PRIu64
+                  ",\"ref\":%" PRIu64 "}\n",
+                  kind_name(static_cast<RecordKind>(r.kind)), r.worker,
+                  r.zone, r.aux, r.id, r.t0, r.t1, r.ref);
+    os << buf;
+  }
+}
+
+Trace read_jsonl(std::istream& is) {
+  Trace tr;
+  std::string line;
+  std::size_t line_no = 0;
+  // Header line (blank lines are tolerated before it).
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") != std::string::npos) break;
+    line.clear();
+  }
+  if (line.empty()) fail("empty trace: missing header line");
+  std::uint64_t version = 0;
+  if (!get_u64(line, "xtask_trace", &version))
+    fail("line " + std::to_string(line_no) +
+         ": not an xtask trace header (missing \"xtask_trace\")");
+  if (version != kTraceVersion)
+    fail("unsupported trace version " + std::to_string(version) +
+         " (supported: " + std::to_string(kTraceVersion) + ")");
+  tr.version = static_cast<std::uint32_t>(version);
+  std::uint64_t nw = 0;
+  if (!get_u64(line, "nworkers", &nw) || nw > 0xffff)
+    fail("line " + std::to_string(line_no) +
+         ": header missing or bad \"nworkers\"");
+  tr.nworkers = static_cast<std::uint32_t>(nw);
+  get_double(line, "cycles_per_us", &tr.cycles_per_us);
+  get_string(line, "backend", &tr.backend);
+  get_string(line, "topology", &tr.topology);
+
+  std::size_t rec_idx = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::string where = "line " + std::to_string(line_no) +
+                              " (record " + std::to_string(rec_idx) + "): ";
+    std::string kname;
+    if (!get_string(line, "k", &kname))
+      fail(where + "missing field \"k\"");
+    TraceRecord r;
+    r.kind = static_cast<std::uint8_t>(kind_from_name(kname, line_no));
+    std::uint64_t v = 0;
+    if (!get_u64(line, "w", &v) || v > 0xffff)
+      fail(where + "missing or bad field \"w\"");
+    r.worker = static_cast<std::uint16_t>(v);
+    if (get_u64(line, "z", &v)) {
+      if (v > 0xff) fail(where + "bad field \"z\"");
+      r.zone = static_cast<std::uint8_t>(v);
+    }
+    if (get_u64(line, "aux", &v)) {
+      if (v > 0xffffffffull) fail(where + "bad field \"aux\"");
+      r.aux = static_cast<std::uint32_t>(v);
+    }
+    get_u64(line, "id", &r.id);
+    get_u64(line, "t0", &r.t0);
+    get_u64(line, "t1", &r.t1);
+    get_u64(line, "ref", &r.ref);
+    tr.records.push_back(r);
+    ++rec_idx;
+  }
+  return tr;
+}
+
+// --- file helpers -----------------------------------------------------------
+
+namespace {
+bool jsonl_path(const std::string& path) {
+  const auto ends_with = [&](const char* suf) {
+    const std::size_t n = std::strlen(suf);
+    return path.size() >= n && path.compare(path.size() - n, n, suf) == 0;
+  };
+  return ends_with(".jsonl") || ends_with(".json");
+}
+}  // namespace
+
+void write_file(const Trace& tr, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.good()) fail("cannot open '" + path + "' for writing");
+  if (jsonl_path(path))
+    write_jsonl(tr, f);
+  else
+    write_binary(tr, f);
+  if (!f.good()) fail("short write to '" + path + "'");
+}
+
+Trace read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) fail("cannot open trace file '" + path + "'");
+  const int first = f.peek();
+  if (first == '{' || first == ' ' || first == '\n')
+    return read_jsonl(f);
+  return read_binary(f);
+}
+
+}  // namespace xtask::trace

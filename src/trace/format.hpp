@@ -1,0 +1,122 @@
+// Versioned scheduler-trace format: the portable record of what a task
+// region *did* — every task spawn, every execution interval (with its
+// measured self-cost in cycles), every steal migration, and every idle
+// episode — captured from the real runtime (trace=record) or from the
+// simulator's virtual clocks. A trace is the unit of exchange for the
+// replay engine (replay.hpp): the same file re-runs on the real runtime
+// (calibrated spin work) and on the simulator (sim::SimContext::compute),
+// which is what makes sim↔real cross-calibration and golden-trace
+// regression possible.
+//
+// Two encodings of the same Trace:
+//   * binary  — "XTRC" magic, fixed 40-byte records; compact, fast.
+//   * JSONL   — one JSON object per line, header first; diff-able, which
+//               is what the checked-in golden traces use.
+// Both carry the same version number and fail loudly — naming the bad
+// record — on truncation, corruption, or version skew (TraceError).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xtask::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x43525458u;  // "XTRC" LE
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// What one record describes. Values are part of the on-disk format:
+/// append new kinds, never renumber.
+enum class RecordKind : std::uint8_t {
+  kSpawn = 1,        // task created: id, ref=parent id, t0=tsc
+  kExec = 2,         // task ran: id, t0=begin, t1=end, ref=self cycles
+  kStealMsg = 3,     // NA-WS migration: worker=victim, aux=thief, ref=count
+  kStealDirect = 4,  // direct steal: worker=thief, aux=victim, ref=count
+  kIdle = 5,         // idle episode: worker, t0=enter, t1=exit
+  kDep = 6,          // dependence item: id=task, ref=address, aux=mode
+};
+
+/// True for values a well-formed trace may contain.
+bool valid_kind(std::uint8_t k) noexcept;
+const char* kind_name(RecordKind k) noexcept;
+
+/// One fixed-size trace record. Field meaning depends on `kind` (see
+/// RecordKind); unused fields are zero. Exactly 40 bytes with no padding
+/// so the binary encoding is the in-memory layout.
+struct TraceRecord {
+  std::uint8_t kind = 0;
+  std::uint8_t zone = 0;     // NUMA zone of `worker`
+  std::uint16_t worker = 0;  // recording worker id
+  std::uint32_t aux = 0;     // kind-specific (peer id, ndeps, dep mode)
+  std::uint64_t id = 0;      // task id (0 = not task-scoped)
+  std::uint64_t t0 = 0;      // interval start (cycles; tsc or virtual)
+  std::uint64_t t1 = 0;      // interval end (0 for instant records)
+  std::uint64_t ref = 0;     // kind-specific (parent id, count, cycles)
+};
+static_assert(sizeof(TraceRecord) == 40, "on-disk record layout");
+
+/// Parse/validation failure. The message names the offending record
+/// ("record 17: ..."), line ("line 4: ...") or header field, so a corrupt
+/// golden file or a version-skewed artifact is diagnosable from the
+/// exception alone.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An in-memory trace: header metadata plus the record stream. Records
+/// are ordered per-worker (each worker's records appear in the order it
+/// wrote them); cross-worker order is unspecified — consumers needing a
+/// global timeline sort by t0 themselves.
+struct Trace {
+  std::uint32_t version = kTraceVersion;
+  std::uint32_t nworkers = 0;
+  double cycles_per_us = 0.0;   // clock rate of t0/t1 (0 = unknown)
+  std::string backend;          // producing backend spec (free-form)
+  std::string topology;         // producing topology (free-form)
+  std::vector<TraceRecord> records;
+
+  // --- derived views ------------------------------------------------------
+  std::uint64_t spawn_count() const noexcept;
+  std::uint64_t exec_count() const noexcept;
+  /// Wall span covered by exec records: max(t1) - min(t0), 0 when empty.
+  std::uint64_t makespan_cycles() const noexcept;
+  /// Per-worker sum of exec self-cost cycles (index = worker id).
+  std::vector<std::uint64_t> busy_per_worker() const;
+  /// Order-sensitive structural hash of the spawn DAG: fold over a
+  /// preorder DFS of the spawn tree (roots and children in record order),
+  /// mixing depth and child count per node — independent of task ids,
+  /// workers, timestamps, and costs, so a replayed re-recording of the
+  /// same structure fingerprints identically even though every id and
+  /// every timing differs. Dependence records are excluded (replay
+  /// reproduces structure through spawn order, not dep registration).
+  std::uint64_t dag_fingerprint() const;
+
+  /// Structural validation beyond what parsing enforces: worker ids in
+  /// range, exec intervals ordered, spawn ids nonzero and unique.
+  /// Throws TraceError naming the first offending record.
+  void validate() const;
+};
+
+// --- binary encoding --------------------------------------------------------
+void write_binary(const Trace& tr, std::ostream& os);
+Trace read_binary(std::istream& is);
+
+// --- JSONL encoding ---------------------------------------------------------
+// First line: {"xtask_trace":1,"nworkers":N,"cycles_per_us":F,
+//              "backend":"...","topology":"..."}
+// Then one object per record:
+//              {"k":"spawn","w":0,"z":0,"aux":0,"id":1,"t0":...,"t1":0,
+//               "ref":0}
+void write_jsonl(const Trace& tr, std::ostream& os);
+Trace read_jsonl(std::istream& is);
+
+// --- file helpers -----------------------------------------------------------
+/// Write by extension: ".jsonl"/".json" → JSONL, anything else → binary.
+void write_file(const Trace& tr, const std::string& path);
+/// Read sniffing the leading bytes (binary magic vs '{').
+Trace read_file(const std::string& path);
+
+}  // namespace xtask::trace

@@ -1,0 +1,232 @@
+#include "trace/recorder.hpp"
+
+namespace xtask::trace {
+
+namespace {
+
+std::uint64_t ptr_hash(const void* p) noexcept {
+  // SplitMix64 finalizer over the address; low bits of a Task* are dead
+  // (192-byte descriptors), so mix before masking.
+  std::uint64_t x = reinterpret_cast<std::uintptr_t>(p);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Recorder::Recorder(int nworkers, double cycles_per_us, std::string backend,
+                   std::string topology, std::vector<std::uint8_t> zones)
+    : nworkers_(nworkers),
+      cycles_per_us_(cycles_per_us),
+      backend_(std::move(backend)),
+      topology_(std::move(topology)),
+      zones_(std::move(zones)),
+      map_(new Slot[kMapSlots]) {
+  per_worker_.reserve(static_cast<std::size_t>(nworkers));
+  for (int i = 0; i < nworkers; ++i)
+    per_worker_.push_back(std::make_unique<PerWorker>());
+}
+
+bool Recorder::map_insert(const void* task, std::uint64_t id) noexcept {
+  std::size_t i = ptr_hash(task) & (kMapSlots - 1);
+  for (std::size_t probe = 0; probe < kMaxProbe; ++probe) {
+    Slot& s = map_[i];
+    const void* k = s.key.load(std::memory_order_relaxed);
+    if (k == nullptr || k == tombstone()) {
+      // Publish the id first, then claim the slot with a release CAS so
+      // the executing worker's acquire load of the key sees the id.
+      s.id.store(id, std::memory_order_relaxed);
+      if (s.key.compare_exchange_strong(k, task, std::memory_order_release,
+                                        std::memory_order_relaxed))
+        return true;
+      // Lost the slot to a concurrent insert; probe on.
+    }
+    i = (i + 1) & (kMapSlots - 1);
+  }
+  return false;  // map saturated: caller degrades to a synthesized id
+}
+
+std::uint64_t Recorder::map_take(const void* task) noexcept {
+  std::size_t i = ptr_hash(task) & (kMapSlots - 1);
+  for (std::size_t probe = 0; probe < kMaxProbe; ++probe) {
+    Slot& s = map_[i];
+    const void* k = s.key.load(std::memory_order_acquire);
+    if (k == task) {
+      const std::uint64_t id = s.id.load(std::memory_order_relaxed);
+      // Erase with a tombstone so later probes for colliding keys keep
+      // walking; a single CAS suffices — only the executing worker of
+      // this task erases this key.
+      s.key.store(tombstone(), std::memory_order_relaxed);
+      return id;
+    }
+    if (k == nullptr) return 0;  // never inserted (or already past it)
+    i = (i + 1) & (kMapSlots - 1);
+  }
+  return 0;
+}
+
+void Recorder::append(int w, const TraceRecord& r) noexcept {
+  per_worker_[static_cast<std::size_t>(w)]->records.push_back(r);
+}
+
+std::uint64_t Recorder::on_spawn(int w, const void* task,
+                                 std::uint64_t now) noexcept {
+  PerWorker& pw = *per_worker_[static_cast<std::size_t>(w)];
+  const std::uint64_t id = fresh_id(w);
+  const std::uint64_t parent = pw.stack.empty() ? 0 : pw.stack.back().id;
+  // On map saturation the exec side synthesizes a replacement spawn (and
+  // counts it); this record still stands as the structural ground truth.
+  map_insert(task, id);
+  pw.last_spawn = id;
+  TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(RecordKind::kSpawn);
+  r.zone = zones_[static_cast<std::size_t>(w)];
+  r.worker = static_cast<std::uint16_t>(w);
+  r.id = id;
+  r.t0 = now;
+  r.ref = parent;
+  append(w, r);
+  return id;
+}
+
+void Recorder::on_dep(int w, std::uint32_t mode, std::uint64_t addr) noexcept {
+  const std::uint64_t id =
+      per_worker_[static_cast<std::size_t>(w)]->last_spawn;
+  if (id == 0) return;  // no preceding spawn: drop, never crash
+  TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(RecordKind::kDep);
+  r.zone = zones_[static_cast<std::size_t>(w)];
+  r.worker = static_cast<std::uint16_t>(w);
+  r.aux = mode;
+  r.id = id;
+  r.ref = addr;
+  append(w, r);
+}
+
+void Recorder::on_exec_begin(int w, const void* task,
+                             std::uint64_t now) noexcept {
+  PerWorker& pw = *per_worker_[static_cast<std::size_t>(w)];
+  std::uint64_t id = map_take(task);
+  if (id == 0) {
+    // Root task, or the spawn-side insert was crowded out: synthesize the
+    // spawn here so exec records always pair. Parent = our current frame
+    // (exact for the root; best-effort under map overflow).
+    id = fresh_id(w);
+    ++pw.synthesized;
+    TraceRecord r;
+    r.kind = static_cast<std::uint8_t>(RecordKind::kSpawn);
+    r.zone = zones_[static_cast<std::size_t>(w)];
+    r.worker = static_cast<std::uint16_t>(w);
+    r.id = id;
+    r.t0 = now;
+    r.ref = pw.stack.empty() ? 0 : pw.stack.back().id;
+    append(w, r);
+  }
+  if (!pw.stack.empty()) {
+    Frame& top = pw.stack.back();
+    if (top.pause_depth == 0) top.self += now - top.resume;
+  }
+  Frame f;
+  f.id = id;
+  f.begin = now;
+  f.resume = now;
+  pw.stack.push_back(f);
+}
+
+void Recorder::on_exec_end(int w, std::uint64_t now) noexcept {
+  PerWorker& pw = *per_worker_[static_cast<std::size_t>(w)];
+  if (pw.stack.empty()) return;  // unmatched end: drop, never crash
+  Frame f = pw.stack.back();
+  pw.stack.pop_back();
+  if (f.pause_depth == 0) f.self += now - f.resume;
+  TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(RecordKind::kExec);
+  r.zone = zones_[static_cast<std::size_t>(w)];
+  r.worker = static_cast<std::uint16_t>(w);
+  r.id = f.id;
+  r.t0 = f.begin;
+  r.t1 = now;
+  r.ref = f.self;
+  append(w, r);
+  if (!pw.stack.empty()) {
+    Frame& top = pw.stack.back();
+    if (top.pause_depth == 0) top.resume = now;
+  }
+}
+
+void Recorder::on_pause(int w, std::uint64_t now) noexcept {
+  PerWorker& pw = *per_worker_[static_cast<std::size_t>(w)];
+  if (pw.stack.empty()) return;
+  Frame& top = pw.stack.back();
+  if (top.pause_depth++ == 0) top.self += now - top.resume;
+}
+
+void Recorder::on_resume(int w, std::uint64_t now) noexcept {
+  PerWorker& pw = *per_worker_[static_cast<std::size_t>(w)];
+  if (pw.stack.empty()) return;
+  Frame& top = pw.stack.back();
+  if (top.pause_depth > 0 && --top.pause_depth == 0) top.resume = now;
+}
+
+void Recorder::on_steal(int w, int peer, std::uint64_t count, bool direct,
+                        std::uint64_t now) noexcept {
+  TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(direct ? RecordKind::kStealDirect
+                                            : RecordKind::kStealMsg);
+  r.zone = zones_[static_cast<std::size_t>(w)];
+  r.worker = static_cast<std::uint16_t>(w);
+  r.aux = static_cast<std::uint32_t>(peer);
+  r.t0 = now;
+  r.t1 = now;
+  r.ref = count;
+  append(w, r);
+}
+
+void Recorder::on_idle(int w, std::uint64_t enter,
+                       std::uint64_t exit) noexcept {
+  TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(RecordKind::kIdle);
+  r.zone = zones_[static_cast<std::size_t>(w)];
+  r.worker = static_cast<std::uint16_t>(w);
+  r.t0 = enter;
+  r.t1 = exit;
+  append(w, r);
+}
+
+Trace Recorder::build() const {
+  Trace tr;
+  tr.nworkers = static_cast<std::uint32_t>(nworkers_);
+  tr.cycles_per_us = cycles_per_us_;
+  tr.backend = backend_;
+  tr.topology = topology_;
+  std::size_t total = 0;
+  for (const auto& pw : per_worker_) total += pw->records.size();
+  tr.records.reserve(total);
+  for (const auto& pw : per_worker_)
+    tr.records.insert(tr.records.end(), pw->records.begin(),
+                      pw->records.end());
+  return tr;
+}
+
+void Recorder::clear() {
+  for (auto& pw : per_worker_) {
+    pw->records.clear();
+    pw->stack.clear();
+    pw->last_spawn = 0;
+    pw->synthesized = 0;
+  }
+  for (std::size_t i = 0; i < kMapSlots; ++i) {
+    map_[i].key.store(nullptr, std::memory_order_relaxed);
+    map_[i].id.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Recorder::synthesized() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& pw : per_worker_) n += pw->synthesized;
+  return n;
+}
+
+}  // namespace xtask::trace

@@ -1,0 +1,123 @@
+// Lock-less trace recorder for the real runtime (trace=record). The hard
+// constraint it designs around: Task is packed to exactly three cache
+// lines with zero slack, so a trace id cannot live in the task descriptor.
+// Identity instead flows through a fixed-size lock-free inflight map
+// (Task* → id): the spawning worker inserts at allocation, the executing
+// worker looks up (and erases) at execution start. The queue's
+// release/acquire transfer of the Task* orders the insert before the
+// lookup; the map's own release CAS / acquire load covers the same-thread
+// overflow-inline path for free.
+//
+// Everything else is single-writer: each worker appends records to its
+// own padded buffer and maintains its own execution-frame stack (task
+// execution nests strictly stack-like per worker — nested execs happen
+// only inside taskwait/group_wait helping, taskyield, and overflow
+// inlining, all within the outer body). The frame stack is what turns
+// wall intervals into *self* cost: a frame's clock pauses while a nested
+// child executes and while the task sits in a wait loop (on_pause /
+// on_resume around taskwait polling), so the recorded cost is the cycles
+// the task body itself burned — exactly what replay must re-burn.
+//
+// Graceful degradation, never data loss of counts: when the inflight map
+// is full (or a Task* misses at exec time — the root task takes this
+// path), the executing worker synthesizes a fresh id and a spawn record
+// parented to its current frame, so every exec record always has a
+// matching spawn and task counts stay exact; only parent attribution of
+// the synthesized spawn may differ. `synthesized()` exposes how often.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+#include "trace/format.hpp"
+
+namespace xtask::trace {
+
+class Recorder {
+ public:
+  /// `zones[w]` is worker w's NUMA zone (stamped into every record).
+  Recorder(int nworkers, double cycles_per_us, std::string backend,
+           std::string topology, std::vector<std::uint8_t> zones);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // --- hot-path hooks (called by the owning worker only) ------------------
+  /// Task allocated on worker `w`; parent = w's current frame (0 at the
+  /// root). Returns the assigned id.
+  std::uint64_t on_spawn(int w, const void* task, std::uint64_t now) noexcept;
+  /// One dependence item of the task `w` most recently spawned (dep
+  /// records immediately follow their spawn in the worker's stream).
+  void on_dep(int w, std::uint32_t mode, std::uint64_t addr) noexcept;
+  void on_exec_begin(int w, const void* task, std::uint64_t now) noexcept;
+  void on_exec_end(int w, std::uint64_t now) noexcept;
+  /// Bracket wait loops (taskwait/group_wait): the current frame's self
+  /// clock stops so polling is not billed as task work. Nest-safe.
+  void on_pause(int w, std::uint64_t now) noexcept;
+  void on_resume(int w, std::uint64_t now) noexcept;
+  void on_steal(int w, int peer, std::uint64_t count, bool direct,
+                std::uint64_t now) noexcept;
+  void on_idle(int w, std::uint64_t enter, std::uint64_t exit) noexcept;
+
+  // --- collection (quiescent: no region in flight) ------------------------
+  /// Merge per-worker buffers into one Trace (worker-major order, which
+  /// preserves each worker's write order as the format requires).
+  Trace build() const;
+  /// Drop all recorded state (per-region re-arm).
+  void clear();
+  /// Spawn records synthesized at exec time because the inflight map had
+  /// no entry (root tasks; map overflow under extreme in-flight load).
+  std::uint64_t synthesized() const noexcept;
+
+ private:
+  struct Frame {
+    std::uint64_t id = 0;
+    std::uint64_t begin = 0;   // wall begin
+    std::uint64_t self = 0;    // accumulated self cycles
+    std::uint64_t resume = 0;  // last point the self clock restarted
+    std::uint32_t pause_depth = 0;
+  };
+
+  struct alignas(kCacheLine) PerWorker {
+    std::vector<TraceRecord> records;
+    std::vector<Frame> stack;
+    std::uint64_t next_seq = 1;
+    std::uint64_t last_spawn = 0;  // id for trailing dep records
+    std::uint64_t synthesized = 0;
+  };
+
+  struct Slot {
+    std::atomic<const void*> key{nullptr};
+    std::atomic<std::uint64_t> id{0};
+  };
+
+  static constexpr std::size_t kMapSlots = 1u << 16;  // 64Ki in-flight tasks
+  static constexpr std::size_t kMaxProbe = 64;
+  /// Erased-slot sentinel: probes continue past it, inserts may reuse it.
+  static const void* tombstone() noexcept {
+    return reinterpret_cast<const void*>(~std::uintptr_t{0});
+  }
+
+  std::uint64_t fresh_id(int w) noexcept {
+    PerWorker& pw = *per_worker_[static_cast<std::size_t>(w)];
+    return (static_cast<std::uint64_t>(w) + 1) << 40 | pw.next_seq++;
+  }
+  bool map_insert(const void* task, std::uint64_t id) noexcept;
+  /// Find and erase; returns 0 when absent.
+  std::uint64_t map_take(const void* task) noexcept;
+  void append(int w, const TraceRecord& r) noexcept;
+
+  int nworkers_;
+  double cycles_per_us_;
+  std::string backend_;
+  std::string topology_;
+  std::vector<std::uint8_t> zones_;
+  std::vector<std::unique_ptr<PerWorker>> per_worker_;
+  std::unique_ptr<Slot[]> map_;
+};
+
+}  // namespace xtask::trace

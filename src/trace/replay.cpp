@@ -1,0 +1,131 @@
+#include "trace/replay.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "core/common.hpp"
+
+namespace xtask::trace {
+
+std::uint64_t ReplayTree::total_self_cycles() const noexcept {
+  std::uint64_t sum = 0;
+  for (const ReplayNode& n : nodes) sum += n.self_cycles;
+  return sum;
+}
+
+ReplayTree ReplayTree::build(const Trace& tr) {
+  ReplayTree tree;
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  for (std::size_t i = 0; i < tr.records.size(); ++i) {
+    const TraceRecord& r = tr.records[i];
+    if (r.kind != static_cast<std::uint8_t>(RecordKind::kSpawn)) continue;
+    if (index.count(r.id) != 0)
+      throw TraceError("record " + std::to_string(i) +
+                       ": duplicate spawn of task id " + std::to_string(r.id));
+    index.emplace(r.id, static_cast<std::uint32_t>(tree.nodes.size()));
+    ReplayNode n;
+    n.id = r.id;
+    tree.nodes.push_back(std::move(n));
+  }
+  // Second pass links children in record order and attaches exec costs.
+  for (std::size_t i = 0; i < tr.records.size(); ++i) {
+    const TraceRecord& r = tr.records[i];
+    if (r.kind == static_cast<std::uint8_t>(RecordKind::kSpawn)) {
+      const std::uint32_t self = index.at(r.id);
+      const auto pit = index.find(r.ref);
+      if (r.ref != 0 && pit != index.end())
+        tree.nodes[pit->second].children.push_back(self);
+      else
+        tree.roots.push_back(self);
+    } else if (r.kind == static_cast<std::uint8_t>(RecordKind::kExec)) {
+      const auto it = index.find(r.id);
+      if (it == index.end())
+        throw TraceError("record " + std::to_string(i) +
+                         ": exec references unknown task id " +
+                         std::to_string(r.id));
+      tree.nodes[it->second].self_cycles += r.ref;
+    }
+  }
+  return tree;
+}
+
+void spin_cycles(std::uint64_t cycles) noexcept {
+  if (cycles == 0) return;
+  const std::uint64_t t0 = rdtscp();
+  // rdtscp self-measures the spin, so no iteration calibration is needed;
+  // each poll costs a few tens of cycles, bounding overshoot.
+  while (rdtscp() - t0 < cycles) {
+  }
+}
+
+namespace {
+
+/// Canonical replay body: spawn recorded children in order, burn the
+/// recorded self cost, wait for the subtree. Shared by every backend via
+/// the type-erased context.
+void replay_node_real(AnyContext& ctx, const ReplayTree& tree,
+                      std::uint32_t idx, double scale) {
+  const ReplayNode& n = tree.nodes[idx];
+  for (const std::uint32_t c : n.children)
+    ctx.spawn([&tree, c, scale](AnyContext& inner) {
+      replay_node_real(inner, tree, c, scale);
+    });
+  spin_cycles(
+      static_cast<std::uint64_t>(static_cast<double>(n.self_cycles) * scale));
+  if (!n.children.empty()) ctx.taskwait();
+}
+
+void replay_node_sim(sim::SimContext& ctx, const ReplayTree& tree,
+                     std::uint32_t idx, double scale) {
+  const ReplayNode& n = tree.nodes[idx];
+  for (const std::uint32_t c : n.children)
+    ctx.spawn([&tree, c, scale](sim::SimContext& inner) {
+      replay_node_sim(inner, tree, c, scale);
+    });
+  ctx.compute(
+      static_cast<std::uint64_t>(static_cast<double>(n.self_cycles) * scale));
+  if (!n.children.empty()) ctx.taskwait();
+}
+
+}  // namespace
+
+RealReplayResult replay_real(AnyRuntime& rt, const ReplayTree& tree,
+                             double work_scale) {
+  RealReplayResult res;
+  res.tasks = tree.size();
+  if (tree.roots.empty()) return res;
+  const std::uint64_t t0 = rdtscp();
+  rt.run([&tree, work_scale](AnyContext& ctx) {
+    if (tree.roots.size() == 1) {
+      // The common shape: the region root *is* the trace's root task.
+      replay_node_real(ctx, tree, tree.roots[0], work_scale);
+      return;
+    }
+    for (const std::uint32_t r : tree.roots)
+      ctx.spawn([&tree, r, work_scale](AnyContext& inner) {
+        replay_node_real(inner, tree, r, work_scale);
+      });
+    ctx.taskwait();
+  });
+  res.makespan_cycles = rdtscp() - t0;
+  return res;
+}
+
+sim::SimResult replay_sim(const sim::SimConfig& cfg, const ReplayTree& tree,
+                          double work_scale) {
+  sim::SimEngine eng(cfg);
+  if (tree.roots.empty()) return eng.run([](sim::SimContext&) {});
+  return eng.run([&tree, work_scale](sim::SimContext& ctx) {
+    if (tree.roots.size() == 1) {
+      replay_node_sim(ctx, tree, tree.roots[0], work_scale);
+      return;
+    }
+    for (const std::uint32_t r : tree.roots)
+      ctx.spawn([&tree, r, work_scale](sim::SimContext& inner) {
+        replay_node_sim(inner, tree, r, work_scale);
+      });
+    ctx.taskwait();
+  });
+}
+
+}  // namespace xtask::trace

@@ -1,0 +1,66 @@
+// Trace replay: re-run a recorded task structure on either executor.
+//
+// A trace's spawn records define a forest (parent id 0 / unknown = root)
+// and its exec records give each task a measured self-cost in cycles.
+// Replay canonicalizes every task to the same shape on both executors:
+//
+//     spawn children (in recorded order) → do self-cost work → taskwait
+//
+// On the real runtime the "work" is a calibrated rdtscp spin of the
+// recorded cycles, driven through the type-erased AnyRuntime/AnyContext
+// surface so one driver replays on every registry backend
+// (`narp`/`naws`/adaptive/gomp/...). On the simulator the work is
+// SimContext::compute(cycles), so the sim's cost model (queue ops, steal
+// protocol, NUMA inflation) prices the *scheduling* of the identical
+// structure — which is what the cross-calibration in bench_replay fits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "registry/any_runtime.hpp"
+#include "sim/engine.hpp"
+#include "trace/format.hpp"
+
+namespace xtask::trace {
+
+/// One task of the replayable forest.
+struct ReplayNode {
+  std::uint64_t id = 0;
+  std::uint64_t self_cycles = 0;
+  std::vector<std::uint32_t> children;  // indices into ReplayTree::nodes
+};
+
+/// The spawn forest of a trace, indexed for replay.
+struct ReplayTree {
+  std::vector<ReplayNode> nodes;
+  std::vector<std::uint32_t> roots;  // indices, in record order
+
+  std::size_t size() const noexcept { return nodes.size(); }
+  std::uint64_t total_self_cycles() const noexcept;
+
+  /// Build from a trace. Throws TraceError when an exec record names an
+  /// unknown task id (the diagnostics name the record index).
+  static ReplayTree build(const Trace& tr);
+};
+
+/// Busy-spin for ~`cycles` rdtscp cycles (the real-replay work body).
+void spin_cycles(std::uint64_t cycles) noexcept;
+
+struct RealReplayResult {
+  std::uint64_t makespan_cycles = 0;  // rdtscp span of the whole region
+  std::uint64_t tasks = 0;            // tasks the replay spawned (= tree)
+};
+
+/// Replay on a registry-constructed runtime. `work_scale` scales every
+/// self-cost (1.0 = recorded cycles). The tree must outlive the call.
+RealReplayResult replay_real(AnyRuntime& rt, const ReplayTree& tree,
+                             double work_scale = 1.0);
+
+/// Replay on the simulator: same canonical structure, work charged as
+/// ctx.compute(self_cycles * work_scale) under `cfg`'s cost model.
+sim::SimResult replay_sim(const sim::SimConfig& cfg, const ReplayTree& tree,
+                          double work_scale = 1.0);
+
+}  // namespace xtask::trace

@@ -4,8 +4,12 @@
 // inflation).
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "sim/engine.hpp"
 #include "sim/workloads.hpp"
+#include "trace/format.hpp"
 
 namespace xtask::sim {
 namespace {
@@ -57,6 +61,42 @@ TEST(SimEngine, DeterministicAcrossRuns) {
   EXPECT_EQ(r1.makespan, r2.makespan);
   EXPECT_EQ(r1.tasks, r2.tasks);
   EXPECT_EQ(r1.totals.ntasks_self, r2.totals.ntasks_self);
+}
+
+TEST(SimEngine, TraceRecordingIsBitIdenticalAcrossRuns) {
+  // The fiber scheduler resumes the smallest virtual clock first, so for a
+  // fixed seed the event interleaving — and therefore the recorded trace —
+  // is fully deterministic. Serialize the trace of 10 fresh engines and
+  // demand byte equality, which is what lets a trace serve as a regression
+  // artifact (tests/golden) rather than a flaky snapshot.
+  SimConfig cfg = cfg_with(SimPolicy::kXGompTB, 16, 4);
+  cfg.dlb = SimDlb::kWorkSteal;
+  cfg.record_trace = true;
+  std::string first;
+  for (int run = 0; run < 10; ++run) {
+    SimEngine eng(cfg);
+    const auto wl = wl_fib(14);
+    const auto res = eng.run(wl.root);
+    const trace::Trace& tr = eng.trace();
+    ASSERT_NO_THROW(tr.validate()) << "run " << run;
+    ASSERT_EQ(tr.spawn_count(), res.tasks) << "run " << run;
+    ASSERT_EQ(tr.exec_count(), res.tasks) << "run " << run;
+    std::ostringstream os;
+    trace::write_binary(tr, os);
+    if (run == 0) {
+      first = os.str();
+      ASSERT_FALSE(first.empty());
+    } else {
+      ASSERT_EQ(os.str(), first) << "trace diverged on run " << run;
+    }
+  }
+}
+
+TEST(SimEngine, TraceOffRecordsNothing) {
+  SimEngine eng(cfg_with(SimPolicy::kXGompTB, 8, 2));
+  const auto wl = wl_fib(10);
+  eng.run(wl.root);
+  EXPECT_TRUE(eng.trace().records.empty());
 }
 
 TEST(SimEngine, RecursiveFibTaskCountIsExact) {

@@ -34,6 +34,33 @@ TEST(TraceExport, EventsBecomeCompleteSpans) {
   EXPECT_NE(json.find("\"ts\":10.000"), std::string::npos);
 }
 
+TEST(TraceExport, RawCyclesRideAlongsideScaledDisplay) {
+  // cycles_per_us is display-only: changing it must rescale ts/dur but
+  // leave the raw cycle payload ("sc"/"dc") and the clock metadata intact,
+  // and the legacy ts/dur fields must keep their exact shape so existing
+  // consumers parse unchanged.
+  Profiler prof(1, true);
+  prof.thread(0).record(EventKind::kTask, 21'000, 42'000);
+  TraceExportOptions opts;
+  opts.cycles_per_us = 2100.0;
+  const std::string at_2100 = trace_to_json(prof, opts);
+  opts.cycles_per_us = 1050.0;
+  const std::string at_1050 = trace_to_json(prof, opts);
+  // Back-compat: the scaled fields look exactly as they always did.
+  EXPECT_NE(at_2100.find("\"ts\":0.000,\"dur\":10.000"), std::string::npos);
+  EXPECT_NE(at_1050.find("\"ts\":0.000,\"dur\":20.000"), std::string::npos);
+  // Raw cycles are rate-independent.
+  EXPECT_NE(at_2100.find("\"args\":{\"sc\":0,\"dc\":21000}"),
+            std::string::npos);
+  EXPECT_NE(at_1050.find("\"args\":{\"sc\":0,\"dc\":21000}"),
+            std::string::npos);
+  // The clock record names the display rate and the absolute t0 anchor.
+  EXPECT_NE(at_2100.find("\"name\":\"xtask_clock\""), std::string::npos);
+  EXPECT_NE(at_2100.find("\"cycles_per_us\":2100.000"), std::string::npos);
+  EXPECT_NE(at_2100.find("\"t0_cycles\":21000"), std::string::npos);
+  EXPECT_NE(at_1050.find("\"cycles_per_us\":1050.000"), std::string::npos);
+}
+
 TEST(TraceExport, MinCyclesFilters) {
   Profiler prof(1, true);
   prof.thread(0).record(EventKind::kTask, 0, 10);      // 10 cycles

@@ -1,0 +1,468 @@
+// Property/fuzz tests for the scheduler-trace format (src/trace/format.hpp):
+//   * arbitrary generated traces round-trip through both encodings;
+//   * truncated, corrupted, and version-skewed inputs fail with a
+//     TraceError naming the offending record/line — and never crash,
+//     hang, or throw anything else;
+//   * the DAG fingerprint is invariant under relabeling/retiming and
+//     sensitive to structure.
+// Generation uses the same hand-rolled SplitMix64 driver as
+// test_spec_props.cpp: deterministic, seed printed on failure, no external
+// property-testing dependency.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace xtask::trace {
+namespace {
+
+/// SplitMix64: tiny, seedable, good enough to drive case generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [lo, hi] (inclusive).
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next() % (hi - lo + 1);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Meta strings restricted to the sanitizer-stable charset, so write ->
+/// read reproduces them byte-for-byte.
+std::string arb_meta(Rng& rng) {
+  static const char cs[] = "abcdefghijklmnopqrstuvwxyz0123456789:=,.x-";
+  std::string s;
+  const std::size_t n = rng.range(0, 24);
+  for (std::size_t i = 0; i < n; ++i)
+    s += cs[rng.range(0, sizeof(cs) - 2)];
+  return s;
+}
+
+/// An arbitrary *well-formed* trace: valid kinds, in-range workers/peers,
+/// unique nonzero spawn ids, ordered intervals — i.e. anything a real
+/// recorder could legally emit.
+Trace arb_trace(Rng& rng) {
+  Trace tr;
+  tr.nworkers = static_cast<std::uint32_t>(rng.range(1, 16));
+  // %.3f-exact rate so the JSONL round trip is lossless.
+  tr.cycles_per_us = static_cast<double>(rng.range(0, 40'000)) * 0.125;
+  tr.backend = arb_meta(rng);
+  tr.topology = arb_meta(rng);
+  const std::size_t n = rng.range(0, 200);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.kind = static_cast<std::uint8_t>(rng.range(1, 6));
+    r.worker = static_cast<std::uint16_t>(rng.range(0, tr.nworkers - 1));
+    r.zone = static_cast<std::uint8_t>(rng.range(0, 3));
+    switch (static_cast<RecordKind>(r.kind)) {
+      case RecordKind::kSpawn:
+        r.id = next_id++;
+        r.t0 = rng.next() >> 16;
+        r.ref = ids.empty() ? 0 : ids[rng.range(0, ids.size() - 1)];
+        ids.push_back(r.id);
+        break;
+      case RecordKind::kExec:
+        r.id = ids.empty() ? next_id++ : ids[rng.range(0, ids.size() - 1)];
+        r.t0 = rng.next() >> 16;
+        r.t1 = r.t0 + rng.range(0, 1 << 20);
+        r.ref = rng.range(0, 1 << 20);
+        break;
+      case RecordKind::kStealMsg:
+      case RecordKind::kStealDirect:
+        r.aux = static_cast<std::uint32_t>(rng.range(0, tr.nworkers - 1));
+        r.t0 = rng.next() >> 16;
+        r.t1 = r.t0;
+        r.ref = rng.range(1, 64);
+        break;
+      case RecordKind::kIdle:
+        r.t0 = rng.next() >> 16;
+        r.t1 = r.t0 + rng.range(0, 1 << 24);
+        break;
+      case RecordKind::kDep:
+        r.id = ids.empty() ? next_id++ : ids.back();
+        r.aux = static_cast<std::uint32_t>(rng.range(0, 2));
+        r.ref = rng.next();
+        break;
+    }
+    tr.records.push_back(r);
+  }
+  return tr;
+}
+
+void expect_equal(const Trace& a, const Trace& b, const std::string& ctx) {
+  ASSERT_EQ(a.version, b.version) << ctx;
+  ASSERT_EQ(a.nworkers, b.nworkers) << ctx;
+  ASSERT_DOUBLE_EQ(a.cycles_per_us, b.cycles_per_us) << ctx;
+  ASSERT_EQ(a.backend, b.backend) << ctx;
+  ASSERT_EQ(a.topology, b.topology) << ctx;
+  ASSERT_EQ(a.records.size(), b.records.size()) << ctx;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const TraceRecord& x = a.records[i];
+    const TraceRecord& y = b.records[i];
+    ASSERT_EQ(x.kind, y.kind) << ctx << " record " << i;
+    ASSERT_EQ(x.zone, y.zone) << ctx << " record " << i;
+    ASSERT_EQ(x.worker, y.worker) << ctx << " record " << i;
+    ASSERT_EQ(x.aux, y.aux) << ctx << " record " << i;
+    ASSERT_EQ(x.id, y.id) << ctx << " record " << i;
+    ASSERT_EQ(x.t0, y.t0) << ctx << " record " << i;
+    ASSERT_EQ(x.t1, y.t1) << ctx << " record " << i;
+    ASSERT_EQ(x.ref, y.ref) << ctx << " record " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(TraceFormatProps, BinaryRoundTripsArbitraryTraces) {
+  Rng rng(0xB1A5Full);
+  for (int i = 0; i < 200; ++i) {
+    const Trace tr = arb_trace(rng);
+    std::stringstream ss;
+    write_binary(tr, ss);
+    const Trace back = read_binary(ss);
+    expect_equal(tr, back, "binary case " + std::to_string(i));
+    ASSERT_NO_THROW(back.validate()) << "case " << i;
+  }
+}
+
+TEST(TraceFormatProps, JsonlRoundTripsArbitraryTraces) {
+  Rng rng(0x15C0DEull);
+  for (int i = 0; i < 200; ++i) {
+    const Trace tr = arb_trace(rng);
+    std::stringstream ss;
+    write_jsonl(tr, ss);
+    const Trace back = read_jsonl(ss);
+    expect_equal(tr, back, "jsonl case " + std::to_string(i));
+  }
+}
+
+TEST(TraceFormatProps, EncodingsAgreeOnDerivedViews) {
+  Rng rng(0xD1CEull);
+  for (int i = 0; i < 50; ++i) {
+    const Trace tr = arb_trace(rng);
+    std::stringstream sb, sj;
+    write_binary(tr, sb);
+    write_jsonl(tr, sj);
+    const Trace b = read_binary(sb);
+    const Trace j = read_jsonl(sj);
+    ASSERT_EQ(b.dag_fingerprint(), j.dag_fingerprint()) << i;
+    ASSERT_EQ(b.spawn_count(), j.spawn_count()) << i;
+    ASSERT_EQ(b.makespan_cycles(), j.makespan_cycles()) << i;
+    ASSERT_EQ(b.busy_per_worker(), j.busy_per_worker()) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile inputs: fail loudly, name the damage, never crash or hang.
+
+std::string binary_bytes(const Trace& tr) {
+  std::stringstream ss;
+  write_binary(tr, ss);
+  return ss.str();
+}
+
+TEST(TraceFormatProps, TruncatedBinaryNamesTheCut) {
+  Rng rng(0x7142Cull);
+  const Trace tr = arb_trace(rng);
+  const std::string full = binary_bytes(tr);
+  // Every proper prefix must be rejected with a TraceError; prefixes long
+  // enough to reach the record stream must name the record index.
+  for (std::size_t cut = 0; cut < full.size(); cut += 7) {
+    std::stringstream ss(full.substr(0, cut));
+    try {
+      read_binary(ss);
+      FAIL() << "prefix of " << cut << " bytes parsed as a full trace";
+    } catch (const TraceError& e) {
+      const std::string msg = e.what();
+      EXPECT_TRUE(msg.find("truncated") != std::string::npos ||
+                  msg.find("bad magic") != std::string::npos ||
+                  msg.find("cut short") != std::string::npos)
+          << "cut=" << cut << ": " << msg;
+    }
+  }
+}
+
+TEST(TraceFormatProps, TruncationDiagnosticNamesRecordIndex) {
+  Trace tr;
+  tr.nworkers = 2;
+  for (int i = 0; i < 5; ++i) {
+    TraceRecord r;
+    r.kind = static_cast<std::uint8_t>(RecordKind::kSpawn);
+    r.id = static_cast<std::uint64_t>(i + 1);
+    tr.records.push_back(r);
+  }
+  const std::string full = binary_bytes(tr);
+  // Cut mid-way through record 3.
+  std::stringstream ss(
+      full.substr(0, full.size() - 2 * sizeof(TraceRecord) + 5));
+  try {
+    read_binary(ss);
+    FAIL() << "truncated stream parsed";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("record 3 of 5"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFormatProps, VersionSkewIsRejectedByBothEncodings) {
+  Trace tr;
+  tr.nworkers = 1;
+  std::string bytes = binary_bytes(tr);
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  std::stringstream sb(bytes);
+  try {
+    read_binary(sb);
+    FAIL() << "version 99 accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported trace version 99"),
+              std::string::npos)
+        << e.what();
+  }
+  std::stringstream sj("{\"xtask_trace\":99,\"nworkers\":1}\n");
+  try {
+    read_jsonl(sj);
+    FAIL() << "version 99 accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported trace version 99"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFormatProps, BadMagicIsNamed) {
+  std::stringstream ss(std::string("NOPE") + std::string(64, '\0'));
+  try {
+    read_binary(ss);
+    FAIL() << "bad magic accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+}
+
+TEST(TraceFormatProps, SingleByteCorruptionNeverCrashes) {
+  Rng rng(0xC0442ull);
+  for (int i = 0; i < 300; ++i) {
+    Trace tr = arb_trace(rng);
+    std::string bytes = binary_bytes(tr);
+    if (bytes.empty()) continue;
+    const std::size_t at = rng.range(0, bytes.size() - 1);
+    bytes[at] = static_cast<char>(rng.next());
+    std::stringstream ss(bytes);
+    try {
+      const Trace back = read_binary(ss);
+      // Parse may legitimately succeed (the flip landed in a timestamp);
+      // validation may still object, which must also be a clean TraceError.
+      try {
+        back.validate();
+      } catch (const TraceError&) {
+      }
+    } catch (const TraceError&) {
+      // Named rejection is the expected failure mode.
+    }
+  }
+}
+
+TEST(TraceFormatProps, RandomGarbageNeverCrashesEitherReader) {
+  Rng rng(0x6A46A6Eull);
+  for (int i = 0; i < 300; ++i) {
+    std::string junk;
+    const std::size_t n = rng.range(0, 512);
+    for (std::size_t b = 0; b < n; ++b)
+      junk += static_cast<char>(rng.next());
+    // Half the cases get a plausible prefix so the readers run deeper.
+    if (rng.next() & 1) junk = std::string("XTRC", 4) + junk;
+    std::stringstream sb(junk);
+    try {
+      read_binary(sb);
+    } catch (const TraceError&) {
+    }
+    std::stringstream sj(junk);
+    try {
+      read_jsonl(sj);
+    } catch (const TraceError&) {
+    }
+  }
+}
+
+TEST(TraceFormatProps, JsonlDiagnosticsNameLineAndRecord) {
+  std::stringstream ss(
+      "{\"xtask_trace\":1,\"nworkers\":2}\n"
+      "{\"k\":\"spawn\",\"w\":0,\"id\":1,\"t0\":5,\"ref\":0}\n"
+      "{\"w\":1,\"id\":2}\n");  // record 1 on line 3: no "k"
+  try {
+    read_jsonl(ss);
+    FAIL() << "record without kind accepted";
+  } catch (const TraceError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\"k\""), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceFormatProps, JsonlUnknownKindNamesTheKind) {
+  std::stringstream ss(
+      "{\"xtask_trace\":1,\"nworkers\":1}\n"
+      "{\"k\":\"teleport\",\"w\":0}\n");
+  try {
+    read_jsonl(ss);
+    FAIL() << "unknown kind accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown record kind 'teleport'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFormatProps, HeaderlessJsonlIsRejected) {
+  std::stringstream ss("{\"k\":\"spawn\",\"w\":0,\"id\":1}\n");
+  EXPECT_THROW(read_jsonl(ss), TraceError);
+  std::stringstream empty("");
+  EXPECT_THROW(read_jsonl(empty), TraceError);
+}
+
+TEST(TraceFormatProps, OverflowingNumbersAreRejectedNotWrapped) {
+  std::stringstream ss(
+      "{\"xtask_trace\":1,\"nworkers\":1}\n"
+      "{\"k\":\"spawn\",\"w\":99999999999999999999999,\"id\":1}\n");
+  EXPECT_THROW(read_jsonl(ss), TraceError);
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+
+TEST(TraceFormatProps, ValidateNamesDuplicateSpawn) {
+  Trace tr;
+  tr.nworkers = 1;
+  TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(RecordKind::kSpawn);
+  r.id = 7;
+  tr.records.push_back(r);
+  tr.records.push_back(r);
+  try {
+    tr.validate();
+    FAIL() << "duplicate spawn id accepted";
+  } catch (const TraceError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate spawn of task id 7"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(TraceFormatProps, ValidateNamesWorkerOutOfRange) {
+  Trace tr;
+  tr.nworkers = 2;
+  TraceRecord r;
+  r.kind = static_cast<std::uint8_t>(RecordKind::kIdle);
+  r.worker = 5;
+  tr.records.push_back(r);
+  try {
+    tr.validate();
+    FAIL() << "out-of-range worker accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("worker 5 out of range"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint invariants.
+
+TEST(TraceFormatProps, FingerprintIgnoresIdsWorkersAndTiming) {
+  Rng rng(0xF16Eull);
+  for (int i = 0; i < 100; ++i) {
+    const Trace tr = arb_trace(rng);
+    Trace relabeled = tr;
+    // Order-preserving relabel (shift every id), scramble workers/times.
+    constexpr std::uint64_t kShift = 1'000'000;
+    for (TraceRecord& r : relabeled.records) {
+      if (r.id != 0) r.id += kShift;
+      if (r.kind == static_cast<std::uint8_t>(RecordKind::kSpawn) &&
+          r.ref != 0)
+        r.ref += kShift;
+      r.worker = static_cast<std::uint16_t>(rng.range(0, 15));
+      r.t0 = rng.next();
+      if (r.kind == static_cast<std::uint8_t>(RecordKind::kExec))
+        r.ref = rng.next();  // costs are not structure
+    }
+    ASSERT_EQ(tr.dag_fingerprint(), relabeled.dag_fingerprint())
+        << "case " << i;
+  }
+}
+
+TEST(TraceFormatProps, FingerprintSeesStructuralChange) {
+  // a -> {b, c} vs a -> b -> c: same node count, different shape.
+  const auto spawn = [](std::uint64_t id, std::uint64_t parent) {
+    TraceRecord r;
+    r.kind = static_cast<std::uint8_t>(RecordKind::kSpawn);
+    r.id = id;
+    r.ref = parent;
+    return r;
+  };
+  Trace wide, deep;
+  wide.nworkers = deep.nworkers = 1;
+  wide.records = {spawn(1, 0), spawn(2, 1), spawn(3, 1)};
+  deep.records = {spawn(1, 0), spawn(2, 1), spawn(3, 2)};
+  EXPECT_NE(wide.dag_fingerprint(), deep.dag_fingerprint());
+  // Sibling order is part of the structure (replay spawns in record
+  // order), so swapping two siblings with different subtrees changes it.
+  Trace ab, ba;
+  ab.nworkers = ba.nworkers = 1;
+  ab.records = {spawn(1, 0), spawn(2, 1), spawn(3, 1), spawn(4, 2)};
+  ba.records = {spawn(1, 0), spawn(2, 1), spawn(3, 1), spawn(4, 3)};
+  EXPECT_NE(ab.dag_fingerprint(), ba.dag_fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// File helpers.
+
+TEST(TraceFormatProps, FileRoundTripPicksEncodingByExtension) {
+  Rng rng(0xF11Eull);
+  const Trace tr = arb_trace(rng);
+  const std::string jpath = "/tmp/xtask_trace_props.jsonl";
+  const std::string bpath = "/tmp/xtask_trace_props.trace";
+  write_file(tr, jpath);
+  write_file(tr, bpath);
+  // JSONL file must be line-oriented text starting with the header.
+  {
+    std::ifstream f(jpath);
+    std::string first;
+    std::getline(f, first);
+    EXPECT_EQ(first.rfind("{\"xtask_trace\":1", 0), 0u) << first;
+  }
+  expect_equal(tr, read_file(jpath), "jsonl file");
+  expect_equal(tr, read_file(bpath), "binary file");
+  std::remove(jpath.c_str());
+  std::remove(bpath.c_str());
+}
+
+TEST(TraceFormatProps, MissingFileIsNamed) {
+  try {
+    read_file("/tmp/xtask_no_such_trace_file.bin");
+    FAIL() << "missing file accepted";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("xtask_no_such_trace_file"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xtask::trace

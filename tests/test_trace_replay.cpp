@@ -1,0 +1,414 @@
+// Golden-trace regression suite (label `trace`): record a scheduler trace
+// from the real runtime, replay it — on the real runtime through the
+// type-erased registry surface and on the simulator — and demand the
+// replayed execution reproduces the recorded task DAG exactly.
+//
+// The invariant under test is *structural*: a trace's spawn forest, hashed
+// by Trace::dag_fingerprint (ids, workers, timestamps and costs excluded),
+// must survive record -> replay -> re-record across every DLB protocol
+// (NA-RP, NA-WS, adaptive). Timings legitimately differ per run and per
+// backend; the DAG and the exact task counts may not.
+//
+// Three checked-in golden traces (tests/golden/*.jsonl) pin known
+// workloads — fib recursion, sparselu's phased block sweep, a bursty
+// serve-style arrival pattern — so a format or replay regression is caught
+// against files an older build wrote, not just against this build's own
+// recordings. Regenerate with:
+//   XTASK_REGEN_GOLDENS=1 ./test_trace_replay --gtest_also_run_disabled_tests
+//       --gtest_filter='*RegenerateGoldenFiles*'
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "registry/registry.hpp"
+#include "sim/engine.hpp"
+#include "trace/format.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
+
+#ifndef XTASK_GOLDEN_DIR
+#define XTASK_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace xtask {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference workloads. Structure is a pure function of the workload code —
+// never of worker ids, timing, or scheduling — so the recorded DAG is
+// deterministic on every backend even though the schedule is not.
+
+void fib_task(AnyContext& ctx, int n) {
+  if (n < 2) {
+    trace::spin_cycles(400);
+    return;
+  }
+  ctx.spawn([n](AnyContext& c) { fib_task(c, n - 1); });
+  ctx.spawn([n](AnyContext& c) { fib_task(c, n - 2); });
+  trace::spin_cycles(200);
+  ctx.taskwait();
+}
+
+/// Phased block sweep in the shape of BOTS sparselu: per elimination step
+/// a diagonal factor, then a row/column panel wave, then the trailing
+/// update wave, with a taskwait barrier between waves.
+void sparselu_root(AnyContext& ctx, int nblocks) {
+  for (int k = 0; k < nblocks; ++k) {
+    trace::spin_cycles(1'500);  // lu0 on the diagonal block
+    for (int j = k + 1; j < nblocks; ++j) {
+      ctx.spawn([](AnyContext&) { trace::spin_cycles(900); });   // fwd
+      ctx.spawn([](AnyContext&) { trace::spin_cycles(1'100); }); // bdiv
+    }
+    ctx.taskwait();
+    for (int i = k + 1; i < nblocks; ++i)
+      for (int j = k + 1; j < nblocks; ++j)
+        ctx.spawn([](AnyContext&) { trace::spin_cycles(700); }); // bmod
+    ctx.taskwait();
+  }
+}
+
+/// Serve-style bursts: seeded SplitMix64 drives burst sizes and per-task
+/// cost classes, and a third of the tasks fan out into two subtasks — the
+/// irregular, bursty arrival pattern the overload experiments use.
+void bursty_serve_root(AnyContext& ctx, std::uint64_t seed, int bursts) {
+  std::uint64_t s = seed;
+  const auto next = [&s]() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (int b = 0; b < bursts; ++b) {
+    const int burst = 4 + static_cast<int>(next() % 12);
+    for (int i = 0; i < burst; ++i) {
+      const std::uint64_t cost = 500 * (1 + next() % 8);
+      const bool fan_out = next() % 3 == 0;
+      ctx.spawn([cost, fan_out](AnyContext& c) {
+        trace::spin_cycles(cost);
+        if (fan_out) {
+          c.spawn([cost](AnyContext&) { trace::spin_cycles(cost / 2); });
+          c.spawn([cost](AnyContext&) { trace::spin_cycles(cost / 2); });
+          c.taskwait();
+        }
+      });
+    }
+    ctx.taskwait();
+  }
+}
+
+struct GoldenCase {
+  const char* file;
+  void (*root)(AnyContext&);
+};
+
+void golden_fib(AnyContext& ctx) { fib_task(ctx, 12); }
+void golden_sparselu(AnyContext& ctx) { sparselu_root(ctx, 5); }
+void golden_bursty(AnyContext& ctx) {
+  bursty_serve_root(ctx, 0xB1657Eull, 6);
+}
+
+const GoldenCase kGoldens[] = {
+    {"fib.jsonl", &golden_fib},
+    {"sparselu.jsonl", &golden_sparselu},
+    {"bursty_serve.jsonl", &golden_bursty},
+};
+
+/// The DLB protocols the replay must hold across (§IV): redirect-push,
+/// work-steal, and the adaptive layer. All record while they run.
+const char* kRecordingBackends[] = {
+    "xtask:topo=2x2,dlb=narp,trace=record",
+    "xtask:topo=2x2,dlb=naws,tint=128,trace=record",
+    "xtask:topo=2x2,dlb=adaptive,trace=record",
+};
+
+/// Record `root` on `spec` (which must name a trace=record xtask backend)
+/// and return the built trace.
+trace::Trace record(const std::string& spec,
+                    const std::function<void(AnyContext&)>& root) {
+  AnyRuntime rt = RuntimeRegistry::make(spec);
+  Runtime* xrt = rt.get_if<Runtime>();
+  if (xrt == nullptr || xrt->tracer() == nullptr) {
+    ADD_FAILURE() << "spec '" << spec << "' did not produce a recording "
+                  << "xtask runtime";
+    return {};
+  }
+  rt.run(root);
+  return xrt->tracer()->build();
+}
+
+std::string golden_path(const char* file) {
+  return std::string(XTASK_GOLDEN_DIR) + "/" + file;
+}
+
+// ---------------------------------------------------------------------------
+// Recording from the live runtime.
+
+TEST(TraceRecord, RecordedTraceIsWellFormedAndExact) {
+  const trace::Trace tr =
+      record("xtask:topo=2x2,trace=record", &golden_fib);
+  ASSERT_NO_THROW(tr.validate());
+  EXPECT_EQ(tr.nworkers, 4u);
+  EXPECT_GT(tr.cycles_per_us, 0.0);
+  EXPECT_EQ(tr.backend, "xtask");
+  // fib(12) tasks: 2*fib_nodes(12)-1 spawns below the root, plus the root.
+  const std::function<std::uint64_t(int)> nodes = [&](int n) -> std::uint64_t {
+    return n < 2 ? 1 : 1 + nodes(n - 1) + nodes(n - 2);
+  };
+  const std::uint64_t expect = nodes(12) - 1 + 1;  // root body is fib(12)
+  EXPECT_EQ(tr.spawn_count(), expect);
+  // Every spawn executed exactly once — counts are exact, not approximate.
+  EXPECT_EQ(tr.exec_count(), tr.spawn_count());
+}
+
+TEST(TraceRecord, SelfCostExcludesWaitPollingAndNestedChildren) {
+  // One parent spins S cycles and taskwaits on a child spinning C; with
+  // pause/resume bracketing the wait loop, the parent's recorded self cost
+  // must be ~S — not S + C + the (unbounded) poll time. Single worker
+  // forces the child to run nested inside the parent's taskwait, which is
+  // exactly the case frame pausing exists for.
+  const trace::Trace tr = record(
+      "xtask:threads=1,trace=record", [](AnyContext& ctx) {
+        ctx.spawn([](AnyContext&) { trace::spin_cycles(2'000'000); });
+        trace::spin_cycles(100'000);
+        ctx.taskwait();
+      });
+  std::uint64_t root_self = 0, child_self = 0;
+  for (const trace::TraceRecord& r : tr.records) {
+    if (r.kind != static_cast<std::uint8_t>(trace::RecordKind::kExec))
+      continue;
+    // Two exec records; the cost classes are far enough apart (100k vs 2M)
+    // to identify each regardless of id assignment.
+    if (r.ref >= 1'500'000)
+      child_self = r.ref;
+    else
+      root_self = r.ref;
+  }
+  ASSERT_GT(child_self, 0u);
+  ASSERT_GT(root_self, 0u);
+  // Parent self ≈ 100k: allow generous slack for the spin poll overshoot
+  // and hook overhead, but it must be nowhere near the child's 2M.
+  EXPECT_LT(root_self, 1'000'000u);
+  EXPECT_GE(root_self, 100'000u);
+}
+
+TEST(TraceRecord, ClearReArmsTheRecorderBetweenRegions) {
+  AnyRuntime rt = RuntimeRegistry::make("xtask:topo=2x2,trace=record");
+  Runtime* xrt = rt.get_if<Runtime>();
+  ASSERT_NE(xrt, nullptr);
+  rt.run(&golden_fib);
+  const trace::Trace first = xrt->tracer()->build();
+  xrt->tracer()->clear();
+  rt.run(&golden_fib);
+  const trace::Trace second = xrt->tracer()->build();
+  // Same workload, fresh buffers: same structure, not an accumulation.
+  EXPECT_EQ(second.spawn_count(), first.spawn_count());
+  EXPECT_EQ(second.dag_fingerprint(), first.dag_fingerprint());
+}
+
+TEST(TraceRecord, TracefileSinkIsWrittenOnShutdown) {
+  const std::string path = "/tmp/xtask_replay_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    AnyRuntime rt = RuntimeRegistry::make(
+        "xtask:topo=2x2,trace=record,tracefile=" + path);
+    rt.run(&golden_fib);
+    // The dump happens in the runtime destructor (end of this scope).
+  }
+  const trace::Trace tr = trace::read_file(path);
+  ASSERT_NO_THROW(tr.validate());
+  EXPECT_GT(tr.spawn_count(), 0u);
+  EXPECT_EQ(tr.exec_count(), tr.spawn_count());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Record -> replay -> re-record: the DAG must survive, exactly.
+
+TEST(TraceReplay, RerecordedReplayReproducesDagAcrossProtocols) {
+  for (const GoldenCase& g : kGoldens) {
+    const trace::Trace reference =
+        record("xtask:topo=2x2,trace=record", g.root);
+    const std::uint64_t want_fp = reference.dag_fingerprint();
+    const trace::ReplayTree tree = trace::ReplayTree::build(reference);
+    ASSERT_EQ(tree.size(), reference.spawn_count()) << g.file;
+    for (const char* backend : kRecordingBackends) {
+      AnyRuntime rt = RuntimeRegistry::make(backend);
+      Runtime* xrt = rt.get_if<Runtime>();
+      ASSERT_NE(xrt, nullptr) << backend;
+      const trace::RealReplayResult res = trace::replay_real(rt, tree, 0.25);
+      EXPECT_EQ(res.tasks, tree.size()) << backend;
+      const trace::Trace rerec = xrt->tracer()->build();
+      ASSERT_NO_THROW(rerec.validate()) << backend << " " << g.file;
+      // Exact counts: every recorded task replays exactly once.
+      EXPECT_EQ(rerec.spawn_count(), reference.spawn_count())
+          << backend << " " << g.file;
+      EXPECT_EQ(rerec.exec_count(), reference.exec_count())
+          << backend << " " << g.file;
+      // Identical DAG, even though every id, worker and timing differs.
+      EXPECT_EQ(rerec.dag_fingerprint(), want_fp)
+          << backend << " " << g.file;
+    }
+  }
+}
+
+TEST(TraceReplay, ReplayIsIdempotentThroughASerializedRoundTrip) {
+  // record -> serialize -> parse -> replay -> re-record -> serialize must
+  // reach the same fingerprint: the on-disk formats carry everything
+  // structural.
+  const trace::Trace reference =
+      record("xtask:topo=2x2,trace=record", &golden_bursty);
+  std::stringstream ss;
+  trace::write_jsonl(reference, ss);
+  const trace::Trace parsed = trace::read_jsonl(ss);
+  const trace::ReplayTree tree = trace::ReplayTree::build(parsed);
+  const trace::Trace rerec = [&] {
+    AnyRuntime rt = RuntimeRegistry::make(kRecordingBackends[1]);
+    trace::replay_real(rt, tree, 0.25);
+    return rt.get_if<Runtime>()->tracer()->build();
+  }();
+  EXPECT_EQ(rerec.dag_fingerprint(), reference.dag_fingerprint());
+  EXPECT_EQ(rerec.spawn_count(), reference.spawn_count());
+}
+
+// ---------------------------------------------------------------------------
+// Golden files: regressions are caught against committed artifacts.
+
+TEST(TraceGolden, GoldenFilesParseValidateAndFingerprint) {
+  for (const GoldenCase& g : kGoldens) {
+    SCOPED_TRACE(g.file);
+    trace::Trace tr;
+    ASSERT_NO_THROW(tr = trace::read_file(golden_path(g.file)));
+    ASSERT_NO_THROW(tr.validate());
+    EXPECT_GT(tr.spawn_count(), 0u);
+    EXPECT_EQ(tr.exec_count(), tr.spawn_count());
+    EXPECT_NE(tr.dag_fingerprint(), 0u);
+  }
+}
+
+TEST(TraceGolden, GoldenStructureMatchesLiveWorkload) {
+  // The committed trace and a fresh recording of the same workload must
+  // fingerprint identically — this is what pins the recorder's structural
+  // output across refactors.
+  for (const GoldenCase& g : kGoldens) {
+    SCOPED_TRACE(g.file);
+    const trace::Trace golden = trace::read_file(golden_path(g.file));
+    const trace::Trace live =
+        record("xtask:topo=2x2,trace=record", g.root);
+    EXPECT_EQ(live.spawn_count(), golden.spawn_count());
+    EXPECT_EQ(live.dag_fingerprint(), golden.dag_fingerprint());
+  }
+}
+
+TEST(TraceGolden, GoldenReplaysOnEveryProtocolWithExactCounts) {
+  for (const GoldenCase& g : kGoldens) {
+    SCOPED_TRACE(g.file);
+    const trace::Trace golden = trace::read_file(golden_path(g.file));
+    const trace::ReplayTree tree = trace::ReplayTree::build(golden);
+    for (const char* backend : kRecordingBackends) {
+      AnyRuntime rt = RuntimeRegistry::make(backend);
+      const trace::RealReplayResult res = trace::replay_real(rt, tree, 0.25);
+      EXPECT_EQ(res.tasks, tree.size()) << backend;
+      const trace::Trace rerec = rt.get_if<Runtime>()->tracer()->build();
+      EXPECT_EQ(rerec.spawn_count(), golden.spawn_count()) << backend;
+      EXPECT_EQ(rerec.exec_count(), golden.exec_count()) << backend;
+      EXPECT_EQ(rerec.dag_fingerprint(), golden.dag_fingerprint())
+          << backend;
+    }
+  }
+}
+
+TEST(TraceGolden, GoldenReplaysOnSimulatorConservingTasksAndWork) {
+  for (const GoldenCase& g : kGoldens) {
+    SCOPED_TRACE(g.file);
+    const trace::Trace golden = trace::read_file(golden_path(g.file));
+    const trace::ReplayTree tree = trace::ReplayTree::build(golden);
+    sim::SimConfig cfg;
+    cfg.machine.topo = Topology::synthetic(8, 2);
+    cfg.dlb = sim::SimDlb::kWorkSteal;
+    cfg.record_trace = true;
+    sim::SimEngine eng(cfg);
+    const sim::SimResult res = trace::replay_sim(cfg, tree, 1.0);
+    // Task conservation: the sim runs exactly the recorded task set.
+    EXPECT_EQ(res.tasks, tree.size());
+    // Work conservation: busy cycles equal the trace's total self cost
+    // (mem_intensity=0 means no NUMA inflation distorts the sum).
+    std::uint64_t busy = 0;
+    for (const std::uint64_t b : res.busy_per_worker) busy += b;
+    EXPECT_EQ(busy, tree.total_self_cycles());
+  }
+}
+
+TEST(TraceGolden, SimReplayRecordsAReplayableTraceItself) {
+  // Close the loop the other way: a sim replay of a golden, itself
+  // recorded, reproduces the golden's DAG — the two executors agree on
+  // structure in both directions.
+  const trace::Trace golden = trace::read_file(golden_path("fib.jsonl"));
+  const trace::ReplayTree tree = trace::ReplayTree::build(golden);
+  sim::SimConfig cfg;
+  cfg.machine.topo = Topology::synthetic(8, 2);
+  cfg.record_trace = true;
+  sim::SimEngine eng(cfg);
+  eng.run([&tree](sim::SimContext& ctx) {
+    // Single root: the region root is the trace root (mirrors replay_sim).
+    for (const std::uint32_t c : tree.nodes[tree.roots[0]].children)
+      ctx.spawn([&tree, c](sim::SimContext& inner) {
+        const std::function<void(sim::SimContext&, std::uint32_t)> rec =
+            [&tree, &rec](sim::SimContext& cc, std::uint32_t idx) {
+              for (const std::uint32_t k : tree.nodes[idx].children)
+                cc.spawn([&tree, &rec, k](sim::SimContext& i2) {
+                  rec(i2, k);
+                });
+              cc.compute(tree.nodes[idx].self_cycles);
+              if (!tree.nodes[idx].children.empty()) cc.taskwait();
+            };
+        rec(inner, c);
+      });
+    ctx.compute(tree.nodes[tree.roots[0]].self_cycles);
+    ctx.taskwait();
+  });
+  EXPECT_EQ(eng.trace().dag_fingerprint(), golden.dag_fingerprint());
+  EXPECT_EQ(eng.trace().spawn_count(), golden.spawn_count());
+}
+
+TEST(TraceReplay, WorkScaleScalesReplayedSelfCost) {
+  const trace::Trace golden = trace::read_file(golden_path("fib.jsonl"));
+  const trace::ReplayTree tree = trace::ReplayTree::build(golden);
+  sim::SimConfig cfg;
+  cfg.machine.topo = Topology::synthetic(4, 1);
+  const sim::SimResult at1 = trace::replay_sim(cfg, tree, 1.0);
+  const sim::SimResult at2 = trace::replay_sim(cfg, tree, 2.0);
+  std::uint64_t busy1 = 0, busy2 = 0;
+  for (const std::uint64_t b : at1.busy_per_worker) busy1 += b;
+  for (const std::uint64_t b : at2.busy_per_worker) busy2 += b;
+  EXPECT_NEAR(static_cast<double>(busy2),
+              2.0 * static_cast<double>(busy1),
+              0.01 * static_cast<double>(busy2));
+}
+
+// ---------------------------------------------------------------------------
+// Golden regeneration (opt-in; see file header).
+
+TEST(TraceGolden, DISABLED_RegenerateGoldenFiles) {
+  if (std::getenv("XTASK_REGEN_GOLDENS") == nullptr)
+    GTEST_SKIP() << "set XTASK_REGEN_GOLDENS=1 to rewrite tests/golden";
+  for (const GoldenCase& g : kGoldens) {
+    const trace::Trace tr =
+        record("xtask:topo=2x2,trace=record", g.root);
+    tr.validate();
+    trace::write_file(tr, golden_path(g.file));
+    std::fprintf(stderr, "wrote %s: %llu tasks, fingerprint %016llx\n",
+                 golden_path(g.file).c_str(),
+                 static_cast<unsigned long long>(tr.spawn_count()),
+                 static_cast<unsigned long long>(tr.dag_fingerprint()));
+  }
+}
+
+}  // namespace
+}  // namespace xtask

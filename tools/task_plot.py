@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Per-worker execution timeline from a scheduler trace.
+
+Reads a trace produced by the runtime (``xtask:trace=record,tracefile=...``
+or ``bench_replay --trace-out``) in the JSONL encoding and renders one
+horizontal lane per worker: execution intervals as filled blocks colored
+by NUMA zone, idle episodes as pale underlays, and steal migrations as
+tick marks on the thief's lane. This is the Fig. 3-style load-balance
+picture — a glance shows which workers starved, where bursts serialized,
+and whether the DLB protocol actually moved work across the zone boundary.
+
+Output is standalone SVG (no third-party plotting dependency, so it runs
+in CI and renders in any browser or GitHub artifact preview).
+
+Usage:
+  python3 tools/task_plot.py TRACE.jsonl [-o OUT.svg] [--max-records N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import pathlib
+import sys
+
+# One fill color per NUMA zone (cycled), chosen to stay distinguishable
+# when blocks shrink to a pixel or two.
+ZONE_COLORS = ["#4878cf", "#d65f5f", "#59a14f", "#b07aa1",
+               "#e49444", "#76b7b2", "#edc948", "#9c755f"]
+IDLE_COLOR = "#e8e8e8"
+STEAL_COLOR = "#222222"
+
+LANE_H = 26        # lane height including gap
+BAR_H = 18         # exec bar height
+MARGIN_L = 70      # room for worker labels
+MARGIN_T = 34      # room for the title
+MARGIN_B = 30      # room for the time axis
+PLOT_W = 1100      # drawable timeline width
+
+
+def load_jsonl(path: pathlib.Path, max_records: int):
+    with path.open("r", encoding="utf-8") as fh:
+        lines = [ln for ln in (l.strip() for l in fh) if ln]
+    if not lines:
+        raise SystemExit(f"{path}: empty trace")
+    header = json.loads(lines[0])
+    if "xtask_trace" not in header:
+        raise SystemExit(f"{path}: not a JSONL xtask trace (binary traces "
+                         "can be converted by recording with a .jsonl sink)")
+    records = [json.loads(ln) for ln in lines[1:]]
+    if len(records) > max_records:
+        print(f"note: plotting first {max_records} of {len(records)} "
+              "records", file=sys.stderr)
+        records = records[:max_records]
+    return header, records
+
+
+def fmt_time(us: float) -> str:
+    if us >= 1000.0:
+        return f"{us / 1000.0:.2f} ms"
+    return f"{us:.0f} µs"
+
+
+def render(header: dict, records: list[dict]) -> str:
+    nworkers = max(int(header.get("nworkers", 0)), 1)
+    cyc_per_us = float(header.get("cycles_per_us", 0.0)) or 1.0
+    execs = [r for r in records if r.get("k") == "exec" and r["t1"] > r["t0"]]
+    idles = [r for r in records if r.get("k") == "idle" and r["t1"] > r["t0"]]
+    steals = [r for r in records if r.get("k") in ("steal", "dsteal")]
+    spans = execs + idles
+    if not spans:
+        raise SystemExit("trace has no exec/idle intervals to plot")
+    t_min = min(r["t0"] for r in spans)
+    t_max = max(r["t1"] for r in spans)
+    span = max(t_max - t_min, 1)
+
+    def x_of(t: int) -> float:
+        return MARGIN_L + (t - t_min) / span * PLOT_W
+
+    width = MARGIN_L + PLOT_W + 20
+    height = MARGIN_T + nworkers * LANE_H + MARGIN_B
+    out = []
+    out.append(f'<svg xmlns="http://www.w3.org/2000/svg" '
+               f'width="{width}" height="{height}" '
+               f'font-family="sans-serif" font-size="11">')
+    out.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    title = (f'{html.escape(header.get("backend", "?"))} on '
+             f'{html.escape(header.get("topology", "?"))} — '
+             f'{len(execs)} tasks over {fmt_time(span / cyc_per_us)}')
+    out.append(f'<text x="{MARGIN_L}" y="18" font-size="13">{title}</text>')
+
+    def lane_y(w: int) -> float:
+        return MARGIN_T + w * LANE_H
+
+    for w in range(nworkers):
+        y = lane_y(w) + BAR_H / 2
+        out.append(f'<text x="6" y="{y + 4:.0f}">w{w}</text>')
+        out.append(f'<line x1="{MARGIN_L}" y1="{y:.0f}" '
+                   f'x2="{MARGIN_L + PLOT_W}" y2="{y:.0f}" '
+                   f'stroke="#f0f0f0"/>')
+    # Idle underlays first, exec blocks on top.
+    for r in idles:
+        y = lane_y(r["w"]) + (LANE_H - BAR_H) / 2
+        x0, x1 = x_of(r["t0"]), x_of(r["t1"])
+        out.append(f'<rect x="{x0:.2f}" y="{y:.1f}" '
+                   f'width="{max(x1 - x0, 0.3):.2f}" height="{BAR_H}" '
+                   f'fill="{IDLE_COLOR}"/>')
+    for r in execs:
+        y = lane_y(r["w"]) + (LANE_H - BAR_H) / 2
+        x0, x1 = x_of(r["t0"]), x_of(r["t1"])
+        color = ZONE_COLORS[r.get("z", 0) % len(ZONE_COLORS)]
+        us = (r["t1"] - r["t0"]) / cyc_per_us
+        out.append(f'<rect x="{x0:.2f}" y="{y:.1f}" '
+                   f'width="{max(x1 - x0, 0.4):.2f}" height="{BAR_H}" '
+                   f'fill="{color}" stroke="white" stroke-width="0.2">'
+                   f'<title>task {r["id"]} on w{r["w"]} '
+                   f'({fmt_time(us)})</title></rect>')
+    # Steal migrations: a tick on the thief's lane at the record time.
+    for r in steals:
+        thief = r["w"] if r.get("k") == "dsteal" else r.get("aux", 0)
+        if not 0 <= thief < nworkers:
+            continue
+        x = x_of(r["t0"])
+        y = lane_y(thief)
+        out.append(f'<line x1="{x:.2f}" y1="{y - 1:.1f}" x2="{x:.2f}" '
+                   f'y2="{y + LANE_H - 7:.1f}" stroke="{STEAL_COLOR}" '
+                   f'stroke-width="1"><title>steal of {r.get("ref", "?")} '
+                   f'task(s)</title></line>')
+    # Time axis: five ticks in display units.
+    axis_y = MARGIN_T + nworkers * LANE_H + 8
+    out.append(f'<line x1="{MARGIN_L}" y1="{axis_y}" '
+               f'x2="{MARGIN_L + PLOT_W}" y2="{axis_y}" stroke="#666"/>')
+    for i in range(6):
+        frac = i / 5.0
+        x = MARGIN_L + frac * PLOT_W
+        t_us = frac * span / cyc_per_us
+        out.append(f'<line x1="{x:.1f}" y1="{axis_y}" x2="{x:.1f}" '
+                   f'y2="{axis_y + 4}" stroke="#666"/>')
+        out.append(f'<text x="{x:.1f}" y="{axis_y + 16}" '
+                   f'text-anchor="middle">{fmt_time(t_us)}</text>')
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", type=pathlib.Path, help="JSONL trace file")
+    ap.add_argument("-o", "--out", type=pathlib.Path,
+                    help="output SVG (default: trace name with .svg)")
+    ap.add_argument("--max-records", type=int, default=200_000)
+    args = ap.parse_args()
+    header, records = load_jsonl(args.trace, args.max_records)
+    out = args.out or args.trace.with_suffix(".svg")
+    out.write_text(render(header, records))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
